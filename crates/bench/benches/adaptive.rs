@@ -1,0 +1,53 @@
+//! Criterion benches for the adaptive runtime: what adaptivity costs and
+//! what it buys.  Compares the adaptive executor (steady state, inspector
+//! amortized) against the best and worst fixed schemes on the same
+//! workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartapps_core::adaptive::AdaptiveReduction;
+use smartapps_reductions::{rank_schemes, run_scheme, Inspector};
+use smartapps_workloads::{contribution, Distribution, PatternSpec};
+
+fn bench_adaptive_vs_fixed(c: &mut Criterion) {
+    let threads = 4;
+    let pat = PatternSpec {
+        num_elements: 100_000,
+        iterations: 150_000,
+        refs_per_iter: 2,
+        coverage: 0.25,
+        dist: Distribution::Uniform,
+        seed: 5,
+    }
+    .generate();
+    let body = |_i: usize, r: usize| contribution(r);
+
+    // Determine the measured best/worst fixed schemes once.
+    let (ranking, _) = rank_schemes(&pat, &body, threads, false, 3);
+    let best = ranking.first().unwrap().scheme;
+    let worst = ranking.last().unwrap().scheme;
+    let insp = Inspector::analyze(&pat, threads);
+
+    let mut group = c.benchmark_group("adaptive");
+    group.sample_size(10);
+    group.bench_function(format!("fixed_best_{best}"), |b| {
+        b.iter(|| run_scheme(best, &pat, &body, threads, Some(&insp)))
+    });
+    group.bench_function(format!("fixed_worst_{worst}"), |b| {
+        b.iter(|| run_scheme(worst, &pat, &body, threads, Some(&insp)))
+    });
+    group.bench_function("adaptive_steady_state", |b| {
+        let mut smart = AdaptiveReduction::new(1, threads, false);
+        smart.execute(&pat, &body); // pay the inspector once
+        b.iter(|| smart.execute(&pat, &body).0)
+    });
+    group.bench_function("adaptive_cold_start", |b| {
+        b.iter(|| {
+            let mut smart = AdaptiveReduction::new(2, threads, false);
+            smart.execute(&pat, &body).0
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_vs_fixed);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the CC-NUMA simulator: event-loop throughput on
+//! the three simulated systems (the practical limit on how large a
+//! workload the harnesses can replay).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smartapps_bench::pclr_experiment::{params_for, scaled_pattern};
+use smartapps_sim::{Machine, MachineConfig};
+use smartapps_workloads::table2_rows;
+use smartapps_workloads::tracegen::{traces_for, SimScheme};
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let rows = table2_rows();
+    let vml = rows.iter().find(|r| r.app == "Vml").unwrap();
+    let pat = scaled_pattern(vml, 1.0, 7);
+    let params = params_for(vml);
+    // Instruction volume per run (measured once) for throughput units.
+    let instr = {
+        let traces = traces_for(SimScheme::Seq, &pat, 1, params);
+        let mut m = Machine::new(MachineConfig::table1(1), traces);
+        m.run().counters.instructions
+    };
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(instr));
+    group.bench_function("seq_1node", |b| {
+        b.iter(|| {
+            let traces = traces_for(SimScheme::Seq, &pat, 1, params);
+            let mut m = Machine::new(MachineConfig::table1(1), traces);
+            m.run().total_cycles
+        })
+    });
+    group.bench_function("sw_16node", |b| {
+        b.iter(|| {
+            let traces = traces_for(SimScheme::Sw, &pat, 16, params);
+            let mut m = Machine::new(MachineConfig::table1(16), traces);
+            m.run().total_cycles
+        })
+    });
+    group.bench_function("pclr_hw_16node", |b| {
+        b.iter(|| {
+            let traces = traces_for(SimScheme::Pclr, &pat, 16, params);
+            let mut m = Machine::new(MachineConfig::table1(16), traces);
+            m.run().total_cycles
+        })
+    });
+    group.bench_function("pclr_flex_16node", |b| {
+        b.iter(|| {
+            let traces = traces_for(SimScheme::Pclr, &pat, 16, params);
+            let mut m = Machine::new(MachineConfig::flex(16), traces);
+            m.run().total_cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

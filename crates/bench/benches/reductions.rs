@@ -1,0 +1,94 @@
+//! Criterion benches for the software reduction library: every scheme on
+//! the three canonical pattern shapes (dense reuse / moderate sparse /
+//! ultra sparse), plus the inspector itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartapps_reductions::{run_scheme, Inspector, Scheme};
+use smartapps_workloads::{contribution, AccessPattern, Distribution, PatternSpec};
+
+fn patterns() -> Vec<(&'static str, AccessPattern)> {
+    vec![
+        (
+            "dense_reuse",
+            PatternSpec {
+                num_elements: 16_384,
+                iterations: 200_000,
+                refs_per_iter: 2,
+                coverage: 1.0,
+                dist: Distribution::Uniform,
+                seed: 1,
+            }
+            .generate(),
+        ),
+        (
+            "moderate_sparse",
+            PatternSpec {
+                num_elements: 262_144,
+                iterations: 50_000,
+                refs_per_iter: 2,
+                coverage: 0.06,
+                dist: Distribution::Uniform,
+                seed: 2,
+            }
+            .generate(),
+        ),
+        (
+            "ultra_sparse",
+            PatternSpec {
+                num_elements: 1_000_000,
+                iterations: 2_000,
+                refs_per_iter: 4,
+                coverage: 0.002,
+                dist: Distribution::Uniform,
+                seed: 3,
+            }
+            .generate(),
+        ),
+    ]
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let threads = 4;
+    for (name, pat) in patterns() {
+        let insp = Inspector::analyze(&pat, threads);
+        let mut group = c.benchmark_group(format!("schemes/{name}"));
+        group.sample_size(12);
+        group.bench_function("seq", |b| {
+            b.iter(|| run_scheme(Scheme::Seq, &pat, &|_i, r| contribution(r), 1, None))
+        });
+        for scheme in Scheme::all_parallel() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(scheme.abbrev()),
+                &scheme,
+                |b, &s| {
+                    b.iter(|| {
+                        run_scheme(s, &pat, &|_i, r| contribution(r), threads, Some(&insp))
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_inspector(c: &mut Criterion) {
+    let pat = PatternSpec {
+        num_elements: 100_000,
+        iterations: 500_000,
+        refs_per_iter: 2,
+        coverage: 0.25,
+        dist: Distribution::Uniform,
+        seed: 4,
+    }
+    .generate();
+    let mut group = c.benchmark_group("inspector");
+    group.sample_size(15);
+    group.bench_function("full_analyze_1M_refs", |b| {
+        b.iter(|| Inspector::analyze(&pat, 8))
+    });
+    group.bench_function("conflicts_only", |b| b.iter(|| Inspector::conflicts(&pat, 8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_inspector);
+criterion_main!(benches);

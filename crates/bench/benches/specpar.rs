@@ -1,0 +1,101 @@
+//! Criterion benches for speculative parallelization: LRPD overhead on a
+//! parallel loop, R-LRPD on partially parallel loops with the dependence
+//! placed early vs late (the asymmetry the R-LRPD theorem exploits), and
+//! feedback-guided scheduling convergence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartapps_specpar::lrpd::{lrpd_execute, run_sequential, SpecAccess};
+use smartapps_specpar::rlrpd::rlrpd_execute;
+use smartapps_specpar::FgbsScheduler;
+
+const N: usize = 200_000;
+const ITERS: usize = 100_000;
+
+fn parallel_body(i: usize, ctx: &mut dyn SpecAccess) {
+    ctx.write((i * 48_271) % N, (i as f64).sqrt());
+    ctx.reduce(N - 1, 1.0);
+}
+
+fn bench_lrpd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lrpd");
+    group.sample_size(10);
+    group.bench_function("sequential_baseline", |b| {
+        b.iter(|| {
+            let mut data = vec![0.0f64; N];
+            run_sequential(&mut data, 0..ITERS, &parallel_body);
+            data
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("speculative", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut data = vec![0.0f64; N];
+                    let r = lrpd_execute(&mut data, ITERS, t, &parallel_body);
+                    assert!(r.succeeded);
+                    data
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rlrpd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlrpd");
+    group.sample_size(10);
+    // One flow dependence planted at varying loop positions.
+    for (name, dep_at) in [("dep_at_25pct", ITERS / 4), ("dep_at_90pct", ITERS * 9 / 10)] {
+        group.bench_function(name, |b| {
+            let body = move |i: usize, ctx: &mut dyn SpecAccess| {
+                if i == dep_at {
+                    let v = ctx.read(0);
+                    ctx.write(1, v + 1.0);
+                } else if i == 5 {
+                    ctx.write(0, 3.0);
+                } else {
+                    ctx.write(2 + (i % (N - 2)), i as f64);
+                }
+            };
+            b.iter(|| {
+                let mut data = vec![0.0f64; N];
+                rlrpd_execute(&mut data, ITERS, 4, &body);
+                data
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fgbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fgbs");
+    group.sample_size(10);
+    // Triangular workload: equal-iteration blocks are maximally imbalanced.
+    let work = |i: usize| {
+        let mut acc = 0u64;
+        for k in 0..(i / 64) {
+            acc = acc.wrapping_add(k as u64);
+        }
+        std::hint::black_box(acc);
+    };
+    group.bench_function("static_blocks", |b| {
+        b.iter(|| {
+            let mut s = FgbsScheduler::new(40_000, 4);
+            s.run_invocation(work)
+        })
+    });
+    group.bench_function("after_feedback", |b| {
+        // Converge once outside the timed loop, then measure steady state.
+        let mut s = FgbsScheduler::new(40_000, 4);
+        for _ in 0..3 {
+            s.run_invocation(work);
+        }
+        b.iter(|| s.run_invocation(work))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lrpd, bench_rlrpd, bench_fgbs);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+fn main() {
+    let rows = smartapps_workloads::table2_rows();
+    for row in &rows {
+        let scale = 1.0;
+        let t0 = std::time::Instant::now();
+        let (seq, sw, hw, flex) = smartapps_bench::pclr_experiment::run_all_systems(row, scale, 16, 7);
+        let sp = |r: &smartapps_bench::AppResult| seq.stats.total_cycles as f64 / r.stats.total_cycles as f64;
+        println!(
+            "{:7} scale={:.2} wall={:6.1?} | Sw {:5.2} Hw {:5.2} Flex {:5.2} (paper {:.1}/{:.1}/{:.1}) | hw flush/disp per proc {}/{} (paper {}/{}) | sw bars i/l/m {:.0}%/{:.0}%/{:.0}%",
+            row.app, scale, t0.elapsed(), sp(&sw), sp(&hw), sp(&flex),
+            row.fig6_speedups.0, row.fig6_speedups.1, row.fig6_speedups.2,
+            hw.stats.counters.red_flushed / 16, hw.stats.counters.red_displaced / 16,
+            row.lines_flushed_paper, row.lines_displaced_paper,
+            100.0 * sw.breakdown.init as f64 / sw.breakdown.total() as f64,
+            100.0 * sw.breakdown.looptime as f64 / sw.breakdown.total() as f64,
+            100.0 * sw.breakdown.merge as f64 / sw.breakdown.total() as f64,
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 7 — speedups delivered by the different mechanisms (harmonic
+//! mean over the five applications) at 4, 8 and 16 processors.
+//!
+//! The paper's claim: Hw and Flex scale well, while "the Sw scheme scales
+//! poorly.  The time of the merging step in Sw does not decrease when more
+//! processors are available.  If the main loop scales well, the merging
+//! step limits the achievable speedups according to Amdahl's law."
+//!
+//! Usage: `fig7_scalability [--scale=1.0] [--seed=7]`
+
+use smartapps_bench::pclr_experiment::run_all_systems;
+use smartapps_bench::report::Table;
+use smartapps_sim::harmonic_mean;
+use smartapps_workloads::table2_rows;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&format!("--{name}=")).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale: f64 = arg("scale", 1.0);
+    let seed: u64 = arg("seed", 7);
+    let proc_counts = [4usize, 8, 16];
+    println!("Figure 7: harmonic-mean speedups vs. processor count (scale {scale})\n");
+
+    // hm[system][procs index]; merge fraction of Sw per proc count.
+    let mut hms = [[0.0f64; 3]; 3];
+    let mut sw_merge_cycles: Vec<Vec<u64>> = vec![Vec::new(); 3];
+    for (pi, &procs) in proc_counts.iter().enumerate() {
+        let mut per_sys: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for row in &table2_rows() {
+            let (seq, sw, hw, flex) = run_all_systems(row, scale, procs, seed);
+            let seqc = seq.stats.total_cycles as f64;
+            per_sys[0].push(seqc / sw.stats.total_cycles as f64);
+            per_sys[1].push(seqc / hw.stats.total_cycles as f64);
+            per_sys[2].push(seqc / flex.stats.total_cycles as f64);
+            sw_merge_cycles[pi].push(sw.breakdown.merge);
+        }
+        for s in 0..3 {
+            hms[s][pi] = harmonic_mean(&per_sys[s]);
+        }
+    }
+
+    let mut t = Table::new(vec!["system", "4 procs", "8 procs", "16 procs", "paper @16"]);
+    for (s, (name, paper)) in [("Sw", "2.7"), ("Hw", "7.6"), ("Flex", "6.4")]
+        .into_iter()
+        .enumerate()
+    {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", hms[s][0]),
+            format!("{:.2}", hms[s][1]),
+            format!("{:.2}", hms[s][2]),
+            paper.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ASCII rendering of the figure.
+    println!("speedup");
+    let max = hms.iter().flat_map(|r| r.iter()).cloned().fold(0.0, f64::max);
+    let rows = 12;
+    for level in (1..=rows).rev() {
+        let y = max * level as f64 / rows as f64;
+        let mut line = format!("{y:5.1} |");
+        for pi in [0usize, 1, 2] {
+            for ch in [0usize, 1, 2] {
+                let v = hms[ch][pi];
+                line.push_str(if (v - y).abs() <= max / (rows as f64 * 2.0) {
+                    match ch {
+                        0 => " S",
+                        1 => " H",
+                        _ => " F",
+                    }
+                } else {
+                    "  "
+                });
+            }
+            line.push_str("   ");
+        }
+        println!("{line}");
+    }
+    println!("      +{}", "-".repeat(27));
+    println!("          4         8        16   processors   (H = Hw, F = Flex, S = Sw)\n");
+
+    // The Amdahl claim: Sw merge cycles barely move with procs.
+    let merge_tot: Vec<u64> = sw_merge_cycles.iter().map(|v| v.iter().sum()).collect();
+    println!(
+        "Sw merge-phase cycles (sum over apps): 4p = {}, 8p = {}, 16p = {}",
+        merge_tot[0], merge_tot[1], merge_tot[2]
+    );
+    let ratio = merge_tot[0] as f64 / merge_tot[2] as f64;
+    println!(
+        "merge shrinks only {ratio:.2}x from 4p to 16p (perfect scaling would be 4.0x)\n\
+         -> the merging step limits Sw per Amdahl's law, as the paper argues"
+    );
+    let sw_scaling = hms[0][2] / hms[0][0];
+    let hw_scaling = hms[1][2] / hms[1][0];
+    println!(
+        "scaling 4p->16p: Sw {:.2}x vs Hw {:.2}x (paper shows Sw saturating)",
+        sw_scaling, hw_scaling
+    );
+}

@@ -1,0 +1,68 @@
+//! Table 2 — application characteristics, measured on the simulator.
+//!
+//! For each application the harness simulates the PCLR (Hw) system on a
+//! 16-node machine and reports the per-loop statistics next to the paper's
+//! published values: iterations per invocation, instructions per
+//! iteration, reduction operations per iteration, reduction array size,
+//! and the lines flushed / displaced per processor (the last two columns
+//! of the paper's table).
+//!
+//! Usage: `table2_appchar [--procs=16] [--scale=1.0] [--seed=7]`
+
+use smartapps_bench::pclr_experiment::{run_app, scaled_pattern, SimSystem};
+use smartapps_bench::report::Table;
+use smartapps_workloads::{table2_rows, PatternChars};
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&format!("--{name}=")).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let procs: usize = arg("procs", 16);
+    let scale: f64 = arg("scale", 1.0);
+    let seed: u64 = arg("seed", 7);
+    println!(
+        "Table 2: application characteristics ({procs}-processor simulation, scale {scale})\n"
+    );
+    let mut t = Table::new(vec![
+        "Appl.", "Loop", "%Tseq", "Invoc.", "Iters/inv (sim)", "Instr/iter (sim|paper)",
+        "RedOps/iter", "Array KB (sim|paper)", "Flushed/proc (sim|paper)",
+        "Displaced/proc (sim|paper)",
+    ]);
+    for row in &table2_rows() {
+        let pat = scaled_pattern(row, scale, seed);
+        let chars = PatternChars::measure(&pat);
+        let res = run_app(row, &pat, SimSystem::Hw, procs);
+        let iters = pat.num_iterations() as u64;
+        let instr_per_iter = res.stats.counters.instructions / iters.max(1);
+        t.row(vec![
+            row.app.to_string(),
+            row.loop_name.to_string(),
+            format!("{:.1}", row.pct_tseq),
+            row.invocations.to_string(),
+            format!("{} ({})", iters, row.iters_per_invocation),
+            format!("{} | {}", instr_per_iter, row.instrs_per_iter),
+            format!("{}", row.red_ops_per_iter),
+            format!("{:.1} | {:.1}", chars.array_kb(), row.red_array_kb),
+            format!(
+                "{} | {}",
+                res.stats.counters.red_flushed / procs as u64,
+                row.lines_flushed_paper
+            ),
+            format!(
+                "{} | {}",
+                res.stats.counters.red_displaced / procs as u64,
+                row.lines_displaced_paper
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "notes: %Tseq and invocation counts are whole-application properties\n\
+         reported from the paper (we simulate the loop the paper simulates);\n\
+         instr/iter is measured as retired instructions / iterations;\n\
+         flushed/displaced are per-processor averages over one invocation."
+    );
+}

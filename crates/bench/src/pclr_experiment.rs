@@ -1,0 +1,174 @@
+//! The PCLR simulation experiment runner shared by the Table 2 / Figure 6
+//! / Figure 7 harnesses.
+//!
+//! Each application row of Table 2 is lowered to per-processor traces and
+//! run on the simulated CC-NUMA under four systems:
+//!
+//! * `Seq`  — one processor, direct updates, all data local;
+//! * `Sw`   — software-only replicated-array reduction (Init/Loop/Merge);
+//! * `Hw`   — PCLR with the hardwired directory controller;
+//! * `Flex` — PCLR with the programmable (MAGIC-like) controller.
+//!
+//! Simulations can be scaled: `scale` < 1.0 simulates the leading fraction
+//! of the loop's iterations (the reduction array keeps its full dimension,
+//! so cache behaviour per iteration is preserved; only the loop phase
+//! shortens).  The scale used is reported alongside every result.
+
+use smartapps_sim::{Machine, MachineConfig, PhaseBreakdown, RunStats};
+use smartapps_workloads::tracegen::{traces_for, SimScheme, TraceParams};
+use smartapps_workloads::{AccessPattern, Table2Row};
+use std::sync::Arc;
+
+/// Which simulated system to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimSystem {
+    /// Sequential baseline on a single-node machine.
+    Seq,
+    /// Software-only scheme on the Table 1 machine.
+    Sw,
+    /// PCLR with the hardwired controller.
+    Hw,
+    /// PCLR with the programmable controller.
+    Flex,
+}
+
+impl SimSystem {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimSystem::Seq => "Seq",
+            SimSystem::Sw => "Sw",
+            SimSystem::Hw => "Hw",
+            SimSystem::Flex => "Flex",
+        }
+    }
+}
+
+/// Result of one (application, system, processor-count) simulation.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Application name.
+    pub app: &'static str,
+    /// System simulated.
+    pub system: SimSystem,
+    /// Processor count.
+    pub procs: usize,
+    /// Iterations simulated (after scaling).
+    pub iters: usize,
+    /// Full simulation statistics.
+    pub stats: RunStats,
+    /// Init/Loop/Merge wall-cycle breakdown.
+    pub breakdown: PhaseBreakdown,
+}
+
+impl AppResult {
+    /// Total cycles of the phases of interest.
+    pub fn cycles(&self) -> u64 {
+        self.breakdown.total().max(1)
+    }
+}
+
+/// Build the (scaled) access pattern for a Table 2 row.
+pub fn scaled_pattern(row: &Table2Row, scale: f64, seed: u64) -> Arc<AccessPattern> {
+    assert!(scale > 0.0 && scale <= 1.0);
+    let iters = ((row.iters_per_invocation as f64 * scale).round() as usize).max(64);
+    Arc::new(row.pattern(iters, seed))
+}
+
+/// Trace parameters for a Table 2 row.
+pub fn params_for(row: &Table2Row) -> TraceParams {
+    let (work_int, work_fp) = row.work_per_iter();
+    TraceParams { work_int, work_fp, ..TraceParams::default() }
+}
+
+/// Run one application under one system.
+pub fn run_app(
+    row: &Table2Row,
+    pat: &Arc<AccessPattern>,
+    system: SimSystem,
+    procs: usize,
+) -> AppResult {
+    let params = params_for(row);
+    let (cfg, scheme) = match system {
+        SimSystem::Seq => (MachineConfig::table1(1), SimScheme::Seq),
+        SimSystem::Sw => (MachineConfig::table1(procs), SimScheme::Sw),
+        SimSystem::Hw => (MachineConfig::table1(procs), SimScheme::Pclr),
+        SimSystem::Flex => (MachineConfig::flex(procs), SimScheme::Pclr),
+    };
+    let nprocs = if system == SimSystem::Seq { 1 } else { procs };
+    let traces = traces_for(scheme, pat, nprocs, params);
+    let mut machine = Machine::new(cfg, traces);
+    let stats = machine.run();
+    let breakdown = stats.breakdown();
+    AppResult {
+        app: row.app,
+        system,
+        procs: nprocs,
+        iters: pat.num_iterations(),
+        stats,
+        breakdown,
+    }
+}
+
+/// Run an application under Seq/Sw/Hw/Flex at one processor count,
+/// returning `(seq, sw, hw, flex)`.
+pub fn run_all_systems(
+    row: &Table2Row,
+    scale: f64,
+    procs: usize,
+    seed: u64,
+) -> (AppResult, AppResult, AppResult, AppResult) {
+    let pat = scaled_pattern(row, scale, seed);
+    (
+        run_app(row, &pat, SimSystem::Seq, procs),
+        run_app(row, &pat, SimSystem::Sw, procs),
+        run_app(row, &pat, SimSystem::Hw, procs),
+        run_app(row, &pat, SimSystem::Flex, procs),
+    )
+}
+
+/// Default per-application simulation scale: chosen so the full Figure 6
+/// run finishes in a few minutes while every loop still streams far more
+/// data than the caches hold.
+pub fn default_scale(row: &Table2Row) -> f64 {
+    match row.app {
+        "Nbf" => 0.05,     // 128k iters x 1880 instr is the heavyweight
+        "Charmm" => 0.10,  // 82,944 x 420
+        "Equake" => 0.25,  // 30,169 x 550
+        "Euler" => 0.25,   // 59,863 x 118
+        _ => 1.0,          // Vml runs in full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartapps_workloads::table2_rows;
+
+    #[test]
+    fn vml_full_run_has_expected_shape() {
+        // Vml is small enough to simulate in full in a unit test.
+        let rows = table2_rows();
+        let vml = rows.iter().find(|r| r.app == "Vml").unwrap();
+        let (seq, sw, hw, flex) = run_all_systems(vml, 1.0, 4, 7);
+        let sp = |r: &AppResult| seq.stats.total_cycles as f64 / r.stats.total_cycles as f64;
+        let (s_sw, s_hw, s_flex) = (sp(&sw), sp(&hw), sp(&flex));
+        assert!(s_hw > s_sw, "Hw {s_hw:.2} must beat Sw {s_sw:.2}");
+        assert!(s_hw >= s_flex, "Hw {s_hw:.2} must be >= Flex {s_flex:.2}");
+        assert!(s_flex > s_sw, "Flex {s_flex:.2} must beat Sw {s_sw:.2}");
+        // PCLR has no Init phase; the software scheme does.
+        assert_eq!(hw.breakdown.init, 0);
+        assert!(sw.breakdown.init > 0);
+        // The software merge is a real fraction of its time.
+        assert!(sw.breakdown.merge > 0);
+    }
+
+    #[test]
+    fn scaled_pattern_keeps_dimension() {
+        let rows = table2_rows();
+        let nbf = rows.iter().find(|r| r.app == "Nbf").unwrap();
+        let pat = scaled_pattern(nbf, 0.01, 1);
+        assert_eq!(pat.num_elements, nbf.num_elements());
+        assert!(pat.num_iterations() < nbf.iters_per_invocation / 50);
+    }
+}

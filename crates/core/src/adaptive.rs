@@ -1,0 +1,310 @@
+//! The adaptive reduction runtime: inspect → decide → execute → monitor →
+//! adapt, the instantiation of Figure 1's feedback loop for reduction
+//! loops.
+//!
+//! Every invocation of a managed loop goes through:
+//!
+//! 1. **drift check** — a cheap characterization of a sample of the
+//!    iteration space, compared against the pattern the current decision
+//!    was made for; sustained drift (a phase change of a dynamic code)
+//!    triggers re-characterization;
+//! 2. **decision** — if no decision is current, a full inspector pass and
+//!    the (correction-learned) predictor pick a scheme;
+//! 3. **execution** — the chosen scheme runs;
+//! 4. **evaluation** — measured time is compared against prediction; the
+//!    optimizer escalates (keep / tune / re-decide / re-characterize)
+//!    according to the deviation magnitude.
+
+use crate::monitor::{Monitor, PhaseDetector};
+use crate::toolbox::{
+    Adaptation, Deviation, DomainKey, Optimizer, PerformanceDb, Predictor, Sample,
+};
+use smartapps_reductions::{run_scheme, Inspection, Inspector, ModelInput, Scheme};
+use smartapps_workloads::pattern::AccessPattern;
+use smartapps_workloads::{drift, PatternChars};
+use std::time::{Duration, Instant};
+
+/// What happened during one adaptive invocation (for logs and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationLog {
+    /// Scheme executed.
+    pub scheme: Scheme,
+    /// Whether a full (re-)characterization ran this invocation.
+    pub characterized: bool,
+    /// Measured drift of the sampled pattern vs the decision's pattern.
+    pub drift: f64,
+    /// Wall time of the scheme execution.
+    pub elapsed: Duration,
+    /// Adaptation decided after evaluation.
+    pub adaptation: Adaptation,
+}
+
+struct Decided {
+    scheme: Scheme,
+    inspection: Inspection,
+    sample_chars: PatternChars,
+    predicted: f64,
+    domain: DomainKey,
+}
+
+/// The adaptive executor for one reduction loop site.
+pub struct AdaptiveReduction {
+    /// Loop site identifier (stable across invocations).
+    pub loop_id: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Whether owner-computes is legal for this loop.
+    pub lw_feasible: bool,
+    /// Predictor (analytic model + learned corrections).
+    pub predictor: Predictor,
+    /// Deviation → adaptation policy.
+    pub optimizer: Optimizer,
+    /// Measured-sample database.
+    pub db: PerformanceDb,
+    /// Rolling performance monitor.
+    pub monitor: Monitor,
+    /// Iterations sampled for the cheap drift check.
+    pub sample_iters: usize,
+    drift_detector: PhaseDetector,
+    state: Option<Decided>,
+    /// Wall-seconds per abstract model cost unit, calibrated on the first
+    /// execution.
+    calibration: Option<f64>,
+}
+
+impl AdaptiveReduction {
+    /// Create an adaptive executor.
+    pub fn new(loop_id: u64, threads: usize, lw_feasible: bool) -> Self {
+        AdaptiveReduction {
+            loop_id,
+            threads,
+            lw_feasible,
+            predictor: Predictor::default(),
+            optimizer: Optimizer::default(),
+            db: PerformanceDb::default(),
+            monitor: Monitor::new(0.3),
+            sample_iters: 2048,
+            drift_detector: PhaseDetector::new(0.25, 2),
+            state: None,
+            calibration: None,
+        }
+    }
+
+    /// The currently decided scheme, if any.
+    pub fn current_scheme(&self) -> Option<Scheme> {
+        self.state.as_ref().map(|s| s.scheme)
+    }
+
+    fn sample_chars(&self, pat: &AccessPattern) -> PatternChars {
+        PatternChars::measure(&pat.truncate_iterations(self.sample_iters))
+    }
+
+    fn characterize_and_decide(&mut self, pat: &AccessPattern) -> (Scheme, f64) {
+        let inspection = Inspector::analyze(pat, self.threads);
+        let input = ModelInput::from_inspection(&inspection, self.lw_feasible);
+        let ranking = self.predictor.rank(&input);
+        let (scheme, predicted) = ranking[0];
+        let domain = DomainKey::of(&inspection.chars);
+        self.state = Some(Decided {
+            scheme,
+            sample_chars: self.sample_chars(pat),
+            inspection,
+            predicted,
+            domain,
+        });
+        (scheme, predicted)
+    }
+
+    /// Execute one invocation of the loop adaptively.
+    pub fn execute(
+        &mut self,
+        pat: &AccessPattern,
+        body: &(impl Fn(usize, usize) -> f64 + Sync),
+    ) -> (Vec<f64>, InvocationLog) {
+        // 1. Drift check against the decision's pattern.
+        let mut measured_drift = 0.0;
+        let mut characterized = false;
+        if let Some(st) = &self.state {
+            let sample = self.sample_chars(pat);
+            measured_drift = drift(&st.sample_chars, &sample);
+            if self.drift_detector.observe(measured_drift) {
+                self.state = None; // phase change: re-characterize
+            }
+        }
+        // 2. Decide if needed.
+        if self.state.is_none() {
+            characterized = true;
+            self.characterize_and_decide(pat);
+        }
+        let (scheme, predicted, domain) = {
+            let st = self.state.as_ref().unwrap();
+            (st.scheme, st.predicted, st.domain)
+        };
+        // 3. Execute.  The stored inspection is only reusable when no
+        // characterization was skipped on a drifted pattern; sel/lw must
+        // match the *current* pattern exactly, so reuse only when the
+        // pattern is the decision's own (characterized this call) or the
+        // scheme needs no inspection.
+        let t0 = Instant::now();
+        let out = if matches!(scheme, Scheme::Sel | Scheme::Lw) && !characterized {
+            run_scheme(scheme, pat, body, self.threads, None)
+        } else {
+            let st = self.state.as_ref().unwrap();
+            run_scheme(scheme, pat, body, self.threads, Some(&st.inspection))
+        };
+        let elapsed = t0.elapsed();
+        // 4. Evaluate and adapt.
+        self.monitor.record(scheme, elapsed);
+        self.db.record(
+            self.loop_id,
+            domain,
+            Sample { scheme, elapsed, predicted },
+        );
+        let calib = *self
+            .calibration
+            .get_or_insert_with(|| elapsed.as_secs_f64() / predicted.max(1e-12));
+        let measured_units = elapsed.as_secs_f64() / calib.max(1e-300);
+        self.predictor.learn(scheme, predicted, measured_units);
+        // Track the machine calibration with an EMA so cold-start effects
+        // (first-touch pages, cold caches) wash out instead of reading as
+        // permanent model error.
+        self.calibration =
+            Some(0.7 * calib + 0.3 * elapsed.as_secs_f64() / predicted.max(1e-12));
+        let deviation = Deviation::evaluate(predicted, measured_units);
+        let adaptation = self.optimizer.adapt(deviation);
+        match adaptation {
+            Adaptation::Keep | Adaptation::Tune => {}
+            Adaptation::Redecide => {
+                // Re-rank with learned corrections on the stored inspection.
+                if let Some(st) = &self.state {
+                    let input =
+                        ModelInput::from_inspection(&st.inspection, self.lw_feasible);
+                    let ranking = self.predictor.rank(&input);
+                    let (new_scheme, new_pred) = ranking[0];
+                    let st = self.state.as_mut().unwrap();
+                    st.scheme = new_scheme;
+                    st.predicted = new_pred;
+                }
+            }
+            Adaptation::Recharacterize => {
+                self.state = None;
+            }
+        }
+        (
+            out,
+            InvocationLog {
+                scheme,
+                characterized,
+                drift: measured_drift,
+                elapsed,
+                adaptation,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartapps_workloads::pattern::{contribution, sequential_reduce};
+    use smartapps_workloads::{Distribution, PatternSpec};
+
+    fn pattern(n: usize, iters: usize, cov: f64, seed: u64) -> AccessPattern {
+        PatternSpec {
+            num_elements: n,
+            iterations: iters,
+            refs_per_iter: 2,
+            coverage: cov,
+            dist: Distribution::Uniform,
+            seed,
+        }
+        .generate()
+    }
+
+    fn body(_i: usize, r: usize) -> f64 {
+        contribution(r)
+    }
+
+    #[test]
+    fn first_invocation_characterizes_and_is_correct() {
+        let pat = pattern(4096, 20_000, 1.0, 1);
+        let mut ar = AdaptiveReduction::new(1, 4, false);
+        let (out, log) = ar.execute(&pat, &body);
+        assert!(log.characterized);
+        assert_eq!(log.drift, 0.0);
+        let oracle = sequential_reduce(&pat);
+        for (a, b) in oracle.iter().zip(out.iter()) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+        assert!(ar.current_scheme().is_some());
+    }
+
+    #[test]
+    fn stable_pattern_reuses_decision() {
+        let pat = pattern(4096, 20_000, 1.0, 1);
+        let mut ar = AdaptiveReduction::new(1, 4, false);
+        let (_, first) = ar.execute(&pat, &body);
+        assert!(first.characterized);
+        let mut recharacterizations = 0;
+        for _ in 0..5 {
+            let (_, log) = ar.execute(&pat, &body);
+            if log.characterized {
+                recharacterizations += 1;
+            }
+            assert!(log.drift < 0.01, "identical pattern has no drift");
+        }
+        assert!(
+            recharacterizations <= 1,
+            "stable pattern must not re-characterize every call"
+        );
+        assert_eq!(ar.monitor.invocations(), 6);
+        assert!(ar.db.len() >= 6);
+    }
+
+    #[test]
+    fn phase_change_triggers_recharacterization() {
+        // Start dense/high-reuse, then switch to an extremely sparse
+        // pattern: the scheme decision must eventually change.
+        let dense = pattern(2048, 40_000, 1.0, 3);
+        let sparse = pattern(500_000, 600, 0.002, 4);
+        let mut ar = AdaptiveReduction::new(2, 4, false);
+        let (_, dense_log) = ar.execute(&dense, &body);
+        let dense_scheme = dense_log.scheme;
+        let mut saw_recharacterize = false;
+        let mut sparse_scheme = dense_scheme;
+        for _ in 0..4 {
+            let (_, log) = ar.execute(&sparse, &body);
+            saw_recharacterize |= log.characterized;
+            sparse_scheme = log.scheme;
+        }
+        assert!(saw_recharacterize, "sustained drift must re-characterize");
+        assert_ne!(
+            dense_scheme, sparse_scheme,
+            "dense and ultra-sparse patterns demand different schemes"
+        );
+    }
+
+    #[test]
+    fn results_remain_correct_across_adaptations() {
+        let mut ar = AdaptiveReduction::new(3, 3, false);
+        for seed in 0..6 {
+            let pat = pattern(1000 * (1 + seed as usize % 3), 5_000, 0.5, seed);
+            let (out, _) = ar.execute(&pat, &body);
+            let oracle = sequential_reduce(&pat);
+            for (e, (a, b)) in oracle.iter().zip(out.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "seed {seed} elem {e}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lw_only_chosen_when_feasible() {
+        let pat = pattern(8192, 30_000, 1.0, 9);
+        let mut infeasible = AdaptiveReduction::new(4, 4, false);
+        infeasible.execute(&pat, &body);
+        assert_ne!(infeasible.current_scheme(), Some(Scheme::Lw));
+    }
+}

@@ -1,0 +1,158 @@
+//! Performance monitoring and phase-transition detection: the SmartApp
+//! "continuously monitors performance and adapts as necessary".
+
+use serde::{Deserialize, Serialize};
+use smartapps_reductions::Scheme;
+use std::time::Duration;
+
+/// One monitored invocation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Observation {
+    /// Invocation counter.
+    pub invocation: u64,
+    /// Scheme that ran.
+    pub scheme: Scheme,
+    /// Wall time.
+    pub elapsed: Duration,
+}
+
+/// A rolling performance monitor with an exponential moving average per
+/// scheme.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Monitor {
+    history: Vec<Observation>,
+    ema_secs: Option<f64>,
+    alpha: f64,
+}
+
+impl Monitor {
+    /// Create a monitor with smoothing factor `alpha` in (0,1].
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Monitor { history: Vec::new(), ema_secs: None, alpha }
+    }
+
+    /// Record an invocation.
+    pub fn record(&mut self, scheme: Scheme, elapsed: Duration) {
+        let inv = self.history.len() as u64;
+        self.history.push(Observation { invocation: inv, scheme, elapsed });
+        let secs = elapsed.as_secs_f64();
+        self.ema_secs = Some(match self.ema_secs {
+            None => secs,
+            Some(e) => (1.0 - self.alpha) * e + self.alpha * secs,
+        });
+    }
+
+    /// Smoothed invocation time.
+    pub fn ema(&self) -> Option<Duration> {
+        self.ema_secs.map(Duration::from_secs_f64)
+    }
+
+    /// Ratio of the latest observation to the smoothed history (values far
+    /// from 1.0 indicate a slowdown/speedup event).
+    pub fn latest_vs_ema(&self) -> Option<f64> {
+        let last = self.history.last()?.elapsed.as_secs_f64();
+        let ema = self.ema_secs?;
+        if ema > 0.0 {
+            Some(last / ema)
+        } else {
+            None
+        }
+    }
+
+    /// Full observation history.
+    pub fn history(&self) -> &[Observation] {
+        &self.history
+    }
+
+    /// Number of recorded invocations.
+    pub fn invocations(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// Detects phase transitions in a stream of scalar signatures (e.g., the
+/// loop's reference drift or its invocation time): a transition is
+/// declared when the signature stays beyond the threshold for `patience`
+/// consecutive observations — one-off noise does not trigger adaptation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseDetector {
+    threshold: f64,
+    patience: usize,
+    strikes: usize,
+    phases: u64,
+}
+
+impl PhaseDetector {
+    /// `threshold` is the relative-change trigger; `patience` the number
+    /// of consecutive exceedances required.
+    pub fn new(threshold: f64, patience: usize) -> Self {
+        assert!(patience >= 1);
+        PhaseDetector { threshold, patience, strikes: 0, phases: 0 }
+    }
+
+    /// Feed a relative-change observation (0.0 = unchanged); returns true
+    /// when a phase transition is declared (and resets).
+    pub fn observe(&mut self, rel_change: f64) -> bool {
+        if rel_change > self.threshold {
+            self.strikes += 1;
+            if self.strikes >= self.patience {
+                self.strikes = 0;
+                self.phases += 1;
+                return true;
+            }
+        } else {
+            self.strikes = 0;
+        }
+        false
+    }
+
+    /// Number of phase transitions declared so far.
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_smooths_and_flags_outliers() {
+        let mut m = Monitor::new(0.5);
+        for _ in 0..10 {
+            m.record(Scheme::Rep, Duration::from_millis(10));
+        }
+        assert!((m.ema().unwrap().as_millis() as i64 - 10).abs() <= 1);
+        m.record(Scheme::Rep, Duration::from_millis(40));
+        let r = m.latest_vs_ema().unwrap();
+        assert!(r > 1.4, "a 4x spike must stand out: {r}");
+        assert_eq!(m.invocations(), 11);
+        assert_eq!(m.history()[0].invocation, 0);
+    }
+
+    #[test]
+    fn phase_detector_needs_patience() {
+        let mut d = PhaseDetector::new(0.5, 3);
+        assert!(!d.observe(1.0));
+        assert!(!d.observe(1.0));
+        assert!(d.observe(1.0), "third consecutive exceedance fires");
+        assert_eq!(d.phases(), 1);
+        // Noise resets the strike count.
+        assert!(!d.observe(1.0));
+        assert!(!d.observe(0.1));
+        assert!(!d.observe(1.0));
+        assert!(!d.observe(1.0));
+        assert!(d.observe(1.0));
+        assert_eq!(d.phases(), 2);
+    }
+
+    #[test]
+    fn quiet_signal_never_fires() {
+        let mut d = PhaseDetector::new(0.3, 2);
+        for _ in 0..100 {
+            assert!(!d.observe(0.05));
+        }
+        assert_eq!(d.phases(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-version code: the packaged output of the static compiler stage.
+//!
+//! "This adaptive parallel algorithm substitution can be implemented
+//! either through multi-version code (library calls) as is currently done,
+//! or through recompilation."  A [`CompiledReduction`] is the multi-version
+//! form: the recognized reduction statement (from [`mod@crate::recognize`])
+//! bundled with every parallel variant of the library behind an adaptive
+//! dispatcher, plus an interpreter for the contribution expression so the
+//! "unfinished optimization" can be completed once the input data (index
+//! arrays) is known at run time.
+
+use crate::adaptive::{AdaptiveReduction, InvocationLog};
+use crate::recognize::{recognize, ArrayId, Expr, LoopNest, Recognition, ReductionInfo, Rejection};
+use smartapps_workloads::pattern::AccessPattern;
+
+/// Runtime bindings for the loop's input arrays (read-only operands; the
+/// reduction array itself is materialized by the executor).
+#[derive(Debug, Default)]
+pub struct Inputs<'a> {
+    arrays: Vec<(ArrayId, &'a [f64])>,
+}
+
+impl<'a> Inputs<'a> {
+    /// Bind `array` to `data`.
+    pub fn bind(mut self, array: ArrayId, data: &'a [f64]) -> Self {
+        self.arrays.push((array, data));
+        self
+    }
+
+    fn get(&self, array: ArrayId) -> &'a [f64] {
+        self.arrays
+            .iter()
+            .find(|(a, _)| *a == array)
+            .map(|(_, d)| *d)
+            .unwrap_or_else(|| panic!("unbound array {array}"))
+    }
+}
+
+/// Evaluate an IR expression at iteration `i` with bound inputs.
+pub fn eval(e: &Expr, i: usize, inputs: &Inputs<'_>) -> f64 {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::LoopVar => i as f64,
+        Expr::Load { array, index } => {
+            let idx = eval(index, i, inputs);
+            inputs.get(*array)[idx as usize]
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let a = eval(lhs, i, inputs);
+            let b = eval(rhs, i, inputs);
+            match op {
+                crate::recognize::BinOp::Add => a + b,
+                crate::recognize::BinOp::Mul => a * b,
+                crate::recognize::BinOp::Max => a.max(b),
+                crate::recognize::BinOp::Min => a.min(b),
+                crate::recognize::BinOp::Sub => a - b,
+                crate::recognize::BinOp::Div => a / b,
+            }
+        }
+    }
+}
+
+/// The compiled, multi-version form of a recognized reduction loop.
+pub struct CompiledReduction {
+    /// The recognized reduction statement.
+    pub info: ReductionInfo,
+    /// The adaptive dispatcher over the scheme library.
+    pub adaptive: AdaptiveReduction,
+}
+
+impl CompiledReduction {
+    /// "Compile" a loop nest: recognize its (single) reduction statement
+    /// and package the multi-version executor.  Fails with the recognizer's
+    /// rejection if the loop is not a reduction.
+    pub fn compile(
+        l: &LoopNest,
+        loop_id: u64,
+        threads: usize,
+        lw_feasible: bool,
+    ) -> Result<Self, Rejection> {
+        let recs = recognize(l);
+        for r in recs {
+            if let Recognition::Reduction(info) = r {
+                return Ok(CompiledReduction {
+                    info,
+                    adaptive: AdaptiveReduction::new(loop_id, threads, lw_feasible),
+                });
+            }
+        }
+        // Return the first rejection for diagnostics.
+        match recognize(l).into_iter().next() {
+            Some(Recognition::Rejected(rej)) => Err(rej),
+            _ => Err(Rejection::NotSelfUpdate),
+        }
+    }
+
+    /// Run one invocation: evaluate the target index per iteration to
+    /// build the access pattern, then execute adaptively.
+    ///
+    /// `n_elements` is the reduction array dimension; `n_iters` the trip
+    /// count; `inputs` binds every array the loop reads.
+    pub fn run(
+        &mut self,
+        n_elements: usize,
+        n_iters: usize,
+        inputs: &Inputs<'_>,
+    ) -> (Vec<f64>, InvocationLog) {
+        // Finish the "unfinished optimization": materialize the reference
+        // pattern from the now-known input data.
+        let mut lists = Vec::with_capacity(n_iters);
+        for i in 0..n_iters {
+            let idx = eval(&self.info.target_index, i, inputs) as usize;
+            assert!(idx < n_elements, "iteration {i} indexes out of bounds");
+            lists.push(vec![idx as u32]);
+        }
+        let pat = AccessPattern::from_iters(n_elements, &lists);
+        let contribution = &self.info.contribution;
+        let body = |i: usize, _r: usize| eval(contribution, i, inputs);
+        self.adaptive.execute(&pat, &body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognize::build::{histogram_update, indirect_load};
+
+    const W: ArrayId = 0;
+    const X: ArrayId = 1;
+    const F: ArrayId = 2;
+
+    #[test]
+    fn end_to_end_compile_and_run() {
+        // for i { w[x[i]] += f[x[i]] }
+        let l = LoopNest {
+            stmts: vec![histogram_update(W, X, indirect_load(F, X))],
+        };
+        let mut c = CompiledReduction::compile(&l, 42, 4, false).expect("recognized");
+        let n = 64;
+        let iters = 10_000;
+        let x: Vec<f64> = (0..iters).map(|i| ((i * 17) % n) as f64).collect();
+        let f: Vec<f64> = (0..n).map(|e| e as f64 * 0.25).collect();
+        let inputs = Inputs::default().bind(X, &x).bind(F, &f);
+        let (w, log) = c.run(n, iters, &inputs);
+        // Oracle.
+        let mut expect = vec![0.0f64; n];
+        for &xi in x.iter().take(iters) {
+            let idx = xi as usize;
+            expect[idx] += f[idx];
+        }
+        for (e, (a, b)) in expect.iter().zip(w.iter()).enumerate() {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "elem {e}: {a} vs {b}");
+        }
+        assert!(log.characterized);
+    }
+
+    #[test]
+    fn non_reduction_fails_compilation() {
+        let l = LoopNest {
+            stmts: vec![crate::recognize::Stmt {
+                target_array: W,
+                target_index: Expr::LoopVar,
+                value: Expr::Load { array: F, index: Box::new(Expr::LoopVar) },
+            }],
+        };
+        assert!(CompiledReduction::compile(&l, 1, 2, false).is_err());
+    }
+
+    #[test]
+    fn expression_interpreter() {
+        let x = [3.0, 1.0];
+        let inputs = Inputs::default().bind(X, &x);
+        // x[i] * 2 + i
+        let e = Expr::Bin {
+            op: crate::recognize::BinOp::Add,
+            lhs: Box::new(Expr::Bin {
+                op: crate::recognize::BinOp::Mul,
+                lhs: Box::new(Expr::Load { array: X, index: Box::new(Expr::LoopVar) }),
+                rhs: Box::new(Expr::Const(2.0)),
+            }),
+            rhs: Box::new(Expr::LoopVar),
+        };
+        assert_eq!(eval(&e, 0, &inputs), 6.0);
+        assert_eq!(eval(&e, 1, &inputs), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound array")]
+    fn unbound_array_panics() {
+        let inputs = Inputs::default();
+        let e = Expr::Load { array: 9, index: Box::new(Expr::Const(0.0)) };
+        eval(&e, 0, &inputs);
+    }
+}

@@ -1,0 +1,497 @@
+//! Reduction recognition over a small loop IR — the static-compiler stage
+//! of a SmartApp.
+//!
+//! "For certain simple algorithms, which can be automatically recognized,
+//! e.g., reductions, the compiler will insert code that can substitute the
+//! sequential version with a parallel equivalent."  A *reduction variable*
+//! is one whose only use in the loop is `x = x ⊗ exp` with `⊗` associative
+//! and commutative and `x` not occurring in `exp` or anywhere else in the
+//! loop (Section 4, footnote).  This module implements that check over an
+//! expression-tree IR: the recognizer marks each update statement as a
+//! valid reduction or explains why it is not.
+
+use serde::{Deserialize, Serialize};
+
+/// Array identifier in the loop IR.
+pub type ArrayId = u32;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition (associative, commutative).
+    Add,
+    /// Multiplication (associative, commutative).
+    Mul,
+    /// Maximum (associative, commutative).
+    Max,
+    /// Minimum (associative, commutative).
+    Min,
+    /// Subtraction (NOT commutative — not a reduction operator).
+    Sub,
+    /// Division (NOT commutative — not a reduction operator).
+    Div,
+}
+
+impl BinOp {
+    /// Operators admissible in reductions.
+    pub fn is_reduction_op(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Max | BinOp::Min)
+    }
+}
+
+/// Expressions of the loop IR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal.
+    Const(f64),
+    /// The loop induction variable.
+    LoopVar,
+    /// A load `A[index]`.
+    Load {
+        /// Array loaded from.
+        array: ArrayId,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// A binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Does the expression reference `array` anywhere?
+    pub fn references(&self, array: ArrayId) -> bool {
+        match self {
+            Expr::Const(_) | Expr::LoopVar => false,
+            Expr::Load { array: a, index } => *a == array || index.references(array),
+            Expr::Bin { lhs, rhs, .. } => lhs.references(array) || rhs.references(array),
+        }
+    }
+
+    /// All arrays referenced by the expression.
+    pub fn arrays(&self, out: &mut Vec<ArrayId>) {
+        match self {
+            Expr::Const(_) | Expr::LoopVar => {}
+            Expr::Load { array, index } => {
+                out.push(*array);
+                index.arrays(out);
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.arrays(out);
+                rhs.arrays(out);
+            }
+        }
+    }
+}
+
+/// An assignment statement `target_array[target_index] = value`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stmt {
+    /// Array assigned to.
+    pub target_array: ArrayId,
+    /// Index expression of the target.
+    pub target_index: Expr,
+    /// Right-hand side.
+    pub value: Expr,
+}
+
+/// A countable loop body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Body statements, in program order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A recognized reduction statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionInfo {
+    /// Statement index within the loop body.
+    pub stmt: usize,
+    /// The reduction array.
+    pub array: ArrayId,
+    /// The (associative, commutative) operator.
+    pub op: BinOp,
+    /// The target index expression of the update.
+    pub target_index: Expr,
+    /// The contribution expression (`exp` in `x = x ⊗ exp`).
+    pub contribution: Expr,
+}
+
+/// Why a statement failed reduction recognition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rejection {
+    /// The RHS is not `target ⊗ exp` at the top level.
+    NotSelfUpdate,
+    /// The operator is not associative/commutative.
+    NonCommutativeOp,
+    /// The contribution expression references the reduction array.
+    ContributionUsesArray,
+    /// The array is read or written by another statement in the loop.
+    UsedElsewhere,
+    /// Target and self-reference use different index expressions.
+    IndexMismatch,
+}
+
+/// Result of recognizing one statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Recognition {
+    /// A valid reduction.
+    Reduction(ReductionInfo),
+    /// Not a reduction, with the first reason found.
+    Rejected(Rejection),
+}
+
+/// Recognize reduction statements in a loop body.
+pub fn recognize(l: &LoopNest) -> Vec<Recognition> {
+    (0..l.stmts.len()).map(|i| recognize_stmt(l, i)).collect()
+}
+
+fn recognize_stmt(l: &LoopNest, i: usize) -> Recognition {
+    let s = &l.stmts[i];
+    let a = s.target_array;
+    // Shape: value = Bin { op, lhs, rhs } where one side is
+    // Load { a, index == target_index }.
+    let Expr::Bin { op, lhs, rhs } = &s.value else {
+        return Recognition::Rejected(Rejection::NotSelfUpdate);
+    };
+    let self_load = |e: &Expr| -> bool {
+        matches!(e, Expr::Load { array, .. } if *array == a)
+    };
+    let (self_side, contrib) = if self_load(lhs) {
+        (lhs, rhs)
+    } else if self_load(rhs) && matches!(op, BinOp::Add | BinOp::Mul | BinOp::Max | BinOp::Min) {
+        (rhs, lhs)
+    } else {
+        return Recognition::Rejected(Rejection::NotSelfUpdate);
+    };
+    if !op.is_reduction_op() {
+        return Recognition::Rejected(Rejection::NonCommutativeOp);
+    }
+    // The self-reference must use the same index expression.
+    if let Expr::Load { index, .. } = &**self_side {
+        if **index != s.target_index {
+            return Recognition::Rejected(Rejection::IndexMismatch);
+        }
+    }
+    if contrib.references(a) {
+        return Recognition::Rejected(Rejection::ContributionUsesArray);
+    }
+    // The array must not appear anywhere else in the loop.
+    for (j, other) in l.stmts.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        if other.target_array == a
+            || other.target_index.references(a)
+            || other.value.references(a)
+        {
+            return Recognition::Rejected(Rejection::UsedElsewhere);
+        }
+    }
+    Recognition::Reduction(ReductionInfo {
+        stmt: i,
+        array: a,
+        op: *op,
+        target_index: s.target_index.clone(),
+        contribution: (**contrib).clone(),
+    })
+}
+
+/// Distribute a loop containing several reduction operators into one loop
+/// per operator (Section 5.1.4: "any loop that performs several types of
+/// reduction operation must be distributed into multiple loops, so that
+/// each loop performs only one type of reduction operation" — the PCLR
+/// hardware is configured with a single operator per parallel section).
+///
+/// Distribution is only legal when every statement is a recognized
+/// reduction (reductions touch disjoint arrays by the recognizer's
+/// used-elsewhere rule, so any statement ordering is equivalent); loops
+/// with unrecognized statements are returned unchanged.
+pub fn distribute_by_operator(l: &LoopNest) -> Vec<LoopNest> {
+    let recs = recognize(l);
+    let mut infos = Vec::with_capacity(recs.len());
+    for r in recs {
+        match r {
+            Recognition::Reduction(info) => infos.push(info),
+            Recognition::Rejected(_) => return vec![l.clone()],
+        }
+    }
+    // Group statements by operator, preserving program order within groups.
+    let mut groups: Vec<(BinOp, Vec<usize>)> = Vec::new();
+    for info in &infos {
+        match groups.iter_mut().find(|(op, _)| *op == info.op) {
+            Some((_, stmts)) => stmts.push(info.stmt),
+            None => groups.push((info.op, vec![info.stmt])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(_, stmts)| LoopNest {
+            stmts: stmts.into_iter().map(|i| l.stmts[i].clone()).collect(),
+        })
+        .collect()
+}
+
+/// Convenience constructors for IR tests and examples.
+pub mod build {
+    use super::*;
+
+    /// `A[x[i]]` — an indirect load through an index array.
+    pub fn indirect_load(data: ArrayId, idx: ArrayId) -> Expr {
+        Expr::Load {
+            array: data,
+            index: Box::new(Expr::Load { array: idx, index: Box::new(Expr::LoopVar) }),
+        }
+    }
+
+    /// `w[x[i]] = w[x[i]] + contribution` — the canonical histogram update.
+    pub fn histogram_update(w: ArrayId, x: ArrayId, contribution: Expr) -> Stmt {
+        let index = Expr::Load { array: x, index: Box::new(Expr::LoopVar) };
+        Stmt {
+            target_array: w,
+            target_index: index.clone(),
+            value: Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Load { array: w, index: Box::new(index) }),
+                rhs: Box::new(contribution),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    const W: ArrayId = 0;
+    const X: ArrayId = 1;
+    const F: ArrayId = 2;
+
+    #[test]
+    fn canonical_histogram_reduction_recognized() {
+        let l = LoopNest {
+            stmts: vec![histogram_update(W, X, indirect_load(F, X))],
+        };
+        let r = recognize(&l);
+        assert_eq!(r.len(), 1);
+        match &r[0] {
+            Recognition::Reduction(info) => {
+                assert_eq!(info.array, W);
+                assert_eq!(info.op, BinOp::Add);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commuted_operands_recognized() {
+        // w[i] = f[i] + w[i]
+        let idx = Expr::LoopVar;
+        let l = LoopNest {
+            stmts: vec![Stmt {
+                target_array: W,
+                target_index: idx.clone(),
+                value: Expr::Bin {
+                    op: BinOp::Add,
+                    lhs: Box::new(Expr::Load { array: F, index: Box::new(Expr::LoopVar) }),
+                    rhs: Box::new(Expr::Load { array: W, index: Box::new(idx) }),
+                },
+            }],
+        };
+        assert!(matches!(recognize(&l)[0], Recognition::Reduction(_)));
+    }
+
+    #[test]
+    fn subtraction_rejected() {
+        // w[i] = w[i] - f[i] : Sub is not commutative.
+        let idx = Expr::LoopVar;
+        let l = LoopNest {
+            stmts: vec![Stmt {
+                target_array: W,
+                target_index: idx.clone(),
+                value: Expr::Bin {
+                    op: BinOp::Sub,
+                    lhs: Box::new(Expr::Load { array: W, index: Box::new(idx) }),
+                    rhs: Box::new(Expr::Const(1.0)),
+                },
+            }],
+        };
+        assert_eq!(
+            recognize(&l)[0],
+            Recognition::Rejected(Rejection::NonCommutativeOp)
+        );
+    }
+
+    #[test]
+    fn contribution_using_array_rejected() {
+        // w[i] = w[i] + w[j]: the contribution reads the reduction array.
+        let idx = Expr::LoopVar;
+        let l = LoopNest {
+            stmts: vec![Stmt {
+                target_array: W,
+                target_index: idx.clone(),
+                value: Expr::Bin {
+                    op: BinOp::Add,
+                    lhs: Box::new(Expr::Load { array: W, index: Box::new(idx) }),
+                    rhs: Box::new(Expr::Load {
+                        array: W,
+                        index: Box::new(Expr::Const(0.0)),
+                    }),
+                },
+            }],
+        };
+        assert_eq!(
+            recognize(&l)[0],
+            Recognition::Rejected(Rejection::ContributionUsesArray)
+        );
+    }
+
+    #[test]
+    fn array_used_elsewhere_rejected() {
+        let l = LoopNest {
+            stmts: vec![
+                histogram_update(W, X, Expr::Const(1.0)),
+                // Another statement reads w.
+                Stmt {
+                    target_array: F,
+                    target_index: Expr::LoopVar,
+                    value: Expr::Load { array: W, index: Box::new(Expr::LoopVar) },
+                },
+            ],
+        };
+        assert_eq!(
+            recognize(&l)[0],
+            Recognition::Rejected(Rejection::UsedElsewhere)
+        );
+    }
+
+    #[test]
+    fn index_mismatch_rejected() {
+        // w[i] = w[0] + 1 : self-load uses a different index.
+        let l = LoopNest {
+            stmts: vec![Stmt {
+                target_array: W,
+                target_index: Expr::LoopVar,
+                value: Expr::Bin {
+                    op: BinOp::Add,
+                    lhs: Box::new(Expr::Load {
+                        array: W,
+                        index: Box::new(Expr::Const(0.0)),
+                    }),
+                    rhs: Box::new(Expr::Const(1.0)),
+                },
+            }],
+        };
+        assert_eq!(
+            recognize(&l)[0],
+            Recognition::Rejected(Rejection::IndexMismatch)
+        );
+    }
+
+    #[test]
+    fn max_reduction_recognized() {
+        let idx = Expr::LoopVar;
+        let l = LoopNest {
+            stmts: vec![Stmt {
+                target_array: W,
+                target_index: idx.clone(),
+                value: Expr::Bin {
+                    op: BinOp::Max,
+                    lhs: Box::new(Expr::Load { array: W, index: Box::new(idx) }),
+                    rhs: Box::new(Expr::Load { array: F, index: Box::new(Expr::LoopVar) }),
+                },
+            }],
+        };
+        match &recognize(&l)[0] {
+            Recognition::Reduction(info) => assert_eq!(info.op, BinOp::Max),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_copy_rejected() {
+        let l = LoopNest {
+            stmts: vec![Stmt {
+                target_array: W,
+                target_index: Expr::LoopVar,
+                value: Expr::Load { array: F, index: Box::new(Expr::LoopVar) },
+            }],
+        };
+        assert_eq!(recognize(&l)[0], Recognition::Rejected(Rejection::NotSelfUpdate));
+    }
+
+    #[test]
+    fn distribution_splits_by_operator() {
+        // Add-reduction on W, Max-reduction on F: PCLR needs two loops.
+        let max_stmt = Stmt {
+            target_array: F,
+            target_index: Expr::LoopVar,
+            value: Expr::Bin {
+                op: BinOp::Max,
+                lhs: Box::new(Expr::Load { array: F, index: Box::new(Expr::LoopVar) }),
+                rhs: Box::new(Expr::Const(1.0)),
+            },
+        };
+        let l = LoopNest {
+            stmts: vec![
+                histogram_update(W, X, Expr::Const(1.0)),
+                max_stmt.clone(),
+                histogram_update(3, X, Expr::Const(2.0)),
+            ],
+        };
+        let loops = distribute_by_operator(&l);
+        assert_eq!(loops.len(), 2, "Add group and Max group");
+        assert_eq!(loops[0].stmts.len(), 2, "both Add reductions together");
+        assert_eq!(loops[1].stmts, vec![max_stmt]);
+    }
+
+    #[test]
+    fn distribution_keeps_single_op_loops_whole() {
+        let l = LoopNest {
+            stmts: vec![
+                histogram_update(W, X, Expr::Const(1.0)),
+                histogram_update(F, X, Expr::Const(2.0)),
+            ],
+        };
+        let loops = distribute_by_operator(&l);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn distribution_refuses_unrecognized_statements() {
+        let l = LoopNest {
+            stmts: vec![
+                histogram_update(W, X, Expr::Const(1.0)),
+                Stmt {
+                    target_array: F,
+                    target_index: Expr::LoopVar,
+                    value: Expr::Const(0.0), // plain store: not a reduction
+                },
+            ],
+        };
+        let loops = distribute_by_operator(&l);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0], l, "unrecognized statements block distribution");
+    }
+
+    #[test]
+    fn two_reductions_on_different_arrays_both_recognized() {
+        let l = LoopNest {
+            stmts: vec![
+                histogram_update(W, X, Expr::Const(1.0)),
+                histogram_update(F, X, Expr::Const(2.0)),
+            ],
+        };
+        let r = recognize(&l);
+        assert!(matches!(r[0], Recognition::Reduction(_)));
+        assert!(matches!(r[1], Recognition::Reduction(_)));
+    }
+}

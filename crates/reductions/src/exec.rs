@@ -1,0 +1,173 @@
+//! Unified execution front end: dispatch a [`Scheme`] with optional
+//! inspector reuse, and measure scheme rankings the way Figure 3's
+//! experimental column does.
+
+use crate::algorithms;
+use crate::inspect::{Inspection, Inspector};
+use crate::scheme::{RedElem, Scheme};
+use smartapps_workloads::pattern::AccessPattern;
+use std::time::{Duration, Instant};
+
+/// Execute one scheme.  `sel` and `lw` need an inspection; if none is
+/// supplied one is computed (and its cost is the caller's to account).
+pub fn run_scheme<T: RedElem>(
+    scheme: Scheme,
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> T + Sync),
+    threads: usize,
+    insp: Option<&Inspection>,
+) -> Vec<T> {
+    match scheme {
+        Scheme::Seq => algorithms::seq(pat, body),
+        Scheme::Rep => algorithms::rep(pat, body, threads),
+        Scheme::Ll => algorithms::ll(pat, body, threads),
+        Scheme::Hash => algorithms::hash(pat, body, threads),
+        Scheme::Sel => {
+            let own;
+            let insp = match insp {
+                Some(i) => i,
+                None => {
+                    own = Inspector::analyze(pat, threads);
+                    &own
+                }
+            };
+            algorithms::sel(pat, body, threads, &insp.conflicts)
+        }
+        Scheme::Lw => {
+            let own;
+            let insp = match insp {
+                Some(i) => i,
+                None => {
+                    own = Inspector::analyze(pat, threads);
+                    &own
+                }
+            };
+            algorithms::lw(pat, body, threads, &insp.owners)
+        }
+    }
+}
+
+/// Timing result of one scheme execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// Wall time of the best repetition.
+    pub elapsed: Duration,
+}
+
+/// Measure a scheme: run `reps` repetitions and keep the fastest (loops in
+/// the paper's codes are invoked repeatedly; the steady-state invocation
+/// time is what the rankings compare).
+pub fn time_scheme<T: RedElem>(
+    scheme: Scheme,
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> T + Sync),
+    threads: usize,
+    insp: Option<&Inspection>,
+    reps: usize,
+) -> (Vec<T>, Timing) {
+    assert!(reps >= 1);
+    let mut best = Duration::MAX;
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = run_scheme(scheme, pat, body, threads, insp);
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+        }
+    }
+    (out, Timing { scheme, elapsed: best })
+}
+
+/// Measure all parallel schemes plus the sequential baseline, returning
+/// timings sorted fastest-first (the experimental ranking of Figure 3) and
+/// the sequential time for speedup computation.
+///
+/// Schemes whose results disagree with the sequential oracle (beyond FP
+/// tolerance) panic — a wrong answer must never win a ranking.
+pub fn rank_schemes(
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> f64 + Sync),
+    threads: usize,
+    lw_feasible: bool,
+    reps: usize,
+) -> (Vec<Timing>, Duration) {
+    let insp = Inspector::analyze(pat, threads);
+    let (oracle, seq_t) = time_scheme(Scheme::Seq, pat, body, 1, None, reps);
+    let mut timings = Vec::new();
+    for s in Scheme::all_parallel() {
+        if s == Scheme::Lw && !lw_feasible {
+            continue;
+        }
+        let (out, t) = time_scheme(s, pat, body, threads, Some(&insp), reps);
+        for (e, (a, b)) in oracle.iter().zip(out.iter()).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "{s} wrong at element {e}: {a} vs {b}"
+            );
+        }
+        timings.push(t);
+    }
+    timings.sort_by_key(|t| t.elapsed);
+    (timings, seq_t.elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartapps_workloads::pattern::{contribution, sequential_reduce};
+    use smartapps_workloads::{Distribution, PatternSpec};
+
+    fn pat() -> AccessPattern {
+        PatternSpec {
+            num_elements: 2_000,
+            iterations: 4_000,
+            refs_per_iter: 2,
+            coverage: 0.8,
+            dist: Distribution::Uniform,
+            seed: 13,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn run_scheme_dispatches_all() {
+        let p = pat();
+        let body = |_i: usize, r: usize| contribution(r);
+        let oracle = sequential_reduce(&p);
+        for s in [Scheme::Seq, Scheme::Rep, Scheme::Ll, Scheme::Sel, Scheme::Lw, Scheme::Hash]
+        {
+            let got = run_scheme(s, &p, &body, 4, None);
+            for (a, b) in oracle.iter().zip(got.iter()) {
+                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn time_scheme_returns_fastest_rep() {
+        let p = pat();
+        let body = |_i: usize, r: usize| contribution(r);
+        let (_, t) = time_scheme(Scheme::Rep, &p, &body, 2, None, 3);
+        assert!(t.elapsed > Duration::ZERO);
+        assert_eq!(t.scheme, Scheme::Rep);
+    }
+
+    #[test]
+    fn rank_schemes_excludes_infeasible_lw() {
+        let p = pat();
+        let body = |_i: usize, r: usize| contribution(r);
+        let (ranking, seq_t) = rank_schemes(&p, &body, 2, false, 1);
+        assert_eq!(ranking.len(), 4);
+        assert!(ranking.iter().all(|t| t.scheme != Scheme::Lw));
+        assert!(seq_t > Duration::ZERO);
+        // Sorted ascending.
+        for w in ranking.windows(2) {
+            assert!(w[0].elapsed <= w[1].elapsed);
+        }
+        let (with_lw, _) = rank_schemes(&p, &body, 2, true, 1);
+        assert_eq!(with_lw.len(), 5);
+    }
+}

@@ -1,0 +1,58 @@
+//! # smartapps-reductions — adaptive parallel reduction library
+//!
+//! The software half of the SmartApps paper (Section 4): a library of
+//! parallel reduction algorithms, a run-time inspector that characterizes
+//! a loop's memory reference pattern (CH, CHD, CHR, CON, MO, SP, DIM), and
+//! a decision model that selects the algorithm matching the pattern —
+//! reproducing the adaptive scheme validated by Figure 3.
+//!
+//! ## The library
+//!
+//! | scheme | idea |
+//! |--------|------|
+//! | [`Scheme::Rep`]  | replicated private arrays, O(N) init + merge |
+//! | [`Scheme::Ll`]   | replicated buffers with touched-line links |
+//! | [`Scheme::Sel`]  | selective privatization of conflicting elements |
+//! | [`Scheme::Lw`]   | local write (owner computes, iteration replication) |
+//! | [`Scheme::Hash`] | per-thread hash-table accumulation |
+//!
+//! All schemes produce bit-identical results for integer monoids and
+//! tolerance-identical results for floating point, verified against the
+//! sequential oracle by the test suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use smartapps_reductions::{DecisionModel, Inspector, ModelInput, run_scheme};
+//! use smartapps_workloads::{PatternSpec, Distribution, contribution};
+//!
+//! let pat = PatternSpec {
+//!     num_elements: 4096,
+//!     iterations: 20_000,
+//!     refs_per_iter: 2,
+//!     coverage: 1.0,
+//!     dist: Distribution::Uniform,
+//!     seed: 7,
+//! }
+//! .generate();
+//!
+//! // Inspect, decide, execute.
+//! let insp = Inspector::analyze(&pat, 4);
+//! let model = DecisionModel::default();
+//! let choice = model.decide(&ModelInput::from_inspection(&insp, false)).best();
+//! let w = run_scheme(choice, &pat, &|_i, r| contribution(r), 4, Some(&insp));
+//! assert_eq!(w.len(), 4096);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod exec;
+pub mod inspect;
+pub mod model;
+pub mod scheme;
+
+pub use exec::{rank_schemes, run_scheme, time_scheme, Timing};
+pub use inspect::{ConflictInfo, Inspection, Inspector, OwnerLists};
+pub use model::{DecisionModel, ModelInput, ModelParams, Prediction};
+pub use scheme::{RedElem, Scheme, UnsafeSlice};

@@ -1,0 +1,411 @@
+//! The decision model: predict each reduction scheme's cost from measured
+//! pattern characteristics and pick the best match.
+//!
+//! "To make this choice we use a decision algorithm that takes as input
+//! measured, real, code characteristics, and a library of available
+//! techniques, and selects an algorithm for the given instance."
+//!
+//! The model charges every scheme the common loop-body work and then its
+//! scheme-specific costs:
+//!
+//! * `rep` — private-array initialization (O(N) stores), cache behaviour
+//!   of the touched private footprint, and an O(N) merge that does not
+//!   shrink with more processors;
+//! * `ll` — lazy initialization via touched-line links (no O(N) init), a
+//!   per-reference link-maintenance overhead, and a merge proportional to
+//!   the touched lines;
+//! * `sel` — an inspector pass, a per-reference indirection through the
+//!   element→compact map (whose footprint scales with N, the reason `sel`
+//!   degrades on huge arrays it does not pay O(N) sweeps for), and a merge
+//!   proportional to the conflicting elements;
+//! * `lw` — an inspector pass plus *iteration replication*: the loop body
+//!   re-executes once per owner of each iteration's references;
+//! * `hash` — a per-reference hashing overhead with a working set
+//!   proportional to the referenced (not dimensioned) elements, and a
+//!   merge proportional to the distinct elements.
+//!
+//! Constants are calibrated for this crate's implementations (see
+//! `ModelParams`); the same procedure the original system used — model
+//! constants measured on the target machine, inputs measured at run time.
+
+use crate::inspect::Inspection;
+use crate::scheme::Scheme;
+use serde::{Deserialize, Serialize};
+use smartapps_workloads::PatternChars;
+
+/// Calibration constants (abstract cost units per operation; only ratios
+/// matter).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Cost of one private-array element store during `rep` init.
+    pub init_store: f64,
+    /// Cost of one element visit during the `rep` merge (loads from P
+    /// partial arrays amortized per element, plus the store).
+    pub rep_merge_elem: f64,
+    /// Per-reference link-bitmap maintenance overhead of `ll`.
+    pub ll_link_overhead: f64,
+    /// Per-touched-line merge cost of `ll` (8 combines + stripe lock).
+    pub ll_merge_line: f64,
+    /// Per-reference compact-map indirection overhead of `sel`.
+    pub sel_indirect: f64,
+    /// Per-conflicting-element merge cost of `sel`.
+    pub sel_merge_elem: f64,
+    /// Per-reference hashing overhead factor of `hash` (relative to a
+    /// plain cached update).
+    pub hash_per_ref: f64,
+    /// Per-distinct-element merge cost of `hash`.
+    pub hash_merge_elem: f64,
+    /// Inspector cost per reference (one characterization pass).
+    pub inspector_per_ref: f64,
+    /// Per-scanned-reference ownership test in `lw` (replicated iterations
+    /// scan all their references but commit only the owned ones).
+    pub lw_scan: f64,
+    /// Body work per reduction reference (address generation plus the
+    /// contribution's flops).
+    pub body_per_ref: f64,
+    /// Fixed body work per iteration.
+    pub body_per_iter: f64,
+    /// Base cost of one update hitting in cache.
+    pub update_hit: f64,
+    /// Additional cost of one update missing the cache.
+    pub update_miss_penalty: f64,
+    /// Cache capacity per processor, bytes (paper's L2: 512 KB).
+    pub cache_bytes: f64,
+    /// Invocation count the inspector amortizes over (reduction loops are
+    /// typically re-entered many times per run; Table 2 shows up to 3855).
+    pub amortize_invocations: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            init_store: 1.0,
+            rep_merge_elem: 2.0,
+            ll_link_overhead: 0.55,
+            ll_merge_line: 10.0,
+            sel_indirect: 0.5,
+            sel_merge_elem: 2.5,
+            hash_per_ref: 2.5,
+            hash_merge_elem: 4.0,
+            inspector_per_ref: 1.5,
+            lw_scan: 0.25,
+            body_per_ref: 3.0,
+            body_per_iter: 2.0,
+            update_hit: 1.0,
+            update_miss_penalty: 2.0,
+            cache_bytes: 512.0 * 1024.0,
+            amortize_invocations: 5.0,
+        }
+    }
+}
+
+impl ModelParams {
+    /// Per-access cost for a working set of `bytes`: `update_hit` while it
+    /// fits in cache, growing smoothly to `update_hit +
+    /// update_miss_penalty` when it exceeds cache several-fold.
+    pub fn locality_cost(&self, bytes: f64) -> f64 {
+        if bytes <= self.cache_bytes {
+            self.update_hit
+        } else {
+            let overflow = (bytes / self.cache_bytes).log2().min(3.0) / 3.0;
+            self.update_hit + self.update_miss_penalty * overflow
+        }
+    }
+}
+
+/// Everything the model needs about one loop instance.
+#[derive(Debug, Clone)]
+pub struct ModelInput {
+    /// Measured characterization (MO, CON, SP, CH...).
+    pub chars: PatternChars,
+    /// Number of conflicting elements under block scheduling (from the
+    /// inspector; estimated from CH if unavailable).
+    pub conflicting: usize,
+    /// Iteration replication factor for owner-computes (from the
+    /// inspector; estimated from MO if unavailable).
+    pub replication: f64,
+    /// Processor count.
+    pub threads: usize,
+    /// Whether local write is applicable (iteration replication is illegal
+    /// when the loop body has other side effects).
+    pub lw_feasible: bool,
+}
+
+impl ModelInput {
+    /// Build from a full inspection.
+    pub fn from_inspection(insp: &Inspection, lw_feasible: bool) -> Self {
+        ModelInput {
+            chars: insp.chars.clone(),
+            conflicting: insp.conflicts.num_conflicting,
+            replication: insp.owners.replication,
+            threads: insp.conflicts.threads,
+            lw_feasible,
+        }
+    }
+
+    /// Estimate the conflicting-element count from the CH histogram when
+    /// no inspector ran: an element with k references spread uniformly
+    /// over P blocks stays conflict-free with probability ~P^(1-k).
+    pub fn estimate_conflicts(chars: &PatternChars, threads: usize) -> usize {
+        let p = threads as f64;
+        let mut c = 0.0;
+        for (b, &count) in chars.ch.iter().enumerate() {
+            let k = (b + 1) as f64;
+            let conflict_prob = 1.0 - p.powf(1.0 - k);
+            c += count as f64 * conflict_prob.max(0.0);
+        }
+        c.round() as usize
+    }
+
+    /// Estimate the replication factor from MO: expected owner blocks hit
+    /// by MO uniform references.
+    pub fn estimate_replication(chars: &PatternChars, threads: usize) -> f64 {
+        let p = threads as f64;
+        (p * (1.0 - (1.0 - 1.0 / p).powf(chars.mo))).max(1.0)
+    }
+}
+
+/// A predicted cost ranking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Schemes with predicted per-processor costs, ascending (best first).
+    pub ranking: Vec<(Scheme, f64)>,
+}
+
+impl Prediction {
+    /// The recommended scheme.
+    pub fn best(&self) -> Scheme {
+        self.ranking[0].0
+    }
+
+    /// Predicted cost of a scheme.
+    pub fn cost_of(&self, s: Scheme) -> Option<f64> {
+        self.ranking.iter().find(|(x, _)| *x == s).map(|(_, c)| *c)
+    }
+}
+
+/// The decision model.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionModel {
+    /// Calibration constants.
+    pub params: ModelParams,
+}
+
+impl DecisionModel {
+    /// Build with custom constants.
+    pub fn new(params: ModelParams) -> Self {
+        DecisionModel { params }
+    }
+
+    /// Predict the per-processor cost of one scheme.
+    pub fn predict(&self, s: Scheme, input: &ModelInput) -> f64 {
+        let q = &self.params;
+        let c = &input.chars;
+        let p = input.threads.max(1) as f64;
+        let n = c.num_elements as f64;
+        let r = c.references as f64;
+        let d = c.distinct as f64;
+        let iters = c.iterations as f64;
+        // Common loop-body work, perfectly parallel.
+        let body = (iters * q.body_per_iter + r * q.body_per_ref) / p;
+        // Touched private footprint per thread.
+        let d_t = d.min(r / p);
+        let insp = r * q.inspector_per_ref / q.amortize_invocations / p;
+        match s {
+            Scheme::Seq => iters * q.body_per_iter + r * (q.body_per_ref + q.update_hit),
+            Scheme::Rep => {
+                let upd = q.locality_cost(d_t * 8.0);
+                q.init_store * n + body + (r / p) * upd + q.rep_merge_elem * n
+            }
+            Scheme::Ll => {
+                // Touched lines per thread: disjoint regions when the
+                // pattern partitions cleanly (low conflicts), shared
+                // everywhere when it scatters (high conflicts).
+                let lines = c.distinct_lines as f64;
+                let cf = if d > 0.0 { input.conflicting as f64 / d } else { 0.0 };
+                let lines_t = (r / p).min(lines * (cf + (1.0 - cf) / p));
+                let upd = q.locality_cost(lines_t * 64.0) + q.ll_link_overhead;
+                body + (r / p) * upd + q.ll_merge_line * lines_t
+            }
+            Scheme::Sel => {
+                let conf = input.conflicting as f64;
+                // The compact map (4 bytes/element over the whole array)
+                // plus the directly-updated shared elements.
+                let upd =
+                    q.locality_cost(n * 4.0 + d_t * 8.0) + q.sel_indirect;
+                insp + body + (r / p) * upd + q.sel_merge_elem * conf
+            }
+            Scheme::Lw => {
+                if !input.lw_feasible {
+                    return f64::INFINITY;
+                }
+                // Owner blocks partition the array: footprint N/P.  Only
+                // the iteration scaffolding replicates; contributions are
+                // computed once per reference (each thread evaluates only
+                // the refs it owns).
+                let upd = q.locality_cost(n / p * 8.0);
+                insp + input.replication * (iters * q.body_per_iter) / p
+                    + input.replication * (r / p) * q.lw_scan
+                    + (r / p) * (q.body_per_ref + upd)
+            }
+            Scheme::Hash => {
+                // Table entries are ~16 bytes (key + value); the resident
+                // working set follows the *hot* reference mass (CH tail),
+                // not the raw distinct count — under contention the table
+                // stays cache-sized while arrays do not.
+                let d_hot = (c.effective_distinct(0.9) as f64).min(r / p);
+                let upd = q.locality_cost(d_hot * 16.0) * q.hash_per_ref;
+                body + (r / p) * upd + q.hash_merge_elem * d_t
+            }
+        }
+    }
+
+    /// Rank all parallel schemes for the given instance.
+    pub fn decide(&self, input: &ModelInput) -> Prediction {
+        let mut ranking: Vec<(Scheme, f64)> = Scheme::all_parallel()
+            .into_iter()
+            .map(|s| (s, self.predict(s, input)))
+            .collect();
+        ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
+        Prediction { ranking }
+    }
+
+    /// Predicted parallel speedup of a scheme over sequential execution.
+    pub fn predicted_speedup(&self, s: Scheme, input: &ModelInput) -> f64 {
+        let seq = self.predict(Scheme::Seq, input);
+        let par = self.predict(s, input);
+        if par.is_finite() && par > 0.0 {
+            seq / par
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartapps_workloads::{Distribution, PatternSpec};
+
+    fn chars_for(n: usize, iters: usize, mo: usize, coverage: f64) -> PatternChars {
+        let pat = PatternSpec {
+            num_elements: n,
+            iterations: iters,
+            refs_per_iter: mo,
+            coverage,
+            dist: Distribution::Uniform,
+            seed: 1,
+        }
+        .generate();
+        PatternChars::measure(&pat)
+    }
+
+    fn input(chars: PatternChars, threads: usize, lw: bool) -> ModelInput {
+        let conflicting = ModelInput::estimate_conflicts(&chars, threads);
+        let replication = ModelInput::estimate_replication(&chars, threads);
+        ModelInput { chars, conflicting, replication, threads, lw_feasible: lw }
+    }
+
+    #[test]
+    fn dense_high_reuse_prefers_rep_family() {
+        // Small array, massive reuse: private arrays amortize fully.
+        let c = chars_for(10_000, 500_000, 2, 1.0);
+        let m = DecisionModel::default();
+        let pred = m.decide(&input(c, 8, false));
+        assert!(
+            matches!(pred.best(), Scheme::Rep | Scheme::Ll),
+            "got {:?}",
+            pred.ranking
+        );
+    }
+
+    #[test]
+    fn extremely_sparse_prefers_hash() {
+        // SPICE shape: huge dimension, tiny touched set, almost no reuse.
+        let c = chars_for(200_000, 10, 28, 0.0015);
+        let m = DecisionModel::default();
+        let pred = m.decide(&input(c, 8, false));
+        assert_eq!(pred.best(), Scheme::Hash, "ranking: {:?}", pred.ranking);
+        // And by a wide margin over rep, which pays O(N) sweeps.
+        let hash = pred.cost_of(Scheme::Hash).unwrap();
+        let rep = pred.cost_of(Scheme::Rep).unwrap();
+        assert!(rep > 5.0 * hash, "rep {rep} vs hash {hash}");
+    }
+
+    #[test]
+    fn lw_infeasible_is_never_recommended() {
+        let c = chars_for(50_000, 100_000, 2, 0.3);
+        let m = DecisionModel::default();
+        let inp = input(c, 8, false);
+        assert!(m.predict(Scheme::Lw, &inp).is_infinite());
+        assert_ne!(m.decide(&inp).best(), Scheme::Lw);
+    }
+
+    #[test]
+    fn growing_dimension_moves_away_from_rep() {
+        // Same touched volume, growing dimension: rep's O(N) init+merge
+        // eventually loses.
+        let m = DecisionModel::default();
+        let small = m.decide(&input(chars_for(20_000, 200_000, 2, 1.0), 8, false));
+        let large = m.decide(&input(chars_for(2_000_000, 10_000, 2, 0.0025), 8, false));
+        let rep_rank_small =
+            small.ranking.iter().position(|(s, _)| *s == Scheme::Rep).unwrap();
+        let rep_rank_large =
+            large.ranking.iter().position(|(s, _)| *s == Scheme::Rep).unwrap();
+        assert!(
+            rep_rank_large > rep_rank_small,
+            "rep rank should drop: {:?} -> {:?}",
+            small.ranking,
+            large.ranking
+        );
+        assert!(matches!(large.best(), Scheme::Sel | Scheme::Hash));
+    }
+
+    #[test]
+    fn predicted_speedup_positive_and_bounded() {
+        let c = chars_for(10_000, 100_000, 2, 1.0);
+        let m = DecisionModel::default();
+        let inp = input(c, 8, true);
+        for s in Scheme::all_parallel() {
+            let sp = m.predicted_speedup(s, &inp);
+            assert!((0.0..=16.0).contains(&sp), "{s}: {sp}");
+        }
+        assert!(m.predicted_speedup(Scheme::Rep, &inp) > 1.0);
+    }
+
+    #[test]
+    fn conflict_estimate_matches_intuition() {
+        let c = chars_for(10_000, 40_000, 1, 1.0);
+        // With high reuse, most elements conflict under 8 threads.
+        let est = ModelInput::estimate_conflicts(&c, 8);
+        assert!(est > c.distinct / 2, "est {est} of {}", c.distinct);
+        // With single references, nothing conflicts.
+        let c1 = chars_for(100_000, 10_000, 1, 1.0);
+        // Most elements have exactly 1 reference here.
+        let est1 = ModelInput::estimate_conflicts(&c1, 8);
+        assert!(est1 < c1.distinct / 4, "est1 {est1} of {}", c1.distinct);
+    }
+
+    #[test]
+    fn replication_estimate_bounds() {
+        let c = chars_for(1_000, 1_000, 2, 1.0);
+        for p in [1usize, 2, 8, 16] {
+            let f = ModelInput::estimate_replication(&c, p);
+            assert!((1.0..=2.0 + 1e-9).contains(&f), "p={p}: {f}");
+        }
+        let c28 = chars_for(10_000, 100, 28, 1.0);
+        let f = ModelInput::estimate_replication(&c28, 8);
+        assert!(f > 7.0, "MO=28 over 8 threads replicates to almost all: {f}");
+    }
+
+    #[test]
+    fn locality_cost_is_monotone() {
+        let q = ModelParams::default();
+        let a = q.locality_cost(100.0 * 1024.0);
+        let b = q.locality_cost(1024.0 * 1024.0);
+        let c = q.locality_cost(16.0 * 1024.0 * 1024.0);
+        assert!(a <= b && b <= c);
+        assert_eq!(a, q.update_hit);
+        assert!(c <= q.update_hit + q.update_miss_penalty + 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Decision-model validation against the Figure 3 rows.
+use smartapps_reductions::{DecisionModel, Inspector, ModelInput};
+use smartapps_workloads::fig3_rows;
+
+#[test]
+fn report_fig3_predictions() {
+    let model = DecisionModel::default();
+    let mut hits_rec = 0;
+    let mut hits_best = 0;
+    let rows = fig3_rows();
+    for row in &rows {
+        let pat = row.pattern(1234);
+        let insp = Inspector::analyze(&pat, 8);
+        let input = ModelInput::from_inspection(&insp, row.lw_feasible);
+        let pred = model.decide(&input);
+        let ours = pred.best().abbrev();
+        if ours == row.recommended_paper { hits_rec += 1; }
+        if ours == row.best_paper { hits_best += 1; }
+        eprintln!(
+            "{:8} N={:9} SP={:6.2} CON={:7.2} | paper rec={:4} best={:4} | ours={:4} ranking={:?}",
+            row.app, row.n, row.sp_pct, row.con, row.recommended_paper, row.best_paper, ours,
+            pred.ranking.iter().map(|(s, c)| format!("{s}:{:.2e}", c)).collect::<Vec<_>>()
+        );
+    }
+    eprintln!("matches paper-recommended: {hits_rec}/16, paper-measured-best: {hits_best}/16");
+    // The paper's own decision model agreed with its measured-best scheme
+    // on 12/16 rows; our model against the (ambiguously normalized)
+    // published inputs must stay in that regime.
+    assert!(hits_rec >= 9, "model matches only {hits_rec}/16 paper recommendations");
+    assert!(hits_best >= 9, "model matches only {hits_best}/16 paper measured-best");
+}
+
+/// The structural crossover claims of Figure 3 must hold regardless of
+/// constant tuning: within each application, growing the array (falling
+/// SP/CON) moves the recommendation away from full replication.
+#[test]
+fn crossovers_within_each_app() {
+    use smartapps_reductions::Scheme;
+    let model = DecisionModel::default();
+    for app in ["Irreg", "Nbf", "Moldyn"] {
+        let rows: Vec<_> = fig3_rows().into_iter().filter(|r| r.app == app).collect();
+        let rank_of_rep: Vec<usize> = rows
+            .iter()
+            .map(|row| {
+                let pat = row.pattern(99);
+                let insp = Inspector::analyze(&pat, 8);
+                let pred = model.decide(&ModelInput::from_inspection(&insp, row.lw_feasible));
+                pred.ranking.iter().position(|(s, _)| *s == Scheme::Rep).unwrap()
+            })
+            .collect();
+        // rep never improves its rank as the array grows within an app.
+        for w in rank_of_rep.windows(2) {
+            assert!(w[0] <= w[1], "{app}: rep rank regressed: {rank_of_rep:?}");
+        }
+        // First row keeps rep competitive (top 3); last row rejects it.
+        assert!(rank_of_rep[0] <= 2, "{app}: {rank_of_rep:?}");
+        assert!(*rank_of_rep.last().unwrap() >= 3, "{app}: {rank_of_rep:?}");
+    }
+}
+

@@ -1,0 +1,206 @@
+//! Physical addresses, cache-line geometry and the PCLR shadow address
+//! space (Section 5.1.5 of the paper).
+//!
+//! The advanced PCLR scheme identifies reduction accesses by *shadow
+//! addresses*: the reduction code accesses a shadow array mapped to
+//! physical addresses that do not contain installed memory but differ from
+//! the corresponding real addresses "in a known manner" (the paper suggests
+//! flipping the most significant bit).  A directory controller that sees an
+//! access to nonexistent memory knows (a) it is a reduction access and (b)
+//! which real location it aliases.
+
+/// A physical byte address.
+pub type Addr = u64;
+
+/// A cache-line address (byte address >> line shift).
+pub type LineAddr = u64;
+
+/// Bit used to mark the shadow (reduction) address space.  Any address with
+/// this bit set refers to nonexistent physical memory and is interpreted by
+/// the directory controllers as a reduction access to the aliased real
+/// address.
+pub const SHADOW_BIT: u64 = 1 << 40;
+
+/// Returns the shadow alias of a real address.
+#[inline]
+pub fn to_shadow(a: Addr) -> Addr {
+    a | SHADOW_BIT
+}
+
+/// Strips the shadow bit, recovering the real address.
+#[inline]
+pub fn from_shadow(a: Addr) -> Addr {
+    a & !SHADOW_BIT
+}
+
+/// True if the address lies in the shadow (reduction) space.
+#[inline]
+pub fn is_shadow(a: Addr) -> bool {
+    a & SHADOW_BIT != 0
+}
+
+/// Line/page geometry helper derived from the machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometry {
+    line_shift: u32,
+    page_shift: u32,
+}
+
+impl Geometry {
+    /// Build a geometry from line and page sizes (both powers of two).
+    pub fn new(line_size: usize, page_size: usize) -> Self {
+        debug_assert!(line_size.is_power_of_two());
+        debug_assert!(page_size.is_power_of_two());
+        Geometry {
+            line_shift: line_size.trailing_zeros(),
+            page_shift: page_size.trailing_zeros(),
+        }
+    }
+
+    /// The cache line containing `a`.
+    #[inline]
+    pub fn line_of(&self, a: Addr) -> LineAddr {
+        a >> self.line_shift
+    }
+
+    /// First byte address of a line.
+    #[inline]
+    pub fn line_base(&self, l: LineAddr) -> Addr {
+        l << self.line_shift
+    }
+
+    /// The page containing `a`.
+    #[inline]
+    pub fn page_of(&self, a: Addr) -> u64 {
+        a >> self.page_shift
+    }
+
+    /// The page containing line `l`.
+    #[inline]
+    pub fn page_of_line(&self, l: LineAddr) -> u64 {
+        self.line_base(l) >> self.page_shift
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_size(&self) -> usize {
+        1 << self.line_shift
+    }
+
+    /// Byte offset of `a` within its line.
+    #[inline]
+    pub fn line_offset(&self, a: Addr) -> usize {
+        (a & ((1 << self.line_shift) - 1)) as usize
+    }
+
+    /// Index of the 8-byte element of `a` within its line.
+    #[inline]
+    pub fn elem_in_line(&self, a: Addr) -> usize {
+        self.line_offset(a) / 8
+    }
+}
+
+/// Memory-map constants for trace generation.  Regions are far enough apart
+/// that workloads of any realistic size never overlap.
+pub mod regions {
+    use super::Addr;
+
+    /// Base of the shared reduction array.
+    pub const SHARED_RED: Addr = 0x1000_0000;
+    /// Base of per-processor private arrays; processor `p`'s region starts
+    /// at `PRIVATE + p * PRIVATE_STRIDE`.
+    pub const PRIVATE: Addr = 0x4000_0000;
+    /// Separation between consecutive processors' private regions.
+    pub const PRIVATE_STRIDE: Addr = 0x0400_0000;
+    /// Base of read-only pattern/index data (interaction lists, meshes).
+    pub const PATTERN: Addr = 0x9000_0000;
+    /// Separation between processors' pattern-stream regions.
+    pub const PATTERN_STRIDE: Addr = 0x0400_0000;
+    /// Base of auxiliary per-iteration input data (coordinates, fields).
+    pub const INPUT: Addr = 0xc000_0000;
+
+    /// Address of element `i` (8-byte elements) of the shared array.
+    #[inline]
+    pub fn shared_elem(i: u64) -> Addr {
+        SHARED_RED + i * 8
+    }
+
+    /// Address of element `i` of processor `p`'s private array.
+    #[inline]
+    pub fn private_elem(p: usize, i: u64) -> Addr {
+        PRIVATE + p as Addr * PRIVATE_STRIDE + i * 8
+    }
+
+    /// Address in processor `p`'s streaming pattern region.
+    #[inline]
+    pub fn pattern_stream(p: usize, byte: u64) -> Addr {
+        PATTERN + p as Addr * PATTERN_STRIDE + byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_roundtrip() {
+        let a = 0x1234_5678;
+        assert!(!is_shadow(a));
+        let s = to_shadow(a);
+        assert!(is_shadow(s));
+        assert_eq!(from_shadow(s), a);
+        // Idempotent.
+        assert_eq!(to_shadow(s), s);
+        assert_eq!(from_shadow(a), a);
+    }
+
+    #[test]
+    fn shadow_space_is_disjoint_from_real_regions() {
+        for a in [regions::SHARED_RED, regions::PRIVATE, regions::PATTERN, regions::INPUT] {
+            assert!(!is_shadow(a));
+            assert!(is_shadow(to_shadow(a)));
+        }
+    }
+
+    #[test]
+    fn geometry_line_and_page() {
+        let g = Geometry::new(64, 4096);
+        assert_eq!(g.line_of(0), 0);
+        assert_eq!(g.line_of(63), 0);
+        assert_eq!(g.line_of(64), 1);
+        assert_eq!(g.line_base(1), 64);
+        assert_eq!(g.page_of(4095), 0);
+        assert_eq!(g.page_of(4096), 1);
+        assert_eq!(g.page_of_line(g.line_of(4096)), 1);
+        assert_eq!(g.line_size(), 64);
+    }
+
+    #[test]
+    fn geometry_offsets() {
+        let g = Geometry::new(64, 4096);
+        assert_eq!(g.line_offset(0x40), 0);
+        assert_eq!(g.line_offset(0x47), 7);
+        assert_eq!(g.elem_in_line(0x40), 0);
+        assert_eq!(g.elem_in_line(0x48), 1);
+        assert_eq!(g.elem_in_line(0x78), 7);
+    }
+
+    #[test]
+    fn shadow_line_maps_to_real_line() {
+        let g = Geometry::new(64, 4096);
+        let a = regions::shared_elem(1234);
+        assert_eq!(g.line_of(from_shadow(to_shadow(a))), g.line_of(a));
+    }
+
+    #[test]
+    fn private_regions_do_not_collide() {
+        // 16 processors, 32 MiB arrays each: still disjoint.
+        let top_p15 = regions::private_elem(15, (32 << 20) / 8 - 1);
+        assert!(top_p15 < regions::PATTERN);
+        for p in 0..15usize {
+            let hi = regions::private_elem(p, regions::PRIVATE_STRIDE / 8 - 1);
+            let lo_next = regions::private_elem(p + 1, 0);
+            assert!(hi < lo_next);
+        }
+    }
+}

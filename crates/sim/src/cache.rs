@@ -1,0 +1,395 @@
+//! Set-associative write-back caches with the extra PCLR **Reduction**
+//! state (Section 5.1.1).
+//!
+//! Lines in the `Reduction` state are non-coherent: the processor reads and
+//! writes them without invalidations even though other processors may cache
+//! the same memory line.  Misses by reduction accesses and displacements of
+//! reduction lines trigger the special PCLR transactions handled by the
+//! directory controllers.
+
+use crate::addr::LineAddr;
+use crate::config::CacheConfig;
+
+/// Cache line coherence states.  `Modified` covers both the exclusive and
+/// dirty cases of a DASH-like protocol (we model an MSI base protocol,
+/// which is sufficient for the traffic classes the paper measures), and
+/// `Reduction` is the PCLR private-accumulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Present, read-only, possibly shared with other caches.
+    Shared,
+    /// Present, writable, dirty with respect to memory.
+    Modified,
+    /// PCLR reduction state: non-coherent private accumulation storage.
+    Reduction,
+}
+
+/// One resident cache line.
+#[derive(Debug, Clone, Copy)]
+pub struct Line {
+    /// Line address (byte address >> line shift).
+    pub addr: LineAddr,
+    /// Coherence state.
+    pub state: LineState,
+    /// Pinned lines are skipped by victim selection (`load&pin`).
+    pub pinned: bool,
+    /// LRU timestamp.
+    lru: u64,
+    /// Data payload (raw 8-byte elements); maintained only when value
+    /// tracking is enabled.
+    pub data: [u64; 8],
+}
+
+/// The outcome of inserting a line: a displaced victim, if any.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Victim {
+    /// The displaced line address.
+    pub addr: LineAddr,
+    /// Its state at displacement.
+    pub state: LineState,
+    /// Its payload.
+    pub data: [u64; 8],
+}
+
+/// A set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    assoc: usize,
+    set_mask: u64,
+    tick: u64,
+    /// Number of resident lines in `Reduction` state (kept incrementally so
+    /// flush cost accounting is O(1)).
+    red_lines: usize,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two());
+        Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.assoc)).collect(),
+            assoc: cfg.assoc,
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            red_lines: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, l: LineAddr) -> usize {
+        (l & self.set_mask) as usize
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Lines currently in the `Reduction` state.
+    pub fn reduction_lines(&self) -> usize {
+        self.red_lines
+    }
+
+    /// Look up a line, updating LRU on hit.  Returns its state.
+    pub fn lookup(&mut self, l: LineAddr) -> Option<LineState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(l);
+        self.sets[set].iter_mut().find(|ln| ln.addr == l).map(|ln| {
+            ln.lru = tick;
+            ln.state
+        })
+    }
+
+    /// Look up without touching LRU (for snoops from the protocol side).
+    pub fn probe(&self, l: LineAddr) -> Option<LineState> {
+        let set = self.set_of(l);
+        self.sets[set].iter().find(|ln| ln.addr == l).map(|ln| ln.state)
+    }
+
+    /// Mutable access to a resident line (protocol actions, data updates).
+    pub fn line_mut(&mut self, l: LineAddr) -> Option<&mut Line> {
+        let set = self.set_of(l);
+        self.sets[set].iter_mut().find(|ln| ln.addr == l)
+    }
+
+    /// Change the state of a resident line.  Returns false if not present.
+    pub fn set_state(&mut self, l: LineAddr, st: LineState) -> bool {
+        let set = self.set_of(l);
+        if let Some(ln) = self.sets[set].iter_mut().find(|ln| ln.addr == l) {
+            if ln.state == LineState::Reduction && st != LineState::Reduction {
+                self.red_lines -= 1;
+            } else if ln.state != LineState::Reduction && st == LineState::Reduction {
+                self.red_lines += 1;
+            }
+            ln.state = st;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a line (invalidation or recall).  Returns it if present.
+    pub fn invalidate(&mut self, l: LineAddr) -> Option<Line> {
+        let set = self.set_of(l);
+        let pos = self.sets[set].iter().position(|ln| ln.addr == l)?;
+        let ln = self.sets[set].swap_remove(pos);
+        if ln.state == LineState::Reduction {
+            self.red_lines -= 1;
+        }
+        Some(ln)
+    }
+
+    /// Insert a line, evicting an unpinned LRU victim if the set is full.
+    ///
+    /// Reduction lines are not given replacement priority by default; the
+    /// paper relies on ordinary LRU so that reduction lines displaced during
+    /// the loop are combined in the background.  Pinned lines are never
+    /// victims.
+    pub fn insert(&mut self, l: LineAddr, st: LineState, data: [u64; 8]) -> Option<Victim> {
+        self.tick += 1;
+        let tick = self.tick;
+        let assoc = self.assoc;
+        let set = self.set_of(l);
+        debug_assert!(
+            self.sets[set].iter().all(|ln| ln.addr != l),
+            "insert of already-resident line {l:#x}"
+        );
+        let mut victim = None;
+        if self.sets[set].len() >= assoc {
+            // Choose the LRU unpinned way.
+            let candidates = &self.sets[set];
+            let vi = candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, ln)| !ln.pinned)
+                .min_by_key(|(_, ln)| ln.lru)
+                .map(|(i, _)| i);
+            match vi {
+                Some(i) => {
+                    let v = self.sets[set].swap_remove(i);
+                    if v.state == LineState::Reduction {
+                        self.red_lines -= 1;
+                    }
+                    victim = Some(Victim { addr: v.addr, state: v.state, data: v.data });
+                }
+                None => {
+                    // Entire set pinned: the insert fails silently; callers
+                    // avoid this by never pinning whole sets.  We still make
+                    // room by evicting the LRU pinned line to preserve
+                    // forward progress (and count it as a victim).
+                    let i = self.sets[set]
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, ln)| ln.lru)
+                        .map(|(i, _)| i)
+                        .expect("nonempty set");
+                    let v = self.sets[set].swap_remove(i);
+                    if v.state == LineState::Reduction {
+                        self.red_lines -= 1;
+                    }
+                    victim = Some(Victim { addr: v.addr, state: v.state, data: v.data });
+                }
+            }
+        }
+        if st == LineState::Reduction {
+            self.red_lines += 1;
+        }
+        self.sets[set].push(Line { addr: l, state: st, pinned: false, lru: tick, data });
+        victim
+    }
+
+    /// Pin or unpin a resident line.
+    pub fn set_pinned(&mut self, l: LineAddr, pinned: bool) -> bool {
+        if let Some(ln) = self.line_mut(l) {
+            ln.pinned = pinned;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drain every line in `Reduction` state, removing them from the cache
+    /// (the flush step at the end of a PCLR loop).
+    pub fn drain_reduction_lines(&mut self) -> Vec<Line> {
+        let mut out = Vec::with_capacity(self.red_lines);
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if set[i].state == LineState::Reduction {
+                    out.push(set.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.red_lines = 0;
+        out
+    }
+
+    /// Drain every line in `Modified` state (simulation teardown so that
+    /// memory holds final values).
+    pub fn drain_modified_lines(&mut self) -> Vec<Line> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if set[i].state == LineState::Modified {
+                    out.push(set.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate over all resident lines (diagnostics, invariant checks).
+    pub fn iter_lines(&self) -> impl Iterator<Item = &Line> {
+        self.sets.iter().flat_map(|s| s.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways, 64B lines.
+        Cache::new(&CacheConfig { size: 4 * 2 * 64, assoc: 2, line: 64, latency: 1 })
+    }
+
+    const D: [u64; 8] = [0; 8];
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = small();
+        assert_eq!(c.lookup(0x10), None);
+        assert!(c.insert(0x10, LineState::Shared, D).is_none());
+        assert_eq!(c.lookup(0x10), Some(LineState::Shared));
+        assert_eq!(c.probe(0x10), Some(LineState::Shared));
+        assert_eq!(c.probe(0x14), None);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        assert!(c.insert(0, LineState::Shared, D).is_none());
+        assert!(c.insert(4, LineState::Shared, D).is_none());
+        // Touch 0 so 4 is LRU.
+        assert_eq!(c.lookup(0), Some(LineState::Shared));
+        let v = c.insert(8, LineState::Shared, D).expect("eviction");
+        assert_eq!(v.addr, 4);
+        assert_eq!(c.probe(0), Some(LineState::Shared));
+        assert_eq!(c.probe(8), Some(LineState::Shared));
+        assert_eq!(c.probe(4), None);
+    }
+
+    #[test]
+    fn modified_victim_reports_state_and_data() {
+        let mut c = small();
+        let mut d = D;
+        d[3] = 42;
+        assert!(c.insert(0, LineState::Modified, d).is_none());
+        assert!(c.insert(4, LineState::Shared, D).is_none());
+        assert_eq!(c.lookup(4), Some(LineState::Shared)); // 0 becomes LRU
+        let v = c.insert(8, LineState::Shared, D).unwrap();
+        assert_eq!(v.addr, 0);
+        assert_eq!(v.state, LineState::Modified);
+        assert_eq!(v.data[3], 42);
+    }
+
+    #[test]
+    fn reduction_line_count_tracks_inserts_invalidates_and_state_changes() {
+        let mut c = small();
+        assert_eq!(c.reduction_lines(), 0);
+        c.insert(0, LineState::Reduction, D);
+        c.insert(1, LineState::Reduction, D);
+        c.insert(2, LineState::Shared, D);
+        assert_eq!(c.reduction_lines(), 2);
+        c.invalidate(0);
+        assert_eq!(c.reduction_lines(), 1);
+        c.set_state(2, LineState::Reduction);
+        assert_eq!(c.reduction_lines(), 2);
+        c.set_state(1, LineState::Shared);
+        assert_eq!(c.reduction_lines(), 1);
+    }
+
+    #[test]
+    fn drain_reduction_lines_empties_only_reduction_state() {
+        let mut c = small();
+        c.insert(0, LineState::Reduction, D);
+        c.insert(1, LineState::Shared, D);
+        c.insert(2, LineState::Modified, D);
+        c.insert(4, LineState::Reduction, D);
+        let drained = c.drain_reduction_lines();
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|l| l.state == LineState::Reduction));
+        assert_eq!(c.reduction_lines(), 0);
+        assert_eq!(c.resident(), 2);
+        assert_eq!(c.probe(1), Some(LineState::Shared));
+        assert_eq!(c.probe(2), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn drain_modified_lines_for_teardown() {
+        let mut c = small();
+        c.insert(0, LineState::Modified, D);
+        c.insert(1, LineState::Shared, D);
+        let drained = c.drain_modified_lines();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].addr, 0);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn pinned_lines_survive_eviction_pressure() {
+        let mut c = small();
+        c.insert(0, LineState::Reduction, D);
+        assert!(c.set_pinned(0, true));
+        c.insert(4, LineState::Shared, D);
+        // Set 0 now full; inserting line 8 must evict the unpinned line 4
+        // even though line 0 is older.
+        let v = c.insert(8, LineState::Shared, D).unwrap();
+        assert_eq!(v.addr, 4);
+        assert_eq!(c.probe(0), Some(LineState::Reduction));
+        assert!(c.set_pinned(0, false));
+    }
+
+    #[test]
+    fn fully_pinned_set_still_makes_progress() {
+        let mut c = small();
+        c.insert(0, LineState::Reduction, D);
+        c.insert(4, LineState::Reduction, D);
+        c.set_pinned(0, true);
+        c.set_pinned(4, true);
+        // Forced eviction of a pinned line rather than deadlock.
+        let v = c.insert(8, LineState::Shared, D).unwrap();
+        assert!(v.addr == 0 || v.addr == 4);
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn invalidate_absent_line_is_none() {
+        let mut c = small();
+        assert!(c.invalidate(0x99).is_none());
+    }
+
+    #[test]
+    fn resident_counts() {
+        let mut c = small();
+        for i in 0..8u64 {
+            c.insert(i, LineState::Shared, D);
+        }
+        assert_eq!(c.resident(), 8); // fills all 4 sets x 2 ways
+        assert_eq!(c.num_sets(), 4);
+    }
+}

@@ -1,0 +1,353 @@
+//! Machine configuration mirroring Table 1 of the paper.
+//!
+//! The paper models a CC-NUMA multiprocessor with up to 16 nodes.  Each node
+//! holds a 4-issue dynamic superscalar processor, a two-level write-back
+//! cache hierarchy, a slice of the shared memory and its directory
+//! controller.  The directory controller is enhanced with a double-precision
+//! floating-point add unit clocked at 1/3 of the processor frequency,
+//! pipelined so it can start one addition every 3 processor cycles with a
+//! latency of 6 processor cycles.
+//!
+//! The contention-free round-trip latencies of Table 1 (L1 = 2, L2 = 10,
+//! local memory = 104, 2-hop remote memory = 297 processor cycles) are
+//! recovered exactly from the constituent latencies chosen here; see
+//! [`MachineConfig::local_round_trip`] and
+//! [`MachineConfig::remote_round_trip`], which are checked by unit tests and
+//! by the `table1_config` harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Access latency in processor cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size / (self.assoc * self.line)
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn lines(&self) -> usize {
+        self.size / self.line
+    }
+}
+
+/// Which directory-controller implementation services PCLR transactions.
+///
+/// The paper evaluates a *hardwired* controller (`Hw`) and a *programmable*
+/// controller in the style of the FLASH MAGIC micro-controller (`Flex`).
+/// The programmable controller provides the PCLR functionality in firmware,
+/// so every reduction transaction occupies the controller for longer and the
+/// per-element combining is slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// Hardwired PCLR support in the directory controller.
+    Hardwired,
+    /// Programmable (MAGIC-like) controller: reduction handlers run as
+    /// firmware, multiplying occupancy.
+    Programmable,
+}
+
+/// Full machine configuration (Table 1 defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of nodes (processor + caches + memory/directory slice).
+    pub nodes: usize,
+    /// Dynamic superscalar issue width (instructions per cycle).
+    pub issue_width: u32,
+    /// Integer functional units.
+    pub int_units: u32,
+    /// Floating-point functional units.
+    pub fp_units: u32,
+    /// Load/store functional units.
+    pub ldst_units: u32,
+    /// Instruction window size: how many instructions may be in flight past
+    /// the oldest incomplete memory operation before the front end stalls.
+    pub window: u32,
+    /// Maximum pending (outstanding-miss) loads.
+    pub max_pending_loads: usize,
+    /// Maximum pending stores in the store buffer.
+    pub max_pending_stores: usize,
+    /// Branch misprediction penalty in cycles.
+    pub branch_penalty: u64,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// L2 unified cache.
+    pub l2: CacheConfig,
+    /// Node-internal bus latency (cache <-> local directory controller).
+    pub bus_latency: u64,
+    /// Directory controller occupancy per protocol action, in processor
+    /// cycles (the controller is clocked at 1/3 of the processor).
+    pub dir_occupancy: u64,
+    /// DRAM access latency at the home node.
+    pub mem_latency: u64,
+    /// Network latency for one hop between two distinct nodes.
+    pub net_hop_latency: u64,
+    /// Cycles a network port is occupied per message (contention only; does
+    /// not add latency to an uncontended message).
+    pub port_occupancy: u64,
+    /// Page size for first-touch placement.
+    pub page_size: usize,
+    /// Pipelined combine-unit initiation interval, processor cycles per
+    /// element (Table 1: FP adder at 1/3 clock, fully pipelined -> 3).
+    pub combine_init_interval: u64,
+    /// Combine-unit latency for one element (2 controller cycles = 6
+    /// processor cycles).
+    pub combine_latency: u64,
+    /// Which controller implementation services reduction transactions.
+    pub controller: ControllerKind,
+    /// Occupancy multiplier applied to reduction handlers when
+    /// `controller == Programmable` (firmware dispatch cost).
+    pub flex_occupancy_factor: u64,
+    /// Combine initiation interval for the programmable controller
+    /// (software combining on the embedded core).
+    pub flex_combine_init_interval: u64,
+    /// Track data values through the memory system (used by correctness
+    /// tests; adds overhead, off for large timing runs).
+    pub track_values: bool,
+    /// Maximum cycles a processor may run ahead before yielding to the
+    /// event loop (bounds causality slip between nodes).
+    pub quantum: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::table1(16)
+    }
+}
+
+impl MachineConfig {
+    /// The configuration of Table 1 with the given node count.
+    pub fn table1(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            issue_width: 4,
+            int_units: 4,
+            fp_units: 2,
+            ldst_units: 2,
+            window: 64,
+            max_pending_loads: 8,
+            max_pending_stores: 16,
+            branch_penalty: 4,
+            l1: CacheConfig { size: 32 * 1024, assoc: 2, line: 64, latency: 2 },
+            l2: CacheConfig { size: 512 * 1024, assoc: 4, line: 64, latency: 10 },
+            bus_latency: 6,
+            dir_occupancy: 9,
+            mem_latency: 50,
+            net_hop_latency: 92,
+            port_occupancy: 4,
+            page_size: 4096,
+            combine_init_interval: 3,
+            combine_latency: 6,
+            controller: ControllerKind::Hardwired,
+            flex_occupancy_factor: 4,
+            flex_combine_init_interval: 9,
+            track_values: false,
+            quantum: 250,
+        }
+    }
+
+    /// Same machine with the programmable (Flex) controller.
+    pub fn flex(nodes: usize) -> Self {
+        MachineConfig { controller: ControllerKind::Programmable, ..Self::table1(nodes) }
+    }
+
+    /// Elements of the configured data type per cache line (f64).
+    pub fn elems_per_line(&self) -> usize {
+        self.l1.line / 8
+    }
+
+    /// Contention-free round trip for an L1 miss satisfied by local memory.
+    ///
+    /// Path: L1 lookup + L2 lookup + bus to the local directory + request
+    /// occupancy + memory access + response occupancy + bus + L2 fill + L1
+    /// fill.  With Table 1 constants this is exactly 104 cycles.
+    pub fn local_round_trip(&self) -> u64 {
+        self.l1.latency
+            + self.l2.latency
+            + self.bus_latency
+            + self.dir_occupancy
+            + self.mem_latency
+            + self.dir_occupancy
+            + self.bus_latency
+            + self.l2.latency
+            + self.l1.latency
+    }
+
+    /// Contention-free round trip for an L1 miss satisfied by a remote home
+    /// (2-hop: requester -> home -> requester, line clean at home).
+    ///
+    /// The outbound request is snooped by the local directory controller
+    /// (PCLR requires the local controller to observe all requests, Section
+    /// 5.1); the response returns directly to the requester's bus.  With
+    /// Table 1 constants this is exactly 297 cycles.
+    pub fn remote_round_trip(&self) -> u64 {
+        self.l1.latency
+            + self.l2.latency
+            + self.bus_latency
+            + self.dir_occupancy          // local controller snoops outbound
+            + self.net_hop_latency
+            + self.dir_occupancy          // home accepts request
+            + self.mem_latency
+            + self.dir_occupancy          // home packages response
+            + self.net_hop_latency
+            + self.bus_latency
+            + self.l2.latency
+            + self.l1.latency
+    }
+
+    /// Contention-free latency of a PCLR reduction fill: the request never
+    /// leaves the node; the local directory controller supplies a line of
+    /// neutral elements without touching memory.
+    pub fn reduction_fill_latency(&self) -> u64 {
+        self.local_round_trip() - self.mem_latency
+    }
+
+    /// Occupancy of a reduction protocol action on the configured
+    /// controller.
+    pub fn red_handler_occupancy(&self) -> u64 {
+        match self.controller {
+            ControllerKind::Hardwired => self.dir_occupancy,
+            ControllerKind::Programmable => self.dir_occupancy * self.flex_occupancy_factor,
+        }
+    }
+
+    /// Per-element combine initiation interval on the configured controller.
+    pub fn combine_interval(&self) -> u64 {
+        match self.controller {
+            ControllerKind::Hardwired => self.combine_init_interval,
+            ControllerKind::Programmable => self.flex_combine_init_interval,
+        }
+    }
+
+    /// Occupancy of combining one full cache line at the home: memory read,
+    /// pipelined per-element combining, drain latency (memory write is
+    /// overlapped with the pipeline drain).
+    pub fn combine_line_occupancy(&self) -> u64 {
+        self.mem_latency
+            + self.combine_interval() * self.elems_per_line() as u64
+            + self.combine_latency
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("nodes must be >= 1".into());
+        }
+        if !self.nodes.is_power_of_two() {
+            return Err(format!("nodes must be a power of two, got {}", self.nodes));
+        }
+        for (name, c) in [("l1", &self.l1), ("l2", &self.l2)] {
+            if c.line == 0 || !c.line.is_power_of_two() {
+                return Err(format!("{name} line size must be a power of two"));
+            }
+            if c.size % (c.line * c.assoc) != 0 {
+                return Err(format!("{name} size must be divisible by assoc*line"));
+            }
+            if !c.sets().is_power_of_two() {
+                return Err(format!("{name} set count must be a power of two"));
+            }
+        }
+        if self.l1.line != self.l2.line {
+            return Err("L1 and L2 must share a line size".into());
+        }
+        if !self.page_size.is_multiple_of(self.l1.line) {
+            return Err("page size must be a multiple of the line size".into());
+        }
+        if self.issue_width == 0 {
+            return Err("issue width must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults_match_paper() {
+        let c = MachineConfig::table1(16);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.l1.size, 32 * 1024);
+        assert_eq!(c.l1.assoc, 2);
+        assert_eq!(c.l1.line, 64);
+        assert_eq!(c.l1.latency, 2);
+        assert_eq!(c.l2.size, 512 * 1024);
+        assert_eq!(c.l2.assoc, 4);
+        assert_eq!(c.l2.latency, 10);
+        assert_eq!(c.window, 64);
+        assert_eq!(c.max_pending_loads, 8);
+        assert_eq!(c.max_pending_stores, 16);
+        assert_eq!(c.branch_penalty, 4);
+    }
+
+    #[test]
+    fn round_trips_match_table1() {
+        let c = MachineConfig::table1(16);
+        assert_eq!(c.local_round_trip(), 104);
+        assert_eq!(c.remote_round_trip(), 297);
+    }
+
+    #[test]
+    fn reduction_fill_is_local_and_cheap() {
+        let c = MachineConfig::table1(16);
+        assert_eq!(c.reduction_fill_latency(), 54);
+        assert!(c.reduction_fill_latency() < c.local_round_trip());
+    }
+
+    #[test]
+    fn combine_unit_is_pipelined_at_one_third_clock() {
+        let c = MachineConfig::table1(16);
+        assert_eq!(c.combine_interval(), 3);
+        assert_eq!(c.combine_latency, 6);
+        // One 64-byte line of f64: 8 elements.
+        assert_eq!(c.elems_per_line(), 8);
+        assert_eq!(c.combine_line_occupancy(), 50 + 24 + 6);
+    }
+
+    #[test]
+    fn flex_controller_is_slower_on_reductions_only() {
+        let hw = MachineConfig::table1(16);
+        let fx = MachineConfig::flex(16);
+        assert!(fx.red_handler_occupancy() > hw.red_handler_occupancy());
+        assert!(fx.combine_interval() > hw.combine_interval());
+        // Plain coherence latency is unchanged.
+        assert_eq!(fx.local_round_trip(), hw.local_round_trip());
+        assert_eq!(fx.remote_round_trip(), hw.remote_round_trip());
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let c = MachineConfig::table1(4);
+        assert_eq!(c.l1.sets(), 32 * 1024 / (2 * 64));
+        assert_eq!(c.l1.lines(), 512);
+        assert_eq!(c.l2.lines(), 8192);
+    }
+
+    #[test]
+    fn validation_accepts_table1_and_rejects_bad_configs() {
+        assert!(MachineConfig::table1(16).validate().is_ok());
+        assert!(MachineConfig::table1(1).validate().is_ok());
+        let mut c = MachineConfig::table1(16);
+        c.nodes = 12;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::table1(16);
+        c.l1.line = 48;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::table1(16);
+        c.l2.line = 128;
+        assert!(c.validate().is_err());
+    }
+}

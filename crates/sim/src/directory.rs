@@ -1,0 +1,234 @@
+//! Full-map directory state, page-level first-touch placement and the
+//! simulated memory data store.
+//!
+//! The protocol follows the DASH outline the paper cites: each line's home
+//! keeps a full-map sharing vector or a dirty-owner pointer.  Reduction
+//! lines are *not* tracked by the directory ("misses due to the reduction
+//! accesses do not go to the home ... the home only has sharing information
+//! about non-reduction sharers", Section 5.1.3).
+
+use crate::addr::{Addr, LineAddr};
+use std::collections::HashMap;
+
+/// Directory entry for one memory line at its home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirState {
+    /// No cache holds the line (memory is the owner).
+    #[default]
+    Uncached,
+    /// Read-only copies in the caches of the set bits.
+    Shared(u64),
+    /// Exactly one cache holds the line modified.
+    Dirty(u8),
+}
+
+impl DirState {
+    /// Add a sharer to the state (must not be Dirty).
+    pub fn add_sharer(&mut self, node: usize) {
+        *self = match *self {
+            DirState::Uncached => DirState::Shared(1 << node),
+            DirState::Shared(m) => DirState::Shared(m | (1 << node)),
+            DirState::Dirty(_) => panic!("add_sharer on dirty line"),
+        };
+    }
+
+    /// Iterate over sharer node ids.
+    pub fn sharers(&self) -> impl Iterator<Item = usize> + '_ {
+        let mask = match self {
+            DirState::Shared(m) => *m,
+            _ => 0,
+        };
+        (0..64).filter(move |i| mask & (1 << i) != 0)
+    }
+
+    /// Number of sharers.
+    pub fn sharer_count(&self) -> u32 {
+        match self {
+            DirState::Shared(m) => m.count_ones(),
+            _ => 0,
+        }
+    }
+}
+
+/// Directory storage for one node (its slice of the global directory).
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirState>,
+}
+
+impl Directory {
+    /// Current state of a line (Uncached if never seen).
+    pub fn state(&self, l: LineAddr) -> DirState {
+        self.entries.get(&l).copied().unwrap_or_default()
+    }
+
+    /// Replace the state of a line.
+    pub fn set_state(&mut self, l: LineAddr, st: DirState) {
+        if st == DirState::Uncached {
+            self.entries.remove(&l);
+        } else {
+            self.entries.insert(l, st);
+        }
+    }
+
+    /// Number of tracked (non-Uncached) lines.
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Page-granularity home assignment with first-touch placement ("pages of
+/// shared data are allocated in the memory module of the first processor
+/// that accesses them"; private data is allocated locally, which first
+/// touch also produces).
+#[derive(Debug)]
+pub struct PageTable {
+    homes: HashMap<u64, u8>,
+    policy: PlacementPolicy,
+    nodes: u8,
+}
+
+/// Shared-page placement policies (first-touch is the paper's choice; the
+/// ablation harness compares round-robin striping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Assign a page to the node that first touches it.
+    FirstTouch,
+    /// Stripe pages across nodes by page number (order-independent
+    /// round-robin, the conventional alternative policy).
+    RoundRobin,
+}
+
+impl PageTable {
+    /// Create a page table for `nodes` nodes.
+    pub fn new(nodes: usize, policy: PlacementPolicy) -> Self {
+        PageTable { homes: HashMap::new(), policy, nodes: nodes as u8 }
+    }
+
+    /// Home node of `page`, assigning it on first touch by `toucher`.
+    pub fn home_of(&mut self, page: u64, toucher: usize) -> usize {
+        if let Some(&h) = self.homes.get(&page) {
+            return h as usize;
+        }
+        let h = match self.policy {
+            PlacementPolicy::FirstTouch => toucher as u8,
+            PlacementPolicy::RoundRobin => (page % self.nodes as u64) as u8,
+        };
+        self.homes.insert(page, h);
+        h as usize
+    }
+
+    /// Home of `page` if already assigned.
+    pub fn peek(&self, page: u64) -> Option<usize> {
+        self.homes.get(&page).map(|&h| h as usize)
+    }
+
+    /// Number of assigned pages.
+    pub fn assigned(&self) -> usize {
+        self.homes.len()
+    }
+}
+
+/// The simulated physical memory contents (line granularity).  Only
+/// consulted when value tracking is on; lines absent from the map hold the
+/// `default_fill` pattern (zeroes for data, the neutral element is *not*
+/// assumed — reduction arrays are explicitly initialized by `poke`).
+#[derive(Debug, Default)]
+pub struct MemoryData {
+    lines: HashMap<LineAddr, [u64; 8]>,
+}
+
+impl MemoryData {
+    /// Read a line (zero-filled if never written).
+    pub fn read_line(&self, l: LineAddr) -> [u64; 8] {
+        self.lines.get(&l).copied().unwrap_or([0; 8])
+    }
+
+    /// Overwrite a line.
+    pub fn write_line(&mut self, l: LineAddr, data: [u64; 8]) {
+        self.lines.insert(l, data);
+    }
+
+    /// Write one 8-byte element.
+    pub fn poke(&mut self, addr: Addr, line: LineAddr, elem: usize, val: u64) {
+        debug_assert_eq!(addr % 8, 0, "element addresses must be 8-byte aligned");
+        let entry = self.lines.entry(line).or_insert([0; 8]);
+        entry[elem] = val;
+    }
+
+    /// Read one 8-byte element.
+    pub fn peek(&self, line: LineAddr, elem: usize) -> u64 {
+        self.read_line(line)[elem]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_state_sharers() {
+        let mut s = DirState::Uncached;
+        s.add_sharer(3);
+        s.add_sharer(7);
+        assert_eq!(s.sharer_count(), 2);
+        let v: Vec<usize> = s.sharers().collect();
+        assert_eq!(v, vec![3, 7]);
+        assert_eq!(DirState::Dirty(2).sharer_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty")]
+    fn add_sharer_to_dirty_panics() {
+        let mut s = DirState::Dirty(0);
+        s.add_sharer(1);
+    }
+
+    #[test]
+    fn directory_defaults_to_uncached_and_prunes() {
+        let mut d = Directory::default();
+        assert_eq!(d.state(0x99), DirState::Uncached);
+        d.set_state(0x99, DirState::Dirty(4));
+        assert_eq!(d.state(0x99), DirState::Dirty(4));
+        assert_eq!(d.tracked(), 1);
+        d.set_state(0x99, DirState::Uncached);
+        assert_eq!(d.tracked(), 0);
+    }
+
+    #[test]
+    fn first_touch_assigns_to_toucher_and_sticks() {
+        let mut pt = PageTable::new(4, PlacementPolicy::FirstTouch);
+        assert_eq!(pt.home_of(10, 2), 2);
+        assert_eq!(pt.home_of(10, 3), 2); // sticky
+        assert_eq!(pt.peek(10), Some(2));
+        assert_eq!(pt.peek(11), None);
+        assert_eq!(pt.assigned(), 1);
+    }
+
+    #[test]
+    fn round_robin_stripes_by_page_number() {
+        let mut pt = PageTable::new(4, PlacementPolicy::RoundRobin);
+        assert_eq!(pt.home_of(0, 3), 0);
+        assert_eq!(pt.home_of(1, 3), 1);
+        assert_eq!(pt.home_of(2, 3), 2);
+        assert_eq!(pt.home_of(3, 3), 3);
+        assert_eq!(pt.home_of(4, 3), 0);
+        // Order-independent: touching pages out of order changes nothing.
+        let mut pt2 = PageTable::new(4, PlacementPolicy::RoundRobin);
+        assert_eq!(pt2.home_of(5, 1), 1);
+        assert_eq!(pt2.home_of(0, 1), 0);
+    }
+
+    #[test]
+    fn memory_data_poke_peek() {
+        let mut m = MemoryData::default();
+        assert_eq!(m.peek(5, 3), 0);
+        m.poke(5 * 64 + 24, 5, 3, 0xdead);
+        assert_eq!(m.peek(5, 3), 0xdead);
+        let line = m.read_line(5);
+        assert_eq!(line[3], 0xdead);
+        assert_eq!(line[0], 0);
+        m.write_line(5, [7; 8]);
+        assert_eq!(m.peek(5, 0), 7);
+    }
+}

@@ -1,0 +1,1296 @@
+//! The event-driven CC-NUMA machine: processors, two-level caches, DASH-like
+//! directory protocol, network ports and the PCLR reduction extensions.
+//!
+//! # Timing model
+//!
+//! Processors execute abstract instruction traces with an OoO-lite model:
+//! issue-width/FU-limited compute, non-blocking misses bounded by the
+//! pending-load/store limits and the instruction window of Table 1.  Memory
+//! transactions are discrete events flowing between cache controllers,
+//! directory controllers and network ports; controller and combine-unit
+//! occupancy and port serialization provide contention ("contention is
+//! accurately modeled in the entire system, except in the network, where it
+//! is modeled only at the source and destination ports").
+//!
+//! # PCLR (Sections 5.1.1–5.1.5)
+//!
+//! Reduction accesses hit lines in the `Reduction` state.  A reduction miss
+//! is satisfied by the **local** directory controller with a line of neutral
+//! elements (no memory access, no home visit).  Displaced reduction lines
+//! travel to the line's home where the directory controller's combine unit
+//! merges them into memory in the background.  The end-of-loop flush drains
+//! all resident reduction lines and waits for combine acknowledgements.
+
+use crate::addr::{self, Addr, Geometry, LineAddr};
+use crate::cache::{Cache, LineState, Victim};
+use crate::config::MachineConfig;
+use crate::directory::{DirState, Directory, MemoryData, PageTable, PlacementPolicy};
+use crate::redop::RedOp;
+use crate::stats::{Counters, PhaseTimes, RunStats};
+use crate::trace::{Inst, Phase, TraceSource};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Fill transaction classes (what the processor was waiting for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FillKind {
+    Load,
+    Store,
+    Upgrade,
+    Red,
+}
+
+/// Protocol messages between caches and directory controllers.
+#[derive(Debug, Clone, Copy)]
+enum MsgKind {
+    /// Read for sharing (load miss).
+    ReadShared,
+    /// Read for ownership (store miss).
+    ReadExcl,
+    /// Ownership upgrade for a line held Shared.
+    Upgrade,
+    /// Write-back of a displaced Modified line.
+    WriteBack([u64; 8]),
+    /// Write-back of a displaced Reduction line; combined at the home.
+    /// `flush` marks flush-generated write-backs that must be acknowledged.
+    RedWriteBack { data: [u64; 8], flush: bool },
+    /// Reduction miss: serviced by the local controller with a neutral line.
+    RedFill,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    src: u8,
+    line: LineAddr,
+    kind: MsgKind,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Give processor `p` an execution quantum.
+    ProcRun { p: u8 },
+    /// A protocol message arrives at `node`'s directory controller.
+    DirArrive { node: u8, msg: Msg },
+    /// A fill response reaches processor `p`'s cache hierarchy.
+    ProcFill { p: u8, line: LineAddr, kind: FillKind, data: [u64; 8] },
+    /// A flush-generated reduction write-back was combined at its home.
+    FlushAck { p: u8 },
+}
+
+/// Why a processor is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stall {
+    /// Runnable (a ProcRun event is or will be scheduled).
+    None,
+    /// All load MSHRs in use.
+    Mshr,
+    /// Instruction window full behind the oldest outstanding load.
+    Window,
+    /// Store buffer full.
+    StoreBuf,
+    /// Waiting at a barrier.
+    Barrier,
+    /// Waiting for flush acknowledgements.
+    FlushWait,
+    /// Trace exhausted.
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct PendingStore {
+    line: LineAddr,
+    updates: Vec<(usize, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct PendingRed {
+    line: LineAddr,
+    seq: u64,
+    updates: Vec<(usize, u64)>,
+}
+
+struct Proc {
+    cycle: u64,
+    stall: Stall,
+    /// (line, instruction sequence number at issue) per outstanding load.
+    pending_loads: Vec<(LineAddr, u64)>,
+    pending_stores: Vec<PendingStore>,
+    pending_red: Vec<PendingRed>,
+    instr_count: u64,
+    deferred: Option<Inst>,
+    phase: Phase,
+    phases: PhaseTimes,
+    flush_outstanding: usize,
+    mem_toggle: bool,
+}
+
+impl Proc {
+    fn new() -> Self {
+        let mut phases = PhaseTimes::default();
+        phases.enter(Phase::Startup, 0);
+        Proc {
+            cycle: 0,
+            stall: Stall::None,
+            pending_loads: Vec::with_capacity(8),
+            pending_stores: Vec::with_capacity(16),
+            pending_red: Vec::with_capacity(8),
+            instr_count: 0,
+            deferred: None,
+            phase: Phase::Startup,
+            phases,
+            flush_outstanding: 0,
+            mem_toggle: false,
+        }
+    }
+
+    fn oldest_load_seq(&self) -> Option<u64> {
+        self.pending_loads
+            .iter()
+            .map(|(_, s)| *s)
+            .chain(self.pending_red.iter().map(|r| r.seq))
+            .min()
+    }
+
+    fn outstanding_loads(&self) -> usize {
+        self.pending_loads.len() + self.pending_red.len()
+    }
+}
+
+struct Node {
+    l1: Cache,
+    l2: Cache,
+    dir: Directory,
+    dir_busy: u64,
+    red_unit_busy: u64,
+    out_port_busy: u64,
+    in_port_busy: u64,
+    red_op: RedOp,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    arrived: Vec<bool>,
+    count: usize,
+    max_t: u64,
+}
+
+/// The simulated multiprocessor.
+pub struct Machine {
+    cfg: MachineConfig,
+    geom: Geometry,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events: Vec<Option<Event>>,
+    free_slots: Vec<usize>,
+    seq: u64,
+    nodes: Vec<Node>,
+    procs: Vec<Proc>,
+    traces: Vec<Box<dyn TraceSource>>,
+    pages: PageTable,
+    mem: MemoryData,
+    barrier: BarrierState,
+    counters: Counters,
+    done_procs: usize,
+    finished: bool,
+}
+
+impl Machine {
+    /// Build a machine from a configuration and one trace per node.
+    pub fn new(cfg: MachineConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        Self::with_placement(cfg, traces, PlacementPolicy::FirstTouch)
+    }
+
+    /// Build a machine with an explicit page-placement policy (the ablation
+    /// harness compares first-touch with round-robin).
+    pub fn with_placement(
+        cfg: MachineConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        placement: PlacementPolicy,
+    ) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        assert_eq!(
+            traces.len(),
+            cfg.nodes,
+            "need exactly one trace per node ({} nodes, {} traces)",
+            cfg.nodes,
+            traces.len()
+        );
+        let geom = Geometry::new(cfg.l1.line, cfg.page_size);
+        let nodes = (0..cfg.nodes)
+            .map(|_| Node {
+                l1: Cache::new(&cfg.l1),
+                l2: Cache::new(&cfg.l2),
+                dir: Directory::default(),
+                dir_busy: 0,
+                red_unit_busy: 0,
+                out_port_busy: 0,
+                in_port_busy: 0,
+                red_op: RedOp::AddF64,
+            })
+            .collect();
+        let procs = (0..cfg.nodes).map(|_| Proc::new()).collect();
+        let mut m = Machine {
+            geom,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            free_slots: Vec::new(),
+            seq: 0,
+            nodes,
+            procs,
+            traces,
+            pages: PageTable::new(cfg.nodes, placement),
+            mem: MemoryData::default(),
+            barrier: BarrierState {
+                arrived: vec![false; cfg.nodes],
+                count: 0,
+                max_t: 0,
+            },
+            counters: Counters::default(),
+            done_procs: 0,
+            finished: false,
+            cfg,
+        };
+        for p in 0..m.cfg.nodes {
+            m.push(0, Event::ProcRun { p: p as u8 });
+        }
+        m
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Pre-set one 8-byte element of simulated memory (value tracking).
+    pub fn poke_memory(&mut self, a: Addr, val: u64) {
+        let line = self.geom.line_of(a);
+        let elem = self.geom.elem_in_line(a);
+        self.mem.poke(a, line, elem, val);
+    }
+
+    /// Read one 8-byte element of simulated memory, preferring the freshest
+    /// cached copy (Modified or Reduction lines override memory; reduction
+    /// copies are *combined* with memory since they hold partial sums).
+    pub fn peek_memory(&self, a: Addr) -> u64 {
+        let line = self.geom.line_of(a);
+        let elem = self.geom.elem_in_line(a);
+        // Reduction lines are cached under their shadow address.
+        let shadow_line = self.geom.line_of(addr::to_shadow(self.geom.line_base(line)));
+        let mut val = self.mem.peek(line, elem);
+        for (n, node) in self.nodes.iter().enumerate() {
+            for cache in [&node.l1, &node.l2] {
+                if let Some(ln) = cache
+                    .iter_lines()
+                    .find(|l| l.addr == line || l.addr == shadow_line)
+                {
+                    match ln.state {
+                        LineState::Modified => return ln.data[elem],
+                        LineState::Reduction => {
+                            // Skip the L2 copy when L1 holds the same line:
+                            // with inclusion the L1 copy is the fresh one and
+                            // the L2 copy is a stale duplicate, not an
+                            // independent partial.
+                            if std::ptr::eq(cache, &node.l2)
+                                && self.nodes[n].l1.probe(ln.addr).is_some()
+                            {
+                                continue;
+                            }
+                            val = node.red_op.apply(val, ln.data[elem]);
+                        }
+                        LineState::Shared => {}
+                    }
+                }
+            }
+        }
+        val
+    }
+
+    fn push(&mut self, t: u64, ev: Event) {
+        self.seq += 1;
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.events[s] = Some(ev);
+                s
+            }
+            None => {
+                self.events.push(Some(ev));
+                self.events.len() - 1
+            }
+        };
+        self.queue.push(Reverse((t, self.seq, slot)));
+    }
+
+    /// Run the simulation to completion and return the statistics.  The
+    /// machine remains inspectable afterwards (`peek_memory`).
+    pub fn run(&mut self) -> RunStats {
+        assert!(!self.finished, "machine already ran");
+        while let Some(Reverse((t, _, slot))) = self.queue.pop() {
+            let ev = self.events[slot].take().expect("event slot occupied");
+            self.free_slots.push(slot);
+            match ev {
+                Event::ProcRun { p } => self.run_proc(p as usize, t),
+                Event::DirArrive { node, msg } => self.dir_arrive(node as usize, msg, t),
+                Event::ProcFill { p, line, kind, data } => {
+                    self.proc_fill(p as usize, line, kind, data, t)
+                }
+                Event::FlushAck { p } => self.flush_ack(p as usize, t),
+            }
+        }
+        assert_eq!(
+            self.done_procs, self.cfg.nodes,
+            "event queue drained with stalled processors: deadlock \
+             (unbalanced barriers or lost wakeup); stalls: {:?}",
+            self.procs.iter().map(|p| p.stall).collect::<Vec<_>>()
+        );
+        self.finished = true;
+        self.finalize()
+    }
+
+    fn finalize(&mut self) -> RunStats {
+        // Drain dirty lines so memory holds final values for inspection.
+        for n in 0..self.nodes.len() {
+            for lvl in 0..2 {
+                let drained = if lvl == 0 {
+                    self.nodes[n].l1.drain_modified_lines()
+                } else {
+                    self.nodes[n].l2.drain_modified_lines()
+                };
+                for ln in drained {
+                    if self.cfg.track_values {
+                        self.mem.write_line(ln.addr, ln.data);
+                    }
+                }
+            }
+        }
+        let mut rs = RunStats {
+            counters: self.counters,
+            proc_phases: self.procs.iter().map(|p| p.phases.clone()).collect(),
+            proc_cycles: Vec::new(),
+            total_cycles: 0,
+        };
+        rs.proc_cycles = rs
+            .proc_phases
+            .iter()
+            .map(|ph| ph.records().iter().map(|(_, _, e)| *e).max().unwrap_or(0))
+            .collect();
+        rs.total_cycles = rs.proc_cycles.iter().copied().max().unwrap_or(0);
+        rs
+    }
+
+    // ----- address helpers -------------------------------------------------
+
+    /// Home node of a line; shadow lines home with their real alias.
+    fn home_of_line(&mut self, line: LineAddr, toucher: usize) -> usize {
+        let real = self.geom.line_of(addr::from_shadow(self.geom.line_base(line)));
+        let page = self.geom.page_of_line(real);
+        self.pages.home_of(page, toucher)
+    }
+
+    // ----- network ---------------------------------------------------------
+
+    /// Move a message from node `src` to node `dst`, charging port
+    /// occupancy; returns the arrival time.  An uncontended message incurs
+    /// exactly one hop of latency.
+    fn port_send(&mut self, src: usize, dst: usize, ready: u64) -> u64 {
+        if src == dst {
+            return ready + self.cfg.bus_latency;
+        }
+        let dep = ready.max(self.nodes[src].out_port_busy);
+        self.nodes[src].out_port_busy = dep + self.cfg.port_occupancy;
+        let arr = (dep + self.cfg.net_hop_latency).max(self.nodes[dst].in_port_busy);
+        self.nodes[dst].in_port_busy = arr + self.cfg.port_occupancy;
+        arr
+    }
+
+    // ----- processor execution ---------------------------------------------
+
+    fn run_proc(&mut self, p: usize, t: u64) {
+        if self.procs[p].stall == Stall::Done {
+            return;
+        }
+        self.procs[p].stall = Stall::None;
+        if self.procs[p].cycle < t {
+            self.procs[p].cycle = t;
+        }
+        let quantum_end = self.procs[p].cycle + self.cfg.quantum;
+        loop {
+            if self.procs[p].cycle >= quantum_end {
+                let c = self.procs[p].cycle;
+                self.push(c, Event::ProcRun { p: p as u8 });
+                return;
+            }
+            // Instruction-window stall: cannot move past the oldest
+            // outstanding load by more than `window` instructions.
+            if let Some(oldest) = self.procs[p].oldest_load_seq() {
+                if self.procs[p].instr_count.saturating_sub(oldest) >= self.cfg.window as u64 {
+                    self.procs[p].stall = Stall::Window;
+                    return;
+                }
+            }
+            let inst = match self.procs[p].deferred.take() {
+                Some(i) => i,
+                None => match self.traces[p].next_inst() {
+                    Some(i) => i,
+                    None => {
+                        self.proc_done(p);
+                        return;
+                    }
+                },
+            };
+            if !self.execute(p, inst) {
+                return; // stalled; instruction deferred or consumed
+            }
+        }
+    }
+
+    fn proc_done(&mut self, p: usize) {
+        let c = self.procs[p].cycle;
+        self.procs[p].phases.finish(c);
+        self.procs[p].stall = Stall::Done;
+        self.done_procs += 1;
+        // A finished processor no longer participates in barriers.
+        self.check_barrier_release();
+    }
+
+    /// Execute one instruction; returns false if the processor stalled.
+    fn execute(&mut self, p: usize, inst: Inst) -> bool {
+        match inst {
+            Inst::Work { ints, fps, branches } => {
+                let total = (ints + fps + branches) as u64;
+                self.procs[p].instr_count += total;
+                self.counters.instructions += total;
+                let c = &self.cfg;
+                let cycles = (total.div_ceil(c.issue_width as u64))
+                    .max((ints as u64).div_ceil(c.int_units as u64))
+                    .max((fps as u64).div_ceil(c.fp_units as u64))
+                    + branches as u64 * c.branch_penalty;
+                self.procs[p].cycle += cycles;
+                true
+            }
+            Inst::Load { addr } => self.mem_access(p, addr, AccessKind::Load, 0),
+            Inst::Store { addr, val } => self.mem_access(p, addr, AccessKind::Store, val),
+            Inst::RedLoad { addr } => self.mem_access(p, addr, AccessKind::RedLoad, 0),
+            Inst::RedUpdate { addr, val } => {
+                self.mem_access(p, addr, AccessKind::RedUpdate, val)
+            }
+            Inst::ConfigPclr { op } => {
+                // A system call configures the local controller (Fig. 5
+                // line 1).  All processors execute it, so all nodes learn
+                // the operator.
+                self.nodes[p].red_op = op;
+                self.procs[p].instr_count += 1;
+                self.counters.instructions += 1;
+                self.procs[p].cycle += 200; // syscall + controller MMIO write
+                true
+            }
+            Inst::Flush => {
+                // The flush instruction fences: all outstanding memory
+                // operations (in particular in-flight reduction fills) must
+                // complete before the sweep, or their lines would escape it.
+                let pr = &self.procs[p];
+                if !pr.pending_red.is_empty()
+                    || !pr.pending_loads.is_empty()
+                    || !pr.pending_stores.is_empty()
+                {
+                    self.procs[p].deferred = Some(Inst::Flush);
+                    self.procs[p].stall = Stall::Mshr;
+                    return false;
+                }
+                self.do_flush(p)
+            }
+            Inst::Barrier => {
+                self.arrive_barrier(p);
+                false
+            }
+            Inst::SetPhase(ph) => {
+                let c = self.procs[p].cycle;
+                self.procs[p].phase = ph;
+                self.procs[p].phases.enter(ph, c);
+                true
+            }
+        }
+    }
+
+    // ----- memory access path ----------------------------------------------
+
+    fn charge_mem_issue(&mut self, p: usize) {
+        self.procs[p].instr_count += 1;
+        self.counters.instructions += 1;
+        // Two ld/st units: one cycle per two memory operations.
+        if self.procs[p].mem_toggle {
+            self.procs[p].cycle += 1;
+        }
+        self.procs[p].mem_toggle = !self.procs[p].mem_toggle;
+    }
+
+    /// Charge a reduction update: a load, an FP op and a store (the
+    /// `load&pin`/add/`store&unpin` triple).  Two ld/st units make the pair
+    /// of memory operations cost one cycle; the FP op overlaps.
+    fn charge_red_issue(&mut self, p: usize, kind: AccessKind) {
+        if kind == AccessKind::RedLoad {
+            self.charge_mem_issue(p);
+        } else {
+            self.procs[p].instr_count += 3;
+            self.counters.instructions += 3;
+            self.procs[p].cycle += 1;
+        }
+    }
+
+    fn mem_access(&mut self, p: usize, a: Addr, kind: AccessKind, val: u64) -> bool {
+        let line = self.geom.line_of(a);
+        let elem = self.geom.elem_in_line(a);
+        match kind {
+            AccessKind::Load => {
+                // Forwarding from pending transactions counts as a hit.
+                if self.procs[p].pending_stores.iter().any(|s| s.line == line)
+                    || self.procs[p].pending_loads.iter().any(|(l, _)| *l == line)
+                {
+                    self.charge_mem_issue(p);
+                    self.counters.l1_hits += 1;
+                    return true;
+                }
+                match self.cache_lookup(p, line, false) {
+                    Lookup::Hit | Lookup::NeedsUpgrade => {
+                        self.charge_mem_issue(p);
+                        self.counters.l1_hits += 1;
+                        true
+                    }
+                    Lookup::L2Hit => {
+                        self.charge_mem_issue(p);
+                        self.counters.l2_hits += 1;
+                        self.promote_to_l1(p, line, false);
+                        self.procs[p].cycle += self.cfg.l2.latency;
+                        true
+                    }
+                    Lookup::Miss => {
+                        if self.procs[p].outstanding_loads() >= self.cfg.max_pending_loads {
+                            self.procs[p].deferred = Some(Inst::Load { addr: a });
+                            self.procs[p].stall = Stall::Mshr;
+                            return false;
+                        }
+                        self.charge_mem_issue(p);
+                        let seq = self.procs[p].instr_count;
+                        self.procs[p].pending_loads.push((line, seq));
+                        self.start_transaction(p, line, MsgKind::ReadShared);
+                        true
+                    }
+                }
+            }
+            AccessKind::Store => {
+                if let Some(ps) =
+                    self.procs[p].pending_stores.iter_mut().find(|s| s.line == line)
+                {
+                    ps.updates.push((elem, val));
+                    self.charge_mem_issue(p);
+                    self.counters.l1_hits += 1;
+                    return true;
+                }
+                match self.cache_lookup(p, line, true) {
+                    Lookup::Hit => {
+                        self.charge_mem_issue(p);
+                        self.counters.l1_hits += 1;
+                        if self.cfg.track_values {
+                            self.write_elem(p, line, elem, val);
+                        }
+                        true
+                    }
+                    Lookup::L2Hit => {
+                        self.charge_mem_issue(p);
+                        self.counters.l2_hits += 1;
+                        self.promote_to_l1(p, line, true);
+                        self.procs[p].cycle += self.cfg.l2.latency;
+                        if self.cfg.track_values {
+                            self.write_elem(p, line, elem, val);
+                        }
+                        true
+                    }
+                    Lookup::NeedsUpgrade => {
+                        if self.procs[p].pending_stores.len() >= self.cfg.max_pending_stores {
+                            self.procs[p].deferred = Some(Inst::Store { addr: a, val });
+                            self.procs[p].stall = Stall::StoreBuf;
+                            return false;
+                        }
+                        self.charge_mem_issue(p);
+                        self.procs[p].pending_stores.push(PendingStore {
+                            line,
+                            updates: vec![(elem, val)],
+                        });
+                        self.start_transaction(p, line, MsgKind::Upgrade);
+                        true
+                    }
+                    Lookup::Miss => {
+                        if self.procs[p].pending_stores.len() >= self.cfg.max_pending_stores {
+                            self.procs[p].deferred = Some(Inst::Store { addr: a, val });
+                            self.procs[p].stall = Stall::StoreBuf;
+                            return false;
+                        }
+                        self.charge_mem_issue(p);
+                        self.procs[p].pending_stores.push(PendingStore {
+                            line,
+                            updates: vec![(elem, val)],
+                        });
+                        self.start_transaction(p, line, MsgKind::ReadExcl);
+                        true
+                    }
+                }
+            }
+            AccessKind::RedLoad | AccessKind::RedUpdate => {
+                self.red_access(p, a, line, elem, kind, val)
+            }
+        }
+    }
+
+    fn red_access(
+        &mut self,
+        p: usize,
+        a: Addr,
+        line: LineAddr,
+        elem: usize,
+        kind: AccessKind,
+        val: u64,
+    ) -> bool {
+        // Forward into an outstanding reduction fill.
+        if let Some(pr) = self.procs[p].pending_red.iter_mut().find(|r| r.line == line) {
+            if kind == AccessKind::RedUpdate {
+                pr.updates.push((elem, val));
+            }
+            self.charge_red_issue(p, kind);
+            self.counters.l1_hits += 1;
+            return true;
+        }
+        // Hit on a line already in reduction state?
+        let l1_state = self.nodes[p].l1.lookup(line);
+        if l1_state == Some(LineState::Reduction) {
+            self.charge_red_issue(p, kind);
+            self.counters.l1_hits += 1;
+            if self.cfg.track_values && kind == AccessKind::RedUpdate {
+                let op = self.nodes[p].red_op;
+                if let Some(ln) = self.nodes[p].l1.line_mut(line) {
+                    ln.data[elem] = op.apply(ln.data[elem], val);
+                }
+            }
+            return true;
+        }
+        if l1_state.is_none() {
+            let l2_state = self.nodes[p].l2.lookup(line);
+            if l2_state == Some(LineState::Reduction) {
+                self.charge_red_issue(p, kind);
+                self.counters.l2_hits += 1;
+                self.procs[p].cycle += self.cfg.l2.latency;
+                self.promote_red_to_l1(p, line);
+                if self.cfg.track_values && kind == AccessKind::RedUpdate {
+                    let op = self.nodes[p].red_op;
+                    if let Some(ln) = self.nodes[p].l1.line_mut(line) {
+                        ln.data[elem] = op.apply(ln.data[elem], val);
+                    }
+                }
+                return true;
+            }
+            // A non-reduction copy lingering in L2 (Section 5.1.2): write it
+            // back if dirty, invalidate, then miss as a reduction access.
+            if let Some(st) = l2_state {
+                self.evict_plain_for_reduction(p, line, st, /*level2=*/ true);
+            }
+        } else if let Some(st) = l1_state {
+            // Plain copy in L1 (and, by inclusion, in L2).
+            self.evict_plain_for_reduction(p, line, st, false);
+        }
+        // Reduction miss.
+        if self.procs[p].outstanding_loads() >= self.cfg.max_pending_loads {
+            self.procs[p].deferred = Some(match kind {
+                AccessKind::RedLoad => Inst::RedLoad { addr: a },
+                _ => Inst::RedUpdate { addr: a, val },
+            });
+            self.procs[p].stall = Stall::Mshr;
+            return false;
+        }
+        self.charge_red_issue(p, kind);
+        let seq = self.procs[p].instr_count;
+        let mut pr = PendingRed { line, seq, updates: Vec::new() };
+        if kind == AccessKind::RedUpdate {
+            pr.updates.push((elem, val));
+        }
+        self.procs[p].pending_red.push(pr);
+        self.start_transaction(p, line, MsgKind::RedFill);
+        true
+    }
+
+    /// Remove a plain-state copy of `line` so it can be re-fetched in the
+    /// reduction state ("irrespective of its state, the line is then
+    /// invalidated", Section 5.1.2).
+    fn evict_plain_for_reduction(&mut self, p: usize, line: LineAddr, st: LineState, l2: bool) {
+        if !l2 {
+            let ln = self.nodes[p].l1.invalidate(line);
+            // Inclusion: the L2 copy also goes.
+            let l2ln = self.nodes[p].l2.invalidate(line);
+            let data = ln.map(|l| l.data).or(l2ln.map(|l| l.data)).unwrap_or([0; 8]);
+            if st == LineState::Modified
+                || l2ln.map(|l| l.state) == Some(LineState::Modified)
+            {
+                self.counters.writebacks += 1;
+                self.start_transaction(p, line, MsgKind::WriteBack(data));
+            }
+        } else if let Some(ln) = self.nodes[p].l2.invalidate(line) {
+            if ln.state == LineState::Modified {
+                self.counters.writebacks += 1;
+                self.start_transaction(p, line, MsgKind::WriteBack(ln.data));
+            }
+        }
+    }
+
+    // ----- cache bookkeeping -----------------------------------------------
+
+    fn cache_lookup(&mut self, p: usize, line: LineAddr, write: bool) -> Lookup {
+        match self.nodes[p].l1.lookup(line) {
+            Some(LineState::Modified) => Lookup::Hit,
+            Some(LineState::Shared) => {
+                if write {
+                    Lookup::NeedsUpgrade
+                } else {
+                    Lookup::Hit
+                }
+            }
+            Some(LineState::Reduction) => {
+                // Plain access to a reduction line: flush it home first,
+                // then miss (the traces we generate never do this during a
+                // loop; it can happen across phases).
+                let ln = self.nodes[p].l1.invalidate(line).expect("just looked up");
+                self.nodes[p].l2.invalidate(line);
+                self.send_red_writeback(p, line, ln.data, false);
+                Lookup::Miss
+            }
+            None => match self.nodes[p].l2.lookup(line) {
+                Some(LineState::Modified) => Lookup::L2Hit,
+                Some(LineState::Shared) => {
+                    if write {
+                        Lookup::NeedsUpgrade
+                    } else {
+                        Lookup::L2Hit
+                    }
+                }
+                Some(LineState::Reduction) => {
+                    let ln = self.nodes[p].l2.invalidate(line).expect("just looked up");
+                    self.send_red_writeback(p, line, ln.data, false);
+                    Lookup::Miss
+                }
+                None => Lookup::Miss,
+            },
+        }
+    }
+
+    fn write_elem(&mut self, p: usize, line: LineAddr, elem: usize, val: u64) {
+        if let Some(ln) = self.nodes[p].l1.line_mut(line) {
+            ln.data[elem] = val;
+        } else if let Some(ln) = self.nodes[p].l2.line_mut(line) {
+            ln.data[elem] = val;
+        }
+    }
+
+    /// Copy an L2-resident line into L1 (L1 fill on an L2 hit).
+    fn promote_to_l1(&mut self, p: usize, line: LineAddr, write: bool) {
+        let (state, data) = match self.nodes[p].l2.line_mut(line) {
+            Some(ln) => (ln.state, ln.data),
+            None => return,
+        };
+        let st = if write { LineState::Modified } else { state };
+        if write {
+            self.nodes[p].l2.set_state(line, LineState::Modified);
+        }
+        if let Some(v) = self.nodes[p].l1.insert(line, st, data) {
+            self.l1_victim(p, v);
+        }
+    }
+
+    fn promote_red_to_l1(&mut self, p: usize, line: LineAddr) {
+        let data = match self.nodes[p].l2.line_mut(line) {
+            Some(ln) => ln.data,
+            None => return,
+        };
+        if let Some(v) = self.nodes[p].l1.insert(line, LineState::Reduction, data) {
+            self.l1_victim(p, v);
+        }
+    }
+
+    /// Handle a line displaced from L1: fold it into its (inclusive) L2
+    /// copy.
+    fn l1_victim(&mut self, p: usize, v: Victim) {
+        match v.state {
+            LineState::Shared => {}
+            LineState::Modified => {
+                if self.nodes[p].l2.set_state(v.addr, LineState::Modified) {
+                    if self.cfg.track_values {
+                        if let Some(ln) = self.nodes[p].l2.line_mut(v.addr) {
+                            ln.data = v.data;
+                        }
+                    }
+                } else {
+                    // Inclusion was broken by an L2 eviction racing this
+                    // victim; send it home directly.
+                    self.counters.writebacks += 1;
+                    self.start_transaction(p, v.addr, MsgKind::WriteBack(v.data));
+                }
+            }
+            LineState::Reduction => {
+                if let Some(ln) = self.nodes[p].l2.line_mut(v.addr) {
+                    ln.data = v.data;
+                } else {
+                    self.send_red_writeback(p, v.addr, v.data, false);
+                }
+            }
+        }
+    }
+
+    /// Handle a line displaced from L2: enforce inclusion, then write back
+    /// dirty or reduction contents.
+    fn l2_victim(&mut self, p: usize, v: Victim) {
+        let mut data = v.data;
+        let mut state = v.state;
+        if let Some(l1ln) = self.nodes[p].l1.invalidate(v.addr) {
+            data = l1ln.data;
+            if l1ln.state == LineState::Modified {
+                state = LineState::Modified;
+            }
+        }
+        match state {
+            LineState::Shared => {}
+            LineState::Modified => {
+                self.counters.writebacks += 1;
+                self.start_transaction(p, v.addr, MsgKind::WriteBack(data));
+            }
+            LineState::Reduction => {
+                self.send_red_writeback(p, v.addr, data, false);
+            }
+        }
+    }
+
+    fn send_red_writeback(&mut self, p: usize, line: LineAddr, data: [u64; 8], flush: bool) {
+        if flush {
+            self.counters.red_flushed += 1;
+        } else {
+            self.counters.red_displaced += 1;
+        }
+        self.start_transaction(p, line, MsgKind::RedWriteBack { data, flush });
+    }
+
+    /// Install a fill into both cache levels, handling displacements.
+    fn install(&mut self, p: usize, line: LineAddr, st: LineState, data: [u64; 8]) {
+        // The line may already be resident (e.g., racing upgrade): update.
+        if self.nodes[p].l2.probe(line).is_some() {
+            self.nodes[p].l2.set_state(line, st);
+            if self.cfg.track_values {
+                if let Some(ln) = self.nodes[p].l2.line_mut(line) {
+                    ln.data = data;
+                }
+            }
+        } else if let Some(v) = self.nodes[p].l2.insert(line, st, data) {
+            self.l2_victim(p, v);
+        }
+        if self.nodes[p].l1.probe(line).is_some() {
+            self.nodes[p].l1.set_state(line, st);
+            if self.cfg.track_values {
+                if let Some(ln) = self.nodes[p].l1.line_mut(line) {
+                    ln.data = data;
+                }
+            }
+        } else if let Some(v) = self.nodes[p].l1.insert(line, st, data) {
+            self.l1_victim(p, v);
+        }
+    }
+
+    // ----- transactions ----------------------------------------------------
+
+    /// Begin a memory transaction from processor `p`: the request leaves the
+    /// cache hierarchy and arrives at the local directory controller.
+    fn start_transaction(&mut self, p: usize, line: LineAddr, kind: MsgKind) {
+        let lookup = self.cfg.l1.latency + self.cfg.l2.latency + self.cfg.bus_latency;
+        let t = self.procs[p].cycle + lookup;
+        self.push(
+            t,
+            Event::DirArrive { node: p as u8, msg: Msg { src: p as u8, line, kind } },
+        );
+    }
+
+    fn dir_arrive(&mut self, node: usize, msg: Msg, t: u64) {
+        let src = msg.src as usize;
+        let home = self.home_of_line(msg.line, src);
+        match msg.kind {
+            MsgKind::RedFill => {
+                // Serviced locally: the controller supplies a neutral line.
+                debug_assert_eq!(node, src, "reduction fills never leave the node");
+                let occ = self.cfg.red_handler_occupancy();
+                let start = t.max(self.nodes[node].dir_busy);
+                self.nodes[node].dir_busy = start + 2 * occ;
+                self.counters.red_fills += 1;
+                let neutral = self.nodes[node].red_op.neutral();
+                let ready = start + 2 * occ;
+                let fill = ready
+                    + self.cfg.bus_latency
+                    + self.cfg.l2.latency
+                    + self.cfg.l1.latency;
+                self.push(
+                    fill,
+                    Event::ProcFill {
+                        p: src as u8,
+                        line: msg.line,
+                        kind: FillKind::Red,
+                        data: [neutral; 8],
+                    },
+                );
+            }
+            MsgKind::ReadShared | MsgKind::ReadExcl | MsgKind::Upgrade => {
+                if node != home {
+                    // Local controller snoops the outbound request, then the
+                    // network carries it to the home.
+                    let occ = self.cfg.dir_occupancy;
+                    let start = t.max(self.nodes[node].dir_busy);
+                    self.nodes[node].dir_busy = start + occ;
+                    let arr = self.port_send(node, home, start + occ);
+                    self.push(arr, Event::DirArrive { node: home as u8, msg });
+                } else {
+                    self.home_handle_request(home, msg, t);
+                }
+            }
+            MsgKind::WriteBack(_) | MsgKind::RedWriteBack { .. } => {
+                if node != home {
+                    let occ = self.cfg.dir_occupancy;
+                    let start = t.max(self.nodes[node].dir_busy);
+                    self.nodes[node].dir_busy = start + occ;
+                    let arr = self.port_send(node, home, start + occ);
+                    self.push(arr, Event::DirArrive { node: home as u8, msg });
+                } else {
+                    self.home_handle_writeback(home, msg, t);
+                }
+            }
+        }
+    }
+
+    fn home_handle_request(&mut self, home: usize, msg: Msg, t: u64) {
+        let src = msg.src as usize;
+        let line = msg.line;
+        let occ = self.cfg.dir_occupancy;
+        let start = t.max(self.nodes[home].dir_busy);
+        self.nodes[home].dir_busy = start + 2 * occ;
+        self.counters.mem_accesses += 1;
+        if src == home {
+            self.counters.local_misses += 1;
+        } else {
+            self.counters.remote_misses += 1;
+        }
+
+        let mut extra = 0u64;
+        let state = self.nodes[home].dir.state(line);
+        match state {
+            DirState::Dirty(owner) => {
+                let owner = owner as usize;
+                self.counters.recalls += 1;
+                // Recall the dirty copy: home -> owner -> home.
+                extra += if owner == home {
+                    2 * self.cfg.bus_latency
+                } else {
+                    2 * self.cfg.net_hop_latency + self.cfg.bus_latency
+                };
+                let data = self.recall_from(owner, line);
+                if self.cfg.track_values {
+                    if let Some(d) = data {
+                        self.mem.write_line(line, d);
+                    }
+                }
+            }
+            DirState::Shared(_) => {
+                if matches!(msg.kind, MsgKind::ReadExcl | MsgKind::Upgrade) {
+                    let sharers: Vec<usize> =
+                        state.sharers().filter(|&s| s != src).collect();
+                    if !sharers.is_empty() {
+                        self.counters.invalidations += sharers.len() as u64;
+                        let remote = sharers.iter().any(|&s| s != home);
+                        extra += if remote {
+                            2 * self.cfg.net_hop_latency
+                        } else {
+                            2 * self.cfg.bus_latency
+                        };
+                        for s in sharers {
+                            self.invalidate_at(s, line);
+                        }
+                    }
+                }
+            }
+            DirState::Uncached => {}
+        }
+
+        let (fill_kind, new_state) = match msg.kind {
+            MsgKind::ReadShared => {
+                let mut st = self.nodes[home].dir.state(line);
+                if matches!(st, DirState::Dirty(_)) {
+                    st = DirState::Uncached;
+                }
+                let mut st = if matches!(st, DirState::Uncached) {
+                    DirState::Shared(0)
+                } else {
+                    st
+                };
+                st.add_sharer(src);
+                (FillKind::Load, st)
+            }
+            MsgKind::ReadExcl => (FillKind::Store, DirState::Dirty(src as u8)),
+            MsgKind::Upgrade => (FillKind::Upgrade, DirState::Dirty(src as u8)),
+            _ => unreachable!(),
+        };
+        self.nodes[home].dir.set_state(line, new_state);
+
+        let data = if self.cfg.track_values {
+            self.mem.read_line(line)
+        } else {
+            [0; 8]
+        };
+        let ready = start + occ + extra + self.cfg.mem_latency + occ;
+        let fill_arrival = if src == home {
+            ready + self.cfg.bus_latency
+        } else {
+            self.port_send(home, src, ready) + self.cfg.bus_latency
+        };
+        let fill = fill_arrival + self.cfg.l2.latency + self.cfg.l1.latency;
+        self.push(
+            fill,
+            Event::ProcFill { p: src as u8, line, kind: fill_kind, data },
+        );
+    }
+
+    fn home_handle_writeback(&mut self, home: usize, msg: Msg, t: u64) {
+        let line = msg.line;
+        match msg.kind {
+            MsgKind::WriteBack(data) => {
+                let occ = self.cfg.dir_occupancy;
+                let start = t.max(self.nodes[home].dir_busy);
+                self.nodes[home].dir_busy = start + occ;
+                if self.cfg.track_values {
+                    self.mem.write_line(line, data);
+                }
+                // Only clear ownership if this writer still owns the line.
+                if let DirState::Dirty(o) = self.nodes[home].dir.state(line) {
+                    if o == msg.src {
+                        self.nodes[home].dir.set_state(line, DirState::Uncached);
+                    }
+                }
+            }
+            MsgKind::RedWriteBack { data, flush } => {
+                let occ = self.cfg.red_handler_occupancy();
+                let start = t.max(self.nodes[home].dir_busy);
+                self.nodes[home].dir_busy = start + occ;
+                // Section 5.1.3: recall or invalidate lingering
+                // non-reduction copies before combining.  The write-backs
+                // use the *real* line address for directory purposes.
+                let real = self
+                    .geom
+                    .line_of(addr::from_shadow(self.geom.line_base(line)));
+                let mut extra = 0u64;
+                match self.nodes[home].dir.state(real) {
+                    DirState::Dirty(owner) => {
+                        self.counters.recalls += 1;
+                        let owner = owner as usize;
+                        extra += if owner == home {
+                            2 * self.cfg.bus_latency
+                        } else {
+                            2 * self.cfg.net_hop_latency
+                        };
+                        if let Some(d) = self.recall_from(owner, real) {
+                            if self.cfg.track_values {
+                                self.mem.write_line(real, d);
+                            }
+                        }
+                        self.nodes[home].dir.set_state(real, DirState::Uncached);
+                    }
+                    DirState::Shared(_) => {
+                        let sharers: Vec<usize> =
+                            self.nodes[home].dir.state(real).sharers().collect();
+                        self.counters.invalidations += sharers.len() as u64;
+                        for s in sharers {
+                            self.invalidate_at(s, real);
+                        }
+                        self.nodes[home].dir.set_state(real, DirState::Uncached);
+                    }
+                    DirState::Uncached => {}
+                }
+                // Queue the line on the combine unit.
+                let unit_start = (start + occ + extra).max(self.nodes[home].red_unit_busy);
+                let cfg_occ = self.cfg.combine_line_occupancy();
+                self.nodes[home].red_unit_busy = unit_start + cfg_occ;
+                self.counters.combines += self.cfg.elems_per_line() as u64;
+                if self.cfg.track_values {
+                    let op = self.nodes[home].red_op;
+                    let mut cur = self.mem.read_line(real);
+                    for (i, c) in cur.iter_mut().enumerate() {
+                        *c = op.apply(*c, data[i]);
+                    }
+                    self.mem.write_line(real, cur);
+                }
+                if flush {
+                    let done = unit_start + cfg_occ;
+                    let src = msg.src as usize;
+                    let arr = if src == home {
+                        done + self.cfg.bus_latency
+                    } else {
+                        self.port_send(home, src, done)
+                    };
+                    self.push(arr, Event::FlushAck { p: msg.src });
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Remove a dirty line from a remote cache (recall); returns its data.
+    fn recall_from(&mut self, owner: usize, line: LineAddr) -> Option<[u64; 8]> {
+        let l1 = self.nodes[owner].l1.invalidate(line);
+        let l2 = self.nodes[owner].l2.invalidate(line);
+        match (l1, l2) {
+            (Some(a), _) => Some(a.data),
+            (None, Some(b)) => Some(b.data),
+            (None, None) => None,
+        }
+    }
+
+    fn invalidate_at(&mut self, node: usize, line: LineAddr) {
+        self.nodes[node].l1.invalidate(line);
+        self.nodes[node].l2.invalidate(line);
+    }
+
+    // ----- fills -------------------------------------------------------------
+
+    fn proc_fill(&mut self, p: usize, line: LineAddr, kind: FillKind, data: [u64; 8], t: u64) {
+        match kind {
+            FillKind::Load => {
+                self.install(p, line, LineState::Shared, data);
+                self.procs[p].pending_loads.retain(|(l, _)| *l != line);
+            }
+            FillKind::Store | FillKind::Upgrade => {
+                let mut d = data;
+                let idx = self.procs[p].pending_stores.iter().position(|s| s.line == line);
+                if let Some(i) = idx {
+                    let ps = self.procs[p].pending_stores.remove(i);
+                    if self.cfg.track_values {
+                        for (e, v) in ps.updates {
+                            d[e] = v;
+                        }
+                    }
+                }
+                self.install(p, line, LineState::Modified, d);
+            }
+            FillKind::Red => {
+                let mut d = data;
+                let idx = self.procs[p].pending_red.iter().position(|r| r.line == line);
+                if let Some(i) = idx {
+                    let pr = self.procs[p].pending_red.remove(i);
+                    if self.cfg.track_values {
+                        let op = self.nodes[p].red_op;
+                        for (e, v) in pr.updates {
+                            d[e] = op.apply(d[e], v);
+                        }
+                    }
+                }
+                self.install(p, line, LineState::Reduction, d);
+            }
+        }
+        // Wake the processor if this fill cleared its stall condition.
+        match self.procs[p].stall {
+            Stall::Mshr | Stall::Window | Stall::StoreBuf => {
+                self.procs[p].stall = Stall::None;
+                let wake = t.max(self.procs[p].cycle);
+                self.push(wake, Event::ProcRun { p: p as u8 });
+            }
+            _ => {}
+        }
+    }
+
+    // ----- flush -------------------------------------------------------------
+
+    fn do_flush(&mut self, p: usize) -> bool {
+        // The sweep walks the caches; cost proportional to cache size, not
+        // to the reduction array ("the work is at worst proportional to the
+        // size of the cache").
+        let sweep = (self.cfg.l1.lines() + self.cfg.l2.lines()) as u64 / 4;
+        self.procs[p].cycle += sweep;
+        self.procs[p].instr_count += 1;
+        self.counters.instructions += 1;
+
+        // Merge L1 reduction copies into their (inclusive) L2 copies, then
+        // drain L2.
+        let l1_red = self.nodes[p].l1.drain_reduction_lines();
+        for ln in l1_red {
+            if let Some(l2ln) = self.nodes[p].l2.line_mut(ln.addr) {
+                l2ln.data = ln.data;
+            } else {
+                // Inclusion broken (L2 displaced it earlier): send directly.
+                self.send_red_writeback(p, ln.addr, ln.data, true);
+                self.procs[p].flush_outstanding += 1;
+            }
+        }
+        // Drain L2 reduction lines; network-port occupancy paces the
+        // resulting burst of write-backs toward the homes.
+        let drained = self.nodes[p].l2.drain_reduction_lines();
+        for ln in &drained {
+            self.send_red_writeback(p, ln.addr, ln.data, true);
+            self.procs[p].flush_outstanding += 1;
+        }
+        if self.procs[p].flush_outstanding > 0 {
+            self.procs[p].stall = Stall::FlushWait;
+            false
+        } else {
+            true
+        }
+    }
+
+    fn flush_ack(&mut self, p: usize, t: u64) {
+        self.procs[p].flush_outstanding -= 1;
+        if self.procs[p].flush_outstanding == 0 && self.procs[p].stall == Stall::FlushWait {
+            self.procs[p].stall = Stall::None;
+            let wake = t.max(self.procs[p].cycle);
+            self.push(wake, Event::ProcRun { p: p as u8 });
+        }
+    }
+
+    // ----- barrier -----------------------------------------------------------
+
+    fn arrive_barrier(&mut self, p: usize) {
+        assert!(!self.barrier.arrived[p], "double barrier arrival by proc {p}");
+        self.barrier.arrived[p] = true;
+        self.barrier.count += 1;
+        self.barrier.max_t = self.barrier.max_t.max(self.procs[p].cycle);
+        self.procs[p].stall = Stall::Barrier;
+        self.check_barrier_release();
+    }
+
+    fn check_barrier_release(&mut self) {
+        let active = self.cfg.nodes - self.done_procs;
+        if active == 0 || self.barrier.count < active {
+            return;
+        }
+        // Everyone still running has arrived: release.
+        let release = self.barrier.max_t + 2 * self.cfg.bus_latency;
+        self.counters.barriers += 1;
+        let arrived = std::mem::replace(&mut self.barrier.arrived, vec![false; self.cfg.nodes]);
+        self.barrier.count = 0;
+        self.barrier.max_t = 0;
+        for (p, was) in arrived.into_iter().enumerate() {
+            if was {
+                self.procs[p].stall = Stall::None;
+                self.procs[p].cycle = release;
+                self.push(release, Event::ProcRun { p: p as u8 });
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    Load,
+    Store,
+    RedLoad,
+    RedUpdate,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lookup {
+    Hit,
+    L2Hit,
+    NeedsUpgrade,
+    Miss,
+}

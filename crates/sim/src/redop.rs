@@ -1,0 +1,122 @@
+//! Reduction operators supported by the PCLR hardware (Section 5.1.4).
+//!
+//! The directory controller is configured, before a reduction loop runs,
+//! with the data type and operation of the reduction; each node's combine
+//! unit then applies that operation when merging displaced reduction lines
+//! into memory.  The paper's applications only use double-precision
+//! floating-point addition, but the hardware description also admits
+//! integer operations and FP comparison (max/min), so we support those.
+//!
+//! Values travel through the simulated memory system as raw `u64` bit
+//! patterns; the operator interprets them.
+
+use serde::{Deserialize, Serialize};
+
+/// A reduction operator with its identity (neutral) element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedOp {
+    /// Double-precision floating-point addition (the common case).
+    AddF64,
+    /// 64-bit integer addition (wrapping, matching hardware adders).
+    AddI64,
+    /// Double-precision maximum.
+    MaxF64,
+    /// Double-precision minimum.
+    MinF64,
+    /// 64-bit integer bitwise OR (used by some flag reductions).
+    OrI64,
+}
+
+impl RedOp {
+    /// The neutral element of the operation, as a raw bit pattern.  Lines
+    /// filled on demand by the directory controller contain this value in
+    /// every element.
+    #[inline]
+    pub fn neutral(self) -> u64 {
+        match self {
+            RedOp::AddF64 => 0f64.to_bits(),
+            RedOp::AddI64 => 0,
+            RedOp::MaxF64 => f64::NEG_INFINITY.to_bits(),
+            RedOp::MinF64 => f64::INFINITY.to_bits(),
+            RedOp::OrI64 => 0,
+        }
+    }
+
+    /// Combine two values (both raw bit patterns), returning the result as
+    /// a raw bit pattern.  The operation is associative and commutative,
+    /// which is what makes displacement-order combining legal.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            RedOp::AddF64 => (f64::from_bits(a) + f64::from_bits(b)).to_bits(),
+            RedOp::AddI64 => (a as i64).wrapping_add(b as i64) as u64,
+            RedOp::MaxF64 => f64::from_bits(a).max(f64::from_bits(b)).to_bits(),
+            RedOp::MinF64 => f64::from_bits(a).min(f64::from_bits(b)).to_bits(),
+            RedOp::OrI64 => a | b,
+        }
+    }
+
+    /// True if the operator needs the floating-point unit of the combine
+    /// engine (the paper argues an FP adder and comparator suffice).
+    pub fn is_fp(self) -> bool {
+        matches!(self, RedOp::AddF64 | RedOp::MaxF64 | RedOp::MinF64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_elements_are_identities() {
+        let samples = [3.5f64.to_bits(), (-7.25f64).to_bits(), 0f64.to_bits()];
+        for op in [RedOp::AddF64, RedOp::MaxF64, RedOp::MinF64] {
+            for &v in &samples {
+                assert_eq!(op.apply(op.neutral(), v), v, "{op:?}");
+                assert_eq!(op.apply(v, op.neutral()), v, "{op:?}");
+            }
+        }
+        for op in [RedOp::AddI64, RedOp::OrI64] {
+            for v in [0u64, 1, 42, u64::MAX / 2] {
+                assert_eq!(op.apply(op.neutral(), v), v, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_add_is_exact_and_commutative() {
+        let op = RedOp::AddI64;
+        assert_eq!(op.apply(3, 4), 7);
+        assert_eq!(op.apply(4, 3), 7);
+        // Wrapping, like a hardware adder.
+        assert_eq!(op.apply(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn fp_add_combines() {
+        let op = RedOp::AddF64;
+        let r = f64::from_bits(op.apply(1.5f64.to_bits(), 2.25f64.to_bits()));
+        assert_eq!(r, 3.75);
+    }
+
+    #[test]
+    fn max_min_or() {
+        assert_eq!(
+            f64::from_bits(RedOp::MaxF64.apply(1.0f64.to_bits(), 2.0f64.to_bits())),
+            2.0
+        );
+        assert_eq!(
+            f64::from_bits(RedOp::MinF64.apply(1.0f64.to_bits(), 2.0f64.to_bits())),
+            1.0
+        );
+        assert_eq!(RedOp::OrI64.apply(0b0101, 0b0011), 0b0111);
+    }
+
+    #[test]
+    fn fp_classification() {
+        assert!(RedOp::AddF64.is_fp());
+        assert!(RedOp::MaxF64.is_fp());
+        assert!(!RedOp::AddI64.is_fp());
+        assert!(!RedOp::OrI64.is_fp());
+    }
+}

@@ -1,0 +1,224 @@
+//! Simulation statistics: per-phase cycle accounting (Figure 6's
+//! Init/Loop/Merge breakdown) and the event counters behind Table 2's
+//! "Lines Flushed" / "Lines Displaced" columns.
+
+use crate::trace::Phase;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated machine-wide during a run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Counters {
+    /// L1 data cache hits.
+    pub l1_hits: u64,
+    /// L1 misses that hit in L2.
+    pub l2_hits: u64,
+    /// Misses that left the node (or reached local memory).
+    pub mem_accesses: u64,
+    /// Requests satisfied by local memory (requester == home).
+    pub local_misses: u64,
+    /// Requests satisfied by a remote home.
+    pub remote_misses: u64,
+    /// Reduction fills: reduction misses satisfied with neutral lines by
+    /// the local directory controller.
+    pub red_fills: u64,
+    /// Reduction lines displaced from L2 during loop execution and combined
+    /// at their home in the background (Table 2 "Lines Displaced").
+    pub red_displaced: u64,
+    /// Reduction lines written back by the end-of-loop flush
+    /// (Table 2 "Lines Flushed").
+    pub red_flushed: u64,
+    /// Individual element combines performed by home combine units.
+    pub combines: u64,
+    /// Invalidation messages sent.
+    pub invalidations: u64,
+    /// Dirty-line recalls.
+    pub recalls: u64,
+    /// Plain write-backs of modified lines.
+    pub writebacks: u64,
+    /// Instructions retired (all classes, unbundled).
+    pub instructions: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+}
+
+/// Per-processor phase time accounting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    records: Vec<(Phase, u64, u64)>, // phase, start, end
+    current: Option<(Phase, u64)>,
+}
+
+impl PhaseTimes {
+    /// Enter a phase at `cycle`, closing the previous one.
+    pub fn enter(&mut self, phase: Phase, cycle: u64) {
+        if let Some((p, start)) = self.current.take() {
+            self.records.push((p, start, cycle));
+        }
+        self.current = Some((phase, cycle));
+    }
+
+    /// Close the open phase at the final cycle.
+    pub fn finish(&mut self, cycle: u64) {
+        if let Some((p, start)) = self.current.take() {
+            self.records.push((p, start, cycle));
+        }
+    }
+
+    /// Total cycles spent in `phase`.
+    pub fn time_in(&self, phase: Phase) -> u64 {
+        self.records
+            .iter()
+            .filter(|(p, _, _)| *p == phase)
+            .map(|(_, s, e)| e - s)
+            .sum()
+    }
+
+    /// All recorded (phase, start, end) intervals.
+    pub fn records(&self) -> &[(Phase, u64, u64)] {
+        &self.records
+    }
+}
+
+/// The complete result of a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Machine-wide event counters.
+    pub counters: Counters,
+    /// Per-processor phase times.
+    pub proc_phases: Vec<PhaseTimes>,
+    /// Final cycle of each processor.
+    pub proc_cycles: Vec<u64>,
+    /// Global completion time (max over processors).
+    pub total_cycles: u64,
+}
+
+impl RunStats {
+    /// Wall-clock cycles attributed to a phase: the maximum over processors
+    /// of the time each spent in the phase.  Phases are barrier-delimited in
+    /// the generated traces, so this equals the phase's wall time.
+    pub fn phase_time(&self, phase: Phase) -> u64 {
+        self.proc_phases.iter().map(|p| p.time_in(phase)).max().unwrap_or(0)
+    }
+
+    /// Breakdown over the three Figure 6 phases, in cycles.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        PhaseBreakdown {
+            init: self.phase_time(Phase::Init),
+            looptime: self.phase_time(Phase::Loop),
+            merge: self.phase_time(Phase::Merge),
+        }
+    }
+}
+
+/// The Init/Loop/Merge split of Figure 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Private-array initialization (software schemes; zero for PCLR).
+    pub init: u64,
+    /// Parallel loop body.
+    pub looptime: u64,
+    /// Merge (software) or flush (PCLR).
+    pub merge: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the three phases.
+    pub fn total(&self) -> u64 {
+        self.init + self.looptime + self.merge
+    }
+
+    /// Each phase as a fraction of another breakdown's total (Figure 6
+    /// normalizes all bars to the software scheme).
+    pub fn normalized_to(&self, base: &PhaseBreakdown) -> (f64, f64, f64) {
+        let t = base.total().max(1) as f64;
+        (self.init as f64 / t, self.looptime as f64 / t, self.merge as f64 / t)
+    }
+}
+
+/// Harmonic mean, the average the paper uses for cross-application
+/// speedups ("since there is a significant variation in speedup figures
+/// across applications, we report average results using the harmonic
+/// mean").
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "harmonic mean of empty slice");
+    let s: f64 = xs.iter().map(|x| {
+        assert!(*x > 0.0, "harmonic mean requires positive values");
+        1.0 / x
+    }).sum();
+    xs.len() as f64 / s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_times_accumulate() {
+        let mut pt = PhaseTimes::default();
+        pt.enter(Phase::Init, 0);
+        pt.enter(Phase::Loop, 100);
+        pt.enter(Phase::Merge, 350);
+        pt.finish(400);
+        assert_eq!(pt.time_in(Phase::Init), 100);
+        assert_eq!(pt.time_in(Phase::Loop), 250);
+        assert_eq!(pt.time_in(Phase::Merge), 50);
+        assert_eq!(pt.time_in(Phase::Epilogue), 0);
+        assert_eq!(pt.records().len(), 3);
+    }
+
+    #[test]
+    fn repeated_phases_sum() {
+        let mut pt = PhaseTimes::default();
+        pt.enter(Phase::Loop, 0);
+        pt.enter(Phase::Merge, 10);
+        pt.enter(Phase::Loop, 30);
+        pt.finish(70);
+        assert_eq!(pt.time_in(Phase::Loop), 10 + 40);
+        assert_eq!(pt.time_in(Phase::Merge), 20);
+    }
+
+    #[test]
+    fn run_stats_phase_time_is_max_over_procs() {
+        let mut a = PhaseTimes::default();
+        a.enter(Phase::Loop, 0);
+        a.finish(100);
+        let mut b = PhaseTimes::default();
+        b.enter(Phase::Loop, 0);
+        b.finish(130);
+        let rs = RunStats {
+            proc_phases: vec![a, b],
+            proc_cycles: vec![100, 130],
+            total_cycles: 130,
+            ..Default::default()
+        };
+        assert_eq!(rs.phase_time(Phase::Loop), 130);
+        let bd = rs.breakdown();
+        assert_eq!(bd.looptime, 130);
+        assert_eq!(bd.init, 0);
+    }
+
+    #[test]
+    fn breakdown_normalization() {
+        let sw = PhaseBreakdown { init: 100, looptime: 300, merge: 100 };
+        let hw = PhaseBreakdown { init: 0, looptime: 250, merge: 50 };
+        let (i, l, m) = hw.normalized_to(&sw);
+        assert!((i - 0.0).abs() < 1e-12);
+        assert!((l - 0.5).abs() < 1e-12);
+        assert!((m - 0.1).abs() < 1e-12);
+        assert_eq!(sw.total(), 500);
+    }
+
+    #[test]
+    fn harmonic_mean_matches_hand_computation() {
+        let hm = harmonic_mean(&[1.0, 2.0, 4.0]);
+        assert!((hm - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+        // Harmonic mean is dominated by the smallest value.
+        assert!(hm < (1.0 + 2.0 + 4.0) / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn harmonic_mean_rejects_zero() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Abstract instruction traces driving the simulated processors.
+//!
+//! The original evaluation used MINT-based execution-driven simulation: the
+//! real application binary ran and its memory references drove the timing
+//! model.  We drive the same timing model with *abstract instruction
+//! streams*: sequences of compute bundles, loads, stores and reduction
+//! accesses generated from workload access patterns
+//! (`smartapps-workloads::tracegen`).  Because the Sw/Hw/Flex comparison is
+//! determined by the memory reference stream and not by the identity of the
+//! arithmetic, this preserves the experiment.
+
+use crate::addr::Addr;
+use crate::redop::RedOp;
+
+/// Execution phases, matching the bar-chart breakdown of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Phase {
+    /// Before any phase mark.
+    #[default]
+    Startup,
+    /// Initialization of private arrays (software schemes only).
+    Init,
+    /// The parallel reduction loop body.
+    Loop,
+    /// Merging partial results (software) — or flushing caches (PCLR).
+    Merge,
+    /// Anything after the reduction (checks, teardown).
+    Epilogue,
+}
+
+use serde::{Deserialize, Serialize};
+
+/// One abstract instruction.
+///
+/// `Work` bundles adjacent non-memory instructions so the hot simulation
+/// path does not pay per-instruction overhead for arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant fields are described in the variant docs
+pub enum Inst {
+    /// A bundle of non-memory instructions: `ints` integer ops, `fps`
+    /// floating-point ops, `branches` (mispredicted fraction is charged by
+    /// the processor model).
+    Work { ints: u32, fps: u32, branches: u32 },
+    /// A plain (coherent) load.
+    Load { addr: Addr },
+    /// A plain (coherent) store.  `val` is the stored bit pattern when
+    /// value tracking is enabled (ignored otherwise).
+    Store { addr: Addr, val: u64 },
+    /// A reduction load: marked with the special "reduction" semantics of
+    /// Section 5.1.1 (or, equivalently, addressed to the shadow space).
+    RedLoad { addr: Addr },
+    /// A reduction update: accumulates `val` into the reduction line using
+    /// the configured operator.  Models the `load&pin`/`store&unpin` pair
+    /// around the add; charged as one load, one FP op and one store.
+    RedUpdate { addr: Addr, val: u64 },
+    /// Configure the node's directory controller for a reduction operation
+    /// (the `ConfigHardware()` system call in Figure 5).
+    ConfigPclr { op: RedOp },
+    /// Flush all reduction lines from this processor's caches, waiting for
+    /// the home controllers to acknowledge the combines (end of Figure 5's
+    /// loop: `CacheFlush()`).
+    Flush,
+    /// Global barrier; all processors must arrive before any proceeds.
+    Barrier,
+    /// Phase boundary marker for statistics.
+    SetPhase(Phase),
+}
+
+/// A source of instructions for one processor.  Streams are pulled lazily
+/// so multi-million-instruction loops need no materialized trace.
+pub trait TraceSource: Send {
+    /// Produce the next instruction, or `None` when the processor is done.
+    fn next_inst(&mut self) -> Option<Inst>;
+}
+
+/// A trace source backed by a pre-built vector (tests, small kernels).
+#[derive(Debug, Clone, Default)]
+pub struct VecTrace {
+    insts: Vec<Inst>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Wrap a vector of instructions.
+    pub fn new(insts: Vec<Inst>) -> Self {
+        VecTrace { insts, pos: 0 }
+    }
+
+    /// Number of instructions remaining.
+    pub fn remaining(&self) -> usize {
+        self.insts.len() - self.pos
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_inst(&mut self) -> Option<Inst> {
+        let i = self.insts.get(self.pos).copied();
+        if i.is_some() {
+            self.pos += 1;
+        }
+        i
+    }
+}
+
+/// An empty trace (processor immediately done); useful for idle nodes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyTrace;
+
+impl TraceSource for EmptyTrace {
+    fn next_inst(&mut self) -> Option<Inst> {
+        None
+    }
+}
+
+/// A trace source produced by a generator closure, for procedurally
+/// generated streams without allocation of the whole trace.
+pub struct FnTrace<F: FnMut() -> Option<Inst> + Send>(pub F);
+
+impl<F: FnMut() -> Option<Inst> + Send> TraceSource for FnTrace<F> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        (self.0)()
+    }
+}
+
+/// Convenience builder for hand-written traces in tests and examples.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    insts: Vec<Inst>,
+}
+
+impl TraceBuilder {
+    /// Start an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a compute bundle.
+    pub fn work(mut self, ints: u32, fps: u32) -> Self {
+        self.insts.push(Inst::Work { ints, fps, branches: 0 });
+        self
+    }
+
+    /// Append a plain load.
+    pub fn load(mut self, addr: Addr) -> Self {
+        self.insts.push(Inst::Load { addr });
+        self
+    }
+
+    /// Append a plain store.
+    pub fn store(mut self, addr: Addr, val: u64) -> Self {
+        self.insts.push(Inst::Store { addr, val });
+        self
+    }
+
+    /// Append a reduction update.
+    pub fn red_update(mut self, addr: Addr, val: u64) -> Self {
+        self.insts.push(Inst::RedUpdate { addr, val });
+        self
+    }
+
+    /// Append a PCLR configuration call.
+    pub fn config_pclr(mut self, op: RedOp) -> Self {
+        self.insts.push(Inst::ConfigPclr { op });
+        self
+    }
+
+    /// Append a cache flush of reduction lines.
+    pub fn flush(mut self) -> Self {
+        self.insts.push(Inst::Flush);
+        self
+    }
+
+    /// Append a barrier.
+    pub fn barrier(mut self) -> Self {
+        self.insts.push(Inst::Barrier);
+        self
+    }
+
+    /// Append a phase marker.
+    pub fn phase(mut self, p: Phase) -> Self {
+        self.insts.push(Inst::SetPhase(p));
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> VecTrace {
+        VecTrace::new(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_trace_yields_in_order_then_none() {
+        let mut t = TraceBuilder::new()
+            .work(3, 1)
+            .load(0x100)
+            .store(0x108, 7)
+            .barrier()
+            .build();
+        assert_eq!(t.remaining(), 4);
+        assert!(matches!(t.next_inst(), Some(Inst::Work { ints: 3, fps: 1, .. })));
+        assert!(matches!(t.next_inst(), Some(Inst::Load { addr: 0x100 })));
+        assert!(matches!(t.next_inst(), Some(Inst::Store { addr: 0x108, val: 7 })));
+        assert!(matches!(t.next_inst(), Some(Inst::Barrier)));
+        assert_eq!(t.next_inst(), None);
+        assert_eq!(t.next_inst(), None);
+    }
+
+    #[test]
+    fn empty_trace_is_done_immediately() {
+        let mut t = EmptyTrace;
+        assert_eq!(t.next_inst(), None);
+    }
+
+    #[test]
+    fn fn_trace_generates() {
+        let mut n = 0u32;
+        let mut t = FnTrace(move || {
+            n += 1;
+            if n <= 2 {
+                Some(Inst::Work { ints: n, fps: 0, branches: 0 })
+            } else {
+                None
+            }
+        });
+        assert!(matches!(t.next_inst(), Some(Inst::Work { ints: 1, .. })));
+        assert!(matches!(t.next_inst(), Some(Inst::Work { ints: 2, .. })));
+        assert_eq!(t.next_inst(), None);
+    }
+
+    #[test]
+    fn phase_default_is_startup() {
+        assert_eq!(Phase::default(), Phase::Startup);
+    }
+}

@@ -1,0 +1,207 @@
+//! Contention behaviour of the simulated machine: combine-unit
+//! saturation, network-port serialization, directory-controller occupancy
+//! and placement-policy effects.  These are the mechanisms whose modeling
+//! the paper calls out ("contention is accurately modeled in the entire
+//! system, except in the network, where it is modeled only at the source
+//! and destination ports").
+
+use smartapps_sim::addr::{regions, to_shadow};
+use smartapps_sim::directory::PlacementPolicy;
+use smartapps_sim::{Inst, Machine, MachineConfig, Phase, RedOp, TraceSource, VecTrace};
+
+fn boxed(v: Vec<Inst>) -> Box<dyn TraceSource> {
+    Box::new(VecTrace::new(v))
+}
+
+/// A displacement storm from many processors into one home saturates that
+/// home's combine unit: doubling the offered write-back load should
+/// increase total time superlinearly compared to a spread-out load.
+#[test]
+fn combine_unit_saturation_at_single_home() {
+    // All reduction lines home at node 0 (node 0 touches the pages first),
+    // then nodes 1..4 displace reduction lines continuously by touching
+    // far more lines than L2 holds.
+    let run = |lines_per_proc: u64| -> u64 {
+        let nodes = 4;
+        let cfg = MachineConfig::table1(nodes);
+        let mut traces: Vec<Box<dyn TraceSource>> = Vec::new();
+        // Node 0 claims all pages (plain touches), then idles at barriers.
+        let mut v0 = vec![Inst::ConfigPclr { op: RedOp::AddF64 }];
+        for l in 0..(3 * lines_per_proc) {
+            v0.push(Inst::Load { addr: regions::shared_elem(l * 8) });
+        }
+        v0.push(Inst::Barrier);
+        v0.push(Inst::Barrier);
+        traces.push(boxed(v0));
+        for p in 1..nodes {
+            let mut v = vec![Inst::ConfigPclr { op: RedOp::AddF64 }, Inst::Barrier];
+            v.push(Inst::SetPhase(Phase::Loop));
+            for l in 0..lines_per_proc {
+                let e = (p as u64 - 1) * lines_per_proc * 8 + l * 8;
+                v.push(Inst::RedUpdate { addr: to_shadow(regions::shared_elem(e)), val: 0 });
+            }
+            v.push(Inst::Flush);
+            v.push(Inst::Barrier);
+            traces.push(boxed(v));
+        }
+        let mut m = Machine::new(cfg, traces);
+        m.run().total_cycles
+    };
+    let small = run(512);
+    let large = run(2048);
+    // 4x the combine load on one home: the flush wait is combine-bound, so
+    // time grows at least ~2.5x (it would grow ~1x if combining were free).
+    assert!(
+        large as f64 > small as f64 * 2.0,
+        "combine saturation not visible: {small} -> {large}"
+    );
+}
+
+/// The same total reduction traffic combined at 4 homes instead of 1
+/// finishes faster: background combining parallelizes across homes.
+#[test]
+fn combining_parallelizes_across_homes() {
+    let nodes = 4;
+    let lines = 1024u64;
+    let run = |spread: bool| -> u64 {
+        let cfg = MachineConfig::table1(nodes);
+        let mut traces: Vec<Box<dyn TraceSource>> = Vec::new();
+        // Claimer: either node 0 claims everything, or each node claims its
+        // own quarter (spread).
+        for p in 0..nodes {
+            let mut v = vec![Inst::ConfigPclr { op: RedOp::AddF64 }];
+            for l in 0..lines {
+                let owner = if spread { (l % nodes as u64) as usize } else { 0 };
+                if owner == p {
+                    v.push(Inst::Load { addr: regions::shared_elem(l * 512) });
+                }
+            }
+            v.push(Inst::Barrier);
+            // Everyone then updates every line (maximal write-back traffic).
+            v.push(Inst::SetPhase(Phase::Loop));
+            for l in 0..lines {
+                v.push(Inst::RedUpdate {
+                    addr: to_shadow(regions::shared_elem(l * 512)),
+                    val: 0,
+                });
+            }
+            v.push(Inst::Flush);
+            v.push(Inst::Barrier);
+            traces.push(boxed(v));
+        }
+        let mut m = Machine::new(cfg, traces);
+        m.run().total_cycles
+    };
+    let one_home = run(false);
+    let four_homes = run(true);
+    assert!(
+        four_homes < one_home,
+        "spreading homes must help: 1 home {one_home} vs 4 homes {four_homes}"
+    );
+}
+
+/// Round-robin placement turns each processor's private streaming misses
+/// into 3/4-remote misses (104 -> 297 cycles): the mechanism behind the
+/// ablation harness's placement numbers.
+#[test]
+fn first_touch_beats_round_robin_for_streaming_loads() {
+    let nodes = 4;
+    let lines = 2048u64;
+    let mk = || -> Vec<Box<dyn TraceSource>> {
+        (0..nodes)
+            .map(|p| {
+                let mut v = Vec::new();
+                v.push(Inst::SetPhase(Phase::Loop));
+                for l in 0..lines {
+                    // Disjoint per-proc regions, streaming.
+                    let e = (p as u64 * lines + l) * 8;
+                    v.push(Inst::Load { addr: regions::shared_elem(e) });
+                }
+                v.push(Inst::Barrier);
+                boxed(v)
+            })
+            .collect()
+    };
+    let mut ft = Machine::with_placement(
+        MachineConfig::table1(nodes),
+        mk(),
+        PlacementPolicy::FirstTouch,
+    );
+    let t_ft = ft.run().total_cycles;
+    let mut rr = Machine::with_placement(
+        MachineConfig::table1(nodes),
+        mk(),
+        PlacementPolicy::RoundRobin,
+    );
+    let t_rr = rr.run().total_cycles;
+    assert!(
+        t_rr as f64 > t_ft as f64 * 1.5,
+        "3/4 of misses become 2-hop under round-robin: ft {t_ft} vs rr {t_rr}"
+    );
+}
+
+/// Many processors flushing simultaneously serialize at network ports:
+/// flushes of remote-homed lines take longer than local-homed ones.
+#[test]
+fn flush_pays_for_remote_homes() {
+    let nodes = 2;
+    let lines = 2048u64;
+    let run = |remote: bool| -> u64 {
+        let mut traces: Vec<Box<dyn TraceSource>> = Vec::new();
+        // Node 1 optionally claims all pages first.
+        let mut v1 = vec![Inst::ConfigPclr { op: RedOp::AddF64 }];
+        if remote {
+            for l in 0..lines {
+                v1.push(Inst::Load { addr: regions::shared_elem(l * 8) });
+            }
+        }
+        v1.push(Inst::Barrier);
+        v1.push(Inst::Barrier);
+        traces.insert(0, boxed(v1));
+        // Node 0 runs the PCLR loop.
+        let mut v0 = vec![Inst::ConfigPclr { op: RedOp::AddF64 }, Inst::Barrier];
+        v0.push(Inst::SetPhase(Phase::Loop));
+        for l in 0..lines {
+            v0.push(Inst::RedUpdate { addr: to_shadow(regions::shared_elem(l * 8)), val: 0 });
+        }
+        v0.push(Inst::SetPhase(Phase::Merge));
+        v0.push(Inst::Flush);
+        v0.push(Inst::Barrier);
+        traces.insert(0, boxed(v0));
+        let mut m = Machine::new(MachineConfig::table1(nodes), traces);
+        let stats = m.run();
+        stats.proc_phases[0].time_in(Phase::Merge)
+    };
+    let local = run(false);
+    let remote = run(true);
+    assert!(
+        remote > local,
+        "remote-homed flush must cost network time: local {local} vs remote {remote}"
+    );
+}
+
+/// Reduction fills contend at the local directory controller: a burst of
+/// misses from one processor is paced by controller occupancy, and the
+/// Flex controller paces it harder.
+#[test]
+fn reduction_fill_burst_paced_by_controller() {
+    let lines = 1024u64;
+    let run = |cfg: MachineConfig| -> u64 {
+        let mut v = vec![Inst::ConfigPclr { op: RedOp::AddF64 }, Inst::SetPhase(Phase::Loop)];
+        for l in 0..lines {
+            v.push(Inst::RedUpdate { addr: to_shadow(regions::shared_elem(l * 8)), val: 0 });
+        }
+        v.push(Inst::Flush);
+        v.push(Inst::Barrier);
+        let mut m = Machine::new(cfg, vec![boxed(v)]);
+        m.run().total_cycles
+    };
+    let hw = run(MachineConfig::table1(1));
+    let flex = run(MachineConfig::flex(1));
+    // Each miss occupies the controller for 2x its occupancy; Flex is 4x
+    // slower per handler, so the burst should take noticeably longer.
+    assert!(
+        flex as f64 > hw as f64 * 1.5,
+        "flex fill pacing: hw {hw} vs flex {flex}"
+    );
+}

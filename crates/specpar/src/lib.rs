@@ -1,0 +1,47 @@
+//! # smartapps-specpar — speculative run-time loop parallelization
+//!
+//! The Section 3 substrate of the SmartApps paper: the run-time techniques
+//! the compiler embeds to "detect and exploit loop level parallelism in
+//! various cases encountered in irregular applications":
+//!
+//! * [`lrpd`] — the **LRPD test**: speculative parallel execution with
+//!   privatization and reduction validation; falls back to sequential
+//!   execution when a cross-processor flow dependence is detected;
+//! * [`rlrpd`] — the **Recursive LRPD test**: for *partially parallel*
+//!   loops, commits the correct prefix of blocks and re-executes only from
+//!   the earliest dependence sink (the technique that made TRACK speed up);
+//! * [`wavefront`] — **inspector/executor** wavefront parallelization:
+//!   dependence levels computed by an inspector, levels swept in parallel;
+//! * [`whileloop`] — **WHILE-loop parallelization**: linked-list traversal
+//!   collection plus speculative strip-mining under unknown trip counts;
+//! * [`fgbs`] — **feedback-guided blocked scheduling**: block boundaries
+//!   predicted from previous invocations' measured block times.
+//!
+//! ## Example: speculating on an irregular loop
+//!
+//! ```
+//! use smartapps_specpar::lrpd::{lrpd_execute, SpecAccess};
+//!
+//! let mut data = vec![0.0f64; 128];
+//! let report = lrpd_execute(&mut data, 128, 4, &|i, ctx: &mut dyn SpecAccess| {
+//!     ctx.write(i, i as f64); // independent writes: fully parallel
+//! });
+//! assert!(report.succeeded);
+//! assert_eq!(data[100], 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fgbs;
+pub mod lrpd;
+pub mod rlrpd;
+pub mod shadow;
+pub mod wavefront;
+pub mod whileloop;
+
+pub use fgbs::FgbsScheduler;
+pub use lrpd::{lrpd_execute, run_sequential, LrpdReport, SpecAccess, Speculator};
+pub use rlrpd::{rlrpd_execute, RlrpdReport};
+pub use shadow::{Marks, ShadowArray};
+pub use wavefront::{inspect as wavefront_inspect, Wavefronts, WfData};
+pub use whileloop::{collect_list, execute_over, speculative_while, ListArena};

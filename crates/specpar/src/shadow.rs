@@ -1,0 +1,270 @@
+//! Shadow structures for speculative loop execution.
+//!
+//! The LRPD test instruments every access to the array under test with
+//! marking operations on *shadow* state: per-element flags recording
+//! whether the element was written, read without a covering prior write
+//! ("exposed read", which defeats privatization), or used exclusively in a
+//! reduction-shaped update.  The cross-processor analysis of those flags
+//! decides whether the speculative parallel execution was legal.
+
+/// What a speculative read observes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadView {
+    /// Covered by an earlier private write: use this value.
+    Covered(f64),
+    /// Element only reduced so far: use `base + partial`.
+    Partial(f64),
+    /// Exposed: read the original array.
+    Exposed,
+}
+
+/// Per-element access flags accumulated by one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Marks {
+    /// Element was written (plain write, not a reduction update).
+    pub written: bool,
+    /// Element was read before any write by this processor (an exposed
+    /// read: its value came from outside the iteration block).
+    pub exposed_read: bool,
+    /// Element was updated only through reduction operations.
+    pub reduced: bool,
+}
+
+impl Marks {
+    /// True if this processor touched the element at all.
+    pub fn touched(&self) -> bool {
+        self.written || self.exposed_read || self.reduced
+    }
+}
+
+/// One processor's speculative view of the array under test: private
+/// values plus shadow marks, with O(1) reset between speculative windows
+/// via epoch tags.
+#[derive(Debug)]
+pub struct ShadowArray {
+    values: Vec<f64>,
+    marks: Vec<Marks>,
+    /// First iteration (within the processor's chunk) that accessed each
+    /// element — used by the Recursive LRPD test to locate dependence
+    /// sources and sinks.
+    first_access: Vec<u32>,
+    epoch: Vec<u32>,
+    current_epoch: u32,
+    touched: Vec<u32>,
+}
+
+impl ShadowArray {
+    /// Create a shadow for an array of `n` elements.
+    pub fn new(n: usize) -> Self {
+        ShadowArray {
+            values: vec![0.0; n],
+            marks: vec![Marks::default(); n],
+            first_access: vec![u32::MAX; n],
+            epoch: vec![0; n],
+            current_epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the shadow covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Begin a new speculative window, logically clearing all marks.
+    pub fn reset(&mut self) {
+        self.current_epoch += 1;
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn activate(&mut self, x: usize, iter: u32) {
+        if self.epoch[x] != self.current_epoch {
+            self.epoch[x] = self.current_epoch;
+            self.marks[x] = Marks::default();
+            self.first_access[x] = iter;
+            // Zero the private slot on first touch of the window so a later
+            // reduction accumulates from the neutral element even when the
+            // first access was a read (stale values from earlier windows
+            // must never leak into partial sums).
+            self.values[x] = 0.0;
+            self.touched.push(x as u32);
+        }
+    }
+
+    /// Record a read of element `x` at (chunk-local) iteration `iter`.
+    ///
+    /// * a read covered by an earlier private write returns the private
+    ///   value;
+    /// * a read of an element this processor has only *reduced* returns
+    ///   the partial sum — the caller reconstructs `base + partial`, which
+    ///   is sequentially exact within the block — but is also marked as an
+    ///   exposed read, because partials accumulated by *other* blocks are
+    ///   invisible to it (the cross-block analysis turns that into a
+    ///   dependence when an earlier block produced the element);
+    /// * any other read is exposed: the caller reads the original array.
+    #[inline]
+    pub fn read(&mut self, x: usize, iter: u32) -> ReadView {
+        self.activate(x, iter);
+        let m = &mut self.marks[x];
+        if m.written {
+            ReadView::Covered(self.values[x])
+        } else if m.reduced {
+            m.exposed_read = true;
+            ReadView::Partial(self.values[x])
+        } else {
+            m.exposed_read = true;
+            ReadView::Exposed
+        }
+    }
+
+    /// Record a plain write of element `x`.
+    #[inline]
+    pub fn write(&mut self, x: usize, iter: u32, v: f64) {
+        self.activate(x, iter);
+        self.marks[x].written = true;
+        self.values[x] = v;
+    }
+
+    /// Record a reduction update (`x += v` shape) of element `x`.
+    /// The accumulation starts from zero (`activate` clears the slot):
+    /// partial sums are combined with the original value at commit time.
+    #[inline]
+    pub fn reduce(&mut self, x: usize, iter: u32, v: f64) {
+        self.activate(x, iter);
+        self.marks[x].reduced = true;
+        self.values[x] += v;
+    }
+
+    /// Marks of element `x` in the current window.
+    #[inline]
+    pub fn marks(&self, x: usize) -> Marks {
+        if self.epoch[x] == self.current_epoch {
+            self.marks[x]
+        } else {
+            Marks::default()
+        }
+    }
+
+    /// Private value of element `x` (meaningful only if touched).
+    #[inline]
+    pub fn value(&self, x: usize) -> f64 {
+        self.values[x]
+    }
+
+    /// Chunk-local iteration of the first access to `x` in this window.
+    #[inline]
+    pub fn first_access(&self, x: usize) -> Option<u32> {
+        if self.epoch[x] == self.current_epoch && self.first_access[x] != u32::MAX {
+            Some(self.first_access[x])
+        } else {
+            None
+        }
+    }
+
+    /// Elements touched during the current window.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposed_read_vs_covered_read() {
+        let mut s = ShadowArray::new(8);
+        s.reset();
+        // Read before write: exposed.
+        assert_eq!(s.read(3, 0), ReadView::Exposed);
+        assert!(s.marks(3).exposed_read);
+        // Write then read: covered, returns private value.
+        s.write(4, 1, 2.5);
+        assert_eq!(s.read(4, 2), ReadView::Covered(2.5));
+        assert!(s.marks(4).written);
+        assert!(!s.marks(4).exposed_read);
+        // Reduce then read: partial view, marked exposed.
+        s.reduce(5, 3, 4.0);
+        assert_eq!(s.read(5, 4), ReadView::Partial(4.0));
+        assert!(s.marks(5).exposed_read && s.marks(5).reduced);
+    }
+
+    #[test]
+    fn reduction_accumulates_from_zero() {
+        let mut s = ShadowArray::new(4);
+        s.reset();
+        s.reduce(1, 0, 2.0);
+        s.reduce(1, 1, 3.0);
+        assert_eq!(s.value(1), 5.0);
+        assert!(s.marks(1).reduced);
+        assert!(!s.marks(1).written);
+    }
+
+    #[test]
+    fn reset_clears_marks_cheaply() {
+        let mut s = ShadowArray::new(4);
+        s.reset();
+        s.write(0, 0, 1.0);
+        s.reduce(1, 0, 1.0);
+        assert!(s.marks(0).written);
+        s.reset();
+        assert_eq!(s.marks(0), Marks::default());
+        assert_eq!(s.marks(1), Marks::default());
+        assert!(s.touched().is_empty());
+        assert_eq!(s.first_access(0), None);
+    }
+
+    #[test]
+    fn touched_list_tracks_current_window() {
+        let mut s = ShadowArray::new(10);
+        s.reset();
+        s.write(2, 0, 1.0);
+        s.read(7, 1);
+        s.reduce(2, 2, 1.0); // already touched: not re-listed
+        let mut t = s.touched().to_vec();
+        t.sort_unstable();
+        assert_eq!(t, vec![2, 7]);
+    }
+
+    #[test]
+    fn first_access_records_earliest_iteration() {
+        let mut s = ShadowArray::new(4);
+        s.reset();
+        s.read(0, 5);
+        s.write(0, 9, 1.0);
+        assert_eq!(s.first_access(0), Some(5));
+    }
+
+    #[test]
+    fn read_then_reduce_starts_partial_from_zero() {
+        // Regression: an exposed read activates the element; the following
+        // reduce must still accumulate from zero, not from stale storage.
+        let mut s = ShadowArray::new(4);
+        s.reset();
+        s.write(2, 0, 123.0); // pollute the slot in window 1
+        s.reset();
+        assert_eq!(s.read(2, 0), ReadView::Exposed);
+        s.reduce(2, 1, -5.0);
+        assert_eq!(s.value(2), -5.0, "partial must not include stale 123.0");
+        let m = s.marks(2);
+        assert!(m.reduced && m.exposed_read && !m.written);
+    }
+
+    #[test]
+    fn mixed_write_then_reduce_flags_both() {
+        let mut s = ShadowArray::new(4);
+        s.reset();
+        s.write(0, 0, 7.0);
+        s.reduce(0, 1, 1.0);
+        let m = s.marks(0);
+        assert!(m.written && m.reduced);
+        // Value semantics: reduce accumulates into the written value.
+        assert_eq!(s.value(0), 8.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for speculative parallelization: whatever dependence
+//! structure a random loop has, LRPD either commits a correct parallel
+//! execution or falls back, and R-LRPD always produces the sequential
+//! result (bit-exact except for the commutative reassociation of
+//! floating-point reduction partials, which reduction parallelization
+//! accepts by definition — compared within 1 part in 10^12).
+
+use proptest::prelude::*;
+use smartapps_specpar::lrpd::{lrpd_execute, run_sequential, SpecAccess};
+use smartapps_specpar::rlrpd::rlrpd_execute;
+use smartapps_specpar::wavefront::{execute as wf_execute, inspect as wf_inspect, IterAccess};
+
+/// A randomly generated loop body over a small array: per iteration, a
+/// list of operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(usize),
+    Write(usize, i32),
+    Reduce(usize, i32),
+    /// Read element a, write the value (plus a constant) to element b —
+    /// creates real flow dependences when another iteration writes a.
+    Chain(usize, usize),
+}
+
+fn arb_loop(n_elems: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
+    let op = prop_oneof![
+        (0..n_elems).prop_map(Op::Read),
+        ((0..n_elems), -100..100i32).prop_map(|(x, v)| Op::Write(x, v)),
+        ((0..n_elems), -100..100i32).prop_map(|(x, v)| Op::Reduce(x, v)),
+        ((0..n_elems), (0..n_elems)).prop_map(|(a, b)| Op::Chain(a, b)),
+    ];
+    proptest::collection::vec(proptest::collection::vec(op, 0..5), 0..120)
+}
+
+/// Tolerant comparison: reduction partials are reassociated, so values
+/// derived from them may differ by a few ULPs from the sequential run.
+fn assert_close(got: &[f64], expect: &[f64]) -> Result<(), TestCaseError> {
+    for (e, (a, b)) in expect.iter().zip(got.iter()).enumerate() {
+        prop_assert!(
+            (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+            "element {}: {} vs {}",
+            e,
+            a,
+            b
+        );
+    }
+    Ok(())
+}
+
+fn make_body(ops: &[Vec<Op>]) -> impl Fn(usize, &mut dyn SpecAccess) + Sync + '_ {
+    move |i: usize, ctx: &mut dyn SpecAccess| {
+        let mut acc = 0.0f64;
+        for op in &ops[i] {
+            match *op {
+                Op::Read(x) => acc += ctx.read(x),
+                Op::Write(x, v) => ctx.write(x, v as f64 + acc * 1e-9),
+                Op::Reduce(x, v) => ctx.reduce(x, v as f64),
+                Op::Chain(a, b) => {
+                    let v = ctx.read(a);
+                    ctx.write(b, v + 1.0);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// R-LRPD == sequential, always, for any dependence structure.
+    #[test]
+    fn rlrpd_always_exact(
+        ops in arb_loop(24),
+        threads in 1usize..6,
+        seed_vals in proptest::collection::vec(-50..50i32, 24),
+    ) {
+        let body = make_body(&ops);
+        let init: Vec<f64> = seed_vals.iter().map(|&v| v as f64).collect();
+        let mut expect = init.clone();
+        run_sequential(&mut expect, 0..ops.len(), &body);
+        let mut got = init.clone();
+        rlrpd_execute(&mut got, ops.len(), threads, &body);
+        assert_close(&got, &expect)?;
+    }
+
+    /// LRPD: if it commits, the answer is the sequential answer; if it
+    /// fails, the fallback also produces the sequential answer.  Either
+    /// way the output is exact.
+    #[test]
+    fn lrpd_commit_or_fallback_exact(
+        ops in arb_loop(24),
+        threads in 1usize..6,
+    ) {
+        let body = make_body(&ops);
+        let mut expect = vec![0.0f64; 24];
+        run_sequential(&mut expect, 0..ops.len(), &body);
+        let mut got = vec![0.0f64; 24];
+        let report = lrpd_execute(&mut got, ops.len(), threads, &body);
+        let _ = report.succeeded;
+        assert_close(&got, &expect)?;
+        // Single-threaded speculation must always succeed.
+        if threads == 1 {
+            prop_assert!(report.succeeded);
+        }
+    }
+
+    /// Loops with only disjoint writes and reductions always commit in
+    /// parallel (no false positives on the easy case).
+    #[test]
+    fn lrpd_no_false_positives_on_independent_loops(
+        iters in 1usize..200,
+        threads in 2usize..6,
+    ) {
+        let body = move |i: usize, ctx: &mut dyn SpecAccess| {
+            ctx.write(i % 64, i as f64);
+            ctx.reduce(64, 1.0);
+        };
+        let mut data = vec![0.0f64; 65];
+        let report = lrpd_execute(&mut data, iters, threads, &body);
+        prop_assert!(report.succeeded, "independent loop misdiagnosed");
+        prop_assert_eq!(data[64], iters as f64);
+    }
+
+    /// Wavefront execution preserves sequential semantics for arbitrary
+    /// read/write sets (the inspector orders all dependence kinds).
+    #[test]
+    fn wavefront_matches_sequential(
+        accs_raw in proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..16, 0..3),
+                proptest::collection::vec(0u32..16, 1..3),
+            ),
+            0..60,
+        )
+    ) {
+        let accs: Vec<IterAccess> = accs_raw
+            .iter()
+            .map(|(r, w)| IterAccess { reads: r.clone(), writes: w.clone() })
+            .collect();
+        let wf = wf_inspect(16, &accs);
+        // Body: each iteration writes (sum of reads + iteration index) to
+        // its write set.
+        let accs2 = accs.clone();
+        let body = move |i: usize, data: &smartapps_specpar::wavefront::WfData<'_>| {
+            let s: f64 = accs2[i].reads.iter().map(|&r| data.get(r as usize)).sum();
+            for &w in &accs2[i].writes {
+                data.set(w as usize, s + i as f64);
+            }
+        };
+        let mut seq = vec![0.0f64; 16];
+        for (i, acc) in accs.iter().enumerate() {
+            let s: f64 = acc.reads.iter().map(|&r| seq[r as usize]).sum();
+            for &w in &acc.writes {
+                seq[w as usize] = s + i as f64;
+            }
+        }
+        let mut par = vec![0.0f64; 16];
+        wf_execute(&wf, &mut par, 4, &body);
+        prop_assert_eq!(par, seq);
+        // Levels partition the iteration space.
+        let total: usize = wf.levels.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, accs.len());
+    }
+}

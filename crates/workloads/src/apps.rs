@@ -1,0 +1,415 @@
+//! The paper's applications, regenerated as parameterized synthetic
+//! workloads.
+//!
+//! Two experiment families use them:
+//!
+//! * **Figure 3** (software adaptive selection, 8 processors): Irreg, Nbf,
+//!   Moldyn, Spark98, Charmm and Spice at several input sizes, each row
+//!   giving the measured MO / input size / SP / CON / CHR and the scheme
+//!   the decision model recommended, validated against measured rankings.
+//! * **Table 2 / Figures 6–7** (PCLR, simulated 16-node CC-NUMA): Euler,
+//!   Equake, Vml, Charmm and Nbf reduction loops with their per-loop
+//!   statistics (iterations per invocation, instructions and reduction
+//!   operations per iteration, reduction array size).
+//!
+//! We cannot replay the original FORTRAN codes; instead each row is mapped
+//! to a [`PatternSpec`]/[`edge_list`]/[`smvp_pattern`] generator whose
+//! measured characteristics match the row (see `DESIGN.md` for the
+//! substitution argument).
+
+use crate::mesh::{edge_list, smvp_pattern, Distribution, PatternSpec};
+use crate::pattern::AccessPattern;
+use serde::{Deserialize, Serialize};
+
+/// One row of Figure 3's validation table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Loop identifier as given in the paper.
+    pub loop_name: &'static str,
+    /// Mobility: distinct reduction elements referenced per iteration.
+    pub mo: usize,
+    /// Reduction array dimension (the table's "INPUT"/DIM column).
+    pub n: usize,
+    /// Sparsity in percent (referenced / dimension × 100).
+    pub sp_pct: f64,
+    /// Connectivity: iterations per distinct referenced element.
+    pub con: f64,
+    /// CHR as printed in the paper (reference normalization differs from
+    /// ours; kept for report comparison only).
+    pub chr_paper: f64,
+    /// The scheme the paper's model recommended for this row.
+    pub recommended_paper: &'static str,
+    /// The paper's measured best scheme (first in its ranking column).
+    pub best_paper: &'static str,
+    /// Whether local-write (owner-computes) is applicable: iteration
+    /// replication is impossible when the loop body modifies other shared
+    /// arrays.
+    pub lw_feasible: bool,
+    /// Reference distribution: mesh codes (Irreg, Moldyn, Charmm) have
+    /// spatially clustered references; pair lists and device stamps (Nbf,
+    /// Spark98, Spice) scatter.
+    pub dist: Distribution,
+}
+
+/// All sixteen rows of Figure 3.
+pub fn fig3_rows() -> Vec<Fig3Row> {
+    let r = |app: &'static str, loop_name, mo, n, sp_pct, con, chr_paper, rec, best, lw| {
+        let dist = match app {
+            "Irreg" | "Moldyn" | "Charmm" => Distribution::Clustered { window: 32 },
+            _ => Distribution::Uniform,
+        };
+        Fig3Row {
+            app,
+            loop_name,
+            mo,
+            n,
+            sp_pct,
+            con,
+            chr_paper,
+            recommended_paper: rec,
+            best_paper: best,
+            lw_feasible: lw,
+            dist,
+        }
+    };
+    vec![
+        r("Irreg", "do100", 2, 100_000, 25.0, 100.0, 0.92, "rep", "rep", true),
+        r("Irreg", "do100", 2, 500_000, 5.0, 20.0, 0.71, "lw", "lw", true),
+        r("Irreg", "do100", 2, 1_000_000, 1.25, 5.0, 0.40, "lw", "lw", true),
+        r("Irreg", "do100", 2, 2_000_000, 0.25, 1.0, 0.26, "sel", "sel", true),
+        r("Nbf", "do50", 1, 25_600, 25.0, 200.0, 0.25, "ll", "sel", false),
+        r("Nbf", "do50", 1, 128_000, 6.25, 50.0, 0.25, "sel", "sel", false),
+        r("Nbf", "do50", 1, 256_000, 0.625, 5.0, 0.25, "sel", "sel", false),
+        r("Nbf", "do50", 1, 1_280_000, 0.25, 2.0, 0.25, "sel", "sel", false),
+        r("Moldyn", "ComputeForces", 2, 16_384, 23.94, 95.75, 0.41, "rep", "rep", false),
+        r("Moldyn", "ComputeForces", 2, 42_592, 7.75, 31.0, 0.36, "rep", "rep", false),
+        r("Moldyn", "ComputeForces", 2, 70_304, 1.69, 6.75, 0.33, "ll", "ll", false),
+        r("Moldyn", "ComputeForces", 2, 87_808, 0.375, 1.5, 0.29, "ll", "ll", false),
+        r("Spark98", "smvpthread", 1, 30_169, 0.625, 5.0, 0.18, "sel", "sel", false),
+        r("Spark98", "smvpthread", 1, 7_294, 0.6, 4.8, 0.2, "sel", "ll", false),
+        r("Charmm", "do78", 2, 332_288, 35.88, 17.9, 0.14, "sel", "ll", false),
+        r("Spice", "bjt100", 28, 186_943, 0.14, 0.04, 0.125, "hash", "hash", false),
+    ]
+}
+
+impl Fig3Row {
+    /// Distinct elements implied by the row (SP × N).
+    pub fn distinct(&self) -> usize {
+        ((self.sp_pct / 100.0) * self.n as f64).round().max(1.0) as usize
+    }
+
+    /// Iterations implied by the row (CON × distinct).
+    pub fn iterations(&self) -> usize {
+        (self.con * self.distinct() as f64).round().max(1.0) as usize
+    }
+
+    /// Generate the access pattern matching this row's measures.
+    pub fn pattern(&self, seed: u64) -> AccessPattern {
+        PatternSpec {
+            num_elements: self.n,
+            iterations: self.iterations(),
+            refs_per_iter: self.mo,
+            coverage: self.sp_pct / 100.0,
+            dist: self.dist,
+            seed,
+        }
+        .generate()
+    }
+}
+
+/// One row of Table 2 (PCLR application characteristics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Simulated loop (the paper simulates one representative loop each).
+    pub loop_name: &'static str,
+    /// Percent of sequential execution time spent in the reduction loops.
+    pub pct_tseq: f64,
+    /// Loop invocations during program execution.
+    pub invocations: usize,
+    /// Iterations per invocation.
+    pub iters_per_invocation: usize,
+    /// Instructions per iteration.
+    pub instrs_per_iter: usize,
+    /// Dynamic reduction operations per iteration.
+    pub red_ops_per_iter: usize,
+    /// Reduction array size in KB.
+    pub red_array_kb: f64,
+    /// Lines flushed (paper measurement, 16 processors, one loop).
+    pub lines_flushed_paper: u64,
+    /// Lines displaced (paper measurement, 16 processors, one loop).
+    pub lines_displaced_paper: u64,
+    /// Figure 6 speedups on 16 nodes: (Sw, Hw, Flex).
+    pub fig6_speedups: (f64, f64, f64),
+    /// Reference-stream shape used to regenerate the loop.
+    pub shape: AppShape,
+}
+
+/// How an application's reduction references are distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AppShape {
+    /// Mesh edge sweep with geometric locality (Euler, Charmm bonded).
+    Mesh {
+        /// Edge endpoint window.
+        locality: usize,
+    },
+    /// Symmetric sparse matrix-vector product (Equake, Spark98).
+    Smvp {
+        /// Matrix bandwidth.
+        bandwidth: usize,
+    },
+    /// Uniform scatter over a subset (Nbf pair lists, Vml).
+    Scatter {
+        /// Fraction of the array referenced.
+        coverage: f64,
+    },
+}
+
+/// All five rows of Table 2.
+pub fn table2_rows() -> Vec<Table2Row> {
+    vec![
+        Table2Row {
+            app: "Euler",
+            loop_name: "dflux_do100",
+            pct_tseq: 84.7,
+            invocations: 120,
+            iters_per_invocation: 59_863,
+            instrs_per_iter: 118,
+            red_ops_per_iter: 14,
+            red_array_kb: 686.6,
+            lines_flushed_paper: 3261,
+            lines_displaced_paper: 2117,
+            fig6_speedups: (1.3, 4.0, 3.5),
+            shape: AppShape::Mesh { locality: 8000 },
+        },
+        Table2Row {
+            app: "Equake",
+            loop_name: "smvp",
+            pct_tseq: 50.0,
+            invocations: 3855,
+            iters_per_invocation: 30_169,
+            instrs_per_iter: 550,
+            red_ops_per_iter: 22,
+            red_array_kb: 707.1,
+            lines_flushed_paper: 742,
+            lines_displaced_paper: 580,
+            fig6_speedups: (7.3, 14.0, 10.6),
+            shape: AppShape::Smvp { bandwidth: 900 },
+        },
+        Table2Row {
+            app: "Vml",
+            loop_name: "VecMult_CAB",
+            pct_tseq: 89.4,
+            invocations: 1,
+            iters_per_invocation: 4_929,
+            instrs_per_iter: 135,
+            red_ops_per_iter: 6,
+            red_array_kb: 40.0,
+            lines_flushed_paper: 168,
+            lines_displaced_paper: 0,
+            fig6_speedups: (3.1, 6.1, 5.0),
+            shape: AppShape::Smvp { bandwidth: 48 },
+        },
+        Table2Row {
+            app: "Charmm",
+            loop_name: "dynamc_do",
+            pct_tseq: 82.8,
+            invocations: 1,
+            iters_per_invocation: 82_944,
+            instrs_per_iter: 420,
+            red_ops_per_iter: 54,
+            red_array_kb: 1947.0,
+            lines_flushed_paper: 1849,
+            lines_displaced_paper: 330,
+            fig6_speedups: (1.9, 9.9, 7.7),
+            shape: AppShape::Mesh { locality: 2000 },
+        },
+        Table2Row {
+            app: "Nbf",
+            loop_name: "nbf_do50",
+            pct_tseq: 99.1,
+            invocations: 1,
+            iters_per_invocation: 128_000,
+            instrs_per_iter: 1_880,
+            red_ops_per_iter: 200,
+            red_array_kb: 1000.0,
+            lines_flushed_paper: 238,
+            lines_displaced_paper: 1774,
+            fig6_speedups: (9.1, 15.6, 14.2),
+            shape: AppShape::Mesh { locality: 3000 },
+        },
+    ]
+}
+
+impl Table2Row {
+    /// Reduction array dimension (8-byte elements).
+    pub fn num_elements(&self) -> usize {
+        (self.red_array_kb * 1024.0 / 8.0).round() as usize
+    }
+
+    /// Generate this loop's access pattern, scaled to `iters` iterations
+    /// (use [`Table2Row::iters_per_invocation`] for full scale).
+    pub fn pattern(&self, iters: usize, seed: u64) -> AccessPattern {
+        let n = self.num_elements();
+        match self.shape {
+            AppShape::Mesh { locality } => {
+                // Each iteration is one edge visit; red_ops_per_iter
+                // references spread over edge endpoints revisited per
+                // iteration: we model it as red_ops/2 edges' endpoints.
+                let refs = self.red_ops_per_iter.max(2);
+                
+                PatternSpec {
+                    num_elements: n,
+                    iterations: iters,
+                    refs_per_iter: refs,
+                    coverage: 1.0,
+                    dist: Distribution::Clustered { window: locality as u32 },
+                    seed,
+                }
+                .generate()
+            }
+            AppShape::Smvp { bandwidth } => {
+                // Rows map 1:1 onto the leading elements; a scaled-down
+                // simulation covers a contiguous prefix of the array, which
+                // preserves per-iteration spatial density (row partitioning)
+                // — the property the flush/displacement behaviour depends
+                // on.
+                let rows = iters.min(n);
+                let mut p =
+                    smvp_pattern(rows.max(2), self.red_ops_per_iter, bandwidth, seed);
+                p.num_elements = n;
+                debug_assert!(p.validate().is_ok());
+                p
+            }
+            AppShape::Scatter { coverage } => PatternSpec {
+                num_elements: n,
+                iterations: iters,
+                refs_per_iter: self.red_ops_per_iter,
+                coverage,
+                dist: Distribution::Uniform,
+                seed,
+            }
+            .generate(),
+        }
+    }
+
+    /// Non-reduction work per iteration: total instructions minus the
+    /// reduction triples (load+op+store each) and the index-stream loads.
+    pub fn work_per_iter(&self) -> (u32, u32) {
+        let red_instrs = self.red_ops_per_iter * 3;
+        let idx_loads = self.red_ops_per_iter; // one index load per update
+        let rest = self.instrs_per_iter.saturating_sub(red_instrs + idx_loads);
+        // The paper's loops are FP-heavy: roughly 1/3 FP, 2/3 int/address.
+        let fp = (rest / 3) as u32;
+        let int = (rest - rest / 3) as u32;
+        (int, fp)
+    }
+}
+
+/// An Irreg-style mesh workload (quickstart/example use).
+pub fn irreg_mesh(nodes: usize, edges: usize, seed: u64) -> AccessPattern {
+    edge_list(nodes, edges, (nodes / 64).max(4), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::PatternChars;
+
+    #[test]
+    fn fig3_has_sixteen_rows_like_the_paper() {
+        let rows = fig3_rows();
+        assert_eq!(rows.len(), 16);
+        assert_eq!(rows.iter().filter(|r| r.app == "Irreg").count(), 4);
+        assert_eq!(rows.iter().filter(|r| r.app == "Nbf").count(), 4);
+        assert_eq!(rows.iter().filter(|r| r.app == "Moldyn").count(), 4);
+        assert_eq!(rows.iter().filter(|r| r.app == "Spark98").count(), 2);
+        assert!(rows.iter().all(|r| r.n > 0 && r.mo > 0));
+        // Only Irreg admits local-write in our mapping.
+        assert!(rows.iter().all(|r| r.lw_feasible == (r.app == "Irreg")));
+    }
+
+    #[test]
+    fn fig3_pattern_matches_row_measures() {
+        // A mid-sized row: Nbf 128,000.
+        let row = &fig3_rows()[5];
+        let pat = row.pattern(11);
+        let c = PatternChars::measure(&pat);
+        assert_eq!(c.num_elements, row.n);
+        let sp_err = (c.sp * 100.0 - row.sp_pct).abs() / row.sp_pct;
+        assert!(sp_err < 0.15, "sp {} vs {}", c.sp * 100.0, row.sp_pct);
+        let con_err = (c.con - row.con).abs() / row.con;
+        assert!(con_err < 0.15, "con {} vs {}", c.con, row.con);
+        assert!((c.mo - row.mo as f64).abs() < 0.1);
+    }
+
+    #[test]
+    fn spice_row_is_extremely_sparse() {
+        let row = fig3_rows().into_iter().find(|r| r.app == "Spice").unwrap();
+        let pat = row.pattern(3);
+        let c = PatternChars::measure(&pat);
+        assert!(c.sp < 0.01, "SPICE touches well under 1%: {}", c.sp);
+        assert!(c.con < 2.0);
+        assert_eq!(row.recommended_paper, "hash");
+    }
+
+    #[test]
+    fn table2_rows_match_paper_constants() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 5);
+        let nbf = rows.iter().find(|r| r.app == "Nbf").unwrap();
+        assert_eq!(nbf.iters_per_invocation, 128_000);
+        assert_eq!(nbf.instrs_per_iter, 1_880);
+        assert_eq!(nbf.red_ops_per_iter, 200);
+        assert_eq!(nbf.num_elements(), 128_000);
+        let euler = rows.iter().find(|r| r.app == "Euler").unwrap();
+        assert_eq!(euler.fig6_speedups, (1.3, 4.0, 3.5));
+        // Average %Tseq of the paper is 81.2.
+        let avg: f64 = rows.iter().map(|r| r.pct_tseq).sum::<f64>() / 5.0;
+        assert!((avg - 81.2).abs() < 0.1, "avg %Tseq {avg}");
+    }
+
+    #[test]
+    fn table2_patterns_have_row_dimensions() {
+        for row in table2_rows() {
+            let pat = row.pattern(500, 1);
+            assert_eq!(pat.num_elements, row.num_elements(), "{}", row.app);
+            assert_eq!(pat.num_iterations(), 500, "{}", row.app);
+            let c = PatternChars::measure(&pat);
+            assert!(
+                (c.array_kb() - row.red_array_kb).abs() / row.red_array_kb < 0.01,
+                "{}: {} KB vs {} KB",
+                row.app,
+                c.array_kb(),
+                row.red_array_kb
+            );
+        }
+    }
+
+    #[test]
+    fn work_per_iter_accounts_for_reduction_instrs() {
+        for row in table2_rows() {
+            let (int, fp) = row.work_per_iter();
+            let total = int as usize + fp as usize + row.red_ops_per_iter * 3
+                + row.red_ops_per_iter;
+            assert!(
+                total <= row.instrs_per_iter + 1,
+                "{}: {} > {}",
+                row.app,
+                total,
+                row.instrs_per_iter
+            );
+            assert!(int > 0 || fp > 0, "{}", row.app);
+        }
+    }
+
+    #[test]
+    fn irreg_mesh_is_mo2() {
+        let p = irreg_mesh(1000, 4000, 5);
+        let c = PatternChars::measure(&p);
+        assert!((c.mo - 2.0).abs() < 0.05);
+    }
+}

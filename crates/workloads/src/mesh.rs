@@ -1,0 +1,327 @@
+//! Seeded generators for irregular access patterns.
+//!
+//! The paper's applications reference their reduction arrays through
+//! meshes, interaction lists and device stamps read from input files.  We
+//! regenerate equivalent *reference streams* from seeded RNGs with three
+//! controls that determine every characterization measure of Section 4:
+//!
+//! * `num_elements` (array dimension — DIM), `iterations` and
+//!   `refs_per_iter` (MO) fix the reference volume (CHR, CON);
+//! * `coverage` restricts references to a subset of elements (SP);
+//! * `dist` shapes contention (CH/CHD): uniform, power-law (Zipf), or
+//!   spatially clustered like a partitioned mesh.
+
+use crate::pattern::AccessPattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shape of the reference distribution over the active elements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over the active set.
+    Uniform,
+    /// Zipf with exponent `s`: a few hot elements absorb most references
+    /// (high-contention CH tail).
+    Zipf {
+        /// Power-law exponent; larger = more skewed.
+        s: f64,
+    },
+    /// Spatially clustered: iteration `i` references elements near position
+    /// `i * active / iterations`, within a window — models block-partitioned
+    /// meshes where consecutive iterations touch nearby nodes.
+    Clustered {
+        /// Window radius in elements.
+        window: u32,
+    },
+}
+
+/// A complete generator specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternSpec {
+    /// Reduction array dimension.
+    pub num_elements: usize,
+    /// Loop iteration count.
+    pub iterations: usize,
+    /// Reduction references per iteration (the paper's MO when distinct).
+    pub refs_per_iter: usize,
+    /// Fraction of elements eligible to be referenced (the paper's SP).
+    pub coverage: f64,
+    /// Contention shape.
+    pub dist: Distribution,
+    /// RNG seed (patterns are fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl PatternSpec {
+    /// Generate the access pattern.
+    pub fn generate(&self) -> AccessPattern {
+        assert!(self.num_elements > 0, "empty reduction array");
+        assert!(
+            self.coverage > 0.0 && self.coverage <= 1.0,
+            "coverage must be in (0,1], got {}",
+            self.coverage
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let active = ((self.num_elements as f64 * self.coverage).round() as usize)
+            .clamp(1, self.num_elements);
+        // The active subset: for uniform/Zipf shapes it is evenly spaced
+        // across the array, thinning out cache lines the way sparse codes
+        // touch scattered entries; for clustered (mesh) shapes it is a
+        // contiguous region, the way renumbered meshes pack their touched
+        // nodes.
+        let stride = self.num_elements as f64 / active as f64;
+        let contiguous = matches!(self.dist, Distribution::Clustered { .. });
+        let active_idx = |k: usize| -> u32 {
+            if contiguous {
+                k.min(self.num_elements - 1) as u32
+            } else {
+                ((k as f64 * stride) as usize).min(self.num_elements - 1) as u32
+            }
+        };
+
+        let zipf_cdf = match self.dist {
+            Distribution::Zipf { s } => {
+                let mut cdf = Vec::with_capacity(active);
+                let mut acc = 0.0f64;
+                for k in 0..active {
+                    acc += 1.0 / ((k + 1) as f64).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                Some(cdf)
+            }
+            _ => None,
+        };
+
+        let mut indices = Vec::with_capacity(self.iterations * self.refs_per_iter);
+        let mut iter_ptr = Vec::with_capacity(self.iterations + 1);
+        iter_ptr.push(0u32);
+        for i in 0..self.iterations {
+            for _ in 0..self.refs_per_iter {
+                let k = match self.dist {
+                    Distribution::Uniform => rng.gen_range(0..active),
+                    Distribution::Zipf { .. } => {
+                        let cdf = zipf_cdf.as_ref().unwrap();
+                        let u: f64 = rng.gen();
+                        // Hot elements are shuffled across the array by a
+                        // multiplicative hash so contention is not spatial.
+                        let r = cdf.partition_point(|&c| c < u).min(active - 1);
+                        (r.wrapping_mul(0x9E3779B1)) % active
+                    }
+                    Distribution::Clustered { window } => {
+                        let center = (i as u64 * active as u64
+                            / self.iterations.max(1) as u64)
+                            as i64;
+                        let off = rng.gen_range(-(window as i64)..=window as i64);
+                        (center + off).rem_euclid(active as i64) as usize
+                    }
+                };
+                indices.push(active_idx(k));
+            }
+            iter_ptr.push(indices.len() as u32);
+        }
+        let pat = AccessPattern { num_elements: self.num_elements, iter_ptr, indices };
+        debug_assert!(pat.validate().is_ok());
+        pat
+    }
+}
+
+/// An irregular mesh edge list: `edges` pairs over `nodes` mesh nodes, with
+/// geometric locality (each edge connects nodes within `locality` of each
+/// other, as renumbered meshes do).  Iterating edges and updating both
+/// endpoints is the Irreg/Moldyn/Euler access shape (MO = 2).
+pub fn edge_list(nodes: usize, edges: usize, locality: usize, seed: u64) -> AccessPattern {
+    assert!(nodes >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices = Vec::with_capacity(edges * 2);
+    let mut iter_ptr = Vec::with_capacity(edges + 1);
+    iter_ptr.push(0u32);
+    let loc = locality.max(1);
+    for _ in 0..edges {
+        let a = rng.gen_range(0..nodes);
+        let lo = a.saturating_sub(loc);
+        let hi = (a + loc).min(nodes - 1);
+        let mut b = rng.gen_range(lo..=hi);
+        if b == a {
+            b = if a < hi { a + 1 } else { lo };
+        }
+        indices.push(a as u32);
+        indices.push(b as u32);
+        iter_ptr.push(indices.len() as u32);
+    }
+    AccessPattern { num_elements: nodes, iter_ptr, indices }
+}
+
+/// A sparse matrix in CSR shape for SMVP-style reductions (Equake/Spark98):
+/// row `r`'s entries scatter into `y[r]` and symmetric pairs scatter into
+/// `y[col]` too.  Returns the pattern of updates to `y` per nonzero-block
+/// iteration.
+pub fn smvp_pattern(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> AccessPattern {
+    assert!(rows >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        // Symmetric SMVP: visiting row r updates y[r] (accumulated across
+        // its nonzeros) and y[c] for each off-diagonal nonzero c < r.
+        let mut refs = Vec::with_capacity(nnz_per_row + 1);
+        refs.push(r as u32);
+        for _ in 0..nnz_per_row.saturating_sub(1) {
+            let lo = r.saturating_sub(bandwidth);
+            let c = rng.gen_range(lo..=r);
+            refs.push(c as u32);
+        }
+        lists.push(refs);
+    }
+    AccessPattern::from_iters(rows, &lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::PatternChars;
+
+    #[test]
+    fn spec_generates_requested_shape() {
+        let spec = PatternSpec {
+            num_elements: 1000,
+            iterations: 500,
+            refs_per_iter: 2,
+            coverage: 0.5,
+            dist: Distribution::Uniform,
+            seed: 42,
+        };
+        let p = spec.generate();
+        assert_eq!(p.num_iterations(), 500);
+        assert_eq!(p.num_references(), 1000);
+        let c = PatternChars::measure(&p);
+        // Coverage bounds the referenced fraction.
+        assert!(c.sp <= 0.5 + 1e-9, "sp = {}", c.sp);
+        assert!(c.sp > 0.3, "should reference most of the active half");
+        assert!((c.mo - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = PatternSpec {
+            num_elements: 100,
+            iterations: 50,
+            refs_per_iter: 3,
+            coverage: 1.0,
+            dist: Distribution::Uniform,
+            seed: 7,
+        };
+        assert_eq!(spec.generate(), spec.generate());
+        let other = PatternSpec { seed: 8, ..spec };
+        assert_ne!(other.generate(), spec.generate());
+    }
+
+    #[test]
+    fn zipf_concentrates_references() {
+        let mk = |dist| {
+            PatternSpec {
+                num_elements: 1000,
+                iterations: 5000,
+                refs_per_iter: 1,
+                coverage: 1.0,
+                dist,
+                seed: 3,
+            }
+            .generate()
+        };
+        let uz = PatternChars::measure(&mk(Distribution::Uniform));
+        let zf = PatternChars::measure(&mk(Distribution::Zipf { s: 1.2 }));
+        assert!(
+            zf.max_refs_per_element > 4 * uz.max_refs_per_element,
+            "zipf max {} should dwarf uniform max {}",
+            zf.max_refs_per_element,
+            uz.max_refs_per_element
+        );
+        assert!(zf.distinct < uz.distinct);
+    }
+
+    #[test]
+    fn clustered_stays_in_window() {
+        let spec = PatternSpec {
+            num_elements: 10_000,
+            iterations: 1000,
+            refs_per_iter: 2,
+            coverage: 1.0,
+            dist: Distribution::Clustered { window: 16 },
+            seed: 9,
+        };
+        let p = spec.generate();
+        // Iteration i's references lie near i * N / iters.
+        for i in [0usize, 250, 500, 999] {
+            let center = (i * 10_000 / 1000) as i64;
+            for &x in p.refs(i) {
+                let d = (x as i64 - center).abs();
+                assert!(d <= 17 || d >= 10_000 - 17, "iter {i}: {x} vs {center}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_shape() {
+        let p = edge_list(500, 2000, 10, 1);
+        assert_eq!(p.num_iterations(), 2000);
+        assert_eq!(p.num_references(), 4000);
+        let c = PatternChars::measure(&p);
+        assert!((c.mo - 2.0).abs() < 0.05, "edges update two distinct endpoints");
+        // Locality: endpoints within 10 of each other.
+        for i in 0..p.num_iterations() {
+            let r = p.refs(i);
+            assert!((r[0] as i64 - r[1] as i64).abs() <= 10);
+        }
+    }
+
+    #[test]
+    fn smvp_updates_own_row_and_neighbors() {
+        let p = smvp_pattern(300, 5, 20, 4);
+        assert_eq!(p.num_iterations(), 300);
+        for r in 0..300 {
+            let refs = p.refs(r);
+            assert_eq!(refs[0], r as u32);
+            for &c in &refs[1..] {
+                assert!(c as usize <= r && r - c as usize <= 20);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_thins_distinct_elements() {
+        let mk = |cov| {
+            let p = PatternSpec {
+                num_elements: 10_000,
+                iterations: 20_000,
+                refs_per_iter: 1,
+                coverage: cov,
+                dist: Distribution::Uniform,
+                seed: 5,
+            }
+            .generate();
+            PatternChars::measure(&p).distinct
+        };
+        let full = mk(1.0);
+        let tenth = mk(0.1);
+        assert!(tenth < full / 5, "coverage 0.1 -> far fewer distinct: {tenth} vs {full}");
+        assert!(tenth <= 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn zero_coverage_rejected() {
+        PatternSpec {
+            num_elements: 10,
+            iterations: 1,
+            refs_per_iter: 1,
+            coverage: 0.0,
+            dist: Distribution::Uniform,
+            seed: 0,
+        }
+        .generate();
+    }
+}

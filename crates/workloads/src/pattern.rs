@@ -1,0 +1,240 @@
+//! Access patterns: the per-iteration reduction-array index streams that
+//! drive both the software reduction library and the simulator traces.
+//!
+//! A pattern is stored in CSR form: `iter_ptr[i]..iter_ptr[i+1]` indexes
+//! the slice of `indices` referenced by iteration `i`.  Together with the
+//! per-reference contribution function this fully determines a reduction
+//! loop `for i { for r in refs(i) { w[idx[r]] op= f(i, r) } }`.
+
+use serde::{Deserialize, Serialize};
+
+/// A reduction loop's memory access pattern in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessPattern {
+    /// Number of elements in the reduction array (its dimension).
+    pub num_elements: usize,
+    /// CSR row pointers: `iter_ptr.len() == num_iterations + 1`.
+    pub iter_ptr: Vec<u32>,
+    /// Flattened per-iteration element indices.
+    pub indices: Vec<u32>,
+}
+
+impl AccessPattern {
+    /// Build from per-iteration index lists.
+    pub fn from_iters(num_elements: usize, iters: &[Vec<u32>]) -> Self {
+        let mut iter_ptr = Vec::with_capacity(iters.len() + 1);
+        let mut indices = Vec::with_capacity(iters.iter().map(Vec::len).sum());
+        iter_ptr.push(0u32);
+        for it in iters {
+            for &x in it {
+                assert!((x as usize) < num_elements, "index {x} out of bounds");
+                indices.push(x);
+            }
+            iter_ptr.push(indices.len() as u32);
+        }
+        AccessPattern { num_elements, iter_ptr, indices }
+    }
+
+    /// Number of iterations.
+    #[inline]
+    pub fn num_iterations(&self) -> usize {
+        self.iter_ptr.len() - 1
+    }
+
+    /// Total number of reduction references.
+    #[inline]
+    pub fn num_references(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The element indices referenced by iteration `i`.
+    #[inline]
+    pub fn refs(&self, i: usize) -> &[u32] {
+        &self.indices[self.iter_ptr[i] as usize..self.iter_ptr[i + 1] as usize]
+    }
+
+    /// Global reference positions of iteration `i` (for contribution
+    /// functions keyed by reference slot).
+    #[inline]
+    pub fn ref_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.iter_ptr[i] as usize..self.iter_ptr[i + 1] as usize
+    }
+
+    /// Iterate `(iteration, reference slot, element index)` triples.
+    pub fn iter_refs(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
+        (0..self.num_iterations()).flat_map(move |i| {
+            self.ref_range(i).map(move |r| (i, r, self.indices[r]))
+        })
+    }
+
+    /// Number of distinct elements referenced.
+    pub fn distinct_elements(&self) -> usize {
+        let mut seen = vec![false; self.num_elements];
+        let mut n = 0;
+        for &x in &self.indices {
+            if !seen[x as usize] {
+                seen[x as usize] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Restrict the pattern to the first `n` iterations (used to scale
+    /// simulations down while keeping the array dimension).
+    pub fn truncate_iterations(&self, n: usize) -> AccessPattern {
+        let n = n.min(self.num_iterations());
+        let end = self.iter_ptr[n] as usize;
+        AccessPattern {
+            num_elements: self.num_elements,
+            iter_ptr: self.iter_ptr[..=n].to_vec(),
+            indices: self.indices[..end].to_vec(),
+        }
+    }
+
+    /// Verify internal consistency (monotone row pointers, bounds).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.iter_ptr.is_empty() {
+            return Err("iter_ptr must have at least one entry".into());
+        }
+        if self.iter_ptr[0] != 0 {
+            return Err("iter_ptr must start at 0".into());
+        }
+        if *self.iter_ptr.last().unwrap() as usize != self.indices.len() {
+            return Err("iter_ptr must end at indices.len()".into());
+        }
+        if self.iter_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("iter_ptr must be nondecreasing".into());
+        }
+        if let Some(&bad) =
+            self.indices.iter().find(|&&x| x as usize >= self.num_elements)
+        {
+            return Err(format!("index {bad} out of bounds ({})", self.num_elements));
+        }
+        Ok(())
+    }
+}
+
+/// The per-reference contribution: a cheap deterministic function of the
+/// global reference slot, so every scheme (and the sequential oracle)
+/// computes identical update values.
+#[inline]
+pub fn contribution(ref_slot: usize) -> f64 {
+    // A few arithmetic ops — representative of the flops surrounding a
+    // reduction update, and exactly reproducible.
+    let x = (ref_slot as u32).wrapping_mul(2654435761) >> 8;
+    (x & 0xffff) as f64 * (1.0 / 65536.0) + 0.25
+}
+
+/// Integer contribution variant for exactness-sensitive tests.
+#[inline]
+pub fn contribution_i64(ref_slot: usize) -> i64 {
+    ((ref_slot as u32).wrapping_mul(2654435761) >> 16) as i64 + 1
+}
+
+/// Sequential oracle: apply the whole pattern to a fresh array.
+pub fn sequential_reduce(pat: &AccessPattern) -> Vec<f64> {
+    let mut w = vec![0.0f64; pat.num_elements];
+    for (_, r, x) in pat.iter_refs() {
+        w[x as usize] += contribution(r);
+    }
+    w
+}
+
+/// Sequential oracle with integer contributions (exact equality checks).
+pub fn sequential_reduce_i64(pat: &AccessPattern) -> Vec<i64> {
+    let mut w = vec![0i64; pat.num_elements];
+    for (_, r, x) in pat.iter_refs() {
+        w[x as usize] += contribution_i64(r);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccessPattern {
+        AccessPattern::from_iters(6, &[vec![0, 1], vec![2], vec![], vec![5, 5, 0]])
+    }
+
+    #[test]
+    fn csr_construction_and_accessors() {
+        let p = sample();
+        assert_eq!(p.num_iterations(), 4);
+        assert_eq!(p.num_references(), 6);
+        assert_eq!(p.refs(0), &[0, 1]);
+        assert_eq!(p.refs(1), &[2]);
+        assert_eq!(p.refs(2), &[] as &[u32]);
+        assert_eq!(p.refs(3), &[5, 5, 0]);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn iter_refs_covers_all() {
+        let p = sample();
+        let v: Vec<(usize, usize, u32)> = p.iter_refs().collect();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0], (0, 0, 0));
+        assert_eq!(v[5], (3, 5, 0));
+    }
+
+    #[test]
+    fn distinct_elements_counts_once() {
+        let p = sample();
+        assert_eq!(p.distinct_elements(), 4); // {0,1,2,5}
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let p = sample();
+        let q = p.truncate_iterations(2);
+        assert_eq!(q.num_iterations(), 2);
+        assert_eq!(q.num_references(), 3);
+        assert_eq!(q.num_elements, 6);
+        assert!(q.validate().is_ok());
+        // Truncating beyond length is a no-op.
+        assert_eq!(p.truncate_iterations(99), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_rejected() {
+        AccessPattern::from_iters(2, &[vec![2]]);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut p = sample();
+        p.iter_ptr[1] = 99;
+        assert!(p.validate().is_err());
+        let mut p = sample();
+        p.indices[0] = 100;
+        assert!(p.validate().is_err());
+        let mut p = sample();
+        p.iter_ptr[0] = 1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn contribution_is_deterministic_and_bounded() {
+        for r in 0..1000 {
+            let c = contribution(r);
+            assert!((0.25..1.25).contains(&c), "slot {r} -> {c}");
+            assert_eq!(c, contribution(r));
+        }
+        assert!(contribution_i64(0) >= 1);
+    }
+
+    #[test]
+    fn sequential_oracles_agree_on_structure() {
+        let p = sample();
+        let w = sequential_reduce(&p);
+        assert_eq!(w.len(), 6);
+        assert_eq!(w[3], 0.0); // element 3 never referenced
+        assert!(w[0] > 0.0); // referenced twice
+        let wi = sequential_reduce_i64(&p);
+        assert_eq!(wi[3], 0);
+        assert!(wi[5] > 0); // referenced twice
+    }
+}

@@ -1,0 +1,576 @@
+//! Lowering access patterns to simulator instruction traces.
+//!
+//! Three lowering targets, matching the systems of Figure 6:
+//!
+//! * **Seq** — the sequential baseline: one processor, direct updates on
+//!   the shared reduction array, all data local (the paper's sequential
+//!   placement);
+//! * **Sw** — the software-only parallel scheme: per-processor fully
+//!   replicated private arrays with an *Init* sweep, a *Loop* phase
+//!   updating private storage, and a *Merge* phase in which each processor
+//!   combines all partial arrays over its block of the shared array (this
+//!   is the phase whose time does not shrink with more processors);
+//! * **PCLR** — the hardware scheme: the loop issues reduction updates to
+//!   shadow addresses; no Init; the *Merge* phase is just the cache flush.
+//!
+//! Traces stream lazily: multi-million-instruction loops never materialize.
+
+use crate::pattern::{contribution, AccessPattern};
+use smartapps_sim::addr::{regions, to_shadow, Addr};
+use smartapps_sim::redop::RedOp;
+use smartapps_sim::trace::{Inst, Phase, TraceSource};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Indices per cache line of the (4-byte) index stream.
+const IDX_PER_LINE: usize = 16;
+
+/// Per-iteration non-reduction work and the reduction operator.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceParams {
+    /// Integer/address instructions per iteration outside the updates.
+    pub work_int: u32,
+    /// Floating-point instructions per iteration outside the updates.
+    pub work_fp: u32,
+    /// Reduction operator (configures PCLR hardware; decides neutral fill).
+    pub op: RedOp,
+    /// Embed real contribution values in the trace (needed for value
+    /// tracking; a few percent slower to generate).
+    pub values: bool,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams { work_int: 20, work_fp: 8, op: RedOp::AddF64, values: false }
+    }
+}
+
+/// Block scheduling: iteration range of processor `p` out of `nprocs`.
+pub fn block_range(iters: usize, p: usize, nprocs: usize) -> std::ops::Range<usize> {
+    let lo = iters * p / nprocs;
+    let hi = iters * (p + 1) / nprocs;
+    lo..hi
+}
+
+/// Element-block range of processor `p` (merge partitioning and local-write
+/// ownership), aligned down to cache-line boundaries so no line is shared
+/// between two merging processors.
+pub fn elem_block_range(elems: usize, p: usize, nprocs: usize) -> std::ops::Range<usize> {
+    let align = |x: usize| x / 8 * 8;
+    let lo = if p == 0 { 0 } else { align(elems * p / nprocs) };
+    let hi = if p + 1 == nprocs { elems } else { align(elems * (p + 1) / nprocs) };
+    lo..hi
+}
+
+fn val_bits(params: &TraceParams, ref_slot: usize) -> u64 {
+    if params.values {
+        match params.op {
+            RedOp::AddI64 | RedOp::OrI64 => {
+                crate::pattern::contribution_i64(ref_slot) as u64
+            }
+            _ => contribution(ref_slot).to_bits(),
+        }
+    } else {
+        0
+    }
+}
+
+/// Common streaming machinery: a refillable buffer of instructions.
+struct Buffered<S> {
+    buf: VecDeque<Inst>,
+    state: S,
+}
+
+impl<S> Buffered<S> {
+    fn new(state: S) -> Self {
+        Buffered { buf: VecDeque::with_capacity(64), state }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential baseline
+// ---------------------------------------------------------------------------
+
+enum SeqState {
+    Start,
+    Loop { iter: usize, idx_cursor: u64 },
+    Done,
+}
+
+/// Sequential trace: direct `load, op, store` on the shared array.
+pub struct SeqTrace {
+    pat: Arc<AccessPattern>,
+    params: TraceParams,
+    inner: Buffered<SeqState>,
+}
+
+impl SeqTrace {
+    /// Build the sequential trace for processor 0.
+    pub fn new(pat: Arc<AccessPattern>, params: TraceParams) -> Self {
+        SeqTrace { pat, params, inner: Buffered::new(SeqState::Start) }
+    }
+}
+
+impl TraceSource for SeqTrace {
+    fn next_inst(&mut self) -> Option<Inst> {
+        loop {
+            if let Some(i) = self.inner.buf.pop_front() {
+                return Some(i);
+            }
+            match self.inner.state {
+                SeqState::Start => {
+                    self.inner.buf.push_back(Inst::SetPhase(Phase::Loop));
+                    self.inner.state = SeqState::Loop { iter: 0, idx_cursor: 0 };
+                }
+                SeqState::Loop { iter, idx_cursor } => {
+                    if iter >= self.pat.num_iterations() {
+                        self.inner.state = SeqState::Done;
+                        continue;
+                    }
+                    let refs = self.pat.refs(iter);
+                    let mut cursor = idx_cursor;
+                    for k in 0..refs.len().div_ceil(IDX_PER_LINE) {
+                        let _ = k;
+                        self.inner.buf.push_back(Inst::Load {
+                            addr: regions::pattern_stream(0, cursor * 4),
+                        });
+                        cursor += IDX_PER_LINE as u64;
+                    }
+                    self.inner.buf.push_back(Inst::Work {
+                        ints: self.params.work_int,
+                        fps: self.params.work_fp + refs.len() as u32,
+                        branches: 0,
+                    });
+                    for &x in refs {
+                        let a = regions::shared_elem(x as u64);
+                        self.inner.buf.push_back(Inst::Load { addr: a });
+                        self.inner.buf.push_back(Inst::Store { addr: a, val: 0 });
+                    }
+                    self.inner.state =
+                        SeqState::Loop { iter: iter + 1, idx_cursor: cursor };
+                }
+                SeqState::Done => return None,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Software (replicated private arrays) scheme
+// ---------------------------------------------------------------------------
+
+enum SwState {
+    Start,
+    Init { next_elem: usize },
+    LoopStart,
+    Loop { iter: usize, idx_cursor: u64 },
+    MergeStart,
+    Merge { next_elem: usize },
+    Done,
+}
+
+/// One processor's trace of the software scheme.
+pub struct SwRepTrace {
+    pat: Arc<AccessPattern>,
+    p: usize,
+    nprocs: usize,
+    params: TraceParams,
+    inner: Buffered<SwState>,
+}
+
+impl SwRepTrace {
+    /// Build processor `p`'s trace of the Sw scheme over `nprocs`.
+    pub fn new(pat: Arc<AccessPattern>, p: usize, nprocs: usize, params: TraceParams) -> Self {
+        assert!(p < nprocs);
+        SwRepTrace { pat, p, nprocs, params, inner: Buffered::new(SwState::Start) }
+    }
+
+    fn private(&self, e: u64) -> Addr {
+        regions::private_elem(self.p, e)
+    }
+}
+
+impl TraceSource for SwRepTrace {
+    fn next_inst(&mut self) -> Option<Inst> {
+        loop {
+            if let Some(i) = self.inner.buf.pop_front() {
+                return Some(i);
+            }
+            match self.inner.state {
+                SwState::Start => {
+                    self.inner.buf.push_back(Inst::SetPhase(Phase::Init));
+                    self.inner.state = SwState::Init { next_elem: 0 };
+                }
+                SwState::Init { next_elem } => {
+                    if next_elem >= self.pat.num_elements {
+                        self.inner.state = SwState::LoopStart;
+                        continue;
+                    }
+                    // One line of private-array initialization stores.
+                    let hi = (next_elem + 8).min(self.pat.num_elements);
+                    for e in next_elem..hi {
+                        self.inner.buf.push_back(Inst::Store {
+                            addr: self.private(e as u64),
+                            val: 0,
+                        });
+                    }
+                    self.inner.state = SwState::Init { next_elem: hi };
+                }
+                SwState::LoopStart => {
+                    self.inner.buf.push_back(Inst::Barrier);
+                    self.inner.buf.push_back(Inst::SetPhase(Phase::Loop));
+                    let start = block_range(self.pat.num_iterations(), self.p, self.nprocs)
+                        .start;
+                    self.inner.state = SwState::Loop { iter: start, idx_cursor: 0 };
+                }
+                SwState::Loop { iter, idx_cursor } => {
+                    let range = block_range(self.pat.num_iterations(), self.p, self.nprocs);
+                    if iter >= range.end {
+                        self.inner.state = SwState::MergeStart;
+                        continue;
+                    }
+                    let refs = self.pat.refs(iter);
+                    let mut cursor = idx_cursor;
+                    for _ in 0..refs.len().div_ceil(IDX_PER_LINE) {
+                        self.inner.buf.push_back(Inst::Load {
+                            addr: regions::pattern_stream(self.p, cursor * 4),
+                        });
+                        cursor += IDX_PER_LINE as u64;
+                    }
+                    self.inner.buf.push_back(Inst::Work {
+                        ints: self.params.work_int,
+                        fps: self.params.work_fp + refs.len() as u32,
+                        branches: 0,
+                    });
+                    for &x in refs {
+                        let a = self.private(x as u64);
+                        self.inner.buf.push_back(Inst::Load { addr: a });
+                        self.inner.buf.push_back(Inst::Store { addr: a, val: 0 });
+                    }
+                    self.inner.state = SwState::Loop { iter: iter + 1, idx_cursor: cursor };
+                }
+                SwState::MergeStart => {
+                    self.inner.buf.push_back(Inst::Barrier);
+                    self.inner.buf.push_back(Inst::SetPhase(Phase::Merge));
+                    let start =
+                        elem_block_range(self.pat.num_elements, self.p, self.nprocs).start;
+                    self.inner.state = SwState::Merge { next_elem: start };
+                }
+                SwState::Merge { next_elem } => {
+                    let range = elem_block_range(self.pat.num_elements, self.p, self.nprocs);
+                    if next_elem >= range.end {
+                        self.inner.buf.push_back(Inst::Barrier);
+                        self.inner.state = SwState::Done;
+                        continue;
+                    }
+                    // One shared line: read every processor's partial line,
+                    // combine, store to the shared array.
+                    let hi = (next_elem + 8).min(range.end);
+                    for q in 0..self.nprocs {
+                        for e in next_elem..hi {
+                            self.inner.buf.push_back(Inst::Load {
+                                addr: regions::private_elem(q, e as u64),
+                            });
+                        }
+                    }
+                    self.inner.buf.push_back(Inst::Work {
+                        ints: 4,
+                        fps: ((hi - next_elem) * self.nprocs) as u32,
+                        branches: 0,
+                    });
+                    for e in next_elem..hi {
+                        self.inner.buf.push_back(Inst::Store {
+                            addr: regions::shared_elem(e as u64),
+                            val: 0,
+                        });
+                    }
+                    self.inner.state = SwState::Merge { next_elem: hi };
+                }
+                SwState::Done => return None,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PCLR scheme
+// ---------------------------------------------------------------------------
+
+enum PclrState {
+    Start,
+    Loop { iter: usize, idx_cursor: u64 },
+    FlushStart,
+    Done,
+}
+
+/// One processor's trace of the PCLR scheme (Figure 5's code shape).
+pub struct PclrTrace {
+    pat: Arc<AccessPattern>,
+    p: usize,
+    nprocs: usize,
+    params: TraceParams,
+    inner: Buffered<PclrState>,
+}
+
+impl PclrTrace {
+    /// Build processor `p`'s PCLR trace over `nprocs`.
+    pub fn new(pat: Arc<AccessPattern>, p: usize, nprocs: usize, params: TraceParams) -> Self {
+        assert!(p < nprocs);
+        PclrTrace { pat, p, nprocs, params, inner: Buffered::new(PclrState::Start) }
+    }
+}
+
+impl TraceSource for PclrTrace {
+    fn next_inst(&mut self) -> Option<Inst> {
+        loop {
+            if let Some(i) = self.inner.buf.pop_front() {
+                return Some(i);
+            }
+            match self.inner.state {
+                PclrState::Start => {
+                    self.inner.buf.push_back(Inst::ConfigPclr { op: self.params.op });
+                    self.inner.buf.push_back(Inst::Barrier);
+                    self.inner.buf.push_back(Inst::SetPhase(Phase::Loop));
+                    let start =
+                        block_range(self.pat.num_iterations(), self.p, self.nprocs).start;
+                    self.inner.state = PclrState::Loop { iter: start, idx_cursor: 0 };
+                }
+                PclrState::Loop { iter, idx_cursor } => {
+                    let range = block_range(self.pat.num_iterations(), self.p, self.nprocs);
+                    if iter >= range.end {
+                        self.inner.state = PclrState::FlushStart;
+                        continue;
+                    }
+                    let rr = self.pat.ref_range(iter);
+                    let mut cursor = idx_cursor;
+                    for _ in 0..rr.len().div_ceil(IDX_PER_LINE) {
+                        self.inner.buf.push_back(Inst::Load {
+                            addr: regions::pattern_stream(self.p, cursor * 4),
+                        });
+                        cursor += IDX_PER_LINE as u64;
+                    }
+                    self.inner.buf.push_back(Inst::Work {
+                        ints: self.params.work_int,
+                        fps: self.params.work_fp,
+                        branches: 0,
+                    });
+                    for r in rr {
+                        let x = self.pat.indices[r];
+                        self.inner.buf.push_back(Inst::RedUpdate {
+                            addr: to_shadow(regions::shared_elem(x as u64)),
+                            val: val_bits(&self.params, r),
+                        });
+                    }
+                    self.inner.state = PclrState::Loop { iter: iter + 1, idx_cursor: cursor };
+                }
+                PclrState::FlushStart => {
+                    self.inner.buf.push_back(Inst::SetPhase(Phase::Merge));
+                    self.inner.buf.push_back(Inst::Flush);
+                    self.inner.buf.push_back(Inst::Barrier);
+                    self.inner.state = PclrState::Done;
+                }
+                PclrState::Done => return None,
+            }
+        }
+    }
+}
+
+/// Build the full trace set for a scheme.
+pub fn traces_for(
+    scheme: SimScheme,
+    pat: &Arc<AccessPattern>,
+    nprocs: usize,
+    params: TraceParams,
+) -> Vec<Box<dyn TraceSource>> {
+    match scheme {
+        SimScheme::Seq => {
+            assert_eq!(nprocs, 1, "sequential runs use a 1-node machine");
+            vec![Box::new(SeqTrace::new(pat.clone(), params))]
+        }
+        SimScheme::Sw => (0..nprocs)
+            .map(|p| {
+                Box::new(SwRepTrace::new(pat.clone(), p, nprocs, params))
+                    as Box<dyn TraceSource>
+            })
+            .collect(),
+        SimScheme::Pclr => (0..nprocs)
+            .map(|p| {
+                Box::new(PclrTrace::new(pat.clone(), p, nprocs, params))
+                    as Box<dyn TraceSource>
+            })
+            .collect(),
+    }
+}
+
+/// The three simulated systems of Figure 6 (Hw vs Flex is a machine
+/// configuration, not a trace difference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimScheme {
+    /// Sequential baseline.
+    Seq,
+    /// Software-only replicated-array reduction.
+    Sw,
+    /// PCLR reduction accesses (run on a Hw or Flex machine).
+    Pclr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{Distribution, PatternSpec};
+
+    fn small_pattern() -> Arc<AccessPattern> {
+        Arc::new(
+            PatternSpec {
+                num_elements: 256,
+                iterations: 64,
+                refs_per_iter: 2,
+                coverage: 1.0,
+                dist: Distribution::Uniform,
+                seed: 1,
+            }
+            .generate(),
+        )
+    }
+
+    fn drain(mut t: Box<dyn TraceSource>) -> Vec<Inst> {
+        let mut v = Vec::new();
+        while let Some(i) = t.next_inst() {
+            v.push(i);
+        }
+        v
+    }
+
+    #[test]
+    fn seq_trace_covers_all_refs() {
+        let pat = small_pattern();
+        let insts = drain(Box::new(SeqTrace::new(pat.clone(), TraceParams::default())));
+        let stores = insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
+        assert_eq!(stores, pat.num_references());
+        // No PCLR artifacts in the sequential trace.
+        assert!(!insts.iter().any(|i| matches!(
+            i,
+            Inst::RedUpdate { .. } | Inst::Flush | Inst::ConfigPclr { .. }
+        )));
+    }
+
+    #[test]
+    fn sw_traces_partition_iterations_and_elements() {
+        let pat = small_pattern();
+        let nprocs = 4;
+        let mut loop_private_stores = 0usize;
+        let mut merge_shared_stores = 0usize;
+        let mut init_stores = 0usize;
+        for p in 0..nprocs {
+            let insts = drain(Box::new(SwRepTrace::new(
+                pat.clone(),
+                p,
+                nprocs,
+                TraceParams::default(),
+            )));
+            let mut phase = Phase::Startup;
+            for i in &insts {
+                match i {
+                    Inst::SetPhase(ph) => phase = *ph,
+                    Inst::Store { addr, .. } => match phase {
+                        Phase::Init => init_stores += 1,
+                        Phase::Loop => {
+                            assert!(*addr >= regions::PRIVATE);
+                            loop_private_stores += 1;
+                        }
+                        Phase::Merge => {
+                            assert!(*addr < regions::PRIVATE);
+                            merge_shared_stores += 1;
+                        }
+                        _ => panic!("store outside phases"),
+                    },
+                    _ => {}
+                }
+            }
+        }
+        // Init: every processor initializes the full dimension.
+        assert_eq!(init_stores, nprocs * pat.num_elements);
+        // Loop: references partitioned exactly.
+        assert_eq!(loop_private_stores, pat.num_references());
+        // Merge: each shared element stored exactly once across processors.
+        assert_eq!(merge_shared_stores, pat.num_elements);
+    }
+
+    #[test]
+    fn pclr_traces_have_no_init_and_flush_once() {
+        let pat = small_pattern();
+        let nprocs = 4;
+        let mut red_updates = 0usize;
+        for p in 0..nprocs {
+            let insts = drain(Box::new(PclrTrace::new(
+                pat.clone(),
+                p,
+                nprocs,
+                TraceParams::default(),
+            )));
+            assert!(matches!(insts[0], Inst::ConfigPclr { .. }));
+            assert_eq!(
+                insts.iter().filter(|i| matches!(i, Inst::Flush)).count(),
+                1
+            );
+            assert!(!insts
+                .iter()
+                .any(|i| matches!(i, Inst::SetPhase(Phase::Init))));
+            red_updates += insts
+                .iter()
+                .filter(|i| matches!(i, Inst::RedUpdate { .. }))
+                .count();
+            // All reduction updates go to shadow space.
+            for i in &insts {
+                if let Inst::RedUpdate { addr, .. } = i {
+                    assert!(smartapps_sim::addr::is_shadow(*addr));
+                }
+            }
+        }
+        assert_eq!(red_updates, pat.num_references());
+    }
+
+    #[test]
+    fn block_ranges_partition() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for np in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for p in 0..np {
+                    let r = block_range(total, p, np);
+                    covered += r.len();
+                }
+                assert_eq!(covered, total);
+            }
+        }
+    }
+
+    #[test]
+    fn elem_blocks_are_line_aligned_and_cover() {
+        let n = 1003;
+        let np = 4;
+        let mut covered = 0;
+        for p in 0..np {
+            let r = elem_block_range(n, p, np);
+            if p > 0 {
+                assert_eq!(r.start % 8, 0);
+            }
+            covered += r.len();
+        }
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn values_embedded_when_requested() {
+        let pat = small_pattern();
+        let params = TraceParams { values: true, ..Default::default() };
+        let insts = drain(Box::new(PclrTrace::new(pat, 0, 1, params)));
+        let nonzero = insts
+            .iter()
+            .filter(|i| matches!(i, Inst::RedUpdate { val, .. } if *val != 0))
+            .count();
+        assert!(nonzero > 0, "contributions embedded");
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: let the SmartApp runtime pick a reduction scheme for an
+//! irregular loop, and compare it with every fixed choice.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smartapps::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let threads = 4;
+    // An irregular mesh: 50,000 nodes, 400,000 edges, each edge
+    // contributing force to both endpoints (the Irreg/Moldyn shape).
+    let pattern = smartapps::workloads::apps::irreg_mesh(50_000, 400_000, 42);
+    let chars = PatternChars::measure(&pattern);
+    println!(
+        "workload: {} elements, {} iterations, {} references",
+        chars.num_elements, chars.iterations, chars.references
+    );
+    println!(
+        "characteristics: MO = {:.2}, CON = {:.1}, SP = {:.1}%, array = {:.0} KB\n",
+        chars.mo,
+        chars.con,
+        chars.sp * 100.0,
+        chars.array_kb()
+    );
+
+    // 1. The adaptive runtime: characterize, decide, execute.
+    let mut smart = AdaptiveReduction::new(0, threads, true);
+    let t0 = Instant::now();
+    let (w_adaptive, log) = smart.execute(&pattern, &|_i, r| contribution(r));
+    println!(
+        "adaptive runtime chose `{}` in {:.2?} (inspector included: {})",
+        log.scheme,
+        t0.elapsed(),
+        log.characterized
+    );
+
+    // 2. Every fixed scheme, for comparison.
+    println!("\nfixed schemes on {threads} threads:");
+    let (ranking, seq_time) =
+        rank_schemes(&pattern, &|_i, r| contribution(r), threads, true, 3);
+    println!("  sequential: {seq_time:.2?}");
+    for t in &ranking {
+        println!(
+            "  {:4}: {:9.2?}  (speedup {:.2}x)",
+            t.scheme.abbrev(),
+            t.elapsed,
+            seq_time.as_secs_f64() / t.elapsed.as_secs_f64()
+        );
+    }
+    let best = ranking[0].scheme;
+    println!(
+        "\nmeasured best = `{best}`; adaptive runtime chose `{}` -> {}",
+        log.scheme,
+        if log.scheme == best { "optimal" } else { "within the top choices" }
+    );
+
+    // Results are identical whichever scheme ran.
+    let w_fixed = run_scheme(best, &pattern, &|_i, r| contribution(r), threads, None);
+    let max_err = w_adaptive
+        .iter()
+        .zip(w_fixed.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |adaptive - fixed| = {max_err:.2e} (floating-point reassociation only)");
+}

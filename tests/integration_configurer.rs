@@ -1,0 +1,92 @@
+//! The full SmartApp hardware-adaptation story: the ToolBox's Configurer
+//! reconfigures the (simulated) platform, the application tries the
+//! configurations on its own workload, and commits to the winner — "the
+//! SMARTAPP performs a global optimization ... the resulting code and
+//! resource customization should lead to major speedups".
+
+use smartapps::core::configurer::{
+    Configurer, Placement, ReductionHw, SimConfigurer, SystemConfig,
+};
+use smartapps::sim::Machine;
+use smartapps::workloads::tracegen::{traces_for, SimScheme, TraceParams};
+use smartapps::workloads::{Distribution, PatternSpec};
+use std::sync::Arc;
+
+fn simulate(conf: &SimConfigurer, pat: &Arc<smartapps::workloads::AccessPattern>) -> u64 {
+    let cfg = conf.machine_config();
+    let nodes = cfg.nodes;
+    let scheme = if conf.use_pclr() { SimScheme::Pclr } else { SimScheme::Sw };
+    let traces = traces_for(scheme, pat, nodes, TraceParams::default());
+    let mut m = Machine::with_placement(cfg, traces, conf.placement_policy());
+    m.run().total_cycles
+}
+
+/// Evaluate candidate system configurations on the application's own loop
+/// (the paper's "compute optimal configuration (arch, OS, data layout...)"
+/// step) and verify the chosen one is the measured best.
+#[test]
+fn configurer_trial_selects_pclr_for_reduction_loop() {
+    let pat = Arc::new(
+        PatternSpec {
+            num_elements: 32_768,
+            iterations: 6_000,
+            refs_per_iter: 8,
+            coverage: 1.0,
+            dist: Distribution::Clustered { window: 1024 },
+            seed: 9,
+        }
+        .generate(),
+    );
+    let candidates = [
+        ("sw/first-touch", ReductionHw::Off, Placement::FirstTouch),
+        ("hw/first-touch", ReductionHw::Hardwired, Placement::FirstTouch),
+        ("flex/first-touch", ReductionHw::Programmable, Placement::FirstTouch),
+        ("hw/round-robin", ReductionHw::Hardwired, Placement::RoundRobin),
+    ];
+    let mut results = Vec::new();
+    let mut conf = SimConfigurer::new(8);
+    for (name, hw, placement) in candidates {
+        let rec = conf.apply(&SystemConfig { threads: 8, reduction_hw: hw, placement });
+        // Reconfiguration must be visible (each candidate differs).
+        assert!(!rec.is_noop() || results.is_empty());
+        results.push((name, simulate(&conf, &pat)));
+    }
+    results.sort_by_key(|(_, c)| *c);
+    let (best_name, best_cycles) = results[0];
+    // For a reduction-dominated loop, hardwired PCLR with first-touch
+    // placement must win the trial.
+    assert_eq!(best_name, "hw/first-touch", "results: {results:?}");
+    // And the Configurer can commit to it.
+    let rec = conf.apply(&SystemConfig {
+        threads: 8,
+        reduction_hw: ReductionHw::Hardwired,
+        placement: Placement::FirstTouch,
+    });
+    assert!(!rec.is_noop(), "switching back from the last candidate");
+    assert_eq!(simulate(&conf, &pat), best_cycles, "deterministic replay");
+}
+
+/// The host configurer's thread knob integrates with the reduction
+/// library: fewer threads -> same results.
+#[test]
+fn host_configurer_threads_flow_into_execution() {
+    use smartapps::core::configurer::HostConfigurer;
+    use smartapps::prelude::*;
+    let pat = PatternSpec {
+        num_elements: 1_000,
+        iterations: 5_000,
+        refs_per_iter: 2,
+        coverage: 1.0,
+        dist: Distribution::Uniform,
+        seed: 2,
+    }
+    .generate();
+    let mut host = HostConfigurer::new(8);
+    let w8 = run_scheme(Scheme::Rep, &pat, &|_i, r| contribution(r), host.threads(), None);
+    host.apply(&SystemConfig { threads: 2, ..Default::default() });
+    assert_eq!(host.threads(), 2);
+    let w2 = run_scheme(Scheme::Rep, &pat, &|_i, r| contribution(r), host.threads(), None);
+    for (a, b) in w8.iter().zip(w2.iter()) {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration: the Figure 6/7 experiment pipeline end to end
+//! (workload generation -> trace lowering -> CC-NUMA simulation), with the
+//! paper's qualitative claims as assertions.
+
+use smartapps::sim::{harmonic_mean, Machine, MachineConfig};
+use smartapps::workloads::tracegen::{traces_for, SimScheme, TraceParams};
+use smartapps::workloads::{table2_rows, Distribution, PatternSpec};
+use std::sync::Arc;
+
+fn run(
+    pat: &Arc<smartapps::workloads::AccessPattern>,
+    scheme: SimScheme,
+    cfg: MachineConfig,
+    params: TraceParams,
+) -> smartapps::sim::RunStats {
+    let n = cfg.nodes;
+    let mut m = Machine::new(cfg, traces_for(scheme, pat, n, params));
+    m.run()
+}
+
+/// A moderate synthetic loop: Hw > Flex > Sw ordering and the phase
+/// structure of Figure 6 (PCLR: no Init, flush \u{226a} Sw merge).
+#[test]
+fn figure6_ordering_holds_on_synthetic_loop() {
+    let pat = Arc::new(
+        PatternSpec {
+            num_elements: 65_536,
+            iterations: 12_000,
+            refs_per_iter: 8,
+            coverage: 1.0,
+            dist: Distribution::Clustered { window: 2048 },
+            seed: 5,
+        }
+        .generate(),
+    );
+    let params = TraceParams::default();
+    let procs = 8;
+    let seq = run(&pat, SimScheme::Seq, MachineConfig::table1(1), params);
+    let sw = run(&pat, SimScheme::Sw, MachineConfig::table1(procs), params);
+    let hw = run(&pat, SimScheme::Pclr, MachineConfig::table1(procs), params);
+    let flex = run(&pat, SimScheme::Pclr, MachineConfig::flex(procs), params);
+
+    let sp = |s: &smartapps::sim::RunStats| seq.total_cycles as f64 / s.total_cycles as f64;
+    assert!(sp(&hw) > sp(&flex), "Hw {} <= Flex {}", sp(&hw), sp(&flex));
+    assert!(sp(&flex) > sp(&sw), "Flex {} <= Sw {}", sp(&flex), sp(&sw));
+    assert!(sp(&hw) > 1.0, "PCLR must beat sequential");
+
+    // Phase structure.
+    assert_eq!(hw.breakdown().init, 0, "PCLR needs no initialization phase");
+    assert!(sw.breakdown().init > 0, "software scheme pays the init sweep");
+    assert!(
+        hw.breakdown().merge < sw.breakdown().merge,
+        "flush must be cheaper than the software merge"
+    );
+    // The flush is bounded by cache capacity.
+    let cache_lines = (MachineConfig::table1(procs).l1.lines()
+        + MachineConfig::table1(procs).l2.lines()) as u64;
+    assert!(hw.counters.red_flushed <= cache_lines * procs as u64);
+}
+
+/// Figure 7's scaling claim on one app: Sw merge cycles stay roughly flat
+/// from 4 to 16 processors while PCLR total shrinks.
+#[test]
+fn figure7_sw_merge_does_not_scale() {
+    let rows = table2_rows();
+    let vml = rows.iter().find(|r| r.app == "Vml").unwrap();
+    let pat = Arc::new(vml.pattern(vml.iters_per_invocation, 7));
+    let (int, fp) = vml.work_per_iter();
+    let params = TraceParams { work_int: int, work_fp: fp, ..Default::default() };
+
+    let mut sw_merge = Vec::new();
+    let mut hw_total = Vec::new();
+    for procs in [4usize, 16] {
+        let sw = run(&pat, SimScheme::Sw, MachineConfig::table1(procs), params);
+        let hw = run(&pat, SimScheme::Pclr, MachineConfig::table1(procs), params);
+        sw_merge.push(sw.breakdown().merge as f64);
+        hw_total.push(hw.total_cycles as f64);
+    }
+    let merge_scaling = sw_merge[0] / sw_merge[1];
+    assert!(
+        merge_scaling < 2.5,
+        "4x the processors must NOT give ~4x faster merges (got {merge_scaling:.2}x)"
+    );
+    assert!(
+        hw_total[0] / hw_total[1] > 1.8,
+        "PCLR should keep scaling: {:.2}x",
+        hw_total[0] / hw_total[1]
+    );
+}
+
+/// Harmonic-mean speedup over all five Table 2 apps (scaled down for test
+/// runtime): the ordering of the paper's summary numbers.
+#[test]
+fn figure6_harmonic_means_ordered() {
+    let mut sw_s = Vec::new();
+    let mut hw_s = Vec::new();
+    let mut flex_s = Vec::new();
+    for row in &table2_rows() {
+        let iters = (row.iters_per_invocation / 20).max(500);
+        let pat = Arc::new(row.pattern(iters, 3));
+        let (int, fp) = row.work_per_iter();
+        let params = TraceParams { work_int: int, work_fp: fp, ..Default::default() };
+        let seq = run(&pat, SimScheme::Seq, MachineConfig::table1(1), params);
+        let sw = run(&pat, SimScheme::Sw, MachineConfig::table1(8), params);
+        let hw = run(&pat, SimScheme::Pclr, MachineConfig::table1(8), params);
+        let flex = run(&pat, SimScheme::Pclr, MachineConfig::flex(8), params);
+        sw_s.push(seq.total_cycles as f64 / sw.total_cycles as f64);
+        hw_s.push(seq.total_cycles as f64 / hw.total_cycles as f64);
+        flex_s.push(seq.total_cycles as f64 / flex.total_cycles as f64);
+    }
+    let (sw, hw, flex) =
+        (harmonic_mean(&sw_s), harmonic_mean(&hw_s), harmonic_mean(&flex_s));
+    assert!(hw > flex && flex > sw, "ordering: Hw {hw:.2} > Flex {flex:.2} > Sw {sw:.2}");
+}
+
+/// Value tracking through the full pipeline: a PCLR simulation of a
+/// generated workload combines integer contributions exactly.
+#[test]
+fn pclr_simulation_values_exact() {
+    use smartapps::sim::addr::regions;
+    let pat = Arc::new(
+        PatternSpec {
+            num_elements: 2_048,
+            iterations: 3_000,
+            refs_per_iter: 2,
+            coverage: 0.5,
+            dist: Distribution::Uniform,
+            seed: 11,
+        }
+        .generate(),
+    );
+    let mut cfg = MachineConfig::table1(4);
+    cfg.track_values = true;
+    let params = TraceParams {
+        op: smartapps::sim::RedOp::AddI64,
+        values: true,
+        ..Default::default()
+    };
+    let mut m = Machine::new(cfg, traces_for(SimScheme::Pclr, &pat, 4, params));
+    m.run();
+    let oracle = smartapps::workloads::sequential_reduce_i64(&pat);
+    for (e, &want) in oracle.iter().enumerate() {
+        let got = m.peek_memory(regions::shared_elem(e as u64)) as i64;
+        assert_eq!(got, want, "element {e}");
+    }
+}
