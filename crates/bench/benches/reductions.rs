@@ -61,9 +61,7 @@ fn bench_schemes(c: &mut Criterion) {
                 BenchmarkId::from_parameter(scheme.abbrev()),
                 &scheme,
                 |b, &s| {
-                    b.iter(|| {
-                        run_scheme(s, &pat, &|_i, r| contribution(r), threads, Some(&insp))
-                    })
+                    b.iter(|| run_scheme(s, &pat, &|_i, r| contribution(r), threads, Some(&insp)))
                 },
             );
         }
@@ -86,7 +84,9 @@ fn bench_inspector(c: &mut Criterion) {
     group.bench_function("full_analyze_1M_refs", |b| {
         b.iter(|| Inspector::analyze(&pat, 8))
     });
-    group.bench_function("conflicts_only", |b| b.iter(|| Inspector::conflicts(&pat, 8)));
+    group.bench_function("conflicts_only", |b| {
+        b.iter(|| Inspector::conflicts(&pat, 8))
+    });
     group.finish();
 }
 

@@ -1,0 +1,51 @@
+//! Pooled vs per-call-spawn execution: the bench behind the runtime
+//! crate's reason to exist.  Repeated reduction invocations on the
+//! persistent worker pool must beat the same schemes on freshly spawned
+//! threads — most dramatically for small patterns, where thread creation
+//! dominates the loop body.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartapps_reductions::{run_scheme_on, Inspector, Scheme, SpawnExecutor};
+use smartapps_runtime::WorkerPool;
+use smartapps_workloads::{contribution, Distribution, PatternSpec};
+
+const THREADS: usize = 4;
+
+fn pattern(elems: usize, iters: usize) -> smartapps_workloads::AccessPattern {
+    PatternSpec {
+        num_elements: elems,
+        iterations: iters,
+        refs_per_iter: 2,
+        coverage: 1.0,
+        dist: Distribution::Uniform,
+        seed: 42,
+    }
+    .generate()
+}
+
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    let body = |_i: usize, r: usize| contribution(r);
+    let pool = WorkerPool::new(THREADS);
+    for (name, elems, iters) in [
+        ("small", 256usize, 500usize),
+        ("medium", 4096, 8000),
+        ("large", 65_536, 60_000),
+    ] {
+        let pat = pattern(elems, iters);
+        let insp = Inspector::analyze(&pat, THREADS);
+        let mut group = c.benchmark_group(format!("runtime/{name}"));
+        group.sample_size(12);
+        for scheme in [Scheme::Rep, Scheme::Hash] {
+            group.bench_with_input(BenchmarkId::new("spawn", scheme.abbrev()), &pat, |b, p| {
+                b.iter(|| run_scheme_on(scheme, p, &body, THREADS, Some(&insp), &SpawnExecutor))
+            });
+            group.bench_with_input(BenchmarkId::new("pool", scheme.abbrev()), &pat, |b, p| {
+                b.iter(|| run_scheme_on(scheme, p, &body, THREADS, Some(&insp), &pool))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pool_vs_spawn);
+criterion_main!(benches);

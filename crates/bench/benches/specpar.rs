@@ -47,7 +47,10 @@ fn bench_rlrpd(c: &mut Criterion) {
     let mut group = c.benchmark_group("rlrpd");
     group.sample_size(10);
     // One flow dependence planted at varying loop positions.
-    for (name, dep_at) in [("dep_at_25pct", ITERS / 4), ("dep_at_90pct", ITERS * 9 / 10)] {
+    for (name, dep_at) in [
+        ("dep_at_25pct", ITERS / 4),
+        ("dep_at_90pct", ITERS * 9 / 10),
+    ] {
         group.bench_function(name, |b| {
             let body = move |i: usize, ctx: &mut dyn SpecAccess| {
                 if i == dep_at {

@@ -26,7 +26,10 @@ use smartapps_workloads::{fig3_rows, table2_rows};
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::args()
-        .find_map(|a| a.strip_prefix(&format!("--{name}=")).and_then(|v| v.parse().ok()))
+        .find_map(|a| {
+            a.strip_prefix(&format!("--{name}="))
+                .and_then(|v| v.parse().ok())
+        })
         .unwrap_or(default)
 }
 
@@ -54,10 +57,27 @@ fn main() {
     println!("Ablation 1: page placement (Equake, {procs}p, scale {scale})\n");
     {
         use smartapps_sim::directory::PlacementPolicy::{FirstTouch, RoundRobin};
-        let mut t = Table::new(vec!["system", "first-touch cycles", "round-robin cycles", "penalty"]);
+        let mut t = Table::new(vec![
+            "system",
+            "first-touch cycles",
+            "round-robin cycles",
+            "penalty",
+        ]);
         for (name, scheme) in [("Sw", SimScheme::Sw), ("Hw (PCLR)", SimScheme::Pclr)] {
-            let ft = run_with(equake, MachineConfig::table1(procs), scheme, &pat, FirstTouch);
-            let rr = run_with(equake, MachineConfig::table1(procs), scheme, &pat, RoundRobin);
+            let ft = run_with(
+                equake,
+                MachineConfig::table1(procs),
+                scheme,
+                &pat,
+                FirstTouch,
+            );
+            let rr = run_with(
+                equake,
+                MachineConfig::table1(procs),
+                scheme,
+                &pat,
+                RoundRobin,
+            );
             t.row(vec![
                 name.to_string(),
                 ft.to_string(),
@@ -96,7 +116,11 @@ fn main() {
 
     println!("Ablation 3: programmable-controller occupancy factor (Equake, {procs}p)\n");
     {
-        let mut t = Table::new(vec!["flex occupancy factor", "total cycles", "vs hardwired"]);
+        let mut t = Table::new(vec![
+            "flex occupancy factor",
+            "total cycles",
+            "vs hardwired",
+        ]);
         let hw = run_with(
             equake,
             MachineConfig::table1(procs),
@@ -104,7 +128,11 @@ fn main() {
             &pat,
             smartapps_sim::directory::PlacementPolicy::FirstTouch,
         );
-        t.row(vec!["1 (hardwired)".to_string(), hw.to_string(), "+0.0%".to_string()]);
+        t.row(vec![
+            "1 (hardwired)".to_string(),
+            hw.to_string(),
+            "+0.0%".to_string(),
+        ]);
         for f in [2u64, 4, 8, 16] {
             let mut cfg = MachineConfig::flex(procs);
             cfg.flex_occupancy_factor = f;
@@ -169,7 +197,11 @@ fn main() {
                     })
                     .count()
             };
-            t.row(vec![name.to_string(), flips(0.5).to_string(), flips(2.0).to_string()]);
+            t.row(vec![
+                name.to_string(),
+                flips(0.5).to_string(),
+                flips(2.0).to_string(),
+            ]);
         }
         println!("{}", t.render());
         println!("(flips out of 16 rows; small counts = robust calibration)");
@@ -180,7 +212,10 @@ fn main() {
         use smartapps_reductions::rank_schemes;
         use smartapps_workloads::{contribution, Distribution, PatternSpec};
         let mut t = Table::new(vec![
-            "distribution", "max refs/elem", "model rec", "measured ranking",
+            "distribution",
+            "max refs/elem",
+            "model rec",
+            "measured ranking",
         ]);
         let dists = [
             ("uniform", Distribution::Uniform),
@@ -203,8 +238,7 @@ fn main() {
             let rec = DecisionModel::default()
                 .decide(&ModelInput::from_inspection(&insp, false))
                 .best();
-            let (ranking, seq_t) =
-                rank_schemes(&pat, &|_i, r| contribution(r), 4, false, 3);
+            let (ranking, seq_t) = rank_schemes(&pat, &|_i, r| contribution(r), 4, false, 3);
             let ranking_str = ranking
                 .iter()
                 .map(|x| {

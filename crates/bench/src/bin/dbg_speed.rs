@@ -3,8 +3,11 @@ fn main() {
     for row in &rows {
         let scale = 1.0;
         let t0 = std::time::Instant::now();
-        let (seq, sw, hw, flex) = smartapps_bench::pclr_experiment::run_all_systems(row, scale, 16, 7);
-        let sp = |r: &smartapps_bench::AppResult| seq.stats.total_cycles as f64 / r.stats.total_cycles as f64;
+        let (seq, sw, hw, flex) =
+            smartapps_bench::pclr_experiment::run_all_systems(row, scale, 16, 7);
+        let sp = |r: &smartapps_bench::AppResult| {
+            seq.stats.total_cycles as f64 / r.stats.total_cycles as f64
+        };
         println!(
             "{:7} scale={:.2} wall={:6.1?} | Sw {:5.2} Hw {:5.2} Flex {:5.2} (paper {:.1}/{:.1}/{:.1}) | hw flush/disp per proc {}/{} (paper {}/{}) | sw bars i/l/m {:.0}%/{:.0}%/{:.0}%",
             row.app, scale, t0.elapsed(), sp(&sw), sp(&hw), sp(&flex),

@@ -22,7 +22,10 @@ use smartapps_workloads::{contribution, fig3_rows};
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::args()
-        .find_map(|a| a.strip_prefix(&format!("--{name}=")).and_then(|v| v.parse().ok()))
+        .find_map(|a| {
+            a.strip_prefix(&format!("--{name}="))
+                .and_then(|v| v.parse().ok())
+        })
         .unwrap_or(default)
 }
 
@@ -37,11 +40,22 @@ fn main() {
         threads,
         reps,
         seed,
-        if quick { " (quick: iterations / 4)" } else { "" }
+        if quick {
+            " (quick: iterations / 4)"
+        } else {
+            ""
+        }
     );
 
     let mut table = Table::new(vec![
-        "APP", "MO", "N", "SP%", "CON", "paper rec", "paper best", "model rec",
+        "APP",
+        "MO",
+        "N",
+        "SP%",
+        "CON",
+        "paper rec",
+        "paper best",
+        "model rec",
         "measured ranking (speedup)",
     ]);
     let model = DecisionModel::default();

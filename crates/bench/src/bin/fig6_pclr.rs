@@ -16,7 +16,10 @@ use smartapps_workloads::table2_rows;
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::args()
-        .find_map(|a| a.strip_prefix(&format!("--{name}=")).and_then(|v| v.parse().ok()))
+        .find_map(|a| {
+            a.strip_prefix(&format!("--{name}="))
+                .and_then(|v| v.parse().ok())
+        })
         .unwrap_or(default)
 }
 
@@ -30,22 +33,40 @@ fn main() {
     type AppSpeedups = (String, f64, f64, f64);
     let mut speedups: Vec<AppSpeedups> = Vec::new();
     let mut table = Table::new(vec![
-        "App", "System", "Speedup", "paper", "Init", "Loop", "Merge/Flush", "bar (norm. to Sw)",
+        "App",
+        "System",
+        "Speedup",
+        "paper",
+        "Init",
+        "Loop",
+        "Merge/Flush",
+        "bar (norm. to Sw)",
     ]);
     for row in &table2_rows() {
         let (seq, sw, hw, flex) = run_all_systems(row, scale, procs, seed);
         let sw_total = sw.breakdown.total();
         let seq_cycles = seq.stats.total_cycles;
-        let paper = [row.fig6_speedups.0, row.fig6_speedups.1, row.fig6_speedups.2];
+        let paper = [
+            row.fig6_speedups.0,
+            row.fig6_speedups.1,
+            row.fig6_speedups.2,
+        ];
         let mut sps = [0.0f64; 3];
         for (k, r) in [&sw, &hw, &flex].into_iter().enumerate() {
             let sp = seq_cycles as f64 / r.stats.total_cycles as f64;
             sps[k] = sp;
             let frac = |x: u64| x as f64 / sw_total as f64;
-            let (i, l, m) =
-                (frac(r.breakdown.init), frac(r.breakdown.looptime), frac(r.breakdown.merge));
+            let (i, l, m) = (
+                frac(r.breakdown.init),
+                frac(r.breakdown.looptime),
+                frac(r.breakdown.merge),
+            );
             table.row(vec![
-                if k == 0 { row.app.to_string() } else { String::new() },
+                if k == 0 {
+                    row.app.to_string()
+                } else {
+                    String::new()
+                },
                 sys_name(r).to_string(),
                 format!("{sp:.1}"),
                 format!("{:.1}", paper[k]),
@@ -65,13 +86,29 @@ fn main() {
     let (sw_hm, hw_hm, flex_hm) = (hm(&|x| x.1), hm(&|x| x.2), hm(&|x| x.3));
     println!("harmonic-mean speedups over sequential ({procs} processors):");
     let mut t = Table::new(vec!["system", "measured", "paper (16p)"]);
-    t.row(vec!["Sw".to_string(), format!("{sw_hm:.1}"), "2.7".to_string()]);
-    t.row(vec!["Hw".to_string(), format!("{hw_hm:.1}"), "7.6".to_string()]);
-    t.row(vec!["Flex".to_string(), format!("{flex_hm:.1}"), "6.4".to_string()]);
+    t.row(vec![
+        "Sw".to_string(),
+        format!("{sw_hm:.1}"),
+        "2.7".to_string(),
+    ]);
+    t.row(vec![
+        "Hw".to_string(),
+        format!("{hw_hm:.1}"),
+        "7.6".to_string(),
+    ]);
+    t.row(vec![
+        "Flex".to_string(),
+        format!("{flex_hm:.1}"),
+        "6.4".to_string(),
+    ]);
     println!("{}", t.render());
     println!(
         "shape checks: Hw > Flex > Sw for every app: {}",
-        if speedups.iter().all(|(_, s, h, f)| h > f && f > s) { "yes" } else { "NO" }
+        if speedups.iter().all(|(_, s, h, f)| h > f && f > s) {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     println!(
         "Flex within {:.0}% of Hw on harmonic mean (paper: 16% lower)",

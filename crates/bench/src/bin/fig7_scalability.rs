@@ -15,7 +15,10 @@ use smartapps_workloads::table2_rows;
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::args()
-        .find_map(|a| a.strip_prefix(&format!("--{name}=")).and_then(|v| v.parse().ok()))
+        .find_map(|a| {
+            a.strip_prefix(&format!("--{name}="))
+                .and_then(|v| v.parse().ok())
+        })
         .unwrap_or(default)
 }
 
@@ -43,7 +46,13 @@ fn main() {
         }
     }
 
-    let mut t = Table::new(vec!["system", "4 procs", "8 procs", "16 procs", "paper @16"]);
+    let mut t = Table::new(vec![
+        "system",
+        "4 procs",
+        "8 procs",
+        "16 procs",
+        "paper @16",
+    ]);
     for (s, (name, paper)) in [("Sw", "2.7"), ("Hw", "7.6"), ("Flex", "6.4")]
         .into_iter()
         .enumerate()
@@ -60,7 +69,11 @@ fn main() {
 
     // ASCII rendering of the figure.
     println!("speedup");
-    let max = hms.iter().flat_map(|r| r.iter()).cloned().fold(0.0, f64::max);
+    let max = hms
+        .iter()
+        .flat_map(|r| r.iter())
+        .cloned()
+        .fold(0.0, f64::max);
     let rows = 12;
     for level in (1..=rows).rev() {
         let y = max * level as f64 / rows as f64;

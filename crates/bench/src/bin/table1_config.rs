@@ -31,8 +31,18 @@ fn measure_remote() -> u64 {
     let cfg = MachineConfig::table1(2);
     let a = regions::shared_elem(0);
     // Node 1 first-touches the page; node 0 then misses remotely.
-    let t0 = TraceBuilder::new().barrier().load(a).work(64, 0).work(4, 0).build();
-    let t1 = TraceBuilder::new().load(a).work(64, 0).work(4, 0).barrier().build();
+    let t0 = TraceBuilder::new()
+        .barrier()
+        .load(a)
+        .work(64, 0)
+        .work(4, 0)
+        .build();
+    let t1 = TraceBuilder::new()
+        .load(a)
+        .work(64, 0)
+        .work(4, 0)
+        .barrier()
+        .build();
     let mut m = Machine::new(cfg.clone(), vec![boxed(t0), boxed(t1)]);
     let stats = m.run();
     // Both processors' clocks are set to the barrier-release time; node 1
@@ -48,25 +58,64 @@ fn main() {
     println!("(latencies are contention-free round trips from the processor)\n");
 
     let mut t = Table::new(vec!["Processor Parameters", "Value"]);
-    t.row(vec!["issue width (dynamic)".to_string(), format!("{}-issue, 1 GHz", c.issue_width)]);
-    t.row(vec!["int, fp, ld/st FU".to_string(), format!("{}, {}, {}", c.int_units, c.fp_units, c.ldst_units)]);
-    t.row(vec!["instruction window".to_string(), format!("{}", c.window)]);
-    t.row(vec!["pending ld, st".to_string(), format!("{}, {}", c.max_pending_loads, c.max_pending_stores)]);
-    t.row(vec!["branch penalty".to_string(), format!("{} cycles", c.branch_penalty)]);
+    t.row(vec![
+        "issue width (dynamic)".to_string(),
+        format!("{}-issue, 1 GHz", c.issue_width),
+    ]);
+    t.row(vec![
+        "int, fp, ld/st FU".to_string(),
+        format!("{}, {}, {}", c.int_units, c.fp_units, c.ldst_units),
+    ]);
+    t.row(vec![
+        "instruction window".to_string(),
+        format!("{}", c.window),
+    ]);
+    t.row(vec![
+        "pending ld, st".to_string(),
+        format!("{}, {}", c.max_pending_loads, c.max_pending_stores),
+    ]);
+    t.row(vec![
+        "branch penalty".to_string(),
+        format!("{} cycles", c.branch_penalty),
+    ]);
     println!("{}", t.render());
 
     let mut t = Table::new(vec!["Memory Parameters", "Value"]);
-    t.row(vec!["L1, L2 size".to_string(), format!("{} KB, {} KB", c.l1.size / 1024, c.l2.size / 1024)]);
-    t.row(vec!["L1, L2 assoc".to_string(), format!("{}-way, {}-way", c.l1.assoc, c.l2.assoc)]);
-    t.row(vec!["L1, L2 line".to_string(), format!("{} B, {} B", c.l1.line, c.l2.line)]);
-    t.row(vec!["L1, L2 latency".to_string(), format!("{}, {} cycles", c.l1.latency, c.l2.latency)]);
-    t.row(vec!["local memory latency".to_string(), format!("{} cycles", c.local_round_trip())]);
-    t.row(vec!["2-hop memory latency".to_string(), format!("{} cycles", c.remote_round_trip())]);
-    t.row(vec!["combine unit".to_string(), format!(
-        "fp add @ 1/3 clock, pipelined (II={}, lat={})",
-        c.combine_init_interval, c.combine_latency
-    )]);
-    t.row(vec!["reduction fill (PCLR)".to_string(), format!("{} cycles, local", c.reduction_fill_latency())]);
+    t.row(vec![
+        "L1, L2 size".to_string(),
+        format!("{} KB, {} KB", c.l1.size / 1024, c.l2.size / 1024),
+    ]);
+    t.row(vec![
+        "L1, L2 assoc".to_string(),
+        format!("{}-way, {}-way", c.l1.assoc, c.l2.assoc),
+    ]);
+    t.row(vec![
+        "L1, L2 line".to_string(),
+        format!("{} B, {} B", c.l1.line, c.l2.line),
+    ]);
+    t.row(vec![
+        "L1, L2 latency".to_string(),
+        format!("{}, {} cycles", c.l1.latency, c.l2.latency),
+    ]);
+    t.row(vec![
+        "local memory latency".to_string(),
+        format!("{} cycles", c.local_round_trip()),
+    ]);
+    t.row(vec![
+        "2-hop memory latency".to_string(),
+        format!("{} cycles", c.remote_round_trip()),
+    ]);
+    t.row(vec![
+        "combine unit".to_string(),
+        format!(
+            "fp add @ 1/3 clock, pipelined (II={}, lat={})",
+            c.combine_init_interval, c.combine_latency
+        ),
+    ]);
+    t.row(vec![
+        "reduction fill (PCLR)".to_string(),
+        format!("{} cycles, local", c.reduction_fill_latency()),
+    ]);
     println!("{}", t.render());
 
     println!("Latency self-test (measured on the simulator):");
@@ -87,7 +136,15 @@ fn main() {
         check(c.remote_round_trip(), remote).to_string(),
     ]);
     println!("{}", t.render());
-    assert_eq!(local, c.local_round_trip(), "local latency self-test failed");
-    assert_eq!(remote, c.remote_round_trip(), "remote latency self-test failed");
+    assert_eq!(
+        local,
+        c.local_round_trip(),
+        "local latency self-test failed"
+    );
+    assert_eq!(
+        remote,
+        c.remote_round_trip(),
+        "remote latency self-test failed"
+    );
     println!("paper reference: local 104 cycles, 2-hop 297 cycles");
 }

@@ -15,7 +15,10 @@ use smartapps_workloads::{table2_rows, PatternChars};
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::args()
-        .find_map(|a| a.strip_prefix(&format!("--{name}=")).and_then(|v| v.parse().ok()))
+        .find_map(|a| {
+            a.strip_prefix(&format!("--{name}="))
+                .and_then(|v| v.parse().ok())
+        })
         .unwrap_or(default)
 }
 
@@ -27,8 +30,15 @@ fn main() {
         "Table 2: application characteristics ({procs}-processor simulation, scale {scale})\n"
     );
     let mut t = Table::new(vec![
-        "Appl.", "Loop", "%Tseq", "Invoc.", "Iters/inv (sim)", "Instr/iter (sim|paper)",
-        "RedOps/iter", "Array KB (sim|paper)", "Flushed/proc (sim|paper)",
+        "Appl.",
+        "Loop",
+        "%Tseq",
+        "Invoc.",
+        "Iters/inv (sim)",
+        "Instr/iter (sim|paper)",
+        "RedOps/iter",
+        "Array KB (sim|paper)",
+        "Flushed/proc (sim|paper)",
         "Displaced/proc (sim|paper)",
     ]);
     for row in &table2_rows() {

@@ -1,0 +1,96 @@
+//! Service throughput driver: jobs/sec under concurrent submission.
+//!
+//! Spawns `clients` threads that each fire `jobs` reduction jobs at one
+//! shared [`Runtime`], for a mix of workload-class sizes, and reports
+//! end-to-end jobs/sec plus the dispatcher's batching and profile-hit
+//! counters.  Usage:
+//!
+//! ```text
+//! throughput [clients] [jobs-per-client] [workers]
+//! ```
+
+use smartapps_runtime::{JobSpec, Runtime, RuntimeConfig};
+use smartapps_workloads::{contribution, AccessPattern, Distribution, PatternSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn pattern(seed: u64, elems: usize, iters: usize) -> Arc<AccessPattern> {
+    Arc::new(
+        PatternSpec {
+            num_elements: elems,
+            iterations: iters,
+            refs_per_iter: 2,
+            coverage: 1.0,
+            dist: Distribution::Uniform,
+            seed,
+        }
+        .generate(),
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
+
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    }));
+    // Three workload classes: tiny (coalescing-bound), medium, large.
+    let classes = [
+        pattern(1, 512, 1000),
+        pattern(2, 8192, 10_000),
+        pattern(3, 65_536, 40_000),
+    ];
+
+    println!("throughput: {clients} clients x {jobs} jobs on {workers}-wide pool");
+    // Warm the profile store so the measured phase is the service's
+    // steady state, the regime the paper's amortization argument is about.
+    for p in &classes {
+        rt.run(JobSpec::f64(p.clone(), |_i, r| contribution(r)));
+    }
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rt = rt.clone();
+            let classes = &classes;
+            s.spawn(move || {
+                let mut pending = Vec::new();
+                for j in 0..jobs {
+                    let pat = classes[(c + j) % classes.len()].clone();
+                    pending.push(rt.submit(JobSpec::f64(pat, |_i, r| contribution(r))));
+                    // Keep a small pipeline per client rather than
+                    // strict request/response, like a real service load.
+                    if pending.len() >= 4 {
+                        pending.remove(0).wait();
+                    }
+                }
+                for h in pending {
+                    h.wait();
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let total = (clients * jobs) as f64;
+    let stats = rt.stats();
+    println!("elapsed            {elapsed:>12.3?}");
+    println!("jobs/sec           {:>12.1}", total / elapsed.as_secs_f64());
+    println!("batches            {:>12}", stats.batches);
+    println!(
+        "avg batch size     {:>12.2}",
+        stats.completed as f64 / stats.batches.max(1) as f64
+    );
+    println!("coalesced jobs     {:>12}", stats.coalesced);
+    println!("profile hits       {:>12}", stats.profile_hits);
+    println!("inspections        {:>12}", stats.inspections);
+    println!("evictions          {:>12}", stats.evictions);
+}

@@ -78,7 +78,11 @@ pub fn scaled_pattern(row: &Table2Row, scale: f64, seed: u64) -> Arc<AccessPatte
 /// Trace parameters for a Table 2 row.
 pub fn params_for(row: &Table2Row) -> TraceParams {
     let (work_int, work_fp) = row.work_per_iter();
-    TraceParams { work_int, work_fp, ..TraceParams::default() }
+    TraceParams {
+        work_int,
+        work_fp,
+        ..TraceParams::default()
+    }
 }
 
 /// Run one application under one system.
@@ -132,11 +136,11 @@ pub fn run_all_systems(
 /// data than the caches hold.
 pub fn default_scale(row: &Table2Row) -> f64 {
     match row.app {
-        "Nbf" => 0.05,     // 128k iters x 1880 instr is the heavyweight
-        "Charmm" => 0.10,  // 82,944 x 420
-        "Equake" => 0.25,  // 30,169 x 550
-        "Euler" => 0.25,   // 59,863 x 118
-        _ => 1.0,          // Vml runs in full
+        "Nbf" => 0.05,    // 128k iters x 1880 instr is the heavyweight
+        "Charmm" => 0.10, // 82,944 x 420
+        "Equake" => 0.25, // 30,169 x 550
+        "Euler" => 0.25,  // 59,863 x 118
+        _ => 1.0,         // Vml runs in full
     }
 }
 

@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Start a table with column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -64,7 +67,11 @@ pub fn speedup(seq_cycles: u64, cycles: u64) -> f64 {
 /// Render a unicode bar of `frac` (0..=1) out of `width` cells.
 pub fn bar(frac: f64, width: usize) -> String {
     let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
-    format!("{}{}", "█".repeat(filled), "·".repeat(width.saturating_sub(filled)))
+    format!(
+        "{}{}",
+        "█".repeat(filled),
+        "·".repeat(width.saturating_sub(filled))
+    )
 }
 
 #[cfg(test)]

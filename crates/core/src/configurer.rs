@@ -98,7 +98,10 @@ impl HostConfigurer {
     pub fn new(max_threads: usize) -> Self {
         assert!(max_threads >= 1);
         HostConfigurer {
-            cfg: SystemConfig { threads: max_threads, ..Default::default() },
+            cfg: SystemConfig {
+                threads: max_threads,
+                ..Default::default()
+            },
             max_threads,
         }
     }
@@ -114,12 +117,14 @@ impl Configurer for HostConfigurer {
         let mut rec = Reconfiguration::default();
         let t = target.threads.clamp(1, self.max_threads);
         if t != self.cfg.threads {
-            rec.changes.push(format!("threads: {} -> {}", self.cfg.threads, t));
+            rec.changes
+                .push(format!("threads: {} -> {}", self.cfg.threads, t));
             self.cfg.threads = t;
         }
         // Host hardware knobs are not reconfigurable: note refusals.
         if target.reduction_hw != ReductionHw::Off {
-            rec.changes.push("reduction_hw: unavailable on host (ignored)".into());
+            rec.changes
+                .push("reduction_hw: unavailable on host (ignored)".into());
         }
         rec
     }
@@ -142,7 +147,10 @@ impl SimConfigurer {
     /// Create for a machine of `nodes` nodes.
     pub fn new(nodes: usize) -> Self {
         SimConfigurer {
-            cfg: SystemConfig { threads: nodes, ..Default::default() },
+            cfg: SystemConfig {
+                threads: nodes,
+                ..Default::default()
+            },
             nodes,
         }
     }
@@ -194,7 +202,8 @@ impl Configurer for SimConfigurer {
         }
         let t = target.threads.clamp(1, self.nodes);
         if t != self.cfg.threads {
-            rec.changes.push(format!("threads: {} -> {}", self.cfg.threads, t));
+            rec.changes
+                .push(format!("threads: {} -> {}", self.cfg.threads, t));
             self.cfg.threads = t;
         }
         rec
@@ -213,14 +222,23 @@ mod tests {
     fn host_configurer_clamps_and_logs() {
         let mut c = HostConfigurer::new(8);
         assert_eq!(c.threads(), 8);
-        let rec = c.apply(&SystemConfig { threads: 4, ..Default::default() });
+        let rec = c.apply(&SystemConfig {
+            threads: 4,
+            ..Default::default()
+        });
         assert_eq!(rec.changes, vec!["threads: 8 -> 4"]);
         assert_eq!(c.threads(), 4);
         // Clamped to the budget.
-        c.apply(&SystemConfig { threads: 100, ..Default::default() });
+        c.apply(&SystemConfig {
+            threads: 100,
+            ..Default::default()
+        });
         assert_eq!(c.threads(), 8);
         // Re-applying is a no-op.
-        let rec = c.apply(&SystemConfig { threads: 8, ..Default::default() });
+        let rec = c.apply(&SystemConfig {
+            threads: 8,
+            ..Default::default()
+        });
         assert!(rec.is_noop());
     }
 

@@ -57,7 +57,7 @@ pub mod multiversion;
 pub mod recognize;
 pub mod toolbox;
 
-pub use adaptive::{AdaptiveReduction, InvocationLog};
+pub use adaptive::{AdaptiveReduction, InvocationLog, SchemePrior};
 pub use configurer::{Configurer, HostConfigurer, SimConfigurer, SystemConfig};
 pub use monitor::{Monitor, PhaseDetector};
 pub use multiversion::{CompiledReduction, Inputs};

@@ -29,13 +29,21 @@ impl Monitor {
     /// Create a monitor with smoothing factor `alpha` in (0,1].
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0);
-        Monitor { history: Vec::new(), ema_secs: None, alpha }
+        Monitor {
+            history: Vec::new(),
+            ema_secs: None,
+            alpha,
+        }
     }
 
     /// Record an invocation.
     pub fn record(&mut self, scheme: Scheme, elapsed: Duration) {
         let inv = self.history.len() as u64;
-        self.history.push(Observation { invocation: inv, scheme, elapsed });
+        self.history.push(Observation {
+            invocation: inv,
+            scheme,
+            elapsed,
+        });
         let secs = elapsed.as_secs_f64();
         self.ema_secs = Some(match self.ema_secs {
             None => secs,
@@ -88,7 +96,12 @@ impl PhaseDetector {
     /// of consecutive exceedances required.
     pub fn new(threshold: f64, patience: usize) -> Self {
         assert!(patience >= 1);
-        PhaseDetector { threshold, patience, strikes: 0, phases: 0 }
+        PhaseDetector {
+            threshold,
+            patience,
+            strikes: 0,
+            phases: 0,
+        }
     }
 
     /// Feed a relative-change observation (0.0 = unchanged); returns true

@@ -149,7 +149,10 @@ mod tests {
             expect[idx] += f[idx];
         }
         for (e, (a, b)) in expect.iter().zip(w.iter()).enumerate() {
-            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "elem {e}: {a} vs {b}");
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "elem {e}: {a} vs {b}"
+            );
         }
         assert!(log.characterized);
     }
@@ -160,7 +163,10 @@ mod tests {
             stmts: vec![crate::recognize::Stmt {
                 target_array: W,
                 target_index: Expr::LoopVar,
-                value: Expr::Load { array: F, index: Box::new(Expr::LoopVar) },
+                value: Expr::Load {
+                    array: F,
+                    index: Box::new(Expr::LoopVar),
+                },
             }],
         };
         assert!(CompiledReduction::compile(&l, 1, 2, false).is_err());
@@ -175,7 +181,10 @@ mod tests {
             op: crate::recognize::BinOp::Add,
             lhs: Box::new(Expr::Bin {
                 op: crate::recognize::BinOp::Mul,
-                lhs: Box::new(Expr::Load { array: X, index: Box::new(Expr::LoopVar) }),
+                lhs: Box::new(Expr::Load {
+                    array: X,
+                    index: Box::new(Expr::LoopVar),
+                }),
                 rhs: Box::new(Expr::Const(2.0)),
             }),
             rhs: Box::new(Expr::LoopVar),
@@ -188,7 +197,10 @@ mod tests {
     #[should_panic(expected = "unbound array")]
     fn unbound_array_panics() {
         let inputs = Inputs::default();
-        let e = Expr::Load { array: 9, index: Box::new(Expr::Const(0.0)) };
+        let e = Expr::Load {
+            array: 9,
+            index: Box::new(Expr::Const(0.0)),
+        };
         eval(&e, 0, &inputs);
     }
 }

@@ -160,9 +160,7 @@ fn recognize_stmt(l: &LoopNest, i: usize) -> Recognition {
     let Expr::Bin { op, lhs, rhs } = &s.value else {
         return Recognition::Rejected(Rejection::NotSelfUpdate);
     };
-    let self_load = |e: &Expr| -> bool {
-        matches!(e, Expr::Load { array, .. } if *array == a)
-    };
+    let self_load = |e: &Expr| -> bool { matches!(e, Expr::Load { array, .. } if *array == a) };
     let (self_side, contrib) = if self_load(lhs) {
         (lhs, rhs)
     } else if self_load(rhs) && matches!(op, BinOp::Add | BinOp::Mul | BinOp::Max | BinOp::Min) {
@@ -187,9 +185,7 @@ fn recognize_stmt(l: &LoopNest, i: usize) -> Recognition {
         if j == i {
             continue;
         }
-        if other.target_array == a
-            || other.target_index.references(a)
-            || other.value.references(a)
+        if other.target_array == a || other.target_index.references(a) || other.value.references(a)
         {
             return Recognition::Rejected(Rejection::UsedElsewhere);
         }
@@ -246,19 +242,28 @@ pub mod build {
     pub fn indirect_load(data: ArrayId, idx: ArrayId) -> Expr {
         Expr::Load {
             array: data,
-            index: Box::new(Expr::Load { array: idx, index: Box::new(Expr::LoopVar) }),
+            index: Box::new(Expr::Load {
+                array: idx,
+                index: Box::new(Expr::LoopVar),
+            }),
         }
     }
 
     /// `w[x[i]] = w[x[i]] + contribution` — the canonical histogram update.
     pub fn histogram_update(w: ArrayId, x: ArrayId, contribution: Expr) -> Stmt {
-        let index = Expr::Load { array: x, index: Box::new(Expr::LoopVar) };
+        let index = Expr::Load {
+            array: x,
+            index: Box::new(Expr::LoopVar),
+        };
         Stmt {
             target_array: w,
             target_index: index.clone(),
             value: Expr::Bin {
                 op: BinOp::Add,
-                lhs: Box::new(Expr::Load { array: w, index: Box::new(index) }),
+                lhs: Box::new(Expr::Load {
+                    array: w,
+                    index: Box::new(index),
+                }),
                 rhs: Box::new(contribution),
             },
         }
@@ -300,8 +305,14 @@ mod tests {
                 target_index: idx.clone(),
                 value: Expr::Bin {
                     op: BinOp::Add,
-                    lhs: Box::new(Expr::Load { array: F, index: Box::new(Expr::LoopVar) }),
-                    rhs: Box::new(Expr::Load { array: W, index: Box::new(idx) }),
+                    lhs: Box::new(Expr::Load {
+                        array: F,
+                        index: Box::new(Expr::LoopVar),
+                    }),
+                    rhs: Box::new(Expr::Load {
+                        array: W,
+                        index: Box::new(idx),
+                    }),
                 },
             }],
         };
@@ -318,7 +329,10 @@ mod tests {
                 target_index: idx.clone(),
                 value: Expr::Bin {
                     op: BinOp::Sub,
-                    lhs: Box::new(Expr::Load { array: W, index: Box::new(idx) }),
+                    lhs: Box::new(Expr::Load {
+                        array: W,
+                        index: Box::new(idx),
+                    }),
                     rhs: Box::new(Expr::Const(1.0)),
                 },
             }],
@@ -339,7 +353,10 @@ mod tests {
                 target_index: idx.clone(),
                 value: Expr::Bin {
                     op: BinOp::Add,
-                    lhs: Box::new(Expr::Load { array: W, index: Box::new(idx) }),
+                    lhs: Box::new(Expr::Load {
+                        array: W,
+                        index: Box::new(idx),
+                    }),
                     rhs: Box::new(Expr::Load {
                         array: W,
                         index: Box::new(Expr::Const(0.0)),
@@ -362,7 +379,10 @@ mod tests {
                 Stmt {
                     target_array: F,
                     target_index: Expr::LoopVar,
-                    value: Expr::Load { array: W, index: Box::new(Expr::LoopVar) },
+                    value: Expr::Load {
+                        array: W,
+                        index: Box::new(Expr::LoopVar),
+                    },
                 },
             ],
         };
@@ -404,8 +424,14 @@ mod tests {
                 target_index: idx.clone(),
                 value: Expr::Bin {
                     op: BinOp::Max,
-                    lhs: Box::new(Expr::Load { array: W, index: Box::new(idx) }),
-                    rhs: Box::new(Expr::Load { array: F, index: Box::new(Expr::LoopVar) }),
+                    lhs: Box::new(Expr::Load {
+                        array: W,
+                        index: Box::new(idx),
+                    }),
+                    rhs: Box::new(Expr::Load {
+                        array: F,
+                        index: Box::new(Expr::LoopVar),
+                    }),
                 },
             }],
         };
@@ -421,10 +447,16 @@ mod tests {
             stmts: vec![Stmt {
                 target_array: W,
                 target_index: Expr::LoopVar,
-                value: Expr::Load { array: F, index: Box::new(Expr::LoopVar) },
+                value: Expr::Load {
+                    array: F,
+                    index: Box::new(Expr::LoopVar),
+                },
             }],
         };
-        assert_eq!(recognize(&l)[0], Recognition::Rejected(Rejection::NotSelfUpdate));
+        assert_eq!(
+            recognize(&l)[0],
+            Recognition::Rejected(Rejection::NotSelfUpdate)
+        );
     }
 
     #[test]
@@ -435,7 +467,10 @@ mod tests {
             target_index: Expr::LoopVar,
             value: Expr::Bin {
                 op: BinOp::Max,
-                lhs: Box::new(Expr::Load { array: F, index: Box::new(Expr::LoopVar) }),
+                lhs: Box::new(Expr::Load {
+                    array: F,
+                    index: Box::new(Expr::LoopVar),
+                }),
                 rhs: Box::new(Expr::Const(1.0)),
             },
         };

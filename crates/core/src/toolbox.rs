@@ -75,7 +75,10 @@ pub struct PerformanceDb {
 impl PerformanceDb {
     /// Record a sample for `loop_id` in `domain`.
     pub fn record(&mut self, loop_id: u64, domain: DomainKey, sample: Sample) {
-        self.samples.entry((loop_id, domain)).or_default().push(sample);
+        self.samples
+            .entry((loop_id, domain))
+            .or_default()
+            .push(sample);
     }
 
     /// All samples for a loop/domain.
@@ -84,6 +87,12 @@ impl PerformanceDb {
             .get(&(loop_id, domain))
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// Iterate every `((loop_id, domain), samples)` entry — the export
+    /// surface the runtime's cross-run profile store persists through.
+    pub fn entries(&self) -> impl Iterator<Item = ((u64, DomainKey), &[Sample])> + '_ {
+        self.samples.iter().map(|(k, v)| (*k, v.as_slice()))
     }
 
     /// Best measured scheme for a loop/domain, if any.
@@ -225,7 +234,11 @@ pub struct Optimizer {
 
 impl Default for Optimizer {
     fn default() -> Self {
-        Optimizer { keep_below: 1.15, tune_below: 1.4, redecide_below: 2.5 }
+        Optimizer {
+            keep_below: 1.15,
+            tune_below: 1.4,
+            redecide_below: 2.5,
+        }
     }
 }
 
@@ -305,16 +318,24 @@ mod tests {
         let mut db = PerformanceDb::default();
         let d = DomainKey::of(&chars());
         assert!(db.is_empty());
-        db.record(7, d, Sample {
-            scheme: Scheme::Rep,
-            elapsed: Duration::from_millis(10),
-            predicted: 100.0,
-        });
-        db.record(7, d, Sample {
-            scheme: Scheme::Sel,
-            elapsed: Duration::from_millis(6),
-            predicted: 80.0,
-        });
+        db.record(
+            7,
+            d,
+            Sample {
+                scheme: Scheme::Rep,
+                elapsed: Duration::from_millis(10),
+                predicted: 100.0,
+            },
+        );
+        db.record(
+            7,
+            d,
+            Sample {
+                scheme: Scheme::Sel,
+                elapsed: Duration::from_millis(6),
+                predicted: 80.0,
+            },
+        );
         assert_eq!(db.len(), 2);
         assert_eq!(db.best_scheme(7, d), Some(Scheme::Sel));
         assert_eq!(db.best_scheme(8, d), None);
@@ -329,7 +350,11 @@ mod tests {
         for _ in 0..20 {
             p.learn(Scheme::Rep, 100.0, 200.0);
         }
-        assert!(p.correction(Scheme::Rep) > 1.8, "{}", p.correction(Scheme::Rep));
+        assert!(
+            p.correction(Scheme::Rep) > 1.8,
+            "{}",
+            p.correction(Scheme::Rep)
+        );
         // Invalid measurements are ignored.
         p.learn(Scheme::Rep, 0.0, 100.0);
         p.learn(Scheme::Rep, 100.0, f64::NAN);
@@ -350,12 +375,17 @@ mod tests {
         assert_eq!(o.adapt(Deviation { ratio: 1.0 }), Adaptation::Keep);
         assert_eq!(o.adapt(Deviation { ratio: 1.3 }), Adaptation::Tune);
         assert_eq!(o.adapt(Deviation { ratio: 2.0 }), Adaptation::Redecide);
-        assert_eq!(o.adapt(Deviation { ratio: 5.0 }), Adaptation::Recharacterize);
+        assert_eq!(
+            o.adapt(Deviation { ratio: 5.0 }),
+            Adaptation::Recharacterize
+        );
         // Faster than predicted: never more than calibration tuning.
         assert_eq!(o.adapt(Deviation { ratio: 0.9 }), Adaptation::Keep);
         assert_eq!(o.adapt(Deviation { ratio: 0.2 }), Adaptation::Tune);
         assert_eq!(
-            o.adapt(Deviation { ratio: f64::INFINITY }),
+            o.adapt(Deviation {
+                ratio: f64::INFINITY
+            }),
             Adaptation::Recharacterize
         );
     }

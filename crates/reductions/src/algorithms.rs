@@ -19,13 +19,16 @@
 //! | `lw`   | none (owner computes)  | none (iter replication) | feasible loops, moderate MO |
 //! | `hash` | per-thread hash table  | O(distinct)             | extremely sparse (SP ≪ 1%) |
 //!
-//! Threading dispatches one block task per logical processor onto the
-//! global rayon pool — warm SPMD workers, like the paper's run-time
-//! library, so repeated loop invocations pay no thread-creation cost.
-//! Block scheduling matches the paper's block-scheduled loops.
+//! Threading runs one SPMD block task per logical processor through a
+//! [`SpmdExecutor`] — the `*_on` variants accept any executor (the
+//! `smartapps-runtime` persistent worker pool on the service path), while
+//! the plain-named wrappers fork fresh threads per call via
+//! [`SpawnExecutor`].  Block scheduling matches the paper's
+//! block-scheduled loops.
 
 use crate::inspect::{ConflictInfo, OwnerLists};
 use crate::scheme::{RedElem, UnsafeSlice};
+use crate::spmd::{SpawnExecutor, SpmdExecutor};
 use parking_lot::Mutex;
 use smartapps_workloads::pattern::AccessPattern;
 use smartapps_workloads::{block_range, elem_block_range};
@@ -39,10 +42,7 @@ const MERGE_STRIPES: usize = 256;
 const LINK_LINE: usize = 8;
 
 /// Sequential baseline.
-pub fn seq<T: RedElem>(
-    pat: &AccessPattern,
-    body: &(impl Fn(usize, usize) -> T + Sync),
-) -> Vec<T> {
+pub fn seq<T: RedElem>(pat: &AccessPattern, body: &(impl Fn(usize, usize) -> T + Sync)) -> Vec<T> {
     let mut w = vec![T::neutral(); pat.num_elements];
     for i in 0..pat.num_iterations() {
         for r in pat.ref_range(i) {
@@ -53,76 +53,80 @@ pub fn seq<T: RedElem>(
     w
 }
 
-/// `rep`: fully replicated private arrays + block-parallel merge.
+/// `rep` on freshly spawned threads (see [`rep_on`]).
 pub fn rep<T: RedElem>(
     pat: &AccessPattern,
     body: &(impl Fn(usize, usize) -> T + Sync),
     threads: usize,
+) -> Vec<T> {
+    rep_on(pat, body, threads, &SpawnExecutor)
+}
+
+/// `rep`: fully replicated private arrays + block-parallel merge.
+pub fn rep_on<T: RedElem>(
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> T + Sync),
+    threads: usize,
+    exec: &(impl SpmdExecutor + ?Sized),
 ) -> Vec<T> {
     assert!(threads >= 1);
     let n = pat.num_elements;
     // Loop phase: every thread owns a fully replicated array, initialized
     // to the neutral element (this allocation + sweep is the Init cost the
     // paper charges to the software scheme).
-    let mut privates: Vec<Vec<T>> = Vec::new();
-    rayon::scope(|s| {
-        for (t, slot) in init_slots(&mut privates, threads).into_iter().enumerate() {
-            s.spawn(move |_| {
-                let mut w = vec![T::neutral(); n];
-                for i in block_range(pat.num_iterations(), t, threads) {
-                    for r in pat.ref_range(i) {
-                        let x = pat.indices[r] as usize;
-                        w[x] = T::combine(w[x], body(i, r));
-                    }
+    let mut privates: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    {
+        let slots = UnsafeSlice::new(&mut privates);
+        let slots = &slots;
+        exec.spmd(threads, &|t| {
+            let mut w = vec![T::neutral(); n];
+            for i in block_range(pat.num_iterations(), t, threads) {
+                for r in pat.ref_range(i) {
+                    let x = pat.indices[r] as usize;
+                    w[x] = T::combine(w[x], body(i, r));
                 }
-                *slot = w;
-            });
-        }
-    });
+            }
+            // SAFETY: each tid writes only its own slot.
+            unsafe { slots.write(t, w) };
+        });
+    }
     // Merge phase: element blocks across threads; every thread reads all P
     // partial arrays over its block — the non-scaling step.
     let mut result = vec![T::neutral(); n];
     let privates = &privates;
-    rayon::scope(|s| {
-        let mut rest: &mut [T] = &mut result;
-        let mut offset = 0usize;
-        for t in 0..threads {
-            let range = elem_block_range(n, t, threads);
-            let (mine, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            let start = offset;
-            offset += range.len();
-            debug_assert_eq!(start, range.start);
-            s.spawn(move |_| {
-                for (k, out) in mine.iter_mut().enumerate() {
-                    let e = start + k;
-                    let mut acc = T::neutral();
-                    for p in privates {
-                        acc = T::combine(acc, p[e]);
-                    }
-                    *out = acc;
+    {
+        let out = UnsafeSlice::new(&mut result);
+        let out = &out;
+        exec.spmd(threads, &|t| {
+            for e in elem_block_range(n, t, threads) {
+                let mut acc = T::neutral();
+                for p in privates {
+                    acc = T::combine(acc, p[e]);
                 }
-            });
-        }
-    });
+                // SAFETY: element blocks are disjoint across threads.
+                unsafe { out.write(e, acc) };
+            }
+        });
+    }
     result
 }
 
-/// Split a vector into exactly `k` default-initialized slots and return
-/// independent mutable references to them (helper for gathering per-task
-/// results without joins).
-fn init_slots<T: Default>(v: &mut Vec<T>, k: usize) -> Vec<&mut T> {
-    v.clear();
-    v.resize_with(k, T::default);
-    v.iter_mut().collect()
-}
-
-/// `ll`: replicated buffers with links — private arrays plus a list of
-/// touched lines, so the merge walks only written storage.
+/// `ll` on freshly spawned threads (see [`ll_on`]).
 pub fn ll<T: RedElem>(
     pat: &AccessPattern,
     body: &(impl Fn(usize, usize) -> T + Sync),
     threads: usize,
+) -> Vec<T> {
+    ll_on(pat, body, threads, &SpawnExecutor)
+}
+
+/// `ll`: replicated buffers with links — private arrays plus a list of
+/// touched lines, so the merge walks only written storage.
+pub fn ll_on<T: RedElem>(
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> T + Sync),
+    threads: usize,
+    exec: &(impl SpmdExecutor + ?Sized),
 ) -> Vec<T> {
     assert!(threads >= 1);
     let n = pat.num_elements;
@@ -133,84 +137,92 @@ pub fn ll<T: RedElem>(
         let out = UnsafeSlice::new(&mut result);
         let out = &out;
         let stripes = &stripes;
-        rayon::scope(|s| {
-            for t in 0..threads {
-                s.spawn(move |_| {
-                    let mut w = vec![T::neutral(); n];
-                    let mut touched_line = vec![false; n_lines];
-                    let mut links: Vec<u32> = Vec::new();
-                    for i in block_range(pat.num_iterations(), t, threads) {
-                        for r in pat.ref_range(i) {
-                            let x = pat.indices[r] as usize;
-                            let line = x / LINK_LINE;
-                            if !touched_line[line] {
-                                touched_line[line] = true;
-                                links.push(line as u32);
-                            }
-                            w[x] = T::combine(w[x], body(i, r));
-                        }
+        exec.spmd(threads, &|t| {
+            let mut w = vec![T::neutral(); n];
+            let mut touched_line = vec![false; n_lines];
+            let mut links: Vec<u32> = Vec::new();
+            for i in block_range(pat.num_iterations(), t, threads) {
+                for r in pat.ref_range(i) {
+                    let x = pat.indices[r] as usize;
+                    let line = x / LINK_LINE;
+                    if !touched_line[line] {
+                        touched_line[line] = true;
+                        links.push(line as u32);
                     }
-                    // Merge only the touched lines, under stripe locks.
-                    for &line in &links {
-                        let lo = line as usize * LINK_LINE;
-                        let hi = (lo + LINK_LINE).min(n);
-                        let _g = stripes[line as usize % MERGE_STRIPES].lock();
-                        for (e, &v) in w[lo..hi].iter().enumerate().map(|(k, v)| (lo + k, v)) {
-                            // SAFETY: the stripe lock serializes all access
-                            // to this line across threads.
-                            unsafe { out.combine_into(e, v) };
-                        }
-                    }
-                });
+                    w[x] = T::combine(w[x], body(i, r));
+                }
+            }
+            // Merge only the touched lines, under stripe locks.
+            for &line in &links {
+                let lo = line as usize * LINK_LINE;
+                let hi = (lo + LINK_LINE).min(n);
+                let _g = stripes[line as usize % MERGE_STRIPES].lock();
+                for (e, &v) in w[lo..hi].iter().enumerate().map(|(k, v)| (lo + k, v)) {
+                    // SAFETY: the stripe lock serializes all access
+                    // to this line across threads.
+                    unsafe { out.combine_into(e, v) };
+                }
             }
         });
     }
     result
 }
 
-/// `sel`: selective privatization.  The inspector's conflict analysis
-/// marks elements referenced by more than one thread; only those get
-/// (compact) private storage.  Non-conflicting elements are updated
-/// directly in the shared array — each has exactly one writing thread.
+/// `sel` on freshly spawned threads (see [`sel_on`]).
 pub fn sel<T: RedElem>(
     pat: &AccessPattern,
     body: &(impl Fn(usize, usize) -> T + Sync),
     threads: usize,
     conflicts: &ConflictInfo,
 ) -> Vec<T> {
+    sel_on(pat, body, threads, conflicts, &SpawnExecutor)
+}
+
+/// `sel`: selective privatization.  The inspector's conflict analysis
+/// marks elements referenced by more than one thread; only those get
+/// (compact) private storage.  Non-conflicting elements are updated
+/// directly in the shared array — each has exactly one writing thread.
+pub fn sel_on<T: RedElem>(
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> T + Sync),
+    threads: usize,
+    conflicts: &ConflictInfo,
+    exec: &(impl SpmdExecutor + ?Sized),
+) -> Vec<T> {
     assert!(threads >= 1);
-    assert_eq!(conflicts.threads, threads, "conflict info computed for wrong P");
+    assert_eq!(
+        conflicts.threads, threads,
+        "conflict info computed for wrong P"
+    );
     let n = pat.num_elements;
     let nc = conflicts.num_conflicting;
     let mut result = vec![T::neutral(); n];
     // Loop phase.
-    let mut privates: Vec<Vec<T>> = Vec::new();
+    let mut privates: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
     {
         let out = UnsafeSlice::new(&mut result);
         let out = &out;
-        rayon::scope(|s| {
-            for (t, slot) in init_slots(&mut privates, threads).into_iter().enumerate() {
-                s.spawn(move |_| {
-                    let mut priv_c = vec![T::neutral(); nc];
-                    for i in block_range(pat.num_iterations(), t, threads) {
-                        for r in pat.ref_range(i) {
-                            let x = pat.indices[r] as usize;
-                            let c = conflicts.compact[x];
-                            let v = body(i, r);
-                            if c != u32::MAX {
-                                let ci = c as usize;
-                                priv_c[ci] = T::combine(priv_c[ci], v);
-                            } else {
-                                // SAFETY: non-conflicting element —
-                                // exactly one thread (this one) ever
-                                // touches index x.
-                                unsafe { out.combine_into(x, v) };
-                            }
-                        }
+        let slots = UnsafeSlice::new(&mut privates);
+        let slots = &slots;
+        exec.spmd(threads, &|t| {
+            let mut priv_c = vec![T::neutral(); nc];
+            for i in block_range(pat.num_iterations(), t, threads) {
+                for r in pat.ref_range(i) {
+                    let x = pat.indices[r] as usize;
+                    let c = conflicts.compact[x];
+                    let v = body(i, r);
+                    if c != u32::MAX {
+                        let ci = c as usize;
+                        priv_c[ci] = T::combine(priv_c[ci], v);
+                    } else {
+                        // SAFETY: non-conflicting element — exactly one
+                        // thread (this one) ever touches index x.
+                        unsafe { out.combine_into(x, v) };
                     }
-                    *slot = priv_c;
-                });
+                }
             }
+            // SAFETY: each tid writes only its own slot.
+            unsafe { slots.write(t, priv_c) };
         });
     }
     // Merge phase: only the compact conflicting region.
@@ -219,38 +231,44 @@ pub fn sel<T: RedElem>(
     {
         let out = UnsafeSlice::new(&mut result);
         let out = &out;
-        rayon::scope(|s| {
-            for t in 0..threads {
-                let range = block_range(nc, t, threads);
-                s.spawn(move |_| {
-                    for ci in range {
-                        let e = conflict_elems[ci] as usize;
-                        let mut acc = T::neutral();
-                        for p in privates {
-                            acc = T::combine(acc, p[ci]);
-                        }
-                        // SAFETY: each conflicting element has exactly one
-                        // compact slot, compact blocks are disjoint across
-                        // merge threads, and loop threads never wrote
-                        // conflicting elements directly.
-                        unsafe { out.combine_into(e, acc) };
-                    }
-                });
+        exec.spmd(threads, &|t| {
+            for ci in block_range(nc, t, threads) {
+                let e = conflict_elems[ci] as usize;
+                let mut acc = T::neutral();
+                for p in privates {
+                    acc = T::combine(acc, p[ci]);
+                }
+                // SAFETY: each conflicting element has exactly one
+                // compact slot, compact blocks are disjoint across
+                // merge threads, and loop threads never wrote
+                // conflicting elements directly.
+                unsafe { out.combine_into(e, acc) };
             }
         });
     }
     result
 }
 
-/// `lw`: local write (owner computes).  Elements are block-partitioned;
-/// every iteration is executed by each thread owning at least one of its
-/// referenced elements (iteration replication), and each thread commits
-/// only the updates into its own partition — no private arrays, no merge.
+/// `lw` on freshly spawned threads (see [`lw_on`]).
 pub fn lw<T: RedElem>(
     pat: &AccessPattern,
     body: &(impl Fn(usize, usize) -> T + Sync),
     threads: usize,
     owners: &OwnerLists,
+) -> Vec<T> {
+    lw_on(pat, body, threads, owners, &SpawnExecutor)
+}
+
+/// `lw`: local write (owner computes).  Elements are block-partitioned;
+/// every iteration is executed by each thread owning at least one of its
+/// referenced elements (iteration replication), and each thread commits
+/// only the updates into its own partition — no private arrays, no merge.
+pub fn lw_on<T: RedElem>(
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> T + Sync),
+    threads: usize,
+    owners: &OwnerLists,
+    exec: &(impl SpmdExecutor + ?Sized),
 ) -> Vec<T> {
     assert!(threads >= 1);
     assert_eq!(owners.threads, threads, "owner lists computed for wrong P");
@@ -259,23 +277,18 @@ pub fn lw<T: RedElem>(
     {
         let out = UnsafeSlice::new(&mut result);
         let out = &out;
-        rayon::scope(|s| {
-            for t in 0..threads {
-                let my = elem_block_range(n, t, threads);
-                let iters = &owners.iters_of[t];
-                s.spawn(move |_| {
-                    for &i in iters {
-                        let i = i as usize;
-                        for r in pat.ref_range(i) {
-                            let x = pat.indices[r] as usize;
-                            if my.contains(&x) {
-                                // SAFETY: x is owned by this thread's
-                                // disjoint element block.
-                                unsafe { out.combine_into(x, body(i, r)) };
-                            }
-                        }
+        exec.spmd(threads, &|t| {
+            let my = elem_block_range(n, t, threads);
+            for &i in &owners.iters_of[t] {
+                let i = i as usize;
+                for r in pat.ref_range(i) {
+                    let x = pat.indices[r] as usize;
+                    if my.contains(&x) {
+                        // SAFETY: x is owned by this thread's disjoint
+                        // element block.
+                        unsafe { out.combine_into(x, body(i, r)) };
                     }
-                });
+                }
             }
         });
     }
@@ -365,15 +378,25 @@ impl<T: RedElem> AccTable<T> {
     }
 }
 
+/// `hash` on freshly spawned threads (see [`hash_on`]).
+pub fn hash<T: RedElem>(
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> T + Sync),
+    threads: usize,
+) -> Vec<T> {
+    hash_on(pat, body, threads, &SpawnExecutor)
+}
+
 /// `hash`: per-thread hash-table accumulation, merged under stripe locks.
 /// The table keeps the working set proportional to the *referenced*
 /// elements, which is what makes it win on extremely sparse patterns like
 /// SPICE ("the hash table reduces the allocated and processed space to
 /// such an extent that ... the performance improves dramatically").
-pub fn hash<T: RedElem>(
+pub fn hash_on<T: RedElem>(
     pat: &AccessPattern,
     body: &(impl Fn(usize, usize) -> T + Sync),
     threads: usize,
+    exec: &(impl SpmdExecutor + ?Sized),
 ) -> Vec<T> {
     assert!(threads >= 1);
     let n = pat.num_elements;
@@ -383,22 +406,18 @@ pub fn hash<T: RedElem>(
         let out = UnsafeSlice::new(&mut result);
         let out = &out;
         let stripes = &stripes;
-        rayon::scope(|s| {
-            for t in 0..threads {
-                s.spawn(move |_| {
-                    let mut table = AccTable::<T>::with_capacity(64);
-                    for i in block_range(pat.num_iterations(), t, threads) {
-                        for r in pat.ref_range(i) {
-                            table.combine(pat.indices[r], body(i, r));
-                        }
-                    }
-                    for (k, v) in table.iter() {
-                        let e = k as usize;
-                        let _g = stripes[(e / LINK_LINE) % MERGE_STRIPES].lock();
-                        // SAFETY: serialized by the stripe lock.
-                        unsafe { out.combine_into(e, v) };
-                    }
-                });
+        exec.spmd(threads, &|t| {
+            let mut table = AccTable::<T>::with_capacity(64);
+            for i in block_range(pat.num_iterations(), t, threads) {
+                for r in pat.ref_range(i) {
+                    table.combine(pat.indices[r], body(i, r));
+                }
+            }
+            for (k, v) in table.iter() {
+                let e = k as usize;
+                let _g = stripes[(e / LINK_LINE) % MERGE_STRIPES].lock();
+                // SAFETY: serialized by the stripe lock.
+                unsafe { out.combine_into(e, v) };
             }
         });
     }
@@ -438,9 +457,51 @@ mod tests {
             assert_eq!(ll(&pat, &body, threads), oracle, "ll x{threads}");
             assert_eq!(hash(&pat, &body, threads), oracle, "hash x{threads}");
             let insp = Inspector::analyze(&pat, threads);
-            assert_eq!(sel(&pat, &body, threads, &insp.conflicts), oracle, "sel x{threads}");
-            assert_eq!(lw(&pat, &body, threads, &insp.owners), oracle, "lw x{threads}");
+            assert_eq!(
+                sel(&pat, &body, threads, &insp.conflicts),
+                oracle,
+                "sel x{threads}"
+            );
+            assert_eq!(
+                lw(&pat, &body, threads, &insp.owners),
+                oracle,
+                "lw x{threads}"
+            );
         }
+    }
+
+    /// A pathological-but-legal executor that runs the SPMD tids one after
+    /// another on the calling thread.  The algorithms may not rely on tids
+    /// actually overlapping in time — only on the completion barrier.
+    struct SerialExec;
+    impl crate::spmd::SpmdExecutor for SerialExec {
+        fn spmd(&self, threads: usize, body: &(dyn Fn(usize) + Sync)) {
+            for t in 0..threads {
+                body(t);
+            }
+        }
+    }
+
+    #[test]
+    fn schemes_are_executor_agnostic() {
+        let pat = pattern(11);
+        let oracle = sequential_reduce_i64(&pat);
+        let exec = SerialExec;
+        let threads = 4;
+        let insp = Inspector::analyze(&pat, threads);
+        assert_eq!(rep_on(&pat, &body, threads, &exec), oracle, "rep serial");
+        assert_eq!(ll_on(&pat, &body, threads, &exec), oracle, "ll serial");
+        assert_eq!(hash_on(&pat, &body, threads, &exec), oracle, "hash serial");
+        assert_eq!(
+            sel_on(&pat, &body, threads, &insp.conflicts, &exec),
+            oracle,
+            "sel serial"
+        );
+        assert_eq!(
+            lw_on(&pat, &body, threads, &insp.owners, &exec),
+            oracle,
+            "lw serial"
+        );
     }
 
     #[test]
@@ -488,8 +549,7 @@ mod tests {
     #[test]
     fn f64_schemes_agree_within_tolerance() {
         let pat = pattern(7);
-        let fbody =
-            |_i: usize, r: usize| smartapps_workloads::pattern::contribution(r);
+        let fbody = |_i: usize, r: usize| smartapps_workloads::pattern::contribution(r);
         let oracle = seq(&pat, &fbody);
         for threads in [2usize, 4] {
             let insp = Inspector::analyze(&pat, threads);

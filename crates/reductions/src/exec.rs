@@ -5,11 +5,13 @@
 use crate::algorithms;
 use crate::inspect::{Inspection, Inspector};
 use crate::scheme::{RedElem, Scheme};
+use crate::spmd::{SpawnExecutor, SpmdExecutor};
 use smartapps_workloads::pattern::AccessPattern;
 use std::time::{Duration, Instant};
 
-/// Execute one scheme.  `sel` and `lw` need an inspection; if none is
-/// supplied one is computed (and its cost is the caller's to account).
+/// Execute one scheme on freshly spawned threads (the per-call path).
+/// `sel` and `lw` need an inspection; if none is supplied one is computed
+/// (and its cost is the caller's to account).
 pub fn run_scheme<T: RedElem>(
     scheme: Scheme,
     pat: &AccessPattern,
@@ -17,33 +19,38 @@ pub fn run_scheme<T: RedElem>(
     threads: usize,
     insp: Option<&Inspection>,
 ) -> Vec<T> {
+    run_scheme_on(scheme, pat, body, threads, insp, &SpawnExecutor)
+}
+
+/// Execute one scheme on the supplied [`SpmdExecutor`] — the pooled
+/// execution path used by `smartapps-runtime`, which routes the SPMD
+/// region onto persistent workers instead of spawning threads per call.
+pub fn run_scheme_on<T: RedElem>(
+    scheme: Scheme,
+    pat: &AccessPattern,
+    body: &(impl Fn(usize, usize) -> T + Sync),
+    threads: usize,
+    insp: Option<&Inspection>,
+    exec: &(impl SpmdExecutor + ?Sized),
+) -> Vec<T> {
+    // `sel`/`lw` need the inspector's pre-analyses; reuse the caller's if
+    // supplied, otherwise run one here.
+    let own;
+    let insp = match (scheme, insp) {
+        (Scheme::Sel | Scheme::Lw, Some(i)) => Some(i),
+        (Scheme::Sel | Scheme::Lw, None) => {
+            own = Inspector::analyze(pat, threads);
+            Some(&own)
+        }
+        _ => None,
+    };
     match scheme {
         Scheme::Seq => algorithms::seq(pat, body),
-        Scheme::Rep => algorithms::rep(pat, body, threads),
-        Scheme::Ll => algorithms::ll(pat, body, threads),
-        Scheme::Hash => algorithms::hash(pat, body, threads),
-        Scheme::Sel => {
-            let own;
-            let insp = match insp {
-                Some(i) => i,
-                None => {
-                    own = Inspector::analyze(pat, threads);
-                    &own
-                }
-            };
-            algorithms::sel(pat, body, threads, &insp.conflicts)
-        }
-        Scheme::Lw => {
-            let own;
-            let insp = match insp {
-                Some(i) => i,
-                None => {
-                    own = Inspector::analyze(pat, threads);
-                    &own
-                }
-            };
-            algorithms::lw(pat, body, threads, &insp.owners)
-        }
+        Scheme::Rep => algorithms::rep_on(pat, body, threads, exec),
+        Scheme::Ll => algorithms::ll_on(pat, body, threads, exec),
+        Scheme::Hash => algorithms::hash_on(pat, body, threads, exec),
+        Scheme::Sel => algorithms::sel_on(pat, body, threads, &insp.unwrap().conflicts, exec),
+        Scheme::Lw => algorithms::lw_on(pat, body, threads, &insp.unwrap().owners, exec),
     }
 }
 
@@ -78,7 +85,13 @@ pub fn time_scheme<T: RedElem>(
             best = dt;
         }
     }
-    (out, Timing { scheme, elapsed: best })
+    (
+        out,
+        Timing {
+            scheme,
+            elapsed: best,
+        },
+    )
 }
 
 /// Measure all parallel schemes plus the sequential baseline, returning
@@ -137,8 +150,14 @@ mod tests {
         let p = pat();
         let body = |_i: usize, r: usize| contribution(r);
         let oracle = sequential_reduce(&p);
-        for s in [Scheme::Seq, Scheme::Rep, Scheme::Ll, Scheme::Sel, Scheme::Lw, Scheme::Hash]
-        {
+        for s in [
+            Scheme::Seq,
+            Scheme::Rep,
+            Scheme::Ll,
+            Scheme::Sel,
+            Scheme::Lw,
+            Scheme::Hash,
+        ] {
             let got = run_scheme(s, &p, &body, 4, None);
             for (a, b) in oracle.iter().zip(got.iter()) {
                 assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{s}");

@@ -105,8 +105,9 @@ impl Inspector {
     pub fn owners(pat: &AccessPattern, threads: usize) -> OwnerLists {
         let n = pat.num_elements;
         // Element -> owning thread, from the line-aligned block partition.
-        let bounds: Vec<usize> =
-            (0..threads).map(|t| elem_block_range(n, t, threads).end).collect();
+        let bounds: Vec<usize> = (0..threads)
+            .map(|t| elem_block_range(n, t, threads).end)
+            .collect();
         let owner_of = |x: usize| -> usize { bounds.partition_point(|&b| b <= x) };
         let mut iters_of: Vec<Vec<u32>> = vec![Vec::new(); threads];
         let mut listed = 0usize;
@@ -142,10 +143,7 @@ mod tests {
     fn conflicts_on_hand_built_pattern() {
         // 2 threads, 4 iterations (2 each).  Element 0 touched by both
         // halves -> conflict; 1 only by thread 0; 2 only by thread 1.
-        let pat = AccessPattern::from_iters(
-            3,
-            &[vec![0, 1], vec![1], vec![0, 2], vec![2]],
-        );
+        let pat = AccessPattern::from_iters(3, &[vec![0, 1], vec![1], vec![0, 2], vec![2]]);
         let c = Inspector::conflicts(&pat, 2);
         assert_eq!(c.num_conflicting, 1);
         assert_eq!(c.conflicting_elements, vec![0]);
@@ -193,10 +191,7 @@ mod tests {
 
     #[test]
     fn owner_lists_cover_every_iteration_once_per_owner() {
-        let pat = AccessPattern::from_iters(
-            16,
-            &[vec![0, 15], vec![0, 0], vec![8], vec![15, 0]],
-        );
+        let pat = AccessPattern::from_iters(16, &[vec![0, 15], vec![0, 0], vec![8], vec![15, 0]]);
         let o = Inspector::owners(&pat, 2);
         // Thread 0 owns elements 0..8, thread 1 owns 8..16.
         assert_eq!(o.iters_of[0], vec![0, 1, 3]);

@@ -51,8 +51,10 @@ pub mod exec;
 pub mod inspect;
 pub mod model;
 pub mod scheme;
+pub mod spmd;
 
-pub use exec::{rank_schemes, run_scheme, time_scheme, Timing};
+pub use exec::{rank_schemes, run_scheme, run_scheme_on, time_scheme, Timing};
 pub use inspect::{ConflictInfo, Inspection, Inspector, OwnerLists};
 pub use model::{DecisionModel, ModelInput, ModelParams, Prediction};
 pub use scheme::{RedElem, Scheme, UnsafeSlice};
+pub use spmd::{SpawnExecutor, SpmdExecutor};

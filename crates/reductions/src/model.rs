@@ -222,7 +222,11 @@ impl DecisionModel {
                 // pattern partitions cleanly (low conflicts), shared
                 // everywhere when it scatters (high conflicts).
                 let lines = c.distinct_lines as f64;
-                let cf = if d > 0.0 { input.conflicting as f64 / d } else { 0.0 };
+                let cf = if d > 0.0 {
+                    input.conflicting as f64 / d
+                } else {
+                    0.0
+                };
                 let lines_t = (r / p).min(lines * (cf + (1.0 - cf) / p));
                 let upd = q.locality_cost(lines_t * 64.0) + q.ll_link_overhead;
                 body + (r / p) * upd + q.ll_merge_line * lines_t
@@ -231,8 +235,7 @@ impl DecisionModel {
                 let conf = input.conflicting as f64;
                 // The compact map (4 bytes/element over the whole array)
                 // plus the directly-updated shared elements.
-                let upd =
-                    q.locality_cost(n * 4.0 + d_t * 8.0) + q.sel_indirect;
+                let upd = q.locality_cost(n * 4.0 + d_t * 8.0) + q.sel_indirect;
                 insp + body + (r / p) * upd + q.sel_merge_elem * conf
             }
             Scheme::Lw => {
@@ -303,7 +306,13 @@ mod tests {
     fn input(chars: PatternChars, threads: usize, lw: bool) -> ModelInput {
         let conflicting = ModelInput::estimate_conflicts(&chars, threads);
         let replication = ModelInput::estimate_replication(&chars, threads);
-        ModelInput { chars, conflicting, replication, threads, lw_feasible: lw }
+        ModelInput {
+            chars,
+            conflicting,
+            replication,
+            threads,
+            lw_feasible: lw,
+        }
     }
 
     #[test]
@@ -348,10 +357,16 @@ mod tests {
         let m = DecisionModel::default();
         let small = m.decide(&input(chars_for(20_000, 200_000, 2, 1.0), 8, false));
         let large = m.decide(&input(chars_for(2_000_000, 10_000, 2, 0.0025), 8, false));
-        let rep_rank_small =
-            small.ranking.iter().position(|(s, _)| *s == Scheme::Rep).unwrap();
-        let rep_rank_large =
-            large.ranking.iter().position(|(s, _)| *s == Scheme::Rep).unwrap();
+        let rep_rank_small = small
+            .ranking
+            .iter()
+            .position(|(s, _)| *s == Scheme::Rep)
+            .unwrap();
+        let rep_rank_large = large
+            .ranking
+            .iter()
+            .position(|(s, _)| *s == Scheme::Rep)
+            .unwrap();
         assert!(
             rep_rank_large > rep_rank_small,
             "rep rank should drop: {:?} -> {:?}",
@@ -395,7 +410,10 @@ mod tests {
         }
         let c28 = chars_for(10_000, 100, 28, 1.0);
         let f = ModelInput::estimate_replication(&c28, 8);
-        assert!(f > 7.0, "MO=28 over 8 threads replicates to almost all: {f}");
+        assert!(
+            f > 7.0,
+            "MO=28 over 8 threads replicates to almost all: {f}"
+        );
     }
 
     #[test]

@@ -59,7 +59,13 @@ impl Scheme {
 
     /// All parallel schemes (excludes `Seq`).
     pub fn all_parallel() -> [Scheme; 5] {
-        [Scheme::Rep, Scheme::Ll, Scheme::Sel, Scheme::Lw, Scheme::Hash]
+        [
+            Scheme::Rep,
+            Scheme::Ll,
+            Scheme::Sel,
+            Scheme::Lw,
+            Scheme::Hash,
+        ]
     }
 }
 
@@ -129,7 +135,9 @@ impl<'a, T> UnsafeSlice<'a, T> {
         // SAFETY: `&mut [T]` and `&[UnsafeCell<T>]` have identical layout;
         // exclusive access is handed to the cells.
         let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
-        UnsafeSlice { slice: unsafe { &*ptr } }
+        UnsafeSlice {
+            slice: unsafe { &*ptr },
+        }
     }
 
     /// Write `v` to index `i`.
@@ -183,7 +191,14 @@ mod tests {
 
     #[test]
     fn scheme_abbrevs_roundtrip() {
-        for s in [Scheme::Seq, Scheme::Rep, Scheme::Ll, Scheme::Sel, Scheme::Lw, Scheme::Hash] {
+        for s in [
+            Scheme::Seq,
+            Scheme::Rep,
+            Scheme::Ll,
+            Scheme::Sel,
+            Scheme::Lw,
+            Scheme::Hash,
+        ] {
             assert_eq!(Scheme::from_abbrev(s.abbrev()), Some(s));
             assert_eq!(format!("{s}"), s.abbrev());
         }

@@ -1,0 +1,96 @@
+//! SPMD fork-join execution: the seam between the reduction algorithms and
+//! whoever supplies the worker threads.
+//!
+//! Every parallel scheme in [`crate::algorithms`] has the same shape: run
+//! `body(tid)` for `tid in 0..threads`, wait for all of them, continue.
+//! The paper's run-time library executes that shape on warm SPMD workers;
+//! a one-shot library call executes it on freshly spawned threads.  The
+//! [`SpmdExecutor`] trait captures exactly that contract so the same
+//! algorithm code runs on either:
+//!
+//! * [`SpawnExecutor`] — the per-call thread-spawn path (no setup, full
+//!   thread-creation cost on every invocation);
+//! * `smartapps_runtime::WorkerPool` — persistent parked workers, zero
+//!   thread-creation cost on the hot path.
+
+/// A fork-join SPMD region runner.
+///
+/// Implementations must run `body(tid)` exactly once for every
+/// `tid in 0..threads`, with all calls eligible to run concurrently, and
+/// must not return until every call has completed.  `body` may rely on
+/// that barrier for safety (disjoint-index writes into shared buffers).
+pub trait SpmdExecutor: Send + Sync {
+    /// Execute `body(0..threads)` to completion.
+    fn spmd(&self, threads: usize, body: &(dyn Fn(usize) + Sync));
+}
+
+/// The per-call thread-spawn executor: forks `threads - 1` OS threads with
+/// [`std::thread::scope`] and runs `tid == 0` on the calling thread.
+///
+/// This is the baseline the persistent worker pool is measured against —
+/// correct and dependency-free, but it pays thread creation and teardown
+/// on every single reduction invocation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpawnExecutor;
+
+impl SpmdExecutor for SpawnExecutor {
+    fn spmd(&self, threads: usize, body: &(dyn Fn(usize) + Sync)) {
+        assert!(threads >= 1, "spmd needs at least one thread");
+        if threads == 1 {
+            body(0);
+            return;
+        }
+        std::thread::scope(|s| {
+            for t in 1..threads {
+                s.spawn(move || body(t));
+            }
+            body(0);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_tid_exactly_once() {
+        let exec = SpawnExecutor;
+        for threads in [1usize, 2, 5, 8] {
+            let counts: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+            exec.spmd(threads, &|t| {
+                counts[t].fetch_add(1, Ordering::Relaxed);
+            });
+            for (t, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "tid {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmd_is_a_barrier() {
+        // After spmd returns, all per-thread writes must be visible.
+        let exec = SpawnExecutor;
+        let mut out = vec![0usize; 6];
+        {
+            let slice = crate::scheme::UnsafeSlice::new(&mut out);
+            let slice = &slice;
+            exec.spmd(6, &|t| {
+                // SAFETY: each tid writes a distinct index.
+                unsafe { slice.write(t, t + 1) };
+            });
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn usable_as_trait_object() {
+        let exec: &dyn SpmdExecutor = &SpawnExecutor;
+        let hits = AtomicUsize::new(0);
+        exec.spmd(3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+}

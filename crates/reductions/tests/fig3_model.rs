@@ -14,20 +14,39 @@ fn report_fig3_predictions() {
         let input = ModelInput::from_inspection(&insp, row.lw_feasible);
         let pred = model.decide(&input);
         let ours = pred.best().abbrev();
-        if ours == row.recommended_paper { hits_rec += 1; }
-        if ours == row.best_paper { hits_best += 1; }
+        if ours == row.recommended_paper {
+            hits_rec += 1;
+        }
+        if ours == row.best_paper {
+            hits_best += 1;
+        }
         eprintln!(
             "{:8} N={:9} SP={:6.2} CON={:7.2} | paper rec={:4} best={:4} | ours={:4} ranking={:?}",
-            row.app, row.n, row.sp_pct, row.con, row.recommended_paper, row.best_paper, ours,
-            pred.ranking.iter().map(|(s, c)| format!("{s}:{:.2e}", c)).collect::<Vec<_>>()
+            row.app,
+            row.n,
+            row.sp_pct,
+            row.con,
+            row.recommended_paper,
+            row.best_paper,
+            ours,
+            pred.ranking
+                .iter()
+                .map(|(s, c)| format!("{s}:{:.2e}", c))
+                .collect::<Vec<_>>()
         );
     }
     eprintln!("matches paper-recommended: {hits_rec}/16, paper-measured-best: {hits_best}/16");
     // The paper's own decision model agreed with its measured-best scheme
     // on 12/16 rows; our model against the (ambiguously normalized)
     // published inputs must stay in that regime.
-    assert!(hits_rec >= 9, "model matches only {hits_rec}/16 paper recommendations");
-    assert!(hits_best >= 9, "model matches only {hits_best}/16 paper measured-best");
+    assert!(
+        hits_rec >= 9,
+        "model matches only {hits_rec}/16 paper recommendations"
+    );
+    assert!(
+        hits_best >= 9,
+        "model matches only {hits_best}/16 paper measured-best"
+    );
 }
 
 /// The structural crossover claims of Figure 3 must hold regardless of
@@ -45,7 +64,10 @@ fn crossovers_within_each_app() {
                 let pat = row.pattern(99);
                 let insp = Inspector::analyze(&pat, 8);
                 let pred = model.decide(&ModelInput::from_inspection(&insp, row.lw_feasible));
-                pred.ranking.iter().position(|(s, _)| *s == Scheme::Rep).unwrap()
+                pred.ranking
+                    .iter()
+                    .position(|(s, _)| *s == Scheme::Rep)
+                    .unwrap()
             })
             .collect();
         // rep never improves its rank as the array grows within an app.
@@ -57,4 +79,3 @@ fn crossovers_within_each_app() {
         assert!(*rank_of_rep.last().unwrap() >= 3, "{app}: {rank_of_rep:?}");
     }
 }
-

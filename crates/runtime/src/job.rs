@@ -1,0 +1,348 @@
+//! Job descriptions, pattern signatures, and the blocking handles clients
+//! wait on.
+//!
+//! A [`JobSpec`] is one reduction invocation: an access pattern plus a
+//! contribution body (f64 or i64 flavored).  Submission assigns it a
+//! [`PatternSignature`] — the hashed characterization-bucket key that the
+//! sharded queue coalesces on and the profile store persists under — and
+//! returns a [`JobHandle`] whose [`wait`](JobHandle::wait) blocks until
+//! the dispatcher fills in the [`JobResult`].
+
+use smartapps_core::toolbox::DomainKey;
+use smartapps_reductions::Scheme;
+use smartapps_workloads::pattern::AccessPattern;
+use smartapps_workloads::PatternChars;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Shared f64 contribution body.
+pub type F64Body = Arc<dyn Fn(usize, usize) -> f64 + Send + Sync>;
+/// Shared i64 contribution body.
+pub type I64Body = Arc<dyn Fn(usize, usize) -> i64 + Send + Sync>;
+
+/// The contribution function of a job, in one of the two element flavors
+/// the service executes.
+#[derive(Clone)]
+pub enum JobBody {
+    /// Floating-point reduction (tolerance-equal across schemes).
+    F64(F64Body),
+    /// Integer reduction (bit-equal across schemes).
+    I64(I64Body),
+}
+
+/// The result array of a finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Output of an [`JobBody::F64`] job.
+    F64(Vec<f64>),
+    /// Output of an [`JobBody::I64`] job.
+    I64(Vec<i64>),
+}
+
+impl JobOutput {
+    /// The f64 array, if this was an f64 job.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            JobOutput::F64(v) => Some(v),
+            JobOutput::I64(_) => None,
+        }
+    }
+
+    /// The i64 array, if this was an i64 job.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            JobOutput::I64(v) => Some(v),
+            JobOutput::F64(_) => None,
+        }
+    }
+
+    /// Number of reduction elements.
+    pub fn len(&self) -> usize {
+        match self {
+            JobOutput::F64(v) => v.len(),
+            JobOutput::I64(v) => v.len(),
+        }
+    }
+
+    /// Whether the result array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One reduction invocation submitted to the runtime.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// The access pattern to reduce over (shared so coalesced repeats of
+    /// the same pattern pay one allocation).
+    pub pattern: Arc<AccessPattern>,
+    /// The contribution body.
+    pub body: JobBody,
+    /// SPMD width override; `None` uses the pool width.
+    pub threads: Option<usize>,
+    /// Whether owner-computes (`lw`) is legal for this loop.
+    pub lw_feasible: bool,
+}
+
+impl JobSpec {
+    /// An f64 job with default threading.
+    pub fn f64(
+        pattern: Arc<AccessPattern>,
+        body: impl Fn(usize, usize) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        JobSpec {
+            pattern,
+            body: JobBody::F64(Arc::new(body)),
+            threads: None,
+            lw_feasible: false,
+        }
+    }
+
+    /// An i64 job with default threading.
+    pub fn i64(
+        pattern: Arc<AccessPattern>,
+        body: impl Fn(usize, usize) -> i64 + Send + Sync + 'static,
+    ) -> Self {
+        JobSpec {
+            pattern,
+            body: JobBody::I64(Arc::new(body)),
+            threads: None,
+            lw_feasible: false,
+        }
+    }
+
+    /// Set an explicit SPMD width.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Mark owner-computes as legal.
+    pub fn with_lw_feasible(mut self, feasible: bool) -> Self {
+        self.lw_feasible = feasible;
+        self
+    }
+}
+
+/// The hashed "functioning domain" key of a pattern: characterization
+/// measures of a sampled prefix, bucketed the way the ToolBox's
+/// [`DomainKey`] buckets them, folded through FNV-1a.  Jobs with equal
+/// signatures share queue shards, scheme decisions, and profile entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternSignature(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+impl PatternSignature {
+    /// Compute the signature of a pattern by characterizing its first
+    /// `sample_iters` iterations (the same cheap sampling the adaptive
+    /// loop's drift check uses) and hashing the domain buckets together
+    /// with the SPMD width the job will run at — schemes and calibrations
+    /// measured at different widths must never share a profile entry.
+    pub fn of(pat: &AccessPattern, sample_iters: usize, threads: usize) -> Self {
+        let chars = PatternChars::measure(&pat.truncate_iterations(sample_iters));
+        let key = DomainKey::of(&chars);
+        let log2b = |x: usize| -> u64 {
+            if x <= 1 {
+                0
+            } else {
+                64 - (x as u64).leading_zeros() as u64
+            }
+        };
+        PatternSignature(fnv1a([
+            key.dim_bucket as u64,
+            key.reuse_bucket as u64,
+            key.sparsity_decile as u64,
+            key.mo as u64,
+            log2b(pat.num_elements),
+            log2b(pat.num_iterations()),
+            threads as u64,
+        ]))
+    }
+
+    /// Signature of a ToolBox functioning domain (used when absorbing an
+    /// [`AdaptiveReduction`]'s `PerformanceDb` into the profile store).
+    ///
+    /// [`AdaptiveReduction`]: smartapps_core::adaptive::AdaptiveReduction
+    pub fn of_domain(loop_id: u64, key: &DomainKey) -> Self {
+        PatternSignature(fnv1a([
+            0x0d0_417, // domain-keyed namespace tag
+            loop_id,
+            key.dim_bucket as u64,
+            key.reuse_bucket as u64,
+            key.sparsity_decile as u64,
+            key.mo as u64,
+        ]))
+    }
+}
+
+/// What the dispatcher reports back for one finished job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The reduced array.
+    pub output: JobOutput,
+    /// Scheme the dispatcher executed.
+    pub scheme: Scheme,
+    /// Wall time of the scheme execution (excludes queueing).
+    pub elapsed: Duration,
+    /// Whether the scheme came from the profile store (no inspection paid).
+    pub profile_hit: bool,
+    /// How many other jobs shared this job's dispatch batch.
+    pub batched_with: usize,
+    /// `Some(message)` when the job's body panicked during execution; the
+    /// output is then empty and nothing was recorded in the profile store.
+    pub error: Option<String>,
+}
+
+pub(crate) struct JobState {
+    slot: Mutex<Option<JobResult>>,
+    cv: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(JobState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn complete(&self, result: JobResult) {
+        let mut g = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        debug_assert!(g.is_none(), "job completed twice");
+        *g = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// A blocking handle to a submitted job.
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+    pub(crate) signature: PatternSignature,
+}
+
+impl JobHandle {
+    /// The signature the job was queued and profiled under.
+    pub fn signature(&self) -> PatternSignature {
+        self.signature
+    }
+
+    /// Block until the dispatcher finishes the job.
+    pub fn wait(self) -> JobResult {
+        let mut g = self.state.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = self.state.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Non-blocking poll; consumes the result when ready.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartapps_workloads::{Distribution, PatternSpec};
+
+    fn pat(seed: u64, n: usize) -> AccessPattern {
+        PatternSpec {
+            num_elements: n,
+            iterations: 4000,
+            refs_per_iter: 2,
+            coverage: 1.0,
+            dist: Distribution::Uniform,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn equal_class_patterns_share_a_signature() {
+        // Same spec, different seed: same buckets, same signature.
+        let a = PatternSignature::of(&pat(1, 4096), 2048, 4);
+        let b = PatternSignature::of(&pat(2, 4096), 2048, 4);
+        assert_eq!(a, b);
+        // A 64x larger array is a different domain.
+        let c = PatternSignature::of(&pat(1, 262_144), 2048, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domain_signatures_separate_loops() {
+        let chars = PatternChars::measure(&pat(1, 1024));
+        let key = DomainKey::of(&chars);
+        assert_ne!(
+            PatternSignature::of_domain(1, &key),
+            PatternSignature::of_domain(2, &key)
+        );
+        assert_eq!(
+            PatternSignature::of_domain(1, &key),
+            PatternSignature::of_domain(1, &key)
+        );
+    }
+
+    #[test]
+    fn handle_blocks_until_completion() {
+        let state = JobState::new();
+        let handle = JobHandle {
+            state: state.clone(),
+            signature: PatternSignature(7),
+        };
+        let t = std::thread::spawn(move || handle.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        state.complete(JobResult {
+            output: JobOutput::I64(vec![3, 4]),
+            scheme: Scheme::Rep,
+            elapsed: Duration::from_millis(1),
+            profile_hit: false,
+            batched_with: 0,
+            error: None,
+        });
+        let r = t.join().unwrap();
+        assert_eq!(r.output.as_i64(), Some(&[3i64, 4][..]));
+        assert_eq!(r.output.len(), 2);
+        assert!(!r.output.is_empty());
+    }
+
+    #[test]
+    fn try_wait_polls() {
+        let state = JobState::new();
+        let handle = JobHandle {
+            state: state.clone(),
+            signature: PatternSignature(7),
+        };
+        assert!(handle.try_wait().is_none());
+        state.complete(JobResult {
+            output: JobOutput::F64(vec![1.0]),
+            scheme: Scheme::Hash,
+            elapsed: Duration::ZERO,
+            profile_hit: true,
+            batched_with: 3,
+            error: None,
+        });
+        let r = handle.try_wait().unwrap();
+        assert!(r.profile_hit);
+        assert_eq!(r.batched_with, 3);
+        assert!(handle.try_wait().is_none(), "result is consumed");
+    }
+}

@@ -1,0 +1,68 @@
+//! # smartapps-runtime — the persistent reduction service
+//!
+//! The paper's SmartApps vision is a *continuously running* adaptive
+//! system: inspect → decide → execute → monitor → adapt (Figure 1).  The
+//! library crates implement each stage; this crate makes them a service —
+//! the long-lived process shape that amortizes setup and analysis across
+//! many invocations, which is where the real speedup of run-time
+//! optimization lives.
+//!
+//! Three pieces, each its own module:
+//!
+//! * [`pool`] — a **persistent worker pool** ([`WorkerPool`]): fixed
+//!   threads, parked on condvars when idle, implementing the
+//!   `SpmdExecutor` seam from `smartapps-reductions`.  Reduction
+//!   invocations pay zero thread-creation cost on the hot path.
+//! * [`queue`](crate::runtime) + [`job`] — a **sharded job queue with
+//!   batch submission**: [`Runtime::submit`] / [`Runtime::submit_batch`]
+//!   accept jobs from any number of client threads, shard them by
+//!   [`PatternSignature`], and coalesce same-class jobs into one dispatch
+//!   batch sharing a single scheme decision.  [`JobHandle::wait`] blocks
+//!   for the result.
+//! * [`profile`] — a **cross-run profile store** ([`ProfileStore`]):
+//!   signature → best known scheme + calibration, saved to a text file at
+//!   shutdown and loaded at startup, so a restarted service skips full
+//!   inspection for workload classes it has seen before.
+//!
+//! ## Example
+//!
+//! ```
+//! use smartapps_runtime::{JobSpec, Runtime};
+//! use smartapps_workloads::{contribution, Distribution, PatternSpec};
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::with_workers(4);
+//! let pat = Arc::new(
+//!     PatternSpec {
+//!         num_elements: 2048,
+//!         iterations: 10_000,
+//!         refs_per_iter: 2,
+//!         coverage: 1.0,
+//!         dist: Distribution::Uniform,
+//!         seed: 5,
+//!     }
+//!     .generate(),
+//! );
+//! // First job of a class pays the inspection ...
+//! let first = rt.run(JobSpec::f64(pat.clone(), |_i, r| contribution(r)));
+//! assert!(!first.profile_hit);
+//! // ... repeats are served from the profile store.
+//! let again = rt.run(JobSpec::f64(pat, |_i, r| contribution(r)));
+//! assert!(again.profile_hit);
+//! assert_eq!(again.scheme, first.scheme);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod pool;
+pub mod profile;
+pub(crate) mod queue;
+pub mod runtime;
+pub mod stats;
+
+pub use job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, PatternSignature};
+pub use pool::WorkerPool;
+pub use profile::{ProfileEntry, ProfileStore};
+pub use runtime::{Runtime, RuntimeConfig};
+pub use stats::{RuntimeStats, StatsSnapshot};

@@ -1,0 +1,301 @@
+//! The persistent worker pool: fixed threads, parked when idle, woken by
+//! per-worker mailboxes.
+//!
+//! This is the paper's "warm SPMD workers" made literal: a reduction
+//! service handling many invocations cannot afford to create and destroy
+//! OS threads per call (the [`SpawnExecutor`] path), so the pool keeps
+//! `width - 1` workers parked on condvars and implements [`SpmdExecutor`]
+//! by broadcasting the SPMD body to them.  The calling thread always
+//! executes `tid 0` itself, so a pool of width `P` runs `P`-way regions
+//! with `P - 1` wakeups and zero thread creation.
+//!
+//! [`SpawnExecutor`]: smartapps_reductions::SpawnExecutor
+
+use smartapps_reductions::SpmdExecutor;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One dispatched SPMD task: the lifetime-erased body, which tid to run it
+/// as, and the latch to count down when done.
+struct Task {
+    /// SAFETY invariant: the referent outlives the task because
+    /// [`WorkerPool::spmd`] blocks on `latch` before returning.
+    body: &'static (dyn Fn(usize) + Sync),
+    tid: usize,
+    latch: Arc<Latch>,
+}
+
+/// Completion latch for one `spmd` round.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+    /// First worker-side panic payload of the round, preserved so the
+    /// caller re-raises the body's actual panic, not a generic one.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut g = self.remaining.lock().unwrap_or_else(|p| p.into_inner());
+        *g -= 1;
+        if *g == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut g = self.remaining.lock().unwrap_or_else(|p| p.into_inner());
+        while *g > 0 {
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// A worker's inbox.  A queue (not a single slot) so that overlapping
+/// `spmd` calls from different client threads never overwrite each other's
+/// dispatch.
+struct Mailbox {
+    tasks: Mutex<VecDeque<Task>>,
+    cv: Condvar,
+}
+
+/// A fixed-width pool of persistent, parked worker threads implementing
+/// [`SpmdExecutor`].
+///
+/// Dropping the pool joins every worker.
+pub struct WorkerPool {
+    mailboxes: Vec<Arc<Mailbox>>,
+    handles: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    width: usize,
+    /// Rotating dispatch offset so concurrent narrow regions spread over
+    /// the whole pool instead of all piling onto the first mailboxes.
+    next_start: AtomicUsize,
+}
+
+impl WorkerPool {
+    /// Create a pool of SPMD width `width` (≥ 1): `width - 1` parked
+    /// worker threads plus the calling thread, which always executes
+    /// `tid 0` of every region.
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1, "pool width must be at least 1");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut mailboxes = Vec::with_capacity(width - 1);
+        let mut handles = Vec::with_capacity(width - 1);
+        for w in 0..width - 1 {
+            let mb = Arc::new(Mailbox {
+                tasks: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            });
+            mailboxes.push(mb.clone());
+            let stop = shutdown.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("smartapps-worker-{w}"))
+                    .spawn(move || worker_loop(&mb, &stop))
+                    .expect("spawn pool worker"),
+            );
+        }
+        WorkerPool {
+            mailboxes,
+            handles,
+            shutdown,
+            width,
+            next_start: AtomicUsize::new(0),
+        }
+    }
+
+    /// The pool's SPMD width (worker threads + the calling thread).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+fn worker_loop(mb: &Mailbox, shutdown: &AtomicBool) {
+    loop {
+        let task = {
+            let mut g = mb.tasks.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(t) = g.pop_front() {
+                    break t;
+                }
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                g = mb.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (task.body)(task.tid))) {
+            task.latch
+                .panic
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get_or_insert(payload);
+        }
+        task.latch.count_down();
+    }
+}
+
+impl SpmdExecutor for WorkerPool {
+    /// Run the region on parked workers.  If `threads` exceeds the pool
+    /// width, the overflow tids run sequentially on the calling thread —
+    /// legal because SPMD bodies only rely on the completion barrier,
+    /// never on tids overlapping in time (see
+    /// `smartapps_reductions::spmd`).
+    fn spmd(&self, threads: usize, body: &(dyn Fn(usize) + Sync)) {
+        assert!(threads >= 1, "spmd needs at least one thread");
+        if threads == 1 {
+            body(0);
+            return;
+        }
+        let dispatched = (threads - 1).min(self.mailboxes.len());
+        let base = if dispatched < self.mailboxes.len() {
+            self.next_start.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        let latch = Arc::new(Latch::new(dispatched));
+        // SAFETY: the erased borrow is only reachable through `Task`s
+        // counted by `latch`, and this function does not return before
+        // `latch.wait()` observes all of them finished; the referent
+        // therefore strictly outlives every use.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+        for w in 0..dispatched {
+            let mb = &self.mailboxes[(base + w) % self.mailboxes.len()];
+            let mut g = mb.tasks.lock().unwrap_or_else(|p| p.into_inner());
+            g.push_back(Task {
+                body: erased,
+                tid: w + 1,
+                latch: latch.clone(),
+            });
+            drop(g);
+            mb.cv.notify_one();
+        }
+        // The caller runs tid 0 plus any overflow beyond the pool width.
+        let mine = catch_unwind(AssertUnwindSafe(|| {
+            body(0);
+            for tid in dispatched + 1..threads {
+                body(tid);
+            }
+        }));
+        latch.wait();
+        match mine {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) => {
+                let worker_panic = latch.panic.lock().unwrap_or_else(|p| p.into_inner()).take();
+                if let Some(payload) = worker_panic {
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for mb in &self.mailboxes {
+            let _g = mb.tasks.lock().unwrap_or_else(|p| p.into_inner());
+            mb.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_every_tid_once() {
+        let pool = WorkerPool::new(4);
+        for threads in [1usize, 2, 4] {
+            let counts: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+            pool.spmd(threads, &|t| {
+                counts[t].fetch_add(1, Ordering::Relaxed);
+            });
+            for (t, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "threads={threads} tid={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_beyond_width_still_covers_all_tids() {
+        let pool = WorkerPool::new(2);
+        let counts: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+        pool.spmd(7, &|t| {
+            counts[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for (t, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "tid {t}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_many_times() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.spmd(3, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1500);
+    }
+
+    #[test]
+    fn concurrent_spmd_calls_do_not_interfere() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                let total = total.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        pool.spmd(3, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 100 * 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.spmd(3, &|t| {
+                if t == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        // tid 2 runs on a worker; its original payload must reach us.
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        // The pool must survive a panicked round.
+        let hits = AtomicUsize::new(0);
+        pool.spmd(3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+}

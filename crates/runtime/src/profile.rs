@@ -1,0 +1,353 @@
+//! The cross-run profile store: pattern signature → best known scheme +
+//! calibration, surviving process restarts.
+//!
+//! The paper's ToolBox keeps "data bases specific to the application and
+//! the system" so optimization decisions improve across runs; the seed
+//! threw that state away at process exit.  [`ProfileStore`] persists it:
+//! a restarted service that sees a known workload class skips the full
+//! inspection and goes straight to the remembered scheme, paying only the
+//! (cheap) signature sampling.
+//!
+//! The on-disk format is a deliberately simple line-oriented text file —
+//! the workspace's serde is a no-op stand-in (see `vendor/serde`), and a
+//! format this small is easier to audit than a binary blob:
+//!
+//! ```text
+//! smartapps-profile-v1
+//! <sig:016x> <scheme> <threads> <ns_per_ref:e> <runs> <best_ns>
+//! ```
+
+use crate::job::PatternSignature;
+use smartapps_core::toolbox::PerformanceDb;
+use smartapps_reductions::Scheme;
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::time::Duration;
+
+/// Magic first line of the on-disk format.
+const HEADER: &str = "smartapps-profile-v1";
+
+/// Calibration EMA weight for new measurements.
+const CALIB_ALPHA: f64 = 0.3;
+
+/// What the store remembers about one workload class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Best known scheme for the class.
+    pub scheme: Scheme,
+    /// SPMD width the scheme was measured at.
+    pub threads: usize,
+    /// Calibration: EMA of wall-nanoseconds per reduction reference —
+    /// the predictor the dispatcher checks measurements against.
+    pub ns_per_ref: f64,
+    /// Executions folded into this entry.
+    pub runs: u64,
+    /// Fastest observed execution, nanoseconds.
+    pub best_ns: u64,
+}
+
+impl ProfileEntry {
+    /// Predicted wall time for a pattern with `refs` references.
+    pub fn predict(&self, refs: usize) -> Duration {
+        Duration::from_nanos((self.ns_per_ref * refs as f64).max(0.0) as u64)
+    }
+}
+
+/// A serializable signature → [`ProfileEntry`] map.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileStore {
+    entries: HashMap<u64, ProfileEntry>,
+}
+
+impl ProfileStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of remembered workload classes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a signature.
+    pub fn get(&self, sig: PatternSignature) -> Option<&ProfileEntry> {
+        self.entries.get(&sig.0)
+    }
+
+    /// Fold one measured execution into the store.  A first observation
+    /// creates the entry; repeats update the calibration EMA and best
+    /// time, and a different scheme takes the entry over only when it
+    /// beats the incumbent's best.
+    pub fn record(
+        &mut self,
+        sig: PatternSignature,
+        scheme: Scheme,
+        threads: usize,
+        refs: usize,
+        elapsed: Duration,
+    ) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let per_ref = ns as f64 / (refs.max(1)) as f64;
+        match self.entries.get_mut(&sig.0) {
+            None => {
+                self.entries.insert(
+                    sig.0,
+                    ProfileEntry {
+                        scheme,
+                        threads,
+                        ns_per_ref: per_ref,
+                        runs: 1,
+                        best_ns: ns,
+                    },
+                );
+            }
+            Some(e) => {
+                if scheme == e.scheme {
+                    e.ns_per_ref = (1.0 - CALIB_ALPHA) * e.ns_per_ref + CALIB_ALPHA * per_ref;
+                    e.best_ns = e.best_ns.min(ns);
+                    e.runs += 1;
+                } else if ns < e.best_ns {
+                    *e = ProfileEntry {
+                        scheme,
+                        threads,
+                        ns_per_ref: per_ref,
+                        runs: e.runs + 1,
+                        best_ns: ns,
+                    };
+                } else {
+                    e.runs += 1;
+                }
+            }
+        }
+    }
+
+    /// Drop a signature (the dispatcher evicts entries whose predictions
+    /// have drifted far from measurements — a phase change).
+    pub fn evict(&mut self, sig: PatternSignature) -> bool {
+        self.entries.remove(&sig.0).is_some()
+    }
+
+    /// Absorb the best measured scheme per functioning domain from an
+    /// adaptive loop's [`PerformanceDb`], so a restarted service inherits
+    /// what the feedback loop learned.
+    pub fn absorb_performance_db(&mut self, db: &PerformanceDb) {
+        for ((loop_id, domain), samples) in db.entries() {
+            let Some(best) = samples.iter().min_by_key(|s| s.elapsed) else {
+                continue;
+            };
+            let sig = PatternSignature::of_domain(loop_id, &domain);
+            // The db doesn't carry reference counts; persist the scheme
+            // choice and best time with a unit calibration basis.
+            self.record(sig, best.scheme, 0, 1, best.elapsed);
+        }
+    }
+
+    /// Serialize to the versioned text format.
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(sig, e)| {
+                format!(
+                    "{:016x} {} {} {:e} {} {}",
+                    sig,
+                    e.scheme.abbrev(),
+                    e.threads,
+                    e.ns_per_ref,
+                    e.runs,
+                    e.best_ns
+                )
+            })
+            .collect();
+        lines.sort(); // deterministic output
+        let mut out = String::with_capacity(lines.len() * 48 + HEADER.len() + 1);
+        out.push_str(HEADER);
+        out.push('\n');
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the versioned text format.
+    pub fn from_text(text: &str) -> io::Result<Self> {
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("profile store missing `{HEADER}` header"),
+            ));
+        }
+        let bad = |line: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad profile line: {line}"),
+            )
+        };
+        let mut entries = HashMap::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut f = line.split_ascii_whitespace();
+            let (Some(sig), Some(scheme), Some(threads), Some(calib), Some(runs), Some(best)) =
+                (f.next(), f.next(), f.next(), f.next(), f.next(), f.next())
+            else {
+                return Err(bad(line));
+            };
+            let sig = u64::from_str_radix(sig, 16).map_err(|_| bad(line))?;
+            let scheme = Scheme::from_abbrev(scheme).ok_or_else(|| bad(line))?;
+            entries.insert(
+                sig,
+                ProfileEntry {
+                    scheme,
+                    threads: threads.parse().map_err(|_| bad(line))?,
+                    ns_per_ref: calib.parse().map_err(|_| bad(line))?,
+                    runs: runs.parse().map_err(|_| bad(line))?,
+                    best_ns: best.parse().map_err(|_| bad(line))?,
+                },
+            );
+        }
+        Ok(ProfileStore { entries })
+    }
+
+    /// Write to `path` (atomically via a sibling temp file).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read from `path`.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::from_text(&std::fs::read_to_string(path)?)
+    }
+
+    /// Merge another store in, keeping the faster entry per signature.
+    pub fn merge(&mut self, other: &ProfileStore) {
+        for (sig, e) in &other.entries {
+            match self.entries.get(sig) {
+                Some(mine) if mine.best_ns <= e.best_ns => {}
+                _ => {
+                    self.entries.insert(*sig, e.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: u64) -> PatternSignature {
+        PatternSignature(n)
+    }
+
+    #[test]
+    fn record_creates_updates_and_switches() {
+        let mut s = ProfileStore::new();
+        s.record(sig(1), Scheme::Rep, 4, 1000, Duration::from_micros(100));
+        assert_eq!(s.len(), 1);
+        let e = s.get(sig(1)).unwrap();
+        assert_eq!(e.scheme, Scheme::Rep);
+        assert_eq!(e.runs, 1);
+        assert!((e.ns_per_ref - 100.0).abs() < 1e-9);
+
+        // Same scheme: EMA + best update.
+        s.record(sig(1), Scheme::Rep, 4, 1000, Duration::from_micros(50));
+        let e = s.get(sig(1)).unwrap();
+        assert_eq!(e.runs, 2);
+        assert_eq!(e.best_ns, 50_000);
+        assert!(e.ns_per_ref < 100.0);
+
+        // Slower different scheme: incumbent keeps the entry.
+        s.record(sig(1), Scheme::Hash, 4, 1000, Duration::from_micros(500));
+        assert_eq!(s.get(sig(1)).unwrap().scheme, Scheme::Rep);
+
+        // Faster different scheme: takeover.
+        s.record(sig(1), Scheme::Sel, 4, 1000, Duration::from_micros(10));
+        let e = s.get(sig(1)).unwrap();
+        assert_eq!(e.scheme, Scheme::Sel);
+        assert_eq!(e.best_ns, 10_000);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_entries() {
+        let mut s = ProfileStore::new();
+        s.record(
+            sig(0xdead_beef),
+            Scheme::Ll,
+            8,
+            123_456,
+            Duration::from_millis(3),
+        );
+        s.record(sig(42), Scheme::Hash, 2, 10, Duration::from_nanos(777));
+        s.record(sig(42), Scheme::Hash, 2, 10, Duration::from_nanos(555));
+        let text = s.to_text();
+        let back = ProfileStore::from_text(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(sig(42)).unwrap(), s.get(sig(42)).unwrap());
+        assert_eq!(
+            back.get(sig(0xdead_beef)).unwrap(),
+            s.get(sig(0xdead_beef)).unwrap()
+        );
+        // Deterministic serialization.
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(ProfileStore::from_text("").is_err());
+        assert!(ProfileStore::from_text("wrong-header\n").is_err());
+        let bad_line = format!("{HEADER}\nzzzz rep 4\n");
+        assert!(ProfileStore::from_text(&bad_line).is_err());
+        let bad_scheme = format!("{HEADER}\n00000000000000ff nope 4 1.0 1 10\n");
+        assert!(ProfileStore::from_text(&bad_scheme).is_err());
+        let ok_empty = ProfileStore::from_text(&format!("{HEADER}\n")).unwrap();
+        assert!(ok_empty.is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("smartapps-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("store-{}.txt", std::process::id()));
+        let mut s = ProfileStore::new();
+        s.record(sig(5), Scheme::Lw, 16, 9999, Duration::from_micros(250));
+        s.save(&path).unwrap();
+        let back = ProfileStore::load(&path).unwrap();
+        assert_eq!(back.get(sig(5)), s.get(sig(5)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn eviction_forgets_a_class() {
+        let mut s = ProfileStore::new();
+        s.record(sig(9), Scheme::Rep, 4, 100, Duration::from_micros(1));
+        assert!(s.evict(sig(9)));
+        assert!(!s.evict(sig(9)));
+        assert!(s.get(sig(9)).is_none());
+    }
+
+    #[test]
+    fn prediction_scales_with_refs() {
+        let mut s = ProfileStore::new();
+        s.record(sig(2), Scheme::Rep, 4, 1000, Duration::from_micros(100));
+        let e = s.get(sig(2)).unwrap();
+        assert_eq!(e.predict(1000), Duration::from_micros(100));
+        assert_eq!(e.predict(2000), Duration::from_micros(200));
+    }
+}

@@ -1,0 +1,251 @@
+//! The sharded job queue feeding the dispatcher.
+//!
+//! Jobs land in `shards` independent FIFO lanes selected by pattern
+//! signature, so concurrent client threads submitting different workload
+//! classes never contend on one lock, while jobs of the *same* class
+//! always share a shard — which is what makes batch coalescing a cheap
+//! single-shard drain instead of a global scan.  The dispatcher pops in
+//! round-robin shard order (no class can starve another) and receives, in
+//! one pop, up to `max_batch` queued jobs carrying the first job's
+//! signature.
+
+use crate::job::{JobSpec, JobState, PatternSignature};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One queued job: the spec, its signature, and the handle's shared state.
+pub(crate) struct QueuedJob {
+    pub spec: JobSpec,
+    pub sig: PatternSignature,
+    pub state: Arc<JobState>,
+}
+
+/// Signature-sharded multi-producer queue with coalescing batch pops.
+pub(crate) struct ShardedQueue {
+    shards: Vec<Mutex<VecDeque<QueuedJob>>>,
+    /// Count of queued jobs plus the wakeup channel for the dispatcher.
+    pending: Mutex<usize>,
+    cv: Condvar,
+    closed: AtomicBool,
+    /// Round-robin scan cursor (only the dispatcher advances it).
+    cursor: Mutex<usize>,
+}
+
+impl ShardedQueue {
+    pub(crate) fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedQueue {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: Mutex::new(0),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+            cursor: Mutex::new(0),
+        }
+    }
+
+    fn shard_of(&self, sig: PatternSignature) -> usize {
+        (sig.0 % self.shards.len() as u64) as usize
+    }
+
+    /// Enqueue a job.  Returns `false` (job not queued) after
+    /// [`close`](Self::close).
+    pub(crate) fn push(&self, job: QueuedJob) -> bool {
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        let shard = self.shard_of(job.sig);
+        // The pending increment happens while the shard lock is held:
+        // a popper that drains this job from the shard is then guaranteed
+        // to observe its increment too, so the counter can never go
+        // negative when a batch coalesces a just-inserted job.
+        let mut q = self.shards[shard].lock().unwrap_or_else(|p| p.into_inner());
+        q.push_back(job);
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        *pending += 1;
+        drop(pending);
+        drop(q);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Block until at least one job is queued (or the queue is closed and
+    /// drained — then `None`).  Returns the oldest job of the next
+    /// non-empty shard in round-robin order, together with every other
+    /// job of the same signature in that shard, up to `max_batch` total.
+    pub(crate) fn pop_batch(&self, max_batch: usize) -> Option<Vec<QueuedJob>> {
+        assert!(max_batch >= 1);
+        loop {
+            {
+                let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+                loop {
+                    if *pending > 0 {
+                        break;
+                    }
+                    if self.closed.load(Ordering::Acquire) {
+                        return None;
+                    }
+                    pending = self.cv.wait(pending).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+            let n = self.shards.len();
+            let start = {
+                let mut cur = self.cursor.lock().unwrap_or_else(|p| p.into_inner());
+                let s = *cur;
+                *cur = (*cur + 1) % n;
+                s
+            };
+            for k in 0..n {
+                let mut shard = self.shards[(start + k) % n]
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                let Some(first) = shard.pop_front() else {
+                    continue;
+                };
+                let sig = first.sig;
+                let mut batch = vec![first];
+                if max_batch > 1 {
+                    // Coalesce same-signature jobs wherever they sit in
+                    // this shard's FIFO; other signatures keep their order.
+                    let mut rest = VecDeque::with_capacity(shard.len());
+                    while let Some(job) = shard.pop_front() {
+                        if batch.len() < max_batch && job.sig == sig {
+                            batch.push(job);
+                        } else {
+                            rest.push_back(job);
+                        }
+                    }
+                    *shard = rest;
+                }
+                // Settle the counter before releasing the shard so a
+                // concurrent push to this shard (which orders its
+                // increment after our drain) still sees consistent state.
+                let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+                *pending -= batch.len();
+                drop(pending);
+                drop(shard);
+                return Some(batch);
+            }
+            // Raced with another popper that drained every shard between
+            // our counter read and the scan; go back to waiting.
+        }
+    }
+
+    /// Close the queue: rejects new pushes and wakes the dispatcher so it
+    /// can drain what remains and exit.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _g = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        self.cv.notify_all();
+    }
+
+    /// Jobs currently queued.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        *self.pending.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobBody, JobOutput, JobResult};
+    use smartapps_reductions::Scheme;
+    use smartapps_workloads::pattern::AccessPattern;
+    use std::time::Duration;
+
+    fn job(sig: u64) -> QueuedJob {
+        let pattern = Arc::new(AccessPattern::from_iters(4, &[vec![0u32, 1]]));
+        QueuedJob {
+            spec: JobSpec {
+                pattern,
+                body: JobBody::I64(Arc::new(|_i, _r| 1)),
+                threads: None,
+                lw_feasible: false,
+            },
+            sig: PatternSignature(sig),
+            state: JobState::new(),
+        }
+    }
+
+    #[test]
+    fn coalesces_same_signature_within_shard() {
+        let q = ShardedQueue::new(4);
+        for sig in [8u64, 8, 12, 8, 8] {
+            assert!(q.push(job(sig)));
+        }
+        // Shard 0 holds sigs 8 (x4) and 12 (x1); first pop batches all 8s.
+        let batch = q.pop_batch(16).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(batch.iter().all(|j| j.sig == PatternSignature(8)));
+        let batch = q.pop_batch(16).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].sig, PatternSignature(12));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn max_batch_caps_coalescing() {
+        let q = ShardedQueue::new(2);
+        for _ in 0..5 {
+            q.push(job(6));
+        }
+        assert_eq!(q.pop_batch(2).unwrap().len(), 2);
+        assert_eq!(q.pop_batch(2).unwrap().len(), 2);
+        assert_eq!(q.pop_batch(2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn round_robin_across_shards() {
+        let q = ShardedQueue::new(2);
+        q.push(job(0)); // shard 0
+        q.push(job(1)); // shard 1
+        q.push(job(2)); // shard 0
+        let sigs: Vec<u64> = (0..3).map(|_| q.pop_batch(1).unwrap()[0].sig.0).collect();
+        // Each shard gets a turn before shard 0 is revisited.
+        assert_eq!(sigs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_unblocks_pop() {
+        let q = Arc::new(ShardedQueue::new(2));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap().map(|b| b.len()), None);
+        assert!(!q.push(job(0)));
+    }
+
+    #[test]
+    fn close_still_drains_queued_jobs() {
+        let q = ShardedQueue::new(2);
+        q.push(job(0));
+        q.push(job(1));
+        q.close();
+        assert!(q.pop_batch(4).is_some());
+        assert!(q.pop_batch(4).is_some());
+        assert!(q.pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn completing_a_popped_job_wakes_its_handle() {
+        let q = ShardedQueue::new(1);
+        let j = job(3);
+        let handle = crate::job::JobHandle {
+            state: j.state.clone(),
+            signature: j.sig,
+        };
+        q.push(j);
+        let batch = q.pop_batch(1).unwrap();
+        batch[0].state.complete(JobResult {
+            output: JobOutput::I64(vec![]),
+            scheme: Scheme::Seq,
+            elapsed: Duration::ZERO,
+            profile_hit: false,
+            batched_with: 0,
+            error: None,
+        });
+        assert!(handle.try_wait().is_some());
+    }
+}

@@ -1,0 +1,837 @@
+//! The long-lived reduction service: submission API, dispatcher, and the
+//! glue between queue, pool, and profile store.
+//!
+//! One dispatcher thread owns scheme decisions: it pops coalesced batches
+//! from the sharded queue, consults the [`ProfileStore`] (hit → no
+//! inspection), otherwise pays one [`Inspector`] pass and asks the
+//! decision model, then executes every job of the batch on the persistent
+//! [`WorkerPool`] and folds the measurements back into the store.  The
+//! worker pool does the heavy lifting; the dispatcher participates as
+//! `tid 0` of every SPMD region, so no core idles while it "waits".
+
+use crate::job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, JobState, PatternSignature};
+use crate::pool::WorkerPool;
+use crate::profile::ProfileStore;
+use crate::queue::{QueuedJob, ShardedQueue};
+use crate::stats::{RuntimeStats, StatsSnapshot};
+use smartapps_core::adaptive::AdaptiveReduction;
+use smartapps_reductions::{
+    run_scheme_on, DecisionModel, Inspection, Inspector, ModelInput, Scheme, SpmdExecutor,
+};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Measured-over-predicted ratio beyond which a profile entry is treated
+/// as stale (phase change) and evicted.
+const DRIFT_EVICT_RATIO: f64 = 4.0;
+
+/// Profile entries younger than this many runs are never drift-evicted
+/// (their calibration is still settling).
+const DRIFT_MIN_RUNS: u64 = 3;
+
+/// Widest SPMD region a job may request (the inspector's supported limit);
+/// `JobSpec::with_threads` beyond this is clamped at submission.
+const MAX_SPMD_THREADS: usize = 250;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// SPMD width of the worker pool (workers + dispatcher).
+    pub workers: usize,
+    /// Number of job-queue shards.
+    pub shards: usize,
+    /// Maximum jobs coalesced into one dispatch batch.
+    pub max_batch: usize,
+    /// Iterations sampled when computing pattern signatures.
+    pub sample_iters: usize,
+    /// Profile store location: loaded (if present) at startup, saved at
+    /// shutdown.  `None` keeps profiles in memory only.
+    pub profile_path: Option<PathBuf>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(1, 16),
+            shards: 16,
+            max_batch: 32,
+            sample_iters: 2048,
+            profile_path: None,
+        }
+    }
+}
+
+struct Shared {
+    pool: Arc<WorkerPool>,
+    queue: ShardedQueue,
+    profile: Mutex<ProfileStore>,
+    stats: RuntimeStats,
+    model: DecisionModel,
+    max_batch: usize,
+    sample_iters: usize,
+    profile_path: Option<PathBuf>,
+}
+
+/// The persistent reduction service.
+///
+/// Dropping (or [`shutdown`](Runtime::shutdown)-ing) the runtime closes
+/// the queue, drains every pending job, persists the profile store (when
+/// configured), and joins the dispatcher and all pool workers.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Start a service with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let profile = match &config.profile_path {
+            Some(p) if p.exists() => ProfileStore::load(p).unwrap_or_default(),
+            _ => ProfileStore::new(),
+        };
+        let shared = Arc::new(Shared {
+            pool: Arc::new(WorkerPool::new(config.workers)),
+            queue: ShardedQueue::new(config.shards),
+            profile: Mutex::new(profile),
+            stats: RuntimeStats::default(),
+            model: DecisionModel::default(),
+            max_batch: config.max_batch.max(1),
+            sample_iters: config.sample_iters.max(1),
+            profile_path: config.profile_path,
+        });
+        let for_dispatcher = shared.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name("smartapps-dispatcher".into())
+            .spawn(move || dispatcher_loop(&for_dispatcher))
+            .expect("spawn dispatcher");
+        Runtime {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Start a service with `workers` SPMD width and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        Runtime::new(RuntimeConfig {
+            workers,
+            ..RuntimeConfig::default()
+        })
+    }
+
+    /// The pool's SPMD width.
+    pub fn width(&self) -> usize {
+        self.shared.pool.width()
+    }
+
+    /// Submit one job; returns immediately with a blocking handle.
+    ///
+    /// Structurally invalid jobs (a malformed [`AccessPattern`]) are
+    /// rejected up front: the handle completes immediately with
+    /// [`JobResult::error`] set and nothing reaches the queue.
+    ///
+    /// [`AccessPattern`]: smartapps_workloads::AccessPattern
+    pub fn submit(&self, mut spec: JobSpec) -> JobHandle {
+        let threads = spec
+            .threads
+            .unwrap_or(self.width())
+            .clamp(1, MAX_SPMD_THREADS);
+        spec.threads = Some(threads);
+        let state = JobState::new();
+        RuntimeStats::add(&self.shared.stats.submitted, 1);
+        if let Err(e) = spec.pattern.validate() {
+            let handle = JobHandle {
+                state: state.clone(),
+                signature: PatternSignature(0),
+            };
+            RuntimeStats::add(&self.shared.stats.completed, 1);
+            state.complete(JobResult {
+                output: empty_output(&spec.body),
+                scheme: Scheme::Seq,
+                elapsed: std::time::Duration::ZERO,
+                profile_hit: false,
+                batched_with: 0,
+                error: Some(format!("invalid access pattern: {e}")),
+            });
+            return handle;
+        }
+        let sig = PatternSignature::of(&spec.pattern, self.shared.sample_iters, threads);
+        let handle = JobHandle {
+            state: state.clone(),
+            signature: sig,
+        };
+        let accepted = self.shared.queue.push(QueuedJob { spec, sig, state });
+        assert!(accepted, "runtime queue is closed");
+        handle
+    }
+
+    /// Submit many jobs at once; the queue coalesces same-signature jobs
+    /// into shared dispatch batches.
+    pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Vec<JobHandle> {
+        specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Submit and block for the result.
+    pub fn run(&self, spec: JobSpec) -> JobResult {
+        self.submit(spec).wait()
+    }
+
+    /// A shareable handle to the persistent worker pool, for callers that
+    /// drive `run_scheme_on`/[`AdaptiveReduction`] directly.
+    pub fn executor(&self) -> Arc<dyn SpmdExecutor> {
+        self.shared.pool.clone()
+    }
+
+    /// An adaptive feedback-loop executor (inspect → decide → execute →
+    /// monitor → adapt) whose scheme executions run on this runtime's
+    /// worker pool instead of spawning threads per invocation, and whose
+    /// first decision per functioning domain consults the profile store —
+    /// so schemes learned by a previous process (persisted via
+    /// [`persist_adaptive`](Runtime::persist_adaptive)) carry over.
+    pub fn adaptive(&self, loop_id: u64, lw_feasible: bool) -> AdaptiveReduction {
+        let mut adaptive =
+            AdaptiveReduction::with_executor(loop_id, self.width(), lw_feasible, self.executor());
+        let shared = self.shared.clone();
+        adaptive.set_scheme_prior(move |domain| {
+            shared
+                .profile
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(PatternSignature::of_domain(loop_id, &domain))
+                .map(|e| e.scheme)
+        });
+        adaptive
+    }
+
+    /// Fold what an adaptive loop's `PerformanceDb` learned into the
+    /// profile store, so it survives restarts alongside service profiles.
+    pub fn persist_adaptive(&self, adaptive: &AdaptiveReduction) {
+        self.shared
+            .profile
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .absorb_performance_db(&adaptive.db);
+    }
+
+    /// Merge pre-learned profiles into the live store.
+    pub fn seed_profile(&self, store: &ProfileStore) {
+        self.shared
+            .profile
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .merge(store);
+    }
+
+    /// A copy of the live profile store.
+    pub fn profile_snapshot(&self) -> ProfileStore {
+        self.shared
+            .profile
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stop accepting jobs, drain everything queued, persist profiles,
+    /// and join all service threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        // Explicit shutdown() is followed by Drop; the taken dispatcher
+        // handle marks the teardown (including the store save) as done.
+        let Some(d) = self.dispatcher.take() else {
+            return;
+        };
+        self.shared.queue.close();
+        let _ = d.join();
+        if let Some(path) = &self.shared.profile_path {
+            let store = self
+                .shared
+                .profile
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if let Err(e) = store.save(path) {
+                eprintln!("smartapps-runtime: failed to save profile store: {e}");
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    let mut cache = InspectionCache::new(64);
+    while let Some(batch) = shared.queue.pop_batch(shared.max_batch) {
+        process_batch(shared, &mut cache, batch);
+    }
+}
+
+/// Key for inspection reuse: (pattern allocation address, SPMD width).
+type InspKey = (usize, usize);
+
+/// A small FIFO cache of inspector analyses, living across batches in the
+/// dispatcher, so a profiled `sel`/`lw` class does not pay a fresh
+/// inspection on every invocation of the same pattern.
+///
+/// Entries are validated through a [`Weak`] handle before reuse: a cache
+/// key is the pattern's allocation address, and an address can be reused
+/// after the original `Arc` dies, so an entry only hits when its stored
+/// `Weak` still upgrades to *the same allocation* the job carries.
+struct InspectionCache {
+    entries: HashMap<InspKey, (Weak<smartapps_workloads::AccessPattern>, Inspection)>,
+    order: VecDeque<InspKey>,
+    cap: usize,
+}
+
+impl InspectionCache {
+    fn new(cap: usize) -> Self {
+        InspectionCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn analyze(
+        &mut self,
+        pat: &Arc<smartapps_workloads::AccessPattern>,
+        threads: usize,
+        stats: &RuntimeStats,
+    ) -> Inspection {
+        let key: InspKey = (Arc::as_ptr(pat) as usize, threads);
+        if let Some((weak, insp)) = self.entries.get(&key) {
+            if weak.upgrade().is_some_and(|live| Arc::ptr_eq(&live, pat)) {
+                return insp.clone();
+            }
+            self.entries.remove(&key);
+            self.order.retain(|k| *k != key);
+        }
+        RuntimeStats::add(&stats.inspections, 1);
+        let insp = Inspector::analyze(pat, threads);
+        if self.order.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        self.order.push_back(key);
+        self.entries
+            .insert(key, (Arc::downgrade(pat), insp.clone()));
+        insp
+    }
+}
+
+/// Render a panic payload into a job error message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "job panicked".into())
+}
+
+/// The empty output matching a body's flavor (for failed jobs).
+fn empty_output(body: &JobBody) -> JobOutput {
+    match body {
+        JobBody::F64(_) => JobOutput::F64(Vec::new()),
+        JobBody::I64(_) => JobOutput::I64(Vec::new()),
+    }
+}
+
+fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<QueuedJob>) {
+    let sig = batch[0].sig;
+    let batched_with = batch.len() - 1;
+    RuntimeStats::add(&shared.stats.batches, 1);
+    RuntimeStats::add(&shared.stats.coalesced, batched_with as u64);
+
+    // One scheme decision per batch: profile hit, or inspect + model.
+    let profiled = shared
+        .profile
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(sig)
+        .cloned();
+    let profile_hit = profiled.is_some();
+    if profile_hit {
+        RuntimeStats::add(&shared.stats.profile_hits, 1);
+    }
+
+    let default_threads = shared.pool.width();
+    // Nothing job-derived may unwind the dispatcher (that would hang every
+    // pending handle): the decision — which may run the inspector over an
+    // arbitrary client pattern — is fenced just like execution below.
+    let batch_scheme = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &profiled {
+        Some(entry) => entry.scheme,
+        None => {
+            let first = &batch[0];
+            let threads = first.spec.threads.unwrap_or(default_threads).max(1);
+            let insp = cache.analyze(&first.spec.pattern, threads, &shared.stats);
+            let input = ModelInput::from_inspection(&insp, first.spec.lw_feasible);
+            shared.model.decide(&input).best()
+        }
+    }));
+    let batch_scheme = match batch_scheme {
+        Ok(s) => s,
+        Err(payload) => {
+            // The whole batch shares the poisoned decision input; fail it.
+            let msg = format!("scheme decision panicked: {}", panic_message(&*payload));
+            for job in batch {
+                RuntimeStats::add(&shared.stats.completed, 1);
+                job.state.complete(JobResult {
+                    output: empty_output(&job.spec.body),
+                    scheme: Scheme::Seq,
+                    elapsed: std::time::Duration::ZERO,
+                    profile_hit: false,
+                    batched_with,
+                    error: Some(msg.clone()),
+                });
+            }
+            return;
+        }
+    };
+
+    // Once one job of the batch detects drift and evicts the entry, no
+    // later batch-mate may resurrect it (their measurements rode the same
+    // stale decision) and the logical eviction is counted once.
+    let mut evicted_this_batch = false;
+    for job in batch {
+        let threads = job.spec.threads.unwrap_or(default_threads).max(1);
+        let pool: &WorkerPool = &shared.pool;
+        let t0 = Instant::now();
+        // A panicking user body (or an inspector tripping over a malformed
+        // pattern) must not take the dispatcher down with it; the panic
+        // becomes the job's error and the service keeps draining.
+        let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // A batch-mate (or stale profile) may have chosen
+            // owner-computes; jobs where that is illegal re-decide with
+            // `lw` masked off.
+            let redecided = batch_scheme == Scheme::Lw && !job.spec.lw_feasible;
+            let scheme = if redecided {
+                let insp = cache.analyze(&job.spec.pattern, threads, &shared.stats);
+                let input = ModelInput::from_inspection(&insp, false);
+                shared.model.decide(&input).best()
+            } else {
+                batch_scheme
+            };
+            let insp = matches!(scheme, Scheme::Sel | Scheme::Lw)
+                .then(|| cache.analyze(&job.spec.pattern, threads, &shared.stats));
+            let output = match &job.spec.body {
+                JobBody::F64(f) => JobOutput::F64(run_scheme_on(
+                    scheme,
+                    &job.spec.pattern,
+                    &|i, r| f(i, r),
+                    threads,
+                    insp.as_ref(),
+                    pool,
+                )),
+                JobBody::I64(f) => JobOutput::I64(run_scheme_on(
+                    scheme,
+                    &job.spec.pattern,
+                    &|i, r| f(i, r),
+                    threads,
+                    insp.as_ref(),
+                    pool,
+                )),
+            };
+            (output, scheme, redecided)
+        }));
+        let elapsed = t0.elapsed();
+
+        let (output, scheme, redecided, error) = match work {
+            Ok((out, scheme, redecided)) => (out, scheme, redecided, None),
+            Err(payload) => (
+                empty_output(&job.spec.body),
+                batch_scheme,
+                false,
+                Some(panic_message(&*payload)),
+            ),
+        };
+
+        // Feed the profile only from clean, non-substituted executions.
+        if error.is_none() && !redecided {
+            let refs = job.spec.pattern.num_references();
+            let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
+            // Phase-change guard: a profiled class now running far slower
+            // than its calibration predicts gets evicted — and this run's
+            // measurement is NOT recorded, so the next batch misses the
+            // profile and re-inspects instead of trusting stale history.
+            let drifted = !evicted_this_batch
+                && profiled.as_ref().is_some_and(|entry| {
+                    entry.runs >= DRIFT_MIN_RUNS
+                        && elapsed.as_secs_f64()
+                            > DRIFT_EVICT_RATIO * entry.predict(refs).as_secs_f64()
+                });
+            if drifted {
+                store.evict(sig);
+                RuntimeStats::add(&shared.stats.evictions, 1);
+                evicted_this_batch = true;
+            } else if !evicted_this_batch {
+                store.record(sig, scheme, threads, refs, elapsed);
+            }
+        }
+
+        // Bump counters before waking the handle so a client that reads
+        // stats right after `wait()` never sees its own job missing.
+        RuntimeStats::add(&shared.stats.completed, 1);
+        job.state.complete(JobResult {
+            output,
+            scheme,
+            elapsed,
+            // This job's decision came from the store only if it was not
+            // re-decided under the lw-feasibility mask.
+            profile_hit: profile_hit && !redecided,
+            batched_with,
+            error,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartapps_workloads::pattern::{sequential_reduce, sequential_reduce_i64};
+    use smartapps_workloads::{contribution, contribution_i64, Distribution, PatternSpec};
+    use std::time::Duration;
+
+    fn pattern(seed: u64) -> Arc<smartapps_workloads::AccessPattern> {
+        Arc::new(
+            PatternSpec {
+                num_elements: 1500,
+                iterations: 3000,
+                refs_per_iter: 2,
+                coverage: 0.8,
+                dist: Distribution::Uniform,
+                seed,
+            }
+            .generate(),
+        )
+    }
+
+    #[test]
+    fn single_job_matches_oracles() {
+        let rt = Runtime::with_workers(3);
+        let pat = pattern(1);
+        let f = rt.run(JobSpec::f64(pat.clone(), |_i, r| contribution(r)));
+        let oracle = sequential_reduce(&pat);
+        for (a, b) in oracle.iter().zip(f.output.as_f64().unwrap()) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+        let i = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert_eq!(i.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        let stats = rt.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn second_submission_hits_the_profile() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(3);
+        let first = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(!first.profile_hit, "first sighting must inspect");
+        let second = rt.run(JobSpec::i64(pat, |_i, r| contribution_i64(r)));
+        assert!(second.profile_hit, "same class must reuse the decision");
+        assert_eq!(second.scheme, first.scheme);
+        let stats = rt.stats();
+        assert_eq!(stats.profile_hits, 1);
+        assert!(stats.inspections >= 1);
+    }
+
+    #[test]
+    fn batch_submission_coalesces() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(5);
+        // Make the dispatcher see them together: submit before it can
+        // drain (it is busy with the first big job).
+        let specs: Vec<JobSpec> = (0..12)
+            .map(|_| JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)))
+            .collect();
+        let handles = rt.submit_batch(specs);
+        let oracle = sequential_reduce_i64(&pat);
+        let mut coalesced_any = false;
+        for h in handles {
+            let r = h.wait();
+            assert_eq!(r.output.as_i64().unwrap(), oracle);
+            coalesced_any |= r.batched_with > 0;
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.completed, 12);
+        // Not guaranteed timing-wise, but with 12 identical jobs against
+        // one dispatcher at least some batching is effectively certain.
+        if coalesced_any {
+            assert!(stats.coalesced > 0);
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(7);
+        let handles: Vec<JobHandle> = (0..8)
+            .map(|_| rt.submit(JobSpec::f64(pat.clone(), |_i, r| contribution(r))))
+            .collect();
+        rt.shutdown();
+        for h in handles {
+            assert!(h.try_wait().is_some(), "shutdown must not drop queued jobs");
+        }
+    }
+
+    #[test]
+    fn profile_survives_restart_via_disk() {
+        let dir = std::env::temp_dir().join("smartapps-runtime-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("profiles-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = RuntimeConfig {
+            workers: 2,
+            profile_path: Some(path.clone()),
+            ..RuntimeConfig::default()
+        };
+        let pat = pattern(9);
+        let first_scheme;
+        {
+            let rt = Runtime::new(cfg.clone());
+            first_scheme = rt
+                .run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)))
+                .scheme;
+            rt.shutdown();
+        }
+        assert!(path.exists(), "shutdown must persist the store");
+        {
+            let rt = Runtime::new(cfg);
+            let r = rt.run(JobSpec::i64(pat, |_i, r| contribution_i64(r)));
+            assert!(r.profile_hit, "restarted service must remember the class");
+            assert_eq!(r.scheme, first_scheme);
+            assert_eq!(rt.stats().inspections, 0, "no inspection after restart");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_submissions_fail_fast_without_killing_the_service() {
+        let rt = Runtime::with_workers(2);
+        // Structurally invalid pattern: index out of bounds (and placed
+        // beyond any sampling window's reach, conceptually — validate
+        // catches it before the queue either way).
+        let broken = Arc::new(smartapps_workloads::AccessPattern {
+            num_elements: 2,
+            iter_ptr: vec![0, 1],
+            indices: vec![7],
+        });
+        let r = rt.submit(JobSpec::i64(broken, |_i, _r| 1)).wait();
+        assert!(r
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("invalid access pattern"));
+        // An absurd width request is clamped, not a dispatcher panic.
+        let pat = pattern(53);
+        let r = rt
+            .submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)).with_threads(300))
+            .wait();
+        assert!(
+            r.error.is_none(),
+            "width beyond the pool must clamp: {:?}",
+            r.error
+        );
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        // Service is still healthy.
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none());
+        assert_eq!(rt.stats().completed, 3);
+    }
+
+    #[test]
+    fn worker_side_panic_message_reaches_the_handle() {
+        let rt = Runtime::with_workers(3);
+        let pat = pattern(55);
+        // Panic only on a late iteration so it lands in a worker's block,
+        // not on the dispatcher's own tid 0.
+        let iters = pat.num_iterations();
+        let r = rt
+            .submit(JobSpec::i64(pat, move |i, _r| {
+                if i == iters - 1 {
+                    panic!("bad row {i}")
+                }
+                1
+            }))
+            .wait();
+        let msg = r.error.expect("worker panic must surface");
+        assert!(msg.contains("bad row"), "original payload lost: {msg}");
+    }
+
+    #[test]
+    fn panicking_job_body_does_not_kill_the_service() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(51);
+        let bad = rt.submit(JobSpec::i64(pat.clone(), |_i, _r| panic!("poisoned body")));
+        let good = rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let bad = bad.wait();
+        assert!(bad.error.as_deref().unwrap_or("").contains("poisoned body"));
+        assert!(bad.output.is_empty());
+        let good = good.wait();
+        assert!(good.error.is_none());
+        assert_eq!(
+            good.output.as_i64().unwrap(),
+            sequential_reduce_i64(&pat),
+            "jobs after a poisoned one must still run"
+        );
+        // The poisoned run must not have fed the profile store: only the
+        // good job's single execution is recorded for the class.
+        let sig = PatternSignature::of(&pat, rt.shared.sample_iters, rt.width());
+        assert_eq!(rt.profile_snapshot().get(sig).map(|e| e.runs), Some(1));
+    }
+
+    #[test]
+    fn drift_eviction_forces_reinspection() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(41);
+        // Establish the class, then poison its calibration so the next
+        // run reads as a >4x slowdown.
+        let handle = rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let signature = handle.signature();
+        handle.wait();
+        {
+            let mut store = rt.shared.profile.lock().unwrap();
+            let entry = store.get(signature).unwrap().clone();
+            // Rewrite the entry predicting a near-zero time: the next
+            // execution must look like a drastic slowdown.
+            store.evict(signature);
+            store.record(
+                signature,
+                entry.scheme,
+                entry.threads,
+                usize::MAX,
+                Duration::from_nanos(1),
+            );
+            let e = store.get(signature).unwrap();
+            assert!(e.ns_per_ref < 1e-9);
+            // Age it past DRIFT_MIN_RUNS.
+            for _ in 0..DRIFT_MIN_RUNS {
+                store.record(
+                    signature,
+                    entry.scheme,
+                    entry.threads,
+                    usize::MAX,
+                    Duration::from_nanos(1),
+                );
+            }
+        }
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.profile_hit, "this run rode the poisoned entry");
+        assert_eq!(rt.stats().evictions, 1, "poisoned calibration must evict");
+        assert!(
+            rt.profile_snapshot().get(signature).is_none(),
+            "evicted entry must stay evicted until re-decided"
+        );
+        // Next submission misses the profile and re-inspects.
+        let r2 = rt.run(JobSpec::i64(pat, |_i, r| contribution_i64(r)));
+        assert!(!r2.profile_hit, "post-eviction run must re-decide");
+    }
+
+    #[test]
+    fn adaptive_prior_reads_persisted_domain_entries() {
+        use smartapps_core::toolbox::DomainKey;
+        use smartapps_workloads::PatternChars;
+
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(43);
+        // Seed the store with a hand-chosen scheme for this pattern's
+        // functioning domain under loop id 9 — as if a previous process
+        // had learned it and persisted via persist_adaptive().
+        let domain = DomainKey::of(&PatternChars::measure(&pat));
+        let sig = PatternSignature::of_domain(9, &domain);
+        {
+            let mut store = rt.shared.profile.lock().unwrap();
+            store.record(sig, Scheme::Hash, 2, 1, Duration::from_micros(1));
+        }
+        let mut smart = rt.adaptive(9, false);
+        let (_, log) = smart.execute(&pat, &|_i, r| smartapps_workloads::contribution(r));
+        assert_eq!(
+            log.scheme,
+            Scheme::Hash,
+            "first decision must honor the persisted prior"
+        );
+        // A loop id with no persisted history decides analytically.
+        let mut fresh = rt.adaptive(10, false);
+        let (_, log) = fresh.execute(&pat, &|_i, r| smartapps_workloads::contribution(r));
+        assert_ne!(
+            log.scheme,
+            Scheme::Hash,
+            "dense uniform pattern should not pick hash analytically"
+        );
+    }
+
+    #[test]
+    fn shutdown_then_drop_saves_store_once() {
+        let dir = std::env::temp_dir().join("smartapps-runtime-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("double-shutdown-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            profile_path: Some(path.clone()),
+            ..RuntimeConfig::default()
+        });
+        rt.run(JobSpec::i64(pattern(45), |_i, r| contribution_i64(r)));
+        rt.shutdown(); // runs teardown, then Drop runs — must be a no-op
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspection_cache_reuses_and_revalidates() {
+        let stats = RuntimeStats::default();
+        let mut cache = InspectionCache::new(4);
+        let pat = pattern(31);
+        cache.analyze(&pat, 3, &stats);
+        cache.analyze(&pat, 3, &stats);
+        cache.analyze(&pat, 3, &stats);
+        assert_eq!(stats.snapshot().inspections, 1, "same Arc + width must hit");
+        cache.analyze(&pat, 2, &stats);
+        assert_eq!(stats.snapshot().inspections, 2, "new width must analyze");
+        // A dead Arc whose address gets reused must not serve a stale
+        // inspection: the Weak upgrade guard forces a fresh analysis.
+        let addr = Arc::as_ptr(&pat) as usize;
+        drop(pat);
+        let mut fresh = pattern(32);
+        for _ in 0..64 {
+            if Arc::as_ptr(&fresh) as usize == addr {
+                break;
+            }
+            fresh = pattern(32);
+        }
+        let before = stats.snapshot().inspections;
+        cache.analyze(&fresh, 3, &stats);
+        assert_eq!(stats.snapshot().inspections, before + 1);
+    }
+
+    #[test]
+    fn adaptive_on_pool_matches_oracle() {
+        let rt = Runtime::with_workers(3);
+        let pat = pattern(11);
+        let mut smart = rt.adaptive(77, false);
+        let (out, log) = smart.execute(&pat, &|_i, r| contribution(r));
+        assert!(log.characterized);
+        let oracle = sequential_reduce(&pat);
+        for (a, b) in oracle.iter().zip(out.iter()) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+        rt.persist_adaptive(&smart);
+        assert!(!rt.profile_snapshot().is_empty());
+    }
+}

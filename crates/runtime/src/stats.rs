@@ -1,0 +1,73 @@
+//! Runtime service counters: cheap atomics the dispatcher bumps and
+//! clients snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing service activity since startup.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) profile_hits: AtomicU64,
+    pub(crate) inspections: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+}
+
+/// A point-in-time copy of [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted by `submit`/`submit_batch`.
+    pub submitted: u64,
+    /// Jobs whose handles have been completed.
+    pub completed: u64,
+    /// Dispatch batches executed.
+    pub batches: u64,
+    /// Jobs that rode along in a batch behind another job's decision
+    /// (i.e. `submitted - batches` for the coalesced portion).
+    pub coalesced: u64,
+    /// Batches served straight from the profile store (no inspection).
+    pub profile_hits: u64,
+    /// Full inspector passes paid.
+    pub inspections: u64,
+    /// Profile entries evicted after calibration drift.
+    pub evictions: u64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            profile_hits: self.profile_hits.load(Ordering::Relaxed),
+            inspections: self.inspections.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = RuntimeStats::default();
+        RuntimeStats::add(&s.submitted, 3);
+        RuntimeStats::add(&s.completed, 2);
+        RuntimeStats::add(&s.coalesced, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.coalesced, 1);
+        assert_eq!(snap.batches, 0);
+    }
+}

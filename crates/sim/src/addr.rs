@@ -156,7 +156,12 @@ mod tests {
 
     #[test]
     fn shadow_space_is_disjoint_from_real_regions() {
-        for a in [regions::SHARED_RED, regions::PRIVATE, regions::PATTERN, regions::INPUT] {
+        for a in [
+            regions::SHARED_RED,
+            regions::PRIVATE,
+            regions::PATTERN,
+            regions::INPUT,
+        ] {
             assert!(!is_shadow(a));
             assert!(is_shadow(to_shadow(a)));
         }

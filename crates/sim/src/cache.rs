@@ -111,7 +111,10 @@ impl Cache {
     /// Look up without touching LRU (for snoops from the protocol side).
     pub fn probe(&self, l: LineAddr) -> Option<LineState> {
         let set = self.set_of(l);
-        self.sets[set].iter().find(|ln| ln.addr == l).map(|ln| ln.state)
+        self.sets[set]
+            .iter()
+            .find(|ln| ln.addr == l)
+            .map(|ln| ln.state)
     }
 
     /// Mutable access to a resident line (protocol actions, data updates).
@@ -178,7 +181,11 @@ impl Cache {
                     if v.state == LineState::Reduction {
                         self.red_lines -= 1;
                     }
-                    victim = Some(Victim { addr: v.addr, state: v.state, data: v.data });
+                    victim = Some(Victim {
+                        addr: v.addr,
+                        state: v.state,
+                        data: v.data,
+                    });
                 }
                 None => {
                     // Entire set pinned: the insert fails silently; callers
@@ -195,14 +202,24 @@ impl Cache {
                     if v.state == LineState::Reduction {
                         self.red_lines -= 1;
                     }
-                    victim = Some(Victim { addr: v.addr, state: v.state, data: v.data });
+                    victim = Some(Victim {
+                        addr: v.addr,
+                        state: v.state,
+                        data: v.data,
+                    });
                 }
             }
         }
         if st == LineState::Reduction {
             self.red_lines += 1;
         }
-        self.sets[set].push(Line { addr: l, state: st, pinned: false, lru: tick, data });
+        self.sets[set].push(Line {
+            addr: l,
+            state: st,
+            pinned: false,
+            lru: tick,
+            data,
+        });
         victim
     }
 
@@ -263,7 +280,12 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets x 2 ways, 64B lines.
-        Cache::new(&CacheConfig { size: 4 * 2 * 64, assoc: 2, line: 64, latency: 1 })
+        Cache::new(&CacheConfig {
+            size: 4 * 2 * 64,
+            assoc: 2,
+            line: 64,
+            latency: 1,
+        })
     }
 
     const D: [u64; 8] = [0; 8];

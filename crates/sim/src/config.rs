@@ -139,8 +139,18 @@ impl MachineConfig {
             max_pending_loads: 8,
             max_pending_stores: 16,
             branch_penalty: 4,
-            l1: CacheConfig { size: 32 * 1024, assoc: 2, line: 64, latency: 2 },
-            l2: CacheConfig { size: 512 * 1024, assoc: 4, line: 64, latency: 10 },
+            l1: CacheConfig {
+                size: 32 * 1024,
+                assoc: 2,
+                line: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size: 512 * 1024,
+                assoc: 4,
+                line: 64,
+                latency: 10,
+            },
             bus_latency: 6,
             dir_occupancy: 9,
             mem_latency: 50,
@@ -159,7 +169,10 @@ impl MachineConfig {
 
     /// Same machine with the programmable (Flex) controller.
     pub fn flex(nodes: usize) -> Self {
-        MachineConfig { controller: ControllerKind::Programmable, ..Self::table1(nodes) }
+        MachineConfig {
+            controller: ControllerKind::Programmable,
+            ..Self::table1(nodes)
+        }
     }
 
     /// Elements of the configured data type per cache line (f64).

@@ -102,7 +102,11 @@ pub enum PlacementPolicy {
 impl PageTable {
     /// Create a page table for `nodes` nodes.
     pub fn new(nodes: usize, policy: PlacementPolicy) -> Self {
-        PageTable { homes: HashMap::new(), policy, nodes: nodes as u8 }
+        PageTable {
+            homes: HashMap::new(),
+            policy,
+            nodes: nodes as u8,
+        }
     }
 
     /// Home node of `page`, assigning it on first touch by `toucher`.

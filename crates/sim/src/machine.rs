@@ -72,7 +72,12 @@ enum Event {
     /// A protocol message arrives at `node`'s directory controller.
     DirArrive { node: u8, msg: Msg },
     /// A fill response reaches processor `p`'s cache hierarchy.
-    ProcFill { p: u8, line: LineAddr, kind: FillKind, data: [u64; 8] },
+    ProcFill {
+        p: u8,
+        line: LineAddr,
+        kind: FillKind,
+        data: [u64; 8],
+    },
     /// A flush-generated reduction write-back was combined at its home.
     FlushAck { p: u8 },
 }
@@ -274,7 +279,9 @@ impl Machine {
         let line = self.geom.line_of(a);
         let elem = self.geom.elem_in_line(a);
         // Reduction lines are cached under their shadow address.
-        let shadow_line = self.geom.line_of(addr::to_shadow(self.geom.line_base(line)));
+        let shadow_line = self
+            .geom
+            .line_of(addr::to_shadow(self.geom.line_base(line)));
         let mut val = self.mem.peek(line, elem);
         for (n, node) in self.nodes.iter().enumerate() {
             for cache in [&node.l1, &node.l2] {
@@ -329,14 +336,18 @@ impl Machine {
             match ev {
                 Event::ProcRun { p } => self.run_proc(p as usize, t),
                 Event::DirArrive { node, msg } => self.dir_arrive(node as usize, msg, t),
-                Event::ProcFill { p, line, kind, data } => {
-                    self.proc_fill(p as usize, line, kind, data, t)
-                }
+                Event::ProcFill {
+                    p,
+                    line,
+                    kind,
+                    data,
+                } => self.proc_fill(p as usize, line, kind, data, t),
                 Event::FlushAck { p } => self.flush_ack(p as usize, t),
             }
         }
         assert_eq!(
-            self.done_procs, self.cfg.nodes,
+            self.done_procs,
+            self.cfg.nodes,
             "event queue drained with stalled processors: deadlock \
              (unbalanced barriers or lost wakeup); stalls: {:?}",
             self.procs.iter().map(|p| p.stall).collect::<Vec<_>>()
@@ -380,7 +391,9 @@ impl Machine {
 
     /// Home node of a line; shadow lines home with their real alias.
     fn home_of_line(&mut self, line: LineAddr, toucher: usize) -> usize {
-        let real = self.geom.line_of(addr::from_shadow(self.geom.line_base(line)));
+        let real = self
+            .geom
+            .line_of(addr::from_shadow(self.geom.line_base(line)));
         let page = self.geom.page_of_line(real);
         self.pages.home_of(page, toucher)
     }
@@ -454,7 +467,11 @@ impl Machine {
     /// Execute one instruction; returns false if the processor stalled.
     fn execute(&mut self, p: usize, inst: Inst) -> bool {
         match inst {
-            Inst::Work { ints, fps, branches } => {
+            Inst::Work {
+                ints,
+                fps,
+                branches,
+            } => {
                 let total = (ints + fps + branches) as u64;
                 self.procs[p].instr_count += total;
                 self.counters.instructions += total;
@@ -469,9 +486,7 @@ impl Machine {
             Inst::Load { addr } => self.mem_access(p, addr, AccessKind::Load, 0),
             Inst::Store { addr, val } => self.mem_access(p, addr, AccessKind::Store, val),
             Inst::RedLoad { addr } => self.mem_access(p, addr, AccessKind::RedLoad, 0),
-            Inst::RedUpdate { addr, val } => {
-                self.mem_access(p, addr, AccessKind::RedUpdate, val)
-            }
+            Inst::RedUpdate { addr, val } => self.mem_access(p, addr, AccessKind::RedUpdate, val),
             Inst::ConfigPclr { op } => {
                 // A system call configures the local controller (Fig. 5
                 // line 1).  All processors execute it, so all nodes learn
@@ -576,8 +591,10 @@ impl Machine {
                 }
             }
             AccessKind::Store => {
-                if let Some(ps) =
-                    self.procs[p].pending_stores.iter_mut().find(|s| s.line == line)
+                if let Some(ps) = self.procs[p]
+                    .pending_stores
+                    .iter_mut()
+                    .find(|s| s.line == line)
                 {
                     ps.updates.push((elem, val));
                     self.charge_mem_issue(p);
@@ -649,7 +666,11 @@ impl Machine {
         val: u64,
     ) -> bool {
         // Forward into an outstanding reduction fill.
-        if let Some(pr) = self.procs[p].pending_red.iter_mut().find(|r| r.line == line) {
+        if let Some(pr) = self.procs[p]
+            .pending_red
+            .iter_mut()
+            .find(|r| r.line == line)
+        {
             if kind == AccessKind::RedUpdate {
                 pr.updates.push((elem, val));
             }
@@ -705,7 +726,11 @@ impl Machine {
         }
         self.charge_red_issue(p, kind);
         let seq = self.procs[p].instr_count;
-        let mut pr = PendingRed { line, seq, updates: Vec::new() };
+        let mut pr = PendingRed {
+            line,
+            seq,
+            updates: Vec::new(),
+        };
         if kind == AccessKind::RedUpdate {
             pr.updates.push((elem, val));
         }
@@ -722,10 +747,11 @@ impl Machine {
             let ln = self.nodes[p].l1.invalidate(line);
             // Inclusion: the L2 copy also goes.
             let l2ln = self.nodes[p].l2.invalidate(line);
-            let data = ln.map(|l| l.data).or(l2ln.map(|l| l.data)).unwrap_or([0; 8]);
-            if st == LineState::Modified
-                || l2ln.map(|l| l.state) == Some(LineState::Modified)
-            {
+            let data = ln
+                .map(|l| l.data)
+                .or(l2ln.map(|l| l.data))
+                .unwrap_or([0; 8]);
+            if st == LineState::Modified || l2ln.map(|l| l.state) == Some(LineState::Modified) {
                 self.counters.writebacks += 1;
                 self.start_transaction(p, line, MsgKind::WriteBack(data));
             }
@@ -905,7 +931,14 @@ impl Machine {
         let t = self.procs[p].cycle + lookup;
         self.push(
             t,
-            Event::DirArrive { node: p as u8, msg: Msg { src: p as u8, line, kind } },
+            Event::DirArrive {
+                node: p as u8,
+                msg: Msg {
+                    src: p as u8,
+                    line,
+                    kind,
+                },
+            },
         );
     }
 
@@ -922,10 +955,7 @@ impl Machine {
                 self.counters.red_fills += 1;
                 let neutral = self.nodes[node].red_op.neutral();
                 let ready = start + 2 * occ;
-                let fill = ready
-                    + self.cfg.bus_latency
-                    + self.cfg.l2.latency
-                    + self.cfg.l1.latency;
+                let fill = ready + self.cfg.bus_latency + self.cfg.l2.latency + self.cfg.l1.latency;
                 self.push(
                     fill,
                     Event::ProcFill {
@@ -944,7 +974,13 @@ impl Machine {
                     let start = t.max(self.nodes[node].dir_busy);
                     self.nodes[node].dir_busy = start + occ;
                     let arr = self.port_send(node, home, start + occ);
-                    self.push(arr, Event::DirArrive { node: home as u8, msg });
+                    self.push(
+                        arr,
+                        Event::DirArrive {
+                            node: home as u8,
+                            msg,
+                        },
+                    );
                 } else {
                     self.home_handle_request(home, msg, t);
                 }
@@ -955,7 +991,13 @@ impl Machine {
                     let start = t.max(self.nodes[node].dir_busy);
                     self.nodes[node].dir_busy = start + occ;
                     let arr = self.port_send(node, home, start + occ);
-                    self.push(arr, Event::DirArrive { node: home as u8, msg });
+                    self.push(
+                        arr,
+                        Event::DirArrive {
+                            node: home as u8,
+                            msg,
+                        },
+                    );
                 } else {
                     self.home_handle_writeback(home, msg, t);
                 }
@@ -997,8 +1039,7 @@ impl Machine {
             }
             DirState::Shared(_) => {
                 if matches!(msg.kind, MsgKind::ReadExcl | MsgKind::Upgrade) {
-                    let sharers: Vec<usize> =
-                        state.sharers().filter(|&s| s != src).collect();
+                    let sharers: Vec<usize> = state.sharers().filter(|&s| s != src).collect();
                     if !sharers.is_empty() {
                         self.counters.invalidations += sharers.len() as u64;
                         let remote = sharers.iter().any(|&s| s != home);
@@ -1050,7 +1091,12 @@ impl Machine {
         let fill = fill_arrival + self.cfg.l2.latency + self.cfg.l1.latency;
         self.push(
             fill,
-            Event::ProcFill { p: src as u8, line, kind: fill_kind, data },
+            Event::ProcFill {
+                p: src as u8,
+                line,
+                kind: fill_kind,
+                data,
+            },
         );
     }
 
@@ -1163,7 +1209,10 @@ impl Machine {
             }
             FillKind::Store | FillKind::Upgrade => {
                 let mut d = data;
-                let idx = self.procs[p].pending_stores.iter().position(|s| s.line == line);
+                let idx = self.procs[p]
+                    .pending_stores
+                    .iter()
+                    .position(|s| s.line == line);
                 if let Some(i) = idx {
                     let ps = self.procs[p].pending_stores.remove(i);
                     if self.cfg.track_values {
@@ -1176,7 +1225,10 @@ impl Machine {
             }
             FillKind::Red => {
                 let mut d = data;
-                let idx = self.procs[p].pending_red.iter().position(|r| r.line == line);
+                let idx = self.procs[p]
+                    .pending_red
+                    .iter()
+                    .position(|r| r.line == line);
                 if let Some(i) = idx {
                     let pr = self.procs[p].pending_red.remove(i);
                     if self.cfg.track_values {
@@ -1250,7 +1302,10 @@ impl Machine {
     // ----- barrier -----------------------------------------------------------
 
     fn arrive_barrier(&mut self, p: usize) {
-        assert!(!self.barrier.arrived[p], "double barrier arrival by proc {p}");
+        assert!(
+            !self.barrier.arrived[p],
+            "double barrier arrival by proc {p}"
+        );
         self.barrier.arrived[p] = true;
         self.barrier.count += 1;
         self.barrier.max_t = self.barrier.max_t.max(self.procs[p].cycle);

@@ -97,7 +97,11 @@ impl RunStats {
     /// of the time each spent in the phase.  Phases are barrier-delimited in
     /// the generated traces, so this equals the phase's wall time.
     pub fn phase_time(&self, phase: Phase) -> u64 {
-        self.proc_phases.iter().map(|p| p.time_in(phase)).max().unwrap_or(0)
+        self.proc_phases
+            .iter()
+            .map(|p| p.time_in(phase))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Breakdown over the three Figure 6 phases, in cycles.
@@ -131,7 +135,11 @@ impl PhaseBreakdown {
     /// normalizes all bars to the software scheme).
     pub fn normalized_to(&self, base: &PhaseBreakdown) -> (f64, f64, f64) {
         let t = base.total().max(1) as f64;
-        (self.init as f64 / t, self.looptime as f64 / t, self.merge as f64 / t)
+        (
+            self.init as f64 / t,
+            self.looptime as f64 / t,
+            self.merge as f64 / t,
+        )
     }
 }
 
@@ -141,10 +149,13 @@ impl PhaseBreakdown {
 /// mean").
 pub fn harmonic_mean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "harmonic mean of empty slice");
-    let s: f64 = xs.iter().map(|x| {
-        assert!(*x > 0.0, "harmonic mean requires positive values");
-        1.0 / x
-    }).sum();
+    let s: f64 = xs
+        .iter()
+        .map(|x| {
+            assert!(*x > 0.0, "harmonic mean requires positive values");
+            1.0 / x
+        })
+        .sum();
     xs.len() as f64 / s
 }
 
@@ -199,8 +210,16 @@ mod tests {
 
     #[test]
     fn breakdown_normalization() {
-        let sw = PhaseBreakdown { init: 100, looptime: 300, merge: 100 };
-        let hw = PhaseBreakdown { init: 0, looptime: 250, merge: 50 };
+        let sw = PhaseBreakdown {
+            init: 100,
+            looptime: 300,
+            merge: 100,
+        };
+        let hw = PhaseBreakdown {
+            init: 0,
+            looptime: 250,
+            merge: 50,
+        };
         let (i, l, m) = hw.normalized_to(&sw);
         assert!((i - 0.0).abs() < 1e-12);
         assert!((l - 0.5).abs() < 1e-12);

@@ -13,8 +13,7 @@ use crate::addr::Addr;
 use crate::redop::RedOp;
 
 /// Execution phases, matching the bar-chart breakdown of Figure 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Phase {
     /// Before any phase mark.
     #[default]
@@ -137,7 +136,11 @@ impl TraceBuilder {
 
     /// Append a compute bundle.
     pub fn work(mut self, ints: u32, fps: u32) -> Self {
-        self.insts.push(Inst::Work { ints, fps, branches: 0 });
+        self.insts.push(Inst::Work {
+            ints,
+            fps,
+            branches: 0,
+        });
         self
     }
 
@@ -202,9 +205,22 @@ mod tests {
             .barrier()
             .build();
         assert_eq!(t.remaining(), 4);
-        assert!(matches!(t.next_inst(), Some(Inst::Work { ints: 3, fps: 1, .. })));
+        assert!(matches!(
+            t.next_inst(),
+            Some(Inst::Work {
+                ints: 3,
+                fps: 1,
+                ..
+            })
+        ));
         assert!(matches!(t.next_inst(), Some(Inst::Load { addr: 0x100 })));
-        assert!(matches!(t.next_inst(), Some(Inst::Store { addr: 0x108, val: 7 })));
+        assert!(matches!(
+            t.next_inst(),
+            Some(Inst::Store {
+                addr: 0x108,
+                val: 7
+            })
+        ));
         assert!(matches!(t.next_inst(), Some(Inst::Barrier)));
         assert_eq!(t.next_inst(), None);
         assert_eq!(t.next_inst(), None);
@@ -222,7 +238,11 @@ mod tests {
         let mut t = FnTrace(move || {
             n += 1;
             if n <= 2 {
-                Some(Inst::Work { ints: n, fps: 0, branches: 0 })
+                Some(Inst::Work {
+                    ints: n,
+                    fps: 0,
+                    branches: 0,
+                })
             } else {
                 None
             }

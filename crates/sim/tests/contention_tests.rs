@@ -28,7 +28,9 @@ fn combine_unit_saturation_at_single_home() {
         // Node 0 claims all pages (plain touches), then idles at barriers.
         let mut v0 = vec![Inst::ConfigPclr { op: RedOp::AddF64 }];
         for l in 0..(3 * lines_per_proc) {
-            v0.push(Inst::Load { addr: regions::shared_elem(l * 8) });
+            v0.push(Inst::Load {
+                addr: regions::shared_elem(l * 8),
+            });
         }
         v0.push(Inst::Barrier);
         v0.push(Inst::Barrier);
@@ -38,7 +40,10 @@ fn combine_unit_saturation_at_single_home() {
             v.push(Inst::SetPhase(Phase::Loop));
             for l in 0..lines_per_proc {
                 let e = (p as u64 - 1) * lines_per_proc * 8 + l * 8;
-                v.push(Inst::RedUpdate { addr: to_shadow(regions::shared_elem(e)), val: 0 });
+                v.push(Inst::RedUpdate {
+                    addr: to_shadow(regions::shared_elem(e)),
+                    val: 0,
+                });
             }
             v.push(Inst::Flush);
             v.push(Inst::Barrier);
@@ -71,9 +76,15 @@ fn combining_parallelizes_across_homes() {
         for p in 0..nodes {
             let mut v = vec![Inst::ConfigPclr { op: RedOp::AddF64 }];
             for l in 0..lines {
-                let owner = if spread { (l % nodes as u64) as usize } else { 0 };
+                let owner = if spread {
+                    (l % nodes as u64) as usize
+                } else {
+                    0
+                };
                 if owner == p {
-                    v.push(Inst::Load { addr: regions::shared_elem(l * 512) });
+                    v.push(Inst::Load {
+                        addr: regions::shared_elem(l * 512),
+                    });
                 }
             }
             v.push(Inst::Barrier);
@@ -115,7 +126,9 @@ fn first_touch_beats_round_robin_for_streaming_loads() {
                 for l in 0..lines {
                     // Disjoint per-proc regions, streaming.
                     let e = (p as u64 * lines + l) * 8;
-                    v.push(Inst::Load { addr: regions::shared_elem(e) });
+                    v.push(Inst::Load {
+                        addr: regions::shared_elem(e),
+                    });
                 }
                 v.push(Inst::Barrier);
                 boxed(v)
@@ -152,7 +165,9 @@ fn flush_pays_for_remote_homes() {
         let mut v1 = vec![Inst::ConfigPclr { op: RedOp::AddF64 }];
         if remote {
             for l in 0..lines {
-                v1.push(Inst::Load { addr: regions::shared_elem(l * 8) });
+                v1.push(Inst::Load {
+                    addr: regions::shared_elem(l * 8),
+                });
             }
         }
         v1.push(Inst::Barrier);
@@ -162,7 +177,10 @@ fn flush_pays_for_remote_homes() {
         let mut v0 = vec![Inst::ConfigPclr { op: RedOp::AddF64 }, Inst::Barrier];
         v0.push(Inst::SetPhase(Phase::Loop));
         for l in 0..lines {
-            v0.push(Inst::RedUpdate { addr: to_shadow(regions::shared_elem(l * 8)), val: 0 });
+            v0.push(Inst::RedUpdate {
+                addr: to_shadow(regions::shared_elem(l * 8)),
+                val: 0,
+            });
         }
         v0.push(Inst::SetPhase(Phase::Merge));
         v0.push(Inst::Flush);
@@ -187,9 +205,15 @@ fn flush_pays_for_remote_homes() {
 fn reduction_fill_burst_paced_by_controller() {
     let lines = 1024u64;
     let run = |cfg: MachineConfig| -> u64 {
-        let mut v = vec![Inst::ConfigPclr { op: RedOp::AddF64 }, Inst::SetPhase(Phase::Loop)];
+        let mut v = vec![
+            Inst::ConfigPclr { op: RedOp::AddF64 },
+            Inst::SetPhase(Phase::Loop),
+        ];
         for l in 0..lines {
-            v.push(Inst::RedUpdate { addr: to_shadow(regions::shared_elem(l * 8)), val: 0 });
+            v.push(Inst::RedUpdate {
+                addr: to_shadow(regions::shared_elem(l * 8)),
+                val: 0,
+            });
         }
         v.push(Inst::Flush);
         v.push(Inst::Barrier);

@@ -11,7 +11,6 @@ fn boxed(t: VecTrace) -> Box<dyn TraceSource> {
     Box::new(t)
 }
 
-
 /// One processor, one load, everything local: the measured latency must be
 /// the contention-free local round trip of Table 1 (104 cycles).
 #[test]
@@ -45,7 +44,7 @@ fn window_stall_exposes_local_latency() {
     let t = TraceBuilder::new()
         .load(a)
         .work(64, 0) // fills the 64-entry window behind the load
-        .work(4, 0)  // must wait for the fill
+        .work(4, 0) // must wait for the fill
         .build();
     let mut m = Machine::new(cfg.clone(), vec![boxed(t)]);
     let stats = m.run();
@@ -127,7 +126,9 @@ fn pclr_combines_concurrent_updates_exactly() {
         let shadow = to_shadow(a);
         let traces: Vec<Box<dyn TraceSource>> = (0..nodes)
             .map(|p| {
-                let mut b = TraceBuilder::new().config_pclr(RedOp::AddI64).phase(Phase::Loop);
+                let mut b = TraceBuilder::new()
+                    .config_pclr(RedOp::AddI64)
+                    .phase(Phase::Loop);
                 for k in 0..10u64 {
                     b = b.red_update(shadow, p as u64 * 100 + k);
                 }
@@ -141,8 +142,14 @@ fn pclr_combines_concurrent_updates_exactly() {
             .map(|p| (0..10u64).map(|k| p * 100 + k).sum::<u64>())
             .sum();
         assert_eq!(m.peek_memory(a), expect, "nodes={nodes}");
-        assert_eq!(stats.counters.red_fills as usize, nodes, "one fill per proc");
-        assert_eq!(stats.counters.red_flushed as usize, nodes, "one flush WB per proc");
+        assert_eq!(
+            stats.counters.red_fills as usize, nodes,
+            "one fill per proc"
+        );
+        assert_eq!(
+            stats.counters.red_flushed as usize, nodes,
+            "one flush WB per proc"
+        );
     }
 }
 
@@ -156,7 +163,9 @@ fn pclr_f64_many_elements() {
     cfg.track_values = true;
     let traces: Vec<Box<dyn TraceSource>> = (0..nodes)
         .map(|_| {
-            let mut b = TraceBuilder::new().config_pclr(RedOp::AddF64).phase(Phase::Loop);
+            let mut b = TraceBuilder::new()
+                .config_pclr(RedOp::AddF64)
+                .phase(Phase::Loop);
             for e in 0..elems {
                 b = b.red_update(to_shadow(regions::shared_elem(e)), 1.5f64.to_bits());
             }
@@ -229,11 +238,18 @@ fn phase_accounting_partitions_time() {
     let stats = m.run();
     let bd = stats.breakdown();
     assert!(bd.init >= 100, "init contains the 400-op bundle: {bd:?}");
-    assert!(bd.looptime >= 500, "loop contains the 2000-op bundle: {bd:?}");
+    assert!(
+        bd.looptime >= 500,
+        "loop contains the 2000-op bundle: {bd:?}"
+    );
     assert!(bd.merge >= 50, "merge contains the mixed bundle: {bd:?}");
     // Startup phase may hold a couple of cycles; phases cover the rest.
     assert!(bd.total() <= stats.total_cycles);
-    assert!(bd.total() + 10 >= stats.total_cycles, "{bd:?} vs {}", stats.total_cycles);
+    assert!(
+        bd.total() + 10 >= stats.total_cycles,
+        "{bd:?} vs {}",
+        stats.total_cycles
+    );
 }
 
 /// Work bundles respect issue width and FU throughput.
@@ -258,7 +274,11 @@ fn work_bundle_timing() {
 #[test]
 fn branch_penalty_charged() {
     let cfg = MachineConfig::table1(1);
-    let t = VecTrace::new(vec![Inst::Work { ints: 0, fps: 0, branches: 10 }]);
+    let t = VecTrace::new(vec![Inst::Work {
+        ints: 0,
+        fps: 0,
+        branches: 10,
+    }]);
     let mut m = Machine::new(cfg, vec![boxed(t)]);
     let s = m.run();
     // ceil(10/4) = 3 issue cycles + 10*4 penalty cycles.
@@ -284,7 +304,11 @@ fn barrier_waits_for_slowest() {
 fn done_processor_exits_barrier_protocol() {
     let cfg = MachineConfig::table1(2);
     let quits = TraceBuilder::new().work(4, 0).build(); // no barrier at all
-    let waits = TraceBuilder::new().work(400, 0).barrier().work(4, 0).build();
+    let waits = TraceBuilder::new()
+        .work(400, 0)
+        .barrier()
+        .work(4, 0)
+        .build();
     let mut m = Machine::new(cfg, vec![boxed(quits), boxed(waits)]);
     let s = m.run();
     assert_eq!(s.counters.barriers, 1);
@@ -319,7 +343,9 @@ fn displacement_vs_flush_accounting() {
     // Touch far more reduction lines than L2 can hold: L2 = 8192 lines.
     // Use 3x that many distinct lines so most displace during the loop.
     let lines = 3 * cfg.l2.lines() as u64;
-    let mut b = TraceBuilder::new().config_pclr(RedOp::AddI64).phase(Phase::Loop);
+    let mut b = TraceBuilder::new()
+        .config_pclr(RedOp::AddI64)
+        .phase(Phase::Loop);
     for l in 0..lines {
         b = b.red_update(to_shadow(regions::shared_elem(l * 8)), 1);
     }
@@ -383,8 +409,9 @@ fn flex_slower_than_hw_same_result() {
         cfg.track_values = true;
         let traces: Vec<Box<dyn TraceSource>> = (0..nodes)
             .map(|_| {
-                let mut b =
-                    TraceBuilder::new().config_pclr(RedOp::AddI64).phase(Phase::Loop);
+                let mut b = TraceBuilder::new()
+                    .config_pclr(RedOp::AddI64)
+                    .phase(Phase::Loop);
                 for e in 0..512u64 {
                     b = b.red_update(to_shadow(regions::shared_elem(e * 8)), 1);
                 }
@@ -535,8 +562,9 @@ fn special_instruction_and_shadow_modes_equivalent() {
             .collect();
         let mut m = Machine::new(cfg, traces);
         let stats = m.run();
-        let total: u64 =
-            (0..512u64).map(|e| m.peek_memory(regions::shared_elem(e))).sum();
+        let total: u64 = (0..512u64)
+            .map(|e| m.peek_memory(regions::shared_elem(e)))
+            .sum();
         (stats.total_cycles, total)
     };
     let (shadow_cycles, shadow_sum) = run(true);

@@ -129,7 +129,9 @@ impl Speculator {
     /// elements.
     pub fn new(n: usize, threads: usize) -> Self {
         assert!(threads >= 1);
-        Speculator { shadows: (0..threads).map(|_| ShadowArray::new(n)).collect() }
+        Speculator {
+            shadows: (0..threads).map(|_| ShadowArray::new(n)).collect(),
+        }
     }
 
     /// Number of processors.
@@ -163,7 +165,11 @@ impl Speculator {
                 s.spawn(move |_| {
                     shadow.reset();
                     for i in chunk {
-                        let mut ctx = SpecCtx { shadow, base: data, iter: i as u32 };
+                        let mut ctx = SpecCtx {
+                            shadow,
+                            base: data,
+                            iter: i as u32,
+                        };
                         body(i, &mut ctx);
                     }
                 });
@@ -194,9 +200,12 @@ impl Speculator {
                 });
                 if produced_earlier {
                     conflicts += 1;
-                    let sink_iter =
-                        self.shadows[b].first_access(x).expect("touched element");
-                    let dep = Dependence { element: xu, sink_iter, sink_chunk: b };
+                    let sink_iter = self.shadows[b].first_access(x).expect("touched element");
+                    let dep = Dependence {
+                        element: xu,
+                        sink_iter,
+                        sink_chunk: b,
+                    };
                     if earliest.is_none_or(|e| sink_iter < e.sink_iter) {
                         earliest = Some(dep);
                     }
@@ -204,7 +213,10 @@ impl Speculator {
             }
         }
         let _ = chunks;
-        WindowOutcome { earliest, conflicts }
+        WindowOutcome {
+            earliest,
+            conflicts,
+        }
     }
 
     /// Commit blocks `0..upto` into `data`, in block order (last value for
@@ -227,12 +239,7 @@ impl Speculator {
 /// Execute a loop under the (processor-wise) LRPD test with copy-in
 /// privatization and reduction validation.  On dependence detection the
 /// loop re-executes sequentially.
-pub fn lrpd_execute<F>(
-    data: &mut [f64],
-    n_iters: usize,
-    threads: usize,
-    body: &F,
-) -> LrpdReport
+pub fn lrpd_execute<F>(data: &mut [f64], n_iters: usize, threads: usize, body: &F) -> LrpdReport
 where
     F: Fn(usize, &mut dyn SpecAccess) + Sync,
 {
@@ -348,7 +355,10 @@ mod tests {
         let mut data = expect.clone();
         run_sequential(&mut expect, 0..n, &body);
         let r = lrpd_execute(&mut data, n, 4, &body);
-        assert!(r.succeeded, "anti-dependences do not invalidate copy-in speculation");
+        assert!(
+            r.succeeded,
+            "anti-dependences do not invalidate copy-in speculation"
+        );
         assert_eq!(data, expect);
     }
 

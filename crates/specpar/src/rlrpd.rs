@@ -43,12 +43,7 @@ impl RlrpdReport {
 
 /// Execute a (possibly partially parallel) loop under the Recursive LRPD
 /// test on `threads` processors.
-pub fn rlrpd_execute<F>(
-    data: &mut [f64],
-    n_iters: usize,
-    threads: usize,
-    body: &F,
-) -> RlrpdReport
+pub fn rlrpd_execute<F>(data: &mut [f64], n_iters: usize, threads: usize, body: &F) -> RlrpdReport
 where
     F: Fn(usize, &mut dyn SpecAccess) + Sync,
 {

@@ -125,20 +125,14 @@ impl WfData<'_> {
 /// parallel on `threads` threads.  The body receives the iteration index
 /// and a [`WfData`] element view; disjointness within a level is
 /// guaranteed by the inspector.
-pub fn execute<F>(
-    wf: &Wavefronts,
-    data: &mut [f64],
-    threads: usize,
-    body: &F,
-) where
+pub fn execute<F>(wf: &Wavefronts, data: &mut [f64], threads: usize, body: &F)
+where
     F: Fn(usize, &WfData<'_>) + Sync,
 {
     assert!(threads >= 1);
     // SAFETY: `&mut [f64]` and `&[UnsafeCell<f64>]` have identical layout;
     // exclusive access is handed to the cells for the duration.
-    let cells = unsafe {
-        &*(data as *mut [f64] as *const [std::cell::UnsafeCell<f64>])
-    };
+    let cells = unsafe { &*(data as *mut [f64] as *const [std::cell::UnsafeCell<f64>]) };
     let view = WfData { cells };
     let view = &view;
     for level in &wf.levels {
@@ -162,7 +156,10 @@ mod tests {
     use super::*;
 
     fn acc(reads: &[u32], writes: &[u32]) -> IterAccess {
-        IterAccess { reads: reads.to_vec(), writes: writes.to_vec() }
+        IterAccess {
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+        }
     }
 
     #[test]
@@ -245,8 +242,7 @@ mod tests {
         let mut seq = vec![0.0; n];
         {
             let cells = unsafe {
-                &*(seq.as_mut_slice() as *mut [f64]
-                    as *const [std::cell::UnsafeCell<f64>])
+                &*(seq.as_mut_slice() as *mut [f64] as *const [std::cell::UnsafeCell<f64>])
             };
             let view = WfData { cells };
             for i in 0..n {
@@ -264,6 +260,8 @@ mod tests {
         assert_eq!(wf.depth(), 0);
         assert_eq!(wf.parallelism(), 0.0);
         let mut data = vec![0.0; 8];
-        execute(&wf, &mut data, 2, &|_, _: &WfData<'_>| panic!("no iterations"));
+        execute(&wf, &mut data, 2, &|_, _: &WfData<'_>| {
+            panic!("no iterations")
+        });
     }
 }

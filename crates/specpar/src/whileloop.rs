@@ -38,7 +38,11 @@ impl ListArena {
         for w in order.windows(2) {
             next[w[0] as usize] = w[1];
         }
-        ListArena { next, value: values.to_vec(), head: order[0] }
+        ListArena {
+            next,
+            value: values.to_vec(),
+            head: order[0],
+        }
     }
 }
 
@@ -69,7 +73,10 @@ where
     let mut out = vec![0.0; order.len()];
     let body = &body;
     rayon::scope(|s| {
-        for (t, chunk) in out.chunks_mut(order.len().div_ceil(threads).max(1)).enumerate() {
+        for (t, chunk) in out
+            .chunks_mut(order.len().div_ceil(threads).max(1))
+            .enumerate()
+        {
             let base = t * order.len().div_ceil(threads).max(1);
             s.spawn(move |_| {
                 for (k, slot) in chunk.iter_mut().enumerate() {
@@ -112,7 +119,11 @@ where
 {
     assert!(threads >= 1 && strip >= 1);
     let mut committed: Vec<f64> = Vec::new();
-    let mut report = WhileReport { committed: 0, discarded: 0, rounds: 0 };
+    let mut report = WhileReport {
+        committed: 0,
+        discarded: 0,
+        rounds: 0,
+    };
     let mut start = 0usize;
     while start < max_iters {
         report.rounds += 1;
@@ -173,7 +184,9 @@ mod tests {
         let mut order: Vec<u32> = (0..n as u32).collect();
         let mut state = seed | 1;
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             order.swap(i, j);
         }
@@ -215,25 +228,20 @@ mod tests {
     fn execute_over_matches_sequential() {
         let list = shuffled_list(1000, 11);
         let order = collect_list(&list);
-        let body = |pos: usize, node: u32, l: &ListArena| {
-            l.value[node as usize] * 2.0 + pos as f64
-        };
+        let body = |pos: usize, node: u32, l: &ListArena| l.value[node as usize] * 2.0 + pos as f64;
         let par = execute_over(&order, &list, 4, body);
-        let seq: Vec<f64> =
-            order.iter().enumerate().map(|(p, &n)| body(p, n, &list)).collect();
+        let seq: Vec<f64> = order
+            .iter()
+            .enumerate()
+            .map(|(p, &n)| body(p, n, &list))
+            .collect();
         assert_eq!(par, seq);
     }
 
     #[test]
     fn speculative_while_commits_exact_prefix() {
         // Exit at iteration 137 — unknown to the scheduler.
-        let (out, rep) = speculative_while(
-            4,
-            16,
-            10_000,
-            |i| i as f64,
-            |i| i == 137,
-        );
+        let (out, rep) = speculative_while(4, 16, 10_000, |i| i as f64, |i| i == 137);
         assert_eq!(out.len(), 137);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as f64);

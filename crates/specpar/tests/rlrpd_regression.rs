@@ -7,48 +7,56 @@
 use smartapps_specpar::lrpd::{run_sequential, SpecAccess, Speculator};
 
 #[derive(Debug, Clone, Copy)]
-enum Op { R(usize), W(usize, i32), Rd(usize, i32), C(usize, usize) }
+enum Op {
+    R(usize),
+    W(usize, i32),
+    Rd(usize, i32),
+    C(usize, usize),
+}
 use Op::*;
 
 fn ops() -> Vec<Vec<Op>> {
     vec![
-        vec![W(5,1)], vec![R(4)], vec![Rd(18,64)], vec![W(13,86)],
-        vec![Rd(21,-59), W(10,-23), R(3)],
-        vec![R(13), W(21,-73), C(17,13), R(19)],
-        vec![C(20,13), C(18,18), Rd(2,-38)],
-        vec![C(18,22), R(15)],
-        vec![W(8,-27), Rd(0,-88), Rd(7,-18)],
-        vec![W(16,-8), R(18), R(14), R(5)],
-        vec![Rd(5,-82), W(8,36), R(13)],
-        vec![Rd(14,-88), R(19), W(19,83), W(2,-61)],
-        vec![C(2,12), C(6,13)],
-        vec![W(20,22), R(1)],
-        vec![W(23,97)],
-        vec![W(10,29)],
-        vec![W(4,-70), C(14,16)],
-        vec![C(22,10), R(13), W(19,-32), R(22)],
-        vec![Rd(12,-24), W(15,52), Rd(17,-32), R(20)],
-        vec![C(3,11), Rd(12,-47)],
-        vec![R(21), R(15), Rd(3,-37), C(5,5)],
-        vec![Rd(5,51)],
-        vec![R(17), W(3,-92), W(4,29)],
-        vec![W(4,22)],
-        vec![W(13,95), Rd(17,95), Rd(18,12)],
+        vec![W(5, 1)],
+        vec![R(4)],
+        vec![Rd(18, 64)],
+        vec![W(13, 86)],
+        vec![Rd(21, -59), W(10, -23), R(3)],
+        vec![R(13), W(21, -73), C(17, 13), R(19)],
+        vec![C(20, 13), C(18, 18), Rd(2, -38)],
+        vec![C(18, 22), R(15)],
+        vec![W(8, -27), Rd(0, -88), Rd(7, -18)],
+        vec![W(16, -8), R(18), R(14), R(5)],
+        vec![Rd(5, -82), W(8, 36), R(13)],
+        vec![Rd(14, -88), R(19), W(19, 83), W(2, -61)],
+        vec![C(2, 12), C(6, 13)],
+        vec![W(20, 22), R(1)],
+        vec![W(23, 97)],
+        vec![W(10, 29)],
+        vec![W(4, -70), C(14, 16)],
+        vec![C(22, 10), R(13), W(19, -32), R(22)],
+        vec![Rd(12, -24), W(15, 52), Rd(17, -32), R(20)],
+        vec![C(3, 11), Rd(12, -47)],
+        vec![R(21), R(15), Rd(3, -37), C(5, 5)],
+        vec![Rd(5, 51)],
+        vec![R(17), W(3, -92), W(4, 29)],
+        vec![W(4, 22)],
+        vec![W(13, 95), Rd(17, 95), Rd(18, 12)],
         vec![R(16)],
-        vec![W(23,-73), C(5,21)],
-        vec![C(19,14), R(20), Rd(17,-85)],
-        vec![W(22,-95), C(2,19)],
-        vec![Rd(8,51)],
-        vec![Rd(23,55), Rd(6,19)],
+        vec![W(23, -73), C(5, 21)],
+        vec![C(19, 14), R(20), Rd(17, -85)],
+        vec![W(22, -95), C(2, 19)],
+        vec![Rd(8, 51)],
+        vec![Rd(23, 55), Rd(6, 19)],
         vec![R(3)],
-        vec![W(19,-14)],
-        vec![R(17), C(18,23), C(0,22)],
-        vec![Rd(11,65), W(18,55), W(20,63), Rd(23,91)],
-        vec![C(12,4)],
-        vec![Rd(18,-26), W(10,72), Rd(10,76)],
-        vec![W(19,21)],
-        vec![W(10,-45), Rd(8,75), Rd(8,-8)],
-        vec![Rd(16,54), W(12,12), W(21,-87)],
+        vec![W(19, -14)],
+        vec![R(17), C(18, 23), C(0, 22)],
+        vec![Rd(11, 65), W(18, 55), W(20, 63), Rd(23, 91)],
+        vec![C(12, 4)],
+        vec![Rd(18, -26), W(10, 72), Rd(10, 76)],
+        vec![W(19, 21)],
+        vec![W(10, -45), Rd(8, 75), Rd(8, -8)],
+        vec![Rd(16, 54), W(12, 12), W(21, -87)],
     ]
 }
 
@@ -62,11 +70,17 @@ fn rlrpd_multi_round_regression() {
                 R(x) => acc += ctx.read(x),
                 W(x, v) => ctx.write(x, v as f64 + acc * 1e-9),
                 Rd(x, v) => ctx.reduce(x, v as f64),
-                C(a, b) => { let v = ctx.read(a); ctx.write(b, v + 1.0); }
+                C(a, b) => {
+                    let v = ctx.read(a);
+                    ctx.write(b, v + 1.0);
+                }
             }
         }
     };
-    let seeds: Vec<f64> = vec![23.,21.,-18.,39.,14.,14.,-40.,27.,-25.,-11.,-36.,-43.,-21.,6.,-49.,-22.,-6.,34.,36.,-45.,49.,30.,-33.,-33.];
+    let seeds: Vec<f64> = vec![
+        23., 21., -18., 39., 14., 14., -40., 27., -25., -11., -36., -43., -21., 6., -49., -22.,
+        -6., 34., 36., -45., 49., 30., -33., -33.,
+    ];
     let mut expect = seeds.clone();
     run_sequential(&mut expect, 0..ops.len(), &body);
 
@@ -80,10 +94,17 @@ fn rlrpd_multi_round_regression() {
         round += 1;
         let chunks = spec.run_window(&data, start..ops.len(), &body);
         let outcome = spec.analyze(&chunks);
-        eprintln!("round {round}: window [{start}..{}) chunks {:?} earliest {:?}",
-            ops.len(), chunks, outcome.earliest);
+        eprintln!(
+            "round {round}: window [{start}..{}) chunks {:?} earliest {:?}",
+            ops.len(),
+            chunks,
+            outcome.earliest
+        );
         match outcome.earliest {
-            None => { spec.commit(&mut data, threads); start = ops.len(); }
+            None => {
+                spec.commit(&mut data, threads);
+                start = ops.len();
+            }
             Some(dep) => {
                 spec.commit(&mut data, dep.sink_chunk);
                 start = chunks[dep.sink_chunk].start;

@@ -75,22 +75,108 @@ pub fn fig3_rows() -> Vec<Fig3Row> {
         }
     };
     vec![
-        r("Irreg", "do100", 2, 100_000, 25.0, 100.0, 0.92, "rep", "rep", true),
-        r("Irreg", "do100", 2, 500_000, 5.0, 20.0, 0.71, "lw", "lw", true),
-        r("Irreg", "do100", 2, 1_000_000, 1.25, 5.0, 0.40, "lw", "lw", true),
-        r("Irreg", "do100", 2, 2_000_000, 0.25, 1.0, 0.26, "sel", "sel", true),
-        r("Nbf", "do50", 1, 25_600, 25.0, 200.0, 0.25, "ll", "sel", false),
-        r("Nbf", "do50", 1, 128_000, 6.25, 50.0, 0.25, "sel", "sel", false),
-        r("Nbf", "do50", 1, 256_000, 0.625, 5.0, 0.25, "sel", "sel", false),
-        r("Nbf", "do50", 1, 1_280_000, 0.25, 2.0, 0.25, "sel", "sel", false),
-        r("Moldyn", "ComputeForces", 2, 16_384, 23.94, 95.75, 0.41, "rep", "rep", false),
-        r("Moldyn", "ComputeForces", 2, 42_592, 7.75, 31.0, 0.36, "rep", "rep", false),
-        r("Moldyn", "ComputeForces", 2, 70_304, 1.69, 6.75, 0.33, "ll", "ll", false),
-        r("Moldyn", "ComputeForces", 2, 87_808, 0.375, 1.5, 0.29, "ll", "ll", false),
-        r("Spark98", "smvpthread", 1, 30_169, 0.625, 5.0, 0.18, "sel", "sel", false),
-        r("Spark98", "smvpthread", 1, 7_294, 0.6, 4.8, 0.2, "sel", "ll", false),
-        r("Charmm", "do78", 2, 332_288, 35.88, 17.9, 0.14, "sel", "ll", false),
-        r("Spice", "bjt100", 28, 186_943, 0.14, 0.04, 0.125, "hash", "hash", false),
+        r(
+            "Irreg", "do100", 2, 100_000, 25.0, 100.0, 0.92, "rep", "rep", true,
+        ),
+        r(
+            "Irreg", "do100", 2, 500_000, 5.0, 20.0, 0.71, "lw", "lw", true,
+        ),
+        r(
+            "Irreg", "do100", 2, 1_000_000, 1.25, 5.0, 0.40, "lw", "lw", true,
+        ),
+        r(
+            "Irreg", "do100", 2, 2_000_000, 0.25, 1.0, 0.26, "sel", "sel", true,
+        ),
+        r(
+            "Nbf", "do50", 1, 25_600, 25.0, 200.0, 0.25, "ll", "sel", false,
+        ),
+        r(
+            "Nbf", "do50", 1, 128_000, 6.25, 50.0, 0.25, "sel", "sel", false,
+        ),
+        r(
+            "Nbf", "do50", 1, 256_000, 0.625, 5.0, 0.25, "sel", "sel", false,
+        ),
+        r(
+            "Nbf", "do50", 1, 1_280_000, 0.25, 2.0, 0.25, "sel", "sel", false,
+        ),
+        r(
+            "Moldyn",
+            "ComputeForces",
+            2,
+            16_384,
+            23.94,
+            95.75,
+            0.41,
+            "rep",
+            "rep",
+            false,
+        ),
+        r(
+            "Moldyn",
+            "ComputeForces",
+            2,
+            42_592,
+            7.75,
+            31.0,
+            0.36,
+            "rep",
+            "rep",
+            false,
+        ),
+        r(
+            "Moldyn",
+            "ComputeForces",
+            2,
+            70_304,
+            1.69,
+            6.75,
+            0.33,
+            "ll",
+            "ll",
+            false,
+        ),
+        r(
+            "Moldyn",
+            "ComputeForces",
+            2,
+            87_808,
+            0.375,
+            1.5,
+            0.29,
+            "ll",
+            "ll",
+            false,
+        ),
+        r(
+            "Spark98",
+            "smvpthread",
+            1,
+            30_169,
+            0.625,
+            5.0,
+            0.18,
+            "sel",
+            "sel",
+            false,
+        ),
+        r(
+            "Spark98",
+            "smvpthread",
+            1,
+            7_294,
+            0.6,
+            4.8,
+            0.2,
+            "sel",
+            "ll",
+            false,
+        ),
+        r(
+            "Charmm", "do78", 2, 332_288, 35.88, 17.9, 0.14, "sel", "ll", false,
+        ),
+        r(
+            "Spice", "bjt100", 28, 186_943, 0.14, 0.04, 0.125, "hash", "hash", false,
+        ),
     ]
 }
 
@@ -260,13 +346,15 @@ impl Table2Row {
                 // references spread over edge endpoints revisited per
                 // iteration: we model it as red_ops/2 edges' endpoints.
                 let refs = self.red_ops_per_iter.max(2);
-                
+
                 PatternSpec {
                     num_elements: n,
                     iterations: iters,
                     refs_per_iter: refs,
                     coverage: 1.0,
-                    dist: Distribution::Clustered { window: locality as u32 },
+                    dist: Distribution::Clustered {
+                        window: locality as u32,
+                    },
                     seed,
                 }
                 .generate()
@@ -278,8 +366,7 @@ impl Table2Row {
                 // — the property the flush/displacement behaviour depends
                 // on.
                 let rows = iters.min(n);
-                let mut p =
-                    smvp_pattern(rows.max(2), self.red_ops_per_iter, bandwidth, seed);
+                let mut p = smvp_pattern(rows.max(2), self.red_ops_per_iter, bandwidth, seed);
                 p.num_elements = n;
                 debug_assert!(p.validate().is_ok());
                 p
@@ -393,8 +480,8 @@ mod tests {
     fn work_per_iter_accounts_for_reduction_instrs() {
         for row in table2_rows() {
             let (int, fp) = row.work_per_iter();
-            let total = int as usize + fp as usize + row.red_ops_per_iter * 3
-                + row.red_ops_per_iter;
+            let total =
+                int as usize + fp as usize + row.red_ops_per_iter * 3 + row.red_ops_per_iter;
             assert!(
                 total <= row.instrs_per_iter + 1,
                 "{}: {} > {}",

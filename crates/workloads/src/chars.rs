@@ -98,8 +98,16 @@ impl PatternChars {
             references: pat.num_references(),
             distinct,
             distinct_lines,
-            mo: if iters > 0 { mo_sum as f64 / iters as f64 } else { 0.0 },
-            con: if distinct > 0 { iters as f64 / distinct as f64 } else { 0.0 },
+            mo: if iters > 0 {
+                mo_sum as f64 / iters as f64
+            } else {
+                0.0
+            },
+            con: if distinct > 0 {
+                iters as f64 / distinct as f64
+            } else {
+                0.0
+            },
             sp: if pat.num_elements > 0 {
                 distinct as f64 / pat.num_elements as f64
             } else {

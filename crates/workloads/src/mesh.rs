@@ -113,9 +113,8 @@ impl PatternSpec {
                         (r.wrapping_mul(0x9E3779B1)) % active
                     }
                     Distribution::Clustered { window } => {
-                        let center = (i as u64 * active as u64
-                            / self.iterations.max(1) as u64)
-                            as i64;
+                        let center =
+                            (i as u64 * active as u64 / self.iterations.max(1) as u64) as i64;
                         let off = rng.gen_range(-(window as i64)..=window as i64);
                         (center + off).rem_euclid(active as i64) as usize
                     }
@@ -124,7 +123,11 @@ impl PatternSpec {
             }
             iter_ptr.push(indices.len() as u32);
         }
-        let pat = AccessPattern { num_elements: self.num_elements, iter_ptr, indices };
+        let pat = AccessPattern {
+            num_elements: self.num_elements,
+            iter_ptr,
+            indices,
+        };
         debug_assert!(pat.validate().is_ok());
         pat
     }
@@ -153,7 +156,11 @@ pub fn edge_list(nodes: usize, edges: usize, locality: usize, seed: u64) -> Acce
         indices.push(b as u32);
         iter_ptr.push(indices.len() as u32);
     }
-    AccessPattern { num_elements: nodes, iter_ptr, indices }
+    AccessPattern {
+        num_elements: nodes,
+        iter_ptr,
+        indices,
+    }
 }
 
 /// A sparse matrix in CSR shape for SMVP-style reductions (Equake/Spark98):
@@ -270,7 +277,10 @@ mod tests {
         assert_eq!(p.num_iterations(), 2000);
         assert_eq!(p.num_references(), 4000);
         let c = PatternChars::measure(&p);
-        assert!((c.mo - 2.0).abs() < 0.05, "edges update two distinct endpoints");
+        assert!(
+            (c.mo - 2.0).abs() < 0.05,
+            "edges update two distinct endpoints"
+        );
         // Locality: endpoints within 10 of each other.
         for i in 0..p.num_iterations() {
             let r = p.refs(i);
@@ -307,7 +317,10 @@ mod tests {
         };
         let full = mk(1.0);
         let tenth = mk(0.1);
-        assert!(tenth < full / 5, "coverage 0.1 -> far fewer distinct: {tenth} vs {full}");
+        assert!(
+            tenth < full / 5,
+            "coverage 0.1 -> far fewer distinct: {tenth} vs {full}"
+        );
         assert!(tenth <= 1000);
     }
 

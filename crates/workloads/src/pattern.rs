@@ -32,7 +32,11 @@ impl AccessPattern {
             }
             iter_ptr.push(indices.len() as u32);
         }
-        AccessPattern { num_elements, iter_ptr, indices }
+        AccessPattern {
+            num_elements,
+            iter_ptr,
+            indices,
+        }
     }
 
     /// Number of iterations.
@@ -62,9 +66,8 @@ impl AccessPattern {
 
     /// Iterate `(iteration, reference slot, element index)` triples.
     pub fn iter_refs(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
-        (0..self.num_iterations()).flat_map(move |i| {
-            self.ref_range(i).map(move |r| (i, r, self.indices[r]))
-        })
+        (0..self.num_iterations())
+            .flat_map(move |i| self.ref_range(i).map(move |r| (i, r, self.indices[r])))
     }
 
     /// Number of distinct elements referenced.
@@ -106,8 +109,10 @@ impl AccessPattern {
         if self.iter_ptr.windows(2).any(|w| w[0] > w[1]) {
             return Err("iter_ptr must be nondecreasing".into());
         }
-        if let Some(&bad) =
-            self.indices.iter().find(|&&x| x as usize >= self.num_elements)
+        if let Some(&bad) = self
+            .indices
+            .iter()
+            .find(|&&x| x as usize >= self.num_elements)
         {
             return Err(format!("index {bad} out of bounds ({})", self.num_elements));
         }

@@ -41,7 +41,12 @@ pub struct TraceParams {
 
 impl Default for TraceParams {
     fn default() -> Self {
-        TraceParams { work_int: 20, work_fp: 8, op: RedOp::AddF64, values: false }
+        TraceParams {
+            work_int: 20,
+            work_fp: 8,
+            op: RedOp::AddF64,
+            values: false,
+        }
     }
 }
 
@@ -58,16 +63,18 @@ pub fn block_range(iters: usize, p: usize, nprocs: usize) -> std::ops::Range<usi
 pub fn elem_block_range(elems: usize, p: usize, nprocs: usize) -> std::ops::Range<usize> {
     let align = |x: usize| x / 8 * 8;
     let lo = if p == 0 { 0 } else { align(elems * p / nprocs) };
-    let hi = if p + 1 == nprocs { elems } else { align(elems * (p + 1) / nprocs) };
+    let hi = if p + 1 == nprocs {
+        elems
+    } else {
+        align(elems * (p + 1) / nprocs)
+    };
     lo..hi
 }
 
 fn val_bits(params: &TraceParams, ref_slot: usize) -> u64 {
     if params.values {
         match params.op {
-            RedOp::AddI64 | RedOp::OrI64 => {
-                crate::pattern::contribution_i64(ref_slot) as u64
-            }
+            RedOp::AddI64 | RedOp::OrI64 => crate::pattern::contribution_i64(ref_slot) as u64,
             _ => contribution(ref_slot).to_bits(),
         }
     } else {
@@ -83,7 +90,10 @@ struct Buffered<S> {
 
 impl<S> Buffered<S> {
     fn new(state: S) -> Self {
-        Buffered { buf: VecDeque::with_capacity(64), state }
+        Buffered {
+            buf: VecDeque::with_capacity(64),
+            state,
+        }
     }
 }
 
@@ -107,7 +117,11 @@ pub struct SeqTrace {
 impl SeqTrace {
     /// Build the sequential trace for processor 0.
     pub fn new(pat: Arc<AccessPattern>, params: TraceParams) -> Self {
-        SeqTrace { pat, params, inner: Buffered::new(SeqState::Start) }
+        SeqTrace {
+            pat,
+            params,
+            inner: Buffered::new(SeqState::Start),
+        }
     }
 }
 
@@ -120,7 +134,10 @@ impl TraceSource for SeqTrace {
             match self.inner.state {
                 SeqState::Start => {
                     self.inner.buf.push_back(Inst::SetPhase(Phase::Loop));
-                    self.inner.state = SeqState::Loop { iter: 0, idx_cursor: 0 };
+                    self.inner.state = SeqState::Loop {
+                        iter: 0,
+                        idx_cursor: 0,
+                    };
                 }
                 SeqState::Loop { iter, idx_cursor } => {
                     if iter >= self.pat.num_iterations() {
@@ -146,8 +163,10 @@ impl TraceSource for SeqTrace {
                         self.inner.buf.push_back(Inst::Load { addr: a });
                         self.inner.buf.push_back(Inst::Store { addr: a, val: 0 });
                     }
-                    self.inner.state =
-                        SeqState::Loop { iter: iter + 1, idx_cursor: cursor };
+                    self.inner.state = SeqState::Loop {
+                        iter: iter + 1,
+                        idx_cursor: cursor,
+                    };
                 }
                 SeqState::Done => return None,
             }
@@ -182,7 +201,13 @@ impl SwRepTrace {
     /// Build processor `p`'s trace of the Sw scheme over `nprocs`.
     pub fn new(pat: Arc<AccessPattern>, p: usize, nprocs: usize, params: TraceParams) -> Self {
         assert!(p < nprocs);
-        SwRepTrace { pat, p, nprocs, params, inner: Buffered::new(SwState::Start) }
+        SwRepTrace {
+            pat,
+            p,
+            nprocs,
+            params,
+            inner: Buffered::new(SwState::Start),
+        }
     }
 
     fn private(&self, e: u64) -> Addr {
@@ -219,9 +244,11 @@ impl TraceSource for SwRepTrace {
                 SwState::LoopStart => {
                     self.inner.buf.push_back(Inst::Barrier);
                     self.inner.buf.push_back(Inst::SetPhase(Phase::Loop));
-                    let start = block_range(self.pat.num_iterations(), self.p, self.nprocs)
-                        .start;
-                    self.inner.state = SwState::Loop { iter: start, idx_cursor: 0 };
+                    let start = block_range(self.pat.num_iterations(), self.p, self.nprocs).start;
+                    self.inner.state = SwState::Loop {
+                        iter: start,
+                        idx_cursor: 0,
+                    };
                 }
                 SwState::Loop { iter, idx_cursor } => {
                     let range = block_range(self.pat.num_iterations(), self.p, self.nprocs);
@@ -247,13 +274,15 @@ impl TraceSource for SwRepTrace {
                         self.inner.buf.push_back(Inst::Load { addr: a });
                         self.inner.buf.push_back(Inst::Store { addr: a, val: 0 });
                     }
-                    self.inner.state = SwState::Loop { iter: iter + 1, idx_cursor: cursor };
+                    self.inner.state = SwState::Loop {
+                        iter: iter + 1,
+                        idx_cursor: cursor,
+                    };
                 }
                 SwState::MergeStart => {
                     self.inner.buf.push_back(Inst::Barrier);
                     self.inner.buf.push_back(Inst::SetPhase(Phase::Merge));
-                    let start =
-                        elem_block_range(self.pat.num_elements, self.p, self.nprocs).start;
+                    let start = elem_block_range(self.pat.num_elements, self.p, self.nprocs).start;
                     self.inner.state = SwState::Merge { next_elem: start };
                 }
                 SwState::Merge { next_elem } => {
@@ -316,7 +345,13 @@ impl PclrTrace {
     /// Build processor `p`'s PCLR trace over `nprocs`.
     pub fn new(pat: Arc<AccessPattern>, p: usize, nprocs: usize, params: TraceParams) -> Self {
         assert!(p < nprocs);
-        PclrTrace { pat, p, nprocs, params, inner: Buffered::new(PclrState::Start) }
+        PclrTrace {
+            pat,
+            p,
+            nprocs,
+            params,
+            inner: Buffered::new(PclrState::Start),
+        }
     }
 }
 
@@ -328,12 +363,16 @@ impl TraceSource for PclrTrace {
             }
             match self.inner.state {
                 PclrState::Start => {
-                    self.inner.buf.push_back(Inst::ConfigPclr { op: self.params.op });
+                    self.inner
+                        .buf
+                        .push_back(Inst::ConfigPclr { op: self.params.op });
                     self.inner.buf.push_back(Inst::Barrier);
                     self.inner.buf.push_back(Inst::SetPhase(Phase::Loop));
-                    let start =
-                        block_range(self.pat.num_iterations(), self.p, self.nprocs).start;
-                    self.inner.state = PclrState::Loop { iter: start, idx_cursor: 0 };
+                    let start = block_range(self.pat.num_iterations(), self.p, self.nprocs).start;
+                    self.inner.state = PclrState::Loop {
+                        iter: start,
+                        idx_cursor: 0,
+                    };
                 }
                 PclrState::Loop { iter, idx_cursor } => {
                     let range = block_range(self.pat.num_iterations(), self.p, self.nprocs);
@@ -361,7 +400,10 @@ impl TraceSource for PclrTrace {
                             val: val_bits(&self.params, r),
                         });
                     }
-                    self.inner.state = PclrState::Loop { iter: iter + 1, idx_cursor: cursor };
+                    self.inner.state = PclrState::Loop {
+                        iter: iter + 1,
+                        idx_cursor: cursor,
+                    };
                 }
                 PclrState::FlushStart => {
                     self.inner.buf.push_back(Inst::SetPhase(Phase::Merge));
@@ -389,14 +431,12 @@ pub fn traces_for(
         }
         SimScheme::Sw => (0..nprocs)
             .map(|p| {
-                Box::new(SwRepTrace::new(pat.clone(), p, nprocs, params))
-                    as Box<dyn TraceSource>
+                Box::new(SwRepTrace::new(pat.clone(), p, nprocs, params)) as Box<dyn TraceSource>
             })
             .collect(),
         SimScheme::Pclr => (0..nprocs)
             .map(|p| {
-                Box::new(PclrTrace::new(pat.clone(), p, nprocs, params))
-                    as Box<dyn TraceSource>
+                Box::new(PclrTrace::new(pat.clone(), p, nprocs, params)) as Box<dyn TraceSource>
             })
             .collect(),
     }
@@ -512,10 +552,7 @@ mod tests {
                 TraceParams::default(),
             )));
             assert!(matches!(insts[0], Inst::ConfigPclr { .. }));
-            assert_eq!(
-                insts.iter().filter(|i| matches!(i, Inst::Flush)).count(),
-                1
-            );
+            assert_eq!(insts.iter().filter(|i| matches!(i, Inst::Flush)).count(), 1);
             assert!(!insts
                 .iter()
                 .any(|i| matches!(i, Inst::SetPhase(Phase::Init))));
@@ -565,7 +602,10 @@ mod tests {
     #[test]
     fn values_embedded_when_requested() {
         let pat = small_pattern();
-        let params = TraceParams { values: true, ..Default::default() };
+        let params = TraceParams {
+            values: true,
+            ..Default::default()
+        };
         let insts = drain(Box::new(PclrTrace::new(pat, 0, 1, params)));
         let nonzero = insts
             .iter()

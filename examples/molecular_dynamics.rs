@@ -18,7 +18,9 @@ fn interaction_list(atoms: usize, pairs: usize, temperature: f64, seed: u64) -> 
         iterations: pairs,
         refs_per_iter: 2,
         coverage: 1.0,
-        dist: Distribution::Clustered { window: window.max(8) },
+        dist: Distribution::Clustered {
+            window: window.max(8),
+        },
         seed,
     }
     .generate()

@@ -20,7 +20,9 @@ fn main() {
     cfg.track_values = true;
     let traces: Vec<Box<dyn TraceSource>> = (0..nodes)
         .map(|p| {
-            let mut b = TraceBuilder::new().config_pclr(RedOp::AddI64).phase(Phase::Loop);
+            let mut b = TraceBuilder::new()
+                .config_pclr(RedOp::AddI64)
+                .phase(Phase::Loop);
             for k in 0..100u64 {
                 let elem = (p as u64 * 37 + k) % 64;
                 b = b.red_update(to_shadow(regions::shared_elem(elem)), 1);
@@ -30,8 +32,13 @@ fn main() {
         .collect();
     let mut m = Machine::new(cfg, traces);
     let stats = m.run();
-    let total: u64 = (0..64u64).map(|e| m.peek_memory(regions::shared_elem(e))).sum();
-    println!("PCLR value check: {} updates combined -> sum {} (expected 400)", 400, total);
+    let total: u64 = (0..64u64)
+        .map(|e| m.peek_memory(regions::shared_elem(e)))
+        .sum();
+    println!(
+        "PCLR value check: {} updates combined -> sum {} (expected 400)",
+        400, total
+    );
     assert_eq!(total, 400);
     println!(
         "  reduction fills: {}, lines flushed: {}, combines: {}\n",
@@ -57,12 +64,18 @@ fn main() {
         let mut m = Machine::new(cfg, traces_for(scheme, &pat, n, params));
         m.run()
     };
-    println!("synthetic loop: {} refs over 1 MB array, {procs} processors", pat.num_references());
+    println!(
+        "synthetic loop: {} refs over 1 MB array, {procs} processors",
+        pat.num_references()
+    );
     let seq = run(SimScheme::Seq, MachineConfig::table1(1));
     let sw = run(SimScheme::Sw, MachineConfig::table1(procs));
     let hw = run(SimScheme::Pclr, MachineConfig::table1(procs));
     let flex = run(SimScheme::Pclr, MachineConfig::flex(procs));
-    println!("  {:5} {:>12} {:>10} {:>10} {:>10} {:>8}", "sys", "cycles", "init", "loop", "merge", "speedup");
+    println!(
+        "  {:5} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "sys", "cycles", "init", "loop", "merge", "speedup"
+    );
     for (name, s) in [("Seq", &seq), ("Sw", &sw), ("Hw", &hw), ("Flex", &flex)] {
         let b = s.breakdown();
         println!(

@@ -37,8 +37,7 @@ fn main() {
 
     // 2. Every fixed scheme, for comparison.
     println!("\nfixed schemes on {threads} threads:");
-    let (ranking, seq_time) =
-        rank_schemes(&pattern, &|_i, r| contribution(r), threads, true, 3);
+    let (ranking, seq_time) = rank_schemes(&pattern, &|_i, r| contribution(r), threads, true, 3);
     println!("  sequential: {seq_time:.2?}");
     for t in &ranking {
         println!(
@@ -52,7 +51,11 @@ fn main() {
     println!(
         "\nmeasured best = `{best}`; adaptive runtime chose `{}` -> {}",
         log.scheme,
-        if log.scheme == best { "optimal" } else { "within the top choices" }
+        if log.scheme == best {
+            "optimal"
+        } else {
+            "within the top choices"
+        }
     );
 
     // Results are identical whichever scheme ran.

@@ -1,0 +1,87 @@
+//! The persistent reduction service, end to end: start a runtime, feed it
+//! concurrent jobs from several client threads, restart it, and show the
+//! profile store carrying the learned scheme decisions across the restart.
+//!
+//! ```text
+//! cargo run --release --example reduction_service
+//! ```
+
+use smartapps::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let profile_path = std::env::temp_dir().join("smartapps-example-profiles.txt");
+    let _ = std::fs::remove_file(&profile_path);
+    let config = RuntimeConfig {
+        workers: 4,
+        profile_path: Some(profile_path.clone()),
+        ..RuntimeConfig::default()
+    };
+
+    // Two workload classes: a dense mesh and a sparse scatter.
+    let mesh = Arc::new(smartapps::workloads::apps::irreg_mesh(20_000, 80_000, 7));
+    let sparse = Arc::new(
+        PatternSpec {
+            num_elements: 400_000,
+            iterations: 3_000,
+            refs_per_iter: 2,
+            coverage: 0.004,
+            dist: Distribution::Uniform,
+            seed: 11,
+        }
+        .generate(),
+    );
+
+    println!("== first service lifetime (cold store) ==");
+    {
+        let rt = Arc::new(Runtime::new(config.clone()));
+        std::thread::scope(|s| {
+            for c in 0..3 {
+                let rt = rt.clone();
+                let mesh = mesh.clone();
+                let sparse = sparse.clone();
+                s.spawn(move || {
+                    for j in 0..10 {
+                        let pat = if (c + j) % 2 == 0 {
+                            mesh.clone()
+                        } else {
+                            sparse.clone()
+                        };
+                        let r = rt.run(JobSpec::f64(pat, |_i, rf| contribution(rf)));
+                        if j == 0 {
+                            println!(
+                                "  client {c}: scheme {} in {:?} (profile hit: {})",
+                                r.scheme, r.elapsed, r.profile_hit
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let stats = rt.stats();
+        println!(
+            "  30 jobs -> {} batches, {} coalesced, {} inspections, {} profile hits",
+            stats.batches, stats.coalesced, stats.inspections, stats.profile_hits
+        );
+        // Runtime::drop persists the store to profile_path.
+    }
+
+    println!(
+        "== restarted service (warm store from {}) ==",
+        profile_path.display()
+    );
+    {
+        let rt = Runtime::new(config);
+        for (name, pat) in [("mesh", mesh.clone()), ("sparse", sparse.clone())] {
+            let r = rt.run(JobSpec::f64(pat, |_i, rf| contribution(rf)));
+            println!(
+                "  {name}: scheme {} in {:?} (profile hit: {}, inspections so far: {})",
+                r.scheme,
+                r.elapsed,
+                r.profile_hit,
+                rt.stats().inspections
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&profile_path);
+}

@@ -29,7 +29,13 @@ fn main() {
     for (s, cost) in &pred.ranking {
         println!("  {:4}  predicted cost {:.3e}", s.abbrev(), cost);
     }
-    let y = run_scheme(pred.best(), &pattern, &|_i, r| contribution(r), threads, Some(&insp));
+    let y = run_scheme(
+        pred.best(),
+        &pattern,
+        &|_i, r| contribution(r),
+        threads,
+        Some(&insp),
+    );
     println!("chose {} -> y[0..4] = {:?}\n", pred.best(), &y[..4]);
 
     // --- SPICE: circuit stamps into a sparse device matrix. ------------
@@ -60,8 +66,16 @@ fn main() {
     );
     // Demonstrate why: time hash vs rep on this pattern.
     let (ranking, _seq) = rank_schemes(&spice, &|_i, r| contribution(r), threads, false, 5);
-    let hash_t = ranking.iter().find(|t| t.scheme == Scheme::Hash).unwrap().elapsed;
-    let rep_t = ranking.iter().find(|t| t.scheme == Scheme::Rep).unwrap().elapsed;
+    let hash_t = ranking
+        .iter()
+        .find(|t| t.scheme == Scheme::Hash)
+        .unwrap()
+        .elapsed;
+    let rep_t = ranking
+        .iter()
+        .find(|t| t.scheme == Scheme::Rep)
+        .unwrap()
+        .elapsed;
     println!(
         "measured: hash {:.2?} vs rep {:.2?} ({:.0}x) — rep pays O(N) sweeps of a\n\
          1.5 MB replica per thread for only {} updates",

@@ -62,10 +62,12 @@ fn main() {
     );
     println!(
         "  speculative iterations {} (re-executed {}), dependences/round {:?}",
-        report.speculative_iterations, report.reexecuted_iterations,
-        report.dependences_per_round
+        report.speculative_iterations, report.reexecuted_iterations, report.dependences_per_round
     );
-    assert_eq!(data, expect, "R-LRPD must produce the exact sequential result");
+    assert_eq!(
+        data, expect,
+        "R-LRPD must produce the exact sequential result"
+    );
     println!("  result matches the sequential execution exactly");
 
     // --- Feedback-guided block scheduling on a triangular loop. ----------
@@ -80,9 +82,7 @@ fn main() {
             }
             std::hint::black_box(acc);
         });
-        println!(
-            "  invocation {invocation}: measured imbalance {imbalance:.3} (1.0 = perfect)"
-        );
+        println!("  invocation {invocation}: measured imbalance {imbalance:.3} (1.0 = perfect)");
     }
     println!("  block boundaries converged to {:?}", sched.schedule());
 }

@@ -40,9 +40,39 @@
 //! assert_eq!(forces.len(), 10_000);
 //! println!("runtime chose {} ({} refs)", log.scheme, pattern.num_references());
 //! ```
+//!
+//! ## Runtime service
+//!
+//! The library calls above spawn threads per invocation and forget
+//! everything at process exit.  [`runtime`] (`smartapps-runtime`) is the
+//! continuously-running service shape of the same feedback loop:
+//!
+//! * a **persistent worker pool** keeps SPMD workers parked between
+//!   invocations, so repeated reductions pay zero thread-creation cost;
+//! * a **sharded job queue** accepts [`Runtime::submit`] /
+//!   `submit_batch` traffic from many client threads and coalesces jobs
+//!   with the same pattern signature into one scheme decision;
+//! * a **cross-run profile store** persists signature → scheme +
+//!   calibration to disk at shutdown, so a restarted service skips full
+//!   inspection for workloads it has already learned.
+//!
+//! ```
+//! use smartapps::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::with_workers(4);
+//! let pattern = Arc::new(smartapps::workloads::apps::irreg_mesh(10_000, 40_000, 42));
+//! let first = rt.run(JobSpec::f64(pattern.clone(), |_i, r| contribution(r)));
+//! let again = rt.run(JobSpec::f64(pattern, |_i, r| contribution(r)));
+//! assert!(again.profile_hit); // decision reused, no second inspection
+//! assert_eq!(first.output.len(), 10_000);
+//! ```
+//!
+//! [`Runtime::submit`]: smartapps_runtime::Runtime::submit
 
 pub use smartapps_core as core;
 pub use smartapps_reductions as reductions;
+pub use smartapps_runtime as runtime;
 pub use smartapps_sim as sim;
 pub use smartapps_specpar as specpar;
 pub use smartapps_workloads as workloads;
@@ -53,11 +83,13 @@ pub mod prelude {
     pub use smartapps_core::multiversion::{CompiledReduction, Inputs};
     pub use smartapps_core::toolbox::{Adaptation, Optimizer, PerformanceDb, Predictor};
     pub use smartapps_reductions::{
-        rank_schemes, run_scheme, DecisionModel, Inspector, ModelInput, Scheme,
+        rank_schemes, run_scheme, run_scheme_on, DecisionModel, Inspector, ModelInput, Scheme,
+        SpawnExecutor, SpmdExecutor,
     };
-    pub use smartapps_specpar::{
-        lrpd_execute, rlrpd_execute, FgbsScheduler, SpecAccess,
+    pub use smartapps_runtime::{
+        JobHandle, JobResult, JobSpec, ProfileStore, Runtime, RuntimeConfig, WorkerPool,
     };
+    pub use smartapps_specpar::{lrpd_execute, rlrpd_execute, FgbsScheduler, SpecAccess};
     pub use smartapps_workloads::{
         contribution, AccessPattern, Distribution, PatternChars, PatternSpec,
     };

@@ -41,7 +41,11 @@ fn model_extremes_agree_with_measurement() {
     }
     .generate();
     let (ranking, _) = rank_schemes(&dense, &|_i, r| contribution(r), 4, false, 3);
-    assert_ne!(ranking[0].scheme, Scheme::Hash, "hash cannot win dense reuse");
+    assert_ne!(
+        ranking[0].scheme,
+        Scheme::Hash,
+        "hash cannot win dense reuse"
+    );
 
     // Ultra sparse: rep must be last by a wide margin.
     let sparse = PatternSpec {
@@ -68,7 +72,9 @@ fn model_extremes_agree_with_measurement() {
 fn compiled_reduction_end_to_end() {
     use smartapps::core::recognize::build::{histogram_update, indirect_load};
     use smartapps::core::recognize::LoopNest;
-    let l = LoopNest { stmts: vec![histogram_update(0, 1, indirect_load(2, 1))] };
+    let l = LoopNest {
+        stmts: vec![histogram_update(0, 1, indirect_load(2, 1))],
+    };
     let mut c = CompiledReduction::compile(&l, 9, 3, false).unwrap();
     let n = 256;
     let iters = 20_000;

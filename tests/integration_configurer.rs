@@ -15,7 +15,11 @@ use std::sync::Arc;
 fn simulate(conf: &SimConfigurer, pat: &Arc<smartapps::workloads::AccessPattern>) -> u64 {
     let cfg = conf.machine_config();
     let nodes = cfg.nodes;
-    let scheme = if conf.use_pclr() { SimScheme::Pclr } else { SimScheme::Sw };
+    let scheme = if conf.use_pclr() {
+        SimScheme::Pclr
+    } else {
+        SimScheme::Sw
+    };
     let traces = traces_for(scheme, pat, nodes, TraceParams::default());
     let mut m = Machine::with_placement(cfg, traces, conf.placement_policy());
     m.run().total_cycles
@@ -39,14 +43,30 @@ fn configurer_trial_selects_pclr_for_reduction_loop() {
     );
     let candidates = [
         ("sw/first-touch", ReductionHw::Off, Placement::FirstTouch),
-        ("hw/first-touch", ReductionHw::Hardwired, Placement::FirstTouch),
-        ("flex/first-touch", ReductionHw::Programmable, Placement::FirstTouch),
-        ("hw/round-robin", ReductionHw::Hardwired, Placement::RoundRobin),
+        (
+            "hw/first-touch",
+            ReductionHw::Hardwired,
+            Placement::FirstTouch,
+        ),
+        (
+            "flex/first-touch",
+            ReductionHw::Programmable,
+            Placement::FirstTouch,
+        ),
+        (
+            "hw/round-robin",
+            ReductionHw::Hardwired,
+            Placement::RoundRobin,
+        ),
     ];
     let mut results = Vec::new();
     let mut conf = SimConfigurer::new(8);
     for (name, hw, placement) in candidates {
-        let rec = conf.apply(&SystemConfig { threads: 8, reduction_hw: hw, placement });
+        let rec = conf.apply(&SystemConfig {
+            threads: 8,
+            reduction_hw: hw,
+            placement,
+        });
         // Reconfiguration must be visible (each candidate differs).
         assert!(!rec.is_noop() || results.is_empty());
         results.push((name, simulate(&conf, &pat)));
@@ -82,10 +102,25 @@ fn host_configurer_threads_flow_into_execution() {
     }
     .generate();
     let mut host = HostConfigurer::new(8);
-    let w8 = run_scheme(Scheme::Rep, &pat, &|_i, r| contribution(r), host.threads(), None);
-    host.apply(&SystemConfig { threads: 2, ..Default::default() });
+    let w8 = run_scheme(
+        Scheme::Rep,
+        &pat,
+        &|_i, r| contribution(r),
+        host.threads(),
+        None,
+    );
+    host.apply(&SystemConfig {
+        threads: 2,
+        ..Default::default()
+    });
     assert_eq!(host.threads(), 2);
-    let w2 = run_scheme(Scheme::Rep, &pat, &|_i, r| contribution(r), host.threads(), None);
+    let w2 = run_scheme(
+        Scheme::Rep,
+        &pat,
+        &|_i, r| contribution(r),
+        host.threads(),
+        None,
+    );
     for (a, b) in w8.iter().zip(w2.iter()) {
         assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
     }

@@ -47,14 +47,17 @@ fn figure6_ordering_holds_on_synthetic_loop() {
 
     // Phase structure.
     assert_eq!(hw.breakdown().init, 0, "PCLR needs no initialization phase");
-    assert!(sw.breakdown().init > 0, "software scheme pays the init sweep");
+    assert!(
+        sw.breakdown().init > 0,
+        "software scheme pays the init sweep"
+    );
     assert!(
         hw.breakdown().merge < sw.breakdown().merge,
         "flush must be cheaper than the software merge"
     );
     // The flush is bounded by cache capacity.
-    let cache_lines = (MachineConfig::table1(procs).l1.lines()
-        + MachineConfig::table1(procs).l2.lines()) as u64;
+    let cache_lines =
+        (MachineConfig::table1(procs).l1.lines() + MachineConfig::table1(procs).l2.lines()) as u64;
     assert!(hw.counters.red_flushed <= cache_lines * procs as u64);
 }
 
@@ -66,7 +69,11 @@ fn figure7_sw_merge_does_not_scale() {
     let vml = rows.iter().find(|r| r.app == "Vml").unwrap();
     let pat = Arc::new(vml.pattern(vml.iters_per_invocation, 7));
     let (int, fp) = vml.work_per_iter();
-    let params = TraceParams { work_int: int, work_fp: fp, ..Default::default() };
+    let params = TraceParams {
+        work_int: int,
+        work_fp: fp,
+        ..Default::default()
+    };
 
     let mut sw_merge = Vec::new();
     let mut hw_total = Vec::new();
@@ -99,7 +106,11 @@ fn figure6_harmonic_means_ordered() {
         let iters = (row.iters_per_invocation / 20).max(500);
         let pat = Arc::new(row.pattern(iters, 3));
         let (int, fp) = row.work_per_iter();
-        let params = TraceParams { work_int: int, work_fp: fp, ..Default::default() };
+        let params = TraceParams {
+            work_int: int,
+            work_fp: fp,
+            ..Default::default()
+        };
         let seq = run(&pat, SimScheme::Seq, MachineConfig::table1(1), params);
         let sw = run(&pat, SimScheme::Sw, MachineConfig::table1(8), params);
         let hw = run(&pat, SimScheme::Pclr, MachineConfig::table1(8), params);
@@ -108,9 +119,15 @@ fn figure6_harmonic_means_ordered() {
         hw_s.push(seq.total_cycles as f64 / hw.total_cycles as f64);
         flex_s.push(seq.total_cycles as f64 / flex.total_cycles as f64);
     }
-    let (sw, hw, flex) =
-        (harmonic_mean(&sw_s), harmonic_mean(&hw_s), harmonic_mean(&flex_s));
-    assert!(hw > flex && flex > sw, "ordering: Hw {hw:.2} > Flex {flex:.2} > Sw {sw:.2}");
+    let (sw, hw, flex) = (
+        harmonic_mean(&sw_s),
+        harmonic_mean(&hw_s),
+        harmonic_mean(&flex_s),
+    );
+    assert!(
+        hw > flex && flex > sw,
+        "ordering: Hw {hw:.2} > Flex {flex:.2} > Sw {sw:.2}"
+    );
 }
 
 /// Value tracking through the full pipeline: a PCLR simulation of a

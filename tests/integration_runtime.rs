@@ -1,0 +1,188 @@
+//! End-to-end tests of the persistent reduction service: many concurrent
+//! clients hammering one runtime, bit-exact results against the
+//! sequential oracle, and profile-store persistence across a restart.
+
+use smartapps::runtime::{JobSpec, ProfileStore, Runtime, RuntimeConfig};
+use smartapps::workloads::pattern::{sequential_reduce, sequential_reduce_i64};
+use smartapps::workloads::{
+    contribution, contribution_i64, AccessPattern, Distribution, PatternSpec,
+};
+use std::sync::Arc;
+
+fn pattern(seed: u64, elems: usize, iters: usize, cov: f64) -> Arc<AccessPattern> {
+    Arc::new(
+        PatternSpec {
+            num_elements: elems,
+            iterations: iters,
+            refs_per_iter: 2,
+            coverage: cov,
+            dist: Distribution::Uniform,
+            seed,
+        }
+        .generate(),
+    )
+}
+
+/// The ISSUE's headline test: ≥100 jobs submitted concurrently from
+/// multiple client threads; every integer result must equal the
+/// sequential oracle bit-for-bit and every f64 result within tolerance.
+#[test]
+fn hundred_concurrent_jobs_match_oracles() {
+    let rt = Arc::new(Runtime::with_workers(4));
+    // Four workload classes of different shapes, each with a precomputed
+    // oracle.
+    let classes: Vec<Arc<AccessPattern>> = vec![
+        pattern(1, 1000, 4000, 1.0),
+        pattern(2, 4096, 2000, 0.5),
+        pattern(3, 300, 6000, 0.9),
+        pattern(4, 20_000, 1500, 0.05),
+    ];
+    let i64_oracles: Vec<Vec<i64>> = classes.iter().map(|p| sequential_reduce_i64(p)).collect();
+    let f64_oracles: Vec<Vec<f64>> = classes.iter().map(|p| sequential_reduce(p)).collect();
+
+    const CLIENTS: usize = 6;
+    const JOBS_PER_CLIENT: usize = 20; // 120 jobs total
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let rt = rt.clone();
+            let classes = &classes;
+            let i64_oracles = &i64_oracles;
+            let f64_oracles = &f64_oracles;
+            s.spawn(move || {
+                for j in 0..JOBS_PER_CLIENT {
+                    let k = (c + j) % classes.len();
+                    let pat = classes[k].clone();
+                    if (c + j) % 2 == 0 {
+                        let r = rt
+                            .submit(JobSpec::i64(pat, |_i, rf| contribution_i64(rf)))
+                            .wait();
+                        assert_eq!(
+                            r.output.as_i64().unwrap(),
+                            &i64_oracles[k][..],
+                            "client {c} job {j} (class {k}, scheme {}) wrong",
+                            r.scheme
+                        );
+                    } else {
+                        let r = rt
+                            .submit(JobSpec::f64(pat, |_i, rf| contribution(rf)))
+                            .wait();
+                        let got = r.output.as_f64().unwrap();
+                        for (e, (a, b)) in f64_oracles[k].iter().zip(got.iter()).enumerate() {
+                            assert!(
+                                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                                "client {c} job {j} class {k} elem {e}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let stats = rt.stats();
+    assert_eq!(stats.submitted, (CLIENTS * JOBS_PER_CLIENT) as u64);
+    assert_eq!(stats.completed, stats.submitted);
+    // Four workload classes, 120 jobs: the profile store must have
+    // absorbed the decisions and served the overwhelming majority of
+    // batches without inspection.
+    assert!(
+        stats.profile_hits + stats.inspections >= 4,
+        "every class needs a decision: {stats:?}"
+    );
+    assert!(
+        stats.inspections < stats.submitted,
+        "most jobs must reuse decisions: {stats:?}"
+    );
+}
+
+/// Batch submission of one class: decisions are shared, and the results
+/// still match the oracle exactly.
+#[test]
+fn submit_batch_shares_one_decision() {
+    let rt = Runtime::with_workers(3);
+    let pat = pattern(7, 2000, 3000, 0.8);
+    let oracle = sequential_reduce_i64(&pat);
+    let handles = rt.submit_batch(
+        (0..40)
+            .map(|_| JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)))
+            .collect(),
+    );
+    for h in handles {
+        assert_eq!(h.wait().output.as_i64().unwrap(), &oracle[..]);
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.completed, 40);
+    assert!(
+        stats.inspections <= 2,
+        "one class must not re-inspect per job: {stats:?}"
+    );
+}
+
+/// Profile round-trip: a scheme decision learned before shutdown
+/// survives a service restart through the on-disk store — the restarted
+/// runtime goes straight to the remembered scheme with zero inspections.
+#[test]
+fn profile_store_round_trip_survives_restart() {
+    let dir = std::env::temp_dir().join("smartapps-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("profiles-{}.txt", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = RuntimeConfig {
+        workers: 3,
+        profile_path: Some(path.clone()),
+        ..RuntimeConfig::default()
+    };
+    let pat = pattern(13, 3000, 5000, 1.0);
+    let oracle = sequential_reduce_i64(&pat);
+
+    let (first_scheme, first_sig) = {
+        let rt = Runtime::new(cfg.clone());
+        let h = rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let sig = h.signature();
+        let r = h.wait();
+        assert!(!r.profile_hit);
+        assert_eq!(r.output.as_i64().unwrap(), &oracle[..]);
+        rt.shutdown(); // persists the store
+        (r.scheme, sig)
+    };
+
+    // The on-disk text is loadable standalone and contains the class.
+    let store = ProfileStore::load(&path).unwrap();
+    assert!(
+        store.get(first_sig).is_some(),
+        "store must remember the class"
+    );
+    assert_eq!(store.get(first_sig).unwrap().scheme, first_scheme);
+
+    // A restarted service reuses the decision without inspecting.
+    {
+        let rt = Runtime::new(cfg);
+        let r = rt.run(JobSpec::i64(pat, |_i, rf| contribution_i64(rf)));
+        assert!(r.profile_hit, "restart must hit the profile");
+        assert_eq!(r.scheme, first_scheme);
+        assert_eq!(r.output.as_i64().unwrap(), &oracle[..]);
+        assert_eq!(rt.stats().inspections, 0);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An adaptive feedback loop running on the shared pool stays correct
+/// and its learned PerformanceDb flows into the persistent store.
+#[test]
+fn adaptive_loops_share_the_pool_and_persist() {
+    let rt = Runtime::with_workers(4);
+    let pat = pattern(21, 2048, 8000, 1.0);
+    let oracle = sequential_reduce(&pat);
+    let mut smart = rt.adaptive(1, false);
+    for _ in 0..3 {
+        let (out, _log) = smart.execute(&pat, &|_i, r| contribution(r));
+        for (a, b) in oracle.iter().zip(out.iter()) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+    rt.persist_adaptive(&smart);
+    let snap = rt.profile_snapshot();
+    assert!(!snap.is_empty(), "adaptive learning must reach the store");
+    // And the snapshot's text form round-trips.
+    let text = snap.to_text();
+    assert_eq!(ProfileStore::from_text(&text).unwrap().to_text(), text);
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A deliberately small wall-clock harness exposing the API surface the
+//! workspace's benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros.  Each benchmark runs a
+//! short warmup, then `sample_size` timed samples of an adaptively chosen
+//! batch, and prints min/mean per-iteration time (plus element throughput
+//! when configured).  No statistics beyond that — swap the real criterion
+//! back in for rigorous numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for optimizer barriers.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl ToString, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.to_string(), parameter.to_string()),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl ToString) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up briefly, then record `sample_size` samples of
+    /// an adaptively sized batch of calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing: aim for >=1ms per sample so timer
+        // granularity is irrelevant, cap the batch to keep totals bounded.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b.samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b.samples, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let mut line = format!("{group}/{id}: min {min:>12.3?}  mean {mean:>12.3?}");
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_s = n as f64 / mean.as_secs_f64();
+        line.push_str(&format!("  ({per_s:.3e} elem/s)"));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let per_s = n as f64 / mean.as_secs_f64();
+        line.push_str(&format!("  ({per_s:.3e} B/s)"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (stand-in for criterion's).
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            20
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 20,
+        };
+        f(&mut b);
+        report("bench", &id.to_string(), &b.samples, None);
+        self
+    }
+}
+
+/// Declare a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("rep").to_string(), "rep");
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the `rayon::scope(|s| s.spawn(..))` fork-join surface on top of
+//! [`std::thread::scope`].  Unlike real rayon there is **no warm worker
+//! pool** — every `spawn` creates an OS thread — which is exactly the
+//! "per-call thread-spawn path" the `smartapps-runtime` worker pool is
+//! benchmarked against.  `smartapps-reductions` routes its hot paths
+//! through `SpmdExecutor` instead of this shim; only `smartapps-specpar`
+//! still forks through here.
+
+/// A fork-join scope; spawned closures may borrow from the enclosing stack
+/// frame and are all joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task into the scope.  The closure receives the scope again
+    /// so it can spawn nested tasks, mirroring rayon's signature.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let s = Scope { inner };
+            f(&s);
+        });
+    }
+}
+
+/// Run `f` with a fork-join scope, joining all spawned tasks before
+/// returning.  Panics from tasks propagate.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let wrapped = Scope { inner: s };
+        f(&wrapped)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let hits = AtomicUsize::new(0);
+        let data = vec![1usize; 64];
+        super::scope(|s| {
+            for chunk in data.chunks(16) {
+                let hits = &hits;
+                s.spawn(move |_| {
+                    hits.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            let hits = &hits;
+            s.spawn(move |s| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                s.spawn(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This build environment has no crates.io access, and nothing in the
+//! workspace actually serializes through serde — the derives are only
+//! attached so types stay source-compatible with the real crate.  The two
+//! derive macros below therefore expand to nothing; persistent state that
+//! must really round-trip (the runtime's `ProfileStore`) uses an explicit
+//! text format instead.
+//!
+//! Swapping the real `serde` back in is a one-line change in each
+//! dependent `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
