@@ -1,26 +1,50 @@
-//! Service throughput driver: jobs/sec under concurrent submission.
+//! Service throughput driver: the comparison matrix behind the runtime's
+//! two scaling axes.
 //!
-//! Spawns `clients` threads that each fire `jobs` reduction jobs at one
-//! shared [`Runtime`], for a mix of workload-class sizes, and reports
-//! end-to-end jobs/sec plus the dispatcher's batching and profile-hit
-//! counters.  Usage:
+//! **Scenario A — contended multi-shard load (1 vs N dispatchers).**  One
+//! client floods a heavy workload class while interactive clients fire
+//! small request/response jobs of other classes.  A single dispatcher
+//! head-of-line-blocks the interactive classes behind every heavy
+//! execution — the single-queue-consumer ceiling; shard-affine
+//! dispatchers keep them on their own consumers (stealing into the flood
+//! only when idle), so interactive throughput and latency survive the
+//! flood.  This holds even on a single core: the win comes from removing
+//! the blocking structure, not from adding parallelism.
+//!
+//! **Scenario B — same-pattern bursts (fused vs per-job).**  Clients fire
+//! bursts of K jobs over one pattern with different contribution bodies
+//! (a dashboard computing K statistics over one dataset).  Fused sweeps
+//! traverse the pattern once per burst instead of K times.
+//!
+//! Usage:
 //!
 //! ```text
-//! throughput [clients] [jobs-per-client] [workers]
+//! throughput [interactive-clients] [jobs-per-client] [workers]
 //! ```
+//!
+//! Every scenario is measured in the service's steady state (profile
+//! store pre-warmed), the regime the paper's amortization argument is
+//! about.
 
 use smartapps_runtime::{JobSpec, Runtime, RuntimeConfig};
 use smartapps_workloads::{contribution, AccessPattern, Distribution, PatternSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-fn pattern(seed: u64, elems: usize, iters: usize) -> Arc<AccessPattern> {
+fn pattern(
+    seed: u64,
+    elems: usize,
+    iters: usize,
+    coverage: f64,
+    refs: usize,
+) -> Arc<AccessPattern> {
     Arc::new(
         PatternSpec {
             num_elements: elems,
             iterations: iters,
-            refs_per_iter: 2,
-            coverage: 1.0,
+            refs_per_iter: refs,
+            coverage,
             dist: Distribution::Uniform,
             seed,
         }
@@ -28,47 +52,143 @@ fn pattern(seed: u64, elems: usize, iters: usize) -> Arc<AccessPattern> {
     )
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
-    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
-    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    });
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
 
+/// Scenario A measurement: interactive jobs/sec and latency percentiles
+/// under a heavy-class flood, for a given dispatcher count.
+fn flood_run(
+    dispatchers: usize,
+    workers: usize,
+    clients: usize,
+    jobs: usize,
+) -> (f64, Duration, Duration, u64) {
     let rt = Arc::new(Runtime::new(RuntimeConfig {
         workers,
+        shards: 16,
+        dispatchers,
+        max_fuse: 1,
         ..RuntimeConfig::default()
     }));
-    // Three workload classes: tiny (coalescing-bound), medium, large.
-    let classes = [
-        pattern(1, 512, 1000),
-        pattern(2, 8192, 10_000),
-        pattern(3, 65_536, 40_000),
-    ];
-
-    println!("throughput: {clients} clients x {jobs} jobs on {workers}-wide pool");
-    // Warm the profile store so the measured phase is the service's
-    // steady state, the regime the paper's amortization argument is about.
-    for p in &classes {
-        rt.run(JobSpec::f64(p.clone(), |_i, r| contribution(r)));
+    let heavy = pattern(7, 65_536, 60_000, 1.0, 2);
+    let light: Vec<Arc<AccessPattern>> = (0..4)
+        .map(|s| pattern(100 + s as u64, 256, 600, 1.0, 2))
+        .collect();
+    // Steady state: every class decided and profiled before measuring.
+    rt.run(JobSpec::f64(heavy.clone(), |_i, r| contribution(r)).with_threads(1));
+    for p in &light {
+        rt.run(JobSpec::f64(p.clone(), |_i, r| contribution(r)).with_threads(1));
     }
 
+    let stop = AtomicBool::new(false);
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut measured = Duration::ZERO;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        // The flood: a client keeping a short pipeline of heavy jobs
+        // queued until the interactive clients finish.
+        let flooder_rt = rt.clone();
+        let flooder_heavy = heavy.clone();
+        let stop = &stop;
+        s.spawn(move || {
+            let mut pending = std::collections::VecDeque::new();
+            while !stop.load(Ordering::Acquire) {
+                pending.push_back(flooder_rt.submit(
+                    JobSpec::f64(flooder_heavy.clone(), |_i, r| contribution(r)).with_threads(1),
+                ));
+                if pending.len() >= 2 {
+                    pending.pop_front().unwrap().wait();
+                }
+            }
+            for h in pending {
+                h.wait();
+            }
+        });
+        // Interactive clients: strict request/response tiny jobs.
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let rt = rt.clone();
+            let light = &light;
+            handles.push(s.spawn(move || {
+                let mut lat = Vec::with_capacity(jobs);
+                for j in 0..jobs {
+                    let pat = light[(c + j) % light.len()].clone();
+                    let t = Instant::now();
+                    rt.run(JobSpec::f64(pat, |_i, r| contribution(r)).with_threads(1));
+                    lat.push(t.elapsed());
+                }
+                lat
+            }));
+        }
+        for h in handles {
+            latencies.extend(h.join().unwrap());
+        }
+        // Close the measurement window before the flooder drains its
+        // pending heavy jobs — that tail is not interactive service time
+        // and would deflate the measured rate.
+        measured = t0.elapsed();
+        stop.store(true, Ordering::Release);
+    });
+    latencies.sort_unstable();
+    let steals = rt.stats().steals;
+    (
+        latencies.len() as f64 / measured.as_secs_f64(),
+        percentile(&latencies, 0.5),
+        percentile(&latencies, 0.95),
+        steals,
+    )
+}
+
+/// Scenario B measurement: jobs/sec for bursts of `burst` same-pattern
+/// jobs, per-job vs fused, on identical configs.
+fn burst_run(
+    max_fuse: usize,
+    workers: usize,
+    clients: usize,
+    jobs: usize,
+    burst: usize,
+) -> (f64, u64) {
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers,
+        dispatchers: 1,
+        max_batch: 32,
+        max_fuse,
+        ..RuntimeConfig::default()
+    }));
+    // A dense cache-resident class (the fusion gate routes it per-job —
+    // fusing it would lose) and a sparse hash-regime class, where one
+    // table probe per reference feeds every fused output and the sweep
+    // wins outright.
+    let classes = [
+        pattern(201, 4096, 8000, 1.0, 2),
+        pattern(202, 400_000, 4_000, 0.004, 12),
+    ];
+    for p in &classes {
+        rt.run(JobSpec::f64(p.clone(), |_i, r| contribution(r)).with_threads(1));
+    }
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for c in 0..clients {
             let rt = rt.clone();
             let classes = &classes;
             s.spawn(move || {
+                let mut fired = 0usize;
                 let mut pending = Vec::new();
-                for j in 0..jobs {
-                    let pat = classes[(c + j) % classes.len()].clone();
-                    pending.push(rt.submit(JobSpec::f64(pat, |_i, r| contribution(r))));
-                    // Keep a small pipeline per client rather than
-                    // strict request/response, like a real service load.
-                    if pending.len() >= 4 {
+                while fired < jobs {
+                    let pat = classes[(c + fired / burst) % classes.len()].clone();
+                    let n = burst.min(jobs - fired);
+                    for _ in 0..n {
+                        pending.push(rt.submit(
+                            JobSpec::f64(pat.clone(), |_i, r| contribution(r)).with_threads(1),
+                        ));
+                    }
+                    fired += n;
+                    while pending.len() >= 2 * burst {
                         pending.remove(0).wait();
                     }
                 }
@@ -79,18 +199,53 @@ fn main() {
         }
     });
     let elapsed = t0.elapsed();
+    let fused_jobs = rt.stats().fused_jobs;
+    ((clients * jobs) as f64 / elapsed.as_secs_f64(), fused_jobs)
+}
 
-    let total = (clients * jobs) as f64;
-    let stats = rt.stats();
-    println!("elapsed            {elapsed:>12.3?}");
-    println!("jobs/sec           {:>12.1}", total / elapsed.as_secs_f64());
-    println!("batches            {:>12}", stats.batches);
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+    });
+    let n_dispatchers = 4usize;
+
     println!(
-        "avg batch size     {:>12.2}",
-        stats.completed as f64 / stats.batches.max(1) as f64
+        "scenario A: heavy-class flood vs {clients} interactive clients x {jobs} tiny jobs \
+         ({workers}-wide pool)"
     );
-    println!("coalesced jobs     {:>12}", stats.coalesced);
-    println!("profile hits       {:>12}", stats.profile_hits);
-    println!("inspections        {:>12}", stats.inspections);
-    println!("evictions          {:>12}", stats.evictions);
+    let mut rates = Vec::new();
+    for dispatchers in [1usize, n_dispatchers] {
+        let (rate, p50, p95, steals) = flood_run(dispatchers, workers, clients, jobs);
+        println!(
+            "  {dispatchers} dispatcher(s): {rate:>9.0} interactive jobs/s   \
+             p50 {p50:>10.3?}  p95 {p95:>10.3?}  steals {steals}"
+        );
+        rates.push(rate);
+    }
+    println!(
+        "  => {n_dispatchers} dispatchers / 1 dispatcher = {:.2}x interactive throughput\n",
+        rates[1] / rates[0]
+    );
+
+    println!("scenario B: same-pattern bursts of 8 ({clients} clients x {jobs} jobs)");
+    let mut rates = Vec::new();
+    for max_fuse in [1usize, 8] {
+        let (rate, fused_jobs) = burst_run(max_fuse, workers, clients, jobs, 8);
+        println!(
+            "  {:<26} {rate:>9.0} jobs/s   fused jobs {fused_jobs}",
+            if max_fuse == 1 {
+                "per-job execution:"
+            } else {
+                "fused sweeps (max_fuse 8):"
+            }
+        );
+        rates.push(rate);
+    }
+    println!("  => fused / per-job = {:.2}x", rates[1] / rates[0]);
 }

@@ -152,6 +152,16 @@ impl Predictor {
         v
     }
 
+    /// Rank schemes for a *fused batch* of `fanout` same-pattern jobs
+    /// executed as one traversal (see `smartapps_reductions::fused`).  The
+    /// best scheme for one job is not always the best for K fused jobs:
+    /// K-fold private storage pushes replicating schemes out of cache
+    /// while traversal-bound schemes amortize, so the decision must be
+    /// re-ranked at the batch's actual fanout.
+    pub fn rank_fused(&self, input: &ModelInput, fanout: usize) -> Vec<(Scheme, f64)> {
+        self.rank(&input.clone().with_fanout(fanout))
+    }
+
     /// Learn from a measurement: fold `measured_units / predicted` into the
     /// scheme's correction factor.  `measured_units` must be in the same
     /// abstract scale as predictions — callers normalize wall time by a
@@ -359,6 +369,36 @@ mod tests {
         p.learn(Scheme::Rep, 0.0, 100.0);
         p.learn(Scheme::Rep, 100.0, f64::NAN);
         assert!(p.correction(Scheme::Rep).is_finite());
+    }
+
+    #[test]
+    fn rank_fused_is_rank_at_fanout() {
+        use smartapps_reductions::{Inspector, ModelInput};
+        let pat = PatternSpec {
+            num_elements: 4096,
+            iterations: 8192,
+            refs_per_iter: 2,
+            coverage: 1.0,
+            dist: Distribution::Uniform,
+            seed: 3,
+        }
+        .generate();
+        let insp = Inspector::analyze(&pat, 4);
+        let input = ModelInput::from_inspection(&insp, false);
+        let p = Predictor::default();
+        // fanout == 1 must agree with the plain ranking...
+        assert_eq!(p.rank_fused(&input, 1), p.rank(&input));
+        // ...and a fused batch must cost more in absolute units but less
+        // than K independent runs for the winning scheme.
+        let (best, one_cost) = p.rank(&input)[0];
+        let fused_cost = p
+            .rank_fused(&input, 6)
+            .iter()
+            .find(|(s, _)| *s == best)
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert!(fused_cost > one_cost);
+        assert!(fused_cost < 6.0 * one_cost);
     }
 
     #[test]

@@ -34,12 +34,13 @@ use smartapps_workloads::pattern::AccessPattern;
 use smartapps_workloads::{block_range, elem_block_range};
 
 /// Number of lock stripes used by merge phases that combine into shared
-/// storage (`ll`, `hash`).
-const MERGE_STRIPES: usize = 256;
+/// storage (`ll`, `hash`) — shared with the fused kernels in
+/// [`crate::fused`].
+pub(crate) const MERGE_STRIPES: usize = 256;
 
 /// Elements per touched-line bucket in the `ll` scheme (one cache line of
-/// f64).
-const LINK_LINE: usize = 8;
+/// f64) — shared with the fused kernels in [`crate::fused`].
+pub(crate) const LINK_LINE: usize = 8;
 
 /// Sequential baseline.
 pub fn seq<T: RedElem>(pat: &AccessPattern, body: &(impl Fn(usize, usize) -> T + Sync)) -> Vec<T> {

@@ -1,0 +1,619 @@
+//! Fused multi-output reduction kernels: one pattern traversal, K
+//! contribution functions, K result arrays.
+//!
+//! A service coalescing same-class jobs (see `smartapps-runtime`) often
+//! holds a batch whose members reduce over the *same* [`AccessPattern`]
+//! with *different* contribution bodies — dashboards firing the same
+//! sparse loop with K different statistics.  Executing them one by one
+//! repeats the expensive part K times: walking `iter_ptr`/`indices`,
+//! generating addresses, and (for the parallel schemes) initializing and
+//! merging private storage.  The kernels here walk the pattern **once**
+//! and accumulate all K outputs per visited reference — the same
+//! share-the-traversal insight the polyhedral-reduction line exploits when
+//! it fuses reductions into a single scan.
+//!
+//! Every kernel is the fused analogue of its single-output sibling in
+//! [`crate::algorithms`] and upholds the same oracle contract: output `k`
+//! equals `algorithms::seq(pat, bodies[k])` bit-for-bit for integer
+//! monoids and within floating-point tolerance otherwise.  With `K = 1`
+//! each kernel degenerates to (a traversal-identical twin of) its sibling.
+//!
+//! Memory: the privatizing schemes (`rep`, `ll`, `sel`) allocate K times
+//! the private storage per thread, so callers should bound K (the runtime
+//! caps it with its `max_fuse` knob).
+
+use crate::algorithms::{LINK_LINE, MERGE_STRIPES};
+use crate::inspect::{ConflictInfo, Inspection, Inspector, OwnerLists};
+use crate::scheme::{RedElem, Scheme, UnsafeSlice};
+use crate::spmd::{SpawnExecutor, SpmdExecutor};
+use parking_lot::Mutex;
+use smartapps_workloads::pattern::AccessPattern;
+use smartapps_workloads::{block_range, elem_block_range};
+
+/// A borrowed contribution body, as the fused kernels consume them.
+pub type FusedBody<'a, T> = &'a (dyn Fn(usize, usize) -> T + Sync);
+
+/// Execute `scheme` once over `pat`, producing one output array per body
+/// in `bodies` — the multi-output twin of [`crate::run_scheme_on`].
+///
+/// `sel` and `lw` need an inspection; the caller's is reused when
+/// supplied, otherwise one is computed here.  An empty `bodies` slice
+/// yields an empty result vector without touching the pattern.
+pub fn run_fused_on<T: RedElem>(
+    scheme: Scheme,
+    pat: &AccessPattern,
+    bodies: &[FusedBody<'_, T>],
+    threads: usize,
+    insp: Option<&Inspection>,
+    exec: &(impl SpmdExecutor + ?Sized),
+) -> Vec<Vec<T>> {
+    if bodies.is_empty() {
+        return Vec::new();
+    }
+    let own;
+    let insp = match (scheme, insp) {
+        (Scheme::Sel | Scheme::Lw, Some(i)) => Some(i),
+        (Scheme::Sel | Scheme::Lw, None) => {
+            own = Inspector::analyze(pat, threads);
+            Some(&own)
+        }
+        _ => None,
+    };
+    match scheme {
+        Scheme::Seq => seq_fused(pat, bodies),
+        Scheme::Rep => rep_fused(pat, bodies, threads, exec),
+        Scheme::Ll => ll_fused(pat, bodies, threads, exec),
+        Scheme::Hash => hash_fused(pat, bodies, threads, exec),
+        Scheme::Sel => sel_fused(pat, bodies, threads, &insp.unwrap().conflicts, exec),
+        Scheme::Lw => lw_fused(pat, bodies, threads, &insp.unwrap().owners, exec),
+    }
+}
+
+/// [`run_fused_on`] on freshly spawned threads ([`SpawnExecutor`]).
+pub fn run_fused<T: RedElem>(
+    scheme: Scheme,
+    pat: &AccessPattern,
+    bodies: &[FusedBody<'_, T>],
+    threads: usize,
+    insp: Option<&Inspection>,
+) -> Vec<Vec<T>> {
+    run_fused_on(scheme, pat, bodies, threads, insp, &SpawnExecutor)
+}
+
+/// Allocate K neutral-initialized output arrays.
+fn neutral_outputs<T: RedElem>(k: usize, n: usize) -> Vec<Vec<T>> {
+    (0..k).map(|_| vec![T::neutral(); n]).collect()
+}
+
+/// Wrap each output array for disjoint concurrent writes.
+fn out_slices<'a, T>(outs: &'a mut [Vec<T>]) -> Vec<UnsafeSlice<'a, T>> {
+    outs.iter_mut().map(|o| UnsafeSlice::new(o)).collect()
+}
+
+/// Fused sequential baseline: one traversal, K accumulations per
+/// reference, written straight into the K output arrays (which must be
+/// allocated regardless — an extra interleaved buffer would cost `K x N`
+/// stores and copies that sparse patterns never amortize).
+///
+/// The *privatizing* fused kernels below do use stride-K interleaved
+/// private storage — all K partial values of an element adjacent — since
+/// they allocate private buffers anyway, and the layout lets one touched
+/// cache line serve the whole batch.
+pub fn seq_fused<T: RedElem>(pat: &AccessPattern, bodies: &[FusedBody<'_, T>]) -> Vec<Vec<T>> {
+    let mut outs = neutral_outputs(bodies.len(), pat.num_elements);
+    for i in 0..pat.num_iterations() {
+        for r in pat.ref_range(i) {
+            let x = pat.indices[r] as usize;
+            for (kk, body) in bodies.iter().enumerate() {
+                outs[kk][x] = T::combine(outs[kk][x], body(i, r));
+            }
+        }
+    }
+    outs
+}
+
+/// Fused `rep`: each thread accumulates into K replicated private arrays
+/// (stride-K interleaved storage) during one traversal of its iteration
+/// block; the merge combines all K per visited element.
+pub fn rep_fused<T: RedElem>(
+    pat: &AccessPattern,
+    bodies: &[FusedBody<'_, T>],
+    threads: usize,
+    exec: &(impl SpmdExecutor + ?Sized),
+) -> Vec<Vec<T>> {
+    assert!(threads >= 1);
+    let k = bodies.len();
+    let n = pat.num_elements;
+    let mut privates: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    {
+        let slots = UnsafeSlice::new(&mut privates);
+        let slots = &slots;
+        exec.spmd(threads, &|t| {
+            let mut w = vec![T::neutral(); k * n];
+            for i in block_range(pat.num_iterations(), t, threads) {
+                for r in pat.ref_range(i) {
+                    let base = pat.indices[r] as usize * k;
+                    for (kk, body) in bodies.iter().enumerate() {
+                        w[base + kk] = T::combine(w[base + kk], body(i, r));
+                    }
+                }
+            }
+            // SAFETY: each tid writes only its own slot.
+            unsafe { slots.write(t, w) };
+        });
+    }
+    let mut outs = neutral_outputs(k, n);
+    let privates = &privates;
+    {
+        let slices = out_slices(&mut outs);
+        let slices = &slices;
+        exec.spmd(threads, &|t| {
+            for e in elem_block_range(n, t, threads) {
+                for (kk, out) in slices.iter().enumerate() {
+                    let mut acc = T::neutral();
+                    for p in privates {
+                        acc = T::combine(acc, p[e * k + kk]);
+                    }
+                    // SAFETY: element blocks are disjoint across threads.
+                    unsafe { out.write(e, acc) };
+                }
+            }
+        });
+    }
+    outs
+}
+
+/// Fused `ll`: stride-K interleaved private buffers plus **one**
+/// touched-line list per thread — all K outputs touch exactly the same
+/// lines because they share the traversal — merged line by line under
+/// stripe locks.
+pub fn ll_fused<T: RedElem>(
+    pat: &AccessPattern,
+    bodies: &[FusedBody<'_, T>],
+    threads: usize,
+    exec: &(impl SpmdExecutor + ?Sized),
+) -> Vec<Vec<T>> {
+    assert!(threads >= 1);
+    let k = bodies.len();
+    let n = pat.num_elements;
+    let n_lines = n.div_ceil(LINK_LINE);
+    let mut outs = neutral_outputs(k, n);
+    let stripes: Vec<Mutex<()>> = (0..MERGE_STRIPES).map(|_| Mutex::new(())).collect();
+    {
+        let slices = out_slices(&mut outs);
+        let slices = &slices;
+        let stripes = &stripes;
+        exec.spmd(threads, &|t| {
+            let mut w = vec![T::neutral(); k * n];
+            let mut touched_line = vec![false; n_lines];
+            let mut links: Vec<u32> = Vec::new();
+            for i in block_range(pat.num_iterations(), t, threads) {
+                for r in pat.ref_range(i) {
+                    let x = pat.indices[r] as usize;
+                    let line = x / LINK_LINE;
+                    if !touched_line[line] {
+                        touched_line[line] = true;
+                        links.push(line as u32);
+                    }
+                    let base = x * k;
+                    for (kk, body) in bodies.iter().enumerate() {
+                        w[base + kk] = T::combine(w[base + kk], body(i, r));
+                    }
+                }
+            }
+            for &line in &links {
+                let lo = line as usize * LINK_LINE;
+                let hi = (lo + LINK_LINE).min(n);
+                let _g = stripes[line as usize % MERGE_STRIPES].lock();
+                for e in lo..hi {
+                    for (kk, out) in slices.iter().enumerate() {
+                        // SAFETY: the stripe lock serializes all access to
+                        // this line across threads, for every output.
+                        unsafe { out.combine_into(e, w[e * k + kk]) };
+                    }
+                }
+            }
+        });
+    }
+    outs
+}
+
+/// Fused `sel`: only conflicting elements get (compact, stride-K
+/// interleaved) private storage; non-conflicting elements are combined
+/// straight into all K shared outputs — legal because a non-conflicting
+/// element has exactly one writing thread regardless of how many outputs
+/// it feeds.
+pub fn sel_fused<T: RedElem>(
+    pat: &AccessPattern,
+    bodies: &[FusedBody<'_, T>],
+    threads: usize,
+    conflicts: &ConflictInfo,
+    exec: &(impl SpmdExecutor + ?Sized),
+) -> Vec<Vec<T>> {
+    assert!(threads >= 1);
+    assert_eq!(
+        conflicts.threads, threads,
+        "conflict info computed for wrong P"
+    );
+    let k = bodies.len();
+    let n = pat.num_elements;
+    let nc = conflicts.num_conflicting;
+    let mut outs = neutral_outputs(k, n);
+    let mut privates: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    {
+        let slices = out_slices(&mut outs);
+        let slices = &slices;
+        let slots = UnsafeSlice::new(&mut privates);
+        let slots = &slots;
+        exec.spmd(threads, &|t| {
+            let mut priv_c = vec![T::neutral(); k * nc];
+            for i in block_range(pat.num_iterations(), t, threads) {
+                for r in pat.ref_range(i) {
+                    let x = pat.indices[r] as usize;
+                    let c = conflicts.compact[x];
+                    if c != u32::MAX {
+                        let base = c as usize * k;
+                        for (kk, body) in bodies.iter().enumerate() {
+                            priv_c[base + kk] = T::combine(priv_c[base + kk], body(i, r));
+                        }
+                    } else {
+                        for (kk, body) in bodies.iter().enumerate() {
+                            // SAFETY: non-conflicting element — exactly one
+                            // thread (this one) ever touches index x, in
+                            // any output.
+                            unsafe { slices[kk].combine_into(x, body(i, r)) };
+                        }
+                    }
+                }
+            }
+            // SAFETY: each tid writes only its own slot.
+            unsafe { slots.write(t, priv_c) };
+        });
+    }
+    let privates = &privates;
+    let conflict_elems = &conflicts.conflicting_elements;
+    {
+        let slices = out_slices(&mut outs);
+        let slices = &slices;
+        exec.spmd(threads, &|t| {
+            for ci in block_range(nc, t, threads) {
+                let e = conflict_elems[ci] as usize;
+                for (kk, out) in slices.iter().enumerate() {
+                    let mut acc = T::neutral();
+                    for p in privates {
+                        acc = T::combine(acc, p[ci * k + kk]);
+                    }
+                    // SAFETY: disjoint compact blocks across merge threads;
+                    // loop threads never wrote conflicting elements
+                    // directly.
+                    unsafe { out.combine_into(e, acc) };
+                }
+            }
+        });
+    }
+    outs
+}
+
+/// Fused `lw` (owner computes): iteration replication exactly as in the
+/// single-output kernel, but each owned reference commits all K
+/// contributions — the ownership test and index load are paid once for the
+/// whole batch.
+pub fn lw_fused<T: RedElem>(
+    pat: &AccessPattern,
+    bodies: &[FusedBody<'_, T>],
+    threads: usize,
+    owners: &OwnerLists,
+    exec: &(impl SpmdExecutor + ?Sized),
+) -> Vec<Vec<T>> {
+    assert!(threads >= 1);
+    assert_eq!(owners.threads, threads, "owner lists computed for wrong P");
+    let n = pat.num_elements;
+    let mut outs = neutral_outputs(bodies.len(), n);
+    {
+        let slices = out_slices(&mut outs);
+        let slices = &slices;
+        exec.spmd(threads, &|t| {
+            let my = elem_block_range(n, t, threads);
+            for &i in &owners.iters_of[t] {
+                let i = i as usize;
+                for r in pat.ref_range(i) {
+                    let x = pat.indices[r] as usize;
+                    if my.contains(&x) {
+                        for (kk, body) in bodies.iter().enumerate() {
+                            // SAFETY: x is owned by this thread's disjoint
+                            // element block, in every output.
+                            unsafe { slices[kk].combine_into(x, body(i, r)) };
+                        }
+                    }
+                }
+            }
+        });
+    }
+    outs
+}
+
+/// Sentinel for an empty [`FusedTable`] slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressing accumulation table holding K values per key (stride-K
+/// value storage) — the fused counterpart of
+/// [`AccTable`](crate::algorithms::AccTable).  One probe per reference
+/// accumulates all K contributions.
+struct FusedTable<T> {
+    keys: Vec<u32>,
+    vals: Vec<T>,
+    mask: usize,
+    len: usize,
+    k: usize,
+}
+
+impl<T: RedElem> FusedTable<T> {
+    fn with_capacity(cap: usize, k: usize) -> Self {
+        let size = (cap.max(8) * 2).next_power_of_two();
+        FusedTable {
+            keys: vec![EMPTY; size],
+            vals: vec![T::neutral(); size * k],
+            mask: size - 1,
+            len: 0,
+            k,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: u32) -> usize {
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & self.mask
+    }
+
+    /// Find (or claim) the slot of `key`, growing first if needed, and
+    /// return the base index of its K-value stripe.
+    #[inline]
+    fn stripe_of(&mut self, key: u32) -> usize {
+        debug_assert_ne!(key, EMPTY);
+        if self.len * 10 >= self.keys.len() * 7 {
+            self.grow();
+        }
+        let mut s = self.slot(key);
+        loop {
+            let existing = self.keys[s];
+            if existing == key {
+                return s * self.k;
+            }
+            if existing == EMPTY {
+                self.keys[s] = key;
+                self.len += 1;
+                return s * self.k;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = FusedTable::<T>::with_capacity(self.keys.len(), self.k);
+        for (s, &key) in self.keys.iter().enumerate() {
+            if key == EMPTY {
+                continue;
+            }
+            let dst = bigger.stripe_of(key);
+            bigger.vals[dst..dst + self.k]
+                .copy_from_slice(&self.vals[s * self.k..(s + 1) * self.k]);
+        }
+        *self = bigger;
+    }
+
+    /// Iterate occupied `(key, value-stripe)` pairs.
+    fn iter(&self) -> impl Iterator<Item = (u32, &[T])> + '_ {
+        self.keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k != EMPTY)
+            .map(|(s, k)| (*k, &self.vals[s * self.k..(s + 1) * self.k]))
+    }
+}
+
+/// Fused `hash`: per-thread stride-K hash tables — one probe per reference
+/// accumulates all K contributions — merged under stripe locks.
+pub fn hash_fused<T: RedElem>(
+    pat: &AccessPattern,
+    bodies: &[FusedBody<'_, T>],
+    threads: usize,
+    exec: &(impl SpmdExecutor + ?Sized),
+) -> Vec<Vec<T>> {
+    assert!(threads >= 1);
+    let k = bodies.len();
+    let n = pat.num_elements;
+    let mut outs = neutral_outputs(k, n);
+    let stripes: Vec<Mutex<()>> = (0..MERGE_STRIPES).map(|_| Mutex::new(())).collect();
+    {
+        let slices = out_slices(&mut outs);
+        let slices = &slices;
+        let stripes = &stripes;
+        exec.spmd(threads, &|t| {
+            let mut table = FusedTable::<T>::with_capacity(64, k);
+            for i in block_range(pat.num_iterations(), t, threads) {
+                for r in pat.ref_range(i) {
+                    let base = table.stripe_of(pat.indices[r]);
+                    for (kk, body) in bodies.iter().enumerate() {
+                        table.vals[base + kk] = T::combine(table.vals[base + kk], body(i, r));
+                    }
+                }
+            }
+            for (key, stripe) in table.iter() {
+                let e = key as usize;
+                let _g = stripes[(e / LINK_LINE) % MERGE_STRIPES].lock();
+                for (kk, out) in slices.iter().enumerate() {
+                    // SAFETY: serialized by the stripe lock.
+                    unsafe { out.combine_into(e, stripe[kk]) };
+                }
+            }
+        });
+    }
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+    use smartapps_workloads::pattern::contribution_i64;
+    use smartapps_workloads::{Distribution, PatternSpec};
+
+    fn pattern(seed: u64) -> AccessPattern {
+        PatternSpec {
+            num_elements: 600,
+            iterations: 900,
+            refs_per_iter: 3,
+            coverage: 0.6,
+            dist: Distribution::Uniform,
+            seed,
+        }
+        .generate()
+    }
+
+    /// K bodies with distinct, recognizable contributions.
+    fn bodies_i64(k: usize) -> Vec<Box<dyn Fn(usize, usize) -> i64 + Sync + Send>> {
+        (0..k)
+            .map(|kk| {
+                let scale = kk as i64 + 1;
+                Box::new(move |_i: usize, r: usize| contribution_i64(r).wrapping_mul(scale))
+                    as Box<dyn Fn(usize, usize) -> i64 + Sync + Send>
+            })
+            .collect()
+    }
+
+    fn as_refs<T>(boxed: &[Box<dyn Fn(usize, usize) -> T + Sync + Send>]) -> Vec<FusedBody<'_, T>> {
+        boxed.iter().map(|b| &**b as FusedBody<'_, T>).collect()
+    }
+
+    #[test]
+    fn every_scheme_matches_k_sequential_oracles() {
+        let pat = pattern(21);
+        for k in [1usize, 3, 5] {
+            let boxed = bodies_i64(k);
+            let bodies = as_refs(&boxed);
+            let oracles: Vec<Vec<i64>> = boxed.iter().map(|b| algorithms::seq(&pat, b)).collect();
+            for threads in [1usize, 4] {
+                for scheme in [
+                    Scheme::Seq,
+                    Scheme::Rep,
+                    Scheme::Ll,
+                    Scheme::Sel,
+                    Scheme::Lw,
+                    Scheme::Hash,
+                ] {
+                    let got = run_fused(scheme, &pat, &bodies, threads, None);
+                    assert_eq!(got.len(), k, "{scheme} k={k}");
+                    for (kk, oracle) in oracles.iter().enumerate() {
+                        assert_eq!(&got[kk], oracle, "{scheme} x{threads} output {kk}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_f64_within_tolerance() {
+        let pat = pattern(22);
+        let b0 = |_i: usize, r: usize| smartapps_workloads::pattern::contribution(r);
+        let b1 = |_i: usize, r: usize| smartapps_workloads::pattern::contribution(r) * 0.5;
+        let bodies: Vec<FusedBody<'_, f64>> = vec![&b0, &b1];
+        let oracles = [algorithms::seq(&pat, &b0), algorithms::seq(&pat, &b1)];
+        for scheme in [
+            Scheme::Rep,
+            Scheme::Ll,
+            Scheme::Sel,
+            Scheme::Lw,
+            Scheme::Hash,
+        ] {
+            let got = run_fused(scheme, &pat, &bodies, 4, None);
+            for (kk, oracle) in oracles.iter().enumerate() {
+                for (e, (a, b)) in oracle.iter().zip(got[kk].iter()).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                        "{scheme} output {kk} elem {e}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs tids sequentially — fused kernels, like their siblings, may
+    /// only rely on the completion barrier.
+    struct SerialExec;
+    impl SpmdExecutor for SerialExec {
+        fn spmd(&self, threads: usize, body: &(dyn Fn(usize) + Sync)) {
+            for t in 0..threads {
+                body(t);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernels_are_executor_agnostic() {
+        let pat = pattern(23);
+        let boxed = bodies_i64(3);
+        let bodies = as_refs(&boxed);
+        let oracles: Vec<Vec<i64>> = boxed.iter().map(|b| algorithms::seq(&pat, b)).collect();
+        let insp = Inspector::analyze(&pat, 4);
+        for scheme in [
+            Scheme::Rep,
+            Scheme::Ll,
+            Scheme::Sel,
+            Scheme::Lw,
+            Scheme::Hash,
+        ] {
+            let got = run_fused_on(scheme, &pat, &bodies, 4, Some(&insp), &SerialExec);
+            assert_eq!(got, oracles, "{scheme} serial");
+        }
+    }
+
+    #[test]
+    fn empty_bodies_and_empty_pattern() {
+        let pat = pattern(24);
+        let none: Vec<FusedBody<'_, i64>> = Vec::new();
+        assert!(run_fused(Scheme::Rep, &pat, &none, 4, None).is_empty());
+        let empty = AccessPattern::from_iters(16, &[]);
+        let boxed = bodies_i64(2);
+        let bodies = as_refs(&boxed);
+        let got = run_fused(Scheme::Hash, &empty, &bodies, 3, None);
+        assert_eq!(got, vec![vec![0i64; 16], vec![0i64; 16]]);
+    }
+
+    #[test]
+    fn fused_table_grows_and_keeps_stripes() {
+        let mut t = FusedTable::<i64>::with_capacity(4, 3);
+        for key in 0..500u32 {
+            let base = t.stripe_of(key);
+            for kk in 0..3 {
+                t.vals[base + kk] = t.vals[base + kk].wrapping_add((key as i64) * (kk as i64 + 1));
+            }
+        }
+        assert_eq!(t.len, 500);
+        for (key, stripe) in t.iter() {
+            for (kk, v) in stripe.iter().enumerate() {
+                assert_eq!(*v, (key as i64) * (kk as i64 + 1), "key {key} k {kk}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_hot_element_fused() {
+        // Maximal contention across every output.
+        let pat = AccessPattern::from_iters(4, &vec![vec![0u32, 0, 0]; 80]);
+        let boxed = bodies_i64(4);
+        let bodies = as_refs(&boxed);
+        let oracles: Vec<Vec<i64>> = boxed.iter().map(|b| algorithms::seq(&pat, b)).collect();
+        for scheme in [
+            Scheme::Rep,
+            Scheme::Ll,
+            Scheme::Sel,
+            Scheme::Lw,
+            Scheme::Hash,
+        ] {
+            assert_eq!(
+                run_fused(scheme, &pat, &bodies, 4, None),
+                oracles,
+                "{scheme}"
+            );
+        }
+    }
+}

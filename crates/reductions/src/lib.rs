@@ -48,12 +48,14 @@
 
 pub mod algorithms;
 pub mod exec;
+pub mod fused;
 pub mod inspect;
 pub mod model;
 pub mod scheme;
 pub mod spmd;
 
 pub use exec::{rank_schemes, run_scheme, run_scheme_on, time_scheme, Timing};
+pub use fused::{run_fused, run_fused_on, FusedBody};
 pub use inspect::{ConflictInfo, Inspection, Inspector, OwnerLists};
 pub use model::{DecisionModel, ModelInput, ModelParams, Prediction};
 pub use scheme::{RedElem, Scheme, UnsafeSlice};

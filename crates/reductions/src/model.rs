@@ -129,10 +129,15 @@ pub struct ModelInput {
     /// Whether local write is applicable (iteration replication is illegal
     /// when the loop body has other side effects).
     pub lw_feasible: bool,
+    /// Number of contribution functions fused into one traversal (see
+    /// [`crate::fused`]).  `1` is a plain single-output execution; `K > 1`
+    /// shares the pattern walk and iteration scaffolding across K outputs
+    /// while paying K-fold body, update, and merge costs.
+    pub fanout: usize,
 }
 
 impl ModelInput {
-    /// Build from a full inspection.
+    /// Build from a full inspection (single-output, `fanout == 1`).
     pub fn from_inspection(insp: &Inspection, lw_feasible: bool) -> Self {
         ModelInput {
             chars: insp.chars.clone(),
@@ -140,7 +145,15 @@ impl ModelInput {
             replication: insp.owners.replication,
             threads: insp.conflicts.threads,
             lw_feasible,
+            fanout: 1,
         }
+    }
+
+    /// The same instance evaluated as a fused batch of `fanout`
+    /// contribution functions sharing one traversal.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout.max(1);
+        self
     }
 
     /// Estimate the conflicting-element count from the CH histogram when
@@ -198,29 +211,41 @@ impl DecisionModel {
     }
 
     /// Predict the per-processor cost of one scheme.
+    ///
+    /// With `input.fanout == K > 1` the instance is a fused batch (see
+    /// [`crate::fused`]): the traversal scaffolding (`body_per_iter`,
+    /// address generation, link maintenance, `sel` indirection, `lw`
+    /// ownership scans, hash probing) is charged **once**, while body
+    /// evaluation, updates, private-storage footprints, initialization,
+    /// and merges scale with K.
     pub fn predict(&self, s: Scheme, input: &ModelInput) -> f64 {
         let q = &self.params;
         let c = &input.chars;
         let p = input.threads.max(1) as f64;
+        let k = input.fanout.max(1) as f64;
         let n = c.num_elements as f64;
         let r = c.references as f64;
         let d = c.distinct as f64;
         let iters = c.iterations as f64;
-        // Common loop-body work, perfectly parallel.
-        let body = (iters * q.body_per_iter + r * q.body_per_ref) / p;
-        // Touched private footprint per thread.
+        // Common loop-body work, perfectly parallel: the iteration
+        // scaffolding is shared across fused outputs, the per-reference
+        // contributions are not.
+        let body = (iters * q.body_per_iter + k * r * q.body_per_ref) / p;
+        // Touched private footprint per thread (per output).
         let d_t = d.min(r / p);
         let insp = r * q.inspector_per_ref / q.amortize_invocations / p;
         match s {
-            Scheme::Seq => iters * q.body_per_iter + r * (q.body_per_ref + q.update_hit),
+            Scheme::Seq => iters * q.body_per_iter + k * r * (q.body_per_ref + q.update_hit),
             Scheme::Rep => {
-                let upd = q.locality_cost(d_t * 8.0);
-                q.init_store * n + body + (r / p) * upd + q.rep_merge_elem * n
+                let upd = q.locality_cost(k * d_t * 8.0);
+                q.init_store * k * n + body + k * (r / p) * upd + q.rep_merge_elem * k * n
             }
             Scheme::Ll => {
                 // Touched lines per thread: disjoint regions when the
                 // pattern partitions cleanly (low conflicts), shared
-                // everywhere when it scatters (high conflicts).
+                // everywhere when it scatters (high conflicts).  Fused
+                // outputs touch identical lines, so the link list is
+                // shared; the buffers and merges are not.
                 let lines = c.distinct_lines as f64;
                 let cf = if d > 0.0 {
                     input.conflicting as f64 / d
@@ -228,37 +253,40 @@ impl DecisionModel {
                     0.0
                 };
                 let lines_t = (r / p).min(lines * (cf + (1.0 - cf) / p));
-                let upd = q.locality_cost(lines_t * 64.0) + q.ll_link_overhead;
-                body + (r / p) * upd + q.ll_merge_line * lines_t
+                let upd = q.locality_cost(k * lines_t * 64.0);
+                body + (r / p) * (k * upd + q.ll_link_overhead) + q.ll_merge_line * k * lines_t
             }
             Scheme::Sel => {
                 let conf = input.conflicting as f64;
-                // The compact map (4 bytes/element over the whole array)
-                // plus the directly-updated shared elements.
-                let upd = q.locality_cost(n * 4.0 + d_t * 8.0) + q.sel_indirect;
-                insp + body + (r / p) * upd + q.sel_merge_elem * conf
+                // The compact map (4 bytes/element over the whole array,
+                // shared by all outputs) plus K copies of the
+                // directly-updated shared elements; the indirection is
+                // paid once per reference.
+                let upd = q.locality_cost(n * 4.0 + k * d_t * 8.0);
+                insp + body + (r / p) * (k * upd + q.sel_indirect) + q.sel_merge_elem * k * conf
             }
             Scheme::Lw => {
                 if !input.lw_feasible {
                     return f64::INFINITY;
                 }
-                // Owner blocks partition the array: footprint N/P.  Only
-                // the iteration scaffolding replicates; contributions are
-                // computed once per reference (each thread evaluates only
-                // the refs it owns).
-                let upd = q.locality_cost(n / p * 8.0);
+                // Owner blocks partition the array: footprint N/P per
+                // output.  Only the iteration scaffolding and ownership
+                // scans replicate — once for the whole fused batch;
+                // contributions and commits scale with K.
+                let upd = q.locality_cost(k * n / p * 8.0);
                 insp + input.replication * (iters * q.body_per_iter) / p
                     + input.replication * (r / p) * q.lw_scan
-                    + (r / p) * (q.body_per_ref + upd)
+                    + k * (r / p) * (q.body_per_ref + upd)
             }
             Scheme::Hash => {
-                // Table entries are ~16 bytes (key + value); the resident
-                // working set follows the *hot* reference mass (CH tail),
-                // not the raw distinct count — under contention the table
-                // stays cache-sized while arrays do not.
+                // Table entries are ~(8 + 8K) bytes (key + K values); the
+                // resident working set follows the *hot* reference mass
+                // (CH tail), not the raw distinct count — under contention
+                // the table stays cache-sized while arrays do not.  One
+                // probe per reference serves all K outputs.
                 let d_hot = (c.effective_distinct(0.9) as f64).min(r / p);
-                let upd = q.locality_cost(d_hot * 16.0) * q.hash_per_ref;
-                body + (r / p) * upd + q.hash_merge_elem * d_t
+                let loc = q.locality_cost(d_hot * (8.0 + 8.0 * k));
+                body + (r / p) * loc * (q.hash_per_ref + (k - 1.0)) + q.hash_merge_elem * k * d_t
             }
         }
     }
@@ -312,6 +340,7 @@ mod tests {
             replication,
             threads,
             lw_feasible: lw,
+            fanout: 1,
         }
     }
 
@@ -413,6 +442,33 @@ mod tests {
         assert!(
             f > 7.0,
             "MO=28 over 8 threads replicates to almost all: {f}"
+        );
+    }
+
+    #[test]
+    fn fused_fanout_beats_k_separate_runs() {
+        // A fused batch of K shares the traversal: its predicted cost must
+        // be strictly below K independent executions, for every scheme.
+        let c = chars_for(10_000, 100_000, 2, 1.0);
+        let m = DecisionModel::default();
+        let single = input(c.clone(), 8, true);
+        for k in [2usize, 4, 8] {
+            let fused = single.clone().with_fanout(k);
+            for s in Scheme::all_parallel() {
+                let one = m.predict(s, &single);
+                let batched = m.predict(s, &fused);
+                assert!(
+                    batched < k as f64 * one,
+                    "{s} fanout {k}: fused {batched} vs {k}x single {}",
+                    k as f64 * one
+                );
+                assert!(batched > one, "{s} fanout {k}: more outputs cost more");
+            }
+        }
+        // fanout == 1 (and with_fanout(0) clamping to 1) is the identity.
+        assert_eq!(
+            m.predict(Scheme::Rep, &single),
+            m.predict(Scheme::Rep, &single.clone().with_fanout(0))
         );
     }
 

@@ -1,0 +1,114 @@
+//! Structured job failure channel.
+//!
+//! A job can fail for categorically different reasons — the body panicked
+//! mid-execution, the submission was rejected up front, or the service was
+//! shutting down — and clients react differently to each (retry elsewhere,
+//! fix the spec, give up).  [`JobError`] carries the category as a typed
+//! [`JobErrorKind`] next to the human-readable message, replacing the bare
+//! string the first runtime iteration used.
+
+use std::fmt;
+
+/// Why a job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobErrorKind {
+    /// The job's contribution body (or the inspector running over its
+    /// pattern) panicked during dispatch or execution.  The panic was
+    /// contained — the service keeps draining — and the payload's message
+    /// is preserved in [`JobError::message`].
+    Panic,
+    /// The submission was rejected before reaching the queue (for example,
+    /// a structurally invalid access pattern).  Nothing was executed.
+    Rejected,
+    /// The service was shutting down and no longer accepts work.  Nothing
+    /// was executed; resubmitting to a live runtime will succeed.
+    Shutdown,
+}
+
+impl JobErrorKind {
+    /// Stable lower-case name of the kind (`"panic"`, `"rejected"`,
+    /// `"shutdown"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobErrorKind::Panic => "panic",
+            JobErrorKind::Rejected => "rejected",
+            JobErrorKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for JobErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A failed job's error: the failure category plus a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The failure category.
+    pub kind: JobErrorKind,
+    /// Human-readable detail (panic payload, validation error, ...).
+    pub message: String,
+}
+
+impl JobError {
+    /// A [`JobErrorKind::Panic`] error carrying the panic's message.
+    pub fn panic(message: impl Into<String>) -> Self {
+        JobError {
+            kind: JobErrorKind::Panic,
+            message: message.into(),
+        }
+    }
+
+    /// A [`JobErrorKind::Rejected`] error carrying the validation detail.
+    pub fn rejected(message: impl Into<String>) -> Self {
+        JobError {
+            kind: JobErrorKind::Rejected,
+            message: message.into(),
+        }
+    }
+
+    /// The [`JobErrorKind::Shutdown`] error.
+    pub fn shutdown() -> Self {
+        JobError {
+            kind: JobErrorKind::Shutdown,
+            message: "runtime is shutting down and no longer accepts jobs".into(),
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_render_and_compare() {
+        let p = JobError::panic("bad row 7");
+        assert_eq!(p.kind, JobErrorKind::Panic);
+        assert_eq!(p.message(), "bad row 7");
+        assert_eq!(format!("{p}"), "panic: bad row 7");
+        let r = JobError::rejected("invalid access pattern");
+        assert_eq!(r.kind, JobErrorKind::Rejected);
+        assert_eq!(format!("{}", r.kind), "rejected");
+        let s = JobError::shutdown();
+        assert_eq!(s.kind, JobErrorKind::Shutdown);
+        assert_ne!(p, r);
+        // It is a real std error.
+        let dynerr: &dyn std::error::Error = &s;
+        assert!(dynerr.to_string().contains("shutting down"));
+    }
+}

@@ -8,6 +8,7 @@
 //! returns a [`JobHandle`] whose [`wait`](JobHandle::wait) blocks until
 //! the dispatcher fills in the [`JobResult`].
 
+use crate::error::JobError;
 use smartapps_core::toolbox::DomainKey;
 use smartapps_reductions::Scheme;
 use smartapps_workloads::pattern::AccessPattern;
@@ -194,15 +195,29 @@ pub struct JobResult {
     pub output: JobOutput,
     /// Scheme the dispatcher executed.
     pub scheme: Scheme,
-    /// Wall time of the scheme execution (excludes queueing).
+    /// Wall time of the scheme execution (excludes queueing).  For a job
+    /// that ran in a fused sweep this is the whole sweep's wall time —
+    /// the per-job amortized cost is `elapsed / (fused_with + 1)`.
     pub elapsed: Duration,
     /// Whether the scheme came from the profile store (no inspection paid).
     pub profile_hit: bool,
     /// How many other jobs shared this job's dispatch batch.
     pub batched_with: usize,
-    /// `Some(message)` when the job's body panicked during execution; the
-    /// output is then empty and nothing was recorded in the profile store.
-    pub error: Option<String>,
+    /// How many other jobs shared this job's *fused execution sweep*
+    /// (one traversal, multiple outputs); `0` when the job executed on
+    /// its own traversal.  Always `<= batched_with`.
+    pub fused_with: usize,
+    /// `Some` when the job failed — see [`JobError`] for the failure
+    /// categories.  The output is then empty and nothing was recorded in
+    /// the profile store.
+    pub error: Option<JobError>,
+}
+
+impl JobResult {
+    /// The error message, if the job failed (convenience accessor).
+    pub fn error_message(&self) -> Option<&str> {
+        self.error.as_ref().map(JobError::message)
+    }
 }
 
 pub(crate) struct JobState {
@@ -316,6 +331,7 @@ mod tests {
             elapsed: Duration::from_millis(1),
             profile_hit: false,
             batched_with: 0,
+            fused_with: 0,
             error: None,
         });
         let r = t.join().unwrap();
@@ -338,6 +354,7 @@ mod tests {
             elapsed: Duration::ZERO,
             profile_hit: true,
             batched_with: 3,
+            fused_with: 0,
             error: None,
         });
         let r = handle.try_wait().unwrap();

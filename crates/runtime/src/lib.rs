@@ -7,22 +7,29 @@
 //! many invocations, which is where the real speedup of run-time
 //! optimization lives.
 //!
-//! Three pieces, each its own module:
+//! Four pieces, each its own module:
 //!
 //! * [`pool`] — a **persistent worker pool** ([`WorkerPool`]): fixed
 //!   threads, parked on condvars when idle, implementing the
 //!   `SpmdExecutor` seam from `smartapps-reductions`.  Reduction
 //!   invocations pay zero thread-creation cost on the hot path.
-//! * [`queue`](crate::runtime) + [`job`] — a **sharded job queue with
-//!   batch submission**: [`Runtime::submit`] / [`Runtime::submit_batch`]
-//!   accept jobs from any number of client threads, shard them by
-//!   [`PatternSignature`], and coalesce same-class jobs into one dispatch
-//!   batch sharing a single scheme decision.  [`JobHandle::wait`] blocks
+//! * [`runtime`] + [`job`] — a **sharded job queue served by N
+//!   shard-affine dispatchers**: [`Runtime::submit`] /
+//!   [`Runtime::submit_batch`] accept jobs from any number of client
+//!   threads and shard them by [`PatternSignature`]; each dispatcher owns
+//!   a subset of shards and steals batches from overloaded peers when its
+//!   own drain, so no single consumer caps the job rate.  Same-class jobs
+//!   coalesce into one dispatch batch sharing a single scheme decision,
+//!   and same-*pattern* members of a batch execute as one **fused sweep**
+//!   — one traversal producing every output.  [`JobHandle::wait`] blocks
 //!   for the result.
 //! * [`profile`] — a **cross-run profile store** ([`ProfileStore`]):
 //!   signature → best known scheme + calibration, saved to a text file at
 //!   shutdown and loaded at startup, so a restarted service skips full
 //!   inspection for workload classes it has seen before.
+//! * [`error`] — the **structured job failure channel** ([`JobError`]):
+//!   every failed job reports a typed [`JobErrorKind`] (body panic,
+//!   rejected submission, shutdown race) next to its message.
 //!
 //! ## Example
 //!
@@ -54,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod job;
 pub mod pool;
 pub mod profile;
@@ -61,6 +69,7 @@ pub(crate) mod queue;
 pub mod runtime;
 pub mod stats;
 
+pub use error::{JobError, JobErrorKind};
 pub use job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, PatternSignature};
 pub use pool::WorkerPool;
 pub use profile::{ProfileEntry, ProfileStore};

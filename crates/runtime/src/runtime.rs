@@ -1,22 +1,29 @@
-//! The long-lived reduction service: submission API, dispatcher, and the
-//! glue between queue, pool, and profile store.
+//! The long-lived reduction service: submission API, shard-affine
+//! dispatchers, and the glue between queue, pool, and profile store.
 //!
-//! One dispatcher thread owns scheme decisions: it pops coalesced batches
-//! from the sharded queue, consults the [`ProfileStore`] (hit → no
-//! inspection), otherwise pays one [`Inspector`] pass and asks the
-//! decision model, then executes every job of the batch on the persistent
-//! [`WorkerPool`] and folds the measurements back into the store.  The
-//! worker pool does the heavy lifting; the dispatcher participates as
-//! `tid 0` of every SPMD region, so no core idles while it "waits".
+//! N dispatcher threads own scheme decisions, each for its own subset of
+//! signature shards (the `queue` module documents the affinity and
+//! stealing protocol).  A dispatcher pops coalesced batches from its
+//! shards, consults the [`ProfileStore`] (hit → no inspection), otherwise
+//! pays one [`Inspector`] pass and asks the decision model, then executes
+//! the batch on the persistent [`WorkerPool`] and folds the measurements
+//! back into the store.  When a batch contains several jobs reducing over
+//! the *same* pattern, they run as one **fused sweep** — one traversal
+//! producing every output (see `smartapps_reductions::fused`) — instead of
+//! merely sharing the decision.  The worker pool does the heavy lifting;
+//! each dispatcher participates as `tid 0` of its own SPMD regions, so no
+//! core idles while it "waits".
 
+use crate::error::JobError;
 use crate::job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, JobState, PatternSignature};
 use crate::pool::WorkerPool;
-use crate::profile::ProfileStore;
+use crate::profile::{ProfileEntry, ProfileStore};
 use crate::queue::{QueuedJob, ShardedQueue};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use smartapps_core::adaptive::AdaptiveReduction;
 use smartapps_reductions::{
-    run_scheme_on, DecisionModel, Inspection, Inspector, ModelInput, Scheme, SpmdExecutor,
+    run_fused_on, run_scheme_on, DecisionModel, FusedBody, Inspection, Inspector, ModelInput,
+    Scheme, SpmdExecutor,
 };
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
@@ -43,8 +50,17 @@ pub struct RuntimeConfig {
     pub workers: usize,
     /// Number of job-queue shards.
     pub shards: usize,
+    /// Number of shard-affine dispatcher threads.  Each owns `shards /
+    /// dispatchers` queue shards and steals from overloaded peers when its
+    /// own drain; `1` reproduces the original single-consumer service.
+    /// Clamped to `[1, shards]` at startup.
+    pub dispatchers: usize,
     /// Maximum jobs coalesced into one dispatch batch.
     pub max_batch: usize,
+    /// Maximum jobs executed as one fused sweep (one traversal, K
+    /// outputs).  `1` disables fusion; the privatizing schemes allocate
+    /// K-fold private storage, so this also bounds memory.
+    pub max_fuse: usize,
     /// Iterations sampled when computing pattern signatures.
     pub sample_iters: usize,
     /// Profile store location: loaded (if present) at startup, saved at
@@ -52,15 +68,24 @@ pub struct RuntimeConfig {
     pub profile_path: Option<PathBuf>,
 }
 
+/// Dispatcher count matched to a pool width: one dispatcher per four
+/// workers, capped at four.
+fn dispatchers_for(workers: usize) -> usize {
+    (workers / 4).clamp(1, 4)
+}
+
 impl Default for RuntimeConfig {
     fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 16);
         RuntimeConfig {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .clamp(1, 16),
+            workers,
             shards: 16,
+            dispatchers: dispatchers_for(workers),
             max_batch: 32,
+            max_fuse: 8,
             sample_iters: 2048,
             profile_path: None,
         }
@@ -74,6 +99,7 @@ struct Shared {
     stats: RuntimeStats,
     model: DecisionModel,
     max_batch: usize,
+    max_fuse: usize,
     sample_iters: usize,
     profile_path: Option<PathBuf>,
 }
@@ -82,10 +108,10 @@ struct Shared {
 ///
 /// Dropping (or [`shutdown`](Runtime::shutdown)-ing) the runtime closes
 /// the queue, drains every pending job, persists the profile store (when
-/// configured), and joins the dispatcher and all pool workers.
+/// configured), and joins every dispatcher and all pool workers.
 pub struct Runtime {
     shared: Arc<Shared>,
-    dispatcher: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
 }
 
 impl Runtime {
@@ -95,31 +121,40 @@ impl Runtime {
             Some(p) if p.exists() => ProfileStore::load(p).unwrap_or_default(),
             _ => ProfileStore::new(),
         };
+        let shards = config.shards.max(1);
+        let n_dispatchers = config.dispatchers.clamp(1, shards);
         let shared = Arc::new(Shared {
             pool: Arc::new(WorkerPool::new(config.workers)),
-            queue: ShardedQueue::new(config.shards),
+            queue: ShardedQueue::new(shards, n_dispatchers),
             profile: Mutex::new(profile),
             stats: RuntimeStats::default(),
             model: DecisionModel::default(),
             max_batch: config.max_batch.max(1),
+            max_fuse: config.max_fuse.max(1),
             sample_iters: config.sample_iters.max(1),
             profile_path: config.profile_path,
         });
-        let for_dispatcher = shared.clone();
-        let dispatcher = std::thread::Builder::new()
-            .name("smartapps-dispatcher".into())
-            .spawn(move || dispatcher_loop(&for_dispatcher))
-            .expect("spawn dispatcher");
+        let dispatchers = (0..n_dispatchers)
+            .map(|d| {
+                let for_dispatcher = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("smartapps-dispatcher-{d}"))
+                    .spawn(move || dispatcher_loop(&for_dispatcher, d))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
         Runtime {
             shared,
-            dispatcher: Some(dispatcher),
+            dispatchers,
         }
     }
 
-    /// Start a service with `workers` SPMD width and defaults otherwise.
+    /// Start a service with `workers` SPMD width and defaults otherwise
+    /// (dispatcher count scaled to the width).
     pub fn with_workers(workers: usize) -> Self {
         Runtime::new(RuntimeConfig {
             workers,
+            dispatchers: dispatchers_for(workers),
             ..RuntimeConfig::default()
         })
     }
@@ -129,11 +164,19 @@ impl Runtime {
         self.shared.pool.width()
     }
 
+    /// The number of dispatcher threads serving the queue.
+    pub fn dispatcher_count(&self) -> usize {
+        self.dispatchers.len()
+    }
+
     /// Submit one job; returns immediately with a blocking handle.
     ///
     /// Structurally invalid jobs (a malformed [`AccessPattern`]) are
-    /// rejected up front: the handle completes immediately with
-    /// [`JobResult::error`] set and nothing reaches the queue.
+    /// rejected up front: the handle completes immediately with a
+    /// [`JobErrorKind::Rejected`](crate::JobErrorKind::Rejected) error and
+    /// nothing reaches the queue.  Submissions racing a shutdown complete
+    /// with [`JobErrorKind::Shutdown`](crate::JobErrorKind::Shutdown)
+    /// instead of executing.
     ///
     /// [`AccessPattern`]: smartapps_workloads::AccessPattern
     pub fn submit(&self, mut spec: JobSpec) -> JobHandle {
@@ -156,7 +199,8 @@ impl Runtime {
                 elapsed: std::time::Duration::ZERO,
                 profile_hit: false,
                 batched_with: 0,
-                error: Some(format!("invalid access pattern: {e}")),
+                fused_with: 0,
+                error: Some(JobError::rejected(format!("invalid access pattern: {e}"))),
             });
             return handle;
         }
@@ -165,13 +209,26 @@ impl Runtime {
             state: state.clone(),
             signature: sig,
         };
+        let empty = empty_output(&spec.body);
         let accepted = self.shared.queue.push(QueuedJob { spec, sig, state });
-        assert!(accepted, "runtime queue is closed");
+        if !accepted {
+            RuntimeStats::add(&self.shared.stats.completed, 1);
+            handle.state.complete(JobResult {
+                output: empty,
+                scheme: Scheme::Seq,
+                elapsed: std::time::Duration::ZERO,
+                profile_hit: false,
+                batched_with: 0,
+                fused_with: 0,
+                error: Some(JobError::shutdown()),
+            });
+        }
         handle
     }
 
     /// Submit many jobs at once; the queue coalesces same-signature jobs
-    /// into shared dispatch batches.
+    /// into shared dispatch batches, and same-pattern members of a batch
+    /// execute as one fused sweep.
     pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Vec<JobHandle> {
         specs.into_iter().map(|s| self.submit(s)).collect()
     }
@@ -248,13 +305,15 @@ impl Runtime {
     }
 
     fn shutdown_impl(&mut self) {
-        // Explicit shutdown() is followed by Drop; the taken dispatcher
-        // handle marks the teardown (including the store save) as done.
-        let Some(d) = self.dispatcher.take() else {
+        // Explicit shutdown() is followed by Drop; the emptied dispatcher
+        // list marks the teardown (including the store save) as done.
+        if self.dispatchers.is_empty() {
             return;
-        };
+        }
         self.shared.queue.close();
-        let _ = d.join();
+        for d in self.dispatchers.drain(..) {
+            let _ = d.join();
+        }
         if let Some(path) = &self.shared.profile_path {
             let store = self
                 .shared
@@ -274,19 +333,24 @@ impl Drop for Runtime {
     }
 }
 
-fn dispatcher_loop(shared: &Shared) {
+fn dispatcher_loop(shared: &Shared, id: usize) {
     let mut cache = InspectionCache::new(64);
-    while let Some(batch) = shared.queue.pop_batch(shared.max_batch) {
-        process_batch(shared, &mut cache, batch);
+    while let Some(pop) = shared.queue.pop_batch_for(id, shared.max_batch) {
+        if pop.stolen {
+            RuntimeStats::add(&shared.stats.steals, 1);
+        }
+        process_batch(shared, &mut cache, pop.jobs);
     }
 }
 
 /// Key for inspection reuse: (pattern allocation address, SPMD width).
 type InspKey = (usize, usize);
 
-/// A small FIFO cache of inspector analyses, living across batches in the
+/// A small FIFO cache of inspector analyses, living across batches in each
 /// dispatcher, so a profiled `sel`/`lw` class does not pay a fresh
-/// inspection on every invocation of the same pattern.
+/// inspection on every invocation of the same pattern.  Shard affinity
+/// keeps a workload class on one dispatcher, which is what keeps this
+/// per-dispatcher cache warm.
 ///
 /// Entries are validated through a [`Weak`] handle before reuse: a cache
 /// key is the pattern's allocation address, and an address can be reused
@@ -352,6 +416,54 @@ fn empty_output(body: &JobBody) -> JobOutput {
     }
 }
 
+/// Per-batch bookkeeping shared by the per-job and fused execution paths.
+struct BatchCtx {
+    sig: PatternSignature,
+    batched_with: usize,
+    profile_hit: bool,
+    profiled: Option<ProfileEntry>,
+    /// Once one job of the batch detects drift and evicts the entry, no
+    /// later batch-mate may resurrect it (their measurements rode the same
+    /// stale decision) and the logical eviction is counted once.
+    evicted_this_batch: bool,
+}
+
+/// Partition a same-signature batch into fusable groups: members of one
+/// group reduce over the *same* pattern allocation with the same element
+/// flavor, SPMD width, and `lw` feasibility, so they can legally share one
+/// traversal.  Groups are capped at `max_fuse`; first-seen order is
+/// preserved, so `batch[0]` leads the first group.
+fn fuse_groups(
+    batch: Vec<QueuedJob>,
+    max_fuse: usize,
+    default_threads: usize,
+) -> Vec<Vec<QueuedJob>> {
+    type FuseKey = (usize, bool, usize, bool);
+    let mut keyed: Vec<(FuseKey, Vec<QueuedJob>)> = Vec::new();
+    for job in batch {
+        let key: FuseKey = (
+            Arc::as_ptr(&job.spec.pattern) as usize,
+            matches!(job.spec.body, JobBody::F64(_)),
+            job.spec.threads.unwrap_or(default_threads).max(1),
+            job.spec.lw_feasible,
+        );
+        match keyed.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, group)) => group.push(job),
+            None => keyed.push((key, vec![job])),
+        }
+    }
+    let cap = max_fuse.max(1);
+    let mut groups = Vec::new();
+    for (_, mut jobs) in keyed {
+        while jobs.len() > cap {
+            let rest = jobs.split_off(cap);
+            groups.push(std::mem::replace(&mut jobs, rest));
+        }
+        groups.push(jobs);
+    }
+    groups
+}
+
 fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<QueuedJob>) {
     let sig = batch[0].sig;
     let batched_with = batch.len() - 1;
@@ -371,13 +483,15 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
     }
 
     let default_threads = shared.pool.width();
+    let groups = fuse_groups(batch, shared.max_fuse, default_threads);
+
     // Nothing job-derived may unwind the dispatcher (that would hang every
     // pending handle): the decision — which may run the inspector over an
     // arbitrary client pattern — is fenced just like execution below.
     let batch_scheme = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &profiled {
         Some(entry) => entry.scheme,
         None => {
-            let first = &batch[0];
+            let first = &groups[0][0];
             let threads = first.spec.threads.unwrap_or(default_threads).max(1);
             let insp = cache.analyze(&first.spec.pattern, threads, &shared.stats);
             let input = ModelInput::from_inspection(&insp, first.spec.lw_feasible);
@@ -389,7 +503,7 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
         Err(payload) => {
             // The whole batch shares the poisoned decision input; fail it.
             let msg = format!("scheme decision panicked: {}", panic_message(&*payload));
-            for job in batch {
+            for job in groups.into_iter().flatten() {
                 RuntimeStats::add(&shared.stats.completed, 1);
                 job.state.complete(JobResult {
                     output: empty_output(&job.spec.body),
@@ -397,112 +511,234 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
                     elapsed: std::time::Duration::ZERO,
                     profile_hit: false,
                     batched_with,
-                    error: Some(msg.clone()),
+                    fused_with: 0,
+                    error: Some(JobError::panic(msg.clone())),
                 });
             }
             return;
         }
     };
 
-    // Once one job of the batch detects drift and evicts the entry, no
-    // later batch-mate may resurrect it (their measurements rode the same
-    // stale decision) and the logical eviction is counted once.
-    let mut evicted_this_batch = false;
-    for job in batch {
-        let threads = job.spec.threads.unwrap_or(default_threads).max(1);
-        let pool: &WorkerPool = &shared.pool;
-        let t0 = Instant::now();
-        // A panicking user body (or an inspector tripping over a malformed
-        // pattern) must not take the dispatcher down with it; the panic
-        // becomes the job's error and the service keeps draining.
-        let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            // A batch-mate (or stale profile) may have chosen
-            // owner-computes; jobs where that is illegal re-decide with
-            // `lw` masked off.
-            let redecided = batch_scheme == Scheme::Lw && !job.spec.lw_feasible;
-            let scheme = if redecided {
-                let insp = cache.analyze(&job.spec.pattern, threads, &shared.stats);
-                let input = ModelInput::from_inspection(&insp, false);
+    let mut ctx = BatchCtx {
+        sig,
+        batched_with,
+        profile_hit,
+        profiled,
+        evicted_this_batch: false,
+    };
+    for group in groups {
+        // Fusion gate: a group shares one traversal only when the
+        // fanout-aware model picks the hash scheme, whose per-reference
+        // probe is what fusion amortizes across all K outputs.  For the
+        // privatizing schemes the K-fold private footprints and
+        // per-output merges erase the shared-traversal win (measured in
+        // the throughput bench), so those groups execute per-job behind
+        // the shared batch decision.
+        let fuse = group.len() >= 2
+            && std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let threads = group[0].spec.threads.unwrap_or(default_threads).max(1);
+                let insp = cache.analyze(&group[0].spec.pattern, threads, &shared.stats);
+                let input = ModelInput::from_inspection(&insp, group[0].spec.lw_feasible)
+                    .with_fanout(group.len());
                 shared.model.decide(&input).best()
-            } else {
-                batch_scheme
-            };
-            let insp = matches!(scheme, Scheme::Sel | Scheme::Lw)
-                .then(|| cache.analyze(&job.spec.pattern, threads, &shared.stats));
-            let output = match &job.spec.body {
-                JobBody::F64(f) => JobOutput::F64(run_scheme_on(
-                    scheme,
-                    &job.spec.pattern,
-                    &|i, r| f(i, r),
-                    threads,
-                    insp.as_ref(),
-                    pool,
-                )),
-                JobBody::I64(f) => JobOutput::I64(run_scheme_on(
-                    scheme,
-                    &job.spec.pattern,
-                    &|i, r| f(i, r),
-                    threads,
-                    insp.as_ref(),
-                    pool,
-                )),
-            };
-            (output, scheme, redecided)
-        }));
-        let elapsed = t0.elapsed();
-
-        let (output, scheme, redecided, error) = match work {
-            Ok((out, scheme, redecided)) => (out, scheme, redecided, None),
-            Err(payload) => (
-                empty_output(&job.spec.body),
-                batch_scheme,
-                false,
-                Some(panic_message(&*payload)),
-            ),
-        };
-
-        // Feed the profile only from clean, non-substituted executions.
-        if error.is_none() && !redecided {
-            let refs = job.spec.pattern.num_references();
-            let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
-            // Phase-change guard: a profiled class now running far slower
-            // than its calibration predicts gets evicted — and this run's
-            // measurement is NOT recorded, so the next batch misses the
-            // profile and re-inspects instead of trusting stale history.
-            let drifted = !evicted_this_batch
-                && profiled.as_ref().is_some_and(|entry| {
-                    entry.runs >= DRIFT_MIN_RUNS
-                        && elapsed.as_secs_f64()
-                            > DRIFT_EVICT_RATIO * entry.predict(refs).as_secs_f64()
-                });
-            if drifted {
-                store.evict(sig);
-                RuntimeStats::add(&shared.stats.evictions, 1);
-                evicted_this_batch = true;
-            } else if !evicted_this_batch {
-                store.record(sig, scheme, threads, refs, elapsed);
+            }))
+            .is_ok_and(|s| s == Scheme::Hash);
+        if fuse {
+            execute_fused(shared, cache, &mut ctx, batch_scheme, group);
+        } else {
+            for job in group {
+                execute_single(shared, cache, &mut ctx, batch_scheme, job);
             }
         }
+    }
+}
 
-        // Bump counters before waking the handle so a client that reads
-        // stats right after `wait()` never sees its own job missing.
-        RuntimeStats::add(&shared.stats.completed, 1);
-        job.state.complete(JobResult {
-            output,
-            scheme,
-            elapsed,
-            // This job's decision came from the store only if it was not
-            // re-decided under the lw-feasibility mask.
-            profile_hit: profile_hit && !redecided,
-            batched_with,
-            error,
-        });
+/// Execute one job on its own traversal (the non-fused path).
+fn execute_single(
+    shared: &Shared,
+    cache: &mut InspectionCache,
+    ctx: &mut BatchCtx,
+    batch_scheme: Scheme,
+    job: QueuedJob,
+) {
+    let threads = job.spec.threads.unwrap_or(shared.pool.width()).max(1);
+    let pool: &WorkerPool = &shared.pool;
+    let t0 = Instant::now();
+    // A panicking user body (or an inspector tripping over a malformed
+    // pattern) must not take the dispatcher down with it; the panic
+    // becomes the job's error and the service keeps draining.
+    let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // A batch-mate (or stale profile) may have chosen owner-computes;
+        // jobs where that is illegal re-decide with `lw` masked off.
+        let redecided = batch_scheme == Scheme::Lw && !job.spec.lw_feasible;
+        let scheme = if redecided {
+            let insp = cache.analyze(&job.spec.pattern, threads, &shared.stats);
+            let input = ModelInput::from_inspection(&insp, false);
+            shared.model.decide(&input).best()
+        } else {
+            batch_scheme
+        };
+        let insp = matches!(scheme, Scheme::Sel | Scheme::Lw)
+            .then(|| cache.analyze(&job.spec.pattern, threads, &shared.stats));
+        let output = match &job.spec.body {
+            JobBody::F64(f) => JobOutput::F64(run_scheme_on(
+                scheme,
+                &job.spec.pattern,
+                &|i, r| f(i, r),
+                threads,
+                insp.as_ref(),
+                pool,
+            )),
+            JobBody::I64(f) => JobOutput::I64(run_scheme_on(
+                scheme,
+                &job.spec.pattern,
+                &|i, r| f(i, r),
+                threads,
+                insp.as_ref(),
+                pool,
+            )),
+        };
+        (output, scheme, redecided)
+    }));
+    let elapsed = t0.elapsed();
+
+    let (output, scheme, redecided, error) = match work {
+        Ok((out, scheme, redecided)) => (out, scheme, redecided, None),
+        Err(payload) => (
+            empty_output(&job.spec.body),
+            batch_scheme,
+            false,
+            Some(JobError::panic(panic_message(&*payload))),
+        ),
+    };
+
+    // Feed the profile only from clean, non-substituted executions.
+    if error.is_none() && !redecided {
+        let refs = job.spec.pattern.num_references();
+        let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
+        // Phase-change guard: a profiled class now running far slower
+        // than its calibration predicts gets evicted — and this run's
+        // measurement is NOT recorded, so the next batch misses the
+        // profile and re-inspects instead of trusting stale history.
+        let drifted = !ctx.evicted_this_batch
+            && ctx.profiled.as_ref().is_some_and(|entry| {
+                entry.runs >= DRIFT_MIN_RUNS
+                    && elapsed.as_secs_f64() > DRIFT_EVICT_RATIO * entry.predict(refs).as_secs_f64()
+            });
+        if drifted {
+            store.evict(ctx.sig);
+            RuntimeStats::add(&shared.stats.evictions, 1);
+            ctx.evicted_this_batch = true;
+        } else if !ctx.evicted_this_batch {
+            store.record(ctx.sig, scheme, threads, refs, elapsed);
+        }
+    }
+
+    // Bump counters before waking the handle so a client that reads
+    // stats right after `wait()` never sees its own job missing.
+    RuntimeStats::add(&shared.stats.completed, 1);
+    job.state.complete(JobResult {
+        output,
+        scheme,
+        elapsed,
+        // This job's decision came from the store only if it was not
+        // re-decided under the lw-feasibility mask.
+        profile_hit: ctx.profile_hit && !redecided,
+        batched_with: ctx.batched_with,
+        fused_with: 0,
+        error,
+    });
+}
+
+/// Execute a fusable group (same pattern, flavor, width, `lw` mask) as one
+/// fused hash sweep: one traversal of the pattern accumulating every
+/// member's output through stride-K hash tables — the gate in
+/// [`process_batch`] only sends groups here after the fanout-aware model
+/// picked [`Scheme::Hash`].  The sweep does not feed the profile store:
+/// the store holds single-job truth, and a fanout-K decision belongs to a
+/// different operating point.  If any body panics the sweep is abandoned
+/// and the group falls back to isolated per-job execution, so a poisoned
+/// body fails alone instead of taking its group-mates' results with it.
+fn execute_fused(
+    shared: &Shared,
+    cache: &mut InspectionCache,
+    ctx: &mut BatchCtx,
+    batch_scheme: Scheme,
+    group: Vec<QueuedJob>,
+) {
+    let k = group.len();
+    let threads = group[0].spec.threads.unwrap_or(shared.pool.width()).max(1);
+    let pat = group[0].spec.pattern.clone();
+    let pool: &WorkerPool = &shared.pool;
+    let scheme = Scheme::Hash;
+    let t0 = Instant::now();
+    let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let outputs: Vec<JobOutput> = match &group[0].spec.body {
+            JobBody::F64(_) => {
+                let bodies: Vec<FusedBody<'_, f64>> = group
+                    .iter()
+                    .map(|j| match &j.spec.body {
+                        JobBody::F64(f) => &**f as FusedBody<'_, f64>,
+                        JobBody::I64(_) => unreachable!("fuse group mixes flavors"),
+                    })
+                    .collect();
+                run_fused_on(scheme, &pat, &bodies, threads, None, pool)
+                    .into_iter()
+                    .map(JobOutput::F64)
+                    .collect()
+            }
+            JobBody::I64(_) => {
+                let bodies: Vec<FusedBody<'_, i64>> = group
+                    .iter()
+                    .map(|j| match &j.spec.body {
+                        JobBody::I64(f) => &**f as FusedBody<'_, i64>,
+                        JobBody::F64(_) => unreachable!("fuse group mixes flavors"),
+                    })
+                    .collect();
+                run_fused_on(scheme, &pat, &bodies, threads, None, pool)
+                    .into_iter()
+                    .map(JobOutput::I64)
+                    .collect()
+            }
+        };
+        outputs
+    }));
+    let elapsed = t0.elapsed();
+
+    match work {
+        Ok(outputs) => {
+            RuntimeStats::add(&shared.stats.fused_sweeps, 1);
+            RuntimeStats::add(&shared.stats.fused_jobs, k as u64);
+            for (job, output) in group.into_iter().zip(outputs) {
+                RuntimeStats::add(&shared.stats.completed, 1);
+                job.state.complete(JobResult {
+                    output,
+                    scheme,
+                    elapsed,
+                    // The fused scheme came from the fanout-aware model,
+                    // not the store.
+                    profile_hit: false,
+                    batched_with: ctx.batched_with,
+                    fused_with: k - 1,
+                    error: None,
+                });
+            }
+        }
+        Err(_) => {
+            // Isolation fallback: re-run each member alone (behind the
+            // batch's own per-job decision) so only the panicking body
+            // reports an error.
+            for job in group {
+                execute_single(shared, cache, ctx, batch_scheme, job);
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::JobErrorKind;
     use smartapps_workloads::pattern::{sequential_reduce, sequential_reduce_i64};
     use smartapps_workloads::{contribution, contribution_i64, Distribution, PatternSpec};
     use std::time::Duration;
@@ -577,6 +813,123 @@ mod tests {
         }
     }
 
+    /// A class sparse enough that the fanout-aware model sends fused
+    /// groups (K >= 5, any width) to the hash kernel.
+    fn sparse_pattern(seed: u64) -> Arc<smartapps_workloads::AccessPattern> {
+        Arc::new(
+            PatternSpec {
+                num_elements: 400_000,
+                iterations: 4_000,
+                refs_per_iter: 12,
+                coverage: 0.004,
+                dist: Distribution::Uniform,
+                seed,
+            }
+            .generate(),
+        )
+    }
+
+    #[test]
+    fn fused_group_outputs_match_per_body_oracles() {
+        // One dispatcher, deterministic fusing: occupy it with a large
+        // warm-up job, then queue K same-pattern sparse jobs with K
+        // different bodies — they must coalesce into one batch and pass
+        // the fusion gate (sparse + fanout => hash) as one sweep.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 3,
+            dispatchers: 1,
+            max_batch: 32,
+            max_fuse: 8,
+            ..RuntimeConfig::default()
+        });
+        let big = Arc::new(
+            PatternSpec {
+                num_elements: 60_000,
+                iterations: 1_200_000,
+                refs_per_iter: 2,
+                coverage: 1.0,
+                dist: Distribution::Uniform,
+                seed: 91,
+            }
+            .generate(),
+        );
+        let warm = rt.submit(JobSpec::i64(big, |_i, r| contribution_i64(r)));
+        let pat = sparse_pattern(61);
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|kk| {
+                let scale = kk as i64 + 1;
+                rt.submit(JobSpec::i64(pat.clone(), move |_i, r| {
+                    contribution_i64(r).wrapping_mul(scale)
+                }))
+            })
+            .collect();
+        warm.wait();
+        let base = sequential_reduce_i64(&pat);
+        for (kk, h) in handles.into_iter().enumerate() {
+            let r = h.wait();
+            assert!(r.error.is_none());
+            let scale = kk as i64 + 1;
+            let expect: Vec<i64> = base.iter().map(|v| v.wrapping_mul(scale)).collect();
+            assert_eq!(r.output.as_i64().unwrap(), expect, "fused output {kk}");
+            assert_eq!(r.fused_with, 5, "all six must share one sweep");
+            assert_eq!(r.batched_with, 5);
+            assert_eq!(r.scheme, Scheme::Hash, "fusion gate only admits hash");
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.fused_sweeps, 1);
+        assert_eq!(stats.fused_jobs, 6);
+    }
+
+    #[test]
+    fn max_fuse_one_disables_fusion() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            max_fuse: 1,
+            ..RuntimeConfig::default()
+        });
+        let pat = sparse_pattern(63);
+        let handles = rt.submit_batch(
+            (0..6)
+                .map(|_| JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)))
+                .collect(),
+        );
+        let oracle = sequential_reduce_i64(&pat);
+        for h in handles {
+            let r = h.wait();
+            assert_eq!(r.output.as_i64().unwrap(), oracle);
+            assert_eq!(r.fused_with, 0, "max_fuse 1 must never fuse");
+        }
+        assert_eq!(rt.stats().fused_sweeps, 0);
+    }
+
+    #[test]
+    fn dense_groups_do_not_pass_the_fusion_gate() {
+        // Dense cache-resident classes lose by fusing (K-fold private
+        // footprints); the gate must route them per-job even when the
+        // batch coalesces.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            max_batch: 32,
+            max_fuse: 8,
+            ..RuntimeConfig::default()
+        });
+        let pat = pattern(63);
+        let handles = rt.submit_batch(
+            (0..6)
+                .map(|_| JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)))
+                .collect(),
+        );
+        let oracle = sequential_reduce_i64(&pat);
+        for h in handles {
+            let r = h.wait();
+            assert_eq!(r.output.as_i64().unwrap(), oracle);
+            assert_eq!(r.fused_with, 0, "dense class must not fuse");
+        }
+        assert_eq!(rt.stats().fused_sweeps, 0);
+    }
+
     #[test]
     fn shutdown_drains_pending_jobs() {
         let rt = Runtime::with_workers(2);
@@ -588,6 +941,20 @@ mod tests {
         for h in handles {
             assert!(h.try_wait().is_some(), "shutdown must not drop queued jobs");
         }
+    }
+
+    #[test]
+    fn submission_after_queue_close_reports_shutdown_kind() {
+        let rt = Runtime::with_workers(2);
+        // Reach in and close the queue as shutdown would, while the
+        // runtime handle is still alive to accept the racing submission.
+        rt.shared.queue.close();
+        let r = rt
+            .submit(JobSpec::i64(pattern(77), |_i, r| contribution_i64(r)))
+            .wait();
+        let err = r.error.expect("closed queue must fail the job");
+        assert_eq!(err.kind, JobErrorKind::Shutdown);
+        assert!(r.output.is_empty());
     }
 
     #[test]
@@ -633,11 +1000,9 @@ mod tests {
             indices: vec![7],
         });
         let r = rt.submit(JobSpec::i64(broken, |_i, _r| 1)).wait();
-        assert!(r
-            .error
-            .as_deref()
-            .unwrap_or("")
-            .contains("invalid access pattern"));
+        let err = r.error.expect("invalid pattern must be rejected");
+        assert_eq!(err.kind, JobErrorKind::Rejected);
+        assert!(err.message.contains("invalid access pattern"));
         // An absurd width request is clamped, not a dispatcher panic.
         let pat = pattern(53);
         let r = rt
@@ -670,8 +1035,9 @@ mod tests {
                 1
             }))
             .wait();
-        let msg = r.error.expect("worker panic must surface");
-        assert!(msg.contains("bad row"), "original payload lost: {msg}");
+        let err = r.error.expect("worker panic must surface");
+        assert_eq!(err.kind, JobErrorKind::Panic);
+        assert!(err.message.contains("bad row"), "payload lost: {err}");
     }
 
     #[test]
@@ -681,10 +1047,15 @@ mod tests {
         let bad = rt.submit(JobSpec::i64(pat.clone(), |_i, _r| panic!("poisoned body")));
         let good = rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
         let bad = bad.wait();
-        assert!(bad.error.as_deref().unwrap_or("").contains("poisoned body"));
+        let err = bad.error.expect("poisoned body must fail");
+        assert_eq!(err.kind, JobErrorKind::Panic);
+        assert!(err.message.contains("poisoned body"));
         assert!(bad.output.is_empty());
         let good = good.wait();
-        assert!(good.error.is_none());
+        assert!(
+            good.error.is_none(),
+            "a fused or batched group-mate of a poisoned body must still succeed"
+        );
         assert_eq!(
             good.output.as_i64().unwrap(),
             sequential_reduce_i64(&pat),
@@ -794,6 +1165,37 @@ mod tests {
     }
 
     #[test]
+    fn multi_dispatcher_service_stays_correct_under_load() {
+        let rt = Arc::new(Runtime::new(RuntimeConfig {
+            workers: 4,
+            shards: 8,
+            dispatchers: 4,
+            ..RuntimeConfig::default()
+        }));
+        assert_eq!(rt.dispatcher_count(), 4);
+        let classes: Vec<_> = (0..4).map(|s| pattern(100 + s)).collect();
+        let oracles: Vec<Vec<i64>> = classes.iter().map(|p| sequential_reduce_i64(p)).collect();
+        std::thread::scope(|s| {
+            for c in 0..4 {
+                let rt = rt.clone();
+                let classes = &classes;
+                let oracles = &oracles;
+                s.spawn(move || {
+                    for j in 0..20 {
+                        let which = (c + j) % classes.len();
+                        let r = rt.run(JobSpec::i64(classes[which].clone(), |_i, r| {
+                            contribution_i64(r)
+                        }));
+                        assert!(r.error.is_none());
+                        assert_eq!(r.output.as_i64().unwrap(), oracles[which], "class {which}");
+                    }
+                });
+            }
+        });
+        assert_eq!(rt.stats().completed, 80);
+    }
+
+    #[test]
     fn inspection_cache_reuses_and_revalidates() {
         let stats = RuntimeStats::default();
         let mut cache = InspectionCache::new(4);
@@ -818,6 +1220,37 @@ mod tests {
         let before = stats.snapshot().inspections;
         cache.analyze(&fresh, 3, &stats);
         assert_eq!(stats.snapshot().inspections, before + 1);
+    }
+
+    #[test]
+    fn fuse_groups_split_by_pattern_flavor_and_cap() {
+        let pat_a = pattern(71);
+        let pat_b = pattern(72);
+        let mk = |spec: JobSpec| QueuedJob {
+            sig: PatternSignature(1),
+            state: JobState::new(),
+            spec,
+        };
+        let batch = vec![
+            mk(JobSpec::i64(pat_a.clone(), |_i, r| contribution_i64(r))),
+            mk(JobSpec::i64(pat_a.clone(), |_i, r| contribution_i64(r))),
+            mk(JobSpec::f64(pat_a.clone(), |_i, r| contribution(r))),
+            mk(JobSpec::i64(pat_b.clone(), |_i, r| contribution_i64(r))),
+            mk(JobSpec::i64(pat_a.clone(), |_i, r| contribution_i64(r))),
+        ];
+        let groups = fuse_groups(batch, 8, 4);
+        // i64-on-A x3, f64-on-A x1, i64-on-B x1.
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 1);
+        assert_eq!(groups[2].len(), 1);
+        // The cap splits oversized groups.
+        let batch: Vec<QueuedJob> = (0..7)
+            .map(|_| mk(JobSpec::i64(pat_a.clone(), |_i, r| contribution_i64(r))))
+            .collect();
+        let groups = fuse_groups(batch, 3, 4);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub struct RuntimeStats {
     pub(crate) profile_hits: AtomicU64,
     pub(crate) inspections: AtomicU64,
     pub(crate) evictions: AtomicU64,
+    pub(crate) steals: AtomicU64,
+    pub(crate) fused_sweeps: AtomicU64,
+    pub(crate) fused_jobs: AtomicU64,
 }
 
 /// A point-in-time copy of [`RuntimeStats`].
@@ -33,6 +36,14 @@ pub struct StatsSnapshot {
     pub inspections: u64,
     /// Profile entries evicted after calibration drift.
     pub evictions: u64,
+    /// Batches a dispatcher stole from a peer's shards after draining its
+    /// own (see the shard-affine dispatcher design in `queue`).
+    pub steals: u64,
+    /// Fused execution sweeps run (one traversal, multiple outputs).
+    pub fused_sweeps: u64,
+    /// Jobs whose output was produced by a fused sweep (each sweep
+    /// accounts for ≥ 2 of these).
+    pub fused_jobs: u64,
 }
 
 impl RuntimeStats {
@@ -50,6 +61,9 @@ impl RuntimeStats {
             profile_hits: self.profile_hits.load(Ordering::Relaxed),
             inspections: self.inspections.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            fused_sweeps: self.fused_sweeps.load(Ordering::Relaxed),
+            fused_jobs: self.fused_jobs.load(Ordering::Relaxed),
         }
     }
 }

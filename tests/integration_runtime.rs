@@ -165,6 +165,98 @@ fn profile_store_round_trip_survives_restart() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The steal path: one shard flooded with a single workload class while
+/// every other dispatcher's shards sit idle.  Cross-dispatcher stealing
+/// must drain the flood (steals observed) and every result must still
+/// match the oracle.
+#[test]
+fn flooded_shard_is_drained_by_stealing_peers() {
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers: 2,
+        shards: 8,
+        dispatchers: 4,
+        // One job per batch and no fusion: the owner cannot swallow the
+        // flood in one pop, so its peers must steal to keep up.
+        max_batch: 1,
+        max_fuse: 1,
+        ..RuntimeConfig::default()
+    }));
+    let pat = pattern(31, 2000, 4000, 0.9);
+    let oracle = sequential_reduce_i64(&pat);
+    // All 60 jobs carry the same signature → the same shard → one owner;
+    // the other three dispatchers have nothing of their own to do.
+    let handles: Vec<_> = (0..60)
+        .map(|_| rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r))))
+        .collect();
+    for h in handles {
+        let r = h.wait();
+        assert!(r.error.is_none());
+        assert_eq!(r.output.as_i64().unwrap(), &oracle[..]);
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.completed, 60);
+    assert!(
+        stats.steals > 0,
+        "idle dispatchers must steal from the flooded shard: {stats:?}"
+    );
+}
+
+/// Fused execution: K same-pattern sparse jobs with K different
+/// contribution bodies coalesce into one hash sweep whose K outputs each
+/// match the corresponding sequential oracle run.
+#[test]
+fn fused_batch_matches_k_sequential_oracles() {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 3,
+        dispatchers: 1, // deterministic coalescing: one consumer
+        max_batch: 32,
+        max_fuse: 8,
+        ..RuntimeConfig::default()
+    });
+    // Occupy the lone dispatcher with a large job so the K submissions
+    // below are all queued together when it next pops.
+    let big = pattern(33, 50_000, 1_200_000, 1.0);
+    let warm = rt.submit(JobSpec::i64(big, |_i, r| contribution_i64(r)));
+    // Sparse enough that the fanout-aware fusion gate picks hash.
+    let pat = Arc::new(
+        PatternSpec {
+            num_elements: 400_000,
+            iterations: 4_000,
+            refs_per_iter: 12,
+            coverage: 0.004,
+            dist: Distribution::Uniform,
+            seed: 35,
+        }
+        .generate(),
+    );
+    const K: usize = 5;
+    let handles: Vec<_> = (0..K)
+        .map(|k| {
+            let scale = k as i64 + 1;
+            rt.submit(JobSpec::i64(pat.clone(), move |_i, r| {
+                contribution_i64(r).wrapping_mul(scale)
+            }))
+        })
+        .collect();
+    warm.wait();
+    // Oracle: K separate sequential runs, one per body.
+    let base = sequential_reduce_i64(&pat);
+    for (k, h) in handles.into_iter().enumerate() {
+        let r = h.wait();
+        assert!(r.error.is_none());
+        let scale = k as i64 + 1;
+        let expect: Vec<i64> = base.iter().map(|v| v.wrapping_mul(scale)).collect();
+        assert_eq!(r.output.as_i64().unwrap(), &expect[..], "fused output {k}");
+        assert_eq!(r.fused_with, K - 1, "all {K} jobs must share one sweep");
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.fused_sweeps, 1, "{stats:?}");
+    assert_eq!(stats.fused_jobs, K as u64);
+    // One decision for the fused batch: at most one inspection beyond the
+    // warm-up job's.
+    assert!(stats.inspections <= 2, "{stats:?}");
+}
+
 /// An adaptive feedback loop running on the shared pool stays correct
 /// and its learned PerformanceDb flows into the persistent store.
 #[test]

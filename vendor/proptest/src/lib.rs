@@ -283,7 +283,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Acceptable size specifications for [`vec`].
+    /// Acceptable size specifications for [`vec()`].
     pub trait SizeRange {
         /// Lower and upper bound (inclusive) of the generated length.
         fn bounds(&self) -> (usize, usize);
@@ -313,7 +313,7 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
