@@ -25,6 +25,12 @@ pub fn run_scheme<T: RedElem>(
 /// Execute one scheme on the supplied [`SpmdExecutor`] — the pooled
 /// execution path used by `smartapps-runtime`, which routes the SPMD
 /// region onto persistent workers instead of spawning threads per call.
+///
+/// # Panics
+///
+/// Panics for [`Scheme::Pclr`]: the hardware scheme has no software
+/// kernel and must be routed to a PCLR-capable execution backend
+/// (`smartapps-runtime`'s `PclrBackend`).
 pub fn run_scheme_on<T: RedElem>(
     scheme: Scheme,
     pat: &AccessPattern,
@@ -51,6 +57,9 @@ pub fn run_scheme_on<T: RedElem>(
         Scheme::Hash => algorithms::hash_on(pat, body, threads, exec),
         Scheme::Sel => algorithms::sel_on(pat, body, threads, &insp.unwrap().conflicts, exec),
         Scheme::Lw => algorithms::lw_on(pat, body, threads, &insp.unwrap().owners, exec),
+        Scheme::Pclr => {
+            panic!("Scheme::Pclr has no software kernel; route it to a PCLR execution backend")
+        }
     }
 }
 

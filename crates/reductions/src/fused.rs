@@ -39,6 +39,12 @@ pub type FusedBody<'a, T> = &'a (dyn Fn(usize, usize) -> T + Sync);
 /// `sel` and `lw` need an inspection; the caller's is reused when
 /// supplied, otherwise one is computed here.  An empty `bodies` slice
 /// yields an empty result vector without touching the pattern.
+///
+/// # Panics
+///
+/// Panics for [`Scheme::Pclr`]: the hardware scheme has no software
+/// kernel (and the simulated PCLR machine executes one reduction per
+/// loop, so fused sweeps never route there).
 pub fn run_fused_on<T: RedElem>(
     scheme: Scheme,
     pat: &AccessPattern,
@@ -66,6 +72,9 @@ pub fn run_fused_on<T: RedElem>(
         Scheme::Hash => hash_fused(pat, bodies, threads, exec),
         Scheme::Sel => sel_fused(pat, bodies, threads, &insp.unwrap().conflicts, exec),
         Scheme::Lw => lw_fused(pat, bodies, threads, &insp.unwrap().owners, exec),
+        Scheme::Pclr => {
+            panic!("Scheme::Pclr has no software kernel; route it to a PCLR execution backend")
+        }
     }
 }
 

@@ -74,6 +74,17 @@ pub struct ModelParams {
     /// Invocation count the inspector amortizes over (reduction loops are
     /// typically re-entered many times per run; Table 2 shows up to 3855).
     pub amortize_invocations: f64,
+    /// Per-reference cost of a PCLR reduction update (the
+    /// `load&pin`/add/`store&unpin` triple hitting a reduction-state
+    /// line; misses are filled locally with neutral lines, so the
+    /// effective per-reference cost stays near a cache hit).
+    pub pclr_update: f64,
+    /// Per-resident-line cost of the PCLR end-of-loop cache flush (sweep
+    /// plus background combine at the home).
+    pub pclr_flush_line: f64,
+    /// Fixed per-invocation cost of offloading to the PCLR backend
+    /// (controller configuration syscall, trace lowering, readback).
+    pub pclr_offload_fixed: f64,
 }
 
 impl Default for ModelParams {
@@ -95,6 +106,9 @@ impl Default for ModelParams {
             update_miss_penalty: 2.0,
             cache_bytes: 512.0 * 1024.0,
             amortize_invocations: 5.0,
+            pclr_update: 1.3,
+            pclr_flush_line: 12.0,
+            pclr_offload_fixed: 60_000.0,
         }
     }
 }
@@ -134,6 +148,11 @@ pub struct ModelInput {
     /// shares the pattern walk and iteration scaffolding across K outputs
     /// while paying K-fold body, update, and merge costs.
     pub fanout: usize,
+    /// Whether a PCLR-capable execution backend is available for this
+    /// instance.  When `false` (the default) the hardware
+    /// [`Scheme::Pclr`] never enters the ranking, preserving the
+    /// software-only competition of Section 4.
+    pub pclr_available: bool,
 }
 
 impl ModelInput {
@@ -146,6 +165,7 @@ impl ModelInput {
             threads: insp.conflicts.threads,
             lw_feasible,
             fanout: 1,
+            pclr_available: false,
         }
     }
 
@@ -153,6 +173,13 @@ impl ModelInput {
     /// contribution functions sharing one traversal.
     pub fn with_fanout(mut self, fanout: usize) -> Self {
         self.fanout = fanout.max(1);
+        self
+    }
+
+    /// The same instance with a PCLR execution backend (un)available, so
+    /// the hardware scheme can join the ranking.
+    pub fn with_pclr(mut self, available: bool) -> Self {
+        self.pclr_available = available;
         self
     }
 
@@ -288,15 +315,42 @@ impl DecisionModel {
                 let loc = q.locality_cost(d_hot * (8.0 + 8.0 * k));
                 body + (r / p) * loc * (q.hash_per_ref + (k - 1.0)) + q.hash_merge_elem * k * d_t
             }
+            Scheme::Pclr => {
+                // Hardware combining (Section 5): no private-array init,
+                // no software merge.  Reduction misses are filled locally
+                // with neutral lines, so updates cost near a cache hit
+                // regardless of the array's dimension; the "merge" is the
+                // end-of-loop flush of resident reduction lines, combined
+                // by the home controllers in the background.  Fused
+                // sweeps and unavailable backends never route here.
+                if !input.pclr_available || input.fanout > 1 {
+                    return f64::INFINITY;
+                }
+                // Only *resident* reduction lines are flushed: "the work
+                // is at worst proportional to the size of the cache".
+                let resident = (c.distinct_lines as f64)
+                    .min(r / p)
+                    .min(q.cache_bytes / 64.0);
+                // The offload overhead (configuration, trace lowering,
+                // readback) is serial — it does not shrink with pool
+                // width, like the software merges above.
+                body + (r / p) * q.pclr_update + q.pclr_flush_line * resident + q.pclr_offload_fixed
+            }
         }
     }
 
-    /// Rank all parallel schemes for the given instance.
+    /// Rank all parallel schemes for the given instance.  The hardware
+    /// [`Scheme::Pclr`] joins the ranking only when the instance reports
+    /// a PCLR backend ([`ModelInput::with_pclr`]); software-only callers
+    /// keep the five-scheme competition of Section 4.
     pub fn decide(&self, input: &ModelInput) -> Prediction {
         let mut ranking: Vec<(Scheme, f64)> = Scheme::all_parallel()
             .into_iter()
             .map(|s| (s, self.predict(s, input)))
             .collect();
+        if input.pclr_available {
+            ranking.push((Scheme::Pclr, self.predict(Scheme::Pclr, input)));
+        }
         ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
         Prediction { ranking }
     }
@@ -341,6 +395,7 @@ mod tests {
             threads,
             lw_feasible: lw,
             fanout: 1,
+            pclr_available: false,
         }
     }
 
@@ -470,6 +525,39 @@ mod tests {
             m.predict(Scheme::Rep, &single),
             m.predict(Scheme::Rep, &single.clone().with_fanout(0))
         );
+    }
+
+    #[test]
+    fn pclr_joins_the_ranking_only_when_available() {
+        let c = chars_for(50_000, 100_000, 2, 0.3);
+        let m = DecisionModel::default();
+        let inp = input(c, 8, false);
+        // Software-only callers never see the hardware scheme.
+        assert!(m.predict(Scheme::Pclr, &inp).is_infinite());
+        assert_eq!(m.decide(&inp).ranking.len(), 5);
+        // With a backend, pclr competes with a finite cost.
+        let with = inp.clone().with_pclr(true);
+        assert_eq!(m.decide(&with).ranking.len(), 6);
+        assert!(m.predict(Scheme::Pclr, &with).is_finite());
+        assert!(m.decide(&with).cost_of(Scheme::Pclr).is_some());
+        // Fused batches never route to the hardware path.
+        assert!(m.predict(Scheme::Pclr, &with.with_fanout(2)).is_infinite());
+    }
+
+    #[test]
+    fn pclr_wins_huge_scattered_classes_and_loses_small_ones() {
+        let m = DecisionModel::default();
+        // Huge dimension, scattered references, heavy traffic: every
+        // software scheme pays O(N) sweeps, misses, or giant merges; the
+        // hardware combines in place with no init and a cache-bounded
+        // flush (the Figure 6 regime where Hw wins).
+        let heavy = chars_for(2_000_000, 500_000, 2, 0.4);
+        let pred = m.decide(&input(heavy, 8, false).with_pclr(true));
+        assert_eq!(pred.best(), Scheme::Pclr, "ranking: {:?}", pred.ranking);
+        // A small loop cannot amortize the offload: software keeps it.
+        let tiny = chars_for(512, 200, 2, 1.0);
+        let pred = m.decide(&input(tiny, 8, false).with_pclr(true));
+        assert_ne!(pred.best(), Scheme::Pclr, "ranking: {:?}", pred.ranking);
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub enum Scheme {
     Lw,
     /// `hash` — sparse reductions privatized in per-processor hash tables.
     Hash,
+    /// `pclr` — the hardware scheme of Section 5: reduction accesses are
+    /// marked (shadow-addressed) and combined by the directory
+    /// controllers' combine units, with no private-array initialization
+    /// and a cache-flush merge.  This scheme has **no software kernel**;
+    /// it executes on a PCLR-capable execution backend (the simulated
+    /// machine in `smartapps-sim`, routed by `smartapps-runtime`'s
+    /// `PclrBackend`).  [`run_scheme`](crate::run_scheme) and
+    /// [`run_fused`](crate::run_fused) panic when asked to run it.
+    Pclr,
 }
 
 impl Scheme {
@@ -41,6 +50,7 @@ impl Scheme {
             Scheme::Sel => "sel",
             Scheme::Lw => "lw",
             Scheme::Hash => "hash",
+            Scheme::Pclr => "pclr",
         }
     }
 
@@ -53,11 +63,13 @@ impl Scheme {
             "sel" => Scheme::Sel,
             "lw" => Scheme::Lw,
             "hash" => Scheme::Hash,
+            "pclr" => Scheme::Pclr,
             _ => return None,
         })
     }
 
-    /// All parallel schemes (excludes `Seq`).
+    /// All *software* parallel schemes (excludes `Seq` and the hardware
+    /// `Pclr` scheme, which needs a PCLR-capable backend to execute).
     pub fn all_parallel() -> [Scheme; 5] {
         [
             Scheme::Rep,
@@ -66,6 +78,12 @@ impl Scheme {
             Scheme::Lw,
             Scheme::Hash,
         ]
+    }
+
+    /// True for schemes the software library can execute directly
+    /// (everything except the hardware [`Pclr`](Scheme::Pclr) scheme).
+    pub fn is_software(self) -> bool {
+        self != Scheme::Pclr
     }
 }
 
@@ -198,12 +216,16 @@ mod tests {
             Scheme::Sel,
             Scheme::Lw,
             Scheme::Hash,
+            Scheme::Pclr,
         ] {
             assert_eq!(Scheme::from_abbrev(s.abbrev()), Some(s));
             assert_eq!(format!("{s}"), s.abbrev());
         }
         assert_eq!(Scheme::from_abbrev("bogus"), None);
         assert_eq!(Scheme::all_parallel().len(), 5);
+        assert!(Scheme::all_parallel().iter().all(|s| s.is_software()));
+        assert!(!Scheme::Pclr.is_software());
+        assert!(Scheme::Seq.is_software());
     }
 
     #[test]

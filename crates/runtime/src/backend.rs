@@ -1,0 +1,341 @@
+//! The execution-backend seam: where a decided job actually runs.
+//!
+//! The dispatcher decides *what* to run (a [`Scheme`], via profile store
+//! or decision model) and this module decides *how*: a [`Backend`]
+//! executes one decided job and reports a **cost sample** — the number
+//! the profile store calibrates on.  Two implementations exist:
+//!
+//! * [`SoftwareBackend`] — the reduction library on the persistent
+//!   [`WorkerPool`]; its cost sample is measured wall time.
+//! * [`PclrBackend`] — the paper's hardware scheme: the job is lowered
+//!   to per-processor PCLR instruction traces
+//!   (`smartapps_workloads::tracegen`), run on the simulated CC-NUMA
+//!   machine (`smartapps_sim`), and the result read back from simulated
+//!   memory.  Its cost sample is *simulated machine time* (cycles scaled
+//!   by [`PclrConfig::cycle_ns`]), which is what makes the hardware
+//!   scheme comparable — and therefore a first-class competitor — in the
+//!   same profile store the software schemes calibrate.
+//!
+//! Both backends are deterministic given their inputs; panics from job
+//! bodies propagate to the caller (the dispatcher fences every execution
+//! in `catch_unwind`).
+
+use crate::job::{JobBody, JobOutput};
+use crate::pool::WorkerPool;
+use smartapps_reductions::{run_scheme_on, Inspection, Scheme};
+use smartapps_sim::offload::run_reduction;
+use smartapps_sim::{MachineConfig, RedOp};
+use smartapps_workloads::tracegen::{pclr_traces_with_values, TraceParams, ValueFn};
+use smartapps_workloads::AccessPattern;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One decided job, ready for a backend to execute.
+pub struct ExecRequest<'a> {
+    /// The access pattern to reduce over.
+    pub pattern: &'a Arc<AccessPattern>,
+    /// The contribution body.
+    pub body: &'a JobBody,
+    /// SPMD width (software backend; the simulated machine uses its own
+    /// configured node count).
+    pub threads: usize,
+    /// The decided scheme.
+    pub scheme: Scheme,
+    /// Inspector analysis, for schemes that need one (`sel`, `lw`).
+    pub inspection: Option<&'a Inspection>,
+}
+
+/// What a backend reports back for one executed job.
+pub struct ExecOutcome {
+    /// The reduced array.
+    pub output: JobOutput,
+    /// The backend's cost sample, comparable across backends: wall time
+    /// for software execution, simulated machine time for PCLR.  This is
+    /// what the profile store records and drift-checks.
+    pub cost: Duration,
+    /// Simulated cycles, when the job ran on the PCLR machine.
+    pub sim_cycles: Option<u64>,
+}
+
+/// An execution backend: runs one decided job and reports a cost sample.
+pub trait Backend: Send + Sync {
+    /// Short name for diagnostics (`"software"`, `"pclr"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend can execute `scheme`.
+    fn supports(&self, scheme: Scheme) -> bool;
+
+    /// Execute one decided job.  May panic if the job body panics (the
+    /// dispatcher fences executions); must not be called with a scheme
+    /// the backend does not [`support`](Backend::supports).
+    fn execute(&self, req: &ExecRequest<'_>) -> ExecOutcome;
+}
+
+/// The software path: the reduction library's scheme kernels on the
+/// persistent worker pool, timed with the host clock.
+pub struct SoftwareBackend {
+    pool: Arc<WorkerPool>,
+}
+
+impl SoftwareBackend {
+    /// Build on a shared worker pool.
+    pub fn new(pool: Arc<WorkerPool>) -> Self {
+        SoftwareBackend { pool }
+    }
+}
+
+impl Backend for SoftwareBackend {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn supports(&self, scheme: Scheme) -> bool {
+        scheme.is_software()
+    }
+
+    fn execute(&self, req: &ExecRequest<'_>) -> ExecOutcome {
+        let pool: &WorkerPool = &self.pool;
+        let t0 = Instant::now();
+        let output = match req.body {
+            JobBody::F64(f) => JobOutput::F64(run_scheme_on(
+                req.scheme,
+                req.pattern,
+                &|i, r| f(i, r),
+                req.threads,
+                req.inspection,
+                pool,
+            )),
+            JobBody::I64(f) => JobOutput::I64(run_scheme_on(
+                req.scheme,
+                req.pattern,
+                &|i, r| f(i, r),
+                req.threads,
+                req.inspection,
+                pool,
+            )),
+        };
+        ExecOutcome {
+            output,
+            cost: t0.elapsed(),
+            sim_cycles: None,
+        }
+    }
+}
+
+/// Configuration of the PCLR offload backend.
+#[derive(Debug, Clone)]
+pub struct PclrConfig {
+    /// Simulated node count (clamped to a power of two in `[1, 64]`).
+    pub nodes: usize,
+    /// Use the programmable (Flex/MAGIC-like) controller instead of the
+    /// hardwired one.
+    pub flex: bool,
+    /// Largest job (total reduction references) the backend admits.
+    /// Bigger jobs are re-decided onto the software path — the simulator
+    /// stands in for real hardware and runs orders of magnitude slower
+    /// than native execution, so this bounds dispatcher latency.
+    pub max_sim_refs: usize,
+    /// Host nanoseconds one simulated cycle converts to when reporting
+    /// the cost sample (`1.0` models a 1 GHz machine).
+    pub cycle_ns: f64,
+}
+
+impl Default for PclrConfig {
+    fn default() -> Self {
+        PclrConfig {
+            nodes: 4,
+            flex: false,
+            max_sim_refs: 200_000,
+            cycle_ns: 1.0,
+        }
+    }
+}
+
+/// The hardware path: lower the job to PCLR traces, run the simulated
+/// machine, read the result back from simulated memory.
+pub struct PclrBackend {
+    config: PclrConfig,
+    machine: MachineConfig,
+}
+
+impl PclrBackend {
+    /// Build from a [`PclrConfig`] (node count normalized to a power of
+    /// two, value tracking forced by the sim adapter at run time).
+    pub fn new(mut config: PclrConfig) -> Self {
+        let nodes = config.nodes.clamp(1, 64).next_power_of_two();
+        config.nodes = nodes;
+        let machine = if config.flex {
+            MachineConfig::flex(nodes)
+        } else {
+            MachineConfig::table1(nodes)
+        };
+        PclrBackend { config, machine }
+    }
+
+    /// The active configuration (after normalization).
+    pub fn config(&self) -> &PclrConfig {
+        &self.config
+    }
+
+    /// Whether the backend admits a job over this pattern (reference
+    /// count within [`PclrConfig::max_sim_refs`]).
+    pub fn admits(&self, pat: &AccessPattern) -> bool {
+        pat.num_references() <= self.config.max_sim_refs
+    }
+}
+
+impl Backend for PclrBackend {
+    fn name(&self) -> &'static str {
+        "pclr"
+    }
+
+    fn supports(&self, scheme: Scheme) -> bool {
+        scheme == Scheme::Pclr
+    }
+
+    fn execute(&self, req: &ExecRequest<'_>) -> ExecOutcome {
+        debug_assert_eq!(req.scheme, Scheme::Pclr);
+        // Lower the body into the trace's update values: the simulated
+        // combine units apply the matching RedOp, so the machine computes
+        // exactly the job's reduction (bit-exact for i64, reassociated
+        // for f64 like every parallel scheme).
+        let (op, vals): (RedOp, ValueFn) = match req.body {
+            JobBody::F64(f) => {
+                let f = f.clone();
+                (RedOp::AddF64, Arc::new(move |i, r| f(i, r).to_bits()))
+            }
+            JobBody::I64(f) => {
+                let f = f.clone();
+                (RedOp::AddI64, Arc::new(move |i, r| f(i, r) as u64))
+            }
+        };
+        let params = TraceParams {
+            op,
+            values: true,
+            ..TraceParams::default()
+        };
+        let traces = pclr_traces_with_values(req.pattern, self.config.nodes, params, vals);
+        let sim = run_reduction(self.machine.clone(), traces, req.pattern.num_elements);
+        let output = match req.body {
+            JobBody::F64(_) => {
+                JobOutput::F64(sim.values.iter().map(|&v| f64::from_bits(v)).collect())
+            }
+            JobBody::I64(_) => JobOutput::I64(sim.values.iter().map(|&v| v as i64).collect()),
+        };
+        let cycles = sim.cycles();
+        let cost = Duration::from_nanos((cycles as f64 * self.config.cycle_ns).round() as u64);
+        ExecOutcome {
+            output,
+            cost,
+            sim_cycles: Some(cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use smartapps_workloads::pattern::{sequential_reduce, sequential_reduce_i64};
+    use smartapps_workloads::{contribution, contribution_i64, Distribution, PatternSpec};
+
+    fn pattern(seed: u64) -> Arc<AccessPattern> {
+        Arc::new(
+            PatternSpec {
+                num_elements: 300,
+                iterations: 400,
+                refs_per_iter: 3,
+                coverage: 0.9,
+                dist: Distribution::Uniform,
+                seed,
+            }
+            .generate(),
+        )
+    }
+
+    #[test]
+    fn software_backend_supports_software_schemes_only() {
+        let b = SoftwareBackend::new(Arc::new(WorkerPool::new(2)));
+        assert_eq!(b.name(), "software");
+        for s in Scheme::all_parallel() {
+            assert!(b.supports(s));
+        }
+        assert!(b.supports(Scheme::Seq));
+        assert!(!b.supports(Scheme::Pclr));
+    }
+
+    #[test]
+    fn pclr_backend_matches_i64_oracle_exactly() {
+        let b = PclrBackend::new(PclrConfig::default());
+        assert!(b.supports(Scheme::Pclr) && !b.supports(Scheme::Hash));
+        let pat = pattern(5);
+        let spec = JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r));
+        let out = b.execute(&ExecRequest {
+            pattern: &pat,
+            body: &spec.body,
+            threads: 4,
+            scheme: Scheme::Pclr,
+            inspection: None,
+        });
+        assert_eq!(out.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        let cycles = out.sim_cycles.expect("pclr reports cycles");
+        assert!(cycles > 0);
+        assert_eq!(out.cost, Duration::from_nanos(cycles)); // cycle_ns = 1.0
+    }
+
+    #[test]
+    fn pclr_backend_matches_f64_oracle_within_tolerance() {
+        let b = PclrBackend::new(PclrConfig {
+            nodes: 2,
+            ..PclrConfig::default()
+        });
+        let pat = pattern(6);
+        let spec = JobSpec::f64(pat.clone(), |_i, r| contribution(r));
+        let out = b.execute(&ExecRequest {
+            pattern: &pat,
+            body: &spec.body,
+            threads: 2,
+            scheme: Scheme::Pclr,
+            inspection: None,
+        });
+        let oracle = sequential_reduce(&pat);
+        for (a, b) in oracle.iter().zip(out.output.as_f64().unwrap()) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn pclr_backend_uses_iteration_aware_bodies() {
+        // The body depends on the iteration index, not just the slot —
+        // the lowering must thread both through to the trace values.
+        let b = PclrBackend::new(PclrConfig::default());
+        let pat = pattern(7);
+        let spec = JobSpec::i64(pat.clone(), |i, r| (i as i64) * 7 + contribution_i64(r));
+        let out = b.execute(&ExecRequest {
+            pattern: &pat,
+            body: &spec.body,
+            threads: 4,
+            scheme: Scheme::Pclr,
+            inspection: None,
+        });
+        let mut oracle = vec![0i64; pat.num_elements];
+        for (i, r, x) in pat.iter_refs() {
+            oracle[x as usize] += (i as i64) * 7 + contribution_i64(r);
+        }
+        assert_eq!(out.output.as_i64().unwrap(), oracle);
+    }
+
+    #[test]
+    fn pclr_config_normalizes_nodes_and_gates_admission() {
+        let b = PclrBackend::new(PclrConfig {
+            nodes: 5,
+            max_sim_refs: 100,
+            ..PclrConfig::default()
+        });
+        assert_eq!(b.config().nodes, 8, "5 rounds up to a power of two");
+        let small = pattern(9); // 1200 refs
+        assert!(!b.admits(&small), "1200 refs exceed the 100-ref cap");
+        let tiny = Arc::new(AccessPattern::from_iters(4, &[vec![0, 1], vec![2]]));
+        assert!(b.admits(&tiny));
+    }
+}

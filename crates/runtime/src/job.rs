@@ -195,10 +195,16 @@ pub struct JobResult {
     pub output: JobOutput,
     /// Scheme the dispatcher executed.
     pub scheme: Scheme,
-    /// Wall time of the scheme execution (excludes queueing).  For a job
-    /// that ran in a fused sweep this is the whole sweep's wall time —
-    /// the per-job amortized cost is `elapsed / (fused_with + 1)`.
+    /// The execution's cost sample (excludes queueing): wall time of the
+    /// scheme execution on the software backend, *simulated machine
+    /// time* when the job was offloaded to the PCLR backend (see
+    /// [`sim_cycles`](JobResult::sim_cycles)).  For a job that ran in a
+    /// fused sweep this is the whole sweep's wall time — the per-job
+    /// amortized cost is `elapsed / (fused_with + 1)`.
     pub elapsed: Duration,
+    /// Simulated cycles, when the job ran on the PCLR hardware backend;
+    /// `None` for software executions.
+    pub sim_cycles: Option<u64>,
     /// Whether the scheme came from the profile store (no inspection paid).
     pub profile_hit: bool,
     /// How many other jobs shared this job's dispatch batch.
@@ -329,6 +335,7 @@ mod tests {
             output: JobOutput::I64(vec![3, 4]),
             scheme: Scheme::Rep,
             elapsed: Duration::from_millis(1),
+            sim_cycles: None,
             profile_hit: false,
             batched_with: 0,
             fused_with: 0,
@@ -352,6 +359,7 @@ mod tests {
             output: JobOutput::F64(vec![1.0]),
             scheme: Scheme::Hash,
             elapsed: Duration::ZERO,
+            sim_cycles: None,
             profile_hit: true,
             batched_with: 3,
             fused_with: 0,

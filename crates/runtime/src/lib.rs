@@ -7,7 +7,7 @@
 //! many invocations, which is where the real speedup of run-time
 //! optimization lives.
 //!
-//! Four pieces, each its own module:
+//! Five pieces, each its own module:
 //!
 //! * [`pool`] — a **persistent worker pool** ([`WorkerPool`]): fixed
 //!   threads, parked on condvars when idle, implementing the
@@ -27,6 +27,12 @@
 //!   signature → best known scheme + calibration, saved to a text file at
 //!   shutdown and loaded at startup, so a restarted service skips full
 //!   inspection for workload classes it has seen before.
+//! * [`backend`] — the **execution-backend seam** ([`Backend`]): the
+//!   dispatcher decides a scheme, a backend executes it and reports a
+//!   cost sample.  [`SoftwareBackend`] runs the reduction library on the
+//!   pool; [`PclrBackend`] lowers the job to PCLR instruction traces and
+//!   runs the paper's simulated hardware (`smartapps-sim`), making the
+//!   hardware scheme a first-class competitor in the same profile store.
 //! * [`error`] — the **structured job failure channel** ([`JobError`]):
 //!   every failed job reports a typed [`JobErrorKind`] (body panic,
 //!   rejected submission, shutdown race) next to its message.
@@ -61,6 +67,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod error;
 pub mod job;
 pub mod pool;
@@ -69,6 +76,7 @@ pub(crate) mod queue;
 pub mod runtime;
 pub mod stats;
 
+pub use backend::{Backend, ExecOutcome, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
 pub use error::{JobError, JobErrorKind};
 pub use job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, PatternSignature};
 pub use pool::WorkerPool;

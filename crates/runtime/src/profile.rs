@@ -58,6 +58,8 @@ impl ProfileEntry {
 #[derive(Debug, Default, Clone)]
 pub struct ProfileStore {
     entries: HashMap<u64, ProfileEntry>,
+    /// Malformed lines skipped by the most recent parse (not persisted).
+    skipped: usize,
 }
 
 impl ProfileStore {
@@ -178,6 +180,16 @@ impl ProfileStore {
     }
 
     /// Parse the versioned text format.
+    ///
+    /// A missing header is a hard error (the file is not a profile
+    /// store).  A **malformed line** — truncated fields, an unknown
+    /// scheme, unparsable numbers, a non-finite calibration — is
+    /// *skipped*, not fatal: one corrupt line (a torn write, a partial
+    /// edit) must not poison every valid profile around it.  The number
+    /// of skipped lines is available via [`last_load_skipped`]
+    /// (diagnostics only).
+    ///
+    /// [`last_load_skipped`]: ProfileStore::last_load_skipped
     pub fn from_text(text: &str) -> io::Result<Self> {
         let mut lines = text.lines();
         if lines.next() != Some(HEADER) {
@@ -186,37 +198,62 @@ impl ProfileStore {
                 format!("profile store missing `{HEADER}` header"),
             ));
         }
-        let bad = |line: &str| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad profile line: {line}"),
-            )
-        };
         let mut entries = HashMap::new();
+        let mut skipped = 0usize;
         for line in lines {
             if line.trim().is_empty() {
                 continue;
             }
-            let mut f = line.split_ascii_whitespace();
-            let (Some(sig), Some(scheme), Some(threads), Some(calib), Some(runs), Some(best)) =
-                (f.next(), f.next(), f.next(), f.next(), f.next(), f.next())
-            else {
-                return Err(bad(line));
-            };
-            let sig = u64::from_str_radix(sig, 16).map_err(|_| bad(line))?;
-            let scheme = Scheme::from_abbrev(scheme).ok_or_else(|| bad(line))?;
-            entries.insert(
-                sig,
-                ProfileEntry {
-                    scheme,
-                    threads: threads.parse().map_err(|_| bad(line))?,
-                    ns_per_ref: calib.parse().map_err(|_| bad(line))?,
-                    runs: runs.parse().map_err(|_| bad(line))?,
-                    best_ns: best.parse().map_err(|_| bad(line))?,
-                },
-            );
+            match Self::parse_line(line) {
+                Some((sig, entry)) => {
+                    entries.insert(sig, entry);
+                }
+                None => skipped += 1,
+            }
         }
-        Ok(ProfileStore { entries })
+        Ok(ProfileStore { entries, skipped })
+    }
+
+    /// Parse one `<sig> <scheme> <threads> <ns_per_ref> <runs> <best_ns>`
+    /// line; `None` if any field is missing, trailing junk follows, or a
+    /// field fails validation.
+    fn parse_line(line: &str) -> Option<(u64, ProfileEntry)> {
+        let mut f = line.split_ascii_whitespace();
+        let (sig, scheme, threads, calib, runs, best) = (
+            f.next()?,
+            f.next()?,
+            f.next()?,
+            f.next()?,
+            f.next()?,
+            f.next()?,
+        );
+        if f.next().is_some() {
+            return None; // trailing fields: not our format
+        }
+        let sig = u64::from_str_radix(sig, 16).ok()?;
+        let scheme = Scheme::from_abbrev(scheme)?;
+        let ns_per_ref: f64 = calib.parse().ok()?;
+        if !ns_per_ref.is_finite() || ns_per_ref < 0.0 {
+            return None;
+        }
+        Some((
+            sig,
+            ProfileEntry {
+                scheme,
+                threads: threads.parse().ok()?,
+                ns_per_ref,
+                runs: runs.parse().ok()?,
+                best_ns: best.parse().ok()?,
+            },
+        ))
+    }
+
+    /// How many malformed lines the most recent [`from_text`] /
+    /// [`load`](ProfileStore::load) skipped.
+    ///
+    /// [`from_text`]: ProfileStore::from_text
+    pub fn last_load_skipped(&self) -> usize {
+        self.skipped
     }
 
     /// Write to `path` (atomically via a sibling temp file).
@@ -309,15 +346,29 @@ mod tests {
     }
 
     #[test]
-    fn malformed_text_is_rejected() {
+    fn missing_header_is_fatal_but_bad_lines_are_skipped() {
+        // Not a profile store at all: hard error.
         assert!(ProfileStore::from_text("").is_err());
         assert!(ProfileStore::from_text("wrong-header\n").is_err());
-        let bad_line = format!("{HEADER}\nzzzz rep 4\n");
-        assert!(ProfileStore::from_text(&bad_line).is_err());
-        let bad_scheme = format!("{HEADER}\n00000000000000ff nope 4 1.0 1 10\n");
-        assert!(ProfileStore::from_text(&bad_scheme).is_err());
+        // Malformed lines are dropped without poisoning valid neighbors.
+        let text = format!(
+            "{HEADER}\n\
+             zzzz rep 4\n\
+             00000000000000ff nope 4 1.0 1 10\n\
+             0000000000000001 rep 4 1.5e2 3 77\n\
+             0000000000000002 pclr 8 nan 1 10\n\
+             0000000000000002 pclr 8 2e0 1 10\n\
+             0000000000000003 hash 2 1e0 1 10 trailing-junk\n"
+        );
+        let s = ProfileStore::from_text(&text).unwrap();
+        assert_eq!(s.len(), 2, "both valid lines survive");
+        assert_eq!(s.get(sig(1)).unwrap().scheme, Scheme::Rep);
+        assert_eq!(s.get(sig(2)).unwrap().scheme, Scheme::Pclr);
+        assert!(s.get(sig(3)).is_none(), "trailing junk is not our format");
+        assert_eq!(s.last_load_skipped(), 4);
         let ok_empty = ProfileStore::from_text(&format!("{HEADER}\n")).unwrap();
         assert!(ok_empty.is_empty());
+        assert_eq!(ok_empty.last_load_skipped(), 0);
     }
 
     #[test]

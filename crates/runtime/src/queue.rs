@@ -388,6 +388,7 @@ mod tests {
             output: JobOutput::I64(vec![]),
             scheme: Scheme::Seq,
             elapsed: Duration::ZERO,
+            sim_cycles: None,
             profile_hit: false,
             batched_with: 0,
             fused_with: 0,

@@ -14,6 +14,7 @@
 //! each dispatcher participates as `tid 0` of its own SPMD regions, so no
 //! core idles while it "waits".
 
+use crate::backend::{Backend, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
 use crate::error::JobError;
 use crate::job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, JobState, PatternSignature};
 use crate::pool::WorkerPool;
@@ -22,14 +23,13 @@ use crate::queue::{QueuedJob, ShardedQueue};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use smartapps_core::adaptive::AdaptiveReduction;
 use smartapps_reductions::{
-    run_fused_on, run_scheme_on, DecisionModel, FusedBody, Inspection, Inspector, ModelInput,
-    Scheme, SpmdExecutor,
+    run_fused_on, DecisionModel, FusedBody, Inspection, Inspector, ModelInput, Scheme, SpmdExecutor,
 };
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Measured-over-predicted ratio beyond which a profile entry is treated
 /// as stale (phase change) and evicted.
@@ -66,6 +66,16 @@ pub struct RuntimeConfig {
     /// Profile store location: loaded (if present) at startup, saved at
     /// shutdown.  `None` keeps profiles in memory only.
     pub profile_path: Option<PathBuf>,
+    /// PCLR hardware offload: `Some` routes jobs decided for
+    /// [`Scheme::Pclr`] to the simulated machine backend and lets the
+    /// hardware scheme compete in decisions; `None` (the default) keeps
+    /// the service software-only.
+    pub pclr: Option<PclrConfig>,
+    /// Decision model consulted when no profile entry covers a class.
+    /// The default calibration matches this crate's kernels; services on
+    /// unusual hardware (or tests pinning a decision) substitute their
+    /// own [`ModelParams`](smartapps_reductions::ModelParams).
+    pub model: DecisionModel,
 }
 
 /// Dispatcher count matched to a pool width: one dispatcher per four
@@ -88,6 +98,8 @@ impl Default for RuntimeConfig {
             max_fuse: 8,
             sample_iters: 2048,
             profile_path: None,
+            pclr: None,
+            model: DecisionModel::default(),
         }
     }
 }
@@ -98,10 +110,19 @@ struct Shared {
     profile: Mutex<ProfileStore>,
     stats: RuntimeStats,
     model: DecisionModel,
+    software: SoftwareBackend,
+    pclr: Option<PclrBackend>,
     max_batch: usize,
     max_fuse: usize,
     sample_iters: usize,
     profile_path: Option<PathBuf>,
+}
+
+impl Shared {
+    /// Whether the PCLR backend exists and admits a job over `pat`.
+    fn pclr_admits(&self, pat: &smartapps_workloads::AccessPattern) -> bool {
+        self.pclr.as_ref().is_some_and(|b| b.admits(pat))
+    }
 }
 
 /// The persistent reduction service.
@@ -123,12 +144,15 @@ impl Runtime {
         };
         let shards = config.shards.max(1);
         let n_dispatchers = config.dispatchers.clamp(1, shards);
+        let pool = Arc::new(WorkerPool::new(config.workers));
         let shared = Arc::new(Shared {
-            pool: Arc::new(WorkerPool::new(config.workers)),
             queue: ShardedQueue::new(shards, n_dispatchers),
             profile: Mutex::new(profile),
             stats: RuntimeStats::default(),
-            model: DecisionModel::default(),
+            model: config.model,
+            software: SoftwareBackend::new(pool.clone()),
+            pclr: config.pclr.map(PclrBackend::new),
+            pool,
             max_batch: config.max_batch.max(1),
             max_fuse: config.max_fuse.max(1),
             sample_iters: config.sample_iters.max(1),
@@ -197,6 +221,7 @@ impl Runtime {
                 output: empty_output(&spec.body),
                 scheme: Scheme::Seq,
                 elapsed: std::time::Duration::ZERO,
+                sim_cycles: None,
                 profile_hit: false,
                 batched_with: 0,
                 fused_with: 0,
@@ -217,6 +242,7 @@ impl Runtime {
                 output: empty,
                 scheme: Scheme::Seq,
                 elapsed: std::time::Duration::ZERO,
+                sim_cycles: None,
                 profile_hit: false,
                 batched_with: 0,
                 fused_with: 0,
@@ -261,6 +287,10 @@ impl Runtime {
                 .unwrap_or_else(|p| p.into_inner())
                 .get(PatternSignature::of_domain(loop_id, &domain))
                 .map(|e| e.scheme)
+                // The adaptive loop executes schemes through the software
+                // library; a persisted hardware (pclr) prior falls back to
+                // the analytic decision instead of an impossible dispatch.
+                .filter(|s| s.is_software())
         });
         adaptive
     }
@@ -296,6 +326,17 @@ impl Runtime {
     /// Service counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Stop accepting new submissions without blocking: the queue closes
+    /// immediately (racing submissions complete with
+    /// [`JobErrorKind::Shutdown`](crate::JobErrorKind::Shutdown)) while
+    /// the dispatchers keep draining everything already queued.  The
+    /// eventual [`shutdown`](Runtime::shutdown) — or the drop — still
+    /// joins the service threads and persists the profile store.
+    /// Idempotent, callable from any thread holding `&Runtime`.
+    pub fn begin_shutdown(&self) {
+        self.shared.queue.close();
     }
 
     /// Stop accepting jobs, drain everything queued, persist profiles,
@@ -494,7 +535,8 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
             let first = &groups[0][0];
             let threads = first.spec.threads.unwrap_or(default_threads).max(1);
             let insp = cache.analyze(&first.spec.pattern, threads, &shared.stats);
-            let input = ModelInput::from_inspection(&insp, first.spec.lw_feasible);
+            let input = ModelInput::from_inspection(&insp, first.spec.lw_feasible)
+                .with_pclr(shared.pclr_admits(&first.spec.pattern));
             shared.model.decide(&input).best()
         }
     }));
@@ -509,6 +551,7 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
                     output: empty_output(&job.spec.body),
                     scheme: Scheme::Seq,
                     elapsed: std::time::Duration::ZERO,
+                    sim_cycles: None,
                     profile_hit: false,
                     batched_with,
                     fused_with: 0,
@@ -553,7 +596,9 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
     }
 }
 
-/// Execute one job on its own traversal (the non-fused path).
+/// Execute one job on its own traversal (the non-fused path), routing it
+/// to the software backend or — for [`Scheme::Pclr`] decisions — to the
+/// simulated hardware backend.
 fn execute_single(
     shared: &Shared,
     cache: &mut InspectionCache,
@@ -562,55 +607,75 @@ fn execute_single(
     job: QueuedJob,
 ) {
     let threads = job.spec.threads.unwrap_or(shared.pool.width()).max(1);
-    let pool: &WorkerPool = &shared.pool;
-    let t0 = Instant::now();
+    // A batch-mate (or stale profile) may have chosen a scheme this job
+    // cannot run: owner-computes where it is illegal, or the hardware
+    // scheme with the backend disabled or the job over its admission
+    // cap.  Such jobs re-decide with the offending scheme masked off.
+    let masked_lw = batch_scheme == Scheme::Lw && !job.spec.lw_feasible;
+    let masked_pclr = batch_scheme == Scheme::Pclr && !shared.pclr_admits(&job.spec.pattern);
+
+    // A *persisted* hardware decision this service cannot execute is
+    // dead weight: re-decided executions never feed the store, so the
+    // entry would mask (and re-run the model) forever.  Evict it — the
+    // next batch misses the profile and records an executable scheme.
+    if masked_pclr && ctx.profile_hit && !ctx.evicted_this_batch {
+        let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
+        store.evict(ctx.sig);
+        RuntimeStats::add(&shared.stats.evictions, 1);
+        ctx.evicted_this_batch = true;
+    }
+
     // A panicking user body (or an inspector tripping over a malformed
     // pattern) must not take the dispatcher down with it; the panic
     // becomes the job's error and the service keeps draining.
     let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        // A batch-mate (or stale profile) may have chosen owner-computes;
-        // jobs where that is illegal re-decide with `lw` masked off.
-        let redecided = batch_scheme == Scheme::Lw && !job.spec.lw_feasible;
+        let redecided = masked_lw || masked_pclr;
         let scheme = if redecided {
             let insp = cache.analyze(&job.spec.pattern, threads, &shared.stats);
-            let input = ModelInput::from_inspection(&insp, false);
+            let input = ModelInput::from_inspection(&insp, !masked_lw && job.spec.lw_feasible)
+                .with_pclr(!masked_pclr && shared.pclr_admits(&job.spec.pattern));
             shared.model.decide(&input).best()
         } else {
             batch_scheme
         };
         let insp = matches!(scheme, Scheme::Sel | Scheme::Lw)
             .then(|| cache.analyze(&job.spec.pattern, threads, &shared.stats));
-        let output = match &job.spec.body {
-            JobBody::F64(f) => JobOutput::F64(run_scheme_on(
-                scheme,
-                &job.spec.pattern,
-                &|i, r| f(i, r),
-                threads,
-                insp.as_ref(),
-                pool,
-            )),
-            JobBody::I64(f) => JobOutput::I64(run_scheme_on(
-                scheme,
-                &job.spec.pattern,
-                &|i, r| f(i, r),
-                threads,
-                insp.as_ref(),
-                pool,
-            )),
+        let req = ExecRequest {
+            pattern: &job.spec.pattern,
+            body: &job.spec.body,
+            threads,
+            scheme,
+            inspection: insp.as_ref(),
         };
-        (output, scheme, redecided)
+        let backend: &dyn Backend = match &shared.pclr {
+            Some(pclr) if scheme == Scheme::Pclr => pclr,
+            _ => &shared.software,
+        };
+        debug_assert!(backend.supports(scheme), "{} vs {scheme}", backend.name());
+        (backend.execute(&req), scheme, redecided)
     }));
-    let elapsed = t0.elapsed();
 
-    let (output, scheme, redecided, error) = match work {
-        Ok((out, scheme, redecided)) => (out, scheme, redecided, None),
+    let (outcome, scheme, redecided, error) = match work {
+        Ok((outcome, scheme, redecided)) => (Some(outcome), scheme, redecided, None),
         Err(payload) => (
-            empty_output(&job.spec.body),
+            None,
             batch_scheme,
             false,
             Some(JobError::panic(panic_message(&*payload))),
         ),
     };
+    // The cost sample the profile calibrates on: backend-reported
+    // (simulated time for pclr, wall time otherwise).
+    let elapsed = outcome.as_ref().map_or(Duration::ZERO, |o| o.cost);
+    let sim_cycles = outcome.as_ref().and_then(|o| o.sim_cycles);
+    let output = match outcome {
+        Some(o) => o.output,
+        None => empty_output(&job.spec.body),
+    };
+    if let Some(cycles) = sim_cycles {
+        RuntimeStats::add(&shared.stats.pclr_offloads, 1);
+        RuntimeStats::add(&shared.stats.sim_cycles, cycles);
+    }
 
     // Feed the profile only from clean, non-substituted executions.
     if error.is_none() && !redecided {
@@ -641,8 +706,9 @@ fn execute_single(
         output,
         scheme,
         elapsed,
+        sim_cycles,
         // This job's decision came from the store only if it was not
-        // re-decided under the lw-feasibility mask.
+        // re-decided under a feasibility mask.
         profile_hit: ctx.profile_hit && !redecided,
         batched_with: ctx.batched_with,
         fused_with: 0,
@@ -715,6 +781,7 @@ fn execute_fused(
                     output,
                     scheme,
                     elapsed,
+                    sim_cycles: None,
                     // The fused scheme came from the fanout-aware model,
                     // not the store.
                     profile_hit: false,
@@ -946,9 +1013,9 @@ mod tests {
     #[test]
     fn submission_after_queue_close_reports_shutdown_kind() {
         let rt = Runtime::with_workers(2);
-        // Reach in and close the queue as shutdown would, while the
-        // runtime handle is still alive to accept the racing submission.
-        rt.shared.queue.close();
+        // Close the queue as shutdown would, while the runtime handle is
+        // still alive to accept the racing submission.
+        rt.begin_shutdown();
         let r = rt
             .submit(JobSpec::i64(pattern(77), |_i, r| contribution_i64(r)))
             .wait();
@@ -1251,6 +1318,177 @@ mod tests {
         let groups = fuse_groups(batch, 3, 4);
         let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
         assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    /// A model whose PCLR formula is free: every admitted class decides
+    /// onto the hardware backend, making sim routing deterministic.
+    fn free_offload_model() -> DecisionModel {
+        DecisionModel::new(smartapps_reductions::ModelParams {
+            pclr_update: 0.0,
+            pclr_flush_line: 0.0,
+            pclr_offload_fixed: 0.0,
+            ..smartapps_reductions::ModelParams::default()
+        })
+    }
+
+    /// Small pattern the simulator executes quickly in debug builds.
+    fn sim_pattern(seed: u64) -> Arc<smartapps_workloads::AccessPattern> {
+        Arc::new(
+            PatternSpec {
+                num_elements: 256,
+                iterations: 300,
+                refs_per_iter: 3,
+                coverage: 0.9,
+                dist: Distribution::Uniform,
+                seed,
+            }
+            .generate(),
+        )
+    }
+
+    #[test]
+    fn model_routes_admitted_classes_to_the_simulator() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            pclr: Some(crate::PclrConfig::default()),
+            model: free_offload_model(),
+            ..RuntimeConfig::default()
+        });
+        let pat = sim_pattern(21);
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert_eq!(r.scheme, Scheme::Pclr, "free offload must win the model");
+        let cycles = r.sim_cycles.expect("offloaded job reports cycles");
+        assert!(cycles > 0);
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        let stats = rt.stats();
+        assert_eq!(stats.pclr_offloads, 1, "offload must be visible in stats");
+        assert_eq!(stats.sim_cycles, cycles);
+        // The class is now profiled as pclr: repeats skip the inspection
+        // and ride the hardware decision.
+        let again = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(again.profile_hit);
+        assert_eq!(again.scheme, Scheme::Pclr);
+        assert_eq!(rt.stats().pclr_offloads, 2);
+    }
+
+    #[test]
+    fn pclr_profile_entry_with_backend_disabled_redecides_to_software() {
+        // A store learned by an offload-enabled service is loaded by a
+        // software-only one (downgrade, config change): the pclr entry
+        // must not crash the dispatcher — the job re-decides.
+        let rt = Runtime::with_workers(2);
+        let pat = sim_pattern(23);
+        let handle = rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let sig = handle.signature();
+        handle.wait();
+        {
+            let mut store = rt.shared.profile.lock().unwrap();
+            store.evict(sig);
+            store.record(sig, Scheme::Pclr, 2, 1, Duration::from_nanos(1));
+        }
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert!(r.scheme.is_software(), "masked pclr must fall back");
+        assert!(r.sim_cycles.is_none());
+        assert!(!r.profile_hit, "a masked decision is not a profile hit");
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        assert_eq!(rt.stats().pclr_offloads, 0);
+        // The dead hardware entry must not mask forever: it is evicted,
+        // the next run re-decides and records, and the class settles
+        // back into profile-hit steady state on an executable scheme.
+        assert_eq!(rt.stats().evictions, 1);
+        assert!(
+            rt.profile_snapshot().get(sig).is_none(),
+            "unexecutable pclr entry must be evicted"
+        );
+        let relearn = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(!relearn.profile_hit, "post-eviction run re-decides");
+        let settled = rt.run(JobSpec::i64(pat, |_i, r| contribution_i64(r)));
+        assert!(settled.profile_hit, "re-learned software entry must hit");
+        assert!(settled.scheme.is_software());
+    }
+
+    #[test]
+    fn oversized_jobs_stay_on_the_software_backend() {
+        // Backend enabled but the job exceeds the admission cap: the
+        // model never sees pclr as available and nothing is simulated.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            pclr: Some(crate::PclrConfig {
+                max_sim_refs: 8, // sim_pattern has ~900 references
+                ..crate::PclrConfig::default()
+            }),
+            model: free_offload_model(),
+            ..RuntimeConfig::default()
+        });
+        let pat = sim_pattern(25);
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none());
+        assert!(r.scheme.is_software());
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        assert_eq!(rt.stats().pclr_offloads, 0);
+    }
+
+    #[test]
+    fn pclr_choice_survives_restart_via_disk() {
+        let dir = std::env::temp_dir().join("smartapps-runtime-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("pclr-profiles-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            profile_path: Some(path.clone()),
+            pclr: Some(crate::PclrConfig::default()),
+            model: free_offload_model(),
+            ..RuntimeConfig::default()
+        };
+        let pat = sim_pattern(27);
+        {
+            let rt = Runtime::new(cfg.clone());
+            let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+            assert_eq!(r.scheme, Scheme::Pclr);
+            rt.shutdown();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains(" pclr "),
+            "store must persist the scheme:\n{text}"
+        );
+        {
+            let rt = Runtime::new(cfg);
+            let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+            assert!(r.profile_hit, "restarted service must remember the class");
+            assert_eq!(r.scheme, Scheme::Pclr);
+            assert!(r.sim_cycles.is_some());
+            assert_eq!(rt.stats().inspections, 0, "no inspection after restart");
+            assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adaptive_prior_masks_persisted_pclr_entries() {
+        use smartapps_core::toolbox::DomainKey;
+        use smartapps_workloads::PatternChars;
+
+        // The adaptive loop executes through the software library; a
+        // pclr prior must fall back to the analytic decision, not panic.
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(47);
+        let domain = DomainKey::of(&PatternChars::measure(&pat));
+        let sig = PatternSignature::of_domain(12, &domain);
+        {
+            let mut store = rt.shared.profile.lock().unwrap();
+            store.record(sig, Scheme::Pclr, 2, 1, Duration::from_micros(1));
+        }
+        let mut smart = rt.adaptive(12, false);
+        let (out, log) = smart.execute(&pat, &|_i, r| smartapps_workloads::contribution(r));
+        assert!(log.scheme.is_software(), "prior must be masked");
+        assert_eq!(out.len(), pat.num_elements);
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub struct RuntimeStats {
     pub(crate) steals: AtomicU64,
     pub(crate) fused_sweeps: AtomicU64,
     pub(crate) fused_jobs: AtomicU64,
+    pub(crate) pclr_offloads: AtomicU64,
+    pub(crate) sim_cycles: AtomicU64,
 }
 
 /// A point-in-time copy of [`RuntimeStats`].
@@ -44,6 +46,11 @@ pub struct StatsSnapshot {
     /// Jobs whose output was produced by a fused sweep (each sweep
     /// accounts for ≥ 2 of these).
     pub fused_jobs: u64,
+    /// Jobs executed on the PCLR hardware backend (the simulated
+    /// machine) instead of the software library.
+    pub pclr_offloads: u64,
+    /// Total simulated cycles spent across all PCLR offloads.
+    pub sim_cycles: u64,
 }
 
 impl RuntimeStats {
@@ -64,6 +71,8 @@ impl RuntimeStats {
             steals: self.steals.load(Ordering::Relaxed),
             fused_sweeps: self.fused_sweeps.load(Ordering::Relaxed),
             fused_jobs: self.fused_jobs.load(Ordering::Relaxed),
+            pclr_offloads: self.pclr_offloads.load(Ordering::Relaxed),
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
         }
     }
 }

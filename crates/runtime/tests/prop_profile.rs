@@ -1,0 +1,132 @@
+//! Property tests for the cross-run profile store's on-disk format:
+//! save→load→save is a fixed point for arbitrary entries — including
+//! hardware (`pclr`) records — and malformed lines are dropped without
+//! poisoning the valid entries around them.
+
+use proptest::prelude::*;
+use smartapps_reductions::Scheme;
+use smartapps_runtime::{PatternSignature, ProfileStore};
+use std::time::Duration;
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Seq),
+        Just(Scheme::Rep),
+        Just(Scheme::Ll),
+        Just(Scheme::Sel),
+        Just(Scheme::Lw),
+        Just(Scheme::Hash),
+        Just(Scheme::Pclr),
+    ]
+}
+
+/// One recorded measurement: signature, scheme, width, reference count,
+/// elapsed nanoseconds.
+type Rec = (u64, Scheme, usize, usize, u64);
+
+fn arb_records() -> impl Strategy<Value = Vec<Rec>> {
+    proptest::collection::vec(
+        (
+            any::<u64>(),
+            arb_scheme(),
+            0usize..300,
+            1usize..2_000_000,
+            1u64..50_000_000_000,
+        ),
+        0..40,
+    )
+}
+
+fn store_of(records: &[Rec]) -> ProfileStore {
+    let mut s = ProfileStore::new();
+    for &(sig, scheme, threads, refs, ns) in records {
+        s.record(
+            PatternSignature(sig),
+            scheme,
+            threads,
+            refs,
+            Duration::from_nanos(ns),
+        );
+    }
+    s
+}
+
+/// Clearly malformed lines (each shape fails a different parse step).
+fn arb_garbage_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Too few fields.
+        (any::<u64>(), arb_scheme()).prop_map(|(s, sch)| format!("{s:016x} {sch} 4")),
+        // Unknown scheme.
+        any::<u64>().prop_map(|s| format!("{s:016x} warp 4 1.0 1 10")),
+        // Non-hex signature.
+        Just("not-a-signature rep 4 1.0 1 10".to_string()),
+        // Non-finite calibration.
+        any::<u64>().prop_map(|s| format!("{s:016x} rep 4 inf 1 10")),
+        // Unparsable counters.
+        any::<u64>().prop_map(|s| format!("{s:016x} hash x 1.0 one ten")),
+        // Trailing junk after a plausible record.
+        any::<u64>().prop_map(|s| format!("{s:016x} ll 4 1.0 1 10 extra")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn save_load_save_is_a_fixed_point(records in arb_records()) {
+        let store = store_of(&records);
+        let text = store.to_text();
+        let reloaded = ProfileStore::from_text(&text).unwrap();
+        prop_assert_eq!(reloaded.last_load_skipped(), 0);
+        prop_assert_eq!(reloaded.len(), store.len());
+        // The second save must reproduce the first byte-for-byte: the
+        // format loses nothing and serializes deterministically.
+        prop_assert_eq!(&reloaded.to_text(), &text);
+        // And every entry survives semantically, not just textually.
+        for &(sig, ..) in &records {
+            prop_assert_eq!(
+                reloaded.get(PatternSignature(sig)),
+                store.get(PatternSignature(sig))
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_do_not_poison_valid_entries(
+        records in arb_records(),
+        garbage in proptest::collection::vec(arb_garbage_line(), 1..10),
+        salt in any::<u64>(),
+    ) {
+        let store = store_of(&records);
+        let clean = store.to_text();
+        // Splice the garbage between valid lines, position keyed by salt.
+        let mut lines: Vec<&str> = clean.lines().collect();
+        for (k, g) in garbage.iter().enumerate() {
+            let pos = 1 + (salt as usize + k) % lines.len();
+            lines.insert(pos.min(lines.len()), g);
+        }
+        let dirty = lines.join("\n");
+        let reloaded = ProfileStore::from_text(&dirty).unwrap();
+        prop_assert_eq!(reloaded.last_load_skipped(), garbage.len());
+        prop_assert_eq!(reloaded.len(), store.len());
+        for &(sig, ..) in &records {
+            prop_assert_eq!(
+                reloaded.get(PatternSignature(sig)),
+                store.get(PatternSignature(sig)),
+                "entry {:016x} damaged by adjacent garbage", sig
+            );
+        }
+    }
+
+    #[test]
+    fn disk_round_trip_preserves_everything(records in arb_records()) {
+        let dir = std::env::temp_dir().join("smartapps-prop-profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("store-{}.txt", std::process::id()));
+        let store = store_of(&records);
+        store.save(&path).unwrap();
+        let back = ProfileStore::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(back.to_text(), store.to_text());
+    }
+}

@@ -69,12 +69,14 @@ pub mod cache;
 pub mod config;
 pub mod directory;
 pub mod machine;
+pub mod offload;
 pub mod redop;
 pub mod stats;
 pub mod trace;
 
 pub use config::{CacheConfig, ControllerKind, MachineConfig};
 pub use machine::Machine;
+pub use offload::{run_reduction, SimOutcome};
 pub use redop::RedOp;
 pub use stats::{harmonic_mean, Counters, PhaseBreakdown, RunStats};
 pub use trace::{Inst, Phase, TraceBuilder, TraceSource, VecTrace};

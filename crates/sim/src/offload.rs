@@ -1,0 +1,112 @@
+//! The reusable job→machine adapter: run a set of reduction traces on a
+//! simulated machine and read the reduced array back out of simulated
+//! memory.
+//!
+//! Higher layers (the `smartapps-runtime` PCLR backend, oracle tests,
+//! examples) all need the same four steps — force value tracking, build
+//! the [`Machine`], [`run`](Machine::run) it to completion, then
+//! [`peek_memory`](Machine::peek_memory) the shared reduction array —
+//! and this module packages them so none of them re-implements the
+//! readback loop or forgets the `track_values` flag.
+//!
+//! The simulation is fully deterministic: the event queue breaks timing
+//! ties by insertion sequence number, traces are generated from the
+//! pattern alone, and no host-time or randomness enters the machine.
+//! Running the same traces on the same configuration twice yields
+//! bit-identical values *and* cycle counts — which is what lets oracle
+//! tests pin exact results.
+
+use crate::addr::regions;
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+use crate::stats::RunStats;
+use crate::trace::TraceSource;
+
+/// The outcome of one simulated reduction: the final shared array (raw
+/// 8-byte bit patterns, one per element) and the full run statistics.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Element `i`'s final bit pattern, read from
+    /// `regions::shared_elem(i)` after the run (combine the bits with
+    /// `f64::from_bits` or an `as i64` cast, matching the trace's
+    /// [`RedOp`](crate::redop::RedOp)).
+    pub values: Vec<u64>,
+    /// Cycle counts, phase breakdowns and protocol counters.
+    pub stats: RunStats,
+}
+
+impl SimOutcome {
+    /// Total simulated cycles of the run.
+    pub fn cycles(&self) -> u64 {
+        self.stats.total_cycles
+    }
+}
+
+/// Run `traces` (one per node of `cfg`) to completion and read back the
+/// first `num_elements` elements of the shared reduction array.
+///
+/// Value tracking is forced on — without it the simulated memory carries
+/// no data and the readback would be all zeroes.  Panics propagate from
+/// trace generation (lazy traces may run caller closures) and from
+/// machine-configuration validation.
+pub fn run_reduction(
+    mut cfg: MachineConfig,
+    traces: Vec<Box<dyn TraceSource>>,
+    num_elements: usize,
+) -> SimOutcome {
+    cfg.track_values = true;
+    let mut machine = Machine::new(cfg, traces);
+    let stats = machine.run();
+    let values = (0..num_elements as u64)
+        .map(|e| machine.peek_memory(regions::shared_elem(e)))
+        .collect();
+    SimOutcome { values, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redop::RedOp;
+    use crate::trace::{Phase, TraceBuilder, TraceSource};
+
+    fn counter_traces(nodes: usize, elems: u64, per_proc: u64) -> Vec<Box<dyn TraceSource>> {
+        (0..nodes)
+            .map(|p| {
+                let mut b = TraceBuilder::new()
+                    .config_pclr(RedOp::AddI64)
+                    .phase(Phase::Loop);
+                for k in 0..per_proc {
+                    let elem = (p as u64 * 17 + k) % elems;
+                    b = b.red_update(crate::addr::to_shadow(regions::shared_elem(elem)), 1);
+                }
+                Box::new(b.phase(Phase::Merge).flush().barrier().build()) as Box<dyn TraceSource>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn readback_combines_all_updates() {
+        let out = run_reduction(MachineConfig::table1(4), counter_traces(4, 64, 100), 64);
+        let total: i64 = out.values.iter().map(|&v| v as i64).sum();
+        assert_eq!(total, 400, "every update must land exactly once");
+        assert!(out.cycles() > 0);
+        assert!(out.stats.counters.red_fills > 0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run_reduction(MachineConfig::table1(4), counter_traces(4, 64, 100), 64);
+        let b = run_reduction(MachineConfig::table1(4), counter_traces(4, 64, 100), 64);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.cycles(), b.cycles(), "cycle counts must be reproducible");
+    }
+
+    #[test]
+    fn value_tracking_is_forced() {
+        let mut cfg = MachineConfig::table1(2);
+        cfg.track_values = false; // adapter must override
+        let out = run_reduction(cfg, counter_traces(2, 8, 8), 8);
+        let total: i64 = out.values.iter().map(|&v| v as i64).sum();
+        assert_eq!(total, 16);
+    }
+}

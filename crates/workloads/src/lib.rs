@@ -31,4 +31,6 @@ pub use mesh::{Distribution, PatternSpec};
 pub use pattern::{
     contribution, contribution_i64, sequential_reduce, sequential_reduce_i64, AccessPattern,
 };
-pub use tracegen::{block_range, elem_block_range, SimScheme, TraceParams};
+pub use tracegen::{
+    block_range, elem_block_range, pclr_traces_with_values, SimScheme, TraceParams, ValueFn,
+};

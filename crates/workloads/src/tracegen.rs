@@ -25,6 +25,12 @@ use std::sync::Arc;
 /// Indices per cache line of the (4-byte) index stream.
 const IDX_PER_LINE: usize = 16;
 
+/// A caller-supplied contribution lowering: maps `(iteration, global
+/// reference slot)` to the 8-byte bit pattern the trace's reduction
+/// updates carry.  This is how `smartapps-runtime`'s PCLR backend embeds
+/// an arbitrary job body's values into the simulated machine.
+pub type ValueFn = Arc<dyn Fn(usize, usize) -> u64 + Send + Sync>;
+
 /// Per-iteration non-reduction work and the reduction operator.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceParams {
@@ -338,6 +344,7 @@ pub struct PclrTrace {
     p: usize,
     nprocs: usize,
     params: TraceParams,
+    vals: Option<ValueFn>,
     inner: Buffered<PclrState>,
 }
 
@@ -350,6 +357,30 @@ impl PclrTrace {
             p,
             nprocs,
             params,
+            vals: None,
+            inner: Buffered::new(PclrState::Start),
+        }
+    }
+
+    /// Build processor `p`'s PCLR trace whose reduction updates carry
+    /// `vals(iteration, reference slot)` instead of the built-in
+    /// benchmark contribution — the lowering the runtime's PCLR backend
+    /// uses to execute arbitrary job bodies on the simulated hardware.
+    /// Implies value tracking; pair with a `track_values` machine.
+    pub fn with_values(
+        pat: Arc<AccessPattern>,
+        p: usize,
+        nprocs: usize,
+        params: TraceParams,
+        vals: ValueFn,
+    ) -> Self {
+        assert!(p < nprocs);
+        PclrTrace {
+            pat,
+            p,
+            nprocs,
+            params,
+            vals: Some(vals),
             inner: Buffered::new(PclrState::Start),
         }
     }
@@ -395,9 +426,13 @@ impl TraceSource for PclrTrace {
                     });
                     for r in rr {
                         let x = self.pat.indices[r];
+                        let val = match &self.vals {
+                            Some(f) => f(iter, r),
+                            None => val_bits(&self.params, r),
+                        };
                         self.inner.buf.push_back(Inst::RedUpdate {
                             addr: to_shadow(regions::shared_elem(x as u64)),
-                            val: val_bits(&self.params, r),
+                            val,
                         });
                     }
                     self.inner.state = PclrState::Loop {
@@ -440,6 +475,28 @@ pub fn traces_for(
             })
             .collect(),
     }
+}
+
+/// Build the full PCLR trace set whose updates carry values from `vals`
+/// (see [`PclrTrace::with_values`]): one trace per processor, iteration
+/// blocks partitioned exactly as [`traces_for`] partitions them.
+pub fn pclr_traces_with_values(
+    pat: &Arc<AccessPattern>,
+    nprocs: usize,
+    params: TraceParams,
+    vals: ValueFn,
+) -> Vec<Box<dyn TraceSource>> {
+    (0..nprocs)
+        .map(|p| {
+            Box::new(PclrTrace::with_values(
+                pat.clone(),
+                p,
+                nprocs,
+                params,
+                vals.clone(),
+            )) as Box<dyn TraceSource>
+        })
+        .collect()
 }
 
 /// The three simulated systems of Figure 6 (Hw vs Flex is a machine
@@ -597,6 +654,30 @@ mod tests {
             covered += r.len();
         }
         assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn value_fn_overrides_builtin_contributions() {
+        let pat = small_pattern();
+        let vals: ValueFn = Arc::new(|i, r| (i as u64) << 32 | r as u64);
+        let traces = pclr_traces_with_values(&pat, 4, TraceParams::default(), vals);
+        let mut seen = 0usize;
+        for (p, t) in traces.into_iter().enumerate() {
+            let insts = drain(t);
+            let range = block_range(pat.num_iterations(), p, 4);
+            let mut expect = range
+                .clone()
+                .flat_map(|i| pat.ref_range(i).map(move |r| (i, r)));
+            for inst in insts {
+                if let Inst::RedUpdate { val, .. } = inst {
+                    let (i, r) = expect.next().expect("more updates than references");
+                    assert_eq!(val, (i as u64) << 32 | r as u64);
+                    seen += 1;
+                }
+            }
+            assert!(expect.next().is_none(), "processor {p} dropped updates");
+        }
+        assert_eq!(seen, pat.num_references());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Route runtime jobs through the PCLR hardware backend: the service
+//! decides per class — software library on the worker pool, or the
+//! paper's simulated reduction hardware — and both compete in one
+//! profile store.
+//!
+//! Run with: `cargo run --release --example pclr_offload`
+
+use smartapps::reductions::Scheme;
+use smartapps::runtime::{JobSpec, PclrConfig, Runtime, RuntimeConfig};
+use smartapps::workloads::pattern::sequential_reduce_i64;
+use smartapps::workloads::{contribution_i64, Distribution, PatternSpec};
+use std::sync::Arc;
+
+fn main() {
+    // A service with the hardware backend enabled: jobs the decision
+    // model (or a profile entry) assigns to Scheme::Pclr are lowered to
+    // PCLR instruction traces and executed on the simulated CC-NUMA
+    // machine; everything else runs on the software worker pool.
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 4,
+        dispatchers: 1,
+        pclr: Some(PclrConfig {
+            nodes: 4,
+            max_sim_refs: 20_000,
+            ..PclrConfig::default()
+        }),
+        ..RuntimeConfig::default()
+    });
+
+    // A small irregular class, admitted by the backend.
+    let pat = Arc::new(
+        PatternSpec {
+            num_elements: 1024,
+            iterations: 2_000,
+            refs_per_iter: 3,
+            coverage: 0.9,
+            dist: Distribution::Uniform,
+            seed: 11,
+        }
+        .generate(),
+    );
+
+    // Let the service decide naturally first...
+    let handle = rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+    let sig = handle.signature();
+    let decided = handle.wait();
+    println!(
+        "model decision for the class: {} ({} refs)",
+        decided.scheme,
+        pat.num_references()
+    );
+
+    // ...then pin the class onto the hardware backend the way a
+    // previous offload-enabled process would have: through the profile
+    // store. (Production services inherit this from disk via
+    // `RuntimeConfig::profile_path`.)
+    let mut learned = smartapps::runtime::ProfileStore::new();
+    learned.record(
+        sig,
+        Scheme::Pclr,
+        rt.width(),
+        pat.num_references(),
+        std::time::Duration::from_micros(50),
+    );
+    rt.seed_profile(&learned);
+
+    let offloaded = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+    assert_eq!(offloaded.scheme, Scheme::Pclr);
+    let cycles = offloaded.sim_cycles.expect("offloaded job reports cycles");
+    assert_eq!(
+        offloaded.output.as_i64().unwrap(),
+        sequential_reduce_i64(&pat),
+        "hardware result must match the software oracle"
+    );
+    println!(
+        "offloaded run: scheme {}, {} simulated cycles, profile hit: {}",
+        offloaded.scheme, cycles, offloaded.profile_hit
+    );
+
+    let stats = rt.stats();
+    println!(
+        "service stats: {} completed, {} pclr offloads, {} simulated cycles total",
+        stats.completed, stats.pclr_offloads, stats.sim_cycles
+    );
+    assert!(stats.pclr_offloads >= 1);
+    rt.shutdown();
+    println!("ok: hardware and software schemes competed in one service");
+}

@@ -1,0 +1,220 @@
+//! End-to-end PCLR offload: a runtime configured with the hardware
+//! backend routes workload classes to the simulated machine, returns
+//! oracle-correct results, surfaces the offload in [`StatsSnapshot`],
+//! and the backend choice survives a profile-store save/restart round
+//! trip — the full acceptance path for the execution-backend seam.
+//!
+//! [`StatsSnapshot`]: smartapps::runtime::StatsSnapshot
+
+use smartapps::reductions::{DecisionModel, ModelParams, Scheme};
+use smartapps::runtime::{JobSpec, PclrConfig, Runtime, RuntimeConfig};
+use smartapps::workloads::pattern::{sequential_reduce, sequential_reduce_i64};
+use smartapps::workloads::{
+    contribution, contribution_i64, AccessPattern, Distribution, PatternSpec,
+};
+use std::sync::Arc;
+
+/// A model whose PCLR formula is free of overheads, so every admitted
+/// class deterministically decides onto the hardware backend (production
+/// calibrations make this a per-class competition; tests pin it).
+fn free_offload_model() -> DecisionModel {
+    DecisionModel::new(ModelParams {
+        pclr_update: 0.0,
+        pclr_flush_line: 0.0,
+        pclr_offload_fixed: 0.0,
+        ..ModelParams::default()
+    })
+}
+
+fn sim_pattern(seed: u64) -> Arc<AccessPattern> {
+    Arc::new(
+        PatternSpec {
+            num_elements: 384,
+            iterations: 400,
+            refs_per_iter: 2,
+            coverage: 0.9,
+            dist: Distribution::Uniform,
+            seed,
+        }
+        .generate(),
+    )
+}
+
+fn offload_config(profile_path: Option<std::path::PathBuf>) -> RuntimeConfig {
+    RuntimeConfig {
+        workers: 2,
+        dispatchers: 1,
+        profile_path,
+        pclr: Some(PclrConfig::default()),
+        model: free_offload_model(),
+        ..RuntimeConfig::default()
+    }
+}
+
+#[test]
+fn offload_enabled_runtime_routes_classes_to_the_simulator() {
+    let rt = Runtime::new(offload_config(None));
+    // Two distinct classes, both flavors, all routed to the machine.
+    let pat_a = sim_pattern(31);
+    let pat_b = sim_pattern(33);
+    let ra = rt.run(JobSpec::i64(pat_a.clone(), |_i, r| contribution_i64(r)));
+    assert!(ra.error.is_none(), "{:?}", ra.error);
+    assert_eq!(ra.scheme, Scheme::Pclr);
+    assert_eq!(ra.output.as_i64().unwrap(), sequential_reduce_i64(&pat_a));
+    assert!(ra.sim_cycles.unwrap() > 0);
+
+    let rb = rt.run(JobSpec::f64(pat_b.clone(), |_i, r| contribution(r)));
+    assert!(rb.error.is_none());
+    assert_eq!(rb.scheme, Scheme::Pclr);
+    let oracle = sequential_reduce(&pat_b);
+    for (a, b) in oracle.iter().zip(rb.output.as_f64().unwrap()) {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+
+    // The offloads are visible in the service counters.
+    let stats = rt.stats();
+    assert_eq!(stats.pclr_offloads, 2);
+    assert_eq!(
+        stats.sim_cycles,
+        ra.sim_cycles.unwrap() + rb.sim_cycles.unwrap()
+    );
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn software_only_runtime_never_touches_the_simulator() {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        model: free_offload_model(), // free pclr, but no backend
+        ..RuntimeConfig::default()
+    });
+    let pat = sim_pattern(35);
+    let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+    assert!(r.error.is_none());
+    assert!(r.scheme.is_software());
+    assert!(r.sim_cycles.is_none());
+    assert_eq!(rt.stats().pclr_offloads, 0);
+}
+
+#[test]
+fn backend_choice_survives_profile_save_and_restart() {
+    let dir = std::env::temp_dir().join("smartapps-offload-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("offload-{}.txt", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let pat = sim_pattern(37);
+    let oracle = sequential_reduce_i64(&pat);
+
+    // First process: learn the class onto the hardware backend.
+    {
+        let rt = Runtime::new(offload_config(Some(path.clone())));
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert_eq!(r.scheme, Scheme::Pclr);
+        assert!(!r.profile_hit, "first sighting decides via the model");
+        rt.shutdown();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.contains(" pclr "),
+        "persisted store must carry the hardware record:\n{text}"
+    );
+
+    // Second process: the profile store alone routes the class — no
+    // model decision, no inspection.
+    {
+        let rt = Runtime::new(offload_config(Some(path.clone())));
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.profile_hit, "restart must remember the backend choice");
+        assert_eq!(r.scheme, Scheme::Pclr);
+        assert!(r.sim_cycles.is_some());
+        assert_eq!(r.output.as_i64().unwrap(), oracle);
+        assert_eq!(rt.stats().inspections, 0);
+        assert_eq!(rt.stats().pclr_offloads, 1);
+        rt.shutdown();
+    }
+
+    // Third process, hardware disabled: the stale pclr record must not
+    // wedge the class — it re-decides onto software and still answers.
+    {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            profile_path: Some(path.clone()),
+            ..RuntimeConfig::default()
+        });
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none());
+        assert!(r.scheme.is_software());
+        assert_eq!(r.output.as_i64().unwrap(), oracle);
+        assert_eq!(rt.stats().pclr_offloads, 0);
+        // The dead hardware entry is evicted on first mask; the class
+        // re-learns a software scheme and returns to profile-hit steady
+        // state instead of re-running the model on every job.
+        assert_eq!(rt.stats().evictions, 1);
+        rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let settled = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(settled.profile_hit, "class must settle onto software");
+        assert!(settled.scheme.is_software());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn offloaded_and_software_jobs_share_one_service() {
+    // Mixed traffic: an admitted small class offloads, an over-cap class
+    // stays on the pool — concurrently, against the same runtime.
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers: 2,
+        dispatchers: 2,
+        shards: 4,
+        pclr: Some(PclrConfig {
+            max_sim_refs: 2_000, // sim_pattern has 800 refs; big has 24k
+            ..PclrConfig::default()
+        }),
+        model: free_offload_model(),
+        ..RuntimeConfig::default()
+    }));
+    let small = sim_pattern(39);
+    let big = Arc::new(
+        PatternSpec {
+            num_elements: 2_000,
+            iterations: 12_000,
+            refs_per_iter: 2,
+            coverage: 0.9,
+            dist: Distribution::Uniform,
+            seed: 41,
+        }
+        .generate(),
+    );
+    let small_oracle = sequential_reduce_i64(&small);
+    let big_oracle = sequential_reduce_i64(&big);
+    std::thread::scope(|s| {
+        for c in 0..3 {
+            let rt = rt.clone();
+            let small = small.clone();
+            let big = big.clone();
+            let small_oracle = &small_oracle;
+            let big_oracle = &big_oracle;
+            s.spawn(move || {
+                for j in 0..6 {
+                    let (pat, oracle, offloaded) = if (c + j) % 2 == 0 {
+                        (&small, small_oracle, true)
+                    } else {
+                        (&big, big_oracle, false)
+                    };
+                    let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+                    assert!(r.error.is_none(), "{:?}", r.error);
+                    assert_eq!(r.output.as_i64().unwrap(), &oracle[..]);
+                    assert_eq!(
+                        r.sim_cycles.is_some(),
+                        offloaded,
+                        "class routing must follow the admission cap"
+                    );
+                }
+            });
+        }
+    });
+    let stats = rt.stats();
+    assert_eq!(stats.completed, 18);
+    assert_eq!(stats.pclr_offloads, 9, "every small-class job offloads");
+}

@@ -1,0 +1,243 @@
+//! Concurrency soak: a multi-thread submit/`submit_batch` storm with
+//! randomly panicking job bodies and a shutdown fired in the middle of
+//! it, asserting the service's completion invariant — **every handle
+//! resolves**, with either a correct value or a typed [`JobError`], and
+//! no job is lost or left hanging.
+//!
+//! The storm deliberately mixes every failure channel the runtime has:
+//! poisoned bodies (→ `Panic`), structurally invalid patterns (→
+//! `Rejected`), and submissions racing the closing queue (→ `Shutdown`).
+//! Results are collected by polling [`JobHandle::try_wait`] under a
+//! deadline, so a lost wakeup fails the test with a message instead of
+//! hanging CI.
+//!
+//! Run it under `--release` too (the CI matrix does): timing-dependent
+//! paths — batch coalescing, work stealing, the shutdown race — shift
+//! with optimization, and the invariant must hold in every interleaving.
+//!
+//! [`JobError`]: smartapps::runtime::JobError
+//! [`JobHandle::try_wait`]: smartapps::runtime::JobHandle::try_wait
+
+use smartapps::runtime::{JobErrorKind, JobHandle, JobSpec, Runtime, RuntimeConfig};
+use smartapps::workloads::pattern::sequential_reduce_i64;
+use smartapps::workloads::{contribution_i64, AccessPattern, Distribution, PatternSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 6;
+const JOBS_PER_CLIENT: usize = 40;
+const RESOLVE_DEADLINE: Duration = Duration::from_secs(120);
+
+fn pattern(seed: u64) -> Arc<AccessPattern> {
+    Arc::new(
+        PatternSpec {
+            num_elements: 800,
+            iterations: 1500,
+            refs_per_iter: 2,
+            coverage: 0.8,
+            dist: Distribution::Uniform,
+            seed,
+        }
+        .generate(),
+    )
+}
+
+/// Deterministic "randomness": whether job `j` of client `c` panics.
+fn poisoned(c: usize, j: usize) -> bool {
+    (c.wrapping_mul(31).wrapping_add(j))
+        .wrapping_mul(2654435761)
+        .is_multiple_of(5)
+}
+
+/// Poll a handle to resolution under the global deadline.
+fn resolve(h: JobHandle, deadline: Instant) -> smartapps::runtime::JobResult {
+    loop {
+        if let Some(r) = h.try_wait() {
+            return r;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "handle did not resolve before the deadline: lost job"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn storm_with_panics_and_mid_storm_shutdown_loses_no_handle() {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 3,
+        shards: 8,
+        dispatchers: 2,
+        max_batch: 16,
+        max_fuse: 4,
+        ..RuntimeConfig::default()
+    });
+    let classes: Vec<Arc<AccessPattern>> = (0..4).map(|s| pattern(900 + s)).collect();
+    let oracles: Vec<Vec<i64>> = classes.iter().map(|p| sequential_reduce_i64(p)).collect();
+    let broken = Arc::new(AccessPattern {
+        num_elements: 2,
+        iter_ptr: vec![0, 1],
+        indices: vec![9],
+    });
+
+    let start = Arc::new(Barrier::new(CLIENTS + 1));
+    let deadline = Instant::now() + RESOLVE_DEADLINE;
+    let values = AtomicUsize::new(0);
+    let panics = AtomicUsize::new(0);
+    let shutdowns = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let rt = &rt;
+            let start = start.clone();
+            let classes = &classes;
+            let oracles = &oracles;
+            let broken = broken.clone();
+            let (values, panics, shutdowns, rejected) = (&values, &panics, &shutdowns, &rejected);
+            s.spawn(move || {
+                start.wait();
+                let mut handles: Vec<(usize, bool, JobHandle)> = Vec::new();
+                let mut j = 0;
+                while j < JOBS_PER_CLIENT {
+                    let which = (c + j) % classes.len();
+                    let mk = |jj: usize| {
+                        let which = (c + jj) % classes.len();
+                        if poisoned(c, jj) {
+                            JobSpec::i64(classes[which].clone(), move |_i, _r| {
+                                panic!("soak poison {c}/{jj}")
+                            })
+                        } else {
+                            JobSpec::i64(classes[which].clone(), |_i, r| contribution_i64(r))
+                        }
+                    };
+                    if j % 11 == 3 {
+                        // A structurally invalid submission in the mix.
+                        handles.push((
+                            0,
+                            true,
+                            rt.submit(JobSpec::i64(broken.clone(), |_i, _r| 1)),
+                        ));
+                    }
+                    if j % 7 == 0 {
+                        // Batch submission: 4 jobs at once.
+                        let hi = (j + 4).min(JOBS_PER_CLIENT);
+                        let specs: Vec<JobSpec> = (j..hi).map(mk).collect();
+                        for (jj, h) in (j..hi).zip(rt.submit_batch(specs)) {
+                            let which = (c + jj) % classes.len();
+                            handles.push((which, poisoned(c, jj), h));
+                        }
+                        j = hi;
+                    } else {
+                        handles.push((which, poisoned(c, j), rt.submit(mk(j))));
+                        j += 1;
+                    }
+                }
+                for (which, was_poisoned, h) in handles {
+                    let r = resolve(h, deadline);
+                    match &r.error {
+                        None => {
+                            assert_eq!(
+                                r.output.as_i64().unwrap(),
+                                &oracles[which][..],
+                                "clean job must match its oracle (class {which})"
+                            );
+                            values.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(e) => {
+                            match e.kind {
+                                JobErrorKind::Panic => {
+                                    assert!(was_poisoned, "only poisoned bodies may panic: {e}");
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                }
+                                JobErrorKind::Shutdown => {
+                                    shutdowns.fetch_add(1, Ordering::Relaxed);
+                                }
+                                JobErrorKind::Rejected => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            assert!(r.output.is_empty(), "failed jobs carry no output");
+                        }
+                    }
+                }
+            });
+        }
+        // Fire the shutdown from the middle of the storm: everything
+        // already queued still drains; racing submissions resolve with
+        // the Shutdown error kind instead of hanging their handles.
+        start.wait();
+        std::thread::sleep(Duration::from_millis(30));
+        rt.begin_shutdown();
+    });
+
+    let stats = rt.stats();
+    assert_eq!(
+        stats.submitted, stats.completed,
+        "every accepted job must complete: {stats:?}"
+    );
+    let v = values.load(Ordering::Relaxed);
+    let p = panics.load(Ordering::Relaxed);
+    let sd = shutdowns.load(Ordering::Relaxed);
+    let rj = rejected.load(Ordering::Relaxed);
+    assert_eq!(v + p + sd + rj, stats.submitted as usize);
+    // The storm front-loads submissions, so some always land pre-close;
+    // poisoned bodies are ~1 in 5 of them.
+    assert!(
+        v > 0,
+        "no job resolved with a value (shutdown won the race everywhere?)"
+    );
+    println!(
+        "soak: {v} values, {p} panics, {sd} shutdowns, {rj} rejected \
+         ({} batches, {} coalesced, {} steals, {} fused)",
+        stats.batches, stats.coalesced, stats.steals, stats.fused_jobs
+    );
+}
+
+#[test]
+fn repeated_storms_against_one_service_stay_healthy() {
+    // No shutdown here: three consecutive storms reuse one service, so
+    // profile hits and coalescing paths from earlier waves feed later
+    // ones (the long-lived-service shape the runtime exists for).
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        shards: 4,
+        dispatchers: 2,
+        ..RuntimeConfig::default()
+    });
+    let pat = pattern(990);
+    let oracle = sequential_reduce_i64(&pat);
+    let deadline = Instant::now() + RESOLVE_DEADLINE;
+    for wave in 0..3 {
+        std::thread::scope(|s| {
+            for c in 0..4 {
+                let rt = &rt;
+                let pat = &pat;
+                let oracle = &oracle;
+                s.spawn(move || {
+                    for j in 0..10 {
+                        let poison = poisoned(c + wave, j);
+                        let h = if poison {
+                            rt.submit(JobSpec::i64(pat.clone(), |_i, _r| panic!("wave poison")))
+                        } else {
+                            rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)))
+                        };
+                        let r = resolve(h, deadline);
+                        match r.error {
+                            None => assert_eq!(r.output.as_i64().unwrap(), &oracle[..]),
+                            Some(e) => {
+                                assert_eq!(e.kind, JobErrorKind::Panic);
+                                assert!(poison);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.submitted, 120);
+    assert_eq!(stats.completed, 120);
+}
