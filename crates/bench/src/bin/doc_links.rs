@@ -1,0 +1,175 @@
+//! Documentation link checker (CI gate): every relative link and
+//! intra-document anchor in the repo's markdown docs must resolve.
+//!
+//! Scope: `README.md`, `docs/*.md`, `tests/README.md`.  For each
+//! `[label](target)` outside fenced code blocks:
+//!
+//! * `http(s)://` and `mailto:` targets are skipped (offline CI);
+//! * `#anchor` targets must match a heading slug in the same file;
+//! * relative paths must exist on disk (file or directory), and a
+//!   `path.md#anchor` fragment must match a heading slug in that file.
+//!
+//! Exit status is non-zero with one line per broken link, so the CI step
+//! fails loudly instead of letting docs rot.
+//!
+//! ```text
+//! cargo run -p smartapps-bench --bin doc_links
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// A parsed markdown link: line number and target.
+struct Link {
+    line: usize,
+    target: String,
+}
+
+/// GitHub-style heading slug: lowercase, backticks stripped, anything
+/// that is not alphanumeric/space/hyphen/underscore removed, spaces
+/// hyphenated.
+fn slugify(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter(|c| c.is_alphanumeric() || *c == ' ' || *c == '-' || *c == '_')
+        .collect::<String>()
+        .to_lowercase()
+        .replace(' ', "-")
+}
+
+/// Heading slugs of a markdown file (fenced code blocks excluded).
+fn heading_slugs(text: &str) -> Vec<String> {
+    let mut fenced = false;
+    let mut slugs = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        if !fenced && line.starts_with('#') {
+            slugs.push(slugify(line.trim_start_matches('#')));
+        }
+    }
+    slugs
+}
+
+/// Extract `[label](target)` links outside fenced code blocks.
+fn extract_links(text: &str) -> Vec<Link> {
+    let mut fenced = false;
+    let mut links = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        if fenced {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                // Walk forward to the closing paren…
+                let start = i + 2;
+                if let Some(rel_end) = line[start..].find(')') {
+                    // …and back to the matching bracket, to reject stray
+                    // "](" sequences that are not links.
+                    let has_open = line[..i].rfind('[').is_some();
+                    if has_open {
+                        links.push(Link {
+                            line: idx + 1,
+                            target: line[start..start + rel_end].to_string(),
+                        });
+                    }
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+fn main() {
+    // crates/bench/ → workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+
+    let mut files: Vec<PathBuf> = vec![root.join("README.md"), root.join("tests/README.md")];
+    let docs = root.join("docs");
+    if let Ok(entries) = std::fs::read_dir(&docs) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "md") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                broken.push(format!("{}: unreadable: {e}", file.display()));
+                continue;
+            }
+        };
+        let own_slugs = heading_slugs(&text);
+        for link in extract_links(&text) {
+            checked += 1;
+            let target = link.target.trim();
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let rel = file.strip_prefix(&root).unwrap_or(file).display();
+            if let Some(anchor) = target.strip_prefix('#') {
+                if !own_slugs.iter().any(|s| s == anchor) {
+                    broken.push(format!("{rel}:{}: broken anchor `#{anchor}`", link.line));
+                }
+                continue;
+            }
+            let (path_part, fragment) = match target.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (target, None),
+            };
+            let resolved = file.parent().unwrap_or(&root).join(path_part);
+            if !resolved.exists() {
+                broken.push(format!("{rel}:{}: missing target `{target}`", link.line));
+                continue;
+            }
+            if let Some(frag) = fragment {
+                if resolved.extension().is_some_and(|x| x == "md") {
+                    let other = std::fs::read_to_string(&resolved).unwrap_or_default();
+                    if !heading_slugs(&other).iter().any(|s| s == frag) {
+                        broken.push(format!(
+                            "{rel}:{}: `{path_part}` has no heading `#{frag}`",
+                            link.line
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if broken.is_empty() {
+        println!(
+            "doc_links: {} links across {} files, all resolve",
+            checked,
+            files.len()
+        );
+    } else {
+        eprintln!("doc_links: {} broken link(s):", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+}

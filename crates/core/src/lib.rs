@@ -18,6 +18,9 @@
 //! * [`toolbox`] — the ToolBox: performance databases, predictor with
 //!   learned corrections, evaluator and the deviation-to-adaptation
 //!   policy (small adaption = tuning, large adaption = phase change);
+//! * [`calibrate`] — the online calibration loop: per-`(Scheme,
+//!   DomainKey)` EWMA corrections with confidence weighting that ground
+//!   the analytic model in measured cost samples (see `docs/MODEL.md`);
 //! * [`configurer`] — the Configurer: applies computed system
 //!   configurations to the host (thread counts) or to the simulated
 //!   machine (PCLR controller flavor, page placement);
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod calibrate;
 pub mod configurer;
 pub mod monitor;
 pub mod multiversion;
@@ -58,6 +62,7 @@ pub mod recognize;
 pub mod toolbox;
 
 pub use adaptive::{AdaptiveReduction, InvocationLog, SchemePrior};
+pub use calibrate::{Calibrator, CorrLevel, Correction};
 pub use configurer::{Configurer, HostConfigurer, SimConfigurer, SystemConfig};
 pub use monitor::{Monitor, PhaseDetector};
 pub use multiversion::{CompiledReduction, Inputs};

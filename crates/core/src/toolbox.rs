@@ -33,6 +33,36 @@ pub struct DomainKey {
 }
 
 impl DomainKey {
+    /// Pack the four buckets into one `u32`
+    /// (`dim | reuse | sparsity | mo`, big-endian by field) — the stable
+    /// encoding the runtime's profile store uses for `corr` records.
+    ///
+    /// ```
+    /// use smartapps_core::toolbox::DomainKey;
+    /// let d = DomainKey { dim_bucket: 12, reuse_bucket: 4, sparsity_decile: 10, mo: 2 };
+    /// assert_eq!(DomainKey::unpack(d.pack()), d);
+    /// assert_eq!(d.pack(), 0x0c040a02);
+    /// ```
+    pub fn pack(&self) -> u32 {
+        u32::from_be_bytes([
+            self.dim_bucket,
+            self.reuse_bucket,
+            self.sparsity_decile,
+            self.mo,
+        ])
+    }
+
+    /// Inverse of [`pack`](DomainKey::pack).
+    pub fn unpack(bits: u32) -> Self {
+        let [dim_bucket, reuse_bucket, sparsity_decile, mo] = bits.to_be_bytes();
+        DomainKey {
+            dim_bucket,
+            reuse_bucket,
+            sparsity_decile,
+            mo,
+        }
+    }
+
     /// Compute the domain of a characterization.
     pub fn of(chars: &smartapps_workloads::PatternChars) -> Self {
         let log2b = |x: f64| -> u8 {
@@ -158,6 +188,25 @@ impl Predictor {
     /// K-fold private storage pushes replicating schemes out of cache
     /// while traversal-bound schemes amortize, so the decision must be
     /// re-ranked at the batch's actual fanout.
+    ///
+    /// ```
+    /// use smartapps_core::toolbox::Predictor;
+    /// use smartapps_reductions::{Inspector, ModelInput};
+    /// use smartapps_workloads::{Distribution, PatternSpec};
+    ///
+    /// let pat = PatternSpec {
+    ///     num_elements: 4096, iterations: 8192, refs_per_iter: 2,
+    ///     coverage: 1.0, dist: Distribution::Uniform, seed: 3,
+    /// }.generate();
+    /// let input = ModelInput::from_inspection(&Inspector::analyze(&pat, 4), false);
+    /// let p = Predictor::default();
+    /// // At fanout 1 the fused ranking is exactly the plain ranking ...
+    /// assert_eq!(p.rank_fused(&input, 1), p.rank(&input));
+    /// // ... and a fused batch costs more than one job, less than K jobs.
+    /// let (best, one) = p.rank(&input)[0];
+    /// let (_, fused) = *p.rank_fused(&input, 4).iter().find(|(s, _)| *s == best).unwrap();
+    /// assert!(fused > one && fused < 4.0 * one);
+    /// ```
     pub fn rank_fused(&self, input: &ModelInput, fanout: usize) -> Vec<(Scheme, f64)> {
         self.rank(&input.clone().with_fanout(fanout))
     }
@@ -165,7 +214,29 @@ impl Predictor {
     /// Learn from a measurement: fold `measured_units / predicted` into the
     /// scheme's correction factor.  `measured_units` must be in the same
     /// abstract scale as predictions — callers normalize wall time by a
-    /// per-machine calibration constant.
+    /// per-machine calibration constant.  (The runtime's
+    /// [`Calibrator`](crate::calibrate::Calibrator) does that
+    /// normalization automatically and refines corrections per
+    /// [`DomainKey`]; this predictor is the single-process flavor the
+    /// adaptive loop embeds.)
+    ///
+    /// Invalid samples (non-finite, non-positive) are ignored:
+    ///
+    /// ```
+    /// use smartapps_core::toolbox::Predictor;
+    /// use smartapps_reductions::Scheme;
+    ///
+    /// let mut p = Predictor::default();
+    /// // rep keeps measuring 2x its prediction: the correction converges
+    /// // toward the measured/predicted ratio.
+    /// for _ in 0..20 {
+    ///     p.learn(Scheme::Rep, 100.0, 200.0);
+    /// }
+    /// assert!(p.correction(Scheme::Rep) > 1.8);
+    /// p.learn(Scheme::Rep, 0.0, 100.0);      // ignored
+    /// p.learn(Scheme::Rep, 100.0, f64::NAN); // ignored
+    /// assert!(p.correction(Scheme::Rep).is_finite());
+    /// ```
     pub fn learn(&mut self, scheme: Scheme, predicted: f64, measured_units: f64) {
         if !(predicted.is_finite() && measured_units.is_finite())
             || predicted <= 0.0
@@ -178,7 +249,18 @@ impl Predictor {
         *c = (1.0 - self.ema_alpha) * *c + self.ema_alpha * ratio;
     }
 
-    /// Current correction factor for a scheme.
+    /// Current correction factor for a scheme (`1.0` until
+    /// [`learn`](Predictor::learn) has folded in a measurement).
+    ///
+    /// ```
+    /// use smartapps_core::toolbox::Predictor;
+    /// use smartapps_reductions::Scheme;
+    ///
+    /// let mut p = Predictor::default();
+    /// assert_eq!(p.correction(Scheme::Hash), 1.0);
+    /// p.learn(Scheme::Hash, 100.0, 400.0);
+    /// assert!(p.correction(Scheme::Hash) > 1.0); // measured slower than predicted
+    /// ```
     pub fn correction(&self, scheme: Scheme) -> f64 {
         self.correction.get(&scheme).copied().unwrap_or(1.0)
     }

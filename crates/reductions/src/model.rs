@@ -117,6 +117,15 @@ impl ModelParams {
     /// Per-access cost for a working set of `bytes`: `update_hit` while it
     /// fits in cache, growing smoothly to `update_hit +
     /// update_miss_penalty` when it exceeds cache several-fold.
+    ///
+    /// ```
+    /// let q = smartapps_reductions::ModelParams::default();
+    /// let resident = q.locality_cost(64.0 * 1024.0);      // fits: base cost
+    /// let thrashing = q.locality_cost(64.0 * 1024.0 * 1024.0);
+    /// assert_eq!(resident, q.update_hit);
+    /// assert!(thrashing > resident);
+    /// assert!(thrashing <= q.update_hit + q.update_miss_penalty + 1e-9);
+    /// ```
     pub fn locality_cost(&self, bytes: f64) -> f64 {
         if bytes <= self.cache_bytes {
             self.update_hit
@@ -343,6 +352,24 @@ impl DecisionModel {
     /// [`Scheme::Pclr`] joins the ranking only when the instance reports
     /// a PCLR backend ([`ModelInput::with_pclr`]); software-only callers
     /// keep the five-scheme competition of Section 4.
+    ///
+    /// These are *analytic prior* costs — the runtime's calibrator
+    /// multiplies each by a learned measured/predicted correction before
+    /// acting on the ranking (see `docs/MODEL.md`).
+    ///
+    /// ```
+    /// use smartapps_reductions::{DecisionModel, Inspector, ModelInput};
+    /// use smartapps_workloads::{Distribution, PatternSpec};
+    ///
+    /// let pat = PatternSpec {
+    ///     num_elements: 4096, iterations: 20_000, refs_per_iter: 2,
+    ///     coverage: 1.0, dist: Distribution::Uniform, seed: 7,
+    /// }.generate();
+    /// let insp = Inspector::analyze(&pat, 4);
+    /// let pred = DecisionModel::default().decide(&ModelInput::from_inspection(&insp, false));
+    /// assert_eq!(pred.ranking.len(), 5);        // software-only competition
+    /// assert!(pred.cost_of(pred.best()).unwrap() <= pred.ranking[1].1);
+    /// ```
     pub fn decide(&self, input: &ModelInput) -> Prediction {
         let mut ranking: Vec<(Scheme, f64)> = Scheme::all_parallel()
             .into_iter()

@@ -22,12 +22,14 @@
 
 use crate::job::{JobBody, JobOutput};
 use crate::pool::WorkerPool;
+use smartapps_core::calibrate::Correction;
 use smartapps_reductions::{run_scheme_on, Inspection, Scheme};
 use smartapps_sim::offload::run_reduction;
 use smartapps_sim::{MachineConfig, RedOp};
 use smartapps_workloads::tracegen::{pclr_traces_with_values, TraceParams, ValueFn};
 use smartapps_workloads::AccessPattern;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// One decided job, ready for a backend to execute.
@@ -136,7 +138,11 @@ pub struct PclrConfig {
     /// than native execution, so this bounds dispatcher latency.
     pub max_sim_refs: usize,
     /// Host nanoseconds one simulated cycle converts to when reporting
-    /// the cost sample (`1.0` models a 1 GHz machine).
+    /// the cost sample (`1.0` models a 1 GHz machine).  This is only the
+    /// *starting* assumption: the runtime fits the effective conversion
+    /// online from classes observed on both backends
+    /// ([`PclrBackend::fit_cycle_ns`]), and the fit persists across
+    /// restarts as the profile store's `cyc` record.
     pub cycle_ns: f64,
 }
 
@@ -156,6 +162,11 @@ impl Default for PclrConfig {
 pub struct PclrBackend {
     config: PclrConfig,
     machine: MachineConfig,
+    /// Online fit of the cycle→nanosecond conversion: an EWMA over
+    /// observed (software wall-ns/ref, simulated cycles/ref) pairs for
+    /// classes that executed on both backends.  Until the first pair the
+    /// assumed [`PclrConfig::cycle_ns`] applies.
+    cycle_fit: Mutex<Correction>,
 }
 
 impl PclrBackend {
@@ -169,12 +180,54 @@ impl PclrBackend {
         } else {
             MachineConfig::table1(nodes)
         };
-        PclrBackend { config, machine }
+        let cycle_fit = Mutex::new(Correction::seeded(config.cycle_ns, 0));
+        PclrBackend {
+            config,
+            machine,
+            cycle_fit,
+        }
     }
 
     /// The active configuration (after normalization).
     pub fn config(&self) -> &PclrConfig {
         &self.config
+    }
+
+    /// Fold one observed cycle→nanosecond sample into the fitted
+    /// conversion (dispatcher-fed: `software wall-ns per reference /
+    /// simulated cycles per reference` for a class seen on both
+    /// backends).  Invalid samples are ignored.
+    ///
+    /// A large refit retroactively rescales every hardware-routed
+    /// class's reported cost (cycles are deterministic; the conversion
+    /// is not pinned), so profiled pclr entries calibrated under the old
+    /// conversion may trip the dispatcher's drift guard once and
+    /// re-record — deliberate: a new time base *is* a phase change for
+    /// stored calibrations.
+    pub fn fit_cycle_ns(&self, sample_ns_per_cycle: f64) {
+        if !sample_ns_per_cycle.is_finite() || sample_ns_per_cycle <= 0.0 {
+            return;
+        }
+        let mut fit = self.cycle_fit.lock().unwrap_or_else(|p| p.into_inner());
+        fit.observe(sample_ns_per_cycle);
+    }
+
+    /// The fitted conversion and the number of samples behind it (0
+    /// samples ⇒ the value is still the configured assumption).
+    pub fn fitted_cycle_ns(&self) -> Correction {
+        *self.cycle_fit.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Seed the fit from persisted state (the profile store's `cyc`
+    /// record); a warmer in-memory fit is kept.
+    pub fn seed_cycle_fit(&self, fit: Correction) {
+        if !fit.ns_per_unit.is_finite() || fit.ns_per_unit <= 0.0 {
+            return;
+        }
+        let mut mine = self.cycle_fit.lock().unwrap_or_else(|p| p.into_inner());
+        if fit.updates > mine.updates {
+            *mine = fit;
+        }
     }
 
     /// Whether the backend admits a job over this pattern (reference
@@ -223,7 +276,8 @@ impl Backend for PclrBackend {
             JobBody::I64(_) => JobOutput::I64(sim.values.iter().map(|&v| v as i64).collect()),
         };
         let cycles = sim.cycles();
-        let cost = Duration::from_nanos((cycles as f64 * self.config.cycle_ns).round() as u64);
+        let cycle_ns = self.fitted_cycle_ns().ns_per_unit;
+        let cost = Duration::from_nanos((cycles as f64 * cycle_ns).round() as u64);
         ExecOutcome {
             output,
             cost,
@@ -323,6 +377,40 @@ mod tests {
             oracle[x as usize] += (i as i64) * 7 + contribution_i64(r);
         }
         assert_eq!(out.output.as_i64().unwrap(), oracle);
+    }
+
+    #[test]
+    fn cycle_fit_refines_the_assumed_conversion() {
+        let b = PclrBackend::new(PclrConfig::default());
+        // No samples: the configured assumption stands.
+        assert_eq!(b.fitted_cycle_ns(), Correction::seeded(1.0, 0));
+        // Samples move it; invalid ones are ignored.
+        b.fit_cycle_ns(0.5);
+        b.fit_cycle_ns(f64::NAN);
+        b.fit_cycle_ns(-3.0);
+        let fit = b.fitted_cycle_ns();
+        assert_eq!(fit.updates, 1);
+        assert!((fit.ns_per_unit - 0.5).abs() < 1e-12);
+        // The reported cost uses the fitted value, not the assumption.
+        let pat = pattern(5);
+        let spec = JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r));
+        let out = b.execute(&ExecRequest {
+            pattern: &pat,
+            body: &spec.body,
+            threads: 4,
+            scheme: Scheme::Pclr,
+            inspection: None,
+        });
+        let cycles = out.sim_cycles.unwrap();
+        assert_eq!(
+            out.cost,
+            Duration::from_nanos((cycles as f64 * 0.5).round() as u64)
+        );
+        // Persisted state seeds only when warmer.
+        b.seed_cycle_fit(Correction::seeded(2.0, 0));
+        assert_eq!(b.fitted_cycle_ns().updates, 1);
+        b.seed_cycle_fit(Correction::seeded(2.0, 10));
+        assert_eq!(b.fitted_cycle_ns(), Correction::seeded(2.0, 10));
     }
 
     #[test]

@@ -81,5 +81,5 @@ pub use error::{JobError, JobErrorKind};
 pub use job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, PatternSignature};
 pub use pool::WorkerPool;
 pub use profile::{ProfileEntry, ProfileStore};
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{CalibrationConfig, Runtime, RuntimeConfig};
 pub use stats::{RuntimeStats, StatsSnapshot};

@@ -10,15 +10,27 @@
 //!
 //! The on-disk format is a deliberately simple line-oriented text file —
 //! the workspace's serde is a no-op stand-in (see `vendor/serde`), and a
-//! format this small is easier to audit than a binary blob:
+//! format this small is easier to audit than a binary blob.  Three record
+//! kinds share the file (each line self-identifies; a reader that knows
+//! only one kind skips the others as malformed, which the lossy parser
+//! tolerates by design):
 //!
 //! ```text
 //! smartapps-profile-v1
 //! <sig:016x> <scheme> <threads> <ns_per_ref:e> <runs> <best_ns>
+//! corr <scheme|*> <domain:08x|*> <s|f> <ns_per_unit:e> <updates>
+//! cyc <cycle_ns:e> <updates>
 //! ```
+//!
+//! `corr` records persist the online calibrator's learned state (see
+//! `smartapps_core::calibrate` and `docs/MODEL.md`): `*` in the scheme
+//! column is the global ns-per-unit scale, `*` in the domain column a
+//! per-scheme estimate, and `s`/`f` marks split vs fused execution.
+//! `cyc` persists the fitted PCLR cycle→nanosecond conversion.
 
 use crate::job::PatternSignature;
-use smartapps_core::toolbox::PerformanceDb;
+use smartapps_core::calibrate::{CorrLevel, Correction};
+use smartapps_core::toolbox::{DomainKey, PerformanceDb};
 use smartapps_reductions::Scheme;
 use std::collections::HashMap;
 use std::io::{self, Write as _};
@@ -54,10 +66,13 @@ impl ProfileEntry {
     }
 }
 
-/// A serializable signature → [`ProfileEntry`] map.
+/// A serializable signature → [`ProfileEntry`] map, plus the calibration
+/// state (`corr`/`cyc` records) that rides along in the same file.
 #[derive(Debug, Default, Clone)]
 pub struct ProfileStore {
     entries: HashMap<u64, ProfileEntry>,
+    calibration: HashMap<CorrLevel, Correction>,
+    cycle_fit: Option<Correction>,
     /// Malformed lines skipped by the most recent parse (not persisted).
     skipped: usize,
 }
@@ -151,6 +166,37 @@ impl ProfileStore {
         }
     }
 
+    /// Replace the stored calibration state with an exported calibrator
+    /// snapshot (`Calibrator::export`).  Invalid estimates are dropped.
+    pub fn set_calibration(&mut self, state: impl IntoIterator<Item = (CorrLevel, Correction)>) {
+        self.calibration = state
+            .into_iter()
+            .filter(|(_, c)| c.ns_per_unit.is_finite() && c.ns_per_unit > 0.0)
+            .collect();
+    }
+
+    /// The persisted calibration state, for seeding a fresh calibrator.
+    pub fn calibration(&self) -> impl Iterator<Item = (CorrLevel, Correction)> + '_ {
+        self.calibration.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of persisted calibration records (excluding entries).
+    pub fn calibration_len(&self) -> usize {
+        self.calibration.len()
+    }
+
+    /// Store the fitted PCLR cycle→nanosecond conversion (`cyc` record).
+    pub fn set_cycle_fit(&mut self, fit: Correction) {
+        if fit.ns_per_unit.is_finite() && fit.ns_per_unit > 0.0 && fit.updates > 0 {
+            self.cycle_fit = Some(fit);
+        }
+    }
+
+    /// The persisted PCLR cycle fit, if any.
+    pub fn cycle_fit(&self) -> Option<Correction> {
+        self.cycle_fit
+    }
+
     /// Serialize to the versioned text format.
     pub fn to_text(&self) -> String {
         let mut lines: Vec<String> = self
@@ -169,12 +215,37 @@ impl ProfileStore {
             })
             .collect();
         lines.sort(); // deterministic output
-        let mut out = String::with_capacity(lines.len() * 48 + HEADER.len() + 1);
+        let mut corr_lines: Vec<String> = self
+            .calibration
+            .iter()
+            .map(|(level, c)| {
+                let (scheme, domain, fused) = match level {
+                    CorrLevel::Global => ("*".to_string(), "*".to_string(), 's'),
+                    CorrLevel::Scheme(s, fused) => {
+                        (s.abbrev().to_string(), "*".to_string(), fused_tag(*fused))
+                    }
+                    CorrLevel::Class(s, d, fused) => (
+                        s.abbrev().to_string(),
+                        format!("{:08x}", d.pack()),
+                        fused_tag(*fused),
+                    ),
+                };
+                format!(
+                    "corr {scheme} {domain} {fused} {:e} {}",
+                    c.ns_per_unit, c.updates
+                )
+            })
+            .collect();
+        corr_lines.sort();
+        let mut out = String::with_capacity((lines.len() + corr_lines.len()) * 48 + 64);
         out.push_str(HEADER);
         out.push('\n');
-        for l in lines {
+        for l in lines.into_iter().chain(corr_lines) {
             out.push_str(&l);
             out.push('\n');
+        }
+        if let Some(fit) = &self.cycle_fit {
+            out.push_str(&format!("cyc {:e} {}\n", fit.ns_per_unit, fit.updates));
         }
         out
     }
@@ -198,20 +269,32 @@ impl ProfileStore {
                 format!("profile store missing `{HEADER}` header"),
             ));
         }
-        let mut entries = HashMap::new();
-        let mut skipped = 0usize;
+        let mut store = ProfileStore::new();
         for line in lines {
-            if line.trim().is_empty() {
+            let line = line.trim();
+            if line.is_empty() {
                 continue;
             }
-            match Self::parse_line(line) {
-                Some((sig, entry)) => {
-                    entries.insert(sig, entry);
-                }
-                None => skipped += 1,
+            let parsed = match line.split_ascii_whitespace().next() {
+                Some("corr") => Self::parse_corr_line(line)
+                    .map(|(level, c)| {
+                        store.calibration.insert(level, c);
+                    })
+                    .is_some(),
+                Some("cyc") => Self::parse_cyc_line(line)
+                    .map(|c| store.cycle_fit = Some(c))
+                    .is_some(),
+                _ => Self::parse_line(line)
+                    .map(|(sig, entry)| {
+                        store.entries.insert(sig, entry);
+                    })
+                    .is_some(),
+            };
+            if !parsed {
+                store.skipped += 1;
             }
         }
-        Ok(ProfileStore { entries, skipped })
+        Ok(store)
     }
 
     /// Parse one `<sig> <scheme> <threads> <ns_per_ref> <runs> <best_ns>`
@@ -248,6 +331,69 @@ impl ProfileStore {
         ))
     }
 
+    /// Parse one `corr <scheme|*> <domain|*> <s|f> <ns_per_unit> <updates>`
+    /// line; `None` on any malformed field (the lossy parser skips it).
+    fn parse_corr_line(line: &str) -> Option<(CorrLevel, Correction)> {
+        let mut f = line.split_ascii_whitespace();
+        let (kind, scheme, domain, fused, value, updates) = (
+            f.next()?,
+            f.next()?,
+            f.next()?,
+            f.next()?,
+            f.next()?,
+            f.next()?,
+        );
+        if kind != "corr" || f.next().is_some() {
+            return None;
+        }
+        let fused = match fused {
+            "s" => false,
+            "f" => true,
+            _ => return None,
+        };
+        let ns_per_unit: f64 = value.parse().ok()?;
+        if !ns_per_unit.is_finite() || ns_per_unit <= 0.0 {
+            return None;
+        }
+        let updates: u64 = updates.parse().ok()?;
+        let level = match (scheme, domain) {
+            ("*", "*") if !fused => CorrLevel::Global,
+            ("*", _) => return None, // a global row carries no domain/fused refinement
+            (s, "*") => CorrLevel::Scheme(Scheme::from_abbrev(s)?, fused),
+            (s, d) => {
+                if d.len() != 8 {
+                    return None;
+                }
+                let bits = u32::from_str_radix(d, 16).ok()?;
+                CorrLevel::Class(Scheme::from_abbrev(s)?, DomainKey::unpack(bits), fused)
+            }
+        };
+        Some((
+            level,
+            Correction {
+                ns_per_unit,
+                updates,
+            },
+        ))
+    }
+
+    /// Parse one `cyc <cycle_ns> <updates>` line.
+    fn parse_cyc_line(line: &str) -> Option<Correction> {
+        let mut f = line.split_ascii_whitespace();
+        let (kind, value, updates) = (f.next()?, f.next()?, f.next()?);
+        if kind != "cyc" || f.next().is_some() {
+            return None;
+        }
+        let ns_per_unit: f64 = value.parse().ok()?;
+        if !ns_per_unit.is_finite() || ns_per_unit <= 0.0 {
+            return None;
+        }
+        Some(Correction {
+            ns_per_unit,
+            updates: updates.parse().ok()?,
+        })
+    }
+
     /// How many malformed lines the most recent [`from_text`] /
     /// [`load`](ProfileStore::load) skipped.
     ///
@@ -272,7 +418,8 @@ impl ProfileStore {
         Self::from_text(&std::fs::read_to_string(path)?)
     }
 
-    /// Merge another store in, keeping the faster entry per signature.
+    /// Merge another store in, keeping the faster entry per signature and
+    /// the higher-confidence (more-samples) calibration record per level.
     pub fn merge(&mut self, other: &ProfileStore) {
         for (sig, e) in &other.entries {
             match self.entries.get(sig) {
@@ -282,6 +429,29 @@ impl ProfileStore {
                 }
             }
         }
+        for (level, c) in &other.calibration {
+            match self.calibration.get(level) {
+                Some(mine) if mine.updates >= c.updates => {}
+                _ => {
+                    self.calibration.insert(*level, *c);
+                }
+            }
+        }
+        if let Some(theirs) = other.cycle_fit {
+            match self.cycle_fit {
+                Some(mine) if mine.updates >= theirs.updates => {}
+                _ => self.cycle_fit = Some(theirs),
+            }
+        }
+    }
+}
+
+/// The one-character split/fused tag of a `corr` record.
+fn fused_tag(fused: bool) -> char {
+    if fused {
+        'f'
+    } else {
+        's'
     }
 }
 
@@ -391,6 +561,106 @@ mod tests {
         assert!(s.evict(sig(9)));
         assert!(!s.evict(sig(9)));
         assert!(s.get(sig(9)).is_none());
+    }
+
+    #[test]
+    fn calibration_records_round_trip() {
+        let mut s = ProfileStore::new();
+        s.record(sig(7), Scheme::Hash, 4, 500, Duration::from_micros(40));
+        let d = DomainKey {
+            dim_bucket: 12,
+            reuse_bucket: 4,
+            sparsity_decile: 10,
+            mo: 2,
+        };
+        s.set_calibration([
+            (CorrLevel::Global, Correction::seeded(2.5, 40)),
+            (
+                CorrLevel::Scheme(Scheme::Hash, false),
+                Correction::seeded(7.25, 12),
+            ),
+            (
+                CorrLevel::Class(Scheme::Ll, d, true),
+                Correction::seeded(1.5e-1, 3),
+            ),
+            // Invalid estimates are filtered out at set time.
+            (
+                CorrLevel::Scheme(Scheme::Rep, true),
+                Correction::seeded(f64::NAN, 9),
+            ),
+        ]);
+        s.set_cycle_fit(Correction::seeded(0.8, 5));
+        assert_eq!(s.calibration_len(), 3);
+        let text = s.to_text();
+        assert!(text.contains("corr * * s"), "{text}");
+        assert!(text.contains("corr ll 0c040a02 f"), "{text}");
+        assert!(text.contains("cyc "), "{text}");
+        let back = ProfileStore::from_text(&text).unwrap();
+        assert_eq!(back.last_load_skipped(), 0);
+        assert_eq!(back.calibration_len(), 3);
+        assert_eq!(back.cycle_fit(), Some(Correction::seeded(0.8, 5)));
+        let levels: std::collections::HashMap<_, _> = back.calibration().collect();
+        assert_eq!(levels[&CorrLevel::Global], Correction::seeded(2.5, 40));
+        assert_eq!(
+            levels[&CorrLevel::Class(Scheme::Ll, d, true)],
+            Correction::seeded(0.15, 3)
+        );
+        // Deterministic: the second save reproduces the first.
+        assert_eq!(back.to_text(), text);
+        // Entry count is unaffected by calibration records.
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn malformed_calibration_lines_are_skipped_not_fatal() {
+        let text = format!(
+            "{HEADER}\n\
+             corr * * s 2.5e0 40\n\
+             corr hash * s nope 12\n\
+             corr hash * x 1.0 12\n\
+             corr * 0c040a02 s 1.0 12\n\
+             corr warp * s 1.0 12\n\
+             corr ll zz040a02 f 1.0 12\n\
+             corr ll 0c040a02 f -1.0 12\n\
+             corr ll 0c040a02 f 1.0 12 extra\n\
+             cyc 1.5e0 3\n\
+             cyc inf 3\n\
+             cyc 1.0\n\
+             0000000000000001 rep 4 1.5e2 3 77\n"
+        );
+        let s = ProfileStore::from_text(&text).unwrap();
+        assert_eq!(s.calibration_len(), 1, "only the valid corr line lands");
+        assert_eq!(s.cycle_fit(), Some(Correction::seeded(1.5, 3)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last_load_skipped(), 9);
+    }
+
+    #[test]
+    fn merge_keeps_higher_confidence_calibration() {
+        let mut a = ProfileStore::new();
+        a.set_calibration([(CorrLevel::Global, Correction::seeded(1.0, 10))]);
+        a.set_cycle_fit(Correction::seeded(1.0, 2));
+        let mut b = ProfileStore::new();
+        b.set_calibration([
+            (CorrLevel::Global, Correction::seeded(9.0, 3)),
+            (
+                CorrLevel::Scheme(Scheme::Sel, false),
+                Correction::seeded(4.0, 7),
+            ),
+        ]);
+        b.set_cycle_fit(Correction::seeded(2.0, 8));
+        a.merge(&b);
+        let levels: std::collections::HashMap<_, _> = a.calibration().collect();
+        assert_eq!(
+            levels[&CorrLevel::Global],
+            Correction::seeded(1.0, 10),
+            "10 samples beat 3"
+        );
+        assert_eq!(
+            levels[&CorrLevel::Scheme(Scheme::Sel, false)],
+            Correction::seeded(4.0, 7)
+        );
+        assert_eq!(a.cycle_fit(), Some(Correction::seeded(2.0, 8)));
     }
 
     #[test]

@@ -22,11 +22,14 @@ use crate::profile::{ProfileEntry, ProfileStore};
 use crate::queue::{QueuedJob, ShardedQueue};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use smartapps_core::adaptive::AdaptiveReduction;
+use smartapps_core::calibrate::Calibrator;
+use smartapps_core::toolbox::DomainKey;
 use smartapps_reductions::{
     run_fused_on, DecisionModel, FusedBody, Inspection, Inspector, ModelInput, Scheme, SpmdExecutor,
 };
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -42,6 +45,55 @@ const DRIFT_MIN_RUNS: u64 = 3;
 /// Widest SPMD region a job may request (the inspector's supported limit);
 /// `JobSpec::with_threads` beyond this is clamped at submission.
 const MAX_SPMD_THREADS: usize = 250;
+
+/// Cap on the per-signature cycle-pairing table (software wall time vs
+/// simulated cycles for classes seen on both backends); the table resets
+/// when it fills — pairing is opportunistic, not an index.
+const MAX_CYCLE_PAIRS: usize = 1024;
+
+/// Hysteresis of the calibration recheck: a profiled scheme is displaced
+/// only when the corrected challenger undercuts it by at least this
+/// factor, so photo-finish classes do not flip-flop between rechecks.
+const RECHECK_MARGIN: f64 = 0.85;
+
+/// Knobs of the online calibration loop (`docs/MODEL.md`).
+///
+/// The loop itself is always on: every clean execution with a known
+/// characterization feeds a predicted-vs-measured cost sample to the
+/// [`Calibrator`], and corrections steer every model decision.  The two
+/// knobs here control *active sampling*, which trades a bounded fraction
+/// of measured throughput for faster convergence — both default to off,
+/// leaving decision behavior identical to an uncalibrated service until
+/// real traffic diversity (or a persisted `corr` state) provides the
+/// cross-scheme samples corrections need.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationConfig {
+    /// Every `explore_every`-th dispatch batch executes the best-ranked
+    /// scheme that still *lacks confident class-level calibration*
+    /// (instead of the scheme that would otherwise run), so schemes the
+    /// model mis-ranks get measured at all — without cross-scheme
+    /// samples a single-regime workload can never learn that its chosen
+    /// scheme is mispredicted.  Exploration self-terminates: once every
+    /// feasible scheme in a domain is confidently calibrated, the slot
+    /// runs normally.  Explored executions feed the calibrator but not
+    /// the profile store.  `0` disables exploration.
+    pub explore_every: usize,
+    /// Every `recheck_every` recorded runs of a profile entry, the next
+    /// hit re-ranks the class under the corrected model; if a
+    /// measured-confident scheme now beats the stored one by the recheck
+    /// margin, the entry is evicted and the class re-decides — the
+    /// paper's "Redecide" adaptation, driven by calibration instead of
+    /// drift.  Per-entry cadence, so interleaved classes recheck
+    /// independently.  `0` disables rechecks (profile entries then
+    /// change only through drift eviction).
+    pub recheck_every: usize,
+    /// Every `probe_fused_every`-th fusable group that the fusion gate
+    /// *declines* runs as a fused sweep anyway, gathering the fused-side
+    /// measurement the gate needs before it can trust fusion for schemes
+    /// outside the analytically validated `hash` regime.  `0` disables
+    /// probing.
+    pub probe_fused_every: usize,
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -74,8 +126,14 @@ pub struct RuntimeConfig {
     /// Decision model consulted when no profile entry covers a class.
     /// The default calibration matches this crate's kernels; services on
     /// unusual hardware (or tests pinning a decision) substitute their
-    /// own [`ModelParams`](smartapps_reductions::ModelParams).
+    /// own [`ModelParams`](smartapps_reductions::ModelParams).  At run
+    /// time the model is only the *prior*: the [`Calibrator`] corrects
+    /// it with measured cost samples, and the corrections persist through
+    /// the profile store.
     pub model: DecisionModel,
+    /// Active-sampling knobs of the online calibration loop (both off by
+    /// default; the passive loop always runs).
+    pub calibration: CalibrationConfig,
 }
 
 /// Dispatcher count matched to a pool width: one dispatcher per four
@@ -100,6 +158,7 @@ impl Default for RuntimeConfig {
             profile_path: None,
             pclr: None,
             model: DecisionModel::default(),
+            calibration: CalibrationConfig::default(),
         }
     }
 }
@@ -109,19 +168,92 @@ struct Shared {
     queue: ShardedQueue,
     profile: Mutex<ProfileStore>,
     stats: RuntimeStats,
-    model: DecisionModel,
+    calibrator: Mutex<Calibrator>,
     software: SoftwareBackend,
     pclr: Option<PclrBackend>,
     max_batch: usize,
     max_fuse: usize,
     sample_iters: usize,
     profile_path: Option<PathBuf>,
+    explore_every: usize,
+    recheck_every: usize,
+    probe_fused_every: usize,
+    /// Dispatch batches seen (drives the deterministic exploration cadence).
+    explore_ticks: AtomicU64,
+    /// Fusable groups the gate declined (drives the fused-probe cadence).
+    declined_fuses: AtomicU64,
+    /// Per-signature (software wall-ns/ref, simulated cycles/ref) halves;
+    /// a completed pair yields one cycle→ns fitting sample.
+    cycle_pairs: Mutex<HashMap<u64, CyclePair>>,
 }
+
+/// The two halves of one cycle-fitting observation for a workload class:
+/// wall nanoseconds per reference measured on the software backend, and
+/// simulated cycles per reference measured on the PCLR backend.
+type CyclePair = (Option<f64>, Option<f64>);
 
 impl Shared {
     /// Whether the PCLR backend exists and admits a job over `pat`.
     fn pclr_admits(&self, pat: &smartapps_workloads::AccessPattern) -> bool {
         self.pclr.as_ref().is_some_and(|b| b.admits(pat))
+    }
+
+    /// Lock the calibrator (poison-tolerant like the profile store).
+    fn calibrator(&self) -> std::sync::MutexGuard<'_, Calibrator> {
+        self.calibrator.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Feed one clean execution's predicted-vs-measured sample into the
+    /// calibrator and the calibration counters, under a single calibrator
+    /// lock.  `predicted_units` is the raw analytic cost — computed here
+    /// from `input` when the caller does not already hold one (the
+    /// per-job path), so the hot path locks once, not twice.
+    fn learn(
+        &self,
+        scheme: Scheme,
+        domain: DomainKey,
+        fused: bool,
+        predicted_units: Option<f64>,
+        input: &ModelInput,
+        measured: Duration,
+    ) {
+        let err = {
+            let mut cal = self.calibrator();
+            let raw = predicted_units.unwrap_or_else(|| cal.model.predict(scheme, input));
+            cal.observe(scheme, domain, fused, raw, measured.as_nanos() as f64)
+        };
+        if let Some(err) = err {
+            RuntimeStats::add(&self.stats.calibration_updates, 1);
+            RuntimeStats::add(
+                &self.stats.pred_err_sum_micros,
+                (err * 1e6).min(u64::MAX as f64) as u64,
+            );
+        }
+    }
+
+    /// Record one backend observation for the cycle→ns fit: the software
+    /// half (wall ns per reference) or the simulated half (cycles per
+    /// reference).  When a signature has both halves, their ratio is one
+    /// fitting sample for the PCLR backend's conversion.
+    fn pair_cycle_sample(&self, sig: PatternSignature, refs: usize, ns: f64, cycles: Option<u64>) {
+        let Some(pclr) = &self.pclr else { return };
+        if refs == 0 {
+            return;
+        }
+        let mut pairs = self.cycle_pairs.lock().unwrap_or_else(|p| p.into_inner());
+        if pairs.len() >= MAX_CYCLE_PAIRS && !pairs.contains_key(&sig.0) {
+            pairs.clear();
+        }
+        let entry = pairs.entry(sig.0).or_insert((None, None));
+        match cycles {
+            Some(c) => entry.1 = Some(c as f64 / refs as f64),
+            None => entry.0 = Some(ns / refs as f64),
+        }
+        if let (Some(wall_ns_per_ref), Some(cycles_per_ref)) = *entry {
+            if cycles_per_ref > 0.0 {
+                pclr.fit_cycle_ns(wall_ns_per_ref / cycles_per_ref);
+            }
+        }
     }
 }
 
@@ -145,18 +277,34 @@ impl Runtime {
         let shards = config.shards.max(1);
         let n_dispatchers = config.dispatchers.clamp(1, shards);
         let pool = Arc::new(WorkerPool::new(config.workers));
+        // The calibrator starts from the analytic model and inherits any
+        // corrections a previous process persisted with the profiles.
+        let mut calibrator = Calibrator::new(config.model);
+        for (level, corr) in profile.calibration() {
+            calibrator.seed(level, corr);
+        }
+        let pclr = config.pclr.map(PclrBackend::new);
+        if let (Some(pclr), Some(fit)) = (&pclr, profile.cycle_fit()) {
+            pclr.seed_cycle_fit(fit);
+        }
         let shared = Arc::new(Shared {
             queue: ShardedQueue::new(shards, n_dispatchers),
             profile: Mutex::new(profile),
             stats: RuntimeStats::default(),
-            model: config.model,
+            calibrator: Mutex::new(calibrator),
             software: SoftwareBackend::new(pool.clone()),
-            pclr: config.pclr.map(PclrBackend::new),
+            pclr,
             pool,
             max_batch: config.max_batch.max(1),
             max_fuse: config.max_fuse.max(1),
             sample_iters: config.sample_iters.max(1),
             profile_path: config.profile_path,
+            explore_every: config.calibration.explore_every,
+            recheck_every: config.calibration.recheck_every,
+            probe_fused_every: config.calibration.probe_fused_every,
+            explore_ticks: AtomicU64::new(0),
+            declined_fuses: AtomicU64::new(0),
+            cycle_pairs: Mutex::new(HashMap::new()),
         });
         let dispatchers = (0..n_dispatchers)
             .map(|d| {
@@ -328,6 +476,23 @@ impl Runtime {
         self.shared.stats.snapshot()
     }
 
+    /// The current correction factor the calibrator applies to `scheme`
+    /// in `domain` (`1.0` while uncalibrated) — the live view of the
+    /// measure→correct loop the stats counters summarize.
+    pub fn correction(&self, scheme: Scheme, domain: DomainKey, fused: bool) -> f64 {
+        self.shared.calibrator().correction(scheme, domain, fused)
+    }
+
+    /// The fitted PCLR cycle→nanosecond conversion, when the hardware
+    /// backend is enabled: `(value, samples)`; 0 samples means the
+    /// configured [`PclrConfig::cycle_ns`] assumption still stands.
+    pub fn fitted_cycle_ns(&self) -> Option<(f64, u64)> {
+        self.shared.pclr.as_ref().map(|b| {
+            let fit = b.fitted_cycle_ns();
+            (fit.ns_per_unit, fit.updates)
+        })
+    }
+
     /// Stop accepting new submissions without blocking: the queue closes
     /// immediately (racing submissions complete with
     /// [`JobErrorKind::Shutdown`](crate::JobErrorKind::Shutdown)) while
@@ -356,11 +521,21 @@ impl Runtime {
             let _ = d.join();
         }
         if let Some(path) = &self.shared.profile_path {
-            let store = self
+            let mut store = self
                 .shared
                 .profile
                 .lock()
                 .unwrap_or_else(|p| p.into_inner());
+            // Calibration rides along with the profiles: the learned
+            // corrections (and the fitted cycle conversion) survive the
+            // restart as `corr`/`cyc` records.
+            store.set_calibration(self.shared.calibrator().export());
+            if let Some(pclr) = &self.shared.pclr {
+                let fit = pclr.fitted_cycle_ns();
+                if fit.updates > 0 {
+                    store.set_cycle_fit(fit);
+                }
+            }
             if let Err(e) = store.save(path) {
                 eprintln!("smartapps-runtime: failed to save profile store: {e}");
             }
@@ -410,6 +585,23 @@ impl InspectionCache {
             order: VecDeque::new(),
             cap: cap.max(1),
         }
+    }
+
+    /// A cached inspection for this exact pattern allocation, if one is
+    /// already present — **without** paying a fresh inspector pass on a
+    /// miss.  The calibration loop uses this on profile-hit executions:
+    /// learning is worth a map lookup, not a full pattern walk (a
+    /// restarted service keeps its zero-inspection steady state).
+    fn peek(
+        &self,
+        pat: &Arc<smartapps_workloads::AccessPattern>,
+        threads: usize,
+    ) -> Option<Inspection> {
+        let key: InspKey = (Arc::as_ptr(pat) as usize, threads);
+        let (weak, insp) = self.entries.get(&key)?;
+        weak.upgrade()
+            .is_some_and(|live| Arc::ptr_eq(&live, pat))
+            .then(|| insp.clone())
     }
 
     fn analyze(
@@ -467,6 +659,187 @@ struct BatchCtx {
     /// later batch-mate may resurrect it (their measurements rode the same
     /// stale decision) and the logical eviction is counted once.
     evicted_this_batch: bool,
+    /// The batch scheme is an exploration pick (runner-up executed to
+    /// gather a calibration sample): feed the calibrator, never the
+    /// profile store.
+    explored: bool,
+}
+
+/// The outcome of [`decide_batch`]: which scheme the batch runs, and
+/// whether the pick was an exploration sample or a calibration recheck
+/// that evicted the profile entry.
+struct BatchDecision {
+    scheme: Scheme,
+    explored: bool,
+    rechecked: bool,
+}
+
+/// One scheme decision for a coalesced batch.
+///
+/// The fast path is unchanged from the uncalibrated service: a profile
+/// hit runs the stored scheme with no inspection, a miss pays one
+/// inspection and takes the (corrected) ranking's best.  Two
+/// calibration-driven detours, both off by default
+/// ([`CalibrationConfig`]):
+///
+/// * **Exploration** — every `explore_every`-th batch executes the
+///   best-ranked feasible software scheme that still lacks measured
+///   evidence in this functioning domain (never the scheme that would
+///   run anyway), so corrections get the cross-scheme samples they need;
+///   self-terminating once the domain is calibrated.
+/// * **Recheck** — every `recheck_every`-th profile hit re-ranks under
+///   the corrected model; when a measured-confident scheme now beats the
+///   stored one, the entry is evicted (the caller records fresh truth) —
+///   the paper's "Redecide" adaptation driven by calibration.
+fn decide_batch(
+    shared: &Shared,
+    cache: &mut InspectionCache,
+    first: &QueuedJob,
+    profiled: Option<&ProfileEntry>,
+    default_threads: usize,
+) -> BatchDecision {
+    let keep = |scheme: Scheme| BatchDecision {
+        scheme,
+        explored: false,
+        rechecked: false,
+    };
+    let explore_now = shared.explore_every > 0 && {
+        let n = shared.explore_ticks.fetch_add(1, Ordering::Relaxed);
+        (n + 1).is_multiple_of(shared.explore_every as u64)
+    };
+    // Recheck cadence is per-entry (keyed on its recorded-run count):
+    // interleaved classes recheck independently instead of aliasing
+    // against a global counter.
+    let recheck_now = shared.recheck_every > 0
+        && profiled.is_some_and(|e| e.runs.is_multiple_of(shared.recheck_every as u64));
+    if !explore_now && !recheck_now {
+        if let Some(e) = profiled {
+            return keep(e.scheme);
+        }
+    }
+    let threads = first.spec.threads.unwrap_or(default_threads).max(1);
+    let insp = cache.analyze(&first.spec.pattern, threads, &shared.stats);
+    let domain = DomainKey::of(&insp.chars);
+    let input = ModelInput::from_inspection(&insp, first.spec.lw_feasible)
+        .with_pclr(shared.pclr_admits(&first.spec.pattern));
+    let cal = shared.calibrator();
+    let ranking = cal.rank(&input, domain);
+    if explore_now {
+        let would_run = profiled.map_or(ranking[0].0, |e| e.scheme);
+        // Class-level confidence gates the slot: a scheme measured in
+        // *other* domains still lacks samples here, and corrections do
+        // not transfer across domains without them.
+        let target = ranking.iter().find(|(s, c)| {
+            c.is_finite()
+                && s.is_software()
+                && *s != would_run
+                && cal.class_confidence(*s, domain, false) < 0.5
+        });
+        if let Some(&(target, _)) = target {
+            RuntimeStats::add(&shared.stats.explored, 1);
+            return BatchDecision {
+                scheme: target,
+                explored: true,
+                rechecked: false,
+            };
+        }
+    }
+    match profiled {
+        Some(e) => {
+            let (best, best_cost) = ranking[0];
+            let entry_cost = ranking
+                .iter()
+                .find(|(s, _)| *s == e.scheme)
+                .map_or(f64::INFINITY, |(_, c)| *c);
+            if recheck_now
+                && best != e.scheme
+                && cal.evidence(best, domain, false)
+                && best_cost < RECHECK_MARGIN * entry_cost
+            {
+                return BatchDecision {
+                    scheme: best,
+                    explored: false,
+                    rechecked: true,
+                };
+            }
+            keep(e.scheme)
+        }
+        None => keep(ranking[0].0),
+    }
+}
+
+/// A fusion decision for one fusable group: which scheme sweeps, in which
+/// functioning domain, at what raw (uncorrected) predicted cost — the
+/// calibration sample the sweep's measurement is compared against.
+struct FusePlan {
+    scheme: Scheme,
+    domain: DomainKey,
+    predicted_units: f64,
+    /// The fanout-K model input the prediction was made from (kept for
+    /// the post-sweep calibration sample).
+    input: ModelInput,
+}
+
+/// The calibrated fusion gate.  A group of K ≥ 2 same-pattern jobs fuses
+/// when the corrected fanout-K model picks `hash` (the analytically
+/// validated regime of PR 2 — one table probe feeds all K outputs), **or**
+/// when it picks another software scheme *and* measured fused-side
+/// evidence backs that prediction and the corrected fused cost beats K
+/// split traversals.  Declined groups occasionally run fused anyway as
+/// probes (`CalibrationConfig::probe_fused_every`) so the fused side of
+/// the `ll`/`rep` regimes can be measured at all.
+fn plan_fusion(
+    shared: &Shared,
+    cache: &mut InspectionCache,
+    group: &[QueuedJob],
+    default_threads: usize,
+) -> Option<FusePlan> {
+    if group.len() < 2 {
+        return None;
+    }
+    let k = group.len();
+    let threads = group[0].spec.threads.unwrap_or(default_threads).max(1);
+    let insp = cache.analyze(&group[0].spec.pattern, threads, &shared.stats);
+    let domain = DomainKey::of(&insp.chars);
+    let input = ModelInput::from_inspection(&insp, group[0].spec.lw_feasible);
+    let cal = shared.calibrator();
+    let fused_rank = cal.rank_fused(&input, k, domain);
+    let (scheme, fused_cost) = *fused_rank
+        .iter()
+        .find(|(s, c)| s.is_software() && c.is_finite())?;
+    let fused_input = input.clone().with_fanout(k);
+    let predicted_units = cal.model.predict(scheme, &fused_input);
+    let fuse = if scheme == Scheme::Hash {
+        true
+    } else {
+        let split_best = cal
+            .rank(&input, domain)
+            .first()
+            .map_or(f64::INFINITY, |r| r.1);
+        cal.fused_evidence(scheme, domain) && fused_cost < k as f64 * split_best
+    };
+    drop(cal);
+    if fuse {
+        return Some(FusePlan {
+            scheme,
+            domain,
+            predicted_units,
+            input: fused_input,
+        });
+    }
+    if shared.probe_fused_every > 0 {
+        let n = shared.declined_fuses.fetch_add(1, Ordering::Relaxed);
+        if (n + 1).is_multiple_of(shared.probe_fused_every as u64) {
+            RuntimeStats::add(&shared.stats.fuse_probes, 1);
+            return Some(FusePlan {
+                scheme,
+                domain,
+                predicted_units,
+                input: fused_input,
+            });
+        }
+    }
+    None
 }
 
 /// Partition a same-signature batch into fusable groups: members of one
@@ -529,18 +902,16 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
     // Nothing job-derived may unwind the dispatcher (that would hang every
     // pending handle): the decision — which may run the inspector over an
     // arbitrary client pattern — is fenced just like execution below.
-    let batch_scheme = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &profiled {
-        Some(entry) => entry.scheme,
-        None => {
-            let first = &groups[0][0];
-            let threads = first.spec.threads.unwrap_or(default_threads).max(1);
-            let insp = cache.analyze(&first.spec.pattern, threads, &shared.stats);
-            let input = ModelInput::from_inspection(&insp, first.spec.lw_feasible)
-                .with_pclr(shared.pclr_admits(&first.spec.pattern));
-            shared.model.decide(&input).best()
-        }
+    let batch_scheme = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        decide_batch(
+            shared,
+            cache,
+            &groups[0][0],
+            profiled.as_ref(),
+            default_threads,
+        )
     }));
-    let batch_scheme = match batch_scheme {
+    let decision = match batch_scheme {
         Ok(s) => s,
         Err(payload) => {
             // The whole batch shares the poisoned decision input; fail it.
@@ -565,32 +936,40 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
     let mut ctx = BatchCtx {
         sig,
         batched_with,
-        profile_hit,
-        profiled,
-        evicted_this_batch: false,
-    };
-    for group in groups {
-        // Fusion gate: a group shares one traversal only when the
-        // fanout-aware model picks the hash scheme, whose per-reference
-        // probe is what fusion amortizes across all K outputs.  For the
-        // privatizing schemes the K-fold private footprints and
-        // per-output merges erase the shared-traversal win (measured in
-        // the throughput bench), so those groups execute per-job behind
-        // the shared batch decision.
-        let fuse = group.len() >= 2
-            && std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let threads = group[0].spec.threads.unwrap_or(default_threads).max(1);
-                let insp = cache.analyze(&group[0].spec.pattern, threads, &shared.stats);
-                let input = ModelInput::from_inspection(&insp, group[0].spec.lw_feasible)
-                    .with_fanout(group.len());
-                shared.model.decide(&input).best()
-            }))
-            .is_ok_and(|s| s == Scheme::Hash);
-        if fuse {
-            execute_fused(shared, cache, &mut ctx, batch_scheme, group);
+        // A recheck that evicted the entry turns this batch back into a
+        // model decision (its executions record fresh profile truth);
+        // an exploration pick likewise did not come from the store, so
+        // neither may report `profile_hit` to clients.
+        profile_hit: profile_hit && !decision.rechecked && !decision.explored,
+        profiled: if decision.rechecked || decision.explored {
+            None
         } else {
-            for job in group {
-                execute_single(shared, cache, &mut ctx, batch_scheme, job);
+            profiled
+        },
+        evicted_this_batch: false,
+        explored: decision.explored,
+    };
+    if decision.rechecked {
+        let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
+        store.evict(sig);
+        RuntimeStats::add(&shared.stats.evictions, 1);
+    }
+    let batch_scheme = decision.scheme;
+    for group in groups {
+        // Fusion gate (see `plan_fusion`): calibrated fused-vs-split
+        // comparison, `hash` analytically trusted, other schemes only on
+        // measured fused-side evidence, occasional probes when declined.
+        let plan = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan_fusion(shared, cache, &group, default_threads)
+        }))
+        .ok()
+        .flatten();
+        match plan {
+            Some(plan) => execute_fused(shared, cache, &mut ctx, batch_scheme, group, &plan),
+            None => {
+                for job in group {
+                    execute_single(shared, cache, &mut ctx, batch_scheme, job);
+                }
             }
         }
     }
@@ -632,9 +1011,10 @@ fn execute_single(
         let redecided = masked_lw || masked_pclr;
         let scheme = if redecided {
             let insp = cache.analyze(&job.spec.pattern, threads, &shared.stats);
+            let domain = DomainKey::of(&insp.chars);
             let input = ModelInput::from_inspection(&insp, !masked_lw && job.spec.lw_feasible)
                 .with_pclr(!masked_pclr && shared.pclr_admits(&job.spec.pattern));
-            shared.model.decide(&input).best()
+            shared.calibrator().rank(&input, domain)[0].0
         } else {
             batch_scheme
         };
@@ -677,8 +1057,30 @@ fn execute_single(
         RuntimeStats::add(&shared.stats.sim_cycles, cycles);
     }
 
-    // Feed the profile only from clean, non-substituted executions.
-    if error.is_none() && !redecided {
+    // Close the measure→correct loop: every clean execution whose
+    // characterization is at hand (already cached — learning never pays a
+    // fresh inspection) reports a predicted-vs-measured sample to the
+    // calibrator, and software/simulated cost halves pair up to fit the
+    // PCLR cycle→ns conversion.
+    if error.is_none() {
+        if let Some(insp) = cache.peek(&job.spec.pattern, threads) {
+            let domain = DomainKey::of(&insp.chars);
+            let input = ModelInput::from_inspection(&insp, job.spec.lw_feasible)
+                .with_pclr(scheme == Scheme::Pclr || shared.pclr_admits(&job.spec.pattern));
+            shared.learn(scheme, domain, false, None, &input, elapsed);
+        }
+        shared.pair_cycle_sample(
+            ctx.sig,
+            job.spec.pattern.num_references(),
+            elapsed.as_nanos() as f64,
+            sim_cycles,
+        );
+    }
+
+    // Feed the profile only from clean, non-substituted, non-exploration
+    // executions (an exploration pick is a calibration sample, not the
+    // class's best-known scheme).
+    if error.is_none() && !redecided && !ctx.explored {
         let refs = job.spec.pattern.num_references();
         let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
         // Phase-change guard: a profiled class now running far slower
@@ -717,28 +1119,35 @@ fn execute_single(
 }
 
 /// Execute a fusable group (same pattern, flavor, width, `lw` mask) as one
-/// fused hash sweep: one traversal of the pattern accumulating every
-/// member's output through stride-K hash tables — the gate in
-/// [`process_batch`] only sends groups here after the fanout-aware model
-/// picked [`Scheme::Hash`].  The sweep does not feed the profile store:
-/// the store holds single-job truth, and a fanout-K decision belongs to a
-/// different operating point.  If any body panics the sweep is abandoned
-/// and the group falls back to isolated per-job execution, so a poisoned
-/// body fails alone instead of taking its group-mates' results with it.
+/// fused sweep: one traversal of the pattern accumulating every member's
+/// output through stride-K private storage — the gate in [`plan_fusion`]
+/// picked the sweeping scheme (the analytically validated `hash`, or
+/// another software scheme backed by measured fused-side evidence, or a
+/// calibration probe).  The sweep feeds the *calibrator* (a fused
+/// predicted-vs-measured sample) but not the profile store: the store
+/// holds single-job truth, and a fanout-K decision belongs to a different
+/// operating point.  If any body panics the sweep is abandoned and the
+/// group falls back to isolated per-job execution, so a poisoned body
+/// fails alone instead of taking its group-mates' results with it.
 fn execute_fused(
     shared: &Shared,
     cache: &mut InspectionCache,
     ctx: &mut BatchCtx,
     batch_scheme: Scheme,
     group: Vec<QueuedJob>,
+    plan: &FusePlan,
 ) {
     let k = group.len();
     let threads = group[0].spec.threads.unwrap_or(shared.pool.width()).max(1);
     let pat = group[0].spec.pattern.clone();
     let pool: &WorkerPool = &shared.pool;
-    let scheme = Scheme::Hash;
+    let scheme = plan.scheme;
     let t0 = Instant::now();
     let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // `sel`/`lw` sweeps need the inspector's analysis; it is already
+        // cached from the gate's own pass.
+        let insp = matches!(scheme, Scheme::Sel | Scheme::Lw)
+            .then(|| cache.analyze(&pat, threads, &shared.stats));
         let outputs: Vec<JobOutput> = match &group[0].spec.body {
             JobBody::F64(_) => {
                 let bodies: Vec<FusedBody<'_, f64>> = group
@@ -748,7 +1157,7 @@ fn execute_fused(
                         JobBody::I64(_) => unreachable!("fuse group mixes flavors"),
                     })
                     .collect();
-                run_fused_on(scheme, &pat, &bodies, threads, None, pool)
+                run_fused_on(scheme, &pat, &bodies, threads, insp.as_ref(), pool)
                     .into_iter()
                     .map(JobOutput::F64)
                     .collect()
@@ -761,7 +1170,7 @@ fn execute_fused(
                         JobBody::F64(_) => unreachable!("fuse group mixes flavors"),
                     })
                     .collect();
-                run_fused_on(scheme, &pat, &bodies, threads, None, pool)
+                run_fused_on(scheme, &pat, &bodies, threads, insp.as_ref(), pool)
                     .into_iter()
                     .map(JobOutput::I64)
                     .collect()
@@ -775,6 +1184,16 @@ fn execute_fused(
         Ok(outputs) => {
             RuntimeStats::add(&shared.stats.fused_sweeps, 1);
             RuntimeStats::add(&shared.stats.fused_jobs, k as u64);
+            // The fused-side calibration sample: what the fusion gate's
+            // fused-vs-split comparison learns from.
+            shared.learn(
+                scheme,
+                plan.domain,
+                true,
+                Some(plan.predicted_units),
+                &plan.input,
+                elapsed,
+            );
             for (job, output) in group.into_iter().zip(outputs) {
                 RuntimeStats::add(&shared.stats.completed, 1);
                 job.state.complete(JobResult {
@@ -1471,6 +1890,58 @@ mod tests {
     }
 
     #[test]
+    fn cycle_ns_is_fitted_from_cross_backend_pairs_and_persists() {
+        let dir = std::env::temp_dir().join("smartapps-runtime-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("cyc-profiles-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            pclr: Some(crate::PclrConfig::default()),
+            model: free_offload_model(),
+            profile_path: Some(path.clone()),
+            ..RuntimeConfig::default()
+        });
+        let pat = sim_pattern(29);
+        // First run offloads: the class's simulated-cycles half lands.
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert_eq!(r.scheme, Scheme::Pclr);
+        assert_eq!(
+            rt.fitted_cycle_ns(),
+            Some((1.0, 0)),
+            "no pair yet: the assumption stands"
+        );
+        // Re-route the class to software (as a calibration recheck or an
+        // operator override would): its wall-time half completes the pair.
+        let sig = PatternSignature::of(&pat, rt.shared.sample_iters, rt.width());
+        {
+            let mut store = rt.shared.profile.lock().unwrap();
+            store.evict(sig);
+            store.record(
+                sig,
+                Scheme::Rep,
+                2,
+                pat.num_references(),
+                Duration::from_millis(50),
+            );
+        }
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert_eq!(r.scheme, Scheme::Rep);
+        let (fitted, samples) = rt.fitted_cycle_ns().unwrap();
+        assert_eq!(samples, 1, "one cross-backend pair, one fit sample");
+        assert!(fitted > 0.0 && fitted.is_finite());
+        assert_ne!(fitted, 1.0, "a real measurement never lands exactly on 1.0");
+        // The fit persists as the store's `cyc` record.
+        rt.shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("cyc "), "cyc record must persist:\n{text}");
+        let store = ProfileStore::load(&path).unwrap();
+        assert_eq!(store.cycle_fit().map(|c| c.updates), Some(1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn adaptive_prior_masks_persisted_pclr_entries() {
         use smartapps_core::toolbox::DomainKey;
         use smartapps_workloads::PatternChars;
@@ -1489,6 +1960,153 @@ mod tests {
         let (out, log) = smart.execute(&pat, &|_i, r| smartapps_workloads::contribution(r));
         assert!(log.scheme.is_software(), "prior must be masked");
         assert_eq!(out.len(), pat.num_elements);
+    }
+
+    #[test]
+    fn calibration_loop_accepts_samples_by_default() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(83);
+        // First sighting decides via the model (inspection cached), so
+        // its execution can immediately report predicted-vs-measured.
+        rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let s1 = rt.stats();
+        assert!(s1.calibration_updates >= 1, "{s1:?}");
+        // Profile-hit repeats keep learning off the cached inspection.
+        rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let s2 = rt.stats();
+        assert!(s2.calibration_updates > s1.calibration_updates);
+        assert!(s2.mean_abs_prediction_error().is_finite());
+        assert_eq!(s2.explored, 0, "exploration is off by default");
+        assert_eq!(s2.fuse_probes, 0, "probing is off by default");
+    }
+
+    #[test]
+    fn exploration_executes_the_runner_up_and_skips_the_profile() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            calibration: CalibrationConfig {
+                explore_every: 1, // every batch explores
+                ..CalibrationConfig::default()
+            },
+            ..RuntimeConfig::default()
+        });
+        let pat = pattern(85);
+        let insp = Inspector::analyze(&pat, 2);
+        let input = ModelInput::from_inspection(&insp, false);
+        let analytic_best = DecisionModel::default().decide(&input).best();
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none());
+        assert_ne!(r.scheme, analytic_best, "explored run takes the runner-up");
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        assert_eq!(rt.stats().explored, 1);
+        assert!(
+            rt.profile_snapshot().is_empty(),
+            "exploration must not lock the class to the runner-up"
+        );
+
+        // On a *profiled* class, an explored batch neither reports a
+        // profile hit (the scheme did not come from the store) nor
+        // disturbs the entry.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            calibration: CalibrationConfig {
+                explore_every: 2, // batch 1 decides+records, batch 2 explores
+                ..CalibrationConfig::default()
+            },
+            ..RuntimeConfig::default()
+        });
+        let pat = pattern(86);
+        let first = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(!first.profile_hit);
+        let explored = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert_eq!(rt.stats().explored, 1);
+        assert_ne!(
+            explored.scheme, first.scheme,
+            "slot runs an unmeasured scheme"
+        );
+        assert!(
+            !explored.profile_hit,
+            "an explored pick must not claim to come from the store"
+        );
+        let sig = PatternSignature::of(&pat, rt.shared.sample_iters, rt.width());
+        assert_eq!(
+            rt.profile_snapshot().get(sig).map(|e| e.scheme),
+            Some(first.scheme),
+            "the entry must keep the recorded scheme"
+        );
+    }
+
+    #[test]
+    fn corrections_persist_across_restart_via_store() {
+        let dir = std::env::temp_dir().join("smartapps-runtime-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("corr-profiles-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            profile_path: Some(path.clone()),
+            ..RuntimeConfig::default()
+        };
+        // Two regimes so the calibrator sees more than one scheme: with a
+        // single executed scheme, its correction is 1.0 by construction
+        // (it *defines* the global scale).
+        let dense = pattern(87);
+        // SPICE shape: huge dimension, almost no reuse — hash territory
+        // at any width, guaranteeing a second scheme in the mix.
+        let sparse = Arc::new(
+            PatternSpec {
+                num_elements: 200_000,
+                iterations: 600,
+                refs_per_iter: 28,
+                coverage: 0.08,
+                dist: Distribution::Uniform,
+                seed: 88,
+            }
+            .generate(),
+        );
+        let domain = smartapps_core::toolbox::DomainKey::of(
+            &smartapps_workloads::PatternChars::measure(&dense),
+        );
+        let (dense_scheme, sparse_scheme, before_dense, before_sparse);
+        {
+            let rt = Runtime::new(cfg.clone());
+            dense_scheme = rt
+                .run(JobSpec::i64(dense.clone(), |_i, r| contribution_i64(r)))
+                .scheme;
+            sparse_scheme = rt
+                .run(JobSpec::i64(sparse.clone(), |_i, r| contribution_i64(r)))
+                .scheme;
+            for _ in 0..4 {
+                rt.run(JobSpec::i64(dense.clone(), |_i, r| contribution_i64(r)));
+                rt.run(JobSpec::i64(sparse.clone(), |_i, r| contribution_i64(r)));
+            }
+            assert!(rt.stats().calibration_updates >= 10);
+            before_dense = rt.correction(dense_scheme, domain, false);
+            before_sparse = rt.correction(sparse_scheme, domain, false);
+            rt.shutdown();
+        }
+        assert_ne!(dense_scheme, sparse_scheme, "two regimes, two schemes");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("corr * * s"),
+            "global scale persisted:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("corr {} ", dense_scheme.abbrev())),
+            "per-scheme correction persisted:\n{text}"
+        );
+        {
+            let rt = Runtime::new(cfg);
+            assert!(
+                (rt.correction(dense_scheme, domain, false) - before_dense).abs() < 1e-12
+                    && (rt.correction(sparse_scheme, domain, false) - before_sparse).abs() < 1e-12,
+                "restarted service must inherit the learned corrections exactly"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct RuntimeStats {
     pub(crate) fused_jobs: AtomicU64,
     pub(crate) pclr_offloads: AtomicU64,
     pub(crate) sim_cycles: AtomicU64,
+    pub(crate) calibration_updates: AtomicU64,
+    pub(crate) pred_err_sum_micros: AtomicU64,
+    pub(crate) explored: AtomicU64,
+    pub(crate) fuse_probes: AtomicU64,
 }
 
 /// A point-in-time copy of [`RuntimeStats`].
@@ -51,6 +55,33 @@ pub struct StatsSnapshot {
     pub pclr_offloads: u64,
     /// Total simulated cycles spent across all PCLR offloads.
     pub sim_cycles: u64,
+    /// Predicted-vs-measured cost samples the online calibrator accepted
+    /// (see `docs/MODEL.md`); 0 means the measure→correct loop never ran.
+    pub calibration_updates: u64,
+    /// Sum of per-sample absolute relative prediction errors, in
+    /// millionths (µ-units) — divide by `calibration_updates` via
+    /// [`mean_abs_prediction_error`](StatsSnapshot::mean_abs_prediction_error).
+    pub pred_err_sum_micros: u64,
+    /// Model decisions diverted to a runner-up scheme to gather
+    /// calibration samples (`CalibrationConfig::explore_every`).
+    pub explored: u64,
+    /// Declined fusable groups executed fused anyway to gather fused-side
+    /// calibration samples (`CalibrationConfig::probe_fused_every`).
+    pub fuse_probes: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean absolute relative error of calibrated cost predictions
+    /// (`|estimate/measured − 1|` averaged over accepted samples) — the
+    /// number that trends toward 0 as the calibration loop converges.
+    /// `0.0` before any sample.
+    pub fn mean_abs_prediction_error(&self) -> f64 {
+        if self.calibration_updates == 0 {
+            0.0
+        } else {
+            self.pred_err_sum_micros as f64 / 1e6 / self.calibration_updates as f64
+        }
+    }
 }
 
 impl RuntimeStats {
@@ -73,6 +104,10 @@ impl RuntimeStats {
             fused_jobs: self.fused_jobs.load(Ordering::Relaxed),
             pclr_offloads: self.pclr_offloads.load(Ordering::Relaxed),
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            calibration_updates: self.calibration_updates.load(Ordering::Relaxed),
+            pred_err_sum_micros: self.pred_err_sum_micros.load(Ordering::Relaxed),
+            explored: self.explored.load(Ordering::Relaxed),
+            fuse_probes: self.fuse_probes.load(Ordering::Relaxed),
         }
     }
 }
@@ -92,5 +127,15 @@ mod tests {
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.coalesced, 1);
         assert_eq!(snap.batches, 0);
+    }
+
+    #[test]
+    fn mean_prediction_error_averages_micros() {
+        let s = RuntimeStats::default();
+        assert_eq!(s.snapshot().mean_abs_prediction_error(), 0.0);
+        RuntimeStats::add(&s.calibration_updates, 4);
+        RuntimeStats::add(&s.pred_err_sum_micros, 2_000_000); // 2.0 total error
+        let snap = s.snapshot();
+        assert!((snap.mean_abs_prediction_error() - 0.5).abs() < 1e-12);
     }
 }

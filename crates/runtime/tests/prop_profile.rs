@@ -4,6 +4,8 @@
 //! poisoning the valid entries around them.
 
 use proptest::prelude::*;
+use smartapps_core::calibrate::{CorrLevel, Correction};
+use smartapps_core::toolbox::DomainKey;
 use smartapps_reductions::Scheme;
 use smartapps_runtime::{PatternSignature, ProfileStore};
 use std::time::Duration;
@@ -66,7 +68,30 @@ fn arb_garbage_line() -> impl Strategy<Value = String> {
         any::<u64>().prop_map(|s| format!("{s:016x} hash x 1.0 one ten")),
         // Trailing junk after a plausible record.
         any::<u64>().prop_map(|s| format!("{s:016x} ll 4 1.0 1 10 extra")),
+        // Malformed calibration records: bad value, bad flag, bad scheme,
+        // bad domain, trailing junk, truncated cyc.
+        any::<u32>().prop_map(|d| format!("corr rep {d:08x} s nope 3")),
+        any::<u32>().prop_map(|d| format!("corr rep {d:08x} q 1.0 3")),
+        any::<u32>().prop_map(|d| format!("corr warp {d:08x} s 1.0 3")),
+        Just("corr rep zzzzzzzz s 1.0 3".to_string()),
+        any::<u32>().prop_map(|d| format!("corr rep {d:08x} s 1.0 3 extra")),
+        Just("cyc 1.0".to_string()),
+        Just("cyc -2.0 5".to_string()),
     ]
+}
+
+/// One persisted calibration record (level, value, updates).
+fn arb_corr() -> impl Strategy<Value = (CorrLevel, Correction)> {
+    let level = prop_oneof![
+        Just(CorrLevel::Global),
+        (arb_scheme(), any::<bool>()).prop_map(|(s, f)| CorrLevel::Scheme(s, f)),
+        (arb_scheme(), any::<u32>(), any::<bool>()).prop_map(|(s, d, f)| CorrLevel::Class(
+            s,
+            DomainKey::unpack(d),
+            f
+        )),
+    ];
+    (level, 1e-6f64..1e9, 0u64..100_000).prop_map(|(l, v, n)| (l, Correction::seeded(v, n)))
 }
 
 proptest! {
@@ -116,6 +141,38 @@ proptest! {
                 "entry {:016x} damaged by adjacent garbage", sig
             );
         }
+    }
+
+    #[test]
+    fn calibration_records_survive_the_fixed_point(
+        records in arb_records(),
+        corr in proptest::collection::vec(arb_corr(), 1..20),
+        cyc_some in any::<bool>(),
+        cyc_val in 1e-6f64..1e3,
+        cyc_n in 1u64..1000,
+    ) {
+        let cyc = cyc_some.then_some((cyc_val, cyc_n));
+        let mut store = store_of(&records);
+        store.set_calibration(corr.clone());
+        if let Some((v, n)) = cyc {
+            store.set_cycle_fit(Correction::seeded(v, n));
+        }
+        let expected: std::collections::HashMap<_, _> = corr.into_iter().collect();
+        let text = store.to_text();
+        let reloaded = ProfileStore::from_text(&text).unwrap();
+        prop_assert_eq!(reloaded.last_load_skipped(), 0);
+        prop_assert_eq!(reloaded.calibration_len(), expected.len());
+        for (level, c) in reloaded.calibration() {
+            let orig = expected.get(&level).expect("level must round-trip");
+            prop_assert_eq!(orig.updates, c.updates);
+            // `{:e}` + parse round-trips f64 exactly for these magnitudes.
+            prop_assert_eq!(orig.ns_per_unit, c.ns_per_unit);
+        }
+        prop_assert_eq!(reloaded.cycle_fit().map(|c| c.updates), cyc.map(|(_, n)| n));
+        // The second save reproduces the first byte-for-byte.
+        prop_assert_eq!(&reloaded.to_text(), &text);
+        // Entry records are untouched by calibration ride-alongs.
+        prop_assert_eq!(reloaded.len(), store.len());
     }
 
     #[test]

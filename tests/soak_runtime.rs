@@ -189,10 +189,24 @@ fn storm_with_panics_and_mid_storm_shutdown_loses_no_handle() {
         v > 0,
         "no job resolved with a value (shutdown won the race everywhere?)"
     );
+    // The measure→correct loop must run under storm conditions too: clean
+    // executions report predicted-vs-measured samples, and the mean error
+    // they accumulate is a number, not NaN garbage.
+    assert!(
+        stats.calibration_updates > 0,
+        "the calibration loop never ran: {stats:?}"
+    );
+    assert!(stats.mean_abs_prediction_error().is_finite());
     println!(
         "soak: {v} values, {p} panics, {sd} shutdowns, {rj} rejected \
-         ({} batches, {} coalesced, {} steals, {} fused)",
-        stats.batches, stats.coalesced, stats.steals, stats.fused_jobs
+         ({} batches, {} coalesced, {} steals, {} fused, \
+         {} calibration samples, mean |err| {:.3})",
+        stats.batches,
+        stats.coalesced,
+        stats.steals,
+        stats.fused_jobs,
+        stats.calibration_updates,
+        stats.mean_abs_prediction_error()
     );
 }
 
