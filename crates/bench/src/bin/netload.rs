@@ -1,0 +1,212 @@
+//! Loopback load generator for `smartapps-server`: N concurrent clients
+//! pipeline small reduction jobs over TCP and the run reports sustained
+//! jobs/s plus latency percentiles.
+//!
+//! ```sh
+//! cargo run --release -p smartapps-bench --bin netload -- [clients] [seconds] [window]
+//! #   defaults:                                            8         4         32
+//! ```
+//!
+//! Each client keeps `window` submissions outstanding (submit → await
+//! `done` → submit the next), so the server sees a steady in-flight load
+//! rather than lockstep request/response ping-pong.  Every response is a
+//! checksum `ack` verified against the class's expected value, so the
+//! numbers measure *correct* completions.
+//!
+//! The point being measured: the server runs `1 acceptor + R reactors`
+//! service threads plus the runtime's dispatchers and pool — a thread
+//! count **independent of the client count**.  Scaling `clients` up
+//! changes only this process's loadgen threads (which stand in for
+//! remote machines), never the server's.
+
+use smartapps_runtime::{Runtime, RuntimeConfig};
+use smartapps_server::{
+    Client, DoneOutcome, Payload, ReplyMode, Server, ServerConfig, SubmitArgs, WireBody, WireDist,
+    WireSpec,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload classes the clients cycle through (distinct seeds =
+/// distinct signatures → shard spread; same spec within a class =
+/// shared pattern allocation → coalescing).
+fn class_spec(class: usize) -> WireSpec {
+    WireSpec {
+        elements: 512,
+        iterations: 600,
+        refs_per_iter: 2,
+        coverage: 0.9,
+        dist: WireDist::Uniform,
+        seed: 40 + class as u64,
+    }
+}
+
+const CLASSES: usize = 4;
+
+struct ClientReport {
+    completed: u64,
+    latencies: Vec<Duration>,
+}
+
+fn drive_client(
+    addr: std::net::SocketAddr,
+    client_id: usize,
+    deadline: Instant,
+    window: usize,
+    expected: Arc<Vec<(usize, i64)>>,
+) -> ClientReport {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut submitted_at: HashMap<u64, Instant> = HashMap::new();
+    let mut latencies = Vec::new();
+    let mut completed = 0u64;
+    let mut next_token = 0u64;
+    let mut in_flight = 0usize;
+    let submit_one =
+        |client: &mut Client, submitted_at: &mut HashMap<u64, Instant>, next_token: &mut u64| {
+            let token = *next_token;
+            *next_token += 1;
+            submitted_at.insert(token, Instant::now());
+            client
+                .submit(SubmitArgs {
+                    token,
+                    reply: ReplyMode::Ack,
+                    body: WireBody::Sum,
+                    spec: class_spec((client_id + token as usize) % CLASSES),
+                })
+                .expect("submit");
+        };
+    for _ in 0..window {
+        submit_one(&mut client, &mut submitted_at, &mut next_token);
+        in_flight += 1;
+    }
+    while in_flight > 0 {
+        let done = client.next_done().expect("next_done");
+        let t0 = submitted_at
+            .remove(&done.token)
+            .expect("unknown token in response");
+        latencies.push(t0.elapsed());
+        let class = (client_id + done.token as usize) % CLASSES;
+        match done.outcome {
+            DoneOutcome::Ok {
+                payload: Payload::Checksum { len, sum },
+                ..
+            } => {
+                let (want_len, want_sum) = expected[class];
+                assert_eq!((len, sum), (want_len, want_sum), "class {class} checksum");
+            }
+            other => panic!("job failed: {other:?}"),
+        }
+        completed += 1;
+        in_flight -= 1;
+        if Instant::now() < deadline {
+            submit_one(&mut client, &mut submitted_at, &mut next_token);
+            in_flight += 1;
+        }
+    }
+    ClientReport {
+        completed,
+        latencies,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |i: usize, default: usize| -> usize {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let clients = arg(1, 8).max(1);
+    let seconds = arg(2, 4).max(1);
+    let window = arg(3, 32).max(1);
+
+    let rt = Arc::new(Runtime::new(RuntimeConfig::default()));
+    let dispatchers = rt.dispatcher_count();
+    let workers = rt.width();
+    let cfg = ServerConfig::default();
+    let reactors = cfg.reactors;
+    let server = Server::start(rt.clone(), cfg).expect("start server");
+    let addr = server.local_addr();
+
+    // Expected checksum per class, computed once from the local oracle.
+    let expected: Arc<Vec<(usize, i64)>> = Arc::new(
+        (0..CLASSES)
+            .map(|c| {
+                let pat = class_spec(c).to_pattern_spec().generate();
+                let oracle = smartapps_workloads::pattern::sequential_reduce_i64(&pat);
+                (oracle.len(), smartapps_server::checksum(&oracle))
+            })
+            .collect(),
+    );
+
+    println!(
+        "netload: {clients} clients x window {window} over loopback {addr} for {seconds}s \
+         (server threads: 1 acceptor + {reactors} reactors + {dispatchers} dispatchers \
+         + {workers}-wide pool — independent of client count)"
+    );
+
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs(seconds as u64);
+    let reports: Vec<ClientReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let expected = expected.clone();
+                s.spawn(move || drive_client(addr, c, deadline, window, expected))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let total: u64 = reports.iter().map(|r| r.completed).sum();
+    let mut latencies: Vec<Duration> = reports.into_iter().flat_map(|r| r.latencies).collect();
+    latencies.sort_unstable();
+    let jobs_per_sec = total as f64 / wall.as_secs_f64();
+    println!(
+        "netload: {total} jobs in {:.2}s = {jobs_per_sec:.0} jobs/s | latency p50 {:?} \
+         p95 {:?} p99 {:?}",
+        wall.as_secs_f64(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+
+    // One more connection for the service-counter epilogue.
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let stats = probe.stats().expect("stats");
+    let get = |k: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    println!(
+        "server: {} submitted, {} completed, {} batches ({} coalesced, {} steals, {} fused jobs)",
+        get("submitted"),
+        get("completed"),
+        get("batches"),
+        get("coalesced"),
+        get("steals"),
+        get("fused_jobs"),
+    );
+    server.shutdown();
+
+    // Optional floor for CI-style smoke assertions.
+    if let Ok(min) = std::env::var("SMARTAPPS_NETLOAD_MIN_JOBS_PER_SEC") {
+        let min: f64 = min
+            .parse()
+            .expect("numeric SMARTAPPS_NETLOAD_MIN_JOBS_PER_SEC");
+        assert!(
+            jobs_per_sec >= min,
+            "sustained {jobs_per_sec:.0} jobs/s below the {min:.0} floor"
+        );
+    }
+}

@@ -23,16 +23,36 @@ pub enum JobErrorKind {
     /// The service was shutting down and no longer accepts work.  Nothing
     /// was executed; resubmitting to a live runtime will succeed.
     Shutdown,
+    /// The job's workload class is quarantined: previous bodies of the
+    /// same [`PatternSignature`](crate::PatternSignature) panicked
+    /// `quarantine_after` times in a row, so the class fails fast instead
+    /// of burning a worker sweep on a body that panics every time.
+    /// Nothing was executed.  The quarantine lifts on
+    /// [`Runtime::unquarantine`](crate::Runtime::unquarantine) or when
+    /// the configured TTL expires.
+    Quarantined,
 }
 
 impl JobErrorKind {
     /// Stable lower-case name of the kind (`"panic"`, `"rejected"`,
-    /// `"shutdown"`).
+    /// `"shutdown"`, `"quarantined"`).
     pub fn as_str(self) -> &'static str {
         match self {
             JobErrorKind::Panic => "panic",
             JobErrorKind::Rejected => "rejected",
             JobErrorKind::Shutdown => "shutdown",
+            JobErrorKind::Quarantined => "quarantined",
+        }
+    }
+
+    /// Parse the stable name back into the kind.
+    pub fn from_str_name(s: &str) -> Option<JobErrorKind> {
+        match s {
+            "panic" => Some(JobErrorKind::Panic),
+            "rejected" => Some(JobErrorKind::Rejected),
+            "shutdown" => Some(JobErrorKind::Shutdown),
+            "quarantined" => Some(JobErrorKind::Quarantined),
+            _ => None,
         }
     }
 }
@@ -77,6 +97,17 @@ impl JobError {
         }
     }
 
+    /// A [`JobErrorKind::Quarantined`] error naming the poisoned class.
+    pub fn quarantined(consecutive_panics: usize) -> Self {
+        JobError {
+            kind: JobErrorKind::Quarantined,
+            message: format!(
+                "workload class quarantined after {consecutive_panics} consecutive \
+                 panicking bodies; unquarantine it or wait out the TTL"
+            ),
+        }
+    }
+
     /// The human-readable message.
     pub fn message(&self) -> &str {
         &self.message
@@ -106,6 +137,18 @@ mod tests {
         assert_eq!(format!("{}", r.kind), "rejected");
         let s = JobError::shutdown();
         assert_eq!(s.kind, JobErrorKind::Shutdown);
+        let q = JobError::quarantined(3);
+        assert_eq!(q.kind, JobErrorKind::Quarantined);
+        assert!(q.message().contains("3 consecutive"));
+        for k in [
+            JobErrorKind::Panic,
+            JobErrorKind::Rejected,
+            JobErrorKind::Shutdown,
+            JobErrorKind::Quarantined,
+        ] {
+            assert_eq!(JobErrorKind::from_str_name(k.as_str()), Some(k));
+        }
+        assert_eq!(JobErrorKind::from_str_name("bogus"), None);
         assert_ne!(p, r);
         // It is a real std error.
         let dynerr: &dyn std::error::Error = &s;

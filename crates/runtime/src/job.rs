@@ -270,13 +270,56 @@ impl JobHandle {
         }
     }
 
-    /// Non-blocking poll; consumes the result when ready.
+    /// Block until the job finishes or `timeout` elapses.  `Some` consumes
+    /// the result (like [`try_wait`](JobHandle::try_wait)); `None` means
+    /// the job is still running — the handle stays valid and a later
+    /// `wait`/`try_wait`/`wait_timeout` will observe the result.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.state.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(r) = g.take() {
+                return Some(r);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            g = self
+                .state
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// Non-blocking poll; **consumes** the result when ready.
+    ///
+    /// The consume-on-first-read asymmetry is deliberate: a `JobResult`
+    /// can be large (the full output array), so the slot hands it over
+    /// exactly once instead of cloning per poll — the first `Some` is the
+    /// only `Some`, and later calls return `None` again.  Use
+    /// [`peek_done`](JobHandle::peek_done) to test for completion without
+    /// consuming.
     pub fn try_wait(&self) -> Option<JobResult> {
         self.state
             .slot
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .take()
+    }
+
+    /// Whether the job has finished and its result is still waiting in
+    /// the slot — a non-consuming probe, unlike
+    /// [`try_wait`](JobHandle::try_wait).  After the result has been
+    /// consumed this returns `false` again.
+    pub fn peek_done(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some()
     }
 }
 
@@ -355,6 +398,7 @@ mod tests {
             signature: PatternSignature(7),
         };
         assert!(handle.try_wait().is_none());
+        assert!(!handle.peek_done());
         state.complete(JobResult {
             output: JobOutput::F64(vec![1.0]),
             scheme: Scheme::Hash,
@@ -365,9 +409,38 @@ mod tests {
             fused_with: 0,
             error: None,
         });
+        assert!(handle.peek_done(), "peek must see the result");
+        assert!(handle.peek_done(), "peek must not consume it");
         let r = handle.try_wait().unwrap();
         assert!(r.profile_hit);
         assert_eq!(r.batched_with, 3);
         assert!(handle.try_wait().is_none(), "result is consumed");
+        assert!(!handle.peek_done(), "consumed result is gone");
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_delivers() {
+        let state = JobState::new();
+        let handle = JobHandle {
+            state: state.clone(),
+            signature: PatternSignature(7),
+        };
+        let t0 = std::time::Instant::now();
+        assert!(handle.wait_timeout(Duration::from_millis(25)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        let t = std::thread::spawn(move || handle.wait_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(15));
+        state.complete(JobResult {
+            output: JobOutput::I64(vec![5]),
+            scheme: Scheme::Rep,
+            elapsed: Duration::ZERO,
+            sim_cycles: None,
+            profile_hit: false,
+            batched_with: 0,
+            fused_with: 0,
+            error: None,
+        });
+        let r = t.join().unwrap().expect("completion must end the wait");
+        assert_eq!(r.output.as_i64(), Some(&[5i64][..]));
     }
 }

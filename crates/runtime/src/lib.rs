@@ -33,9 +33,15 @@
 //!   pool; [`PclrBackend`] lowers the job to PCLR instruction traces and
 //!   runs the paper's simulated hardware (`smartapps-sim`), making the
 //!   hardware scheme a first-class competitor in the same profile store.
+//! * [`completion`] — the **completion-driven frontend**
+//!   ([`CompletionSet`]): [`Runtime::submit_tagged`] routes finished
+//!   results onto a bounded MPSC completion queue instead of per-handle
+//!   condvars, so one consumer thread multiplexes thousands of in-flight
+//!   jobs — the seam `smartapps-server` turns into a network service.
 //! * [`error`] — the **structured job failure channel** ([`JobError`]):
 //!   every failed job reports a typed [`JobErrorKind`] (body panic,
-//!   rejected submission, shutdown race) next to its message.
+//!   rejected submission, shutdown race, quarantined class) next to its
+//!   message.
 //!
 //! ## Example
 //!
@@ -68,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod completion;
 pub mod error;
 pub mod job;
 pub mod pool;
@@ -77,6 +84,7 @@ pub mod runtime;
 pub mod stats;
 
 pub use backend::{Backend, ExecOutcome, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
+pub use completion::{Completion, CompletionSet};
 pub use error::{JobError, JobErrorKind};
 pub use job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, PatternSignature};
 pub use pool::WorkerPool;

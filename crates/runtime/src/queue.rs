@@ -21,16 +21,19 @@
 //! shard is owned and stealing never happens, which is exactly the
 //! single-dispatcher configuration the throughput bench compares against.
 
-use crate::job::{JobSpec, JobState, PatternSignature};
+use crate::completion::CompletionSink;
+use crate::job::{JobSpec, PatternSignature};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
-/// One queued job: the spec, its signature, and the handle's shared state.
+/// One queued job: the spec, its signature, and the completion sink the
+/// finished result is routed through (handle slot, completion queue, or
+/// callback — see [`CompletionSink`]).
 pub(crate) struct QueuedJob {
     pub spec: JobSpec,
     pub sig: PatternSignature,
-    pub state: Arc<JobState>,
+    pub sink: CompletionSink,
 }
 
 /// One successful pop: a same-signature batch plus whether it was taken
@@ -87,11 +90,12 @@ impl ShardedQueue {
         (sig.0 % self.shards.len() as u64) as usize
     }
 
-    /// Enqueue a job.  Returns `false` (job not queued) after
-    /// [`close`](Self::close).
-    pub(crate) fn push(&self, job: QueuedJob) -> bool {
+    /// Enqueue a job.  After [`close`](Self::close) the job is handed
+    /// back (`Err`) so the caller can complete its sink with a shutdown
+    /// error instead of losing it.
+    pub(crate) fn push(&self, job: QueuedJob) -> Result<(), QueuedJob> {
         if self.closed.load(Ordering::Acquire) {
-            return false;
+            return Err(job);
         }
         let shard = self.shard_of(job.sig);
         // The pending increment happens while the shard lock is held:
@@ -106,7 +110,7 @@ impl ShardedQueue {
         drop(pending);
         drop(q);
         self.cv.notify_one();
-        true
+        Ok(())
     }
 
     /// Drain one coalesced batch from `shard` if it is non-empty: the
@@ -227,9 +231,10 @@ impl ShardedQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{JobBody, JobOutput, JobResult};
+    use crate::job::{JobBody, JobOutput, JobResult, JobState};
     use smartapps_reductions::Scheme;
     use smartapps_workloads::pattern::AccessPattern;
+    use std::sync::Arc;
     use std::time::Duration;
 
     fn job(sig: u64) -> QueuedJob {
@@ -242,7 +247,7 @@ mod tests {
                 lw_feasible: false,
             },
             sig: PatternSignature(sig),
-            state: JobState::new(),
+            sink: CompletionSink::Handle(JobState::new()),
         }
     }
 
@@ -258,7 +263,7 @@ mod tests {
     fn coalesces_same_signature_within_shard() {
         let q = ShardedQueue::new(4, 1);
         for sig in [8u64, 8, 12, 8, 8] {
-            assert!(q.push(job(sig)));
+            assert!(q.push(job(sig)).is_ok());
         }
         // Shard 0 holds sigs 8 (x4) and 12 (x1); first pop batches all 8s.
         let batch = pop(&q, 16).unwrap();
@@ -274,7 +279,7 @@ mod tests {
     fn max_batch_caps_coalescing() {
         let q = ShardedQueue::new(2, 1);
         for _ in 0..5 {
-            q.push(job(6));
+            assert!(q.push(job(6)).is_ok());
         }
         assert_eq!(pop(&q, 2).unwrap().len(), 2);
         assert_eq!(pop(&q, 2).unwrap().len(), 2);
@@ -284,9 +289,9 @@ mod tests {
     #[test]
     fn round_robin_across_shards() {
         let q = ShardedQueue::new(2, 1);
-        q.push(job(0)); // shard 0
-        q.push(job(1)); // shard 1
-        q.push(job(2)); // shard 0
+        assert!(q.push(job(0)).is_ok()); // shard 0
+        assert!(q.push(job(1)).is_ok()); // shard 1
+        assert!(q.push(job(2)).is_ok()); // shard 0
         let sigs: Vec<u64> = (0..3).map(|_| pop(&q, 1).unwrap()[0].sig.0).collect();
         // Each shard gets a turn before shard 0 is revisited.
         assert_eq!(sigs, vec![0, 1, 2]);
@@ -295,8 +300,8 @@ mod tests {
     #[test]
     fn owners_prefer_their_own_shards() {
         let q = ShardedQueue::new(4, 2);
-        q.push(job(0)); // shard 0 → owner 0
-        q.push(job(1)); // shard 1 → owner 1
+        assert!(q.push(job(0)).is_ok()); // shard 0 → owner 0
+        assert!(q.push(job(1)).is_ok()); // shard 1 → owner 1
         let p0 = q.pop_batch_for(0, 4).unwrap();
         assert!(!p0.stolen);
         assert_eq!(p0.jobs[0].sig.0, 0);
@@ -311,9 +316,9 @@ mod tests {
         // Owner 0 owns shards 0 and 2; owner 1 owns 1 and 3.  Flood
         // shard 2 and put one job on shard 0 — owner 1 has nothing of its
         // own and must steal, picking the longer shard 2 first.
-        q.push(job(0));
+        assert!(q.push(job(0)).is_ok());
         for _ in 0..3 {
-            q.push(job(2));
+            assert!(q.push(job(2)).is_ok());
         }
         let p = q.pop_batch_for(1, 16).unwrap();
         assert!(p.stolen, "foreign shard pop must count as a steal");
@@ -328,8 +333,8 @@ mod tests {
     #[test]
     fn steal_happens_only_when_own_shards_drain() {
         let q = ShardedQueue::new(4, 2);
-        q.push(job(1)); // owner 1's own shard
-        q.push(job(0)); // owner 0's shard
+        assert!(q.push(job(1)).is_ok()); // owner 1's own shard
+        assert!(q.push(job(0)).is_ok()); // owner 0's shard
         let p = q.pop_batch_for(1, 4).unwrap();
         assert!(!p.stolen, "own work must win over a steal");
         assert_eq!(p.jobs[0].sig.0, 1);
@@ -346,14 +351,14 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(t.join().unwrap().is_none());
-        assert!(!q.push(job(0)));
+        assert!(q.push(job(0)).is_err());
     }
 
     #[test]
     fn close_still_drains_queued_jobs() {
         let q = ShardedQueue::new(2, 1);
-        q.push(job(0));
-        q.push(job(1));
+        assert!(q.push(job(0)).is_ok());
+        assert!(q.push(job(1)).is_ok());
         q.close();
         assert!(pop(&q, 4).is_some());
         assert!(pop(&q, 4).is_some());
@@ -365,8 +370,8 @@ mod tests {
         // Owners 2 and 3 own no shard of a 2-shard queue; they must be
         // able to steal everything rather than deadlock.
         let q = ShardedQueue::new(2, 4);
-        q.push(job(0));
-        q.push(job(1));
+        assert!(q.push(job(0)).is_ok());
+        assert!(q.push(job(1)).is_ok());
         let p = q.pop_batch_for(3, 4).unwrap();
         assert!(p.stolen);
         let p = q.pop_batch_for(2, 4).unwrap();
@@ -378,22 +383,28 @@ mod tests {
     fn completing_a_popped_job_wakes_its_handle() {
         let q = ShardedQueue::new(1, 1);
         let j = job(3);
+        let CompletionSink::Handle(state) = &j.sink else {
+            unreachable!()
+        };
         let handle = crate::job::JobHandle {
-            state: j.state.clone(),
+            state: state.clone(),
             signature: j.sig,
         };
-        q.push(j);
+        assert!(q.push(j).is_ok());
         let batch = pop(&q, 1).unwrap();
-        batch[0].state.complete(JobResult {
-            output: JobOutput::I64(vec![]),
-            scheme: Scheme::Seq,
-            elapsed: Duration::ZERO,
-            sim_cycles: None,
-            profile_hit: false,
-            batched_with: 0,
-            fused_with: 0,
-            error: None,
-        });
+        batch[0].sink.complete(
+            batch[0].sig,
+            JobResult {
+                output: JobOutput::I64(vec![]),
+                scheme: Scheme::Seq,
+                elapsed: Duration::ZERO,
+                sim_cycles: None,
+                profile_hit: false,
+                batched_with: 0,
+                fused_with: 0,
+                error: None,
+            },
+        );
         assert!(handle.try_wait().is_some());
     }
 }

@@ -15,6 +15,7 @@
 //! core idles while it "waits".
 
 use crate::backend::{Backend, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
+use crate::completion::{Completion, CompletionSet, CompletionSink};
 use crate::error::JobError;
 use crate::job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, JobState, PatternSignature};
 use crate::pool::WorkerPool;
@@ -134,6 +135,19 @@ pub struct RuntimeConfig {
     /// Active-sampling knobs of the online calibration loop (both off by
     /// default; the passive loop always runs).
     pub calibration: CalibrationConfig,
+    /// Poisoned-class quarantine: after this many *consecutive* panicking
+    /// bodies in one workload class ([`PatternSignature`]), further jobs
+    /// of the class fail fast with
+    /// [`JobErrorKind::Quarantined`](crate::JobErrorKind::Quarantined)
+    /// instead of burning a worker sweep each time.  The quarantine lifts
+    /// on [`Runtime::unquarantine`] or after
+    /// [`quarantine_ttl`](RuntimeConfig::quarantine_ttl); a clean
+    /// execution resets the consecutive count.  `0` (the default)
+    /// disables quarantining.
+    pub quarantine_after: usize,
+    /// How long a quarantined class stays blocked before it is given a
+    /// fresh chance (ignored while `quarantine_after == 0`).
+    pub quarantine_ttl: Duration,
 }
 
 /// Dispatcher count matched to a pool width: one dispatcher per four
@@ -159,6 +173,8 @@ impl Default for RuntimeConfig {
             pclr: None,
             model: DecisionModel::default(),
             calibration: CalibrationConfig::default(),
+            quarantine_after: 0,
+            quarantine_ttl: Duration::from_secs(30),
         }
     }
 }
@@ -185,6 +201,22 @@ struct Shared {
     /// Per-signature (software wall-ns/ref, simulated cycles/ref) halves;
     /// a completed pair yields one cycle→ns fitting sample.
     cycle_pairs: Mutex<HashMap<u64, CyclePair>>,
+    /// Consecutive-panic threshold of the poisoned-class quarantine
+    /// (`0` disables it) and how long a quarantined class stays blocked.
+    quarantine_after: usize,
+    quarantine_ttl: Duration,
+    /// Per-signature panic-health ledger (only touched while
+    /// `quarantine_after > 0`).
+    quarantine: Mutex<HashMap<u64, ClassHealth>>,
+}
+
+/// Panic health of one workload class: how many of its most recent bodies
+/// panicked back-to-back, and — once that crossed the threshold — until
+/// when the class fails fast.
+#[derive(Debug, Clone, Copy)]
+struct ClassHealth {
+    consecutive_panics: usize,
+    blocked_until: Option<Instant>,
 }
 
 /// The two halves of one cycle-fitting observation for a workload class:
@@ -255,6 +287,55 @@ impl Shared {
             }
         }
     }
+
+    fn quarantine_map(&self) -> std::sync::MutexGuard<'_, HashMap<u64, ClassHealth>> {
+        self.quarantine.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether `sig` is currently quarantined; `Some(count)` carries the
+    /// consecutive-panic count for the error message.  An expired TTL
+    /// clears the ledger entirely — the class restarts with a clean
+    /// record and gets `quarantine_after` fresh chances.
+    fn quarantine_blocked(&self, sig: PatternSignature) -> Option<usize> {
+        if self.quarantine_after == 0 {
+            return None;
+        }
+        let mut map = self.quarantine_map();
+        let health = map.get(&sig.0)?;
+        match health.blocked_until {
+            Some(until) if Instant::now() < until => Some(health.consecutive_panics),
+            Some(_) => {
+                map.remove(&sig.0);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Record one panicking body of class `sig`; crossing the threshold
+    /// starts the quarantine clock.
+    fn note_panic(&self, sig: PatternSignature) {
+        if self.quarantine_after == 0 {
+            return;
+        }
+        let mut map = self.quarantine_map();
+        let health = map.entry(sig.0).or_insert(ClassHealth {
+            consecutive_panics: 0,
+            blocked_until: None,
+        });
+        health.consecutive_panics += 1;
+        if health.consecutive_panics >= self.quarantine_after && health.blocked_until.is_none() {
+            health.blocked_until = Some(Instant::now() + self.quarantine_ttl);
+        }
+    }
+
+    /// A clean execution of class `sig` resets its panic streak.
+    fn note_clean(&self, sig: PatternSignature) {
+        if self.quarantine_after == 0 {
+            return;
+        }
+        self.quarantine_map().remove(&sig.0);
+    }
 }
 
 /// The persistent reduction service.
@@ -305,6 +386,9 @@ impl Runtime {
             explore_ticks: AtomicU64::new(0),
             declined_fuses: AtomicU64::new(0),
             cycle_pairs: Mutex::new(HashMap::new()),
+            quarantine_after: config.quarantine_after,
+            quarantine_ttl: config.quarantine_ttl,
+            quarantine: Mutex::new(HashMap::new()),
         });
         let dispatchers = (0..n_dispatchers)
             .map(|d| {
@@ -351,53 +435,10 @@ impl Runtime {
     /// instead of executing.
     ///
     /// [`AccessPattern`]: smartapps_workloads::AccessPattern
-    pub fn submit(&self, mut spec: JobSpec) -> JobHandle {
-        let threads = spec
-            .threads
-            .unwrap_or(self.width())
-            .clamp(1, MAX_SPMD_THREADS);
-        spec.threads = Some(threads);
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
         let state = JobState::new();
-        RuntimeStats::add(&self.shared.stats.submitted, 1);
-        if let Err(e) = spec.pattern.validate() {
-            let handle = JobHandle {
-                state: state.clone(),
-                signature: PatternSignature(0),
-            };
-            RuntimeStats::add(&self.shared.stats.completed, 1);
-            state.complete(JobResult {
-                output: empty_output(&spec.body),
-                scheme: Scheme::Seq,
-                elapsed: std::time::Duration::ZERO,
-                sim_cycles: None,
-                profile_hit: false,
-                batched_with: 0,
-                fused_with: 0,
-                error: Some(JobError::rejected(format!("invalid access pattern: {e}"))),
-            });
-            return handle;
-        }
-        let sig = PatternSignature::of(&spec.pattern, self.shared.sample_iters, threads);
-        let handle = JobHandle {
-            state: state.clone(),
-            signature: sig,
-        };
-        let empty = empty_output(&spec.body);
-        let accepted = self.shared.queue.push(QueuedJob { spec, sig, state });
-        if !accepted {
-            RuntimeStats::add(&self.shared.stats.completed, 1);
-            handle.state.complete(JobResult {
-                output: empty,
-                scheme: Scheme::Seq,
-                elapsed: std::time::Duration::ZERO,
-                sim_cycles: None,
-                profile_hit: false,
-                batched_with: 0,
-                fused_with: 0,
-                error: Some(JobError::shutdown()),
-            });
-        }
-        handle
+        let signature = self.submit_sink(spec, CompletionSink::Handle(state.clone()));
+        JobHandle { state, signature }
     }
 
     /// Submit many jobs at once; the queue coalesces same-signature jobs
@@ -405,6 +446,115 @@ impl Runtime {
     /// execute as one fused sweep.
     pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Vec<JobHandle> {
         specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Submit one job tagged with a caller-chosen `token`, routing its
+    /// completion onto `set` instead of a per-job handle — the
+    /// completion-multiplexing path (see
+    /// [`completion`](crate::completion)): one consumer thread drains
+    /// thousands of in-flight jobs through
+    /// [`CompletionSet::poll`]/[`wait_any`](CompletionSet::wait_any)
+    /// instead of parking a thread per job.
+    ///
+    /// Every submission — including ones rejected before queueing or
+    /// racing a shutdown — produces **exactly one** [`Completion`] on the
+    /// set, carrying the same [`JobResult`] (fused, offloaded,
+    /// quarantined, or failed) a [`JobHandle`] would have seen.  Returns
+    /// the signature the job was queued under.
+    pub fn submit_tagged(
+        &self,
+        spec: JobSpec,
+        token: u64,
+        set: &CompletionSet,
+    ) -> PatternSignature {
+        let queue = set.queue();
+        queue.register();
+        self.submit_sink(spec, CompletionSink::Queue { token, queue })
+    }
+
+    /// [`submit_tagged`](Runtime::submit_tagged) for a whole batch:
+    /// same-signature members coalesce into shared dispatch batches (and
+    /// same-pattern members into fused sweeps) exactly like
+    /// [`submit_batch`](Runtime::submit_batch).
+    pub fn submit_batch_tagged(
+        &self,
+        specs: Vec<(u64, JobSpec)>,
+        set: &CompletionSet,
+    ) -> Vec<PatternSignature> {
+        specs
+            .into_iter()
+            .map(|(token, spec)| self.submit_tagged(spec, token, set))
+            .collect()
+    }
+
+    /// Submit one job with a push-style completion callback instead of a
+    /// handle or a queue: `on_complete` is invoked exactly once with the
+    /// finished [`Completion`] — **on the completing thread** (a
+    /// dispatcher, or the submitting thread itself for submissions
+    /// rejected up front), so it must be short and non-blocking; a slow
+    /// callback stalls a dispatcher.
+    pub fn submit_callback(
+        &self,
+        spec: JobSpec,
+        token: u64,
+        on_complete: impl Fn(Completion) + Send + Sync + 'static,
+    ) -> PatternSignature {
+        self.submit_sink(
+            spec,
+            CompletionSink::Callback {
+                token,
+                f: Arc::new(on_complete),
+            },
+        )
+    }
+
+    /// The shared submission path: validate, sign, queue — or complete
+    /// the sink immediately with the rejection/shutdown error.  Every
+    /// sink is completed exactly once, here or by a dispatcher.
+    fn submit_sink(&self, mut spec: JobSpec, sink: CompletionSink) -> PatternSignature {
+        let threads = spec
+            .threads
+            .unwrap_or(self.width())
+            .clamp(1, MAX_SPMD_THREADS);
+        spec.threads = Some(threads);
+        RuntimeStats::add(&self.shared.stats.submitted, 1);
+        if let Err(e) = spec.pattern.validate() {
+            RuntimeStats::add(&self.shared.stats.completed, 1);
+            // Inline delivery (never blocks on the completion bound: the
+            // submitting thread may be the set's only consumer).
+            sink.complete_inline(
+                PatternSignature(0),
+                JobResult {
+                    output: empty_output(&spec.body),
+                    scheme: Scheme::Seq,
+                    elapsed: std::time::Duration::ZERO,
+                    sim_cycles: None,
+                    profile_hit: false,
+                    batched_with: 0,
+                    fused_with: 0,
+                    error: Some(JobError::rejected(format!("invalid access pattern: {e}"))),
+                },
+            );
+            return PatternSignature(0);
+        }
+        let sig = PatternSignature::of(&spec.pattern, self.shared.sample_iters, threads);
+        if let Err(job) = self.shared.queue.push(QueuedJob { spec, sig, sink }) {
+            RuntimeStats::add(&self.shared.stats.completed, 1);
+            job.sink.complete_inline(
+                sig,
+                JobResult {
+                    output: empty_output(&job.spec.body),
+                    scheme: Scheme::Seq,
+                    elapsed: std::time::Duration::ZERO,
+                    sim_cycles: None,
+                    profile_hit: false,
+                    batched_with: 0,
+                    fused_with: 0,
+                    error: Some(JobError::shutdown()),
+                },
+            );
+        }
+        sig
     }
 
     /// Submit and block for the result.
@@ -481,6 +631,28 @@ impl Runtime {
     /// measure→correct loop the stats counters summarize.
     pub fn correction(&self, scheme: Scheme, domain: DomainKey, fused: bool) -> f64 {
         self.shared.calibrator().correction(scheme, domain, fused)
+    }
+
+    /// Lift the quarantine (and forget the panic streak) of workload
+    /// class `sig`.  Returns whether any ledger state existed — `true`
+    /// also for a class that had panics recorded but was not yet blocked.
+    /// The next job of the class executes normally and gets
+    /// [`quarantine_after`](RuntimeConfig::quarantine_after) fresh
+    /// chances.
+    pub fn unquarantine(&self, sig: PatternSignature) -> bool {
+        self.shared.quarantine_map().remove(&sig.0).is_some()
+    }
+
+    /// Signatures currently blocked by the poisoned-class quarantine
+    /// (expired TTLs are not filtered here; they clear lazily on the
+    /// class's next submission).
+    pub fn quarantined_classes(&self) -> Vec<PatternSignature> {
+        self.shared
+            .quarantine_map()
+            .iter()
+            .filter(|(_, h)| h.blocked_until.is_some())
+            .map(|(&sig, _)| PatternSignature(sig))
+            .collect()
     }
 
     /// The fitted PCLR cycle→nanosecond conversion, when the hardware
@@ -884,6 +1056,30 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
     RuntimeStats::add(&shared.stats.batches, 1);
     RuntimeStats::add(&shared.stats.coalesced, batched_with as u64);
 
+    // Poisoned-class quarantine: a class whose bodies panicked
+    // `quarantine_after` times in a row fails fast — no inspection, no
+    // decision, no worker sweep — until unquarantined or TTL-expired.
+    if let Some(count) = shared.quarantine_blocked(sig) {
+        for job in batch {
+            RuntimeStats::add(&shared.stats.quarantined, 1);
+            RuntimeStats::add(&shared.stats.completed, 1);
+            job.sink.complete(
+                sig,
+                JobResult {
+                    output: empty_output(&job.spec.body),
+                    scheme: Scheme::Seq,
+                    elapsed: std::time::Duration::ZERO,
+                    sim_cycles: None,
+                    profile_hit: false,
+                    batched_with,
+                    fused_with: 0,
+                    error: Some(JobError::quarantined(count)),
+                },
+            );
+        }
+        return;
+    }
+
     // One scheme decision per batch: profile hit, or inspect + model.
     let profiled = shared
         .profile
@@ -914,20 +1110,25 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
     let decision = match batch_scheme {
         Ok(s) => s,
         Err(payload) => {
-            // The whole batch shares the poisoned decision input; fail it.
+            // The whole batch shares the poisoned decision input; fail it
+            // (one poisoned decision = one strike against the class).
+            shared.note_panic(sig);
             let msg = format!("scheme decision panicked: {}", panic_message(&*payload));
             for job in groups.into_iter().flatten() {
                 RuntimeStats::add(&shared.stats.completed, 1);
-                job.state.complete(JobResult {
-                    output: empty_output(&job.spec.body),
-                    scheme: Scheme::Seq,
-                    elapsed: std::time::Duration::ZERO,
-                    sim_cycles: None,
-                    profile_hit: false,
-                    batched_with,
-                    fused_with: 0,
-                    error: Some(JobError::panic(msg.clone())),
-                });
+                job.sink.complete(
+                    sig,
+                    JobResult {
+                        output: empty_output(&job.spec.body),
+                        scheme: Scheme::Seq,
+                        elapsed: std::time::Duration::ZERO,
+                        sim_cycles: None,
+                        profile_hit: false,
+                        batched_with,
+                        fused_with: 0,
+                        error: Some(JobError::panic(msg.clone())),
+                    },
+                );
             }
             return;
         }
@@ -985,6 +1186,28 @@ fn execute_single(
     batch_scheme: Scheme,
     job: QueuedJob,
 ) {
+    // The quarantine is re-checked per job, not only per batch: a class
+    // can cross the panic threshold *mid-batch* (or in a batch racing on
+    // a stolen shard), and every job dispatched after that must fail
+    // fast rather than re-run a body the ledger already condemned.
+    if let Some(count) = shared.quarantine_blocked(job.sig) {
+        RuntimeStats::add(&shared.stats.quarantined, 1);
+        RuntimeStats::add(&shared.stats.completed, 1);
+        job.sink.complete(
+            job.sig,
+            JobResult {
+                output: empty_output(&job.spec.body),
+                scheme: Scheme::Seq,
+                elapsed: Duration::ZERO,
+                sim_cycles: None,
+                profile_hit: false,
+                batched_with: ctx.batched_with,
+                fused_with: 0,
+                error: Some(JobError::quarantined(count)),
+            },
+        );
+        return;
+    }
     let threads = job.spec.threads.unwrap_or(shared.pool.width()).max(1);
     // A batch-mate (or stale profile) may have chosen a scheme this job
     // cannot run: owner-computes where it is illegal, or the hardware
@@ -1057,6 +1280,14 @@ fn execute_single(
         RuntimeStats::add(&shared.stats.sim_cycles, cycles);
     }
 
+    // Quarantine ledger: a panicking body extends the class's streak; a
+    // clean execution wipes it.
+    match &error {
+        Some(e) if e.kind == crate::JobErrorKind::Panic => shared.note_panic(ctx.sig),
+        Some(_) => {}
+        None => shared.note_clean(ctx.sig),
+    }
+
     // Close the measure→correct loop: every clean execution whose
     // characterization is at hand (already cached — learning never pays a
     // fresh inspection) reports a predicted-vs-measured sample to the
@@ -1101,21 +1332,24 @@ fn execute_single(
         }
     }
 
-    // Bump counters before waking the handle so a client that reads
+    // Bump counters before waking the sink so a client that reads
     // stats right after `wait()` never sees its own job missing.
     RuntimeStats::add(&shared.stats.completed, 1);
-    job.state.complete(JobResult {
-        output,
-        scheme,
-        elapsed,
-        sim_cycles,
-        // This job's decision came from the store only if it was not
-        // re-decided under a feasibility mask.
-        profile_hit: ctx.profile_hit && !redecided,
-        batched_with: ctx.batched_with,
-        fused_with: 0,
-        error,
-    });
+    job.sink.complete(
+        job.sig,
+        JobResult {
+            output,
+            scheme,
+            elapsed,
+            sim_cycles,
+            // This job's decision came from the store only if it was not
+            // re-decided under a feasibility mask.
+            profile_hit: ctx.profile_hit && !redecided,
+            batched_with: ctx.batched_with,
+            fused_with: 0,
+            error,
+        },
+    );
 }
 
 /// Execute a fusable group (same pattern, flavor, width, `lw` mask) as one
@@ -1194,20 +1428,25 @@ fn execute_fused(
                 &plan.input,
                 elapsed,
             );
+            // A clean sweep means every body in the group ran clean.
+            shared.note_clean(ctx.sig);
             for (job, output) in group.into_iter().zip(outputs) {
                 RuntimeStats::add(&shared.stats.completed, 1);
-                job.state.complete(JobResult {
-                    output,
-                    scheme,
-                    elapsed,
-                    sim_cycles: None,
-                    // The fused scheme came from the fanout-aware model,
-                    // not the store.
-                    profile_hit: false,
-                    batched_with: ctx.batched_with,
-                    fused_with: k - 1,
-                    error: None,
-                });
+                job.sink.complete(
+                    job.sig,
+                    JobResult {
+                        output,
+                        scheme,
+                        elapsed,
+                        sim_cycles: None,
+                        // The fused scheme came from the fanout-aware model,
+                        // not the store.
+                        profile_hit: false,
+                        batched_with: ctx.batched_with,
+                        fused_with: k - 1,
+                        error: None,
+                    },
+                );
             }
         }
         Err(_) => {
@@ -1714,7 +1953,7 @@ mod tests {
         let pat_b = pattern(72);
         let mk = |spec: JobSpec| QueuedJob {
             sig: PatternSignature(1),
-            state: JobState::new(),
+            sink: CompletionSink::Handle(JobState::new()),
             spec,
         };
         let batch = vec![
@@ -2107,6 +2346,218 @@ mod tests {
             );
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quarantine_blocks_after_k_consecutive_panics_and_lifts_on_unquarantine() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            quarantine_after: 3,
+            quarantine_ttl: Duration::from_secs(3600),
+            ..RuntimeConfig::default()
+        });
+        let pat = pattern(201);
+        let mut sig = None;
+        for _ in 0..3 {
+            let h = rt.submit(JobSpec::i64(pat.clone(), |_i, _r| panic!("always bad")));
+            sig = Some(h.signature());
+            let r = h.wait();
+            assert_eq!(r.error.unwrap().kind, JobErrorKind::Panic);
+        }
+        let sig = sig.unwrap();
+        // Strike three has the class quarantined: the next job fails
+        // fast without executing its body.
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let err = r.error.expect("quarantined class must fail fast");
+        assert_eq!(err.kind, JobErrorKind::Quarantined);
+        assert!(err.message.contains("3 consecutive"), "{err}");
+        assert_eq!(rt.stats().quarantined, 1);
+        assert_eq!(rt.quarantined_classes(), vec![sig]);
+        // Lifting the quarantine restores the class.
+        assert!(rt.unquarantine(sig));
+        assert!(rt.quarantined_classes().is_empty());
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+    }
+
+    #[test]
+    fn clean_execution_resets_the_panic_streak() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            quarantine_after: 2,
+            ..RuntimeConfig::default()
+        });
+        let pat = pattern(203);
+        // panic, clean, panic, clean, ... never two in a row: the class
+        // must never be quarantined.
+        for round in 0..3 {
+            let r = rt
+                .submit(JobSpec::i64(pat.clone(), |_i, _r| panic!("flaky")))
+                .wait();
+            assert_eq!(
+                r.error.unwrap().kind,
+                JobErrorKind::Panic,
+                "round {round}: a single panic must execute, not fast-fail"
+            );
+            let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+            assert!(r.error.is_none(), "round {round}: {:?}", r.error);
+        }
+        assert_eq!(rt.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn quarantine_ttl_expiry_gives_the_class_a_fresh_start() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            quarantine_after: 1,
+            quarantine_ttl: Duration::from_millis(50),
+            ..RuntimeConfig::default()
+        });
+        let pat = pattern(205);
+        let r = rt
+            .submit(JobSpec::i64(pat.clone(), |_i, _r| panic!("poison")))
+            .wait();
+        assert_eq!(r.error.unwrap().kind, JobErrorKind::Panic);
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert_eq!(r.error.unwrap().kind, JobErrorKind::Quarantined);
+        std::thread::sleep(Duration::from_millis(80));
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none(), "expired TTL must lift the quarantine");
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+    }
+
+    #[test]
+    fn submit_tagged_delivers_every_outcome_on_the_set() {
+        use crate::completion::CompletionSet;
+        use std::collections::HashMap;
+
+        let rt = Runtime::with_workers(2);
+        let set = CompletionSet::with_capacity(64);
+        let pat = pattern(207);
+        let broken = Arc::new(smartapps_workloads::AccessPattern {
+            num_elements: 2,
+            iter_ptr: vec![0, 1],
+            indices: vec![7],
+        });
+        rt.submit_tagged(
+            JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)),
+            1,
+            &set,
+        );
+        rt.submit_tagged(JobSpec::i64(broken, |_i, _r| 1), 2, &set);
+        rt.submit_tagged(JobSpec::i64(pat.clone(), |_i, _r| panic!("bad")), 3, &set);
+        rt.submit_batch_tagged(
+            vec![
+                (4, JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r))),
+                (5, JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r))),
+            ],
+            &set,
+        );
+        let mut seen: HashMap<u64, Completion> = HashMap::new();
+        while let Some(c) = set.wait_any() {
+            assert!(
+                seen.insert(c.token, c.clone()).is_none(),
+                "token {} delivered twice",
+                c.token
+            );
+        }
+        assert_eq!(set.in_flight(), 0);
+        assert_eq!(seen.len(), 5, "exactly one completion per token");
+        let oracle = sequential_reduce_i64(&pat);
+        for t in [1u64, 4, 5] {
+            let c = &seen[&t];
+            assert!(c.result.error.is_none(), "token {t}: {:?}", c.result.error);
+            assert_eq!(c.result.output.as_i64().unwrap(), oracle);
+            assert_ne!(c.signature, PatternSignature(0));
+        }
+        assert_eq!(
+            seen[&2].result.error.as_ref().unwrap().kind,
+            JobErrorKind::Rejected
+        );
+        assert_eq!(seen[&2].signature, PatternSignature(0));
+        assert_eq!(
+            seen[&3].result.error.as_ref().unwrap().kind,
+            JobErrorKind::Panic
+        );
+    }
+
+    #[test]
+    fn submit_tagged_after_close_delivers_shutdown_event() {
+        let rt = Runtime::with_workers(2);
+        let set = CompletionSet::with_capacity(8);
+        rt.begin_shutdown();
+        rt.submit_tagged(
+            JobSpec::i64(pattern(209), |_i, r| contribution_i64(r)),
+            9,
+            &set,
+        );
+        let c = set.wait_any().expect("shutdown race still delivers");
+        assert_eq!(c.token, 9);
+        assert_eq!(c.result.error.unwrap().kind, JobErrorKind::Shutdown);
+        assert!(set.wait_any().is_none());
+    }
+
+    #[test]
+    fn inline_completions_never_block_the_submitting_consumer() {
+        // The rejection/shutdown delivery happens on the submitting
+        // thread, which in the single-consumer pattern is also the only
+        // thread draining the set: with a capacity-1 queue, the second
+        // submission would deadlock if inline delivery honored the
+        // bound.  (Regression test for the submit-path deadlock.)
+        let rt = Runtime::with_workers(2);
+        let set = CompletionSet::with_capacity(1);
+        rt.begin_shutdown();
+        let pat = pattern(213);
+        for t in 0..3 {
+            rt.submit_tagged(
+                JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)),
+                t,
+                &set,
+            );
+        }
+        let mut tokens = Vec::new();
+        while let Some(c) = set.wait_any() {
+            assert_eq!(
+                c.result.error.as_ref().unwrap().kind,
+                JobErrorKind::Shutdown
+            );
+            tokens.push(c.token);
+        }
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![0, 1, 2], "no inline event may be lost");
+    }
+
+    #[test]
+    fn submit_callback_pushes_the_completion() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(211);
+        let delivered = Arc::new(Mutex::new(Vec::<Completion>::new()));
+        let sink = delivered.clone();
+        rt.submit_callback(
+            JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)),
+            42,
+            move |c| sink.lock().unwrap().push(c),
+        );
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if !delivered.lock().unwrap().is_empty() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "callback never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let got = delivered.lock().unwrap();
+        assert_eq!(got.len(), 1, "callback fires exactly once");
+        assert_eq!(got[0].token, 42);
+        assert!(got[0].result.error.is_none());
+        assert_eq!(
+            got[0].result.output.as_i64().unwrap(),
+            sequential_reduce_i64(&pat)
+        );
     }
 
     #[test]

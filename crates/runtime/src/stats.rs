@@ -22,6 +22,7 @@ pub struct RuntimeStats {
     pub(crate) pred_err_sum_micros: AtomicU64,
     pub(crate) explored: AtomicU64,
     pub(crate) fuse_probes: AtomicU64,
+    pub(crate) quarantined: AtomicU64,
 }
 
 /// A point-in-time copy of [`RuntimeStats`].
@@ -68,6 +69,11 @@ pub struct StatsSnapshot {
     /// Declined fusable groups executed fused anyway to gather fused-side
     /// calibration samples (`CalibrationConfig::probe_fused_every`).
     pub fuse_probes: u64,
+    /// Jobs failed fast with
+    /// [`JobErrorKind::Quarantined`](crate::JobErrorKind::Quarantined)
+    /// because their workload class accumulated
+    /// `RuntimeConfig::quarantine_after` consecutive panicking bodies.
+    pub quarantined: u64,
 }
 
 impl StatsSnapshot {
@@ -108,6 +114,7 @@ impl RuntimeStats {
             pred_err_sum_micros: self.pred_err_sum_micros.load(Ordering::Relaxed),
             explored: self.explored.load(Ordering::Relaxed),
             fuse_probes: self.fuse_probes.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }

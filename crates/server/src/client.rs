@@ -1,0 +1,141 @@
+//! The client side of the wire protocol: a thin blocking library over
+//! one TCP connection, used by `examples/network_service.rs` and the
+//! `netload` loadgen.
+//!
+//! Responses to control requests (`stats`, `drain`, `unquarantine`)
+//! interleave with asynchronous `done` lines on the same socket; the
+//! client stashes `done` messages it reads while waiting for a control
+//! response, and [`next_done`](Client::next_done) consumes the stash
+//! before touching the socket — no message is ever dropped or reordered
+//! within its kind.
+
+use crate::wire::{DoneMsg, Request, Response, SubmitArgs};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking client for one `smartapps-server` connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    stashed: VecDeque<DoneMsg>,
+}
+
+impl Client {
+    /// Connect to a server (e.g. the address from
+    /// [`Server::local_addr`](crate::Server::local_addr)).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            stashed: VecDeque::new(),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        match Response::parse(&line) {
+            Ok(Response::Error(msg)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server protocol error: {msg}"),
+            )),
+            Ok(r) => Ok(r),
+            Err(e) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparsable response: {e} (line: {})", line.trim_end()),
+            )),
+        }
+    }
+
+    /// Submit one job; its `done` arrives asynchronously via
+    /// [`next_done`](Client::next_done).
+    pub fn submit(&mut self, args: SubmitArgs) -> io::Result<()> {
+        self.send(&Request::Submit(args))
+    }
+
+    /// Submit several jobs in one request (they coalesce — and same-spec
+    /// members can fuse — server-side).
+    pub fn submit_batch(&mut self, jobs: Vec<SubmitArgs>) -> io::Result<()> {
+        self.send(&Request::Batch(jobs))
+    }
+
+    /// Block for the next finished job (stash first, then socket).
+    pub fn next_done(&mut self) -> io::Result<DoneMsg> {
+        if let Some(d) = self.stashed.pop_front() {
+            return Ok(d);
+        }
+        loop {
+            match self.read_response()? {
+                Response::Done(d) => return Ok(d),
+                // A control response nobody is waiting for (e.g. a
+                // drained barrier read late) is dropped; done messages
+                // are never dropped.
+                _ => continue,
+            }
+        }
+    }
+
+    /// Request and return the runtime's service counters as ordered
+    /// `(name, value)` pairs.
+    pub fn stats(&mut self) -> io::Result<Vec<(String, u64)>> {
+        self.send(&Request::Stats)?;
+        loop {
+            match self.read_response()? {
+                Response::Stats(pairs) => return Ok(pairs),
+                Response::Done(d) => self.stashed.push_back(d),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Flush barrier: block until every job submitted on this connection
+    /// has produced its `done` line (all of which are stashed for
+    /// [`next_done`](Client::next_done)); returns the connection's total
+    /// completed-job count.
+    pub fn drain(&mut self) -> io::Result<u64> {
+        self.send(&Request::Drain)?;
+        loop {
+            match self.read_response()? {
+                Response::Drained(n) => return Ok(n),
+                Response::Done(d) => self.stashed.push_back(d),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Lift the quarantine of a workload class (the signature reported on
+    /// `quarantined` error responses).  Returns whether the server found
+    /// ledger state to clear.
+    pub fn unquarantine(&mut self, signature: u64) -> io::Result<bool> {
+        self.send(&Request::Unquarantine(signature))?;
+        loop {
+            match self.read_response()? {
+                Response::Unquarantined(found) => return Ok(found),
+                Response::Done(d) => self.stashed.push_back(d),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Finished jobs read ahead of schedule while waiting for a control
+    /// response.
+    pub fn stashed(&self) -> usize {
+        self.stashed.len()
+    }
+}

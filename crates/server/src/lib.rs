@@ -1,0 +1,69 @@
+//! # smartapps-server — the reduction service as a network service
+//!
+//! `smartapps-runtime` is an in-process library: its submission API stops
+//! at the process boundary.  This crate opens the first out-of-process
+//! workload scenario — a TCP front end over the runtime's
+//! completion-driven frontend, where
+//! [`Runtime::submit_tagged`](smartapps_runtime::Runtime::submit_tagged)
+//! routes every finished job onto one shared
+//! [`CompletionSet`](smartapps_runtime::CompletionSet) — with a thread
+//! count **independent of the client count**: one acceptor plus a small
+//! fixed set of reactor threads serve any number of connections, because
+//! no thread ever parks on an individual job.
+//!
+//! Three modules:
+//!
+//! * [`wire`] — the line-oriented protocol grammar (`submit` / `batch` /
+//!   `stats` / `drain` / `unquarantine` requests, `done` / `stats` /
+//!   `drained` responses), with explicit `encode`/`parse` pairs; see
+//!   `docs/SERVER.md` for the full grammar.
+//! * [`server`] — the [`Server`]: acceptor + reactor threads,
+//!   per-connection read buffers over nonblocking sockets, and the
+//!   pending table demultiplexing completions back to sockets.
+//! * [`client`] — the blocking [`Client`] library the `netload` loadgen
+//!   and the examples drive.
+//!
+//! ## Example
+//!
+//! ```
+//! use smartapps_runtime::Runtime;
+//! use smartapps_server::{Client, ReplyMode, Server, ServerConfig, SubmitArgs};
+//! use smartapps_server::{DoneOutcome, WireBody, WireDist, WireSpec};
+//! use std::sync::Arc;
+//!
+//! let rt = Arc::new(Runtime::with_workers(2));
+//! let server = Server::start(rt, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client
+//!     .submit(SubmitArgs {
+//!         token: 1,
+//!         reply: ReplyMode::Ack,
+//!         body: WireBody::Sum,
+//!         spec: WireSpec {
+//!             elements: 256,
+//!             iterations: 400,
+//!             refs_per_iter: 2,
+//!             coverage: 0.9,
+//!             dist: WireDist::Uniform,
+//!             seed: 11,
+//!         },
+//!     })
+//!     .unwrap();
+//! let done = client.next_done().unwrap();
+//! assert_eq!(done.token, 1);
+//! assert!(matches!(done.outcome, DoneOutcome::Ok { .. }));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig};
+pub use wire::{
+    checksum, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, SubmitArgs, WireBody,
+    WireDist, WireSpec,
+};

@@ -1,0 +1,715 @@
+//! The network service: an acceptor plus a small **fixed** reactor-thread
+//! set serving any number of client connections — no thread-per-client,
+//! no thread-per-job, anywhere.
+//!
+//! ```text
+//!  clients (N connections)                 ┌──────────────────────────┐
+//!     │ requests (lines)                   │        Runtime           │
+//!     ▼                                    │  dispatchers ── pool     │
+//!  acceptor ──registers──► conns table     └────────▲─────────┬───────┘
+//!                              │                    │         │
+//!              ┌───────────────┴──────────┐         │         │ completions
+//!              ▼                          ▼         │         ▼
+//!        reactor 0  …             reactor R-1   submit_tagged(global
+//!        (owns conns with         (id % R == R-1)  token, shared set)
+//!         id % R == 0)                    │         │
+//!              │  nonblocking reads,      │   ┌─────┴──────────┐
+//!              │  parse, submit ──────────┴──►│ CompletionSet  │
+//!              │                              │ (bounded MPSC) │
+//!              │  poll/wait_timeout ◄─────────┴────────────────┘
+//!              ▼
+//!        pending table: global token → (conn, client token, reply mode)
+//!              │
+//!              └─► format `done` line, write to the owning socket
+//! ```
+//!
+//! Every reactor does two jobs per iteration: it *reads* its own subset
+//! of connections (nonblocking sockets, partial lines buffered until the
+//! `\n` arrives) and it *demultiplexes* completions — any reactor may pop
+//! any finished job from the one shared [`CompletionSet`] and write the
+//! response to the owning socket (writes are serialized per connection).
+//! Tokens are namespaced: the server tags each submission with a private
+//! global token and routes the completion back to the client's own token
+//! through the pending table, so two clients reusing the same token can
+//! never collide.
+
+use crate::wire::{
+    checksum, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, SubmitArgs, WireBody,
+    WireSpec,
+};
+use smartapps_runtime::{Completion, CompletionSet, JobSpec, PatternSignature, Runtime};
+use smartapps_workloads::AccessPattern;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (read it back via
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Reactor threads (clamped to ≥ 1).  Total service threads are
+    /// `1 acceptor + reactors`, independent of the client count.
+    pub reactors: usize,
+    /// Bound of the shared completion queue.  Clamped to at least twice
+    /// [`max_batch_jobs`](ServerConfig::max_batch_jobs) so one request's
+    /// rejections can never fill the queue a lone reactor must drain.
+    pub completion_capacity: usize,
+    /// Maximum request-line length before the connection is failed
+    /// (protocol error), protecting reactor memory from a runaway line.
+    pub max_line_bytes: usize,
+    /// Jobs allowed in one `batch` request.
+    pub max_batch_jobs: usize,
+    /// Admission cap on one job's total reduction references; oversized
+    /// specs fail with a `rejected` error instead of being generated.
+    pub max_refs_per_job: usize,
+    /// Server-side pattern cache entries (specs → generated patterns).
+    /// Repeat submissions of one spec share a single allocation, which
+    /// is what lets cross-client jobs coalesce and fuse.
+    pub pattern_cache: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            reactors: 2,
+            completion_capacity: 4096,
+            max_line_bytes: 1 << 20,
+            max_batch_jobs: 1024,
+            max_refs_per_job: 4_000_000,
+            pattern_cache: 64,
+        }
+    }
+}
+
+/// One live client connection.  The socket is nonblocking; the owning
+/// reactor reads it, while *any* reactor may write a completion to it
+/// (serialized by the write half's mutex).
+struct Conn {
+    id: u64,
+    /// Read half (owning reactor only).
+    stream: TcpStream,
+    /// Write half (any reactor, one writer at a time).
+    writer: Mutex<TcpStream>,
+    /// Bytes read but not yet terminated by `\n`.
+    partial: Mutex<Vec<u8>>,
+    /// Jobs submitted on this connection whose `done` line has not been
+    /// written yet.
+    in_flight: AtomicUsize,
+    /// Total `done` lines written on this connection (the `drained`
+    /// payload).
+    completed: AtomicU64,
+    /// A `drain` barrier is pending; reply when `in_flight` hits zero.
+    drain_pending: AtomicBool,
+    /// Cumulative microseconds reactors have spent waiting on this
+    /// connection's full send buffer.  A peer that reads too slowly
+    /// accumulates debt and is failed once it exceeds the stall budget
+    /// — bounding how long one client can wedge the shared reactors,
+    /// even if it trickle-reads just enough to finish each line.
+    stall_debt_micros: AtomicU64,
+    /// The connection failed (EOF, I/O error, protocol error); it is
+    /// reaped once its in-flight jobs have been consumed.
+    dead: AtomicBool,
+}
+
+impl Conn {
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Routing entry for one submitted job: which connection gets the
+/// response, under which client token, with how much payload.
+struct PendingReply {
+    conn: u64,
+    token: u64,
+    reply: ReplyMode,
+}
+
+/// Key of the server-side pattern cache: every field of the wire spec.
+type SpecKey = (usize, usize, usize, u64, u8, u64, u64);
+
+fn spec_key(s: &WireSpec) -> SpecKey {
+    let (dist_tag, dist_bits) = match s.dist {
+        crate::wire::WireDist::Uniform => (0u8, 0u64),
+        crate::wire::WireDist::Zipf(z) => (1, z.to_bits()),
+        crate::wire::WireDist::Clustered(w) => (2, w as u64),
+    };
+    (
+        s.elements,
+        s.iterations,
+        s.refs_per_iter,
+        s.coverage.to_bits(),
+        dist_tag,
+        dist_bits,
+        s.seed,
+    )
+}
+
+struct ServerShared {
+    rt: Arc<Runtime>,
+    set: CompletionSet,
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    pending: Mutex<HashMap<u64, PendingReply>>,
+    patterns: Mutex<HashMap<SpecKey, Arc<AccessPattern>>>,
+    next_global: AtomicU64,
+    next_conn: AtomicU64,
+    shutdown: AtomicBool,
+    cfg: ServerConfig,
+}
+
+impl ServerShared {
+    /// The cached (or freshly generated) pattern for a validated spec.
+    fn pattern_for(&self, spec: &WireSpec) -> Arc<AccessPattern> {
+        let key = spec_key(spec);
+        let mut cache = self.patterns.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(pat) = cache.get(&key) {
+            return pat.clone();
+        }
+        let pat = Arc::new(spec.to_pattern_spec().generate());
+        // Evict one arbitrary entry at capacity (never the whole map: a
+        // working set one larger than the cache must not regenerate
+        // every pattern — and lose the shared-Arc coalescing — per miss).
+        if cache.len() >= self.cfg.pattern_cache.max(1) {
+            if let Some(victim) = cache.keys().next().copied() {
+                cache.remove(&victim);
+            }
+        }
+        cache.insert(key, pat.clone());
+        pat
+    }
+
+    fn conn(&self, id: u64) -> Option<Arc<Conn>> {
+        self.conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&id)
+            .cloned()
+    }
+}
+
+/// The running network service.  Dropping it (or calling
+/// [`shutdown`](Server::shutdown)) stops accepting, lets already
+/// submitted jobs drain their `done` lines, closes every connection, and
+/// joins the acceptor and reactor threads.  The [`Runtime`] is shared,
+/// not owned: shutting the server down leaves the runtime serving
+/// in-process clients.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `rt` with the given configuration.
+    pub fn start(rt: Arc<Runtime>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let capacity = cfg.completion_capacity.max(2 * cfg.max_batch_jobs.max(1));
+        let reactors = cfg.reactors.max(1);
+        let shared = Arc::new(ServerShared {
+            rt,
+            set: CompletionSet::with_capacity(capacity),
+            conns: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            patterns: Mutex::new(HashMap::new()),
+            next_global: AtomicU64::new(1),
+            next_conn: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        let mut threads = Vec::with_capacity(reactors + 1);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("smartapps-acceptor".into())
+                    .spawn(move || acceptor_loop(&shared, listener))
+                    .expect("spawn acceptor"),
+            );
+        }
+        for r in 0..reactors {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("smartapps-reactor-{r}"))
+                    .spawn(move || reactor_loop(&shared, r, reactors))
+                    .expect("spawn reactor"),
+            );
+        }
+        Ok(Server {
+            local_addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `addr: …:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently registered.
+    pub fn connections(&self) -> usize {
+        self.shared
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// Stop accepting, drain every submitted job's response, close all
+    /// connections, and join the service threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn acceptor_loop(shared: &ServerShared, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let writer = match stream.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                let conn = Arc::new(Conn {
+                    id,
+                    stream,
+                    writer: Mutex::new(writer),
+                    partial: Mutex::new(Vec::new()),
+                    in_flight: AtomicUsize::new(0),
+                    completed: AtomicU64::new(0),
+                    drain_pending: AtomicBool::new(false),
+                    stall_debt_micros: AtomicU64::new(0),
+                    dead: AtomicBool::new(false),
+                });
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(id, conn);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn reactor_loop(shared: &ServerShared, id: usize, reactors: usize) {
+    loop {
+        let mut did_work = false;
+
+        // Demultiplex finished jobs back to their sockets (any reactor
+        // may deliver any completion).
+        for _ in 0..256 {
+            match shared.set.poll() {
+                Some(c) => {
+                    deliver(shared, c);
+                    did_work = true;
+                }
+                None => break,
+            }
+        }
+
+        // Read, parse, and submit from this reactor's own connections.
+        let owned: Vec<Arc<Conn>> = {
+            let conns = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
+            conns
+                .values()
+                .filter(|c| c.id as usize % reactors == id)
+                .cloned()
+                .collect()
+        };
+        for conn in &owned {
+            if !conn.dead.load(Ordering::Acquire) {
+                did_work |= service_reads(shared, conn);
+            }
+        }
+
+        // Reap dead connections whose responses have all been consumed.
+        {
+            let mut conns = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
+            conns.retain(|_, c| {
+                !(c.id as usize % reactors == id
+                    && c.dead.load(Ordering::Acquire)
+                    && c.in_flight.load(Ordering::Acquire) == 0)
+            });
+        }
+
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Drain phase: no new reads, but every job already submitted
+            // still gets its `done` line before the sockets close.
+            let outstanding = !shared
+                .pending
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty();
+            if !outstanding {
+                return;
+            }
+            if let Some(c) = shared.set.wait_timeout(Duration::from_millis(5)) {
+                deliver(shared, c);
+            }
+            continue;
+        }
+
+        if !did_work {
+            // Idle: sleep on the completion queue when jobs are in
+            // flight (a completion is the likeliest next event), plain
+            // sleep otherwise — either way the reactor never spins.
+            if shared.set.in_flight() > 0 {
+                if let Some(c) = shared.set.wait_timeout(Duration::from_millis(1)) {
+                    deliver(shared, c);
+                }
+            } else {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+/// Read whatever the socket has, split complete lines, handle each.
+/// Returns whether any byte was consumed.
+fn service_reads(shared: &ServerShared, conn: &Arc<Conn>) -> bool {
+    let mut any = false;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                conn.mark_dead();
+                return any;
+            }
+            Ok(n) => {
+                any = true;
+                let mut partial = conn.partial.lock().unwrap_or_else(|p| p.into_inner());
+                partial.extend_from_slice(&chunk[..n]);
+                if partial.len() > shared.cfg.max_line_bytes {
+                    drop(partial);
+                    protocol_error(conn, "request line too long");
+                    return any;
+                }
+                // Split out complete lines; keep the tail buffered.
+                let mut start = 0usize;
+                let mut lines: Vec<String> = Vec::new();
+                while let Some(nl) = partial[start..].iter().position(|&b| b == b'\n') {
+                    let line = String::from_utf8_lossy(&partial[start..start + nl]).into_owned();
+                    lines.push(line);
+                    start += nl + 1;
+                }
+                partial.drain(..start);
+                drop(partial);
+                for line in lines {
+                    if conn.dead.load(Ordering::Acquire) {
+                        break;
+                    }
+                    handle_line(shared, conn, line.trim_end_matches('\r'));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return any,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.mark_dead();
+                return any;
+            }
+        }
+    }
+}
+
+fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
+    if line.is_empty() {
+        return;
+    }
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            protocol_error(conn, &format!("bad request: {e}"));
+            return;
+        }
+    };
+    match request {
+        Request::Submit(args) => submit_jobs(shared, conn, vec![args]),
+        Request::Batch(jobs) => {
+            if jobs.len() > shared.cfg.max_batch_jobs {
+                protocol_error(
+                    conn,
+                    &format!(
+                        "batch of {} exceeds the {}-job limit",
+                        jobs.len(),
+                        shared.cfg.max_batch_jobs
+                    ),
+                );
+                return;
+            }
+            submit_jobs(shared, conn, jobs);
+        }
+        Request::Stats => {
+            let s = shared.rt.stats();
+            let pairs = vec![
+                ("submitted".to_string(), s.submitted),
+                ("completed".to_string(), s.completed),
+                ("batches".to_string(), s.batches),
+                ("coalesced".to_string(), s.coalesced),
+                ("profile_hits".to_string(), s.profile_hits),
+                ("inspections".to_string(), s.inspections),
+                ("evictions".to_string(), s.evictions),
+                ("steals".to_string(), s.steals),
+                ("fused_sweeps".to_string(), s.fused_sweeps),
+                ("fused_jobs".to_string(), s.fused_jobs),
+                ("pclr_offloads".to_string(), s.pclr_offloads),
+                ("sim_cycles".to_string(), s.sim_cycles),
+                ("calibration_updates".to_string(), s.calibration_updates),
+                ("explored".to_string(), s.explored),
+                ("fuse_probes".to_string(), s.fuse_probes),
+                ("quarantined".to_string(), s.quarantined),
+            ];
+            write_response(conn, &Response::Stats(pairs));
+        }
+        Request::Drain => {
+            // The barrier closes when in_flight hits zero.  Order
+            // matters: arm the flag first, then check, so a completion
+            // racing this request either sees the flag or leaves
+            // in_flight nonzero for us to see.
+            conn.drain_pending.store(true, Ordering::SeqCst);
+            if conn.in_flight.load(Ordering::SeqCst) == 0
+                && conn.drain_pending.swap(false, Ordering::SeqCst)
+            {
+                write_response(
+                    conn,
+                    &Response::Drained(conn.completed.load(Ordering::Relaxed)),
+                );
+            }
+        }
+        Request::Unquarantine(sig) => {
+            let found = shared.rt.unquarantine(PatternSignature(sig));
+            write_response(conn, &Response::Unquarantined(found));
+        }
+    }
+}
+
+/// Validate, admit, and submit a group of jobs as one runtime batch.
+/// Invalid members fail with `done … err rejected` without reaching the
+/// runtime; valid members ride `submit_batch_tagged` so same-class
+/// members coalesce (and same-spec members can fuse) server-side.
+fn submit_jobs(shared: &ServerShared, conn: &Arc<Conn>, jobs: Vec<SubmitArgs>) {
+    let mut accepted: Vec<(u64, JobSpec)> = Vec::with_capacity(jobs.len());
+    for args in jobs {
+        if let Err(e) = args.spec.validate() {
+            reject(conn, args.token, &e);
+            continue;
+        }
+        if args.spec.total_refs() > shared.cfg.max_refs_per_job {
+            reject(
+                conn,
+                args.token,
+                &format!(
+                    "job of {} references exceeds the {}-reference admission cap",
+                    args.spec.total_refs(),
+                    shared.cfg.max_refs_per_job
+                ),
+            );
+            continue;
+        }
+        let pattern = shared.pattern_for(&args.spec);
+        let body = move |_i: usize, r: usize| smartapps_workloads::contribution_i64(r);
+        let spec = match args.body {
+            WireBody::Sum => JobSpec::i64(pattern, body),
+            WireBody::Mul(k) => JobSpec::i64(pattern, move |_i, r| {
+                smartapps_workloads::contribution_i64(r).wrapping_mul(k)
+            }),
+            WireBody::Panic => JobSpec::i64(pattern, |_i, _r| -> i64 {
+                panic!("wire-requested panic body")
+            }),
+        };
+        let global = shared.next_global.fetch_add(1, Ordering::Relaxed);
+        shared
+            .pending
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(
+                global,
+                PendingReply {
+                    conn: conn.id,
+                    token: args.token,
+                    reply: args.reply,
+                },
+            );
+        conn.in_flight.fetch_add(1, Ordering::SeqCst);
+        accepted.push((global, spec));
+    }
+    if !accepted.is_empty() {
+        shared.rt.submit_batch_tagged(accepted, &shared.set);
+    }
+}
+
+/// Fail one submission before it reaches the runtime.
+fn reject(conn: &Arc<Conn>, token: u64, message: &str) {
+    write_response(
+        conn,
+        &Response::Done(DoneMsg {
+            token,
+            outcome: DoneOutcome::Err {
+                kind: "rejected".into(),
+                signature: 0,
+                message: message.to_string(),
+            },
+        }),
+    );
+    conn.completed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Route one completion from the shared set back to its socket.
+fn deliver(shared: &ServerShared, completion: Completion) {
+    let Some(PendingReply { conn, token, reply }) = shared
+        .pending
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .remove(&completion.token)
+    else {
+        return; // unknown global token: nothing to route
+    };
+    let Some(conn) = shared.conn(conn) else {
+        return; // connection was reaped; drop the response
+    };
+    let r = completion.result;
+    let outcome = match r.error {
+        Some(e) => DoneOutcome::Err {
+            kind: e.kind.as_str().to_string(),
+            signature: completion.signature.0,
+            message: e.message,
+        },
+        None => {
+            let values = r.output.as_i64().map(<[i64]>::to_vec).unwrap_or_default();
+            DoneOutcome::Ok {
+                scheme: r.scheme.abbrev().to_string(),
+                elapsed_ns: r.elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                profile_hit: r.profile_hit,
+                fused_with: r.fused_with,
+                batched_with: r.batched_with,
+                payload: match reply {
+                    ReplyMode::Ack => Payload::Checksum {
+                        len: values.len(),
+                        sum: checksum(&values),
+                    },
+                    ReplyMode::Full => Payload::Full(values),
+                },
+            }
+        }
+    };
+    if !conn.dead.load(Ordering::Acquire) {
+        write_response(&conn, &Response::Done(DoneMsg { token, outcome }));
+    }
+    conn.completed.fetch_add(1, Ordering::Relaxed);
+    let left = conn.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+    if left == 0
+        && conn.drain_pending.swap(false, Ordering::SeqCst)
+        && !conn.dead.load(Ordering::Acquire)
+    {
+        write_response(
+            &conn,
+            &Response::Drained(conn.completed.load(Ordering::Relaxed)),
+        );
+    }
+}
+
+/// Protocol-level failure: tell the client why, then fail the connection.
+fn protocol_error(conn: &Arc<Conn>, message: &str) {
+    write_response(conn, &Response::Error(message.to_string()));
+    conn.mark_dead();
+}
+
+/// Total stall (across all lines) one connection may inflict on the
+/// shared reactors before it is failed.  Debt decays on stall-free
+/// writes, so a briefly slow but otherwise healthy peer recovers; a
+/// trickle-reader that stalls every line cannot reset it and dies
+/// within the budget no matter how it paces its reads.
+const WRITE_STALL_BUDGET: Duration = Duration::from_secs(5);
+
+/// Write one response line, handling the nonblocking socket's partial
+/// writes.  Stall time (the peer's send buffer full) is charged against
+/// the connection's cumulative [`WRITE_STALL_BUDGET`]; exceeding it
+/// fails the connection instead of wedging the reactors — any reactor
+/// may deliver to any socket, so an unbounded per-line grace would let
+/// one slow reader stall completion draining service-wide.
+fn write_response(conn: &Conn, response: &Response) {
+    let mut line = response.encode();
+    line.push('\n');
+    let bytes = line.as_bytes();
+    let mut written = 0usize;
+    let mut stalled = Duration::ZERO;
+    let budget = WRITE_STALL_BUDGET.saturating_sub(Duration::from_micros(
+        conn.stall_debt_micros.load(Ordering::Relaxed),
+    ));
+    let mut w = conn.writer.lock().unwrap_or_else(|p| p.into_inner());
+    while written < bytes.len() {
+        match w.write(&bytes[written..]) {
+            Ok(0) => {
+                conn.mark_dead();
+                return;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if stalled >= budget {
+                    conn.mark_dead();
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+                stalled += Duration::from_micros(100);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.mark_dead();
+                return;
+            }
+        }
+    }
+    drop(w);
+    if stalled.is_zero() {
+        // A stall-free line halves the accumulated debt.
+        let debt = conn.stall_debt_micros.load(Ordering::Relaxed);
+        if debt > 0 {
+            conn.stall_debt_micros.store(debt / 2, Ordering::Relaxed);
+        }
+    } else {
+        conn.stall_debt_micros.fetch_add(
+            stalled.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+}

@@ -1,0 +1,754 @@
+//! The wire protocol: line-oriented request/response grammar spoken
+//! between [`Client`](crate::Client) and [`Server`](crate::Server).
+//!
+//! Every message is one UTF-8 line (`\n`-terminated, space-separated
+//! fields) — human-readable, `nc`-debuggable, and stateless per line
+//! (a `batch` request carries its jobs inline rather than spanning
+//! lines).  The full grammar is specified in `docs/SERVER.md`.
+//!
+//! Job *bodies* cannot cross a network boundary as closures, so the
+//! protocol describes jobs declaratively: a [`WireSpec`] names a
+//! deterministic generated access pattern (the same `PatternSpec`
+//! parameters the workloads crate uses) and a [`WireBody`] names one of
+//! the server's built-in contribution functions.  Two clients sending
+//! the same spec share one server-side pattern allocation, which is what
+//! lets their jobs coalesce — and fuse — exactly like in-process
+//! submissions.
+//!
+//! The types carry `serde` derives for source-compatibility with the
+//! real crates; in this offline build the vendored stand-in expands
+//! them to nothing, so encoding/decoding is explicit (`encode`/`parse`
+//! pairs, round-trip tested below) just like the runtime's
+//! `ProfileStore` text format.
+
+use serde::{Deserialize, Serialize};
+use smartapps_workloads::{Distribution, PatternSpec};
+
+/// Generated-pattern description a job reduces over (the wire form of
+/// `PatternSpec`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireSpec {
+    /// Reduction array dimension.
+    pub elements: usize,
+    /// Loop iteration count.
+    pub iterations: usize,
+    /// Reduction references per iteration.
+    pub refs_per_iter: usize,
+    /// Fraction of elements eligible to be referenced, in `(0, 1]`.
+    pub coverage: f64,
+    /// Contention shape.
+    pub dist: WireDist,
+    /// RNG seed (patterns are deterministic given the spec).
+    pub seed: u64,
+}
+
+impl WireSpec {
+    /// The corresponding generator spec.
+    pub fn to_pattern_spec(self) -> PatternSpec {
+        PatternSpec {
+            num_elements: self.elements,
+            iterations: self.iterations,
+            refs_per_iter: self.refs_per_iter,
+            coverage: self.coverage,
+            dist: match self.dist {
+                WireDist::Uniform => Distribution::Uniform,
+                WireDist::Zipf(s) => Distribution::Zipf { s },
+                WireDist::Clustered(window) => Distribution::Clustered { window },
+            },
+            seed: self.seed,
+        }
+    }
+
+    /// Total reduction references the pattern will carry (admission-cap
+    /// input; must not overflow into a bogus small number).
+    pub fn total_refs(&self) -> usize {
+        self.iterations.saturating_mul(self.refs_per_iter)
+    }
+
+    /// Validate ranges the generator would otherwise `assert!` on — the
+    /// server must reject these at parse time, not panic on a reactor.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.elements == 0 {
+            return Err("elements must be >= 1".into());
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be >= 1".into());
+        }
+        if self.refs_per_iter == 0 {
+            return Err("refs_per_iter must be >= 1".into());
+        }
+        if !(self.coverage > 0.0 && self.coverage <= 1.0) {
+            return Err(format!("coverage must be in (0,1], got {}", self.coverage));
+        }
+        if let WireDist::Zipf(s) = self.dist {
+            if !s.is_finite() || s < 0.0 {
+                return Err(format!("zipf exponent must be finite and >= 0, got {s}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wire form of the pattern generator's contention shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WireDist {
+    /// Uniform over the active set.
+    Uniform,
+    /// Zipf-skewed with the given exponent.
+    Zipf(f64),
+    /// Spatially clustered with the given window radius.
+    Clustered(u32),
+}
+
+impl WireDist {
+    fn encode(self) -> String {
+        match self {
+            WireDist::Uniform => "uniform".into(),
+            WireDist::Zipf(s) => format!("zipf:{s}"),
+            WireDist::Clustered(w) => format!("clustered:{w}"),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        if s == "uniform" {
+            return Ok(WireDist::Uniform);
+        }
+        if let Some(rest) = s.strip_prefix("zipf:") {
+            let v: f64 = rest
+                .parse()
+                .map_err(|_| format!("bad zipf exponent {rest}"))?;
+            return Ok(WireDist::Zipf(v));
+        }
+        if let Some(rest) = s.strip_prefix("clustered:") {
+            let v: u32 = rest
+                .parse()
+                .map_err(|_| format!("bad clustered window {rest}"))?;
+            return Ok(WireDist::Clustered(v));
+        }
+        Err(format!("unknown distribution {s}"))
+    }
+}
+
+/// Which built-in i64 contribution function the job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireBody {
+    /// The workloads crate's standard `contribution_i64`.
+    Sum,
+    /// `contribution_i64` scaled by a constant (distinct outputs for
+    /// fused-sweep members without distinct code).
+    Mul(i64),
+    /// A body that panics on its first invocation — the failure-channel
+    /// test hook (drives `Panic` errors and, in streaks, quarantine).
+    Panic,
+}
+
+impl WireBody {
+    fn encode(self) -> String {
+        match self {
+            WireBody::Sum => "sum".into(),
+            WireBody::Mul(k) => format!("mul:{k}"),
+            WireBody::Panic => "panic".into(),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "sum" => Ok(WireBody::Sum),
+            "panic" => Ok(WireBody::Panic),
+            _ => match s.strip_prefix("mul:") {
+                Some(rest) => rest
+                    .parse()
+                    .map(WireBody::Mul)
+                    .map_err(|_| format!("bad mul factor {rest}")),
+                None => Err(format!("unknown body {s}")),
+            },
+        }
+    }
+}
+
+/// How much of the result the `done` response carries back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplyMode {
+    /// Length + wrapping-sum checksum only (the loadgen mode: verifiable
+    /// without shipping the array).
+    Ack,
+    /// Every output value (the oracle-comparison mode).
+    Full,
+}
+
+impl ReplyMode {
+    fn encode(self) -> &'static str {
+        match self {
+            ReplyMode::Ack => "ack",
+            ReplyMode::Full => "full",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "ack" => Ok(ReplyMode::Ack),
+            "full" => Ok(ReplyMode::Full),
+            _ => Err(format!("unknown reply mode {s}")),
+        }
+    }
+}
+
+/// One job submission: the client-chosen token echoed on the `done`
+/// response, the reply mode, the body, and the pattern spec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubmitArgs {
+    /// Client-chosen correlation tag; the server treats it as opaque and
+    /// echoes it exactly once per submission.
+    pub token: u64,
+    /// How much of the result to send back.
+    pub reply: ReplyMode,
+    /// Which built-in contribution function runs.
+    pub body: WireBody,
+    /// The access pattern to reduce over.
+    pub spec: WireSpec,
+}
+
+impl SubmitArgs {
+    fn encode_fields(&self) -> String {
+        format!(
+            "{} {} {} {} {} {} {} {} {}",
+            self.token,
+            self.reply.encode(),
+            self.body.encode(),
+            self.spec.elements,
+            self.spec.iterations,
+            self.spec.refs_per_iter,
+            self.spec.coverage,
+            self.spec.dist.encode(),
+            self.spec.seed
+        )
+    }
+
+    /// Parse the 9 submit fields from a token-first field slice.
+    fn parse_fields(f: &[&str]) -> Result<SubmitArgs, String> {
+        if f.len() != 9 {
+            return Err(format!("submit takes 9 fields, got {}", f.len()));
+        }
+        let token = f[0].parse().map_err(|_| format!("bad token {}", f[0]))?;
+        let reply = ReplyMode::parse(f[1])?;
+        let body = WireBody::parse(f[2])?;
+        let spec = WireSpec {
+            elements: f[3].parse().map_err(|_| format!("bad elements {}", f[3]))?,
+            iterations: f[4]
+                .parse()
+                .map_err(|_| format!("bad iterations {}", f[4]))?,
+            refs_per_iter: f[5].parse().map_err(|_| format!("bad refs {}", f[5]))?,
+            coverage: f[6].parse().map_err(|_| format!("bad coverage {}", f[6]))?,
+            dist: WireDist::parse(f[7])?,
+            seed: f[8].parse().map_err(|_| format!("bad seed {}", f[8]))?,
+        };
+        if !spec.coverage.is_finite() {
+            return Err("coverage must be finite".into());
+        }
+        Ok(SubmitArgs {
+            token,
+            reply,
+            body,
+            spec,
+        })
+    }
+}
+
+/// A client→server request (one line each).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit one job.
+    Submit(SubmitArgs),
+    /// Submit several jobs in one request; same-class members coalesce
+    /// (and same-spec members can fuse) exactly like an in-process
+    /// `submit_batch`.
+    Batch(Vec<SubmitArgs>),
+    /// Snapshot the runtime's service counters.
+    Stats,
+    /// Reply `drained` once every job submitted on this connection has
+    /// completed (a per-connection flush barrier).
+    Drain,
+    /// Lift the poisoned-class quarantine of a signature (hex, as
+    /// reported by `done ... err quarantined` messages' class field —
+    /// see `docs/SERVER.md`).
+    Unquarantine(u64),
+}
+
+impl Request {
+    /// Render the request as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit(a) => format!("submit {}", a.encode_fields()),
+            Request::Batch(jobs) => {
+                let mut s = format!("batch {}", jobs.len());
+                for j in jobs {
+                    s.push(' ');
+                    s.push_str(&j.encode_fields());
+                }
+                s
+            }
+            Request::Stats => "stats".into(),
+            Request::Drain => "drain".into(),
+            Request::Unquarantine(sig) => format!("unquarantine {sig:016x}"),
+        }
+    }
+
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let f: Vec<&str> = line.split_ascii_whitespace().collect();
+        match f.split_first() {
+            Some((&"submit", rest)) => SubmitArgs::parse_fields(rest).map(Request::Submit),
+            Some((&"batch", rest)) => {
+                let (&count, rest) = rest.split_first().ok_or("batch needs a count")?;
+                let n: usize = count
+                    .parse()
+                    .map_err(|_| format!("bad batch count {count}"))?;
+                if n == 0 {
+                    return Err("batch count must be >= 1".into());
+                }
+                if rest.len() != n * 9 {
+                    return Err(format!(
+                        "batch {n} takes {} fields, got {}",
+                        n * 9,
+                        rest.len()
+                    ));
+                }
+                rest.chunks(9)
+                    .map(SubmitArgs::parse_fields)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(Request::Batch)
+            }
+            Some((&"stats", [])) => Ok(Request::Stats),
+            Some((&"drain", [])) => Ok(Request::Drain),
+            Some((&"unquarantine", [sig])) => u64::from_str_radix(sig, 16)
+                .map(Request::Unquarantine)
+                .map_err(|_| format!("bad signature {sig}")),
+            Some((verb, _)) => Err(format!("unknown or malformed request {verb}")),
+            None => Err("empty request".into()),
+        }
+    }
+}
+
+/// Result payload of a successful job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Output length plus wrapping-sum checksum ([`ReplyMode::Ack`]).
+    Checksum {
+        /// Number of reduction elements.
+        len: usize,
+        /// Wrapping sum of all output values.
+        sum: i64,
+    },
+    /// The full output array ([`ReplyMode::Full`]).
+    Full(Vec<i64>),
+}
+
+/// Wrapping-sum checksum of an output array (what
+/// [`Payload::Checksum`] carries).
+pub fn checksum(values: &[i64]) -> i64 {
+    values.iter().fold(0i64, |a, &v| a.wrapping_add(v))
+}
+
+/// One finished job, as reported on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoneMsg {
+    /// The client's token, echoed.
+    pub token: u64,
+    /// What happened.
+    pub outcome: DoneOutcome,
+}
+
+/// The two shapes of a `done` line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DoneOutcome {
+    /// The job executed cleanly.
+    Ok {
+        /// Scheme abbreviation the dispatcher executed (`rep`, `hash`, …).
+        scheme: String,
+        /// The execution's cost sample in nanoseconds.
+        elapsed_ns: u64,
+        /// Whether the decision came from the profile store.
+        profile_hit: bool,
+        /// Group-mates sharing the job's fused sweep.
+        fused_with: usize,
+        /// Group-mates sharing the job's dispatch batch.
+        batched_with: usize,
+        /// The result payload, per the submission's [`ReplyMode`].
+        payload: Payload,
+    },
+    /// The job failed.
+    Err {
+        /// Stable [`JobErrorKind`](smartapps_runtime::JobErrorKind) name
+        /// (`panic`, `rejected`, `shutdown`, `quarantined`).
+        kind: String,
+        /// The signature the job was queued under (`0` when rejected
+        /// before queueing) — the argument `unquarantine` takes.
+        signature: u64,
+        /// Human-readable detail; spaces allowed (last field on the line).
+        message: String,
+    },
+}
+
+/// A server→client response (one line each).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// One finished job.
+    Done(DoneMsg),
+    /// Service-counter snapshot as ordered `key=value` pairs.
+    Stats(Vec<(String, u64)>),
+    /// The connection's flush barrier: every job submitted before the
+    /// `drain` has completed; the payload is the total jobs completed on
+    /// this connection so far.
+    Drained(u64),
+    /// Whether the `unquarantine` found ledger state to clear.
+    Unquarantined(bool),
+    /// Protocol-level failure (unparsable line, oversized job, …); the
+    /// server closes the connection after sending it.
+    Error(String),
+}
+
+impl Response {
+    /// Render the response as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Done(DoneMsg { token, outcome }) => match outcome {
+                DoneOutcome::Ok {
+                    scheme,
+                    elapsed_ns,
+                    profile_hit,
+                    fused_with,
+                    batched_with,
+                    payload,
+                } => {
+                    let head = format!(
+                        "done {token} ok {scheme} {elapsed_ns} {} {fused_with} {batched_with}",
+                        u8::from(*profile_hit)
+                    );
+                    match payload {
+                        Payload::Checksum { len, sum } => format!("{head} sum {len} {sum}"),
+                        Payload::Full(values) => {
+                            let mut s = format!("{head} full {}", values.len());
+                            for v in values {
+                                s.push(' ');
+                                s.push_str(&v.to_string());
+                            }
+                            s
+                        }
+                    }
+                }
+                DoneOutcome::Err {
+                    kind,
+                    signature,
+                    message,
+                } => format!("done {token} err {kind} {signature:016x} {message}"),
+            },
+            Response::Stats(pairs) => {
+                let mut s = "stats".to_string();
+                for (k, v) in pairs {
+                    s.push(' ');
+                    s.push_str(k);
+                    s.push('=');
+                    s.push_str(&v.to_string());
+                }
+                s
+            }
+            Response::Drained(n) => format!("drained {n}"),
+            Response::Unquarantined(found) => format!("unquarantined {}", u8::from(*found)),
+            Response::Error(msg) => format!("err {msg}"),
+        }
+    }
+
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match verb {
+            "done" => Self::parse_done(rest).map(Response::Done),
+            "stats" => rest
+                .split_ascii_whitespace()
+                .map(|pair| {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or(format!("bad stat pair {pair}"))?;
+                    let v: u64 = v.parse().map_err(|_| format!("bad stat value {pair}"))?;
+                    Ok((k.to_string(), v))
+                })
+                .collect::<Result<Vec<_>, String>>()
+                .map(Response::Stats),
+            "drained" => rest
+                .trim()
+                .parse()
+                .map(Response::Drained)
+                .map_err(|_| format!("bad drained count {rest}")),
+            "unquarantined" => match rest.trim() {
+                "0" => Ok(Response::Unquarantined(false)),
+                "1" => Ok(Response::Unquarantined(true)),
+                other => Err(format!("bad unquarantined flag {other}")),
+            },
+            "err" => Ok(Response::Error(rest.to_string())),
+            other => Err(format!("unknown response {other}")),
+        }
+    }
+
+    fn parse_done(rest: &str) -> Result<DoneMsg, String> {
+        let f: Vec<&str> = rest.splitn(3, ' ').collect();
+        let [token, status, tail] = f[..] else {
+            return Err(format!("truncated done line: {rest}"));
+        };
+        let token: u64 = token.parse().map_err(|_| format!("bad token {token}"))?;
+        match status {
+            "ok" => {
+                let f: Vec<&str> = tail.split_ascii_whitespace().collect();
+                if f.len() < 7 {
+                    return Err(format!("truncated done-ok line: {tail}"));
+                }
+                let scheme = f[0].to_string();
+                let elapsed_ns: u64 = f[1].parse().map_err(|_| format!("bad elapsed {}", f[1]))?;
+                let profile_hit = match f[2] {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bad profile_hit {other}")),
+                };
+                let fused_with: usize = f[3]
+                    .parse()
+                    .map_err(|_| format!("bad fused_with {}", f[3]))?;
+                let batched_with: usize = f[4]
+                    .parse()
+                    .map_err(|_| format!("bad batched_with {}", f[4]))?;
+                let len: usize = f[6].parse().map_err(|_| format!("bad length {}", f[6]))?;
+                let payload = match f[5] {
+                    "sum" => {
+                        if f.len() != 8 {
+                            return Err("sum payload takes len + checksum".into());
+                        }
+                        Payload::Checksum {
+                            len,
+                            sum: f[7].parse().map_err(|_| format!("bad checksum {}", f[7]))?,
+                        }
+                    }
+                    "full" => {
+                        if f.len() != 7 + len {
+                            return Err(format!(
+                                "full payload declares {len} values, got {}",
+                                f.len() - 7
+                            ));
+                        }
+                        Payload::Full(
+                            f[7..]
+                                .iter()
+                                .map(|v| v.parse().map_err(|_| format!("bad value {v}")))
+                                .collect::<Result<Vec<i64>, String>>()?,
+                        )
+                    }
+                    other => return Err(format!("unknown payload kind {other}")),
+                };
+                Ok(DoneMsg {
+                    token,
+                    outcome: DoneOutcome::Ok {
+                        scheme,
+                        elapsed_ns,
+                        profile_hit,
+                        fused_with,
+                        batched_with,
+                        payload,
+                    },
+                })
+            }
+            "err" => {
+                let f: Vec<&str> = tail.splitn(3, ' ').collect();
+                let [kind, signature, message] = f[..] else {
+                    return Err(format!("truncated done-err line: {tail}"));
+                };
+                let signature = u64::from_str_radix(signature, 16)
+                    .map_err(|_| format!("bad signature {signature}"))?;
+                Ok(DoneMsg {
+                    token,
+                    outcome: DoneOutcome::Err {
+                        kind: kind.to_string(),
+                        signature,
+                        message: message.to_string(),
+                    },
+                })
+            }
+            other => Err(format!("unknown done status {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WireSpec {
+        WireSpec {
+            elements: 512,
+            iterations: 900,
+            refs_per_iter: 2,
+            coverage: 0.75,
+            dist: WireDist::Zipf(1.1),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let args = SubmitArgs {
+            token: 41,
+            reply: ReplyMode::Full,
+            body: WireBody::Mul(-3),
+            spec: spec(),
+        };
+        for req in [
+            Request::Submit(args),
+            Request::Batch(vec![
+                args,
+                SubmitArgs {
+                    token: 42,
+                    reply: ReplyMode::Ack,
+                    body: WireBody::Sum,
+                    spec: WireSpec {
+                        dist: WireDist::Clustered(16),
+                        ..spec()
+                    },
+                },
+            ]),
+            Request::Stats,
+            Request::Drain,
+            Request::Unquarantine(0xdead_beef_0042),
+        ] {
+            let line = req.encode();
+            assert_eq!(Request::parse(&line).as_ref(), Ok(&req), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Done(DoneMsg {
+                token: 9,
+                outcome: DoneOutcome::Ok {
+                    scheme: "hash".into(),
+                    elapsed_ns: 123_456,
+                    profile_hit: true,
+                    fused_with: 5,
+                    batched_with: 7,
+                    payload: Payload::Checksum { len: 512, sum: -17 },
+                },
+            }),
+            Response::Done(DoneMsg {
+                token: 10,
+                outcome: DoneOutcome::Ok {
+                    scheme: "rep".into(),
+                    elapsed_ns: 1,
+                    profile_hit: false,
+                    fused_with: 0,
+                    batched_with: 0,
+                    payload: Payload::Full(vec![1, -2, 3]),
+                },
+            }),
+            Response::Done(DoneMsg {
+                token: 11,
+                outcome: DoneOutcome::Err {
+                    kind: "panic".into(),
+                    signature: 0xabc,
+                    message: "bad row 7 of 9".into(),
+                },
+            }),
+            Response::Stats(vec![("submitted".into(), 12), ("completed".into(), 12)]),
+            Response::Drained(40),
+            Response::Unquarantined(true),
+            Response::Error("line too long".into()),
+        ] {
+            let line = resp.encode();
+            assert_eq!(Response::parse(&line).as_ref(), Ok(&resp), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for line in [
+            "",
+            "submit",
+            "submit 1 ack sum 0 900 2 0.75 uniform 7", // elements 0 OK at parse...
+            "submit x ack sum 512 900 2 0.75 uniform 7", // bad token
+            "submit 1 nope sum 512 900 2 0.75 uniform 7", // bad reply
+            "submit 1 ack warp 512 900 2 0.75 uniform 7", // bad body
+            "submit 1 ack sum 512 900 2 1.5e nope 7",  // bad coverage/dist
+            "batch 2 1 ack sum 512 900 2 0.75 uniform 7", // short batch
+            "batch x",                                 // bad count
+            "stats now",                               // trailing junk
+            "unquarantine zz",                         // bad hex
+            "warp 9",                                  // unknown verb
+        ] {
+            // Line 3 parses (validation is a separate step); all others fail.
+            let parsed = Request::parse(line);
+            if line.starts_with("submit 1 ack sum 0") {
+                let Ok(Request::Submit(args)) = parsed else {
+                    panic!("zero-element submit should parse, validation rejects it")
+                };
+                assert!(args.spec.validate().is_err());
+            } else {
+                assert!(parsed.is_err(), "should reject: {line}");
+            }
+        }
+        for line in [
+            "done",
+            "done 9 ok",
+            "done 9 ok hash 1 2 0 0 sum 1", // bad profile_hit field
+            "done 9 ok hash 1 1 0 0 full 3 1 2", // undersized full payload
+            "done 9 err panic",
+            "drained x",
+            "unquarantined 2",
+            "bogus",
+        ] {
+            assert!(Response::parse(line).is_err(), "should reject: {line}");
+        }
+    }
+
+    #[test]
+    fn spec_validation_bounds() {
+        assert!(spec().validate().is_ok());
+        assert!(WireSpec {
+            coverage: 0.0,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(WireSpec {
+            coverage: f64::NAN,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(WireSpec {
+            iterations: 0,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(WireSpec {
+            dist: WireDist::Zipf(f64::INFINITY),
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert_eq!(spec().total_refs(), 1800);
+        assert_eq!(
+            WireSpec {
+                iterations: usize::MAX,
+                refs_per_iter: 3,
+                ..spec()
+            }
+            .total_refs(),
+            usize::MAX,
+            "ref accounting must saturate, not wrap"
+        );
+    }
+
+    #[test]
+    fn checksum_wraps() {
+        assert_eq!(checksum(&[1, 2, 3]), 6);
+        assert_eq!(checksum(&[i64::MAX, 1]), i64::MIN);
+        assert_eq!(checksum(&[]), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The reduction service over TCP: start a `smartapps-server` in-process,
+//! connect a wire-protocol `Client`, submit a batch, and read the stats.
+//!
+//! ```sh
+//! cargo run --release --example network_service
+//! ```
+//!
+//! This is the out-of-process shape of `examples/reduction_service.rs`:
+//! the same runtime, but driven through the line protocol an external
+//! client would speak, served by a fixed thread set (acceptor + reactors)
+//! demultiplexing one shared completion queue — no thread per client, no
+//! thread per job.
+
+use smartapps::runtime::{Runtime, RuntimeConfig};
+use smartapps::server::{
+    Client, DoneOutcome, Payload, ReplyMode, Server, ServerConfig, SubmitArgs, WireBody, WireDist,
+    WireSpec,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // The service: a runtime with the poisoned-class quarantine armed,
+    // fronted by a TCP server on an ephemeral loopback port.
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers: 2,
+        quarantine_after: 2,
+        quarantine_ttl: Duration::from_secs(30),
+        ..RuntimeConfig::default()
+    }));
+    let server = Server::start(rt.clone(), ServerConfig::default()).expect("start server");
+    println!("serving on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let spec = WireSpec {
+        elements: 1024,
+        iterations: 2000,
+        refs_per_iter: 2,
+        coverage: 0.8,
+        dist: WireDist::Uniform,
+        seed: 17,
+    };
+
+    // A batch of 8 jobs over one pattern: same class, so they coalesce
+    // into shared dispatch batches server-side; the `mul:k` bodies give
+    // each member a distinct (still verifiable) output.
+    let jobs: Vec<SubmitArgs> = (0..8)
+        .map(|k| SubmitArgs {
+            token: k,
+            reply: ReplyMode::Ack,
+            body: if k == 0 {
+                WireBody::Sum
+            } else {
+                WireBody::Mul(k as i64 + 1)
+            },
+            spec,
+        })
+        .collect();
+    client.submit_batch(jobs).expect("submit batch");
+
+    // The flush barrier: returns once all 8 `done` lines are in.
+    let completed = client.drain().expect("drain");
+    println!("connection drained after {completed} jobs");
+    for _ in 0..8 {
+        let done = client.next_done().expect("next_done");
+        match done.outcome {
+            DoneOutcome::Ok {
+                scheme,
+                elapsed_ns,
+                batched_with,
+                payload: Payload::Checksum { len, sum },
+                ..
+            } => println!(
+                "  token {:>2}: ok scheme={scheme} elapsed={:>9}ns batched_with={batched_with} \
+                 len={len} checksum={sum}",
+                done.token, elapsed_ns
+            ),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    // The service counters, over the wire.
+    let stats = client.stats().expect("stats");
+    let get = |k: &str| stats.iter().find(|(n, _)| n == k).map_or(0, |(_, v)| *v);
+    println!(
+        "stats: submitted={} completed={} batches={} coalesced={} fused_jobs={}",
+        get("submitted"),
+        get("completed"),
+        get("batches"),
+        get("coalesced"),
+        get("fused_jobs"),
+    );
+    assert_eq!(get("submitted"), 8);
+    assert_eq!(get("completed"), 8);
+
+    server.shutdown();
+    println!("server drained and stopped; runtime still serves in-process callers");
+    let stats = rt.stats();
+    assert_eq!(stats.completed, 8);
+}

@@ -54,7 +54,13 @@
 //!   with the same pattern signature into one scheme decision;
 //! * a **cross-run profile store** persists signature → scheme +
 //!   calibration to disk at shutdown, so a restarted service skips full
-//!   inspection for workloads it has already learned.
+//!   inspection for workloads it has already learned;
+//! * a **completion-driven frontend** (`Runtime::submit_tagged` + a
+//!   shared `CompletionSet`) multiplexes thousands of in-flight jobs
+//!   onto one consumer thread, which [`server`] (`smartapps-server`)
+//!   turns into a TCP network service: an acceptor plus a fixed reactor
+//!   set serve any number of clients — no thread per client anywhere
+//!   (see `docs/SERVER.md` and the `netload` loadgen).
 //!
 //! ```
 //! use smartapps::prelude::*;
@@ -73,6 +79,7 @@
 pub use smartapps_core as core;
 pub use smartapps_reductions as reductions;
 pub use smartapps_runtime as runtime;
+pub use smartapps_server as server;
 pub use smartapps_sim as sim;
 pub use smartapps_specpar as specpar;
 pub use smartapps_workloads as workloads;

@@ -18,9 +18,12 @@
 //! [`JobError`]: smartapps::runtime::JobError
 //! [`JobHandle::try_wait`]: smartapps::runtime::JobHandle::try_wait
 
-use smartapps::runtime::{JobErrorKind, JobHandle, JobSpec, Runtime, RuntimeConfig};
+use smartapps::runtime::{
+    Completion, CompletionSet, JobErrorKind, JobHandle, JobSpec, Runtime, RuntimeConfig,
+};
 use smartapps::workloads::pattern::sequential_reduce_i64;
 use smartapps::workloads::{contribution_i64, AccessPattern, Distribution, PatternSpec};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -158,6 +161,9 @@ fn storm_with_panics_and_mid_storm_shutdown_loses_no_handle() {
                                 JobErrorKind::Rejected => {
                                     rejected.fetch_add(1, Ordering::Relaxed);
                                 }
+                                JobErrorKind::Quarantined => {
+                                    panic!("quarantine is disabled in this storm: {e}")
+                                }
                             }
                             assert!(r.output.is_empty(), "failed jobs carry no output");
                         }
@@ -207,6 +213,210 @@ fn storm_with_panics_and_mid_storm_shutdown_loses_no_handle() {
         stats.fused_jobs,
         stats.calibration_updates,
         stats.mean_abs_prediction_error()
+    );
+}
+
+/// The same storm shape, driven through the completion frontend instead
+/// of per-job handles: every client submits via `submit_tagged` onto ONE
+/// shared [`CompletionSet`], a single consumer thread multiplexes every
+/// in-flight job, a dedicated always-panicking class exercises the
+/// poisoned-class quarantine, and a shutdown fires mid-storm.  The
+/// invariant is the completion contract — **exactly one** event per
+/// token, across every outcome kind.
+#[test]
+fn tagged_storm_through_one_completion_set_delivers_exactly_once() {
+    const TAGGED_CLIENTS: usize = 6;
+    const TAGGED_JOBS: usize = 40;
+
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 3,
+        shards: 8,
+        dispatchers: 2,
+        max_batch: 16,
+        max_fuse: 4,
+        quarantine_after: 3,
+        quarantine_ttl: Duration::from_secs(3600),
+        ..RuntimeConfig::default()
+    });
+    let set = CompletionSet::with_capacity(256);
+    let classes: Vec<Arc<AccessPattern>> = (0..4).map(|s| pattern(960 + s)).collect();
+    let oracles: Vec<Vec<i64>> = classes.iter().map(|p| sequential_reduce_i64(p)).collect();
+    // The poison class has a different shape (different signature
+    // bucket), so its quarantine can never block the clean classes.
+    let poison_class = Arc::new(
+        PatternSpec {
+            num_elements: 51_200,
+            iterations: 1500,
+            refs_per_iter: 2,
+            coverage: 0.8,
+            dist: Distribution::Uniform,
+            seed: 970,
+        }
+        .generate(),
+    );
+    let broken = Arc::new(AccessPattern {
+        num_elements: 2,
+        iter_ptr: vec![0, 1],
+        indices: vec![9],
+    });
+
+    /// What job `j` of client `c` is, derived from the token alone.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Kind {
+        Clean(usize),
+        Poison,
+        Broken,
+    }
+    let kind_of = |c: usize, j: usize| -> Kind {
+        if j % 9 == 4 {
+            Kind::Poison
+        } else if j % 11 == 3 {
+            Kind::Broken
+        } else {
+            Kind::Clean((c + j) % 4)
+        }
+    };
+    let token_of = |c: usize, j: usize| (c * 1000 + j) as u64;
+
+    let start = Arc::new(Barrier::new(TAGGED_CLIENTS + 1));
+    let submitting = Arc::new(AtomicUsize::new(TAGGED_CLIENTS));
+    let seen = std::thread::scope(|s| {
+        // One consumer multiplexes every client's jobs.
+        let consumer = {
+            let set = &set;
+            let submitting = submitting.clone();
+            s.spawn(move || {
+                let mut seen: HashMap<u64, Completion> = HashMap::new();
+                loop {
+                    match set.wait_timeout(Duration::from_millis(100)) {
+                        Some(c) => {
+                            assert!(
+                                seen.insert(c.token, c.clone()).is_none(),
+                                "token {} delivered twice",
+                                c.token
+                            );
+                        }
+                        None => {
+                            if submitting.load(Ordering::Acquire) == 0 && set.in_flight() == 0 {
+                                return seen;
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        for c in 0..TAGGED_CLIENTS {
+            let rt = &rt;
+            let set = &set;
+            let start = start.clone();
+            let submitting = submitting.clone();
+            let classes = &classes;
+            let poison_class = poison_class.clone();
+            let broken = broken.clone();
+            s.spawn(move || {
+                start.wait();
+                for j in 0..TAGGED_JOBS {
+                    let token = token_of(c, j);
+                    match kind_of(c, j) {
+                        Kind::Clean(which) => {
+                            if j % 7 == 0 {
+                                // Batch submission path for a few.
+                                rt.submit_batch_tagged(
+                                    vec![(
+                                        token,
+                                        JobSpec::i64(classes[which].clone(), |_i, r| {
+                                            contribution_i64(r)
+                                        }),
+                                    )],
+                                    set,
+                                );
+                            } else {
+                                rt.submit_tagged(
+                                    JobSpec::i64(classes[which].clone(), |_i, r| {
+                                        contribution_i64(r)
+                                    }),
+                                    token,
+                                    set,
+                                );
+                            }
+                        }
+                        Kind::Poison => {
+                            rt.submit_tagged(
+                                JobSpec::i64(poison_class.clone(), move |_i, _r| {
+                                    panic!("tagged poison {c}/{j}")
+                                }),
+                                token,
+                                set,
+                            );
+                        }
+                        Kind::Broken => {
+                            rt.submit_tagged(JobSpec::i64(broken.clone(), |_i, _r| 1), token, set);
+                        }
+                    }
+                }
+                submitting.fetch_sub(1, Ordering::Release);
+            });
+        }
+        // Shutdown fires mid-storm, as in the handle-based test.
+        start.wait();
+        std::thread::sleep(Duration::from_millis(30));
+        rt.begin_shutdown();
+        consumer.join().unwrap()
+    });
+
+    assert_eq!(
+        seen.len(),
+        TAGGED_CLIENTS * TAGGED_JOBS,
+        "every token exactly once"
+    );
+    let (mut values, mut panics, mut quarantined, mut shutdowns, mut rejected) = (0, 0, 0, 0, 0);
+    for c in 0..TAGGED_CLIENTS {
+        for j in 0..TAGGED_JOBS {
+            let completion = &seen[&token_of(c, j)];
+            let kind = kind_of(c, j);
+            match (&completion.result.error, kind) {
+                (None, Kind::Clean(which)) => {
+                    assert_eq!(
+                        completion.result.output.as_i64().unwrap(),
+                        &oracles[which][..],
+                        "client {c} job {j}"
+                    );
+                    values += 1;
+                }
+                (Some(e), k) => {
+                    assert!(completion.result.output.is_empty());
+                    match e.kind {
+                        JobErrorKind::Panic => {
+                            assert_eq!(k, Kind::Poison, "only poison may panic: {e}");
+                            panics += 1;
+                        }
+                        JobErrorKind::Quarantined => {
+                            assert_eq!(k, Kind::Poison, "only poison may quarantine: {e}");
+                            quarantined += 1;
+                        }
+                        JobErrorKind::Shutdown => shutdowns += 1,
+                        JobErrorKind::Rejected => {
+                            assert_eq!(k, Kind::Broken, "only broken may reject: {e}");
+                            rejected += 1;
+                        }
+                    }
+                }
+                (None, k) => panic!("client {c} job {j} ({k:?}) resolved clean"),
+            }
+        }
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.submitted, stats.completed);
+    assert_eq!(
+        values + panics + quarantined + shutdowns + rejected,
+        TAGGED_CLIENTS * TAGGED_JOBS
+    );
+    assert!(values > 0, "some clean jobs must land before the shutdown");
+    assert_eq!(stats.quarantined, quarantined as u64);
+    println!(
+        "tagged soak: {values} values, {panics} panics, {quarantined} quarantined, \
+         {shutdowns} shutdowns, {rejected} rejected ({} batches, {} coalesced)",
+        stats.batches, stats.coalesced
     );
 }
 
