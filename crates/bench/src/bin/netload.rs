@@ -13,6 +13,11 @@
 //! checksum `ack` verified against the class's expected value, so the
 //! numbers measure *correct* completions.
 //!
+//! The epilogue prints both sides of the latency story: the client-side
+//! percentiles measured here, and the server-side request-latency
+//! quantiles recovered from the `metrics` exposition (plus any
+//! quarantined classes from `stats v2`) — see `docs/OBSERVABILITY.md`.
+//!
 //! The point being measured: the server runs `1 acceptor + R reactors`
 //! service threads plus the runtime's dispatchers and pool — a thread
 //! count **independent of the client count**.  Scaling `clients` up
@@ -118,6 +123,39 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Nearest-rank quantile recovered from the `metrics` exposition's
+/// cumulative `_bucket` lines for one series: the smallest `le` bound
+/// whose cumulative count covers the rank (so the value is bounded by
+/// one log2 bucket, same as the server-side histogram itself).
+fn exposition_quantile(text: &str, series_prefix: &str, q: f64) -> Option<u64> {
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(series_prefix) else {
+            continue;
+        };
+        let (le, cum) = rest.split_once("\"} ")?;
+        let le = le.strip_prefix("le=\"")?;
+        let le = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().ok()?
+        };
+        buckets.push((le, cum.trim().parse().ok()?));
+    }
+    let total = buckets.last()?.1;
+    if total == 0 {
+        return None;
+    }
+    let rank = (q * (total - 1) as f64).round() as u64 + 1;
+    buckets.iter().find(|(_, cum)| *cum >= rank).map(|(le, _)| {
+        if le.is_finite() {
+            *le as u64
+        } else {
+            u64::MAX
+        }
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let arg = |i: usize, default: usize| -> usize {
@@ -197,6 +235,31 @@ fn main() {
         get("steals"),
         get("fused_jobs"),
     );
+
+    // The server's own view of the same traffic, scraped back over the
+    // `metrics` exposition: request latency measured between admission
+    // and the `done` write, next to the client-side numbers above.
+    let text = probe.metrics().expect("metrics");
+    let server_q = |q: f64| {
+        exposition_quantile(&text, "smartapps_request_ns_bucket{conn=\"all\",", q)
+            .expect("server-side request-latency buckets in the exposition")
+    };
+    let (sp50, sp95, sp99) = (server_q(0.50), server_q(0.95), server_q(0.99));
+    assert!(sp99 > 0, "server-side p99 must parse nonzero");
+    println!(
+        "server: request latency (from metrics) p50 {:?} p95 {:?} p99 {:?}",
+        Duration::from_nanos(sp50),
+        Duration::from_nanos(sp95),
+        Duration::from_nanos(sp99),
+    );
+    let v2 = probe.stats_v2().expect("stats v2");
+    if v2.quarantined.is_empty() {
+        println!("server: no quarantined classes");
+    } else {
+        for (sig, ttl) in &v2.quarantined {
+            println!("server: quarantined class {sig:016x} ({ttl}s of TTL remaining)");
+        }
+    }
     server.shutdown();
 
     // Optional floor for CI-style smoke assertions.

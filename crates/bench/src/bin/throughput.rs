@@ -502,4 +502,40 @@ fn main() {
         "  => {flipped} class(es) re-routed by measured feedback; the restart column \
          decides never-profiled signatures from persisted corr records alone"
     );
+
+    // Telemetry epilogue: the same mixed traffic once more on a fresh
+    // service, then the per-scheme execute-latency quantiles its
+    // telemetry registry accumulated (the distributions `stats v2` and
+    // `metrics` expose over the wire; docs/OBSERVABILITY.md).
+    println!("\nper-scheme execute-latency quantiles (telemetry registry, mixed rerun)");
+    let rt = Runtime::new(RuntimeConfig {
+        workers,
+        dispatchers: 2,
+        ..RuntimeConfig::default()
+    });
+    let mix = [
+        pattern(501, 4096, 8_000, 1.0, 2),
+        pattern(502, 400_000, 4_000, 0.004, 12),
+        pattern(503, 200_000, 600, 0.08, 28),
+        pattern(504, 256, 600, 1.0, 2),
+    ];
+    for round in 0..8 {
+        for p in &mix {
+            rt.run(JobSpec::f64(p.clone(), |_i, r| contribution(r)).with_threads(1 + round % 2));
+        }
+    }
+    let ns = |v: u64| Duration::from_nanos(v);
+    for h in rt.telemetry().registry().summaries() {
+        if h.name == smartapps_runtime::telemetry::EXEC_NS {
+            println!(
+                "  {:<5} count {:>4}  p50 {:>10.3?}  p95 {:>10.3?}  p99 {:>10.3?}  max {:>10.3?}",
+                h.label_value,
+                h.count,
+                ns(h.p50),
+                ns(h.p95),
+                ns(h.p99),
+                ns(h.max),
+            );
+        }
+    }
 }

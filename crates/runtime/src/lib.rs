@@ -82,6 +82,7 @@ pub mod profile;
 pub(crate) mod queue;
 pub mod runtime;
 pub mod stats;
+pub mod telemetry;
 
 pub use backend::{Backend, ExecOutcome, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
 pub use completion::{Completion, CompletionSet};
@@ -91,3 +92,4 @@ pub use pool::WorkerPool;
 pub use profile::{ProfileEntry, ProfileStore};
 pub use runtime::{CalibrationConfig, Runtime, RuntimeConfig};
 pub use stats::{RuntimeStats, StatsSnapshot};
+pub use telemetry::RuntimeTelemetry;

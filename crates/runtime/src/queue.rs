@@ -26,14 +26,17 @@ use crate::job::{JobSpec, PatternSignature};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
-/// One queued job: the spec, its signature, and the completion sink the
+/// One queued job: the spec, its signature, the completion sink the
 /// finished result is routed through (handle slot, completion queue, or
-/// callback — see [`CompletionSink`]).
+/// callback — see [`CompletionSink`]), and the submission instant the
+/// telemetry layer measures queue-wait from.
 pub(crate) struct QueuedJob {
     pub spec: JobSpec,
     pub sig: PatternSignature,
     pub sink: CompletionSink,
+    pub submitted_at: Instant,
 }
 
 /// One successful pop: a same-signature batch plus whether it was taken
@@ -248,6 +251,7 @@ mod tests {
             },
             sig: PatternSignature(sig),
             sink: CompletionSink::Handle(JobState::new()),
+            submitted_at: Instant::now(),
         }
     }
 

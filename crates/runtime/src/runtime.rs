@@ -22,12 +22,14 @@ use crate::pool::WorkerPool;
 use crate::profile::{ProfileEntry, ProfileStore};
 use crate::queue::{QueuedJob, ShardedQueue};
 use crate::stats::{RuntimeStats, StatsSnapshot};
+use crate::telemetry::{domain_label, scheme_code, RuntimeTelemetry};
 use smartapps_core::adaptive::AdaptiveReduction;
 use smartapps_core::calibrate::Calibrator;
 use smartapps_core::toolbox::DomainKey;
 use smartapps_reductions::{
     run_fused_on, DecisionModel, FusedBody, Inspection, Inspector, ModelInput, Scheme, SpmdExecutor,
 };
+use smartapps_telemetry::{TraceBackend, TraceError, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -208,6 +210,9 @@ struct Shared {
     /// Per-signature panic-health ledger (only touched while
     /// `quarantine_after > 0`).
     quarantine: Mutex<HashMap<u64, ClassHealth>>,
+    /// Latency histograms + job-lifecycle trace ring (see the
+    /// [`telemetry`](crate::telemetry) module).
+    telemetry: RuntimeTelemetry,
 }
 
 /// Panic health of one workload class: how many of its most recent bodies
@@ -255,11 +260,12 @@ impl Shared {
             cal.observe(scheme, domain, fused, raw, measured.as_nanos() as f64)
         };
         if let Some(err) = err {
+            let ppm = (err * 1e6).min(u64::MAX as f64) as u64;
             RuntimeStats::add(&self.stats.calibration_updates, 1);
-            RuntimeStats::add(
-                &self.stats.pred_err_sum_micros,
-                (err * 1e6).min(u64::MAX as f64) as u64,
-            );
+            RuntimeStats::add(&self.stats.pred_err_sum_micros, ppm);
+            // The counters keep the mean; the histogram keeps the
+            // *distribution* of per-sample prediction error.
+            self.telemetry.record_predict_err_ppm(scheme, ppm);
         }
     }
 
@@ -389,6 +395,7 @@ impl Runtime {
             quarantine_after: config.quarantine_after,
             quarantine_ttl: config.quarantine_ttl,
             quarantine: Mutex::new(HashMap::new()),
+            telemetry: RuntimeTelemetry::new(),
         });
         let dispatchers = (0..n_dispatchers)
             .map(|d| {
@@ -538,7 +545,12 @@ impl Runtime {
             return PatternSignature(0);
         }
         let sig = PatternSignature::of(&spec.pattern, self.shared.sample_iters, threads);
-        if let Err(job) = self.shared.queue.push(QueuedJob { spec, sig, sink }) {
+        if let Err(job) = self.shared.queue.push(QueuedJob {
+            spec,
+            sig,
+            sink,
+            submitted_at: Instant::now(),
+        }) {
             RuntimeStats::add(&self.shared.stats.completed, 1);
             job.sink.complete_inline(
                 sig,
@@ -653,6 +665,32 @@ impl Runtime {
             .filter(|(_, h)| h.blocked_until.is_some())
             .map(|(&sig, _)| PatternSignature(sig))
             .collect()
+    }
+
+    /// Signatures currently blocked by the poisoned-class quarantine with
+    /// the whole seconds remaining until each TTL expires (0 for a TTL on
+    /// the verge of expiry; already-expired entries are skipped).  Sorted
+    /// by signature so wire responses built from it are deterministic.
+    pub fn quarantined_with_ttl(&self) -> Vec<(PatternSignature, u64)> {
+        let now = Instant::now();
+        let mut out: Vec<(PatternSignature, u64)> = self
+            .shared
+            .quarantine_map()
+            .iter()
+            .filter_map(|(&sig, h)| {
+                let until = h.blocked_until?;
+                (until > now).then(|| (PatternSignature(sig), until.duration_since(now).as_secs()))
+            })
+            .collect();
+        out.sort_by_key(|(sig, _)| sig.0);
+        out
+    }
+
+    /// The runtime's telemetry bundle: latency histograms (also carrying
+    /// any series the server layers on top) and the job-lifecycle trace
+    /// ring.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        &self.shared.telemetry
     }
 
     /// The fitted PCLR cycle→nanosecond conversion, when the hardware
@@ -827,6 +865,11 @@ struct BatchCtx {
     batched_with: usize,
     profile_hit: bool,
     profiled: Option<ProfileEntry>,
+    /// When the dispatcher popped this batch and when its scheme decision
+    /// landed — the `queued`/`decided` timestamps of every member's trace
+    /// event.
+    dequeued_at: Instant,
+    decided_at: Instant,
     /// Once one job of the batch detects drift and evicts the entry, no
     /// later batch-mate may resurrect it (their measurements rode the same
     /// stale decision) and the logical eviction is counted once.
@@ -1052,6 +1095,7 @@ fn fuse_groups(
 
 fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<QueuedJob>) {
     let sig = batch[0].sig;
+    let dequeued_at = Instant::now();
     let batched_with = batch.len() - 1;
     RuntimeStats::add(&shared.stats.batches, 1);
     RuntimeStats::add(&shared.stats.coalesced, batched_with as u64);
@@ -1063,6 +1107,7 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
         for job in batch {
             RuntimeStats::add(&shared.stats.quarantined, 1);
             RuntimeStats::add(&shared.stats.completed, 1);
+            trace_unexecuted(shared, &job, dequeued_at, TraceError::Quarantined);
             job.sink.complete(
                 sig,
                 JobResult {
@@ -1107,6 +1152,7 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
             default_threads,
         )
     }));
+    let decided_at = Instant::now();
     let decision = match batch_scheme {
         Ok(s) => s,
         Err(payload) => {
@@ -1116,6 +1162,7 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
             let msg = format!("scheme decision panicked: {}", panic_message(&*payload));
             for job in groups.into_iter().flatten() {
                 RuntimeStats::add(&shared.stats.completed, 1);
+                trace_unexecuted(shared, &job, dequeued_at, TraceError::Panicked);
                 job.sink.complete(
                     sig,
                     JobResult {
@@ -1134,9 +1181,27 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
         }
     };
 
+    // The decision latency belongs to the scheme it picked; every member
+    // waited from its own submission until this pop.
+    let tel = &shared.telemetry;
+    tel.record_decide(
+        decision.scheme,
+        decided_at.duration_since(dequeued_at).as_nanos() as u64,
+    );
+    for job in groups.iter().flatten() {
+        tel.record_queue_wait(
+            decision.scheme,
+            dequeued_at
+                .saturating_duration_since(job.submitted_at)
+                .as_nanos() as u64,
+        );
+    }
+
     let mut ctx = BatchCtx {
         sig,
         batched_with,
+        dequeued_at,
+        decided_at,
         // A recheck that evicted the entry turns this batch back into a
         // model decision (its executions record fresh profile truth);
         // an exploration pick likewise did not come from the store, so
@@ -1176,6 +1241,25 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
     }
 }
 
+/// Trace a job that failed fast before any scheme ran (quarantine
+/// rejection, poisoned decision): the lifecycle stops at `queued`, the
+/// scheme tag is the "none chosen" code, and the error tag says why.
+fn trace_unexecuted(shared: &Shared, job: &QueuedJob, dequeued_at: Instant, error: TraceError) {
+    let tel = &shared.telemetry;
+    tel.trace_event(&TraceEvent {
+        signature: job.sig.0,
+        submitted_ns: tel.instant_ns(job.submitted_at),
+        queued_ns: tel.instant_ns(dequeued_at),
+        decided_ns: 0,
+        executed_ns: 0,
+        completed_ns: tel.now_ns(),
+        scheme: u8::MAX,
+        backend: TraceBackend::Software,
+        error,
+        fused: 0,
+    });
+}
+
 /// Execute one job on its own traversal (the non-fused path), routing it
 /// to the software backend or — for [`Scheme::Pclr`] decisions — to the
 /// simulated hardware backend.
@@ -1193,6 +1277,7 @@ fn execute_single(
     if let Some(count) = shared.quarantine_blocked(job.sig) {
         RuntimeStats::add(&shared.stats.quarantined, 1);
         RuntimeStats::add(&shared.stats.completed, 1);
+        trace_unexecuted(shared, &job, ctx.dequeued_at, TraceError::Quarantined);
         job.sink.complete(
             job.sig,
             JobResult {
@@ -1255,15 +1340,19 @@ fn execute_single(
             _ => &shared.software,
         };
         debug_assert!(backend.supports(scheme), "{} vs {scheme}", backend.name());
-        (backend.execute(&req), scheme, redecided)
+        let backend_t0 = Instant::now();
+        let outcome = backend.execute(&req);
+        (outcome, scheme, redecided, backend_t0.elapsed())
     }));
+    let executed_at = Instant::now();
 
-    let (outcome, scheme, redecided, error) = match work {
-        Ok((outcome, scheme, redecided)) => (Some(outcome), scheme, redecided, None),
+    let (outcome, scheme, redecided, backend_wall, error) = match work {
+        Ok((outcome, scheme, redecided, wall)) => (Some(outcome), scheme, redecided, wall, None),
         Err(payload) => (
             None,
             batch_scheme,
             false,
+            Duration::ZERO,
             Some(JobError::panic(panic_message(&*payload))),
         ),
     };
@@ -1293,9 +1382,11 @@ fn execute_single(
     // fresh inspection) reports a predicted-vs-measured sample to the
     // calibrator, and software/simulated cost halves pair up to fit the
     // PCLR cycle→ns conversion.
+    let mut class_label = None;
     if error.is_none() {
         if let Some(insp) = cache.peek(&job.spec.pattern, threads) {
             let domain = DomainKey::of(&insp.chars);
+            class_label = Some(domain_label(&domain));
             let input = ModelInput::from_inspection(&insp, job.spec.lw_feasible)
                 .with_pclr(scheme == Scheme::Pclr || shared.pclr_admits(&job.spec.pattern));
             shared.learn(scheme, domain, false, None, &input, elapsed);
@@ -1306,6 +1397,12 @@ fn execute_single(
             elapsed.as_nanos() as f64,
             sim_cycles,
         );
+        shared
+            .telemetry
+            .record_exec(scheme, class_label.as_deref(), elapsed.as_nanos() as u64);
+        shared
+            .telemetry
+            .record_backend(backend_wall.as_nanos() as u64, sim_cycles);
     }
 
     // Feed the profile only from clean, non-substituted, non-exploration
@@ -1331,6 +1428,28 @@ fn execute_single(
             store.record(ctx.sig, scheme, threads, refs, elapsed);
         }
     }
+
+    let tel = &shared.telemetry;
+    tel.trace_event(&TraceEvent {
+        signature: job.sig.0,
+        submitted_ns: tel.instant_ns(job.submitted_at),
+        queued_ns: tel.instant_ns(ctx.dequeued_at),
+        decided_ns: tel.instant_ns(ctx.decided_at),
+        executed_ns: tel.instant_ns(executed_at),
+        completed_ns: tel.now_ns(),
+        scheme: scheme_code(scheme),
+        backend: if sim_cycles.is_some() {
+            TraceBackend::Pclr
+        } else {
+            TraceBackend::Software
+        },
+        error: if error.is_some() {
+            TraceError::Panicked
+        } else {
+            TraceError::None
+        },
+        fused: 1,
+    });
 
     // Bump counters before waking the sink so a client that reads
     // stats right after `wait()` never sees its own job missing.
@@ -1413,11 +1532,19 @@ fn execute_fused(
         outputs
     }));
     let elapsed = t0.elapsed();
+    let executed_at = Instant::now();
 
     match work {
         Ok(outputs) => {
             RuntimeStats::add(&shared.stats.fused_sweeps, 1);
             RuntimeStats::add(&shared.stats.fused_jobs, k as u64);
+            // One sweep = one execution sample (the sweep's wall time,
+            // under the class of the gate's own characterization).
+            shared.telemetry.record_exec(
+                scheme,
+                Some(&domain_label(&plan.domain)),
+                elapsed.as_nanos() as u64,
+            );
             // The fused-side calibration sample: what the fusion gate's
             // fused-vs-split comparison learns from.
             shared.learn(
@@ -1432,6 +1559,19 @@ fn execute_fused(
             shared.note_clean(ctx.sig);
             for (job, output) in group.into_iter().zip(outputs) {
                 RuntimeStats::add(&shared.stats.completed, 1);
+                let tel = &shared.telemetry;
+                tel.trace_event(&TraceEvent {
+                    signature: job.sig.0,
+                    submitted_ns: tel.instant_ns(job.submitted_at),
+                    queued_ns: tel.instant_ns(ctx.dequeued_at),
+                    decided_ns: tel.instant_ns(ctx.decided_at),
+                    executed_ns: tel.instant_ns(executed_at),
+                    completed_ns: tel.now_ns(),
+                    scheme: scheme_code(scheme),
+                    backend: TraceBackend::Software,
+                    error: TraceError::None,
+                    fused: k.min(u16::MAX as usize) as u16,
+                });
                 job.sink.complete(
                     job.sig,
                     JobResult {
@@ -1948,6 +2088,35 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_records_lifecycle_and_exec_histograms() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(91);
+        for _ in 0..4 {
+            let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+            assert!(r.error.is_none());
+        }
+        let tel = rt.telemetry();
+        let exec = tel.registry().merged_snapshot(crate::telemetry::EXEC_NS);
+        assert!(exec.count >= 4, "exec histogram missing samples");
+        assert!(exec.quantile(0.5) > 0);
+        let wait = tel
+            .registry()
+            .merged_snapshot(crate::telemetry::QUEUE_WAIT_NS);
+        assert!(wait.count >= 4);
+        let events = tel.trace().snapshot();
+        assert!(events.len() >= 4, "trace ring missing events");
+        for e in &events {
+            assert_eq!(e.error, smartapps_telemetry::TraceError::None);
+            assert!(e.submitted_ns <= e.queued_ns);
+            assert!(e.queued_ns <= e.decided_ns);
+            assert!(e.decided_ns <= e.executed_ns);
+            assert!(e.executed_ns <= e.completed_ns);
+            assert!(e.fused >= 1);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
     fn fuse_groups_split_by_pattern_flavor_and_cap() {
         let pat_a = pattern(71);
         let pat_b = pattern(72);
@@ -1955,6 +2124,7 @@ mod tests {
             sig: PatternSignature(1),
             sink: CompletionSink::Handle(JobState::new()),
             spec,
+            submitted_at: Instant::now(),
         };
         let batch = vec![
             mk(JobSpec::i64(pat_a.clone(), |_i, r| contribution_i64(r))),

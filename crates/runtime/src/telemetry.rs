@@ -1,0 +1,230 @@
+//! The runtime's telemetry bundle: where the monitor half of the
+//! paper's monitor→decide→execute loop becomes *distributions*, not
+//! just counters.
+//!
+//! [`RuntimeTelemetry`] owns one [`Registry`] of latency histograms, one
+//! [`TraceRing`] of per-job lifecycle events, and the epoch every trace
+//! timestamp is relative to.  The dispatchers record at each lifecycle
+//! edge (queue-wait, decide, execute — per scheme and per functioning
+//! domain), the backend call-sites record wall time and simulated
+//! cycles, and the calibrator records its per-sample prediction error.
+//! The per-scheme histograms are pre-resolved into fixed arrays at
+//! construction, so the dispatcher hot path touches only wait-free
+//! atomics; dynamic-label series (domain classes, the server's
+//! connections) pay one short registry probe.
+//!
+//! `docs/OBSERVABILITY.md` is the catalog of every metric name and
+//! label recorded here and in `smartapps-server`.
+
+use smartapps_reductions::Scheme;
+use smartapps_telemetry::{LogHistogram, Registry, TraceEvent, TraceRing};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Queue-wait (dequeue minus submit), per scheme.
+pub const QUEUE_WAIT_NS: &str = "smartapps_queue_wait_ns";
+/// Scheme-decision latency of a dispatch batch, per scheme decided.
+pub const DECIDE_NS: &str = "smartapps_decide_ns";
+/// Backend-reported execution cost, per scheme (simulated time for
+/// `pclr`, wall time otherwise — the same cost sample the profile
+/// store calibrates on).
+pub const EXEC_NS: &str = "smartapps_exec_ns";
+/// Backend-reported execution cost, per functioning domain
+/// (`d{dim}r{reuse}s{sparsity}m{mo}` labels).
+pub const EXEC_CLASS_NS: &str = "smartapps_exec_class_ns";
+/// Wall-clock time spent inside a backend `execute`, per backend.
+pub const BACKEND_WALL_NS: &str = "smartapps_backend_wall_ns";
+/// Simulated machine cycles per PCLR offload.
+pub const BACKEND_SIM_CYCLES: &str = "smartapps_backend_sim_cycles";
+/// Calibrator per-sample relative prediction error, in parts per
+/// million, per scheme.
+pub const PREDICT_ERR_PPM: &str = "smartapps_predict_err_ppm";
+
+/// Every scheme, in the fixed index order the pre-resolved histogram
+/// arrays use.
+const SCHEMES: [Scheme; 7] = [
+    Scheme::Seq,
+    Scheme::Rep,
+    Scheme::Ll,
+    Scheme::Sel,
+    Scheme::Lw,
+    Scheme::Hash,
+    Scheme::Pclr,
+];
+
+fn scheme_index(scheme: Scheme) -> usize {
+    SCHEMES.iter().position(|&s| s == scheme).unwrap_or(0)
+}
+
+/// The trace-tag code of a scheme (its index in the fixed order);
+/// [`scheme_from_code`] is the inverse, for ring-dump readers.
+pub fn scheme_code(scheme: Scheme) -> u8 {
+    scheme_index(scheme) as u8
+}
+
+/// Decode a [`TraceEvent::scheme`] tag back to the scheme (`None` for
+/// the `u8::MAX` "no scheme chosen" code).
+pub fn scheme_from_code(code: u8) -> Option<Scheme> {
+    SCHEMES.get(code as usize).copied()
+}
+
+/// One histogram per scheme, resolved once so recording is wait-free.
+type PerScheme = [Arc<LogHistogram>; 7];
+
+/// Shared measurement state: the registry, the trace ring, and the
+/// epoch all trace timestamps count from.
+#[derive(Debug)]
+pub struct RuntimeTelemetry {
+    registry: Registry,
+    trace: TraceRing,
+    epoch: Instant,
+    queue_wait: PerScheme,
+    decide: PerScheme,
+    exec: PerScheme,
+}
+
+impl Default for RuntimeTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeTelemetry {
+    /// Capacity of the lifecycle trace ring (most recent jobs kept).
+    pub const TRACE_CAPACITY: usize = 4096;
+
+    /// A fresh bundle with all per-scheme series registered.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let per_scheme = |name: &'static str| -> PerScheme {
+            SCHEMES.map(|s| registry.histogram(name, "scheme", s.abbrev()))
+        };
+        RuntimeTelemetry {
+            queue_wait: per_scheme(QUEUE_WAIT_NS),
+            decide: per_scheme(DECIDE_NS),
+            exec: per_scheme(EXEC_NS),
+            trace: TraceRing::new(Self::TRACE_CAPACITY),
+            epoch: Instant::now(),
+            registry,
+        }
+    }
+
+    /// The underlying registry — the server adds its per-connection
+    /// series here so one exposition covers the whole process.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The job-lifecycle trace ring.
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Nanoseconds since this bundle's epoch — the clock every
+    /// [`TraceEvent`] timestamp is on.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// [`now_ns`](Self::now_ns) for an instant captured earlier
+    /// (saturating to 0 for instants before the epoch).
+    pub fn instant_ns(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Record one queue-wait sample for a job decided to `scheme`.
+    pub fn record_queue_wait(&self, scheme: Scheme, ns: u64) {
+        self.queue_wait[scheme_index(scheme)].record(ns);
+    }
+
+    /// Record one batch's scheme-decision latency.
+    pub fn record_decide(&self, scheme: Scheme, ns: u64) {
+        self.decide[scheme_index(scheme)].record(ns);
+    }
+
+    /// Record one execution's backend-reported cost, per scheme and —
+    /// when the functioning domain is known — per domain class.
+    pub fn record_exec(&self, scheme: Scheme, domain_label: Option<&str>, ns: u64) {
+        self.exec[scheme_index(scheme)].record(ns);
+        if let Some(label) = domain_label {
+            self.registry.record(EXEC_CLASS_NS, "domain", label, ns);
+        }
+    }
+
+    /// Record one backend invocation: wall time, plus the simulated
+    /// cycle count when the hardware backend ran it.
+    pub fn record_backend(&self, wall_ns: u64, sim_cycles: Option<u64>) {
+        match sim_cycles {
+            Some(cycles) => {
+                self.registry
+                    .record(BACKEND_WALL_NS, "backend", "pclr", wall_ns);
+                self.registry
+                    .record(BACKEND_SIM_CYCLES, "backend", "pclr", cycles);
+            }
+            None => self
+                .registry
+                .record(BACKEND_WALL_NS, "backend", "software", wall_ns),
+        }
+    }
+
+    /// Record one calibrator sample's relative prediction error
+    /// (parts per million), per scheme.
+    pub fn record_predict_err_ppm(&self, scheme: Scheme, ppm: u64) {
+        self.registry
+            .record(PREDICT_ERR_PPM, "scheme", scheme.abbrev(), ppm);
+    }
+
+    /// Push one lifecycle event onto the trace ring.
+    pub fn trace_event(&self, event: &TraceEvent) {
+        self.trace.push(event);
+    }
+}
+
+/// The `d{dim}r{reuse}s{sparsity}m{mo}` label a functioning domain
+/// records under (the label scheme `docs/OBSERVABILITY.md` documents).
+pub fn domain_label(domain: &smartapps_core::toolbox::DomainKey) -> String {
+    format!(
+        "d{}r{}s{}m{}",
+        domain.dim_bucket, domain.reuse_bucket, domain.sparsity_decile, domain.mo
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartapps_core::toolbox::DomainKey;
+
+    #[test]
+    fn scheme_codes_round_trip() {
+        for s in SCHEMES {
+            assert_eq!(scheme_from_code(scheme_code(s)), Some(s));
+        }
+        assert_eq!(scheme_from_code(u8::MAX), None);
+    }
+
+    #[test]
+    fn per_scheme_recording_lands_in_the_registry() {
+        let t = RuntimeTelemetry::new();
+        t.record_exec(Scheme::Hash, Some("d4r1s10m2"), 1500);
+        t.record_queue_wait(Scheme::Hash, 80);
+        t.record_decide(Scheme::Hash, 40);
+        t.record_backend(1500, None);
+        t.record_backend(900, Some(120));
+        let text = t.registry().render_prometheus();
+        assert!(text.contains("smartapps_exec_ns_count{scheme=\"hash\"} 1"));
+        assert!(text.contains("smartapps_exec_class_ns_count{domain=\"d4r1s10m2\"} 1"));
+        assert!(text.contains("smartapps_backend_wall_ns_count{backend=\"software\"} 1"));
+        assert!(text.contains("smartapps_backend_sim_cycles_count{backend=\"pclr\"} 1"));
+    }
+
+    #[test]
+    fn domain_label_matches_the_documented_scheme() {
+        let d = DomainKey {
+            dim_bucket: 12,
+            reuse_bucket: 4,
+            sparsity_decile: 10,
+            mo: 2,
+        };
+        assert_eq!(domain_label(&d), "d12r4s10m2");
+    }
+}

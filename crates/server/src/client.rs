@@ -2,16 +2,17 @@
 //! one TCP connection, used by `examples/network_service.rs` and the
 //! `netload` loadgen.
 //!
-//! Responses to control requests (`stats`, `drain`, `unquarantine`)
-//! interleave with asynchronous `done` lines on the same socket; the
+//! Responses to control requests (`stats`, `stats v2`, `metrics`,
+//! `drain`, `unquarantine`) interleave with asynchronous `done` lines
+//! on the same socket; the
 //! client stashes `done` messages it reads while waiting for a control
 //! response, and [`next_done`](Client::next_done) consumes the stash
 //! before touching the socket — no message is ever dropped or reordered
 //! within its kind.
 
-use crate::wire::{DoneMsg, Request, Response, SubmitArgs};
+use crate::wire::{DoneMsg, Request, Response, StatsV2, SubmitArgs};
 use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A blocking client for one `smartapps-server` connection.
@@ -99,6 +100,67 @@ impl Client {
             match self.read_response()? {
                 Response::Stats(pairs) => return Ok(pairs),
                 Response::Done(d) => self.stashed.push_back(d),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Request the richer `stats v2` snapshot: sorted service counters,
+    /// per-series latency-histogram digests, and quarantined workload
+    /// classes with their remaining TTLs.
+    pub fn stats_v2(&mut self) -> io::Result<StatsV2> {
+        self.send(&Request::StatsV2)?;
+        loop {
+            match self.read_response()? {
+                Response::StatsV2(v2) => return Ok(v2),
+                Response::Done(d) => self.stashed.push_back(d),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Request the Prometheus-style text exposition of every histogram
+    /// and counter in the process (runtime and server series alike).
+    ///
+    /// The reply is the protocol's one length-prefixed frame (`metrics
+    /// <len>` header line, then `<len>` raw bytes) rather than a single
+    /// response line; `done` messages read while waiting for the header
+    /// are stashed for [`next_done`](Client::next_done) as usual.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.send(&Request::Metrics)?;
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if let Some(len) = line.trim_end().strip_prefix("metrics ") {
+                let len: usize = len.trim().parse().map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad metrics frame length: {e}"),
+                    )
+                })?;
+                let mut body = vec![0u8; len];
+                self.reader.read_exact(&mut body)?;
+                return String::from_utf8(body).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("metrics body is not UTF-8: {e}"),
+                    )
+                });
+            }
+            match Response::parse(&line) {
+                Ok(Response::Done(d)) => self.stashed.push_back(d),
+                Ok(Response::Error(msg)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server protocol error: {msg}"),
+                    ))
+                }
                 _ => continue,
             }
         }

@@ -14,9 +14,11 @@
 //! Three modules:
 //!
 //! * [`wire`] — the line-oriented protocol grammar (`submit` / `batch` /
-//!   `stats` / `drain` / `unquarantine` requests, `done` / `stats` /
-//!   `drained` responses), with explicit `encode`/`parse` pairs; see
-//!   `docs/SERVER.md` for the full grammar.
+//!   `stats` / `stats v2` / `metrics` / `drain` / `unquarantine`
+//!   requests, `done` / `stats` / `stats2` / `drained` responses plus
+//!   the length-prefixed `metrics` exposition frame), with explicit
+//!   `encode`/`parse` pairs; see `docs/SERVER.md` for the full grammar
+//!   and `docs/OBSERVABILITY.md` for the metric catalog.
 //! * [`server`] — the [`Server`]: acceptor + reactor threads,
 //!   per-connection read buffers over nonblocking sockets, and the
 //!   pending table demultiplexing completions back to sockets.
@@ -63,7 +65,8 @@ pub mod wire;
 
 pub use client::Client;
 pub use server::{Server, ServerConfig};
+pub use smartapps_telemetry::HistSummary;
 pub use wire::{
-    checksum, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, SubmitArgs, WireBody,
-    WireDist, WireSpec,
+    checksum, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2, SubmitArgs,
+    WireBody, WireDist, WireSpec,
 };

@@ -34,10 +34,11 @@
 //! never collide.
 
 use crate::wire::{
-    checksum, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, SubmitArgs, WireBody,
-    WireSpec,
+    checksum, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2, SubmitArgs,
+    WireBody, WireSpec,
 };
 use smartapps_runtime::{Completion, CompletionSet, JobSpec, PatternSignature, Runtime};
+use smartapps_telemetry::LogHistogram;
 use smartapps_workloads::AccessPattern;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -45,7 +46,19 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Request→response latency histogram: submission admitted to `done`
+/// line written, per connection (`conn="<id>"`) plus the service-wide
+/// aggregate series `conn="all"`.
+pub const REQUEST_NS: &str = "smartapps_request_ns";
+/// Counter of bytes read off a connection's socket, per connection.
+pub const CONN_BYTES_IN: &str = "smartapps_conn_bytes_in";
+/// Counter of bytes written to a connection's socket, per connection.
+pub const CONN_BYTES_OUT: &str = "smartapps_conn_bytes_out";
+/// Counter of microseconds reactors stalled on a connection's full send
+/// buffer, per connection (the same stalls the write budget charges).
+pub const CONN_STALL_US: &str = "smartapps_conn_stall_us";
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -116,6 +129,16 @@ struct Conn {
     /// The connection failed (EOF, I/O error, protocol error); it is
     /// reaped once its in-flight jobs have been consumed.
     dead: AtomicBool,
+    /// Per-connection telemetry series, resolved once at accept time
+    /// into the runtime's shared registry (so one `metrics` exposition
+    /// covers runtime and server): request→response latency (this
+    /// connection plus the `conn="all"` aggregate), bytes in/out, and
+    /// cumulative write-stall time.
+    request_ns: Arc<LogHistogram>,
+    request_ns_all: Arc<LogHistogram>,
+    bytes_in: Arc<AtomicU64>,
+    bytes_out: Arc<AtomicU64>,
+    stall_us: Arc<AtomicU64>,
 }
 
 impl Conn {
@@ -126,11 +149,13 @@ impl Conn {
 }
 
 /// Routing entry for one submitted job: which connection gets the
-/// response, under which client token, with how much payload.
+/// response, under which client token, with how much payload — and when
+/// the request was admitted, for the request-latency histogram.
 struct PendingReply {
     conn: u64,
     token: u64,
     reply: ReplyMode,
+    submitted_at: Instant,
 }
 
 /// Key of the server-side pattern cache: every field of the wire spec.
@@ -307,6 +332,8 @@ fn acceptor_loop(shared: &ServerShared, listener: TcpListener) {
                     Err(_) => continue,
                 };
                 let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                let registry = shared.rt.telemetry().registry();
+                let label = id.to_string();
                 let conn = Arc::new(Conn {
                     id,
                     stream,
@@ -317,6 +344,11 @@ fn acceptor_loop(shared: &ServerShared, listener: TcpListener) {
                     drain_pending: AtomicBool::new(false),
                     stall_debt_micros: AtomicU64::new(0),
                     dead: AtomicBool::new(false),
+                    request_ns: registry.histogram(REQUEST_NS, "conn", &label),
+                    request_ns_all: registry.histogram(REQUEST_NS, "conn", "all"),
+                    bytes_in: registry.counter(CONN_BYTES_IN, "conn", &label),
+                    bytes_out: registry.counter(CONN_BYTES_OUT, "conn", &label),
+                    stall_us: registry.counter(CONN_STALL_US, "conn", &label),
                 });
                 shared
                     .conns
@@ -418,6 +450,7 @@ fn service_reads(shared: &ServerShared, conn: &Arc<Conn>) -> bool {
             }
             Ok(n) => {
                 any = true;
+                conn.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
                 let mut partial = conn.partial.lock().unwrap_or_else(|p| p.into_inner());
                 partial.extend_from_slice(&chunk[..n]);
                 if partial.len() > shared.cfg.max_line_bytes {
@@ -480,26 +513,32 @@ fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
             submit_jobs(shared, conn, jobs);
         }
         Request::Stats => {
-            let s = shared.rt.stats();
-            let pairs = vec![
-                ("submitted".to_string(), s.submitted),
-                ("completed".to_string(), s.completed),
-                ("batches".to_string(), s.batches),
-                ("coalesced".to_string(), s.coalesced),
-                ("profile_hits".to_string(), s.profile_hits),
-                ("inspections".to_string(), s.inspections),
-                ("evictions".to_string(), s.evictions),
-                ("steals".to_string(), s.steals),
-                ("fused_sweeps".to_string(), s.fused_sweeps),
-                ("fused_jobs".to_string(), s.fused_jobs),
-                ("pclr_offloads".to_string(), s.pclr_offloads),
-                ("sim_cycles".to_string(), s.sim_cycles),
-                ("calibration_updates".to_string(), s.calibration_updates),
-                ("explored".to_string(), s.explored),
-                ("fuse_probes".to_string(), s.fuse_probes),
-                ("quarantined".to_string(), s.quarantined),
-            ];
-            write_response(conn, &Response::Stats(pairs));
+            write_response(conn, &Response::Stats(stats_pairs(shared)));
+        }
+        Request::StatsV2 => {
+            let quarantined = shared
+                .rt
+                .quarantined_with_ttl()
+                .into_iter()
+                .map(|(sig, ttl)| (sig.0, ttl))
+                .collect();
+            write_response(
+                conn,
+                &Response::StatsV2(StatsV2 {
+                    counters: stats_pairs(shared),
+                    hists: shared.rt.telemetry().registry().summaries(),
+                    quarantined,
+                }),
+            );
+        }
+        Request::Metrics => {
+            // The exposition is multi-line, so it rides a length-prefixed
+            // frame (`metrics <len>\n` + raw bytes) rather than a
+            // `Response` line — the one framed reply in the protocol.
+            let body = shared.rt.telemetry().registry().render_prometheus();
+            let mut frame = format!("metrics {}\n", body.len()).into_bytes();
+            frame.extend_from_slice(body.as_bytes());
+            write_raw(conn, &frame);
         }
         Request::Drain => {
             // The barrier closes when in_flight hits zero.  Order
@@ -521,6 +560,33 @@ fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
             write_response(conn, &Response::Unquarantined(found));
         }
     }
+}
+
+/// The runtime's service counters as `(name, value)` pairs, sorted by
+/// name — both `stats` and `stats v2` carry them, and the sort keeps the
+/// wire encoding deterministic for identical server state.
+fn stats_pairs(shared: &ServerShared) -> Vec<(String, u64)> {
+    let s = shared.rt.stats();
+    let mut pairs = vec![
+        ("submitted".to_string(), s.submitted),
+        ("completed".to_string(), s.completed),
+        ("batches".to_string(), s.batches),
+        ("coalesced".to_string(), s.coalesced),
+        ("profile_hits".to_string(), s.profile_hits),
+        ("inspections".to_string(), s.inspections),
+        ("evictions".to_string(), s.evictions),
+        ("steals".to_string(), s.steals),
+        ("fused_sweeps".to_string(), s.fused_sweeps),
+        ("fused_jobs".to_string(), s.fused_jobs),
+        ("pclr_offloads".to_string(), s.pclr_offloads),
+        ("sim_cycles".to_string(), s.sim_cycles),
+        ("calibration_updates".to_string(), s.calibration_updates),
+        ("explored".to_string(), s.explored),
+        ("fuse_probes".to_string(), s.fuse_probes),
+        ("quarantined".to_string(), s.quarantined),
+    ];
+    pairs.sort();
+    pairs
 }
 
 /// Validate, admit, and submit a group of jobs as one runtime batch.
@@ -568,6 +634,7 @@ fn submit_jobs(shared: &ServerShared, conn: &Arc<Conn>, jobs: Vec<SubmitArgs>) {
                     conn: conn.id,
                     token: args.token,
                     reply: args.reply,
+                    submitted_at: Instant::now(),
                 },
             );
         conn.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -596,7 +663,12 @@ fn reject(conn: &Arc<Conn>, token: u64, message: &str) {
 
 /// Route one completion from the shared set back to its socket.
 fn deliver(shared: &ServerShared, completion: Completion) {
-    let Some(PendingReply { conn, token, reply }) = shared
+    let Some(PendingReply {
+        conn,
+        token,
+        reply,
+        submitted_at,
+    }) = shared
         .pending
         .lock()
         .unwrap_or_else(|p| p.into_inner())
@@ -607,6 +679,9 @@ fn deliver(shared: &ServerShared, completion: Completion) {
     let Some(conn) = shared.conn(conn) else {
         return; // connection was reaped; drop the response
     };
+    let request_ns = submitted_at.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    conn.request_ns.record(request_ns);
+    conn.request_ns_all.record(request_ns);
     let r = completion.result;
     let outcome = match r.error {
         Some(e) => DoneOutcome::Err {
@@ -661,55 +736,64 @@ fn protocol_error(conn: &Arc<Conn>, message: &str) {
 /// within the budget no matter how it paces its reads.
 const WRITE_STALL_BUDGET: Duration = Duration::from_secs(5);
 
-/// Write one response line, handling the nonblocking socket's partial
-/// writes.  Stall time (the peer's send buffer full) is charged against
-/// the connection's cumulative [`WRITE_STALL_BUDGET`]; exceeding it
-/// fails the connection instead of wedging the reactors — any reactor
-/// may deliver to any socket, so an unbounded per-line grace would let
-/// one slow reader stall completion draining service-wide.
+/// Write one response line ([`write_raw`] handles the socket and the
+/// stall budget).
 fn write_response(conn: &Conn, response: &Response) {
     let mut line = response.encode();
     line.push('\n');
-    let bytes = line.as_bytes();
+    write_raw(conn, line.as_bytes());
+}
+
+/// Write one outbound frame (a response line, or the length-prefixed
+/// `metrics` reply), handling the nonblocking socket's partial writes.
+/// Stall time (the peer's send buffer full) is charged against the
+/// connection's cumulative [`WRITE_STALL_BUDGET`]; exceeding it fails
+/// the connection instead of wedging the reactors — any reactor may
+/// deliver to any socket, so an unbounded per-frame grace would let one
+/// slow reader stall completion draining service-wide.  Bytes actually
+/// written and stall time are also recorded into the connection's
+/// telemetry counters.
+fn write_raw(conn: &Conn, bytes: &[u8]) {
     let mut written = 0usize;
     let mut stalled = Duration::ZERO;
     let budget = WRITE_STALL_BUDGET.saturating_sub(Duration::from_micros(
         conn.stall_debt_micros.load(Ordering::Relaxed),
     ));
-    let mut w = conn.writer.lock().unwrap_or_else(|p| p.into_inner());
-    while written < bytes.len() {
-        match w.write(&bytes[written..]) {
-            Ok(0) => {
-                conn.mark_dead();
-                return;
-            }
-            Ok(n) => written += n,
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                if stalled >= budget {
+    {
+        let mut w = conn.writer.lock().unwrap_or_else(|p| p.into_inner());
+        while written < bytes.len() {
+            match w.write(&bytes[written..]) {
+                Ok(0) => {
                     conn.mark_dead();
-                    return;
+                    break;
                 }
-                std::thread::sleep(Duration::from_micros(100));
-                stalled += Duration::from_micros(100);
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => {
-                conn.mark_dead();
-                return;
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if stalled >= budget {
+                        conn.mark_dead();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                    stalled += Duration::from_micros(100);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.mark_dead();
+                    break;
+                }
             }
         }
     }
-    drop(w);
+    conn.bytes_out.fetch_add(written as u64, Ordering::Relaxed);
     if stalled.is_zero() {
-        // A stall-free line halves the accumulated debt.
+        // A stall-free frame halves the accumulated debt.
         let debt = conn.stall_debt_micros.load(Ordering::Relaxed);
         if debt > 0 {
             conn.stall_debt_micros.store(debt / 2, Ordering::Relaxed);
         }
     } else {
-        conn.stall_debt_micros.fetch_add(
-            stalled.as_micros().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
+        let us = stalled.as_micros().min(u64::MAX as u128) as u64;
+        conn.stall_debt_micros.fetch_add(us, Ordering::Relaxed);
+        conn.stall_us.fetch_add(us, Ordering::Relaxed);
     }
 }

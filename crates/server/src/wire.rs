@@ -4,7 +4,11 @@
 //! Every message is one UTF-8 line (`\n`-terminated, space-separated
 //! fields) — human-readable, `nc`-debuggable, and stateless per line
 //! (a `batch` request carries its jobs inline rather than spanning
-//! lines).  The full grammar is specified in `docs/SERVER.md`.
+//! lines).  The one exception is the reply to a [`Request::Metrics`]:
+//! Prometheus text exposition is inherently multi-line, so it travels
+//! as a length-prefixed frame (`metrics <len>\n` + `len` raw bytes)
+//! outside the [`Response`] enum.  The full grammar is specified in
+//! `docs/SERVER.md` and `docs/OBSERVABILITY.md`.
 //!
 //! Job *bodies* cannot cross a network boundary as closures, so the
 //! protocol describes jobs declaratively: a [`WireSpec`] names a
@@ -22,6 +26,7 @@
 //! `ProfileStore` text format.
 
 use serde::{Deserialize, Serialize};
+use smartapps_telemetry::HistSummary;
 use smartapps_workloads::{Distribution, PatternSpec};
 
 /// Generated-pattern description a job reduces over (the wire form of
@@ -265,6 +270,15 @@ pub enum Request {
     Batch(Vec<SubmitArgs>),
     /// Snapshot the runtime's service counters.
     Stats,
+    /// Snapshot counters *plus* latency-histogram digests and the
+    /// quarantined classes with their remaining TTLs (the richer
+    /// observability surface; `stats` stays for old clients).
+    StatsV2,
+    /// Fetch the full Prometheus-style text exposition.  The reply is
+    /// the protocol's one framed (multi-line) response:
+    /// `metrics <len>\n` followed by exactly `len` raw bytes — see
+    /// `docs/OBSERVABILITY.md`.
+    Metrics,
     /// Reply `drained` once every job submitted on this connection has
     /// completed (a per-connection flush barrier).
     Drain,
@@ -288,6 +302,8 @@ impl Request {
                 s
             }
             Request::Stats => "stats".into(),
+            Request::StatsV2 => "stats v2".into(),
+            Request::Metrics => "metrics".into(),
             Request::Drain => "drain".into(),
             Request::Unquarantine(sig) => format!("unquarantine {sig:016x}"),
         }
@@ -319,6 +335,8 @@ impl Request {
                     .map(Request::Batch)
             }
             Some((&"stats", [])) => Ok(Request::Stats),
+            Some((&"stats", ["v2"])) => Ok(Request::StatsV2),
+            Some((&"metrics", [])) => Ok(Request::Metrics),
             Some((&"drain", [])) => Ok(Request::Drain),
             Some((&"unquarantine", [sig])) => u64::from_str_radix(sig, 16)
                 .map(Request::Unquarantine)
@@ -389,6 +407,26 @@ pub enum DoneOutcome {
     },
 }
 
+/// The `stats v2` payload: counters, latency-histogram digests, and the
+/// quarantine ledger — everything `stats` reports plus the distribution
+/// and health state the counters cannot express.
+///
+/// All three lists are sorted (counters and histogram digests by key,
+/// quarantined classes by signature), so identical server state encodes
+/// to an identical line.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StatsV2 {
+    /// Service counters, sorted by key.
+    pub counters: Vec<(String, u64)>,
+    /// Per-series histogram digests, sorted by (name, label key, label
+    /// value); label values are registry-sanitized to `[A-Za-z0-9._-]`,
+    /// which is what keeps the colon-separated wire form unambiguous.
+    pub hists: Vec<HistSummary>,
+    /// Quarantined class signatures with the whole seconds remaining
+    /// until each TTL expires, sorted by signature.
+    pub quarantined: Vec<(u64, u64)>,
+}
+
 /// A server→client response (one line each).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -396,6 +434,8 @@ pub enum Response {
     Done(DoneMsg),
     /// Service-counter snapshot as ordered `key=value` pairs.
     Stats(Vec<(String, u64)>),
+    /// The richer `stats v2` snapshot.
+    StatsV2(StatsV2),
     /// The connection's flush barrier: every job submitted before the
     /// `drain` has completed; the payload is the total jobs completed on
     /// this connection so far.
@@ -452,6 +492,27 @@ impl Response {
                 }
                 s
             }
+            Response::StatsV2(v2) => {
+                let mut s = format!("stats2 counters {}", v2.counters.len());
+                for (k, v) in &v2.counters {
+                    s.push(' ');
+                    s.push_str(k);
+                    s.push('=');
+                    s.push_str(&v.to_string());
+                }
+                s.push_str(&format!(" hists {}", v2.hists.len()));
+                for h in &v2.hists {
+                    s.push_str(&format!(
+                        " {}:{}:{}:{}:{}:{}:{}:{}",
+                        h.name, h.label_key, h.label_value, h.count, h.p50, h.p95, h.p99, h.max
+                    ));
+                }
+                s.push_str(&format!(" quarantine {}", v2.quarantined.len()));
+                for (sig, ttl) in &v2.quarantined {
+                    s.push_str(&format!(" {sig:016x}:{ttl}"));
+                }
+                s
+            }
             Response::Drained(n) => format!("drained {n}"),
             Response::Unquarantined(found) => format!("unquarantined {}", u8::from(*found)),
             Response::Error(msg) => format!("err {msg}"),
@@ -475,6 +536,7 @@ impl Response {
                 })
                 .collect::<Result<Vec<_>, String>>()
                 .map(Response::Stats),
+            "stats2" => Self::parse_stats_v2(rest).map(Response::StatsV2),
             "drained" => rest
                 .trim()
                 .parse()
@@ -488,6 +550,89 @@ impl Response {
             "err" => Ok(Response::Error(rest.to_string())),
             other => Err(format!("unknown response {other}")),
         }
+    }
+
+    fn parse_stats_v2(rest: &str) -> Result<StatsV2, String> {
+        let f: Vec<&str> = rest.split_ascii_whitespace().collect();
+        let mut i = 0usize;
+        // Each section is `<name> <count>` followed by `count` entries.
+        let section = |name: &'static str, i: &mut usize| -> Result<usize, String> {
+            if f.get(*i).copied() != Some(name) {
+                return Err(format!("stats2 expects a {name} section at field {i}"));
+            }
+            let n: usize = f
+                .get(*i + 1)
+                .ok_or(format!("stats2 {name} needs a count"))?
+                .parse()
+                .map_err(|_| format!("bad {name} count"))?;
+            *i += 2;
+            if f.len() < *i + n {
+                return Err(format!(
+                    "stats2 {name} declares {n} entries, line ends early"
+                ));
+            }
+            Ok(n)
+        };
+        let n = section("counters", &mut i)?;
+        let counters = f[i..i + n]
+            .iter()
+            .map(|pair| {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or(format!("bad stat pair {pair}"))?;
+                let v: u64 = v.parse().map_err(|_| format!("bad stat value {pair}"))?;
+                Ok((k.to_string(), v))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        i += n;
+        let m = section("hists", &mut i)?;
+        let hists = f[i..i + m]
+            .iter()
+            .map(|entry| {
+                let parts: Vec<&str> = entry.split(':').collect();
+                let [name, label_key, label_value, count, p50, p95, p99, max] = parts[..] else {
+                    return Err(format!("bad hist digest {entry}"));
+                };
+                let num = |s: &str| -> Result<u64, String> {
+                    s.parse().map_err(|_| format!("bad hist field {s}"))
+                };
+                Ok(HistSummary {
+                    name: name.to_string(),
+                    label_key: label_key.to_string(),
+                    label_value: label_value.to_string(),
+                    count: num(count)?,
+                    p50: num(p50)?,
+                    p95: num(p95)?,
+                    p99: num(p99)?,
+                    max: num(max)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        i += m;
+        let q = section("quarantine", &mut i)?;
+        let quarantined = f[i..i + q]
+            .iter()
+            .map(|entry| {
+                let (sig, ttl) = entry
+                    .split_once(':')
+                    .ok_or(format!("bad quarantine entry {entry}"))?;
+                let sig = u64::from_str_radix(sig, 16)
+                    .map_err(|_| format!("bad quarantine signature {sig}"))?;
+                let ttl: u64 = ttl
+                    .parse()
+                    .map_err(|_| format!("bad quarantine ttl {ttl}"))?;
+                Ok((sig, ttl))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        i += q;
+        if i != f.len() {
+            return Err(format!("stats2 line has {} trailing fields", f.len() - i));
+        }
+        Ok(StatsV2 {
+            counters,
+            hists,
+            quarantined,
+        })
     }
 
     fn parse_done(rest: &str) -> Result<DoneMsg, String> {
@@ -613,6 +758,8 @@ mod tests {
                 },
             ]),
             Request::Stats,
+            Request::StatsV2,
+            Request::Metrics,
             Request::Drain,
             Request::Unquarantine(0xdead_beef_0042),
         ] {
@@ -655,6 +802,21 @@ mod tests {
                 },
             }),
             Response::Stats(vec![("submitted".into(), 12), ("completed".into(), 12)]),
+            Response::StatsV2(StatsV2 {
+                counters: vec![("completed".into(), 12), ("submitted".into(), 12)],
+                hists: vec![HistSummary {
+                    name: "smartapps_exec_ns".into(),
+                    label_key: "scheme".into(),
+                    label_value: "hash".into(),
+                    count: 40,
+                    p50: 1023,
+                    p95: 8191,
+                    p99: 16383,
+                    max: 12345,
+                }],
+                quarantined: vec![(0xabc, 17), (0xdef, 0)],
+            }),
+            Response::StatsV2(StatsV2::default()),
             Response::Drained(40),
             Response::Unquarantined(true),
             Response::Error("line too long".into()),
@@ -700,6 +862,12 @@ mod tests {
             "drained x",
             "unquarantined 2",
             "bogus",
+            "stats2",                                      // no sections
+            "stats2 counters 1",                           // truncated counters
+            "stats2 counters 0 hists 1 a:b quarantine 0",  // short digest
+            "stats2 counters 0 hists 0 quarantine 1 zz:3", // bad signature
+            "stats2 counters 0 hists 0 quarantine 0 junk", // trailing fields
+            "stats2 hists 0 counters 0 quarantine 0",      // sections out of order
         ] {
             assert!(Response::parse(line).is_err(), "should reject: {line}");
         }
@@ -750,5 +918,95 @@ mod tests {
         assert_eq!(checksum(&[1, 2, 3]), 6);
         assert_eq!(checksum(&[i64::MAX, 1]), i64::MIN);
         assert_eq!(checksum(&[]), 0);
+    }
+
+    mod props {
+        //! Round-trip properties of the `stats`/`stats2` encodings over
+        //! arbitrary (wire-safe) keys, digests, and quarantine entries.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Strategy: strings over the registry's sanitized label charset
+        /// (the only values that ever reach a `stats2` line).
+        fn arb_ident() -> impl Strategy<Value = String> {
+            const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+            proptest::collection::vec(0usize..CHARS.len(), 1..12)
+                .prop_map(|ix| ix.into_iter().map(|i| CHARS[i] as char).collect())
+        }
+
+        fn arb_summary() -> impl Strategy<Value = HistSummary> {
+            (
+                (arb_ident(), arb_ident(), arb_ident()),
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                ),
+            )
+                .prop_map(
+                    |((name, label_key, label_value), (count, p50, p95, p99, max))| HistSummary {
+                        name,
+                        label_key,
+                        label_value,
+                        count,
+                        p50,
+                        p95,
+                        p99,
+                        max,
+                    },
+                )
+        }
+
+        fn arb_stats_v2() -> impl Strategy<Value = StatsV2> {
+            (
+                proptest::collection::vec((arb_ident(), any::<u64>()), 0..6),
+                proptest::collection::vec(arb_summary(), 0..6),
+                proptest::collection::vec((any::<u64>(), 0u64..1_000_000), 0..5),
+            )
+                .prop_map(|(mut counters, mut hists, mut quarantined)| {
+                    // The server always emits sorted sections; generate in
+                    // the same canonical form.
+                    counters.sort();
+                    hists.sort_by(|a, b| {
+                        (&a.name, &a.label_key, &a.label_value).cmp(&(
+                            &b.name,
+                            &b.label_key,
+                            &b.label_value,
+                        ))
+                    });
+                    quarantined.sort();
+                    StatsV2 {
+                        counters,
+                        hists,
+                        quarantined,
+                    }
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            #[test]
+            fn stats_v2_encode_parse_round_trips(v2 in arb_stats_v2()) {
+                let line = Response::StatsV2(v2.clone()).encode();
+                prop_assert_eq!(
+                    Response::parse(&line),
+                    Ok(Response::StatsV2(v2)),
+                    "line: {}", line
+                );
+            }
+
+            #[test]
+            fn stats_encode_parse_round_trips(
+                pairs in proptest::collection::vec((arb_ident(), any::<u64>()), 0..12),
+            ) {
+                let resp = Response::Stats(pairs);
+                let line = resp.encode();
+                prop_assert_eq!(Response::parse(&line), Ok(resp), "line: {}", line);
+            }
+        }
     }
 }

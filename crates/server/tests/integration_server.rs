@@ -423,6 +423,166 @@ fn shutdown_with_jobs_in_flight_still_answers_them() {
     assert_eq!(seen.len() as u64, stats.submitted);
 }
 
+/// Nearest-rank quantile recovered from exposition `_bucket` lines the
+/// way `netload` does it: smallest `le` whose cumulative count covers
+/// the rank.
+fn quantile_from_exposition(text: &str, series_prefix: &str, q: f64) -> Option<u64> {
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(series_prefix) else {
+            continue;
+        };
+        let (le, cum) = rest.split_once("\"} ")?;
+        let le = le.strip_prefix("le=\"")?;
+        let le = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().ok()?
+        };
+        buckets.push((le, cum.trim().parse().ok()?));
+    }
+    let total = buckets.last()?.1;
+    if total == 0 {
+        return None;
+    }
+    let rank = (q * (total - 1) as f64).round() as u64 + 1;
+    buckets.iter().find(|(_, cum)| *cum >= rank).map(|(le, _)| {
+        if le.is_finite() {
+            *le as u64
+        } else {
+            u64::MAX
+        }
+    })
+}
+
+#[test]
+fn metrics_and_stats_v2_reflect_multi_client_traffic() {
+    const CLIENTS: u64 = 3;
+    const JOBS: u64 = 8;
+
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers: 2,
+        dispatchers: 2,
+        quarantine_after: 2,
+        quarantine_ttl: Duration::from_secs(3600),
+        ..RuntimeConfig::default()
+    }));
+    let server = Server::start(rt.clone(), ServerConfig::default()).expect("start server");
+    let addr = server.local_addr();
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for t in 0..JOBS {
+                    client
+                        .submit(SubmitArgs {
+                            token: t,
+                            reply: ReplyMode::Ack,
+                            body: WireBody::Sum,
+                            spec: small_spec(600 + c),
+                        })
+                        .expect("submit");
+                }
+                assert_eq!(client.drain().expect("drain"), JOBS);
+            });
+        }
+    });
+
+    // Poison one class past the quarantine threshold so `stats v2` has a
+    // TTL entry to report.
+    let mut probe = Client::connect(addr).expect("probe");
+    let poison = WireSpec {
+        elements: 25_600,
+        ..small_spec(991)
+    };
+    for t in 0..4u64 {
+        probe
+            .submit(SubmitArgs {
+                token: t,
+                reply: ReplyMode::Ack,
+                body: WireBody::Panic,
+                spec: poison,
+            })
+            .expect("submit");
+    }
+    probe.drain().expect("drain");
+    let delivered = CLIENTS * JOBS + 4;
+
+    // Plain `stats` keys are now deterministic (sorted).
+    let v1 = probe.stats().expect("stats");
+    assert!(v1.windows(2).all(|w| w[0].0 < w[1].0), "stats keys sorted");
+
+    // `stats v2`: the same counters, histogram digests that reflect the
+    // traffic, and the quarantined class with its remaining TTL.
+    let v2 = probe.stats_v2().expect("stats v2");
+    assert_eq!(v2.counters, v1);
+    let exec_total: u64 = v2
+        .hists
+        .iter()
+        .filter(|h| h.name == "smartapps_exec_ns")
+        .map(|h| h.count)
+        .sum();
+    assert!(
+        exec_total > 0,
+        "per-scheme exec histograms must be populated"
+    );
+    let all = v2
+        .hists
+        .iter()
+        .find(|h| h.name == "smartapps_request_ns" && h.label_value == "all")
+        .expect("aggregate request-latency series");
+    assert_eq!(all.count, delivered, "one latency sample per delivered job");
+    assert!(all.p50 > 0 && all.p99 >= all.p50 && all.max >= all.p99);
+    let per_conn: u64 = v2
+        .hists
+        .iter()
+        .filter(|h| h.name == "smartapps_request_ns" && h.label_value != "all")
+        .map(|h| h.count)
+        .sum();
+    assert_eq!(
+        per_conn, delivered,
+        "per-connection series partition the total"
+    );
+    assert_eq!(v2.quarantined.len(), 1, "poisoned class listed");
+    let (_sig, ttl) = v2.quarantined[0];
+    assert!(ttl > 3000 && ttl <= 3600, "remaining TTL in seconds: {ttl}");
+
+    // The `metrics` exposition covers runtime and server series, and a
+    // scraper can recover server-side latency quantiles from it.
+    let text = probe.metrics().expect("metrics");
+    assert!(
+        text.contains("# TYPE smartapps_exec_ns histogram"),
+        "{text}"
+    );
+    assert!(text.contains("smartapps_exec_ns_bucket{scheme="), "{text}");
+    assert!(
+        text.contains(&format!(
+            "smartapps_request_ns_count{{conn=\"all\"}} {delivered}"
+        )),
+        "{text}"
+    );
+    let p99 = quantile_from_exposition(
+        text.as_str(),
+        "smartapps_request_ns_bucket{conn=\"all\",",
+        0.99,
+    )
+    .expect("p99 from bucket lines");
+    assert!(p99 > 0);
+    for (name, lo) in [
+        ("smartapps_conn_bytes_in", 1u64),
+        ("smartapps_conn_bytes_out", 1),
+    ] {
+        let sum: u64 = text
+            .lines()
+            .filter(|l| l.starts_with(&format!("{name}{{conn=")))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert!(sum >= lo, "{name} must count traffic, got {sum}");
+    }
+    server.shutdown();
+}
+
 #[test]
 fn protocol_errors_fail_the_connection_not_the_server() {
     use std::io::{BufRead, BufReader, Write};

@@ -1,0 +1,257 @@
+//! Lock-free log2-bucketed histograms.
+//!
+//! A [`LogHistogram`] spreads `u64` samples (nanoseconds, cycles, bytes —
+//! any non-negative magnitude) over 64 power-of-two buckets: bucket 0
+//! holds `0..2`, bucket `i ≥ 1` holds `2^i .. 2^(i+1)`.  Recording is a
+//! handful of relaxed atomic adds — no locks, no allocation — so the
+//! dispatcher and reactor hot paths can record every single job without
+//! measurable overhead, and any thread can snapshot concurrently.
+//!
+//! The price of log2 buckets is resolution: a reported
+//! [`quantile`](HistogramSnapshot::quantile) is the *upper bound* of the
+//! bucket the true rank falls in, so it can overstate the true value by
+//! at most one power of two (tested: the property tests bound the error
+//! to one bucket against a sorted-vector oracle).  For latency
+//! distributions spanning nanoseconds to seconds, that is exactly the
+//! resolution a "did p99 move?" question needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets — enough for any `u64` magnitude.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: 0 for `0..2`, else `floor(log2(v))`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value < 2 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`1, 3, 7, …, u64::MAX`) — the
+/// value [`HistogramSnapshot::quantile`] reports for ranks in the bucket
+/// and the `le` bound the Prometheus exposition advertises.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// A lock-free histogram over log2 buckets.
+///
+/// [`record`](LogHistogram::record) is wait-free (three relaxed
+/// `fetch_add`s and a `fetch_max`); [`snapshot`](LogHistogram::snapshot)
+/// reads concurrently without stopping writers.  A snapshot taken during
+/// recording is a *consistent-enough* view: each counter is atomically
+/// read, so totals can trail in-flight records by a few samples but
+/// never tear.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`LogHistogram`]'s state: mergeable, queryable,
+/// cheap to pass around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i` holds `2^i .. 2^(i+1)`,
+    /// bucket 0 also holds `0` and `1`).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Wrapping sum of all samples (for [`mean`](Self::mean)).
+    pub sum: u64,
+    /// Largest sample seen (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merge another snapshot in: the result equals a snapshot of one
+    /// histogram that recorded both sample sets (the union property the
+    /// proptests pin down) — this is what lets per-connection or
+    /// per-shard histograms aggregate into a service-wide view.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) by nearest rank,
+    /// reported as the containing bucket's upper bound — within one log2
+    /// bucket of the true order statistic.  `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum > target {
+                // The max is exact and always at least as tight as the
+                // top occupied bucket's bound.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of all samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Index of the highest occupied bucket, if any — the render cutoff
+    /// for expositions that skip trailing empty buckets.
+    pub fn last_occupied_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&n| n > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_upper_bound(0), 1);
+        assert_eq!(bucket_upper_bound(1), 3);
+        assert_eq!(bucket_upper_bound(62), (1u64 << 63) - 1);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+        // Every value sits at or below its bucket's bound and above the
+        // previous bucket's.
+        for v in [0u64, 1, 2, 3, 5, 1023, 1024, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper_bound(b), "{v}");
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_and_mean_of_a_known_distribution() {
+        let h = LogHistogram::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1015);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 203.0).abs() < 1e-9);
+        // Median rank 2 → value 4, bucket 2 → bound 7.
+        assert_eq!(s.quantile(0.5), 7);
+        // p100 is the exact max, not bucket 9's bound (1023).
+        assert_eq!(s.quantile(1.0), 1000);
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.last_occupied_bucket(), None);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(LogHistogram::new());
+        let threads = 8;
+        let per = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        h.record(t * per + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per);
+        assert_eq!(s.buckets.iter().sum::<u64>(), threads * per);
+        assert_eq!(s.max, threads * per - 1);
+    }
+}

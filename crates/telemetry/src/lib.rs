@@ -1,0 +1,55 @@
+//! # smartapps-telemetry — the service's self-measurement substrate
+//!
+//! The paper's premise is a runtime that *measures itself* and adapts;
+//! until now the workspace only counted (17 monotonic counters in
+//! `smartapps-runtime`'s `stats`).  This crate adds the distribution
+//! layer those counters cannot express — where the p99 lives, which
+//! scheme's tail moved, what happened to the last few thousand jobs
+//! individually — without ever taking a lock on a hot path.
+//!
+//! Three modules, all std-only:
+//!
+//! * [`histogram`] — [`LogHistogram`]: 64 power-of-two buckets, wait-free
+//!   `record`, mergeable [`HistogramSnapshot`]s with
+//!   `quantile`/`mean`/`max` whose error is bounded by one log2 bucket
+//!   (property-tested against a sorted-vector oracle).
+//! * [`registry`] — [`Registry`]: histograms and counters keyed by
+//!   static metric name × one dynamic label (scheme, domain class,
+//!   connection id), rendered as Prometheus-style text exposition or as
+//!   the compact [`HistSummary`] digests the `stats v2` wire response
+//!   carries.  `docs/OBSERVABILITY.md` is the metric catalog.
+//! * [`trace`] — [`TraceRing`]: a fixed-capacity seqlock ring (safe Rust,
+//!   atomic words only) of per-job [`TraceEvent`]s carrying the full
+//!   submitted→queued→decided→executed→completed timestamp chain and the
+//!   routing tags.
+//!
+//! `smartapps-runtime` owns a `RuntimeTelemetry` bundle of these and
+//! records at every lifecycle edge; `smartapps-server` adds
+//! per-connection series and serves both exposition surfaces over the
+//! wire.
+//!
+//! ## Example
+//!
+//! ```
+//! use smartapps_telemetry::Registry;
+//!
+//! let reg = Registry::new();
+//! let exec = reg.histogram("exec_ns", "scheme", "hash");
+//! for v in [120, 450, 90_000] {
+//!     exec.record(v);
+//! }
+//! let s = exec.snapshot();
+//! assert_eq!(s.count, 3);
+//! assert!(s.quantile(0.5) >= 450);
+//! assert!(reg.render_prometheus().contains("exec_ns_count{scheme=\"hash\"} 3"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{bucket_of, bucket_upper_bound, HistogramSnapshot, LogHistogram, BUCKETS};
+pub use registry::{HistSummary, Registry};
+pub use trace::{TraceBackend, TraceError, TraceEvent, TraceRing};

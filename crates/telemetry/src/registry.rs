@@ -1,0 +1,293 @@
+//! The metric registry: static metric names × dynamic labels, with a
+//! Prometheus-style text exposition.
+//!
+//! A [`Registry`] hands out shared [`LogHistogram`]s and monotonic
+//! counters keyed by a **static metric name** (`"smartapps_exec_ns"`)
+//! and one **dynamic label** pair (`scheme="hash"`, `conn="42"`,
+//! `domain="d9r1s10m2"`).  Lookup takes a short mutex on a sorted map;
+//! recording through the returned [`Arc`] is lock-free, so hot paths
+//! either cache the `Arc` or pay one cheap map probe per event.
+//!
+//! [`render_prometheus`](Registry::render_prometheus) produces the
+//! standard text exposition (`*_bucket{…,le="…"}` cumulative counts plus
+//! `*_sum`/`*_count`, and plain counters) that any scraper — or a
+//! human with `nc` — can consume; [`summaries`](Registry::summaries)
+//! produces the compact per-histogram quantile digest the `stats v2`
+//! wire response carries.  Both iterate the maps in sorted key order, so
+//! output is deterministic.
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot, LogHistogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Key of one registered series: metric name, label key, label value.
+type SeriesKey = (&'static str, &'static str, String);
+
+/// Compact digest of one histogram series, as carried by `stats v2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Metric name (e.g. `smartapps_exec_ns`).
+    pub name: String,
+    /// Label key (e.g. `scheme`).
+    pub label_key: String,
+    /// Label value (e.g. `hash`).
+    pub label_value: String,
+    /// Total samples.
+    pub count: u64,
+    /// Nearest-rank median, bucket-bounded (see
+    /// [`HistogramSnapshot::quantile`]).
+    pub p50: u64,
+    /// 95th percentile, bucket-bounded.
+    pub p95: u64,
+    /// 99th percentile, bucket-bounded.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+/// A name × label registry of histograms and counters.
+#[derive(Debug, Default)]
+pub struct Registry {
+    hists: Mutex<BTreeMap<SeriesKey, Arc<LogHistogram>>>,
+    counters: Mutex<BTreeMap<SeriesKey, Arc<AtomicU64>>>,
+}
+
+/// Keep label values exposition-safe: Prometheus label values would need
+/// escaping for `"`/`\`/newline, and the `stats v2` line grammar splits
+/// on whitespace and `:` — so anything outside `[A-Za-z0-9._-]` becomes
+/// `_` at registration time and every consumer stays simple.
+fn sanitize(value: &str) -> String {
+    value
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The histogram for `name{label_key="label_value"}`, created empty
+    /// on first use.  The returned handle records lock-free; callers on
+    /// hot paths should keep it.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+    ) -> Arc<LogHistogram> {
+        let mut map = self.hists.lock().unwrap_or_else(|p| p.into_inner());
+        map.entry((name, label_key, sanitize(label_value)))
+            .or_default()
+            .clone()
+    }
+
+    /// Record one sample into `name{label_key="label_value"}` — the
+    /// one-shot convenience for paths cold enough to pay the map probe.
+    pub fn record(&self, name: &'static str, label_key: &'static str, label_value: &str, v: u64) {
+        self.histogram(name, label_key, label_value).record(v);
+    }
+
+    /// The monotonic counter for `name{label_key="label_value"}`.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+    ) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        map.entry((name, label_key, sanitize(label_value)))
+            .or_default()
+            .clone()
+    }
+
+    /// Add `n` to a counter (cold-path convenience).
+    pub fn add(&self, name: &'static str, label_key: &'static str, label_value: &str, n: u64) {
+        self.counter(name, label_key, label_value)
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one histogram series, if it exists.
+    pub fn snapshot_of(
+        &self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+    ) -> Option<HistogramSnapshot> {
+        let map = self.hists.lock().unwrap_or_else(|p| p.into_inner());
+        map.get(&(name, label_key, sanitize(label_value)))
+            .map(|h| h.snapshot())
+    }
+
+    /// Merged snapshot of every series of `name`, across all labels —
+    /// the service-wide aggregate of a per-connection or per-scheme
+    /// histogram family.
+    pub fn merged_snapshot(&self, name: &'static str) -> HistogramSnapshot {
+        let map = self.hists.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = HistogramSnapshot::default();
+        for ((n, _, _), h) in map.iter() {
+            if *n == name {
+                out.merge(&h.snapshot());
+            }
+        }
+        out
+    }
+
+    /// Compact digests of every non-empty histogram series, in sorted
+    /// (name, label key, label value) order — the `stats v2` payload.
+    pub fn summaries(&self) -> Vec<HistSummary> {
+        let snaps: Vec<(SeriesKey, HistogramSnapshot)> = {
+            let map = self.hists.lock().unwrap_or_else(|p| p.into_inner());
+            map.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect()
+        };
+        snaps
+            .into_iter()
+            .filter(|(_, s)| s.count > 0)
+            .map(|((name, lk, lv), s)| HistSummary {
+                name: name.to_string(),
+                label_key: lk.to_string(),
+                label_value: lv,
+                count: s.count,
+                p50: s.quantile(0.50),
+                p95: s.quantile(0.95),
+                p99: s.quantile(0.99),
+                max: s.max,
+            })
+            .collect()
+    }
+
+    /// Render the registry as Prometheus-style text exposition
+    /// (`docs/OBSERVABILITY.md` documents the grammar).  Histograms emit
+    /// cumulative `_bucket{…,le="…"}` lines at the log2 bounds up to the
+    /// highest occupied bucket plus `le="+Inf"`, then `_sum` and
+    /// `_count`; counters emit one sample line each.  Empty series are
+    /// skipped; ordering is deterministic (sorted keys).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let hists: Vec<(SeriesKey, HistogramSnapshot)> = {
+            let map = self.hists.lock().unwrap_or_else(|p| p.into_inner());
+            map.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect()
+        };
+        let mut last_name = "";
+        for ((name, lk, lv), s) in hists.iter().filter(|(_, s)| s.count > 0) {
+            if *name != last_name {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                last_name = name;
+            }
+            let mut cum = 0u64;
+            let top = s.last_occupied_bucket().unwrap_or(0);
+            for (i, &n) in s.buckets.iter().enumerate().take(top + 1) {
+                cum += n;
+                out.push_str(&format!(
+                    "{name}_bucket{{{lk}=\"{lv}\",le=\"{}\"}} {cum}\n",
+                    bucket_upper_bound(i)
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{{lk}=\"{lv}\",le=\"+Inf\"}} {}\n",
+                s.count
+            ));
+            out.push_str(&format!("{name}_sum{{{lk}=\"{lv}\"}} {}\n", s.sum));
+            out.push_str(&format!("{name}_count{{{lk}=\"{lv}\"}} {}\n", s.count));
+        }
+        let counters: Vec<(SeriesKey, u64)> = {
+            let map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+            map.iter()
+                .map(|(k, c)| (k.clone(), c.load(Ordering::Relaxed)))
+                .collect()
+        };
+        let mut last_name = "";
+        for ((name, lk, lv), v) in counters {
+            if name != last_name {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                last_name = name;
+            }
+            out.push_str(&format!("{name}{{{lk}=\"{lv}\"}} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_handles_are_shared_per_series() {
+        let r = Registry::new();
+        let a = r.histogram("m_ns", "scheme", "hash");
+        let b = r.histogram("m_ns", "scheme", "hash");
+        let c = r.histogram("m_ns", "scheme", "rep");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        a.record(5);
+        assert_eq!(b.count(), 1);
+        assert_eq!(r.snapshot_of("m_ns", "scheme", "hash").unwrap().count, 1);
+        assert!(r.snapshot_of("m_ns", "scheme", "zzz").is_none());
+    }
+
+    #[test]
+    fn label_values_are_sanitized() {
+        let r = Registry::new();
+        r.record("m_ns", "conn", "4 2\"x\n", 1);
+        assert_eq!(r.snapshot_of("m_ns", "conn", "4_2_x_").unwrap().count, 1);
+        let text = r.render_prometheus();
+        assert!(text.contains("conn=\"4_2_x_\""), "{text}");
+    }
+
+    #[test]
+    fn merged_snapshot_aggregates_labels() {
+        let r = Registry::new();
+        r.record("lat_ns", "conn", "0", 10);
+        r.record("lat_ns", "conn", "1", 1000);
+        r.record("other_ns", "conn", "0", 7);
+        let m = r.merged_snapshot("lat_ns");
+        assert_eq!(m.count, 2);
+        assert_eq!(m.max, 1000);
+    }
+
+    #[test]
+    fn exposition_contains_cumulative_buckets_and_counters() {
+        let r = Registry::new();
+        for v in [1u64, 2, 4, 4, 1000] {
+            r.record("lat_ns", "scheme", "hash", v);
+        }
+        r.add("jobs_total", "kind", "ok", 3);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{scheme=\"hash\",le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ns_bucket{scheme=\"hash\",le=\"3\"} 2\n"));
+        assert!(text.contains("lat_ns_bucket{scheme=\"hash\",le=\"7\"} 4\n"));
+        assert!(text.contains("lat_ns_bucket{scheme=\"hash\",le=\"+Inf\"} 5\n"));
+        assert!(text.contains("lat_ns_sum{scheme=\"hash\"} 1011\n"));
+        assert!(text.contains("lat_ns_count{scheme=\"hash\"} 5\n"));
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total{kind=\"ok\"} 3\n"));
+    }
+
+    #[test]
+    fn summaries_are_sorted_and_skip_empty_series() {
+        let r = Registry::new();
+        let _empty = r.histogram("b_ns", "scheme", "rep");
+        r.record("b_ns", "scheme", "hash", 100);
+        r.record("a_ns", "conn", "7", 50);
+        let sums = r.summaries();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].name, "a_ns");
+        assert_eq!(sums[1].name, "b_ns");
+        assert_eq!(sums[1].label_value, "hash");
+        assert_eq!(sums[1].count, 1);
+        assert_eq!(sums[1].max, 100);
+        // The bucket bound (127) is clipped to the exact max.
+        assert_eq!(sums[1].p99, 100);
+    }
+}

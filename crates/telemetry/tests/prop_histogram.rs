@@ -1,0 +1,98 @@
+//! Property tests for the log2 histogram: quantiles stay within one
+//! bucket of an exact sorted-vector oracle for arbitrary sample sets,
+//! and merging snapshots is indistinguishable from recording the union
+//! into one histogram.  These are the bounds the `stats v2` digests and
+//! the Prometheus exposition lean on.
+
+use proptest::prelude::*;
+use smartapps_telemetry::{bucket_of, HistogramSnapshot, LogHistogram};
+
+/// Strategy: sample sets spanning the magnitudes latency recording
+/// produces — sub-microsecond counts through multi-second outliers —
+/// including empty sets and heavy duplicates.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..16,
+            100u64..100_000,
+            1_000_000u64..10_000_000_000,
+            Just(0u64),
+            Just(u64::MAX),
+        ],
+        0..300,
+    )
+}
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let h = LogHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The exact nearest-rank quantile the histogram approximates.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantile_is_within_one_bucket_of_the_oracle(
+        samples in arb_samples(),
+        q_pct in 0u32..=100,
+    ) {
+        let snap = record_all(&samples);
+        let q = q_pct as f64 / 100.0;
+        if samples.is_empty() {
+            prop_assert_eq!(snap.quantile(q), 0);
+            return Ok(());
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = oracle_quantile(&sorted, q);
+        let reported = snap.quantile(q);
+        // Never an understatement, and never more than the containing
+        // bucket's bound — i.e. within one log2 bucket of the truth.
+        prop_assert!(reported >= exact, "reported {} < exact {}", reported, exact);
+        let db = bucket_of(reported) as i64 - bucket_of(exact) as i64;
+        prop_assert!(
+            (0..=1).contains(&db),
+            "reported {} ({} buckets past exact {})", reported, db, exact
+        );
+        prop_assert!(reported <= snap.max);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in arb_samples(),
+        b in arb_samples(),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        let direct = record_all(&union);
+        // Sum wraps identically on both sides (u64::MAX samples), so
+        // full struct equality holds, not just bucket equality.
+        prop_assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn count_sum_max_and_buckets_are_exact(samples in arb_samples()) {
+        let snap = record_all(&samples);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(
+            snap.sum,
+            samples.iter().fold(0u64, |s, &v| s.wrapping_add(v))
+        );
+        prop_assert_eq!(snap.max, samples.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        for &v in &samples {
+            prop_assert!(snap.buckets[bucket_of(v)] > 0);
+        }
+    }
+}

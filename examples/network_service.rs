@@ -93,6 +93,29 @@ fn main() {
     assert_eq!(get("submitted"), 8);
     assert_eq!(get("completed"), 8);
 
+    // The richer `stats v2`: latency-histogram digests (count / p50 /
+    // p95 / p99 / max) plus any quarantined classes with remaining
+    // TTLs — see docs/OBSERVABILITY.md for the catalog.
+    let v2 = client.stats_v2().expect("stats v2");
+    for h in v2
+        .hists
+        .iter()
+        .filter(|h| h.name == "smartapps_exec_ns" || h.label_value == "all")
+    {
+        println!(
+            "  {}{{{}=\"{}\"}}: count={} p50={}ns p99={}ns max={}ns",
+            h.name, h.label_key, h.label_value, h.count, h.p50, h.p99, h.max
+        );
+    }
+    match v2.quarantined.as_slice() {
+        [] => println!("stats v2: no quarantined classes"),
+        q => {
+            for (sig, ttl) in q {
+                println!("stats v2: quarantined class {sig:016x} ({ttl}s of TTL left)");
+            }
+        }
+    }
+
     server.shutdown();
     println!("server drained and stopped; runtime still serves in-process callers");
     let stats = rt.stats();
