@@ -3,9 +3,25 @@
 //! jobs/s plus latency percentiles.
 //!
 //! ```sh
-//! cargo run --release -p smartapps-bench --bin netload -- [clients] [seconds] [window]
-//! #   defaults:                                            8         4         32
+//! cargo run --release -p smartapps-bench --bin netload -- \
+//!     [clients] [seconds] [window] [wire] [idle_conns]
+//! #   defaults: 8       4         32       text   0
 //! ```
+//!
+//! `wire` selects the protocol scenario:
+//!
+//! * `text` — the line protocol, inline generator specs (the original
+//!   scenario).
+//! * `bin` — every client negotiates binary wire v2 (`upgrade bin`)
+//!   and the same jobs ride length-prefixed frames.
+//! * `bin-upload` — binary wire v2 **and** CSR upload: each client
+//!   uploads the class patterns once (the server interns them, so all
+//!   clients share one copy per class) and submits by handle.
+//!
+//! `idle_conns` opens that many connected-but-silent connections before
+//! the run — under the epoll reactors they must cost nothing (compare
+//! jobs/s with `0` and `256`; see `tests/soak_epoll.rs` for the hard
+//! assertion).
 //!
 //! Each client keeps `window` submissions outstanding (submit → await
 //! `done` → submit the next), so the server sees a steady in-flight load
@@ -20,16 +36,17 @@
 //!
 //! The point being measured: the server runs `1 acceptor + R reactors`
 //! service threads plus the runtime's dispatchers and pool — a thread
-//! count **independent of the client count**.  Scaling `clients` up
-//! changes only this process's loadgen threads (which stand in for
-//! remote machines), never the server's.
+//! count **independent of the client count**.  Scaling `clients` (or
+//! `idle_conns`) up changes only this process's loadgen threads (which
+//! stand in for remote machines), never the server's.
 
 use smartapps_runtime::{Runtime, RuntimeConfig};
 use smartapps_server::{
-    Client, DoneOutcome, Payload, ReplyMode, Server, ServerConfig, SubmitArgs, WireBody, WireDist,
-    WireSpec,
+    Client, DoneOutcome, Payload, ReplyMode, Server, ServerConfig, SubmitArgs, UploadArgs,
+    WireBody, WireDist, WireSource, WireSpec,
 };
 use std::collections::HashMap;
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,6 +66,25 @@ fn class_spec(class: usize) -> WireSpec {
 
 const CLASSES: usize = 4;
 
+/// Which protocol scenario the clients run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireMode {
+    Text,
+    Bin,
+    BinUpload,
+}
+
+impl WireMode {
+    fn parse(s: &str) -> WireMode {
+        match s {
+            "text" => WireMode::Text,
+            "bin" => WireMode::Bin,
+            "bin-upload" => WireMode::BinUpload,
+            other => panic!("unknown wire mode {other:?} (text | bin | bin-upload)"),
+        }
+    }
+}
+
 struct ClientReport {
     completed: u64,
     latencies: Vec<Duration>,
@@ -59,9 +95,35 @@ fn drive_client(
     client_id: usize,
     deadline: Instant,
     window: usize,
+    mode: WireMode,
     expected: Arc<Vec<(usize, i64)>>,
 ) -> ClientReport {
     let mut client = Client::connect(addr).expect("connect");
+    if mode != WireMode::Text {
+        client.upgrade_binary().expect("upgrade bin");
+    }
+    // In the upload scenario each class is submitted by handle.  Every
+    // client uploads the same structures; the server interns, so this
+    // dedups to one copy per class service-wide.
+    let sources: Vec<WireSource> = match mode {
+        WireMode::BinUpload => (0..CLASSES)
+            .map(|c| {
+                let pat = class_spec(c).to_pattern_spec().generate();
+                let handle = client
+                    .upload(UploadArgs {
+                        token: u64::MAX - c as u64,
+                        num_elements: pat.num_elements,
+                        iter_ptr: pat.iter_ptr,
+                        indices: pat.indices,
+                    })
+                    .expect("upload");
+                WireSource::Handle(handle)
+            })
+            .collect(),
+        _ => (0..CLASSES)
+            .map(|c| WireSource::Gen(class_spec(c)))
+            .collect(),
+    };
     let mut submitted_at: HashMap<u64, Instant> = HashMap::new();
     let mut latencies = Vec::new();
     let mut completed = 0u64;
@@ -77,7 +139,7 @@ fn drive_client(
                     token,
                     reply: ReplyMode::Ack,
                     body: WireBody::Sum,
-                    spec: class_spec((client_id + token as usize) % CLASSES),
+                    source: sources[(client_id + token as usize) % CLASSES],
                 })
                 .expect("submit");
         };
@@ -164,6 +226,8 @@ fn main() {
     let clients = arg(1, 8).max(1);
     let seconds = arg(2, 4).max(1);
     let window = arg(3, 32).max(1);
+    let mode = WireMode::parse(args.get(4).map(String::as_str).unwrap_or("text"));
+    let idle_conns = arg(5, 0);
 
     let rt = Arc::new(Runtime::new(RuntimeConfig::default()));
     let dispatchers = rt.dispatcher_count();
@@ -178,14 +242,21 @@ fn main() {
         (0..CLASSES)
             .map(|c| {
                 let pat = class_spec(c).to_pattern_spec().generate();
-                let oracle = smartapps_workloads::pattern::sequential_reduce_i64(&pat);
+                let oracle = smartapps_workloads::sequential_reduce_i64(&pat);
                 (oracle.len(), smartapps_server::checksum(&oracle))
             })
             .collect(),
     );
 
+    // The silent crowd: connections that exist but never speak.  They
+    // are held open across the measured run.
+    let idle: Vec<TcpStream> = (0..idle_conns)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+
     println!(
-        "netload: {clients} clients x window {window} over loopback {addr} for {seconds}s \
+        "netload: {clients} clients x window {window} ({mode:?} wire, {idle_conns} idle conns) \
+         over loopback {addr} for {seconds}s \
          (server threads: 1 acceptor + {reactors} reactors + {dispatchers} dispatchers \
          + {workers}-wide pool — independent of client count)"
     );
@@ -196,7 +267,7 @@ fn main() {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let expected = expected.clone();
-                s.spawn(move || drive_client(addr, c, deadline, window, expected))
+                s.spawn(move || drive_client(addr, c, deadline, window, mode, expected))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -252,6 +323,26 @@ fn main() {
         Duration::from_nanos(sp95),
         Duration::from_nanos(sp99),
     );
+    if mode == WireMode::BinUpload {
+        // Interning proof: every client uploaded every class, but only
+        // the first copy of each was fresh.
+        let count = |outcome: &str| -> u64 {
+            text.lines()
+                .find_map(|l| {
+                    l.strip_prefix(&format!("smartapps_uploads{{outcome=\"{outcome}\"}} "))
+                        .and_then(|v| v.trim().parse().ok())
+                })
+                .unwrap_or(0)
+        };
+        let (fresh, dedup) = (count("fresh"), count("dedup"));
+        println!("server: {fresh} fresh uploads, {dedup} deduplicated");
+        assert_eq!(fresh, CLASSES as u64, "one fresh intern per class");
+        assert_eq!(
+            dedup,
+            (clients as u64 - 1) * CLASSES as u64,
+            "every other upload must dedup"
+        );
+    }
     let v2 = probe.stats_v2().expect("stats v2");
     if v2.quarantined.is_empty() {
         println!("server: no quarantined classes");
@@ -260,6 +351,7 @@ fn main() {
             println!("server: quarantined class {sig:016x} ({ttl}s of TTL remaining)");
         }
     }
+    drop(idle);
     server.shutdown();
 
     // Optional floor for CI-style smoke assertions.

@@ -84,6 +84,14 @@ pub(crate) struct CompletionQueue {
     /// Wakes producers when the consumer frees queue space.
     producer: Condvar,
     capacity: usize,
+    /// Optional out-of-band consumer wake-up, invoked after every
+    /// enqueue *in addition to* the condvar notify.  Consumers that
+    /// block somewhere other than [`wait_any`](CompletionSet::wait_any)
+    /// — a server reactor parked in `epoll_wait` — register a hook
+    /// ([`CompletionSet::set_wake_hook`]) that interrupts their blocking
+    /// primitive (an eventfd write).  Runs on the completing thread with
+    /// no locks held; keep it cheap and non-blocking.
+    wake_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl CompletionQueue {
@@ -97,6 +105,7 @@ impl CompletionQueue {
             consumer: Condvar::new(),
             producer: Condvar::new(),
             capacity: capacity.max(1),
+            wake_hook: Mutex::new(None),
         })
     }
 
@@ -127,6 +136,7 @@ impl CompletionQueue {
         g.events.push_back(completion);
         drop(g);
         self.consumer.notify_one();
+        self.invoke_wake_hook();
     }
 
     /// Deliver one completion **without** blocking on the bound.  Used
@@ -144,6 +154,19 @@ impl CompletionQueue {
         g.events.push_back(completion);
         drop(g);
         self.consumer.notify_one();
+        self.invoke_wake_hook();
+    }
+
+    /// Run the registered wake hook, if any (after the state lock is
+    /// released — the hook may itself touch the set).
+    fn invoke_wake_hook(&self) {
+        let hook = {
+            let g = self.wake_hook.lock().unwrap_or_else(|p| p.into_inner());
+            g.clone()
+        };
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 }
 
@@ -247,6 +270,33 @@ impl CompletionSet {
                 .unwrap_or_else(|p| p.into_inner())
                 .0;
         }
+    }
+
+    /// Register an out-of-band wake-up called after every completion is
+    /// enqueued (in addition to the internal condvar notify), replacing
+    /// any previous hook.  For consumers that block outside
+    /// [`wait_any`](Self::wait_any) — a server reactor parked in
+    /// `epoll_wait` registers an eventfd write here, then drains
+    /// [`poll`](Self::poll) to empty on each wake-up.  The hook runs on
+    /// the completing (dispatcher or submitting) thread with no queue
+    /// locks held; it must be cheap and must not block.
+    pub fn set_wake_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        let mut g = self
+            .queue
+            .wake_hook
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        *g = Some(Arc::new(hook));
+    }
+
+    /// Remove the registered wake hook, if any.
+    pub fn clear_wake_hook(&self) {
+        let mut g = self
+            .queue
+            .wake_hook
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        *g = None;
     }
 
     /// Pop every currently queued completion without blocking.
@@ -447,6 +497,30 @@ mod tests {
         drop(set);
         producer.join().unwrap(); // abandoned queue must not deadlock
         q.push(done(3)); // and further pushes are discarded, not stuck
+    }
+
+    #[test]
+    fn wake_hook_fires_on_every_enqueue_path() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let set = CompletionSet::with_capacity(8);
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let hits = hits.clone();
+            set.set_wake_hook(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let q = set.queue();
+        q.register();
+        q.register();
+        q.push(done(1)); // dispatcher path
+        q.push_now(done(2)); // submitting-thread path
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        set.clear_wake_hook();
+        q.register();
+        q.push(done(3));
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "cleared hook stays quiet");
+        assert_eq!(set.drain().len(), 3);
     }
 
     #[test]

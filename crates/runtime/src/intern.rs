@@ -1,0 +1,289 @@
+//! Uploaded-pattern interning: the handle registry behind CSR upload.
+//!
+//! The server's text protocol describes patterns as *generator specs* —
+//! nine numbers a [`PatternSpec`](smartapps_workloads::PatternSpec)
+//! expands into a synthetic CSR structure.  Real irregular applications
+//! do not have a generator: they have the sparse structure itself (a
+//! SuiteSparse matrix, a mesh adjacency), and shipping it inline with
+//! every job would swamp the wire.  The [`PatternInterner`] is the seam
+//! that fixes this: a client uploads an [`AccessPattern`] **once**, the
+//! interner validates it, dedupes it by content, and hands back a small
+//! opaque `u64` handle; every subsequent job references the handle and
+//! the runtime resolves it to the same shared `Arc`.
+//!
+//! Content-hash deduplication matters beyond memory: jobs from
+//! *different* connections that uploaded the *same* structure resolve to
+//! one `Arc<AccessPattern>`, so the queue's same-pattern coalescing and
+//! fused sweeps work across clients exactly as they do for spec-described
+//! patterns (pointer identity is what the fusion gate keys on).
+//!
+//! The registry is bounded: interning past
+//! [`capacity`](PatternInterner::capacity) fails with
+//! [`InternError::Full`] rather than letting remote clients grow server
+//! memory without limit.  Re-uploading an already-interned structure
+//! never counts against the bound — it returns the existing handle.
+
+use smartapps_workloads::AccessPattern;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Why an upload was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InternError {
+    /// The structure failed [`AccessPattern::validate`] — the message is
+    /// the validator's diagnosis (out-of-bounds index, non-monotone row
+    /// pointers, ...).
+    Invalid(String),
+    /// The registry holds `capacity` distinct patterns and this one is
+    /// new; the upload is refused rather than evicting a pattern some
+    /// other connection may still reference by handle.
+    Full {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for InternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InternError::Invalid(msg) => write!(f, "invalid pattern: {msg}"),
+            InternError::Full { capacity } => {
+                write!(f, "pattern registry full ({capacity} patterns)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InternError {}
+
+/// A successful [`intern`](PatternInterner::intern): the handle jobs will
+/// reference, the shared structure itself, and whether this upload
+/// created the entry or deduplicated onto an existing one.
+#[derive(Debug, Clone)]
+pub struct Interned {
+    /// Opaque nonzero handle; stable for the life of the runtime.
+    pub handle: u64,
+    /// The interned structure (the *one* `Arc` every same-content upload
+    /// resolves to).
+    pub pattern: Arc<AccessPattern>,
+    /// `true` when this call created the entry, `false` when the content
+    /// matched an existing pattern and its handle was returned instead.
+    pub fresh: bool,
+}
+
+struct InternState {
+    by_handle: HashMap<u64, Arc<AccessPattern>>,
+    /// Content hash → handles with that hash (a chain, because a hash
+    /// collision must not alias two distinct structures).
+    by_hash: HashMap<u64, Vec<u64>>,
+    next_handle: u64,
+}
+
+/// Bounded, content-deduplicating registry of uploaded access patterns.
+///
+/// Owned by the [`Runtime`](crate::Runtime) (one registry per service);
+/// all methods take `&self` and are safe to call from any thread.
+pub struct PatternInterner {
+    state: Mutex<InternState>,
+    capacity: usize,
+}
+
+impl PatternInterner {
+    /// A registry holding at most `capacity` distinct patterns (clamped
+    /// to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        PatternInterner {
+            state: Mutex::new(InternState {
+                by_handle: HashMap::new(),
+                by_hash: HashMap::new(),
+                next_handle: 1,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, InternState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The configured bound on distinct interned patterns.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Distinct patterns currently interned.
+    pub fn len(&self) -> usize {
+        self.lock().by_handle.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().by_handle.is_empty()
+    }
+
+    /// Validate and intern `pattern`, returning its handle.  Content
+    /// already in the registry — byte-identical `num_elements` /
+    /// `iter_ptr` / `indices` — returns the existing handle and `Arc`
+    /// with `fresh == false` and never counts against the capacity.
+    pub fn intern(&self, pattern: AccessPattern) -> Result<Interned, InternError> {
+        pattern.validate().map_err(InternError::Invalid)?;
+        let hash = content_hash(&pattern);
+        let mut g = self.lock();
+        if let Some(handles) = g.by_hash.get(&hash) {
+            for &h in handles {
+                let existing = &g.by_handle[&h];
+                if **existing == pattern {
+                    return Ok(Interned {
+                        handle: h,
+                        pattern: existing.clone(),
+                        fresh: false,
+                    });
+                }
+            }
+        }
+        if g.by_handle.len() >= self.capacity {
+            return Err(InternError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let handle = g.next_handle;
+        g.next_handle += 1;
+        let arc = Arc::new(pattern);
+        g.by_handle.insert(handle, arc.clone());
+        g.by_hash.entry(hash).or_default().push(handle);
+        Ok(Interned {
+            handle,
+            pattern: arc,
+            fresh: true,
+        })
+    }
+
+    /// Resolve a handle to its interned pattern (`None` for handles this
+    /// registry never issued).
+    pub fn get(&self, handle: u64) -> Option<Arc<AccessPattern>> {
+        self.lock().by_handle.get(&handle).cloned()
+    }
+}
+
+impl std::fmt::Debug for PatternInterner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.lock();
+        f.debug_struct("PatternInterner")
+            .field("len", &g.by_handle.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// FNV-1a over the pattern's structural content.  Stable within one
+/// process run is all that is required (handles are never persisted).
+fn content_hash(pattern: &AccessPattern) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&(pattern.num_elements as u64).to_le_bytes());
+    eat(&(pattern.iter_ptr.len() as u64).to_le_bytes());
+    for v in &pattern.iter_ptr {
+        eat(&v.to_le_bytes());
+    }
+    for v in &pattern.indices {
+        eat(&v.to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartapps_workloads::{Distribution, PatternSpec};
+
+    fn sample(seed: u64) -> AccessPattern {
+        PatternSpec {
+            num_elements: 64,
+            iterations: 200,
+            refs_per_iter: 3,
+            coverage: 1.0,
+            dist: Distribution::Uniform,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn intern_then_get_round_trips() {
+        let reg = PatternInterner::new(8);
+        let a = reg.intern(sample(1)).unwrap();
+        assert!(a.fresh);
+        assert!(a.handle != 0);
+        let got = reg.get(a.handle).expect("issued handle resolves");
+        assert!(Arc::ptr_eq(&got, &a.pattern));
+        assert!(reg.get(a.handle + 999).is_none());
+    }
+
+    #[test]
+    fn same_content_dedupes_to_one_arc() {
+        let reg = PatternInterner::new(8);
+        let a = reg.intern(sample(7)).unwrap();
+        let b = reg.intern(sample(7)).unwrap();
+        assert!(!b.fresh);
+        assert_eq!(a.handle, b.handle);
+        assert!(
+            Arc::ptr_eq(&a.pattern, &b.pattern),
+            "cross-upload fusion needs pointer identity"
+        );
+        assert_eq!(reg.len(), 1);
+        let c = reg.intern(sample(8)).unwrap();
+        assert!(c.fresh);
+        assert_ne!(c.handle, a.handle);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn invalid_patterns_are_refused() {
+        let reg = PatternInterner::new(8);
+        let mut bad = sample(1);
+        bad.indices[0] = u32::MAX; // out of bounds for num_elements = 64
+        match reg.intern(bad) {
+            Err(InternError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_distinct_patterns_but_not_reuploads() {
+        let reg = PatternInterner::new(2);
+        let a = reg.intern(sample(1)).unwrap();
+        reg.intern(sample(2)).unwrap();
+        match reg.intern(sample(3)) {
+            Err(InternError::Full { capacity: 2 }) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // A re-upload of existing content still succeeds at capacity.
+        let again = reg.intern(sample(1)).unwrap();
+        assert_eq!(again.handle, a.handle);
+        assert!(!again.fresh);
+    }
+
+    #[test]
+    fn hash_collisions_do_not_alias_distinct_patterns() {
+        // Force the collision path by interning through the chain lookup:
+        // two different patterns that happen to share a chain entry must
+        // compare unequal and get distinct handles.  (A real FNV collision
+        // is impractical to construct; instead verify the chain compares
+        // content, not just hash, by checking distinct contents always get
+        // distinct handles.)
+        let reg = PatternInterner::new(64);
+        let mut handles = std::collections::HashSet::new();
+        for seed in 0..32 {
+            let got = reg.intern(sample(seed)).unwrap();
+            assert!(handles.insert(got.handle), "handle reused across contents");
+        }
+    }
+}

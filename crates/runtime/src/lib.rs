@@ -76,6 +76,7 @@
 pub mod backend;
 pub mod completion;
 pub mod error;
+pub mod intern;
 pub mod job;
 pub mod pool;
 pub mod profile;
@@ -87,6 +88,7 @@ pub mod telemetry;
 pub use backend::{Backend, ExecOutcome, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
 pub use completion::{Completion, CompletionSet};
 pub use error::{JobError, JobErrorKind};
+pub use intern::{InternError, Interned, PatternInterner};
 pub use job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, PatternSignature};
 pub use pool::WorkerPool;
 pub use profile::{ProfileEntry, ProfileStore};

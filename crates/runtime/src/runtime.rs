@@ -17,6 +17,7 @@
 use crate::backend::{Backend, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
 use crate::completion::{Completion, CompletionSet, CompletionSink};
 use crate::error::JobError;
+use crate::intern::PatternInterner;
 use crate::job::{JobBody, JobHandle, JobOutput, JobResult, JobSpec, JobState, PatternSignature};
 use crate::pool::WorkerPool;
 use crate::profile::{ProfileEntry, ProfileStore};
@@ -150,6 +151,11 @@ pub struct RuntimeConfig {
     /// How long a quarantined class stays blocked before it is given a
     /// fresh chance (ignored while `quarantine_after == 0`).
     pub quarantine_ttl: Duration,
+    /// Bound on distinct uploaded patterns the service's
+    /// [`PatternInterner`] holds (CSR upload, `docs/SERVER.md`); uploads
+    /// past the bound are refused, re-uploads of interned content are
+    /// free.
+    pub pattern_intern_capacity: usize,
 }
 
 /// Dispatcher count matched to a pool width: one dispatcher per four
@@ -177,6 +183,7 @@ impl Default for RuntimeConfig {
             calibration: CalibrationConfig::default(),
             quarantine_after: 0,
             quarantine_ttl: Duration::from_secs(30),
+            pattern_intern_capacity: 1024,
         }
     }
 }
@@ -213,6 +220,9 @@ struct Shared {
     /// Latency histograms + job-lifecycle trace ring (see the
     /// [`telemetry`](crate::telemetry) module).
     telemetry: RuntimeTelemetry,
+    /// Uploaded-pattern registry (CSR upload handles, see
+    /// [`intern`](crate::intern)).
+    interner: PatternInterner,
 }
 
 /// Panic health of one workload class: how many of its most recent bodies
@@ -396,6 +406,7 @@ impl Runtime {
             quarantine_ttl: config.quarantine_ttl,
             quarantine: Mutex::new(HashMap::new()),
             telemetry: RuntimeTelemetry::new(),
+            interner: PatternInterner::new(config.pattern_intern_capacity),
         });
         let dispatchers = (0..n_dispatchers)
             .map(|d| {
@@ -691,6 +702,13 @@ impl Runtime {
     /// ring.
     pub fn telemetry(&self) -> &RuntimeTelemetry {
         &self.shared.telemetry
+    }
+
+    /// The service's uploaded-pattern registry: intern a CSR structure
+    /// once, reference it by handle in later submissions (see
+    /// [`intern`](crate::intern)).
+    pub fn patterns(&self) -> &PatternInterner {
+        &self.shared.interner
     }
 
     /// The fitted PCLR cycle→nanosecond conversion, when the hardware

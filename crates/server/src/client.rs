@@ -1,16 +1,20 @@
 //! The client side of the wire protocol: a thin blocking library over
 //! one TCP connection, used by `examples/network_service.rs` and the
-//! `netload` loadgen.
+//! `netload` loadgen.  A connection starts in the text protocol;
+//! [`upgrade_binary`](Client::upgrade_binary) negotiates binary wire v2
+//! and every later request and response rides length-prefixed frames
+//! with exact i64/f64 bodies.
 //!
 //! Responses to control requests (`stats`, `stats v2`, `metrics`,
-//! `drain`, `unquarantine`) interleave with asynchronous `done` lines
-//! on the same socket; the
-//! client stashes `done` messages it reads while waiting for a control
-//! response, and [`next_done`](Client::next_done) consumes the stash
-//! before touching the socket — no message is ever dropped or reordered
-//! within its kind.
+//! `drain`, `unquarantine`, `upload`) interleave with asynchronous
+//! `done` messages on the same socket; the client stashes `done`
+//! messages it reads while waiting for a control response, and
+//! [`next_done`](Client::next_done) consumes the stash before touching
+//! the socket — no message is ever dropped or reordered within its
+//! kind.
 
-use crate::wire::{DoneMsg, Request, Response, StatsV2, SubmitArgs};
+use crate::wire::{DoneMsg, DoneOutcome, Request, Response, StatsV2, SubmitArgs, UploadArgs};
+use crate::wire2::{self, BinMsg};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -20,6 +24,7 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     stashed: VecDeque<DoneMsg>,
+    binary: bool,
 }
 
 impl Client {
@@ -33,34 +38,129 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             stashed: VecDeque::new(),
+            binary: false,
         })
     }
 
+    /// Whether this connection has negotiated binary wire v2.
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
     fn send(&mut self, request: &Request) -> io::Result<()> {
-        let mut line = request.encode();
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())
+        if self.binary {
+            self.writer.write_all(&wire2::encode_request(request))
+        } else {
+            let mut line = request.encode();
+            line.push('\n');
+            self.writer.write_all(line.as_bytes())
+        }
+    }
+
+    /// Read one binary frame off the socket (blocking).
+    fn read_frame(&mut self) -> io::Result<BinMsg> {
+        let mut head = [0u8; wire2::FRAME_HEADER_BYTES];
+        self.reader.read_exact(&mut head)?;
+        let len = u32::from_le_bytes(head);
+        if len == 0 || len > wire2::DEFAULT_MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        let mut frame = vec![0u8; len as usize];
+        self.reader.read_exact(&mut frame)?;
+        wire2::decode_response(frame[0], &frame[1..]).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("unparsable frame: {e}"))
+        })
     }
 
     fn read_response(&mut self) -> io::Result<Response> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        match Response::parse(&line) {
-            Ok(Response::Error(msg)) => Err(io::Error::new(
+        let response = if self.binary {
+            loop {
+                match self.read_frame()? {
+                    BinMsg::Response(r) => break r,
+                    // An unsolicited metrics frame nobody is waiting for.
+                    BinMsg::Metrics(_) => continue,
+                }
+            }
+        } else {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Response::parse(&line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unparsable response: {e} (line: {})", line.trim_end()),
+                )
+            })?
+        };
+        match response {
+            Response::Error(msg) => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("server protocol error: {msg}"),
             )),
-            Ok(r) => Ok(r),
-            Err(e) => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unparsable response: {e} (line: {})", line.trim_end()),
-            )),
+            r => Ok(r),
+        }
+    }
+
+    /// Negotiate binary wire v2 for the rest of this connection.
+    ///
+    /// Call only with no jobs in flight (the server refuses otherwise:
+    /// a `done` racing the upgrade could interleave text and frames).
+    /// The request and its `upgraded bin` acknowledgment are the
+    /// connection's last text lines.
+    pub fn upgrade_binary(&mut self) -> io::Result<()> {
+        if self.binary {
+            return Ok(());
+        }
+        self.send(&Request::UpgradeBin)?;
+        loop {
+            match self.read_response()? {
+                Response::Upgraded => {
+                    self.binary = true;
+                    return Ok(());
+                }
+                Response::Done(d) => self.stashed.push_back(d),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Upload a CSR access pattern; returns the server's handle for it,
+    /// usable in [`WireSource::Handle`](crate::WireSource::Handle)
+    /// submissions on any connection.  Re-uploading an identical
+    /// structure returns the same handle (the server interns by
+    /// content).  A rejected upload (invalid CSR, admission cap, intern
+    /// table full) fails with `InvalidData` and leaves the connection
+    /// usable.
+    ///
+    /// Give the upload a token distinct from any in-flight job's: the
+    /// rejection reply is a `done … err` for that token.
+    pub fn upload(&mut self, args: UploadArgs) -> io::Result<u64> {
+        let token = args.token;
+        self.send(&Request::Upload(args))?;
+        loop {
+            match self.read_response()? {
+                Response::Uploaded { token: t, handle } if t == token => return Ok(handle),
+                Response::Done(d) => {
+                    if d.token == token {
+                        if let DoneOutcome::Err { message, .. } = d.outcome {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("upload rejected: {message}"),
+                            ));
+                        }
+                    }
+                    self.stashed.push_back(d);
+                }
+                _ => continue,
+            }
         }
     }
 
@@ -122,12 +222,35 @@ impl Client {
     /// Request the Prometheus-style text exposition of every histogram
     /// and counter in the process (runtime and server series alike).
     ///
-    /// The reply is the protocol's one length-prefixed frame (`metrics
-    /// <len>` header line, then `<len>` raw bytes) rather than a single
-    /// response line; `done` messages read while waiting for the header
-    /// are stashed for [`next_done`](Client::next_done) as usual.
+    /// In the text protocol the reply is its one length-prefixed frame
+    /// (`metrics <len>` header line, then `<len>` raw bytes); in binary
+    /// mode it is an ordinary metrics frame.  `done` messages read while
+    /// waiting are stashed for [`next_done`](Client::next_done) as
+    /// usual.
     pub fn metrics(&mut self) -> io::Result<String> {
         self.send(&Request::Metrics)?;
+        if self.binary {
+            loop {
+                match self.read_frame()? {
+                    BinMsg::Metrics(body) => {
+                        return String::from_utf8(body).map_err(|e| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("metrics body is not UTF-8: {e}"),
+                            )
+                        })
+                    }
+                    BinMsg::Response(Response::Done(d)) => self.stashed.push_back(d),
+                    BinMsg::Response(Response::Error(msg)) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("server protocol error: {msg}"),
+                        ))
+                    }
+                    _ => continue,
+                }
+            }
+        }
         loop {
             let mut line = String::new();
             let n = self.reader.read_line(&mut line)?;

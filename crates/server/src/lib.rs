@@ -11,19 +11,25 @@
 //! fixed set of reactor threads serve any number of connections, because
 //! no thread ever parks on an individual job.
 //!
-//! Three modules:
+//! Four modules:
 //!
 //! * [`wire`] — the line-oriented protocol grammar (`submit` / `batch` /
-//!   `stats` / `stats v2` / `metrics` / `drain` / `unquarantine`
-//!   requests, `done` / `stats` / `stats2` / `drained` responses plus
-//!   the length-prefixed `metrics` exposition frame), with explicit
+//!   `upload` / `stats` / `stats v2` / `metrics` / `drain` /
+//!   `unquarantine` / `upgrade bin` requests, `done` / `stats` /
+//!   `stats2` / `drained` / `uploaded` / `upgraded` responses plus the
+//!   length-prefixed `metrics` exposition frame), with explicit
 //!   `encode`/`parse` pairs; see `docs/SERVER.md` for the full grammar
 //!   and `docs/OBSERVABILITY.md` for the metric catalog.
-//! * [`server`] — the [`Server`]: acceptor + reactor threads,
-//!   per-connection read buffers over nonblocking sockets, and the
-//!   pending table demultiplexing completions back to sockets.
+//! * [`wire2`] — the opt-in **binary wire v2**: the same request and
+//!   response types as length-prefixed frames with exact i64/f64
+//!   bodies, negotiated per connection via `upgrade bin`.
+//! * [`server`] — the [`Server`]: an epoll-blocked acceptor plus a
+//!   small fixed set of epoll-blocked reactor threads (readable,
+//!   writable, and completion-wake events; no sleep-polling), buffered
+//!   nonblocking writes under a write-stall budget, and the pending
+//!   table demultiplexing completions back to sockets.
 //! * [`client`] — the blocking [`Client`] library the `netload` loadgen
-//!   and the examples drive.
+//!   and the examples drive, speaking either protocol.
 //!
 //! ## Example
 //!
@@ -41,14 +47,14 @@
 //!         token: 1,
 //!         reply: ReplyMode::Ack,
 //!         body: WireBody::Sum,
-//!         spec: WireSpec {
+//!         source: smartapps_server::WireSource::Gen(WireSpec {
 //!             elements: 256,
 //!             iterations: 400,
 //!             refs_per_iter: 2,
 //!             coverage: 0.9,
 //!             dist: WireDist::Uniform,
 //!             seed: 11,
-//!         },
+//!         }),
 //!     })
 //!     .unwrap();
 //! let done = client.next_done().unwrap();
@@ -62,11 +68,13 @@
 pub mod client;
 pub mod server;
 pub mod wire;
+pub mod wire2;
 
 pub use client::Client;
 pub use server::{Server, ServerConfig};
 pub use smartapps_telemetry::HistSummary;
 pub use wire::{
-    checksum, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2, SubmitArgs,
-    WireBody, WireDist, WireSpec,
+    checksum, checksum_f64, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2,
+    SubmitArgs, UploadArgs, WireBody, WireDist, WireSource, WireSpec,
 };
+pub use wire2::{BinMsg, FrameBuf, FrameStep, DEFAULT_MAX_FRAME_BYTES};

@@ -1,49 +1,67 @@
-//! The network service: an acceptor plus a small **fixed** reactor-thread
-//! set serving any number of client connections — no thread-per-client,
-//! no thread-per-job, anywhere.
+//! The network service: an epoll-blocked acceptor plus a small **fixed**
+//! reactor-thread set serving any number of client connections — no
+//! thread-per-client, no thread-per-job, and no sleep-polling anywhere.
 //!
 //! ```text
 //!  clients (N connections)                 ┌──────────────────────────┐
-//!     │ requests (lines)                   │        Runtime           │
+//!     │ requests (lines or frames)         │        Runtime           │
 //!     ▼                                    │  dispatchers ── pool     │
-//!  acceptor ──registers──► conns table     └────────▲─────────┬───────┘
-//!                              │                    │         │
-//!              ┌───────────────┴──────────┐         │         │ completions
+//!  acceptor ──inbox+wake──► owning reactor └────────▲─────────┬───────┘
+//!  (epoll: listener)                                │         │
+//!              ┌──────────────────────────┐         │         │ completions
 //!              ▼                          ▼         │         ▼
 //!        reactor 0  …             reactor R-1   submit_tagged(global
-//!        (owns conns with         (id % R == R-1)  token, shared set)
-//!         id % R == 0)                    │         │
-//!              │  nonblocking reads,      │   ┌─────┴──────────┐
-//!              │  parse, submit ──────────┴──►│ CompletionSet  │
+//!        (epoll: waker +          (owns conns      token, shared set)
+//!         conns with id%R==0)      id % R == R-1)   │
+//!              │  readiness-blocked reads,    ┌─────┴──────────┐
+//!              │  parse, submit ─────────────►│ CompletionSet  │
 //!              │                              │ (bounded MPSC) │
-//!              │  poll/wait_timeout ◄─────────┴────────────────┘
+//!              │  poll ◄──wake-hook───────────┴────────────────┘
 //!              ▼
 //!        pending table: global token → (conn, client token, reply mode)
 //!              │
-//!              └─► format `done` line, write to the owning socket
+//!              └─► encode `done`, write (or buffer) to the owning socket
 //! ```
 //!
-//! Every reactor does two jobs per iteration: it *reads* its own subset
-//! of connections (nonblocking sockets, partial lines buffered until the
-//! `\n` arrives) and it *demultiplexes* completions — any reactor may pop
-//! any finished job from the one shared [`CompletionSet`] and write the
-//! response to the owning socket (writes are serialized per connection).
+//! **Readiness, not polling.**  Each reactor owns one `epoll` instance
+//! holding its subset of connections (id % R) plus an `eventfd` waker.
+//! With nothing to do it blocks in `epoll_wait` with **no timeout**: a
+//! thousand idle connections cost zero wakeups (the
+//! [`REACTOR_IDLE_WAKEUPS`] counter is the regression guard).  Three
+//! things wake it: socket readiness (readable bytes, writable space,
+//! hangup), the acceptor handing it a new connection (inbox + waker),
+//! and the completion queue's wake hook (a dispatcher finished a job).
+//! Any reactor may *deliver* any completion; only the owner touches a
+//! connection's read half and epoll registration, so foreign reactors
+//! request interest changes through the owner's attention list + waker.
+//!
+//! **Writes never block a reactor.**  A full peer send buffer used to
+//! sleep-loop inside the writing reactor; now the unwritten tail lands
+//! in the connection's outbound buffer, the owner arms `EPOLLOUT`, and
+//! flushes on writability.  The write-stall budget survives the
+//! rewrite: cumulative stall time (buffer-resident time) is charged as
+//! debt, decayed by stall-free writes, and a connection exceeding
+//! [`ServerConfig::write_stall_budget`] is failed — bounding how long
+//! one slow reader can hold reactor-shared memory.
+//!
 //! Tokens are namespaced: the server tags each submission with a private
 //! global token and routes the completion back to the client's own token
 //! through the pending table, so two clients reusing the same token can
 //! never collide.
 
 use crate::wire::{
-    checksum, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2, SubmitArgs,
-    WireBody, WireSpec,
+    checksum, checksum_f64, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2,
+    SubmitArgs, UploadArgs, WireSource, WireSpec,
 };
+use crate::wire2::{self, FrameStep};
+use epoll::{Epoll, Event, Interest, Waker};
 use smartapps_runtime::{Completion, CompletionSet, JobSpec, PatternSignature, Runtime};
 use smartapps_telemetry::LogHistogram;
 use smartapps_workloads::AccessPattern;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,9 +74,38 @@ pub const REQUEST_NS: &str = "smartapps_request_ns";
 pub const CONN_BYTES_IN: &str = "smartapps_conn_bytes_in";
 /// Counter of bytes written to a connection's socket, per connection.
 pub const CONN_BYTES_OUT: &str = "smartapps_conn_bytes_out";
-/// Counter of microseconds reactors stalled on a connection's full send
-/// buffer, per connection (the same stalls the write budget charges).
+/// Counter of microseconds a connection's responses sat in its outbound
+/// buffer waiting for the peer to read (the same stall time the write
+/// budget charges), per connection.
 pub const CONN_STALL_US: &str = "smartapps_conn_stall_us";
+/// Counter of `epoll_wait` returns, per reactor (`reactor="<r>"`).
+pub const REACTOR_WAKEUPS: &str = "smartapps_reactor_wakeups";
+/// Counter of wakeups that found nothing to do, per reactor.  Blocked
+/// reactors should essentially never produce these — the counter
+/// replaces the removed sleep-poll as the "are we spinning?" regression
+/// signal (`tests/soak_epoll.rs` asserts it stays near zero).
+pub const REACTOR_IDLE_WAKEUPS: &str = "smartapps_reactor_idle_wakeups";
+/// Counter of CSR pattern uploads by outcome
+/// (`outcome="fresh"|"dedup"|"rejected"`).
+pub const UPLOADS: &str = "smartapps_uploads";
+
+/// Reserved epoll token for each thread's eventfd waker.
+const WAKER_TOKEN: u64 = u64::MAX;
+/// Epoll token of the acceptor's listener.
+const LISTENER_TOKEN: u64 = 0;
+/// Hard cap on one connection's outbound buffer; a peer that lets this
+/// much pile up is failed immediately (the stall budget would get it
+/// anyway — this bounds memory, not time).
+const OUTBUF_LIMIT_BYTES: usize = 256 * 1024 * 1024;
+/// Reactor wait bound while any owned connection has buffered output:
+/// the budget check must tick even if the peer never drains its socket.
+const STALL_TICK: Duration = Duration::from_millis(25);
+/// Reactor wait bound during shutdown drain (poll the pending table).
+const SHUTDOWN_TICK: Duration = Duration::from_millis(5);
+
+/// Wire protocol a connection is currently speaking.
+const MODE_TEXT: u8 = 0;
+const MODE_BIN: u8 = 1;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -76,15 +123,27 @@ pub struct ServerConfig {
     /// Maximum request-line length before the connection is failed
     /// (protocol error), protecting reactor memory from a runaway line.
     pub max_line_bytes: usize,
+    /// Maximum binary wire v2 frame length (kind + body) either
+    /// direction accepts on an upgraded connection.
+    pub max_frame_bytes: u32,
     /// Jobs allowed in one `batch` request.
     pub max_batch_jobs: usize,
     /// Admission cap on one job's total reduction references; oversized
-    /// specs fail with a `rejected` error instead of being generated.
+    /// specs (and uploads) fail with a `rejected` error instead of being
+    /// generated or interned.
     pub max_refs_per_job: usize,
     /// Server-side pattern cache entries (specs → generated patterns).
     /// Repeat submissions of one spec share a single allocation, which
-    /// is what lets cross-client jobs coalesce and fuse.
+    /// is what lets cross-client jobs coalesce and fuse.  (Uploaded CSR
+    /// patterns live in the runtime's [`PatternInterner`], not here.)
+    ///
+    /// [`PatternInterner`]: smartapps_runtime::PatternInterner
     pub pattern_cache: usize,
+    /// Total time one connection's responses may sit stalled in its
+    /// outbound buffer (decayed by stall-free writes) before the
+    /// connection is failed.  Bounds how long a stuck reader can hold
+    /// reactor-shared memory.
+    pub write_stall_budget: Duration,
 }
 
 impl Default for ServerConfig {
@@ -94,46 +153,68 @@ impl Default for ServerConfig {
             reactors: 2,
             completion_capacity: 4096,
             max_line_bytes: 1 << 20,
+            max_frame_bytes: wire2::DEFAULT_MAX_FRAME_BYTES,
             max_batch_jobs: 1024,
             max_refs_per_job: 4_000_000,
             pattern_cache: 64,
+            write_stall_budget: Duration::from_secs(5),
         }
     }
 }
 
+/// Read-side state of one connection (owning reactor only): the
+/// text-mode partial line and the binary-mode frame splitter.  Both
+/// exist because an `upgrade bin` line may arrive with pipelined frames
+/// already behind it in the same read.
+struct ReadState {
+    partial: Vec<u8>,
+    frames: wire2::FrameBuf,
+}
+
+/// Write-side state of one connection: the write half plus the outbound
+/// buffer a full peer socket spills into.  `stall_since` is set while
+/// the buffer is nonempty (the budget clock).
+struct OutBuf {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    stall_since: Option<Instant>,
+}
+
 /// One live client connection.  The socket is nonblocking; the owning
-/// reactor reads it, while *any* reactor may write a completion to it
-/// (serialized by the write half's mutex).
+/// reactor (id % reactors) reads it and manages its epoll registration,
+/// while *any* reactor may write a completion to it (serialized by the
+/// out-half mutex; unwritable tails are buffered and flushed by the
+/// owner on `EPOLLOUT`).
 struct Conn {
     id: u64,
-    /// Read half (owning reactor only).
+    /// Read half (owning reactor only); also the registered fd.
     stream: TcpStream,
-    /// Write half (any reactor, one writer at a time).
-    writer: Mutex<TcpStream>,
-    /// Bytes read but not yet terminated by `\n`.
-    partial: Mutex<Vec<u8>>,
-    /// Jobs submitted on this connection whose `done` line has not been
+    /// Write half + outbound buffer (any reactor, one at a time).
+    out: Mutex<OutBuf>,
+    /// Read-side buffers (owning reactor only).
+    rd: Mutex<ReadState>,
+    /// [`MODE_TEXT`] or [`MODE_BIN`] (flipped once by `upgrade bin`).
+    mode: AtomicU8,
+    /// Jobs submitted on this connection whose `done` has not been
     /// written yet.
     in_flight: AtomicUsize,
-    /// Total `done` lines written on this connection (the `drained`
+    /// Total `done` messages written on this connection (the `drained`
     /// payload).
     completed: AtomicU64,
     /// A `drain` barrier is pending; reply when `in_flight` hits zero.
     drain_pending: AtomicBool,
-    /// Cumulative microseconds reactors have spent waiting on this
-    /// connection's full send buffer.  A peer that reads too slowly
-    /// accumulates debt and is failed once it exceeds the stall budget
-    /// — bounding how long one client can wedge the shared reactors,
-    /// even if it trickle-reads just enough to finish each line.
+    /// Cumulative microseconds this connection's output sat stalled.
+    /// A peer that reads too slowly accumulates debt and is failed once
+    /// it exceeds the stall budget — bounding how long one client can
+    /// hold reactor-shared memory, even if it trickle-reads just enough
+    /// to finish each response.
     stall_debt_micros: AtomicU64,
     /// The connection failed (EOF, I/O error, protocol error); it is
     /// reaped once its in-flight jobs have been consumed.
     dead: AtomicBool,
     /// Per-connection telemetry series, resolved once at accept time
     /// into the runtime's shared registry (so one `metrics` exposition
-    /// covers runtime and server): request→response latency (this
-    /// connection plus the `conn="all"` aggregate), bytes in/out, and
-    /// cumulative write-stall time.
+    /// covers runtime and server).
     request_ns: Arc<LogHistogram>,
     request_ns_all: Arc<LogHistogram>,
     bytes_in: Arc<AtomicU64>,
@@ -146,15 +227,35 @@ impl Conn {
         self.dead.store(true, Ordering::Release);
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    fn binary(&self) -> bool {
+        self.mode.load(Ordering::Acquire) == MODE_BIN
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::fd::AsRawFd>(s: &T) -> epoll::RawFd {
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_s: &T) -> epoll::RawFd {
+    -1
 }
 
 /// Routing entry for one submitted job: which connection gets the
-/// response, under which client token, with how much payload — and when
-/// the request was admitted, for the request-latency histogram.
+/// response, under which client token, with how much payload and which
+/// element type — and when the request was admitted, for the
+/// request-latency histogram.
 struct PendingReply {
     conn: u64,
     token: u64,
     reply: ReplyMode,
+    f64body: bool,
     submitted_at: Instant,
 }
 
@@ -178,15 +279,32 @@ fn spec_key(s: &WireSpec) -> SpecKey {
     )
 }
 
+/// Per-reactor rendezvous state: the waker that interrupts its
+/// `epoll_wait`, the inbox the acceptor hands new connections through,
+/// the attention list other threads request write-interest service on,
+/// and the wakeup counters the soak test audits.
+struct ReactorHandle {
+    waker: Arc<Waker>,
+    inbox: Mutex<Vec<Arc<Conn>>>,
+    attention: Mutex<Vec<u64>>,
+    wakeups: Arc<AtomicU64>,
+    idle_wakeups: Arc<AtomicU64>,
+}
+
 struct ServerShared {
     rt: Arc<Runtime>,
     set: CompletionSet,
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     pending: Mutex<HashMap<u64, PendingReply>>,
     patterns: Mutex<HashMap<SpecKey, Arc<AccessPattern>>>,
+    reactors: Vec<ReactorHandle>,
+    acceptor_waker: Waker,
     next_global: AtomicU64,
     next_conn: AtomicU64,
     shutdown: AtomicBool,
+    uploads_fresh: Arc<AtomicU64>,
+    uploads_dedup: Arc<AtomicU64>,
+    uploads_rejected: Arc<AtomicU64>,
     cfg: ServerConfig,
 }
 
@@ -218,14 +336,25 @@ impl ServerShared {
             .get(&id)
             .cloned()
     }
+
+    /// Ask a connection's owning reactor to service its write interest
+    /// (and reap state) at its next wakeup.
+    fn nudge_owner(&self, conn_id: u64) {
+        let h = &self.reactors[conn_id as usize % self.reactors.len()];
+        h.attention
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(conn_id);
+        h.waker.wake();
+    }
 }
 
 /// The running network service.  Dropping it (or calling
 /// [`shutdown`](Server::shutdown)) stops accepting, lets already
-/// submitted jobs drain their `done` lines, closes every connection, and
-/// joins the acceptor and reactor threads.  The [`Runtime`] is shared,
-/// not owned: shutting the server down leaves the runtime serving
-/// in-process clients.
+/// submitted jobs drain their `done` responses, closes every
+/// connection, and joins the acceptor and reactor threads.  The
+/// [`Runtime`] is shared, not owned: shutting the server down leaves
+/// the runtime serving in-process clients.
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
@@ -240,17 +369,48 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let capacity = cfg.completion_capacity.max(2 * cfg.max_batch_jobs.max(1));
         let reactors = cfg.reactors.max(1);
+        let registry = rt.telemetry().registry();
+        let mut handles = Vec::with_capacity(reactors);
+        for r in 0..reactors {
+            let label = r.to_string();
+            handles.push(ReactorHandle {
+                waker: Arc::new(Waker::new()?),
+                inbox: Mutex::new(Vec::new()),
+                attention: Mutex::new(Vec::new()),
+                wakeups: registry.counter(REACTOR_WAKEUPS, "reactor", &label),
+                idle_wakeups: registry.counter(REACTOR_IDLE_WAKEUPS, "reactor", &label),
+            });
+        }
         let shared = Arc::new(ServerShared {
-            rt,
             set: CompletionSet::with_capacity(capacity),
             conns: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
             patterns: Mutex::new(HashMap::new()),
+            reactors: handles,
+            acceptor_waker: Waker::new()?,
             next_global: AtomicU64::new(1),
             next_conn: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            uploads_fresh: registry.counter(UPLOADS, "outcome", "fresh"),
+            uploads_dedup: registry.counter(UPLOADS, "outcome", "dedup"),
+            uploads_rejected: registry.counter(UPLOADS, "outcome", "rejected"),
+            rt,
             cfg,
         });
+        // Completion pushes must interrupt epoll-blocked reactors.  The
+        // hook round-robins single wakes (waking all R per completion
+        // would stampede); any woken reactor drains the queue to empty,
+        // so one wake per push suffices.  The closure captures only the
+        // wakers — capturing `shared` would cycle through the
+        // CompletionSet that stores the hook.
+        {
+            let wakers: Vec<Arc<Waker>> = shared.reactors.iter().map(|h| h.waker.clone()).collect();
+            let rr = AtomicUsize::new(0);
+            shared.set.set_wake_hook(move || {
+                let r = rr.fetch_add(1, Ordering::Relaxed) % wakers.len();
+                wakers[r].wake();
+            });
+        }
         let mut threads = Vec::with_capacity(reactors + 1);
         {
             let shared = shared.clone();
@@ -266,7 +426,7 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("smartapps-reactor-{r}"))
-                    .spawn(move || reactor_loop(&shared, r, reactors))
+                    .spawn(move || reactor_loop(&shared, r))
                     .expect("spawn reactor"),
             );
         }
@@ -291,6 +451,26 @@ impl Server {
             .len()
     }
 
+    /// Total `epoll_wait` returns across all reactors.
+    pub fn reactor_wakeups(&self) -> u64 {
+        self.shared
+            .reactors
+            .iter()
+            .map(|h| h.wakeups.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total reactor wakeups that found nothing to do.  Near-zero while
+    /// idle is the epoll contract — this is what the soak test asserts
+    /// in place of the removed sleep-poll loop.
+    pub fn reactor_idle_wakeups(&self) -> u64 {
+        self.shared
+            .reactors
+            .iter()
+            .map(|h| h.idle_wakeups.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Stop accepting, drain every submitted job's response, close all
     /// connections, and join the service threads.
     pub fn shutdown(mut self) {
@@ -302,9 +482,15 @@ impl Server {
             return;
         }
         self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.acceptor_waker.wake();
+        for h in &self.shared.reactors {
+            h.waker.wake();
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Break the wake-hook's shared-state cycle and drop every conn.
+        self.shared.set.clear_wake_hook();
         self.shared
             .conns
             .lock()
@@ -320,94 +506,231 @@ impl Drop for Server {
 }
 
 fn acceptor_loop(shared: &ServerShared, listener: TcpListener) {
+    let Ok(ep) = Epoll::new() else { return };
+    let _ = ep.add(raw_fd(&listener), LISTENER_TOKEN, Interest::READ);
+    if shared.acceptor_waker.fd() >= 0 {
+        let _ = ep.add(shared.acceptor_waker.fd(), WAKER_TOKEN, Interest::READ);
+    }
+    let mut events: Vec<Event> = Vec::new();
     while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nodelay(true);
-                if stream.set_nonblocking(true).is_err() {
-                    continue;
+        let _ = ep.wait(&mut events, 16, None);
+        shared.acceptor_waker.drain();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => register_conn(shared, stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failure (EMFILE, aborted conn):
+                    // don't spin on a level-triggered error state.
+                    std::thread::sleep(Duration::from_millis(1));
+                    break;
                 }
-                let writer = match stream.try_clone() {
-                    Ok(w) => w,
-                    Err(_) => continue,
-                };
-                let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-                let registry = shared.rt.telemetry().registry();
-                let label = id.to_string();
-                let conn = Arc::new(Conn {
-                    id,
-                    stream,
-                    writer: Mutex::new(writer),
-                    partial: Mutex::new(Vec::new()),
-                    in_flight: AtomicUsize::new(0),
-                    completed: AtomicU64::new(0),
-                    drain_pending: AtomicBool::new(false),
-                    stall_debt_micros: AtomicU64::new(0),
-                    dead: AtomicBool::new(false),
-                    request_ns: registry.histogram(REQUEST_NS, "conn", &label),
-                    request_ns_all: registry.histogram(REQUEST_NS, "conn", "all"),
-                    bytes_in: registry.counter(CONN_BYTES_IN, "conn", &label),
-                    bytes_out: registry.counter(CONN_BYTES_OUT, "conn", &label),
-                    stall_us: registry.counter(CONN_STALL_US, "conn", &label),
-                });
-                shared
-                    .conns
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .insert(id, conn);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
     }
 }
 
-fn reactor_loop(shared: &ServerShared, id: usize, reactors: usize) {
+/// Set up one accepted connection and hand it to its owning reactor.
+fn register_conn(shared: &ServerShared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let registry = shared.rt.telemetry().registry();
+    let label = id.to_string();
+    let conn = Arc::new(Conn {
+        id,
+        stream,
+        out: Mutex::new(OutBuf {
+            stream: writer,
+            buf: Vec::new(),
+            stall_since: None,
+        }),
+        rd: Mutex::new(ReadState {
+            partial: Vec::new(),
+            frames: wire2::FrameBuf::new(),
+        }),
+        mode: AtomicU8::new(MODE_TEXT),
+        in_flight: AtomicUsize::new(0),
+        completed: AtomicU64::new(0),
+        drain_pending: AtomicBool::new(false),
+        stall_debt_micros: AtomicU64::new(0),
+        dead: AtomicBool::new(false),
+        request_ns: registry.histogram(REQUEST_NS, "conn", &label),
+        request_ns_all: registry.histogram(REQUEST_NS, "conn", "all"),
+        bytes_in: registry.counter(CONN_BYTES_IN, "conn", &label),
+        bytes_out: registry.counter(CONN_BYTES_OUT, "conn", &label),
+        stall_us: registry.counter(CONN_STALL_US, "conn", &label),
+    });
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(id, conn.clone());
+    let h = &shared.reactors[id as usize % shared.reactors.len()];
+    h.inbox.lock().unwrap_or_else(|p| p.into_inner()).push(conn);
+    h.waker.wake();
+}
+
+/// Reactor-local registration state for one owned connection.
+struct OwnedEntry {
+    conn: Arc<Conn>,
+    /// The fd is currently in this reactor's epoll set.
+    registered: bool,
+    /// `EPOLLOUT` is currently armed.
+    want_write: bool,
+}
+
+fn reactor_loop(shared: &Arc<ServerShared>, r: usize) {
+    let handle = &shared.reactors[r];
+    let Ok(ep) = Epoll::new() else { return };
+    if handle.waker.fd() >= 0 {
+        let _ = ep.add(handle.waker.fd(), WAKER_TOKEN, Interest::READ);
+    }
+    let mut owned: HashMap<u64, OwnedEntry> = HashMap::new();
+    // Owned connections with buffered output: flushed and budget-checked
+    // every wakeup, and the reason waits are bounded while nonempty.
+    let mut stalled: HashSet<u64> = HashSet::new();
+    let mut events: Vec<Event> = Vec::new();
     loop {
+        let shutting_down = shared.shutdown.load(Ordering::Acquire);
+        // The load-bearing line: nothing to flush, nothing pending →
+        // block indefinitely.  Idle connections cost no wakeups.
+        let timeout = if shutting_down {
+            Some(SHUTDOWN_TICK)
+        } else if !stalled.is_empty() {
+            Some(STALL_TICK)
+        } else {
+            None
+        };
+        let _ = ep.wait(&mut events, 256, timeout);
+        handle.wakeups.fetch_add(1, Ordering::Relaxed);
         let mut did_work = false;
 
-        // Demultiplex finished jobs back to their sockets (any reactor
-        // may deliver any completion).
-        for _ in 0..256 {
-            match shared.set.poll() {
-                Some(c) => {
-                    deliver(shared, c);
-                    did_work = true;
+        // New connections from the acceptor.
+        {
+            let mut inbox = handle.inbox.lock().unwrap_or_else(|p| p.into_inner());
+            for conn in inbox.drain(..) {
+                did_work = true;
+                let fd = raw_fd(&conn.stream);
+                if ep.add(fd, conn.id, Interest::READ).is_err() {
+                    conn.mark_dead();
                 }
-                None => break,
+                owned.insert(
+                    conn.id,
+                    OwnedEntry {
+                        conn,
+                        registered: true,
+                        want_write: false,
+                    },
+                );
             }
         }
 
-        // Read, parse, and submit from this reactor's own connections.
-        let owned: Vec<Arc<Conn>> = {
-            let conns = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
-            conns
-                .values()
-                .filter(|c| c.id as usize % reactors == id)
-                .cloned()
-                .collect()
-        };
-        for conn in &owned {
-            if !conn.dead.load(Ordering::Acquire) {
-                did_work |= service_reads(shared, conn);
+        // Attention requests: another thread buffered output on (or
+        // killed) one of our connections.
+        {
+            let mut attention = handle.attention.lock().unwrap_or_else(|p| p.into_inner());
+            for id in attention.drain(..) {
+                if owned.contains_key(&id) {
+                    stalled.insert(id);
+                    did_work = true;
+                }
             }
+        }
+
+        // Socket readiness.
+        for ev in std::mem::take(&mut events) {
+            if ev.token == WAKER_TOKEN {
+                handle.waker.drain();
+                continue;
+            }
+            let Some(entry) = owned.get(&ev.token) else {
+                continue; // reaped while the event was in flight
+            };
+            let conn = entry.conn.clone();
+            did_work = true;
+            if conn.is_dead() {
+                continue; // reaped below
+            }
+            if ev.writable {
+                stalled.insert(conn.id);
+            }
+            if (ev.readable || ev.hangup) && !shutting_down {
+                service_reads(shared, &conn);
+            } else if ev.hangup {
+                conn.mark_dead();
+            }
+        }
+
+        // Flush buffered output; arm/disarm EPOLLOUT; enforce the
+        // write-stall budget.
+        stalled.retain(|id| {
+            let Some(entry) = owned.get_mut(id) else {
+                return false;
+            };
+            let conn = entry.conn.clone();
+            if conn.is_dead() {
+                return false;
+            }
+            did_work = true;
+            let drained = flush_conn(&conn, &shared.cfg);
+            let want = !drained;
+            if entry.registered && entry.want_write != want {
+                let interest = if want {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                if ep.modify(raw_fd(&conn.stream), conn.id, interest).is_ok() {
+                    entry.want_write = want;
+                }
+            }
+            want
+        });
+
+        // Demultiplex finished jobs back to their sockets (any reactor
+        // may deliver any completion); drain to empty so a single wake
+        // covers every queued event.
+        while let Some(c) = shared.set.poll() {
+            deliver(shared, c);
+            did_work = true;
         }
 
         // Reap dead connections whose responses have all been consumed.
-        {
-            let mut conns = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
-            conns.retain(|_, c| {
-                !(c.id as usize % reactors == id
-                    && c.dead.load(Ordering::Acquire)
-                    && c.in_flight.load(Ordering::Acquire) == 0)
-            });
-        }
+        owned.retain(|id, entry| {
+            let conn = &entry.conn;
+            if !conn.is_dead() {
+                return true;
+            }
+            if entry.registered {
+                let _ = ep.delete(raw_fd(&conn.stream));
+                entry.registered = false;
+            }
+            if conn.in_flight.load(Ordering::Acquire) != 0 {
+                return true; // completions still owed; keep routable
+            }
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(id);
+            did_work = true;
+            false
+        });
 
-        if shared.shutdown.load(Ordering::Acquire) {
+        if shutting_down {
             // Drain phase: no new reads, but every job already submitted
-            // still gets its `done` line before the sockets close.
+            // still gets its `done` before the sockets close.
             let outstanding = !shared
                 .pending
                 .lock()
@@ -416,70 +739,132 @@ fn reactor_loop(shared: &ServerShared, id: usize, reactors: usize) {
             if !outstanding {
                 return;
             }
-            if let Some(c) = shared.set.wait_timeout(Duration::from_millis(5)) {
-                deliver(shared, c);
-            }
-            continue;
-        }
-
-        if !did_work {
-            // Idle: sleep on the completion queue when jobs are in
-            // flight (a completion is the likeliest next event), plain
-            // sleep otherwise — either way the reactor never spins.
-            if shared.set.in_flight() > 0 {
-                if let Some(c) = shared.set.wait_timeout(Duration::from_millis(1)) {
-                    deliver(shared, c);
-                }
-            } else {
-                std::thread::sleep(Duration::from_micros(500));
-            }
+        } else if !did_work {
+            handle.idle_wakeups.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
-/// Read whatever the socket has, split complete lines, handle each.
-/// Returns whether any byte was consumed.
-fn service_reads(shared: &ServerShared, conn: &Arc<Conn>) -> bool {
-    let mut any = false;
+/// Try to flush one connection's outbound buffer.  Returns whether the
+/// buffer is now empty; on drain, the accumulated stall time is charged
+/// to the connection's debt and telemetry.
+fn flush_conn(conn: &Conn, cfg: &ServerConfig) -> bool {
+    let mut out = conn.out.lock().unwrap_or_else(|p| p.into_inner());
+    let mut written = 0usize;
+    while written < out.buf.len() {
+        match (&out.stream).write(&out.buf[written..]) {
+            Ok(0) => {
+                conn.mark_dead();
+                break;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.mark_dead();
+                break;
+            }
+        }
+    }
+    if written > 0 {
+        out.buf.drain(..written);
+        conn.bytes_out.fetch_add(written as u64, Ordering::Relaxed);
+    }
+    if out.buf.is_empty() {
+        if let Some(t0) = out.stall_since.take() {
+            let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            conn.stall_us.fetch_add(us, Ordering::Relaxed);
+            conn.stall_debt_micros.fetch_add(us, Ordering::Relaxed);
+        }
+        return true;
+    }
+    // Still stalled: fail the connection once accumulated debt plus the
+    // current stall exceeds the budget.
+    if let Some(t0) = out.stall_since {
+        let current = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let debt = conn.stall_debt_micros.load(Ordering::Relaxed);
+        let budget = cfg.write_stall_budget.as_micros().min(u64::MAX as u128) as u64;
+        if debt.saturating_add(current) > budget {
+            conn.mark_dead();
+        }
+    }
+    false
+}
+
+/// Read whatever the socket has, feed the connection's protocol buffer,
+/// handle every complete request.
+fn service_reads(shared: &ServerShared, conn: &Arc<Conn>) {
     let mut chunk = [0u8; 16 * 1024];
     loop {
         match (&conn.stream).read(&mut chunk) {
             Ok(0) => {
                 conn.mark_dead();
-                return any;
+                return;
             }
             Ok(n) => {
-                any = true;
                 conn.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-                let mut partial = conn.partial.lock().unwrap_or_else(|p| p.into_inner());
-                partial.extend_from_slice(&chunk[..n]);
-                if partial.len() > shared.cfg.max_line_bytes {
-                    drop(partial);
-                    protocol_error(conn, "request line too long");
-                    return any;
-                }
-                // Split out complete lines; keep the tail buffered.
-                let mut start = 0usize;
-                let mut lines: Vec<String> = Vec::new();
-                while let Some(nl) = partial[start..].iter().position(|&b| b == b'\n') {
-                    let line = String::from_utf8_lossy(&partial[start..start + nl]).into_owned();
-                    lines.push(line);
-                    start += nl + 1;
-                }
-                partial.drain(..start);
-                drop(partial);
-                for line in lines {
-                    if conn.dead.load(Ordering::Acquire) {
-                        break;
-                    }
-                    handle_line(shared, conn, line.trim_end_matches('\r'));
+                ingest(shared, conn, &chunk[..n]);
+                if conn.is_dead() {
+                    return;
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => return any,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => {
                 conn.mark_dead();
-                return any;
+                return;
+            }
+        }
+    }
+}
+
+/// Buffer newly read bytes and handle every complete request they
+/// finish, honoring a mid-buffer `upgrade bin` switch: bytes after the
+/// upgrade line (pipelined frames) reroute to the frame splitter.
+fn ingest(shared: &ServerShared, conn: &Arc<Conn>, bytes: &[u8]) {
+    let mut rd = conn.rd.lock().unwrap_or_else(|p| p.into_inner());
+    if !conn.binary() {
+        rd.partial.extend_from_slice(bytes);
+        loop {
+            if conn.is_dead() {
+                return;
+            }
+            if conn.binary() {
+                // The upgrade line was handled; everything behind it is
+                // already framed.
+                let tail = std::mem::take(&mut rd.partial);
+                rd.frames.extend(&tail);
+                break;
+            }
+            let Some(nl) = rd.partial.iter().position(|&b| b == b'\n') else {
+                if rd.partial.len() > shared.cfg.max_line_bytes {
+                    protocol_error(shared, conn, "request line too long");
+                }
+                return;
+            };
+            let line: Vec<u8> = rd.partial.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            handle_line(shared, conn, line.trim_end_matches('\r'));
+        }
+    } else {
+        rd.frames.extend(bytes);
+    }
+    loop {
+        if conn.is_dead() {
+            return;
+        }
+        match rd.frames.next_frame(shared.cfg.max_frame_bytes) {
+            Ok(FrameStep::Frame { kind, body }) => match wire2::decode_request(kind, &body) {
+                Ok(req) => handle_request(shared, conn, req),
+                Err(e) => {
+                    protocol_error(shared, conn, &format!("bad frame: {e}"));
+                    return;
+                }
+            },
+            Ok(FrameStep::NeedMore) => return,
+            Err(e) => {
+                protocol_error(shared, conn, &format!("bad frame: {e}"));
+                return;
             }
         }
     }
@@ -489,18 +874,21 @@ fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
     if line.is_empty() {
         return;
     }
-    let request = match Request::parse(line) {
-        Ok(r) => r,
-        Err(e) => {
-            protocol_error(conn, &format!("bad request: {e}"));
-            return;
-        }
-    };
+    match Request::parse(line) {
+        Ok(r) => handle_request(shared, conn, r),
+        Err(e) => protocol_error(shared, conn, &format!("bad request: {e}")),
+    }
+}
+
+/// Handle one parsed request — the protocol-agnostic core shared by the
+/// text and binary paths.
+fn handle_request(shared: &ServerShared, conn: &Arc<Conn>, request: Request) {
     match request {
         Request::Submit(args) => submit_jobs(shared, conn, vec![args]),
         Request::Batch(jobs) => {
             if jobs.len() > shared.cfg.max_batch_jobs {
                 protocol_error(
+                    shared,
                     conn,
                     &format!(
                         "batch of {} exceeds the {}-job limit",
@@ -512,8 +900,35 @@ fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
             }
             submit_jobs(shared, conn, jobs);
         }
+        Request::Upload(args) => handle_upload(shared, conn, args),
+        Request::UpgradeBin => {
+            if conn.binary() {
+                protocol_error(shared, conn, "connection already upgraded");
+                return;
+            }
+            // A `done` racing the upgrade could interleave text and
+            // frames; the client must drain first.  The counter is
+            // decremented just *after* the response write (that order
+            // is what keeps the drain barrier exact), so a client that
+            // already read every response can be a hair ahead of it —
+            // give the last decrement a bounded moment before calling
+            // the upgrade a protocol error.
+            let mut grace = 0u32;
+            while conn.in_flight.load(Ordering::SeqCst) != 0 {
+                grace += 1;
+                if grace > 20 {
+                    protocol_error(shared, conn, "upgrade with jobs in flight");
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            // The acknowledgment is the last text line; flip the mode
+            // only after it is queued so it cannot be framed.
+            write_response(shared, conn, &Response::Upgraded);
+            conn.mode.store(MODE_BIN, Ordering::Release);
+        }
         Request::Stats => {
-            write_response(conn, &Response::Stats(stats_pairs(shared)));
+            write_response(shared, conn, &Response::Stats(stats_pairs(shared)));
         }
         Request::StatsV2 => {
             let quarantined = shared
@@ -523,6 +938,7 @@ fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
                 .map(|(sig, ttl)| (sig.0, ttl))
                 .collect();
             write_response(
+                shared,
                 conn,
                 &Response::StatsV2(StatsV2 {
                     counters: stats_pairs(shared),
@@ -532,13 +948,18 @@ fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
             );
         }
         Request::Metrics => {
-            // The exposition is multi-line, so it rides a length-prefixed
-            // frame (`metrics <len>\n` + raw bytes) rather than a
-            // `Response` line — the one framed reply in the protocol.
             let body = shared.rt.telemetry().registry().render_prometheus();
-            let mut frame = format!("metrics {}\n", body.len()).into_bytes();
-            frame.extend_from_slice(body.as_bytes());
-            write_raw(conn, &frame);
+            if conn.binary() {
+                write_raw(shared, conn, &wire2::encode_metrics_frame(body.as_bytes()));
+            } else {
+                // The exposition is multi-line, so it rides a
+                // length-prefixed frame (`metrics <len>\n` + raw bytes)
+                // rather than a `Response` line — the text protocol's
+                // one framed reply.
+                let mut frame = format!("metrics {}\n", body.len()).into_bytes();
+                frame.extend_from_slice(body.as_bytes());
+                write_raw(shared, conn, &frame);
+            }
         }
         Request::Drain => {
             // The barrier closes when in_flight hits zero.  Order
@@ -550,6 +971,7 @@ fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
                 && conn.drain_pending.swap(false, Ordering::SeqCst)
             {
                 write_response(
+                    shared,
                     conn,
                     &Response::Drained(conn.completed.load(Ordering::Relaxed)),
                 );
@@ -557,7 +979,7 @@ fn handle_line(shared: &ServerShared, conn: &Arc<Conn>, line: &str) {
         }
         Request::Unquarantine(sig) => {
             let found = shared.rt.unquarantine(PatternSignature(sig));
-            write_response(conn, &Response::Unquarantined(found));
+            write_response(shared, conn, &Response::Unquarantined(found));
         }
     }
 }
@@ -589,37 +1011,106 @@ fn stats_pairs(shared: &ServerShared) -> Vec<(String, u64)> {
     pairs
 }
 
+/// Validate and intern one uploaded CSR structure; reply with the
+/// handle, or fail the upload (not the connection) on a bad structure.
+fn handle_upload(shared: &ServerShared, conn: &Arc<Conn>, args: UploadArgs) {
+    if args.indices.len() > shared.cfg.max_refs_per_job {
+        shared.uploads_rejected.fetch_add(1, Ordering::Relaxed);
+        reject(
+            shared,
+            conn,
+            args.token,
+            &format!(
+                "upload of {} references exceeds the {}-reference admission cap",
+                args.indices.len(),
+                shared.cfg.max_refs_per_job
+            ),
+        );
+        return;
+    }
+    let pattern = AccessPattern {
+        num_elements: args.num_elements,
+        iter_ptr: args.iter_ptr,
+        indices: args.indices,
+    };
+    match shared.rt.patterns().intern(pattern) {
+        Ok(interned) => {
+            let counter = if interned.fresh {
+                &shared.uploads_fresh
+            } else {
+                &shared.uploads_dedup
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                shared,
+                conn,
+                &Response::Uploaded {
+                    token: args.token,
+                    handle: interned.handle,
+                },
+            );
+        }
+        Err(e) => {
+            shared.uploads_rejected.fetch_add(1, Ordering::Relaxed);
+            reject(shared, conn, args.token, &e.to_string());
+        }
+    }
+}
+
 /// Validate, admit, and submit a group of jobs as one runtime batch.
 /// Invalid members fail with `done … err rejected` without reaching the
 /// runtime; valid members ride `submit_batch_tagged` so same-class
-/// members coalesce (and same-spec members can fuse) server-side.
+/// members coalesce (and same-pattern members can fuse) server-side.
 fn submit_jobs(shared: &ServerShared, conn: &Arc<Conn>, jobs: Vec<SubmitArgs>) {
     let mut accepted: Vec<(u64, JobSpec)> = Vec::with_capacity(jobs.len());
     for args in jobs {
-        if let Err(e) = args.spec.validate() {
-            reject(conn, args.token, &e);
-            continue;
-        }
-        if args.spec.total_refs() > shared.cfg.max_refs_per_job {
-            reject(
-                conn,
-                args.token,
-                &format!(
-                    "job of {} references exceeds the {}-reference admission cap",
-                    args.spec.total_refs(),
-                    shared.cfg.max_refs_per_job
-                ),
-            );
-            continue;
-        }
-        let pattern = shared.pattern_for(&args.spec);
-        let body = move |_i: usize, r: usize| smartapps_workloads::contribution_i64(r);
+        let pattern = match args.source {
+            WireSource::Gen(spec) => {
+                if let Err(e) = spec.validate() {
+                    reject(shared, conn, args.token, &e);
+                    continue;
+                }
+                if spec.total_refs() > shared.cfg.max_refs_per_job {
+                    reject(
+                        shared,
+                        conn,
+                        args.token,
+                        &format!(
+                            "job of {} references exceeds the {}-reference admission cap",
+                            spec.total_refs(),
+                            shared.cfg.max_refs_per_job
+                        ),
+                    );
+                    continue;
+                }
+                shared.pattern_for(&spec)
+            }
+            // Uploaded patterns were validated and admission-checked at
+            // upload time; resolving the handle is all that remains.
+            WireSource::Handle(h) => match shared.rt.patterns().get(h) {
+                Some(p) => p,
+                None => {
+                    reject(
+                        shared,
+                        conn,
+                        args.token,
+                        &format!("unknown pattern handle {h:016x}"),
+                    );
+                    continue;
+                }
+            },
+        };
         let spec = match args.body {
-            WireBody::Sum => JobSpec::i64(pattern, body),
-            WireBody::Mul(k) => JobSpec::i64(pattern, move |_i, r| {
+            crate::wire::WireBody::Sum => {
+                JobSpec::i64(pattern, |_i, r| smartapps_workloads::contribution_i64(r))
+            }
+            crate::wire::WireBody::Mul(k) => JobSpec::i64(pattern, move |_i, r| {
                 smartapps_workloads::contribution_i64(r).wrapping_mul(k)
             }),
-            WireBody::Panic => JobSpec::i64(pattern, |_i, _r| -> i64 {
+            crate::wire::WireBody::FSum => {
+                JobSpec::f64(pattern, |_i, r| smartapps_workloads::contribution(r))
+            }
+            crate::wire::WireBody::Panic => JobSpec::i64(pattern, |_i, _r| -> i64 {
                 panic!("wire-requested panic body")
             }),
         };
@@ -634,6 +1125,7 @@ fn submit_jobs(shared: &ServerShared, conn: &Arc<Conn>, jobs: Vec<SubmitArgs>) {
                     conn: conn.id,
                     token: args.token,
                     reply: args.reply,
+                    f64body: args.body.is_f64(),
                     submitted_at: Instant::now(),
                 },
             );
@@ -645,9 +1137,10 @@ fn submit_jobs(shared: &ServerShared, conn: &Arc<Conn>, jobs: Vec<SubmitArgs>) {
     }
 }
 
-/// Fail one submission before it reaches the runtime.
-fn reject(conn: &Arc<Conn>, token: u64, message: &str) {
+/// Fail one submission (or upload) before it reaches the runtime.
+fn reject(shared: &ServerShared, conn: &Arc<Conn>, token: u64, message: &str) {
     write_response(
+        shared,
         conn,
         &Response::Done(DoneMsg {
             token,
@@ -667,6 +1160,7 @@ fn deliver(shared: &ServerShared, completion: Completion) {
         conn,
         token,
         reply,
+        f64body,
         submitted_at,
     }) = shared
         .pending
@@ -689,6 +1183,23 @@ fn deliver(shared: &ServerShared, completion: Completion) {
             signature: completion.signature.0,
             message: e.message,
         },
+        None if f64body => {
+            let values = r.output.as_f64().map(<[f64]>::to_vec).unwrap_or_default();
+            DoneOutcome::Ok {
+                scheme: r.scheme.abbrev().to_string(),
+                elapsed_ns: r.elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                profile_hit: r.profile_hit,
+                fused_with: r.fused_with,
+                batched_with: r.batched_with,
+                payload: match reply {
+                    ReplyMode::Ack => Payload::ChecksumF64 {
+                        len: values.len(),
+                        sum: checksum_f64(&values),
+                    },
+                    ReplyMode::Full => Payload::FullF64(values),
+                },
+            }
+        }
         None => {
             let values = r.output.as_i64().map(<[i64]>::to_vec).unwrap_or_default();
             DoneOutcome::Ok {
@@ -707,93 +1218,105 @@ fn deliver(shared: &ServerShared, completion: Completion) {
             }
         }
     };
-    if !conn.dead.load(Ordering::Acquire) {
-        write_response(&conn, &Response::Done(DoneMsg { token, outcome }));
+    if !conn.is_dead() {
+        write_response(shared, &conn, &Response::Done(DoneMsg { token, outcome }));
     }
     conn.completed.fetch_add(1, Ordering::Relaxed);
     let left = conn.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
-    if left == 0
-        && conn.drain_pending.swap(false, Ordering::SeqCst)
-        && !conn.dead.load(Ordering::Acquire)
-    {
-        write_response(
-            &conn,
-            &Response::Drained(conn.completed.load(Ordering::Relaxed)),
-        );
+    if left == 0 {
+        if conn.drain_pending.swap(false, Ordering::SeqCst) && !conn.is_dead() {
+            write_response(
+                shared,
+                &conn,
+                &Response::Drained(conn.completed.load(Ordering::Relaxed)),
+            );
+        }
+        if conn.is_dead() {
+            // Its owner may be parked with nothing left to wake it;
+            // nudge so the conn is reaped promptly.
+            shared.nudge_owner(conn.id);
+        }
     }
 }
 
 /// Protocol-level failure: tell the client why, then fail the connection.
-fn protocol_error(conn: &Arc<Conn>, message: &str) {
-    write_response(conn, &Response::Error(message.to_string()));
+fn protocol_error(shared: &ServerShared, conn: &Arc<Conn>, message: &str) {
+    write_response(shared, conn, &Response::Error(message.to_string()));
     conn.mark_dead();
 }
 
-/// Total stall (across all lines) one connection may inflict on the
-/// shared reactors before it is failed.  Debt decays on stall-free
-/// writes, so a briefly slow but otherwise healthy peer recovers; a
-/// trickle-reader that stalls every line cannot reset it and dies
-/// within the budget no matter how it paces its reads.
-const WRITE_STALL_BUDGET: Duration = Duration::from_secs(5);
-
-/// Write one response line ([`write_raw`] handles the socket and the
-/// stall budget).
-fn write_response(conn: &Conn, response: &Response) {
-    let mut line = response.encode();
-    line.push('\n');
-    write_raw(conn, line.as_bytes());
+/// Encode one response in the connection's negotiated protocol and hand
+/// it to [`write_raw`].
+fn write_response(shared: &ServerShared, conn: &Conn, response: &Response) {
+    if conn.binary() {
+        write_raw(shared, conn, &wire2::encode_response(response));
+    } else {
+        let mut line = response.encode();
+        line.push('\n');
+        write_raw(shared, conn, line.as_bytes());
+    }
 }
 
-/// Write one outbound frame (a response line, or the length-prefixed
-/// `metrics` reply), handling the nonblocking socket's partial writes.
-/// Stall time (the peer's send buffer full) is charged against the
-/// connection's cumulative [`WRITE_STALL_BUDGET`]; exceeding it fails
-/// the connection instead of wedging the reactors — any reactor may
-/// deliver to any socket, so an unbounded per-frame grace would let one
-/// slow reader stall completion draining service-wide.  Bytes actually
-/// written and stall time are also recorded into the connection's
-/// telemetry counters.
-fn write_raw(conn: &Conn, bytes: &[u8]) {
+/// Write one outbound message, never blocking the calling reactor: as
+/// much as the socket takes goes out directly; an unwritable tail is
+/// appended to the connection's outbound buffer and the owning reactor
+/// is nudged to arm `EPOLLOUT` and flush on writability.  Stall time
+/// (buffer-resident time) is charged against the connection's
+/// cumulative [`write_stall_budget`](ServerConfig::write_stall_budget);
+/// exceeding it fails the connection instead of wedging reactors — any
+/// reactor may deliver to any socket, so unbounded per-message grace
+/// would let one slow reader stall completion draining service-wide.
+fn write_raw(shared: &ServerShared, conn: &Conn, bytes: &[u8]) {
+    if conn.is_dead() {
+        return;
+    }
+    let mut out = conn.out.lock().unwrap_or_else(|p| p.into_inner());
     let mut written = 0usize;
-    let mut stalled = Duration::ZERO;
-    let budget = WRITE_STALL_BUDGET.saturating_sub(Duration::from_micros(
-        conn.stall_debt_micros.load(Ordering::Relaxed),
-    ));
-    {
-        let mut w = conn.writer.lock().unwrap_or_else(|p| p.into_inner());
+    if out.buf.is_empty() {
+        // Fast path: the socket usually takes the whole message.
         while written < bytes.len() {
-            match w.write(&bytes[written..]) {
+            match (&out.stream).write(&bytes[written..]) {
                 Ok(0) => {
+                    drop(out);
                     conn.mark_dead();
-                    break;
+                    return;
                 }
                 Ok(n) => written += n,
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    if stalled >= budget {
-                        conn.mark_dead();
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_micros(100));
-                    stalled += Duration::from_micros(100);
-                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => {
+                    drop(out);
                     conn.mark_dead();
-                    break;
+                    return;
                 }
             }
         }
-    }
-    conn.bytes_out.fetch_add(written as u64, Ordering::Relaxed);
-    if stalled.is_zero() {
-        // A stall-free frame halves the accumulated debt.
-        let debt = conn.stall_debt_micros.load(Ordering::Relaxed);
-        if debt > 0 {
-            conn.stall_debt_micros.store(debt / 2, Ordering::Relaxed);
+        if written > 0 {
+            conn.bytes_out.fetch_add(written as u64, Ordering::Relaxed);
         }
-    } else {
-        let us = stalled.as_micros().min(u64::MAX as u128) as u64;
-        conn.stall_debt_micros.fetch_add(us, Ordering::Relaxed);
-        conn.stall_us.fetch_add(us, Ordering::Relaxed);
+        if written == bytes.len() {
+            drop(out);
+            // A stall-free message halves the accumulated debt, so a
+            // briefly slow but otherwise healthy peer recovers; a
+            // trickle-reader that stalls every message cannot reset it
+            // and dies within the budget no matter how it paces reads.
+            let debt = conn.stall_debt_micros.load(Ordering::Relaxed);
+            if debt > 0 {
+                conn.stall_debt_micros.store(debt / 2, Ordering::Relaxed);
+            }
+            return;
+        }
     }
+    // Slow path: buffer the tail for the owner to flush on EPOLLOUT.
+    if out.buf.len() + (bytes.len() - written) > OUTBUF_LIMIT_BYTES {
+        drop(out);
+        conn.mark_dead();
+        return;
+    }
+    out.buf.extend_from_slice(&bytes[written..]);
+    if out.stall_since.is_none() {
+        out.stall_since = Some(Instant::now());
+    }
+    drop(out);
+    shared.nudge_owner(conn.id);
 }

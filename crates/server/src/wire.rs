@@ -11,13 +11,21 @@
 //! `docs/SERVER.md` and `docs/OBSERVABILITY.md`.
 //!
 //! Job *bodies* cannot cross a network boundary as closures, so the
-//! protocol describes jobs declaratively: a [`WireSpec`] names a
-//! deterministic generated access pattern (the same `PatternSpec`
-//! parameters the workloads crate uses) and a [`WireBody`] names one of
-//! the server's built-in contribution functions.  Two clients sending
-//! the same spec share one server-side pattern allocation, which is what
-//! lets their jobs coalesce — and fuse — exactly like in-process
-//! submissions.
+//! protocol describes jobs declaratively: a [`WireSource`] either names
+//! a deterministic generated access pattern (a [`WireSpec`] — the same
+//! `PatternSpec` parameters the workloads crate uses) or references a
+//! CSR structure the client previously uploaded (`upload` →
+//! [`Response::Uploaded`] handle), and a [`WireBody`] names one of the
+//! server's built-in contribution functions.  Two clients sending the
+//! same spec — or uploading the same CSR content — share one
+//! server-side pattern allocation, which is what lets their jobs
+//! coalesce — and fuse — exactly like in-process submissions.
+//!
+//! This module is the *text* protocol.  A connection can negotiate the
+//! length-prefixed **binary wire v2** (`upgrade bin` →
+//! [`Response::Upgraded`], then both directions switch to framed
+//! encoding) — same request/response types, binary codec in
+//! [`wire2`](crate::wire2).
 //!
 //! The types carry `serde` derives for source-compatibility with the
 //! real crates; in this offline build the vendored stand-in expands
@@ -134,7 +142,7 @@ impl WireDist {
     }
 }
 
-/// Which built-in i64 contribution function the job runs.
+/// Which built-in contribution function the job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WireBody {
     /// The workloads crate's standard `contribution_i64`.
@@ -142,16 +150,27 @@ pub enum WireBody {
     /// `contribution_i64` scaled by a constant (distinct outputs for
     /// fused-sweep members without distinct code).
     Mul(i64),
+    /// The workloads crate's f64 `contribution` — the floating-point
+    /// body; its `done` payload uses the f64 payload shapes
+    /// ([`Payload::ChecksumF64`] / [`Payload::FullF64`]).
+    FSum,
     /// A body that panics on its first invocation — the failure-channel
     /// test hook (drives `Panic` errors and, in streaks, quarantine).
     Panic,
 }
 
 impl WireBody {
+    /// Whether the body produces f64 outputs (selects the f64 payload
+    /// shapes on the `done` response).
+    pub fn is_f64(self) -> bool {
+        matches!(self, WireBody::FSum)
+    }
+
     fn encode(self) -> String {
         match self {
             WireBody::Sum => "sum".into(),
             WireBody::Mul(k) => format!("mul:{k}"),
+            WireBody::FSum => "fsum".into(),
             WireBody::Panic => "panic".into(),
         }
     }
@@ -159,6 +178,7 @@ impl WireBody {
     fn parse(s: &str) -> Result<Self, String> {
         match s {
             "sum" => Ok(WireBody::Sum),
+            "fsum" => Ok(WireBody::FSum),
             "panic" => Ok(WireBody::Panic),
             _ => match s.strip_prefix("mul:") {
                 Some(rest) => rest
@@ -169,6 +189,19 @@ impl WireBody {
             },
         }
     }
+}
+
+/// Where a submitted job's access pattern comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WireSource {
+    /// Described inline as a generator spec (the original protocol
+    /// shape): the server expands and caches the synthetic pattern.
+    Gen(WireSpec),
+    /// References a CSR structure previously interned via `upload`, by
+    /// the handle the [`Response::Uploaded`] reply carried.  Handles are
+    /// server-scoped (any connection may use any issued handle — that is
+    /// what lets same-structure jobs from different clients fuse).
+    Handle(u64),
 }
 
 /// How much of the result the `done` response carries back.
@@ -199,7 +232,7 @@ impl ReplyMode {
 }
 
 /// One job submission: the client-chosen token echoed on the `done`
-/// response, the reply mode, the body, and the pattern spec.
+/// response, the reply mode, the body, and the pattern source.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SubmitArgs {
     /// Client-chosen correlation tag; the server treats it as opaque and
@@ -209,34 +242,64 @@ pub struct SubmitArgs {
     pub reply: ReplyMode,
     /// Which built-in contribution function runs.
     pub body: WireBody,
-    /// The access pattern to reduce over.
-    pub spec: WireSpec,
+    /// The access pattern to reduce over: an inline generator spec
+    /// (9 text fields) or an uploaded-pattern handle (`pat:<hex>`,
+    /// 4 text fields).
+    pub source: WireSource,
 }
 
 impl SubmitArgs {
     fn encode_fields(&self) -> String {
-        format!(
-            "{} {} {} {} {} {} {} {} {}",
+        let head = format!(
+            "{} {} {}",
             self.token,
             self.reply.encode(),
-            self.body.encode(),
-            self.spec.elements,
-            self.spec.iterations,
-            self.spec.refs_per_iter,
-            self.spec.coverage,
-            self.spec.dist.encode(),
-            self.spec.seed
-        )
+            self.body.encode()
+        );
+        match self.source {
+            WireSource::Gen(spec) => format!(
+                "{head} {} {} {} {} {} {}",
+                spec.elements,
+                spec.iterations,
+                spec.refs_per_iter,
+                spec.coverage,
+                spec.dist.encode(),
+                spec.seed
+            ),
+            WireSource::Handle(h) => format!("{head} pat:{h:016x}"),
+        }
     }
 
-    /// Parse the 9 submit fields from a token-first field slice.
-    fn parse_fields(f: &[&str]) -> Result<SubmitArgs, String> {
-        if f.len() != 9 {
-            return Err(format!("submit takes 9 fields, got {}", f.len()));
+    /// Parse one submission from the front of a token-first field slice;
+    /// returns the args and how many fields were consumed (4 for the
+    /// `pat:<hex>` handle form, 9 for an inline spec) so a `batch` line
+    /// can mix both forms.
+    fn parse_seq(f: &[&str]) -> Result<(SubmitArgs, usize), String> {
+        if f.len() < 4 {
+            return Err(format!("submit takes at least 4 fields, got {}", f.len()));
         }
         let token = f[0].parse().map_err(|_| format!("bad token {}", f[0]))?;
         let reply = ReplyMode::parse(f[1])?;
         let body = WireBody::parse(f[2])?;
+        if let Some(hex) = f[3].strip_prefix("pat:") {
+            let handle =
+                u64::from_str_radix(hex, 16).map_err(|_| format!("bad pattern handle {}", f[3]))?;
+            return Ok((
+                SubmitArgs {
+                    token,
+                    reply,
+                    body,
+                    source: WireSource::Handle(handle),
+                },
+                4,
+            ));
+        }
+        if f.len() < 9 {
+            return Err(format!(
+                "submit takes 9 fields (or 4 with pat:<hex>), got {}",
+                f.len()
+            ));
+        }
         let spec = WireSpec {
             elements: f[3].parse().map_err(|_| format!("bad elements {}", f[3]))?,
             iterations: f[4]
@@ -250,11 +313,95 @@ impl SubmitArgs {
         if !spec.coverage.is_finite() {
             return Err("coverage must be finite".into());
         }
-        Ok(SubmitArgs {
+        Ok((
+            SubmitArgs {
+                token,
+                reply,
+                body,
+                source: WireSource::Gen(spec),
+            },
+            9,
+        ))
+    }
+
+    /// Parse exactly one submission covering the whole field slice.
+    fn parse_fields(f: &[&str]) -> Result<SubmitArgs, String> {
+        let (args, used) = SubmitArgs::parse_seq(f)?;
+        if used != f.len() {
+            return Err(format!("submit has {} trailing fields", f.len() - used));
+        }
+        Ok(args)
+    }
+}
+
+/// One CSR structure upload: the raw row-pointer and index arrays of an
+/// [`AccessPattern`](smartapps_workloads::AccessPattern).  The server
+/// validates and interns the structure and replies
+/// [`Response::Uploaded`] with the handle; invalid or over-capacity
+/// uploads fail with a `done <token> err rejected ...` message (the
+/// connection survives).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadArgs {
+    /// Client-chosen correlation tag, echoed on the reply.
+    pub token: u64,
+    /// Reduction array dimension (what `indices` values index into).
+    pub num_elements: usize,
+    /// CSR row pointers: `iter_ptr[i]..iter_ptr[i+1]` spans iteration
+    /// `i`'s slice of `indices`.
+    pub iter_ptr: Vec<u32>,
+    /// Concatenated per-iteration element indices.
+    pub indices: Vec<u32>,
+}
+
+impl UploadArgs {
+    fn encode_fields(&self) -> String {
+        let mut s = format!(
+            "{} {} {} {}",
+            self.token,
+            self.num_elements,
+            self.iter_ptr.len(),
+            self.indices.len()
+        );
+        for v in &self.iter_ptr {
+            s.push(' ');
+            s.push_str(&v.to_string());
+        }
+        for v in &self.indices {
+            s.push(' ');
+            s.push_str(&v.to_string());
+        }
+        s
+    }
+
+    fn parse_fields(f: &[&str]) -> Result<UploadArgs, String> {
+        if f.len() < 4 {
+            return Err(format!("upload takes at least 4 fields, got {}", f.len()));
+        }
+        let token = f[0].parse().map_err(|_| format!("bad token {}", f[0]))?;
+        let num_elements = f[1].parse().map_err(|_| format!("bad elements {}", f[1]))?;
+        let np: usize = f[2]
+            .parse()
+            .map_err(|_| format!("bad iter_ptr length {}", f[2]))?;
+        let ni: usize = f[3]
+            .parse()
+            .map_err(|_| format!("bad indices length {}", f[3]))?;
+        let need = 4usize
+            .checked_add(np)
+            .and_then(|n| n.checked_add(ni))
+            .ok_or("upload lengths overflow")?;
+        if f.len() != need {
+            return Err(format!("upload declares {need} fields, got {}", f.len()));
+        }
+        let num = |s: &&str| -> Result<u32, String> {
+            s.parse().map_err(|_| format!("bad csr value {s}"))
+        };
+        let iter_ptr = f[4..4 + np].iter().map(num).collect::<Result<_, _>>()?;
+        let indices = f[4 + np..].iter().map(num).collect::<Result<_, _>>()?;
+        Ok(UploadArgs {
             token,
-            reply,
-            body,
-            spec,
+            num_elements,
+            iter_ptr,
+            indices,
         })
     }
 }
@@ -286,6 +433,16 @@ pub enum Request {
     /// reported by `done ... err quarantined` messages' class field —
     /// see `docs/SERVER.md`).
     Unquarantine(u64),
+    /// Intern a CSR structure server-side; the reply
+    /// ([`Response::Uploaded`]) carries the handle later submissions
+    /// reference via [`WireSource::Handle`].
+    Upload(UploadArgs),
+    /// Switch this connection to the length-prefixed binary wire v2
+    /// (`docs/SERVER.md`).  Legal only while the connection has no jobs
+    /// in flight — the server must not interleave a text `done` with the
+    /// framed `upgraded` reply.  After the [`Response::Upgraded`]
+    /// acknowledgment (still a text line), both directions speak frames.
+    UpgradeBin,
 }
 
 impl Request {
@@ -306,6 +463,8 @@ impl Request {
             Request::Metrics => "metrics".into(),
             Request::Drain => "drain".into(),
             Request::Unquarantine(sig) => format!("unquarantine {sig:016x}"),
+            Request::Upload(a) => format!("upload {}", a.encode_fields()),
+            Request::UpgradeBin => "upgrade bin".into(),
         }
     }
 
@@ -322,17 +481,17 @@ impl Request {
                 if n == 0 {
                     return Err("batch count must be >= 1".into());
                 }
-                if rest.len() != n * 9 {
-                    return Err(format!(
-                        "batch {n} takes {} fields, got {}",
-                        n * 9,
-                        rest.len()
-                    ));
+                let mut jobs = Vec::with_capacity(n.min(1024));
+                let mut rest = rest;
+                for _ in 0..n {
+                    let (args, used) = SubmitArgs::parse_seq(rest)?;
+                    jobs.push(args);
+                    rest = &rest[used..];
                 }
-                rest.chunks(9)
-                    .map(SubmitArgs::parse_fields)
-                    .collect::<Result<Vec<_>, _>>()
-                    .map(Request::Batch)
+                if !rest.is_empty() {
+                    return Err(format!("batch {n} has {} trailing fields", rest.len()));
+                }
+                Ok(Request::Batch(jobs))
             }
             Some((&"stats", [])) => Ok(Request::Stats),
             Some((&"stats", ["v2"])) => Ok(Request::StatsV2),
@@ -341,30 +500,49 @@ impl Request {
             Some((&"unquarantine", [sig])) => u64::from_str_radix(sig, 16)
                 .map(Request::Unquarantine)
                 .map_err(|_| format!("bad signature {sig}")),
+            Some((&"upload", rest)) => UploadArgs::parse_fields(rest).map(Request::Upload),
+            Some((&"upgrade", ["bin"])) => Ok(Request::UpgradeBin),
             Some((verb, _)) => Err(format!("unknown or malformed request {verb}")),
             None => Err("empty request".into()),
         }
     }
 }
 
-/// Result payload of a successful job.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Result payload of a successful job.  (`Eq` is off the table: the f64
+/// payload shapes carry floats.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Payload {
-    /// Output length plus wrapping-sum checksum ([`ReplyMode::Ack`]).
+    /// Output length plus wrapping-sum checksum ([`ReplyMode::Ack`],
+    /// i64 bodies).
     Checksum {
         /// Number of reduction elements.
         len: usize,
         /// Wrapping sum of all output values.
         sum: i64,
     },
-    /// The full output array ([`ReplyMode::Full`]).
+    /// The full output array ([`ReplyMode::Full`], i64 bodies).
     Full(Vec<i64>),
+    /// Output length plus float sum ([`ReplyMode::Ack`], f64 bodies).
+    ChecksumF64 {
+        /// Number of reduction elements.
+        len: usize,
+        /// Plain (left-to-right) sum of all output values.
+        sum: f64,
+    },
+    /// The full f64 output array ([`ReplyMode::Full`], f64 bodies).
+    FullF64(Vec<f64>),
 }
 
 /// Wrapping-sum checksum of an output array (what
 /// [`Payload::Checksum`] carries).
 pub fn checksum(values: &[i64]) -> i64 {
     values.iter().fold(0i64, |a, &v| a.wrapping_add(v))
+}
+
+/// Left-to-right float sum (what [`Payload::ChecksumF64`] carries);
+/// deterministic given the same array.
+pub fn checksum_f64(values: &[f64]) -> f64 {
+    values.iter().sum()
 }
 
 /// One finished job, as reported on the wire.
@@ -442,6 +620,19 @@ pub enum Response {
     Drained(u64),
     /// Whether the `unquarantine` found ledger state to clear.
     Unquarantined(bool),
+    /// A CSR upload succeeded: the echoed token and the issued (or
+    /// deduplicated) pattern handle.
+    Uploaded {
+        /// The upload's token, echoed.
+        token: u64,
+        /// The handle later submissions reference via
+        /// [`WireSource::Handle`].
+        handle: u64,
+    },
+    /// Acknowledges [`Request::UpgradeBin`]: the last text line on the
+    /// connection; everything after it (both directions) is binary wire
+    /// v2 frames.
+    Upgraded,
     /// Protocol-level failure (unparsable line, oversized job, …); the
     /// server closes the connection after sending it.
     Error(String),
@@ -468,6 +659,15 @@ impl Response {
                         Payload::Checksum { len, sum } => format!("{head} sum {len} {sum}"),
                         Payload::Full(values) => {
                             let mut s = format!("{head} full {}", values.len());
+                            for v in values {
+                                s.push(' ');
+                                s.push_str(&v.to_string());
+                            }
+                            s
+                        }
+                        Payload::ChecksumF64 { len, sum } => format!("{head} fsum {len} {sum}"),
+                        Payload::FullF64(values) => {
+                            let mut s = format!("{head} ffull {}", values.len());
                             for v in values {
                                 s.push(' ');
                                 s.push_str(&v.to_string());
@@ -515,6 +715,8 @@ impl Response {
             }
             Response::Drained(n) => format!("drained {n}"),
             Response::Unquarantined(found) => format!("unquarantined {}", u8::from(*found)),
+            Response::Uploaded { token, handle } => format!("uploaded {token} {handle:016x}"),
+            Response::Upgraded => "upgraded bin".into(),
             Response::Error(msg) => format!("err {msg}"),
         }
     }
@@ -546,6 +748,20 @@ impl Response {
                 "0" => Ok(Response::Unquarantined(false)),
                 "1" => Ok(Response::Unquarantined(true)),
                 other => Err(format!("bad unquarantined flag {other}")),
+            },
+            "uploaded" => {
+                let (token, handle) = rest
+                    .trim()
+                    .split_once(' ')
+                    .ok_or(format!("truncated uploaded line: {rest}"))?;
+                let token: u64 = token.parse().map_err(|_| format!("bad token {token}"))?;
+                let handle =
+                    u64::from_str_radix(handle, 16).map_err(|_| format!("bad handle {handle}"))?;
+                Ok(Response::Uploaded { token, handle })
+            }
+            "upgraded" => match rest.trim() {
+                "bin" => Ok(Response::Upgraded),
+                other => Err(format!("bad upgraded mode {other}")),
             },
             "err" => Ok(Response::Error(rest.to_string())),
             other => Err(format!("unknown response {other}")),
@@ -685,6 +901,29 @@ impl Response {
                                 .collect::<Result<Vec<i64>, String>>()?,
                         )
                     }
+                    "fsum" => {
+                        if f.len() != 8 {
+                            return Err("fsum payload takes len + checksum".into());
+                        }
+                        Payload::ChecksumF64 {
+                            len,
+                            sum: f[7].parse().map_err(|_| format!("bad checksum {}", f[7]))?,
+                        }
+                    }
+                    "ffull" => {
+                        if f.len() != 7 + len {
+                            return Err(format!(
+                                "ffull payload declares {len} values, got {}",
+                                f.len() - 7
+                            ));
+                        }
+                        Payload::FullF64(
+                            f[7..]
+                                .iter()
+                                .map(|v| v.parse().map_err(|_| format!("bad value {v}")))
+                                .collect::<Result<Vec<f64>, String>>()?,
+                        )
+                    }
                     other => return Err(format!("unknown payload kind {other}")),
                 };
                 Ok(DoneMsg {
@@ -741,20 +980,30 @@ mod tests {
             token: 41,
             reply: ReplyMode::Full,
             body: WireBody::Mul(-3),
-            spec: spec(),
+            source: WireSource::Gen(spec()),
+        };
+        let by_handle = SubmitArgs {
+            token: 43,
+            reply: ReplyMode::Ack,
+            body: WireBody::FSum,
+            source: WireSource::Handle(0x1f),
         };
         for req in [
             Request::Submit(args),
+            Request::Submit(by_handle),
             Request::Batch(vec![
                 args,
+                // A batch may mix handle-form (4 fields) and spec-form
+                // (9 fields) submissions.
+                by_handle,
                 SubmitArgs {
                     token: 42,
                     reply: ReplyMode::Ack,
                     body: WireBody::Sum,
-                    spec: WireSpec {
+                    source: WireSource::Gen(WireSpec {
                         dist: WireDist::Clustered(16),
                         ..spec()
-                    },
+                    }),
                 },
             ]),
             Request::Stats,
@@ -762,6 +1011,13 @@ mod tests {
             Request::Metrics,
             Request::Drain,
             Request::Unquarantine(0xdead_beef_0042),
+            Request::Upload(UploadArgs {
+                token: 5,
+                num_elements: 4,
+                iter_ptr: vec![0, 2, 2, 3],
+                indices: vec![1, 3, 0],
+            }),
+            Request::UpgradeBin,
         ] {
             let line = req.encode();
             assert_eq!(Request::parse(&line).as_ref(), Ok(&req), "line: {line}");
@@ -819,6 +1075,36 @@ mod tests {
             Response::StatsV2(StatsV2::default()),
             Response::Drained(40),
             Response::Unquarantined(true),
+            Response::Uploaded {
+                token: 12,
+                handle: 0x2a,
+            },
+            Response::Upgraded,
+            Response::Done(DoneMsg {
+                token: 12,
+                outcome: DoneOutcome::Ok {
+                    scheme: "rep".into(),
+                    elapsed_ns: 77,
+                    profile_hit: false,
+                    fused_with: 0,
+                    batched_with: 1,
+                    payload: Payload::ChecksumF64 {
+                        len: 3,
+                        sum: -0.125,
+                    },
+                },
+            }),
+            Response::Done(DoneMsg {
+                token: 13,
+                outcome: DoneOutcome::Ok {
+                    scheme: "pclr".into(),
+                    elapsed_ns: 78,
+                    profile_hit: true,
+                    fused_with: 1,
+                    batched_with: 1,
+                    payload: Payload::FullF64(vec![1.5, -2.25, 1e-9, std::f64::consts::PI]),
+                },
+            }),
             Response::Error("line too long".into()),
         ] {
             let line = resp.encode();
@@ -841,6 +1127,11 @@ mod tests {
             "stats now",                               // trailing junk
             "unquarantine zz",                         // bad hex
             "warp 9",                                  // unknown verb
+            "submit 1 ack sum pat:zz",                 // bad handle hex
+            "submit 1 ack sum pat:2a 99",              // trailing fields
+            "upload 1 4 2 1 0 2 3 9",                  // count mismatch
+            "upload 1 4 2 x 0 2",                      // bad length field
+            "upgrade text",                            // unknown upgrade mode
         ] {
             // Line 3 parses (validation is a separate step); all others fail.
             let parsed = Request::parse(line);
@@ -848,7 +1139,10 @@ mod tests {
                 let Ok(Request::Submit(args)) = parsed else {
                     panic!("zero-element submit should parse, validation rejects it")
                 };
-                assert!(args.spec.validate().is_err());
+                let WireSource::Gen(spec) = args.source else {
+                    panic!("generator submit should carry a spec")
+                };
+                assert!(spec.validate().is_err());
             } else {
                 assert!(parsed.is_err(), "should reject: {line}");
             }
@@ -868,6 +1162,10 @@ mod tests {
             "stats2 counters 0 hists 0 quarantine 1 zz:3", // bad signature
             "stats2 counters 0 hists 0 quarantine 0 junk", // trailing fields
             "stats2 hists 0 counters 0 quarantine 0",      // sections out of order
+            "uploaded 5",                                  // missing handle
+            "uploaded x 2a",                               // bad token
+            "upgraded text",                               // unknown mode
+            "done 9 ok hash 1 1 0 0 ffull 2 1.5",          // undersized f64 payload
         ] {
             assert!(Response::parse(line).is_err(), "should reject: {line}");
         }

@@ -10,7 +10,7 @@
 use smartapps_runtime::{Runtime, RuntimeConfig};
 use smartapps_server::{
     checksum, Client, DoneMsg, DoneOutcome, Payload, ReplyMode, Server, ServerConfig, SubmitArgs,
-    WireBody, WireDist, WireSpec,
+    WireBody, WireDist, WireSource, WireSpec,
 };
 use smartapps_workloads::pattern::sequential_reduce_i64;
 use std::collections::HashMap;
@@ -98,24 +98,24 @@ fn eight_concurrent_clients_mixed_traffic_exactly_once() {
                                     } else {
                                         WireBody::Mul(scale)
                                     },
-                                    spec: classes[class],
+                                    source: WireSource::Gen(classes[class]),
                                 },
                                 Expect::Rejected => SubmitArgs {
                                     token: t,
                                     reply: ReplyMode::Full,
                                     body: WireBody::Sum,
                                     // Over the 4M-reference admission cap.
-                                    spec: WireSpec {
+                                    source: WireSource::Gen(WireSpec {
                                         iterations: 3_000_000,
                                         refs_per_iter: 2,
                                         ..small_spec(1)
-                                    },
+                                    }),
                                 },
                                 Expect::PanicClass => SubmitArgs {
                                     token: t,
                                     reply: ReplyMode::Ack,
                                     body: WireBody::Panic,
-                                    spec: poison,
+                                    source: WireSource::Gen(poison),
                                 },
                             };
                             client.submit(args).expect("submit");
@@ -218,7 +218,7 @@ fn eight_concurrent_clients_mixed_traffic_exactly_once() {
             token: 0,
             reply: ReplyMode::Ack,
             body: WireBody::Panic,
-            spec: poison,
+            source: WireSource::Gen(poison),
         })
         .expect("submit");
         match c.next_done().expect("next_done").outcome {
@@ -237,7 +237,7 @@ fn eight_concurrent_clients_mixed_traffic_exactly_once() {
         token: 1,
         reply: ReplyMode::Full,
         body: WireBody::Sum,
-        spec: poison,
+        source: WireSource::Gen(poison),
     })
     .expect("submit");
     match c.next_done().expect("next_done").outcome {
@@ -289,7 +289,7 @@ fn fused_sweep_over_the_wire_delivers_every_member_exactly_once() {
             token: 100,
             reply: ReplyMode::Ack,
             body: WireBody::Sum,
-            spec: warm,
+            source: WireSource::Gen(warm),
         })
         .expect("warm submit");
     let jobs: Vec<SubmitArgs> = (0..6)
@@ -297,7 +297,7 @@ fn fused_sweep_over_the_wire_delivers_every_member_exactly_once() {
             token: k,
             reply: ReplyMode::Ack,
             body: WireBody::Mul(k as i64 + 1),
-            spec: sparse,
+            source: WireSource::Gen(sparse),
         })
         .collect();
     client.submit_batch(jobs).expect("batch submit");
@@ -347,7 +347,7 @@ fn server_drains_cleanly_on_shutdown_and_leaves_the_runtime_alive() {
                 token: t,
                 reply: ReplyMode::Full,
                 body: WireBody::Sum,
-                spec,
+                source: WireSource::Gen(spec),
             })
             .expect("submit");
     }
@@ -406,7 +406,7 @@ fn shutdown_with_jobs_in_flight_still_answers_them() {
                 token: t,
                 reply: ReplyMode::Ack,
                 body: WireBody::Sum,
-                spec: small_spec(771),
+                source: WireSource::Gen(small_spec(771)),
             })
             .expect("submit");
     }
@@ -480,7 +480,7 @@ fn metrics_and_stats_v2_reflect_multi_client_traffic() {
                             token: t,
                             reply: ReplyMode::Ack,
                             body: WireBody::Sum,
-                            spec: small_spec(600 + c),
+                            source: WireSource::Gen(small_spec(600 + c)),
                         })
                         .expect("submit");
                 }
@@ -502,7 +502,7 @@ fn metrics_and_stats_v2_reflect_multi_client_traffic() {
                 token: t,
                 reply: ReplyMode::Ack,
                 body: WireBody::Panic,
-                spec: poison,
+                source: WireSource::Gen(poison),
             })
             .expect("submit");
     }
@@ -608,7 +608,7 @@ fn protocol_errors_fail_the_connection_not_the_server() {
             token: 7,
             reply: ReplyMode::Ack,
             body: WireBody::Sum,
-            spec: small_spec(772),
+            source: WireSource::Gen(small_spec(772)),
         })
         .expect("submit");
     let d = client.next_done().expect("next_done");

@@ -1,0 +1,210 @@
+//! Soak tests of the epoll data plane's two core promises:
+//!
+//! * **Idle costs nothing.**  A reactor with nothing to do blocks in
+//!   `epoll_wait` with no timeout; hundreds of idle connections must not
+//!   produce wakeups.  The per-reactor idle-wakeup counter is the
+//!   regression guard that replaced the old sleep-poll loop — a
+//!   level-triggered bug (dead fd left registered, waker never drained,
+//!   EPOLLOUT left armed) shows up here as a wakeup storm.
+//! * **A stuck reader cannot wedge the service.**  Responses to a
+//!   client that stops reading pile into its outbound buffer, the
+//!   write-stall budget expires, and the connection is disconnected and
+//!   reaped — while every other connection keeps being served.
+
+use smartapps_runtime::Runtime;
+use smartapps_server::{
+    Client, DoneOutcome, ReplyMode, Server, ServerConfig, SubmitArgs, WireBody, WireDist,
+    WireSource, WireSpec,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn small_spec(seed: u64) -> WireSpec {
+    WireSpec {
+        elements: 96,
+        iterations: 120,
+        refs_per_iter: 2,
+        coverage: 0.9,
+        dist: WireDist::Uniform,
+        seed,
+    }
+}
+
+#[test]
+fn idle_connections_produce_no_wakeups_while_active_ones_are_served() {
+    const IDLE_CONNS: usize = 256;
+    const ACTIVE_CLIENTS: u64 = 8;
+    const JOBS_PER_CLIENT: u64 = 48;
+
+    let rt = Arc::new(Runtime::with_workers(3));
+    let server = Server::start(
+        rt,
+        ServerConfig {
+            reactors: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.local_addr();
+
+    // A crowd of connected-but-silent clients.  Under epoll they are
+    // pure registration-table entries; under the old sleep-poll loop
+    // every one of them was scanned every millisecond.
+    let idle: Vec<TcpStream> = (0..IDLE_CONNS)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+    // Let the acceptor hand them all over before sampling counters.
+    let handover = Instant::now();
+    while server.connections() < IDLE_CONNS && handover.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        server.connections(),
+        IDLE_CONNS,
+        "acceptor lost connections"
+    );
+
+    // Eight pipelining clients hammer the service through the crowd.
+    let threads: Vec<_> = (0..ACTIVE_CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                if c % 2 == 0 {
+                    client.upgrade_binary().expect("upgrade");
+                }
+                for burst in 0..(JOBS_PER_CLIENT / 12) {
+                    let jobs: Vec<SubmitArgs> = (0..12)
+                        .map(|j| SubmitArgs {
+                            token: c * 10_000 + burst * 100 + j,
+                            reply: ReplyMode::Ack,
+                            body: WireBody::Sum,
+                            source: WireSource::Gen(small_spec(c * 31 + j)),
+                        })
+                        .collect();
+                    client.submit_batch(jobs).expect("batch");
+                }
+                let drained = client.drain().expect("drain");
+                assert_eq!(drained, JOBS_PER_CLIENT, "client {c} lost jobs");
+                for _ in 0..JOBS_PER_CLIENT {
+                    let d = client.next_done().expect("done");
+                    assert!(
+                        matches!(d.outcome, DoneOutcome::Ok { .. }),
+                        "client {c}: {:?}",
+                        d.outcome
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("active client");
+    }
+
+    // Quiesce, then measure a pure-idle window: 256 open sockets, no
+    // traffic, no completions.  Blocked reactors must stay blocked.
+    std::thread::sleep(Duration::from_millis(150));
+    let wakeups_before = server.reactor_wakeups();
+    let idle_before = server.reactor_idle_wakeups();
+    std::thread::sleep(Duration::from_millis(500));
+    let wakeup_delta = server.reactor_wakeups() - wakeups_before;
+    let idle_delta = server.reactor_idle_wakeups() - idle_before;
+    assert!(
+        wakeup_delta <= 4,
+        "reactors woke {wakeup_delta} times during an idle half-second \
+         (sleep-poll regression or wakeup storm)"
+    );
+    assert!(
+        idle_delta <= 4,
+        "{idle_delta} idle wakeups during an idle half-second"
+    );
+
+    // The whole run — accept storm, 384 jobs, drain barriers — should
+    // produce almost no *fruitless* wakeups either; anything near a
+    // busy-loop would be tens of thousands.
+    let idle_total = server.reactor_idle_wakeups();
+    assert!(
+        idle_total <= 64,
+        "{idle_total} idle wakeups across the soak (near-zero expected)"
+    );
+
+    drop(idle);
+    server.shutdown();
+}
+
+#[test]
+fn stuck_reader_is_disconnected_by_the_stall_budget() {
+    let rt = Arc::new(Runtime::with_workers(3));
+    let server = Server::start(
+        rt,
+        ServerConfig {
+            reactors: 2,
+            // Tight budget so the test is quick; the default is 5s.
+            write_stall_budget: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.local_addr();
+
+    // A client that requests megabytes of Full payloads and never reads
+    // a byte: the socket fills, responses pile into the outbound
+    // buffer, and the stall clock starts.
+    let mut stuck = TcpStream::connect(addr).expect("connect");
+    stuck.set_nodelay(true).expect("nodelay");
+    // ~half a megabyte of text per response, ~14 MB across the flood —
+    // far past anything the kernel's socket buffers could absorb for an
+    // unread connection, so the outbound buffer must stall.
+    let wide = WireSpec {
+        elements: 60_000,
+        iterations: 32,
+        refs_per_iter: 2,
+        coverage: 1.0,
+        dist: WireDist::Uniform,
+        seed: 7,
+    };
+    let mut script = String::new();
+    for t in 0..30u64 {
+        let mut line = smartapps_server::Request::Submit(SubmitArgs {
+            token: t,
+            reply: ReplyMode::Full,
+            body: WireBody::Sum,
+            source: WireSource::Gen(wide),
+        })
+        .encode();
+        line.push('\n');
+        script.push_str(&line);
+    }
+    stuck.write_all(script.as_bytes()).expect("submit flood");
+    stuck.flush().expect("flush");
+
+    // The server must disconnect and reap it within the budget (plus
+    // compute and reactor-tick slack) — not wedge a reactor in a write.
+    let t0 = Instant::now();
+    while server.connections() > 0 && t0.elapsed() < Duration::from_secs(20) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(
+        server.connections(),
+        0,
+        "stuck reader still connected after {:?}",
+        t0.elapsed()
+    );
+
+    // And the service is unharmed: a healthy client gets served.
+    let mut probe = Client::connect(addr).expect("connect");
+    probe
+        .submit(SubmitArgs {
+            token: 1,
+            reply: ReplyMode::Ack,
+            body: WireBody::Sum,
+            source: WireSource::Gen(small_spec(3)),
+        })
+        .expect("submit");
+    let d = probe.next_done().expect("done");
+    assert!(matches!(d.outcome, DoneOutcome::Ok { .. }));
+
+    drop(stuck);
+    server.shutdown();
+}

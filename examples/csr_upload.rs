@@ -1,0 +1,149 @@
+//! Binary wire v2 + CSR pattern upload: negotiate the framed protocol,
+//! upload an application's *real* access pattern once, then submit jobs
+//! that reference it by handle — no generator spec, no re-serializing
+//! the structure per job.
+//!
+//! ```sh
+//! cargo run --release --example csr_upload
+//! ```
+//!
+//! This is the upload-path shape of `examples/network_service.rs`.  The
+//! flow an external application would follow:
+//!
+//! 1. connect and send `upgrade bin` (text) → `upgraded bin` ack; the
+//!    connection switches to `[u32 LE len][u8 kind][body]` frames;
+//! 2. `upload` the CSR (iter_ptr + indices) → the server interns it
+//!    (deduplicating by content hash) and replies with a stable handle;
+//! 3. submit jobs with `source: WireSource::Handle(h)` — same scheme
+//!    selection, coalescing and fusion as generator-spec jobs, because
+//!    the handle resolves to the same shared pattern allocation.
+//!
+//! Two clients upload the same structure to show interning: the second
+//! upload is a dedup hit and returns the *same* handle, so jobs from
+//! both connections land in one workload class.
+
+use smartapps::runtime::{Runtime, RuntimeConfig};
+use smartapps::server::{
+    checksum, Client, DoneOutcome, Payload, ReplyMode, Server, ServerConfig, SubmitArgs,
+    UploadArgs, WireBody, WireSource,
+};
+use smartapps::workloads::sequential_reduce_i64;
+use std::sync::Arc;
+
+fn main() {
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers: 2,
+        ..RuntimeConfig::default()
+    }));
+    let server = Server::start(rt, ServerConfig::default()).expect("start server");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // The application's own irregular structure — a mesh edge list, not
+    // a synthetic generator spec.  This is the CSR the upload carries.
+    let pattern = smartapps::workloads::apps::irreg_mesh(2_000, 12_000, 42);
+    let oracle = sequential_reduce_i64(&pattern);
+    let expected = (oracle.len(), checksum(&oracle));
+
+    // Client A: negotiate binary framing, then upload the CSR.
+    let mut a = Client::connect(addr).expect("connect a");
+    a.upgrade_binary().expect("upgrade a");
+    assert!(a.is_binary());
+    let handle = a
+        .upload(UploadArgs {
+            token: 1,
+            num_elements: pattern.num_elements,
+            iter_ptr: pattern.iter_ptr.clone(),
+            indices: pattern.indices.clone(),
+        })
+        .expect("upload a");
+    println!("client a uploaded the mesh: handle {handle:#018x}");
+
+    // Client B uploads the identical structure: the server interns by
+    // content hash, so this is a dedup hit — same handle, no new copy.
+    let mut b = Client::connect(addr).expect("connect b");
+    b.upgrade_binary().expect("upgrade b");
+    let handle_b = b
+        .upload(UploadArgs {
+            token: 1,
+            num_elements: pattern.num_elements,
+            iter_ptr: pattern.iter_ptr.clone(),
+            indices: pattern.indices.clone(),
+        })
+        .expect("upload b");
+    assert_eq!(handle, handle_b, "identical CSR must intern to one handle");
+    println!("client b uploaded the same mesh: deduplicated to {handle_b:#018x}");
+
+    // Both clients submit by handle.  Same handle → same workload class
+    // → the jobs coalesce into shared dispatch batches server-side.
+    for (name, client) in [("a", &mut a), ("b", &mut b)] {
+        let jobs: Vec<SubmitArgs> = (0..4)
+            .map(|k| SubmitArgs {
+                token: 100 + k,
+                reply: ReplyMode::Ack,
+                body: if k == 0 {
+                    WireBody::Sum
+                } else {
+                    WireBody::Mul(k as i64 + 1)
+                },
+                source: WireSource::Handle(handle),
+            })
+            .collect();
+        client.submit_batch(jobs).expect("submit batch");
+        let drained = client.drain().expect("drain");
+        println!("client {name}: drained after {drained} jobs");
+        for _ in 0..4 {
+            let done = client.next_done().expect("next_done");
+            match done.outcome {
+                DoneOutcome::Ok {
+                    scheme,
+                    batched_with,
+                    payload: Payload::Checksum { len, sum },
+                    ..
+                } => {
+                    if done.token == 100 {
+                        assert_eq!((len, sum), expected, "handle job diverged from oracle");
+                    }
+                    println!(
+                        "  {name}/token {:>3}: ok scheme={scheme} batched_with={batched_with} \
+                         len={len} checksum={sum}",
+                        done.token
+                    );
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+    }
+
+    // The interning story, from the server's own counters.
+    let text = a.metrics().expect("metrics");
+    let count = |outcome: &str| -> u64 {
+        text.lines()
+            .find_map(|l| {
+                l.strip_prefix(&format!("smartapps_uploads{{outcome=\"{outcome}\"}} "))
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(0)
+    };
+    println!(
+        "uploads: fresh={} dedup={} rejected={}",
+        count("fresh"),
+        count("dedup"),
+        count("rejected")
+    );
+    assert_eq!(count("fresh"), 1);
+    assert_eq!(count("dedup"), 1);
+
+    let stats = a.stats().expect("stats");
+    let get = |k: &str| stats.iter().find(|(n, _)| n == k).map_or(0, |(_, v)| *v);
+    println!(
+        "stats: submitted={} completed={} batches={} coalesced={}",
+        get("submitted"),
+        get("completed"),
+        get("batches"),
+        get("coalesced"),
+    );
+    assert_eq!(get("completed"), 8);
+
+    server.shutdown();
+}

@@ -14,7 +14,7 @@
 use smartapps::runtime::{Runtime, RuntimeConfig};
 use smartapps::server::{
     Client, DoneOutcome, Payload, ReplyMode, Server, ServerConfig, SubmitArgs, WireBody, WireDist,
-    WireSpec,
+    WireSource, WireSpec,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -53,7 +53,7 @@ fn main() {
             } else {
                 WireBody::Mul(k as i64 + 1)
             },
-            spec,
+            source: WireSource::Gen(spec),
         })
         .collect();
     client.submit_batch(jobs).expect("submit batch");

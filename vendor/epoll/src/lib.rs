@@ -1,0 +1,511 @@
+//! Offline stand-in for an epoll crate: a minimal, std-only binding to
+//! Linux readiness notification — `epoll_create1` / `epoll_ctl` /
+//! `epoll_wait` plus an `eventfd`-backed [`Waker`] — with no crates.io
+//! dependency.  The syscalls are reached through the libc symbols the
+//! Rust standard library already links; no `libc` crate is involved.
+//!
+//! The API is deliberately tiny and **level-triggered** (the epoll
+//! default): register a file descriptor with a `u64` token and the
+//! interest set, block in [`Epoll::wait`], and get back `(token,
+//! readable, writable, hangup)` events.  Level-triggering means a
+//! short read that leaves bytes behind re-arms by itself — the simplest
+//! semantics for reactors doing nonblocking drain loops.
+//!
+//! Off Linux the same API degrades to a timed poll: `wait` sleeps
+//! briefly and reports every registered descriptor as ready, so callers
+//! doing nonblocking I/O still make progress (at sleep-poll cost).  The
+//! real binding is what ships; the fallback only keeps non-Linux
+//! development builds compiling.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// A raw file descriptor (`std::os::fd::RawFd` on unix; plain `i32`
+/// keeps the fallback portable).
+pub type RawFd = i32;
+
+/// One readiness event returned by [`Epoll::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    /// The descriptor has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The descriptor's send buffer has space.
+    pub writable: bool,
+    /// The peer hung up or the descriptor errored; a subsequent
+    /// nonblocking read will observe the EOF/error.
+    pub hangup: bool,
+}
+
+/// Which readiness transitions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Subscribe to readable (and hangup) events.
+    pub readable: bool,
+    /// Subscribe to writable events.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable — a connection with stalled output.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    // Raw syscall surface.  These are libc symbols; std already links
+    // libc on Linux, so declaring them costs nothing and adds no crate.
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+    const EINTR: i32 = 4;
+
+    /// The kernel ABI's `struct epoll_event`.  Packed on x86-64 (the
+    /// kernel declares it `__attribute__((packed))` there); naturally
+    /// aligned elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Linux epoll instance.
+    #[derive(Debug)]
+    pub(super) struct Imp {
+        epfd: i32,
+    }
+
+    impl Imp {
+        pub(super) fn new() -> io::Result<Imp> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Imp { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest_bits(interest), token)
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest_bits(interest), token)
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(super) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            max_events: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let max = max_events.clamp(1, 1024) as i32;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 1024];
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n = loop {
+                let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), max, timeout_ms) };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() != Some(EINTR) {
+                    return Err(err);
+                }
+            };
+            for ev in &raw[..n] {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Imp {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// Linux eventfd waker.
+    #[derive(Debug)]
+    pub(super) struct WakerImp {
+        efd: i32,
+    }
+
+    impl WakerImp {
+        pub(super) fn new() -> io::Result<WakerImp> {
+            let efd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if efd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(WakerImp { efd })
+        }
+
+        pub(super) fn fd(&self) -> RawFd {
+            self.efd
+        }
+
+        pub(super) fn wake(&self) {
+            let one: u64 = 1;
+            // A full counter (EAGAIN) already means "will wake"; any
+            // other failure has no caller-visible recovery.
+            unsafe { write(self.efd, (&one as *const u64).cast(), 8) };
+        }
+
+        pub(super) fn drain(&self) {
+            let mut buf = 0u64;
+            unsafe { read(self.efd, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for WakerImp {
+        fn drop(&mut self) {
+            unsafe { close(self.efd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Portable fallback: a registration table polled with a short
+    /// sleep.  Every registered descriptor reports ready on every wait,
+    /// so nonblocking callers degrade to sleep-polling instead of
+    /// breaking.
+    #[derive(Debug, Default)]
+    pub(super) struct Imp {
+        regs: Mutex<Vec<(RawFd, u64, Interest)>>,
+    }
+
+    impl Imp {
+        pub(super) fn new() -> io::Result<Imp> {
+            Ok(Imp::default())
+        }
+
+        pub(super) fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.regs.lock().unwrap().push((fd, token, interest));
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut regs = self.regs.lock().unwrap();
+            regs.retain(|(f, _, _)| *f != fd);
+            regs.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.regs.lock().unwrap().retain(|(f, _, _)| *f != fd);
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            max_events: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let nap = timeout
+                .unwrap_or(Duration::from_millis(5))
+                .min(Duration::from_millis(5));
+            std::thread::sleep(nap);
+            for &(_, token, interest) in self.regs.lock().unwrap().iter().take(max_events) {
+                events.push(Event {
+                    token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    hangup: false,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+
+    /// Fallback waker: a flag the fallback `wait` ignores (its short
+    /// sleep already bounds wake latency).
+    #[derive(Debug, Default)]
+    pub(super) struct WakerImp {
+        _armed: AtomicBool,
+    }
+
+    impl WakerImp {
+        pub(super) fn new() -> io::Result<WakerImp> {
+            Ok(WakerImp::default())
+        }
+
+        pub(super) fn fd(&self) -> RawFd {
+            -1
+        }
+
+        pub(super) fn wake(&self) {
+            self._armed.store(true, Ordering::Release);
+        }
+
+        pub(super) fn drain(&self) {
+            self._armed.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// A readiness-notification instance: register descriptors with tokens,
+/// block in [`wait`](Epoll::wait) until one transitions.
+#[derive(Debug)]
+pub struct Epoll {
+    imp: sys::Imp,
+}
+
+impl Epoll {
+    /// Create an epoll instance (`epoll_create1(EPOLL_CLOEXEC)`).
+    pub fn new() -> io::Result<Epoll> {
+        Ok(Epoll {
+            imp: sys::Imp::new()?,
+        })
+    }
+
+    /// Register `fd` under `token` with the given interest set
+    /// (level-triggered).
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.add(fd, token, interest)
+    }
+
+    /// Change the interest set (or token) of a registered descriptor.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.modify(fd, token, interest)
+    }
+
+    /// Deregister a descriptor.  Closing an fd deregisters it in the
+    /// kernel anyway; calling this first keeps the table tidy when the
+    /// fd lives on (e.g. handed to another owner).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.imp.delete(fd)
+    }
+
+    /// Block until at least one registered descriptor is ready, the
+    /// timeout lapses (`Ok` with `events` empty), or a [`Waker`] fires.
+    /// `None` blocks indefinitely.  At most `max_events` events are
+    /// returned per call (clamped to 1024); level-triggering re-reports
+    /// anything left unconsumed on the next call.
+    pub fn wait(
+        &self,
+        events: &mut Vec<Event>,
+        max_events: usize,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        self.imp.wait(events, max_events, timeout)
+    }
+}
+
+/// A cross-thread wakeup source (`eventfd`): register
+/// [`fd`](Waker::fd) in an [`Epoll`] under a reserved token, and any
+/// thread's [`wake`](Waker::wake) makes the epoll's `wait` return with
+/// that token readable.  [`drain`](Waker::drain) resets it (the
+/// eventfd counter is read off) so a level-triggered epoll stops
+/// reporting it.
+#[derive(Debug)]
+pub struct Waker {
+    imp: sys::WakerImp,
+}
+
+impl Waker {
+    /// Create a waker (`eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)`).
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            imp: sys::WakerImp::new()?,
+        })
+    }
+
+    /// The descriptor to register for readable interest.
+    pub fn fd(&self) -> RawFd {
+        self.imp.fd()
+    }
+
+    /// Make the owning epoll's `wait` return.  Cheap, nonblocking,
+    /// callable from any thread; coalesces (N wakes before a drain
+    /// deliver one readable event).
+    pub fn wake(&self) {
+        self.imp.wake()
+    }
+
+    /// Consume pending wakeups so the (level-triggered) readable state
+    /// clears.  Call from the epoll thread when the waker token fires.
+    pub fn drain(&self) {
+        self.imp.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[cfg(unix)]
+    fn raw_fd<T: std::os::fd::AsRawFd>(s: &T) -> RawFd {
+        s.as_raw_fd()
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn listener_accept_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(raw_fd(&listener), 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out empty.
+        ep.wait(&mut events, 16, Some(Duration::from_millis(20)))
+            .unwrap();
+        #[cfg(target_os = "linux")]
+        assert!(events.is_empty(), "no connection yet: {events:?}");
+        // A connection arrives: the listener token reports readable.
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        ep.wait(&mut events, 16, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "{events:?}"
+        );
+        let (stream, _) = listener.accept().unwrap();
+        ep.delete(raw_fd(&listener)).unwrap();
+        drop(stream);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn stream_read_and_write_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(raw_fd(&server), 1, Interest::READ).unwrap();
+        client.write_all(b"hi").unwrap();
+        let mut events = Vec::new();
+        ep.wait(&mut events, 16, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        let mut buf = [0u8; 8];
+        let n = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hi");
+
+        // Writable interest on an empty send buffer fires immediately.
+        ep.modify(raw_fd(&server), 1, Interest::READ_WRITE).unwrap();
+        ep.wait(&mut events, 16, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        // Peer close surfaces as readable (EOF) — the reactor's read
+        // path is the one place connection death is noticed.
+        drop(client);
+        ep.wait(&mut events, 16, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_wait() {
+        let ep = Epoll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        if waker.fd() >= 0 {
+            ep.add(waker.fd(), u64::MAX, Interest::READ).unwrap();
+        }
+        let w = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            w.wake();
+        });
+        let t0 = Instant::now();
+        let mut events = Vec::new();
+        ep.wait(&mut events, 16, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "wake must interrupt the wait"
+        );
+        waker.drain();
+        t.join().unwrap();
+        // Drained: the next wait no longer reports the waker.
+        ep.wait(&mut events, 16, Some(Duration::from_millis(10)))
+            .unwrap();
+        #[cfg(target_os = "linux")]
+        assert!(events.is_empty(), "{events:?}");
+    }
+}
