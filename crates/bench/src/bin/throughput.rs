@@ -35,15 +35,28 @@
 //! across the restart by the profile store's `corr` records (see
 //! `docs/MODEL.md`).
 //!
+//! **Scenario E — scalar vs SIMD dense floods.**  The same dense
+//! high-reuse flood runs against a scalar-only service (`simd: false`)
+//! and one with the vectorized tree-reduction backend enabled, with the
+//! calibration loop on.  The SIMD cost terms are priced at zero (the
+//! same deterministic-routing device scenario C uses for PCLR) so every
+//! feasible dense class routes to the lane-striped kernels, and the
+//! matrix reports wall throughput, `simd_offloads`, and the flooded
+//! class's mean cost sample side by side with the scalar baseline.
+//! Setting `SMARTAPPS_THROUGHPUT_REQUIRE_SIMD=1` turns the run into a
+//! CI smoke: it exits non-zero unless the SIMD-enabled service selected
+//! [`Scheme::Simd`] at least once.
+//!
 //! Usage:
 //!
 //! ```text
-//! throughput [interactive-clients] [jobs-per-client] [workers]
+//! throughput [interactive-clients] [jobs-per-client] [workers] [scenario]
 //! ```
 //!
-//! Every scenario is measured in the service's steady state (profile
-//! store pre-warmed), the regime the paper's amortization argument is
-//! about.
+//! The optional `scenario` argument (`a`..`e`) runs a single scenario —
+//! CI uses `e` for the SIMD smoke.  Every scenario is measured in the
+//! service's steady state (profile store pre-warmed), the regime the
+//! paper's amortization argument is about.
 
 use smartapps_reductions::{DecisionModel, ModelParams, Scheme};
 use smartapps_runtime::{CalibrationConfig, JobSpec, PclrConfig, Runtime, RuntimeConfig};
@@ -410,6 +423,79 @@ fn calibration_run(
     (rows, stats_out)
 }
 
+/// Scenario E measurement: a dense high-reuse flood on a scalar-only
+/// service vs one with the SIMD backend enabled.  Returns wall jobs/sec,
+/// the `simd_offloads` delta over the measured window, the calibration
+/// sample count, and the flooded class's mean cost sample.
+fn simd_flood_run(
+    simd: bool,
+    workers: usize,
+    clients: usize,
+    jobs: usize,
+) -> (f64, u64, u64, Duration) {
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers,
+        dispatchers: 2,
+        simd,
+        // Zero-priced SIMD terms: every feasible dense class routes to
+        // the vectorized kernels, making the scalar vs SIMD comparison
+        // deterministic (scenario C's device, applied to `simd`).  The
+        // calibration loop stays on and records both sides' measured
+        // costs.
+        model: DecisionModel::new(ModelParams {
+            simd_update: 0.0,
+            simd_init_elem: 0.0,
+            simd_merge_elem: 0.0,
+            ..ModelParams::default()
+        }),
+        calibration: CalibrationConfig {
+            explore_every: 0,
+            recheck_every: 4,
+            probe_fused_every: 0,
+        },
+        max_fuse: 1,
+        ..RuntimeConfig::default()
+    }));
+    // Dense, cache-resident, high reuse (r/p far above the per-element
+    // count): the regime the lane-striped kernels exist for.  Two seeds
+    // of the same class keep both dispatchers busy.
+    let floods: Vec<Arc<AccessPattern>> = (0..2)
+        .map(|s| pattern(601 + s as u64, 2048, 30_000, 1.0, 2))
+        .collect();
+    for p in &floods {
+        rt.run(JobSpec::f64(p.clone(), |_i, r| contribution(r)).with_threads(1));
+    }
+    let warm = rt.stats();
+    let costs = std::sync::Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let rt = rt.clone();
+            let floods = &floods;
+            let costs = &costs;
+            s.spawn(move || {
+                let mut mine = Vec::with_capacity(jobs);
+                for j in 0..jobs {
+                    let pat = floods[(c + j) % floods.len()].clone();
+                    let r = rt.run(JobSpec::f64(pat, |_i, r| contribution(r)).with_threads(1));
+                    mine.push(r.elapsed);
+                }
+                costs.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    let stats = rt.stats();
+    let costs = costs.into_inner().unwrap();
+    let mean = costs.iter().sum::<Duration>() / costs.len().max(1) as u32;
+    (
+        (clients * jobs) as f64 / elapsed.as_secs_f64(),
+        stats.simd_offloads - warm.simd_offloads,
+        stats.calibration_updates,
+        mean,
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
@@ -420,88 +506,141 @@ fn main() {
             .unwrap_or(4)
             .min(16)
     });
+    let scenario: Option<char> = args
+        .next()
+        .and_then(|a| a.chars().next())
+        .map(|c| c.to_ascii_lowercase());
+    let run = |c: char| scenario.is_none() || scenario == Some(c);
     let n_dispatchers = 4usize;
 
-    println!(
-        "scenario A: heavy-class flood vs {clients} interactive clients x {jobs} tiny jobs \
-         ({workers}-wide pool)"
-    );
-    let mut rates = Vec::new();
-    for dispatchers in [1usize, n_dispatchers] {
-        let (rate, p50, p95, steals) = flood_run(dispatchers, workers, clients, jobs);
+    if run('a') {
         println!(
-            "  {dispatchers} dispatcher(s): {rate:>9.0} interactive jobs/s   \
-             p50 {p50:>10.3?}  p95 {p95:>10.3?}  steals {steals}"
+            "scenario A: heavy-class flood vs {clients} interactive clients x {jobs} tiny jobs \
+             ({workers}-wide pool)"
         );
-        rates.push(rate);
-    }
-    println!(
-        "  => {n_dispatchers} dispatchers / 1 dispatcher = {:.2}x interactive throughput\n",
-        rates[1] / rates[0]
-    );
-
-    println!("scenario B: same-pattern bursts of 8 ({clients} clients x {jobs} jobs)");
-    let mut rates = Vec::new();
-    for max_fuse in [1usize, 8] {
-        let (rate, fused_jobs) = burst_run(max_fuse, workers, clients, jobs, 8);
+        let mut rates = Vec::new();
+        for dispatchers in [1usize, n_dispatchers] {
+            let (rate, p50, p95, steals) = flood_run(dispatchers, workers, clients, jobs);
+            println!(
+                "  {dispatchers} dispatcher(s): {rate:>9.0} interactive jobs/s   \
+                 p50 {p50:>10.3?}  p95 {p95:>10.3?}  steals {steals}"
+            );
+            rates.push(rate);
+        }
         println!(
-            "  {:<26} {rate:>9.0} jobs/s   fused jobs {fused_jobs}",
-            if max_fuse == 1 {
-                "per-job execution:"
-            } else {
-                "fused sweeps (max_fuse 8):"
+            "  => {n_dispatchers} dispatchers / 1 dispatcher = {:.2}x interactive throughput\n",
+            rates[1] / rates[0]
+        );
+    }
+
+    if run('b') {
+        println!("scenario B: same-pattern bursts of 8 ({clients} clients x {jobs} jobs)");
+        let mut rates = Vec::new();
+        for max_fuse in [1usize, 8] {
+            let (rate, fused_jobs) = burst_run(max_fuse, workers, clients, jobs, 8);
+            println!(
+                "  {:<26} {rate:>9.0} jobs/s   fused jobs {fused_jobs}",
+                if max_fuse == 1 {
+                    "per-job execution:"
+                } else {
+                    "fused sweeps (max_fuse 8):"
+                }
+            );
+            rates.push(rate);
+        }
+        println!("  => fused / per-job = {:.2}x\n", rates[1] / rates[0]);
+    }
+
+    if run('c') {
+        let c_jobs = (jobs / 6).max(20);
+        println!(
+            "scenario C: software-only vs PCLR offload ({clients} clients x {c_jobs} mixed jobs)"
+        );
+        for offload in [false, true] {
+            let (rate, offloads, cycles, mean) = offload_run(offload, workers, clients, c_jobs);
+            println!(
+                "  {:<26} {rate:>9.0} jobs/s   offloads {offloads:>5}  sim cycles {cycles:>12}  \
+                 mean small-class cost {mean:>10.3?}",
+                if offload {
+                    "offload-enabled:"
+                } else {
+                    "software-only:"
+                }
+            );
+        }
+        println!(
+            "  (offloaded cost samples are simulated machine time — the hardware's own cost \
+             model — while wall throughput pays the simulator's slowdown)\n"
+        );
+    }
+
+    if run('d') {
+        println!(
+            "scenario D: cold vs calibrated decisions (hash_per_ref lied 50x low; \
+             explore every 3rd batch, recheck every 4th hit)"
+        );
+        let (rows, (samples, mean_err, corr_hash, corr_winner)) = calibration_run(workers);
+        println!(
+            "  {:<14} {:>6}   {:>10}   {:>22}",
+            "class", "cold", "calibrated", "after-restart (fresh)"
+        );
+        let mut flipped = 0;
+        for (name, cold, calibrated, restarted) in &rows {
+            println!(
+                "  {name:<14} {:>6}   {:>10}   {:>22}",
+                cold.to_string(),
+                calibrated.to_string(),
+                restarted.to_string()
+            );
+            flipped += usize::from(cold != calibrated);
+        }
+        println!(
+            "  calibration: {samples} samples, mean |err| {mean_err:.3}, \
+             corr[hash] {corr_hash:.2}x vs corr[winner] {corr_winner:.2}x"
+        );
+        println!(
+            "  => {flipped} class(es) re-routed by measured feedback; the restart column \
+             decides never-profiled signatures from persisted corr records alone\n"
+        );
+    }
+
+    if run('e') {
+        println!(
+            "scenario E: scalar vs SIMD dense flood ({clients} clients x {jobs} dense jobs, \
+             calibration on)"
+        );
+        let mut simd_selected = 0u64;
+        for simd in [false, true] {
+            let (rate, offloads, samples, mean) = simd_flood_run(simd, workers, clients, jobs);
+            println!(
+                "  {:<26} {rate:>9.0} jobs/s   simd offloads {offloads:>5}  \
+                 calibration samples {samples:>5}  mean flood-class cost {mean:>10.3?}",
+                if simd {
+                    "simd-enabled:"
+                } else {
+                    "scalar-only:"
+                }
+            );
+            if simd {
+                simd_selected = offloads;
             }
-        );
-        rates.push(rate);
-    }
-    println!("  => fused / per-job = {:.2}x\n", rates[1] / rates[0]);
-
-    let c_jobs = (jobs / 6).max(20);
-    println!("scenario C: software-only vs PCLR offload ({clients} clients x {c_jobs} mixed jobs)");
-    for offload in [false, true] {
-        let (rate, offloads, cycles, mean) = offload_run(offload, workers, clients, c_jobs);
+        }
         println!(
-            "  {:<26} {rate:>9.0} jobs/s   offloads {offloads:>5}  sim cycles {cycles:>12}  \
-             mean small-class cost {mean:>10.3?}",
-            if offload {
-                "offload-enabled:"
-            } else {
-                "software-only:"
-            }
+            "  (both services run the identical model; the scalar service masks `simd` like \
+             infeasible `lw` and falls back to the software ranking)\n"
         );
+        if std::env::var("SMARTAPPS_THROUGHPUT_REQUIRE_SIMD").is_ok_and(|v| v == "1") {
+            assert!(
+                simd_selected > 0,
+                "smoke: the SIMD-enabled dense flood never selected Scheme::Simd"
+            );
+            println!("  smoke OK: Scheme::Simd selected {simd_selected} times\n");
+        }
     }
-    println!(
-        "  (offloaded cost samples are simulated machine time — the hardware's own cost \
-         model — while wall throughput pays the simulator's slowdown)\n"
-    );
 
-    println!(
-        "scenario D: cold vs calibrated decisions (hash_per_ref lied 50x low; \
-         explore every 3rd batch, recheck every 4th hit)"
-    );
-    let (rows, (samples, mean_err, corr_hash, corr_winner)) = calibration_run(workers);
-    println!(
-        "  {:<14} {:>6}   {:>10}   {:>22}",
-        "class", "cold", "calibrated", "after-restart (fresh)"
-    );
-    let mut flipped = 0;
-    for (name, cold, calibrated, restarted) in &rows {
-        println!(
-            "  {name:<14} {:>6}   {:>10}   {:>22}",
-            cold.to_string(),
-            calibrated.to_string(),
-            restarted.to_string()
-        );
-        flipped += usize::from(cold != calibrated);
+    if scenario.is_some() {
+        return;
     }
-    println!(
-        "  calibration: {samples} samples, mean |err| {mean_err:.3}, \
-         corr[hash] {corr_hash:.2}x vs corr[winner] {corr_winner:.2}x"
-    );
-    println!(
-        "  => {flipped} class(es) re-routed by measured feedback; the restart column \
-         decides never-profiled signatures from persisted corr records alone"
-    );
 
     // Telemetry epilogue: the same mixed traffic once more on a fresh
     // service, then the per-scheme execute-latency quantiles its

@@ -225,8 +225,9 @@ impl Calibrator {
     }
 
     /// Rank schemes by corrected cost, best first.  The hardware
-    /// [`Scheme::Pclr`] joins only when `input.pclr_available` (mirroring
-    /// [`DecisionModel::decide`]).
+    /// [`Scheme::Pclr`] joins only when `input.pclr_available`, the
+    /// vectorized [`Scheme::Simd`] only when `input.simd_available`
+    /// (mirroring [`DecisionModel::decide`]).
     pub fn rank(&self, input: &ModelInput, domain: DomainKey) -> Vec<(Scheme, f64)> {
         let mut v: Vec<(Scheme, f64)> = Scheme::all_parallel()
             .into_iter()
@@ -234,6 +235,9 @@ impl Calibrator {
             .collect();
         if input.pclr_available {
             v.push((Scheme::Pclr, self.predict(Scheme::Pclr, input, domain)));
+        }
+        if input.simd_available {
+            v.push((Scheme::Simd, self.predict(Scheme::Simd, input, domain)));
         }
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v
@@ -411,6 +415,7 @@ mod tests {
             lw_feasible: false,
             fanout: 1,
             pclr_available: false,
+            simd_available: false,
         };
         let d = DomainKey::of(&chars);
         let ranked = cal.rank(&input, d);
@@ -419,6 +424,12 @@ mod tests {
             ranked.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
             analytic.ranking.iter().map(|(s, _)| *s).collect::<Vec<_>>()
         );
+        // The backend-gated schemes join only when the input reports them.
+        assert!(ranked.iter().all(|(s, _)| s.is_software()));
+        let gated = cal.rank(&input.clone().with_pclr(true).with_simd(true), d);
+        assert_eq!(gated.len(), ranked.len() + 2);
+        assert!(gated.iter().any(|(s, _)| *s == Scheme::Simd));
+        assert!(gated.iter().any(|(s, _)| *s == Scheme::Pclr));
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub fn run_fused_on<T: RedElem>(
         Scheme::Pclr => {
             panic!("Scheme::Pclr has no software kernel; route it to a PCLR execution backend")
         }
+        Scheme::Simd => {
+            panic!("Scheme::Simd is not dispatched here; route it to a SIMD execution backend")
+        }
     }
 }
 

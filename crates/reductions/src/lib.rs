@@ -52,6 +52,7 @@ pub mod fused;
 pub mod inspect;
 pub mod model;
 pub mod scheme;
+pub mod simd;
 pub mod spmd;
 
 pub use exec::{rank_schemes, run_scheme, run_scheme_on, time_scheme, Timing};
@@ -59,4 +60,5 @@ pub use fused::{run_fused, run_fused_on, FusedBody};
 pub use inspect::{ConflictInfo, Inspection, Inspector, OwnerLists};
 pub use model::{DecisionModel, ModelInput, ModelParams, Prediction};
 pub use scheme::{RedElem, Scheme, UnsafeSlice};
+pub use simd::{simd_feasible, simd_reduce, simd_reduce_on, SimdElem, SIMD_LANES};
 pub use spmd::{SpawnExecutor, SpmdExecutor};

@@ -22,7 +22,11 @@
 //!   re-executes once per owner of each iteration's references;
 //! * `hash` — a per-reference hashing overhead with a working set
 //!   proportional to the referenced (not dimensioned) elements, and a
-//!   merge proportional to the distinct elements.
+//!   merge proportional to the distinct elements;
+//! * `simd` — lane-striped private accumulation (see
+//!   [`crate::simd`]): a cheaper chain-free vector update per reference,
+//!   paid for by a `SIMD_LANES`-fold private footprint and slightly
+//!   heavier init and merge sweeps.
 //!
 //! Constants are calibrated for this crate's implementations (see
 //! `ModelParams`); the same procedure the original system used — model
@@ -85,6 +89,16 @@ pub struct ModelParams {
     /// Fixed per-invocation cost of offloading to the PCLR backend
     /// (controller configuration syscall, trace lowering, readback).
     pub pclr_offload_fixed: f64,
+    /// Per-reference cost of a `simd` lane-striped update: the rotation
+    /// removes the serial dependency chain on hot elements, so this
+    /// undercuts a scalar `update_hit`.
+    pub simd_update: f64,
+    /// Per-element cost of initializing the `SIMD_LANES` private slots
+    /// during `simd` init (vectorized neutral stores).
+    pub simd_init_elem: f64,
+    /// Per-element cost of the `simd` tiled merge: slot-wise vector
+    /// accumulation across P stripes plus the horizontal tree fold.
+    pub simd_merge_elem: f64,
 }
 
 impl Default for ModelParams {
@@ -109,6 +123,9 @@ impl Default for ModelParams {
             pclr_update: 1.3,
             pclr_flush_line: 12.0,
             pclr_offload_fixed: 60_000.0,
+            simd_update: 0.7,
+            simd_init_elem: 1.6,
+            simd_merge_elem: 2.6,
         }
     }
 }
@@ -162,6 +179,12 @@ pub struct ModelInput {
     /// [`Scheme::Pclr`] never enters the ranking, preserving the
     /// software-only competition of Section 4.
     pub pclr_available: bool,
+    /// Whether the vectorized [`Scheme::Simd`] backend is available *and*
+    /// feasible for this instance (dense/privatizing regime — see
+    /// [`crate::simd::simd_feasible`]).  When `false` (the default) the
+    /// vector scheme never enters the ranking, exactly like an
+    /// infeasible `lw`.
+    pub simd_available: bool,
 }
 
 impl ModelInput {
@@ -175,6 +198,7 @@ impl ModelInput {
             lw_feasible,
             fanout: 1,
             pclr_available: false,
+            simd_available: false,
         }
     }
 
@@ -189,6 +213,13 @@ impl ModelInput {
     /// the hardware scheme can join the ranking.
     pub fn with_pclr(mut self, available: bool) -> Self {
         self.pclr_available = available;
+        self
+    }
+
+    /// The same instance with the vectorized SIMD backend (un)available
+    /// and feasible, so [`Scheme::Simd`] can join the ranking.
+    pub fn with_simd(mut self, available: bool) -> Self {
+        self.simd_available = available;
         self
     }
 
@@ -345,13 +376,29 @@ impl DecisionModel {
                 // width, like the software merges above.
                 body + (r / p) * q.pclr_update + q.pclr_flush_line * resident + q.pclr_offload_fixed
             }
+            Scheme::Simd => {
+                // Lane-striped `rep` (see `crate::simd`): the chain-free
+                // vector update undercuts a scalar hit, but the private
+                // footprint, init, and merge all carry the lane factor —
+                // so the scheme only wins dense high-reuse floods where
+                // the per-reference savings dominate the O(N) sweeps.
+                // Masked instances and fused sweeps never route here.
+                if !input.simd_available || input.fanout > 1 {
+                    return f64::INFINITY;
+                }
+                let lanes = crate::simd::SIMD_LANES as f64;
+                let upd = q.simd_update + (q.locality_cost(k * lanes * d_t * 8.0) - q.update_hit);
+                q.simd_init_elem * k * n + body + k * (r / p) * upd + q.simd_merge_elem * k * n
+            }
         }
     }
 
     /// Rank all parallel schemes for the given instance.  The hardware
     /// [`Scheme::Pclr`] joins the ranking only when the instance reports
-    /// a PCLR backend ([`ModelInput::with_pclr`]); software-only callers
-    /// keep the five-scheme competition of Section 4.
+    /// a PCLR backend ([`ModelInput::with_pclr`]), and the vectorized
+    /// [`Scheme::Simd`] only when a SIMD backend is available and the
+    /// pattern is feasible ([`ModelInput::with_simd`]); software-only
+    /// callers keep the five-scheme competition of Section 4.
     ///
     /// These are *analytic prior* costs — the runtime's calibrator
     /// multiplies each by a learned measured/predicted correction before
@@ -377,6 +424,9 @@ impl DecisionModel {
             .collect();
         if input.pclr_available {
             ranking.push((Scheme::Pclr, self.predict(Scheme::Pclr, input)));
+        }
+        if input.simd_available {
+            ranking.push((Scheme::Simd, self.predict(Scheme::Simd, input)));
         }
         ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
         Prediction { ranking }
@@ -423,6 +473,7 @@ mod tests {
             lw_feasible: lw,
             fanout: 1,
             pclr_available: false,
+            simd_available: false,
         }
     }
 
@@ -569,6 +620,38 @@ mod tests {
         assert!(m.decide(&with).cost_of(Scheme::Pclr).is_some());
         // Fused batches never route to the hardware path.
         assert!(m.predict(Scheme::Pclr, &with.with_fanout(2)).is_infinite());
+    }
+
+    #[test]
+    fn simd_joins_the_ranking_only_when_available() {
+        let c = chars_for(10_000, 500_000, 2, 1.0);
+        let m = DecisionModel::default();
+        let inp = input(c, 8, false);
+        // Masked instances (sparse regime, no backend) never see it.
+        assert!(m.predict(Scheme::Simd, &inp).is_infinite());
+        assert_eq!(m.decide(&inp).ranking.len(), 5);
+        // With a feasible backend it competes with a finite cost.
+        let with = inp.clone().with_simd(true);
+        assert_eq!(m.decide(&with).ranking.len(), 6);
+        assert!(m.predict(Scheme::Simd, &with).is_finite());
+        // Fused batches never route to the vector path.
+        assert!(m.predict(Scheme::Simd, &with.with_fanout(2)).is_infinite());
+    }
+
+    #[test]
+    fn simd_undercuts_rep_on_dense_high_reuse_floods() {
+        let m = DecisionModel::default();
+        // Cache-resident array, massive reuse: the per-reference savings
+        // of the chain-free vector update dominate the O(N) sweeps.
+        let flood = input(chars_for(4_096, 500_000, 2, 1.0), 8, false).with_simd(true);
+        let simd = m.predict(Scheme::Simd, &flood);
+        let rep = m.predict(Scheme::Rep, &flood);
+        assert!(simd < rep, "dense flood: simd {simd} vs rep {rep}");
+        // Low reuse: the heavier init/merge sweeps make simd lose.
+        let cold = input(chars_for(100_000, 20_000, 2, 1.0), 8, false).with_simd(true);
+        let simd = m.predict(Scheme::Simd, &cold);
+        let rep = m.predict(Scheme::Rep, &cold);
+        assert!(simd > rep, "low reuse: simd {simd} vs rep {rep}");
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub enum Scheme {
     /// `PclrBackend`).  [`run_scheme`](crate::run_scheme) and
     /// [`run_fused`](crate::run_fused) panic when asked to run it.
     Pclr,
+    /// `simd` — vectorized tree reduction: cache-block tiled private
+    /// accumulation with multiple independent lanes per thread, merged by
+    /// a horizontal tree reduce (the GPU block/warp shape mapped to CPU
+    /// SIMD; see [`simd`](crate::simd)).  Like [`Pclr`](Scheme::Pclr) it
+    /// is **not** dispatched through the scalar kernel front end:
+    /// `smartapps-runtime`'s `SimdBackend` invokes the vector kernels
+    /// directly, and [`run_scheme`](crate::run_scheme)/
+    /// [`run_fused`](crate::run_fused) panic when asked to run it.
+    Simd,
 }
 
 impl Scheme {
@@ -51,6 +60,7 @@ impl Scheme {
             Scheme::Lw => "lw",
             Scheme::Hash => "hash",
             Scheme::Pclr => "pclr",
+            Scheme::Simd => "simd",
         }
     }
 
@@ -64,12 +74,14 @@ impl Scheme {
             "lw" => Scheme::Lw,
             "hash" => Scheme::Hash,
             "pclr" => Scheme::Pclr,
+            "simd" => Scheme::Simd,
             _ => return None,
         })
     }
 
-    /// All *software* parallel schemes (excludes `Seq` and the hardware
-    /// `Pclr` scheme, which needs a PCLR-capable backend to execute).
+    /// All *software* parallel schemes (excludes `Seq` and the
+    /// backend-gated `Pclr`/`Simd` schemes, which need a capable
+    /// execution backend and enter rankings only when one is present).
     pub fn all_parallel() -> [Scheme; 5] {
         [
             Scheme::Rep,
@@ -80,10 +92,12 @@ impl Scheme {
         ]
     }
 
-    /// True for schemes the software library can execute directly
-    /// (everything except the hardware [`Pclr`](Scheme::Pclr) scheme).
+    /// True for schemes the scalar software library can execute directly
+    /// (everything except the hardware [`Pclr`](Scheme::Pclr) scheme and
+    /// the vectorized [`Simd`](Scheme::Simd) scheme, which route through
+    /// their own execution backends).
     pub fn is_software(self) -> bool {
-        self != Scheme::Pclr
+        !matches!(self, Scheme::Pclr | Scheme::Simd)
     }
 }
 
@@ -217,6 +231,7 @@ mod tests {
             Scheme::Lw,
             Scheme::Hash,
             Scheme::Pclr,
+            Scheme::Simd,
         ] {
             assert_eq!(Scheme::from_abbrev(s.abbrev()), Some(s));
             assert_eq!(format!("{s}"), s.abbrev());
@@ -225,6 +240,7 @@ mod tests {
         assert_eq!(Scheme::all_parallel().len(), 5);
         assert!(Scheme::all_parallel().iter().all(|s| s.is_software()));
         assert!(!Scheme::Pclr.is_software());
+        assert!(!Scheme::Simd.is_software());
         assert!(Scheme::Seq.is_software());
     }
 

@@ -3,10 +3,14 @@
 //! The dispatcher decides *what* to run (a [`Scheme`], via profile store
 //! or decision model) and this module decides *how*: a [`Backend`]
 //! executes one decided job and reports a **cost sample** — the number
-//! the profile store calibrates on.  Two implementations exist:
+//! the profile store calibrates on.  Three implementations exist:
 //!
 //! * [`SoftwareBackend`] — the reduction library on the persistent
 //!   [`WorkerPool`]; its cost sample is measured wall time.
+//! * [`SimdBackend`] — the vectorized tree-reduction kernels
+//!   (`smartapps_reductions::simd`) on the same worker pool; it executes
+//!   only [`Scheme::Simd`] and its cost sample is measured wall time,
+//!   directly comparable with the scalar software path.
 //! * [`PclrBackend`] — the paper's hardware scheme: the job is lowered
 //!   to per-processor PCLR instruction traces
 //!   (`smartapps_workloads::tracegen`), run on the simulated CC-NUMA
@@ -23,7 +27,7 @@
 use crate::job::{JobBody, JobOutput};
 use crate::pool::WorkerPool;
 use smartapps_core::calibrate::Correction;
-use smartapps_reductions::{run_scheme_on, Inspection, Scheme};
+use smartapps_reductions::{run_scheme_on, simd_reduce_on, Inspection, Scheme};
 use smartapps_sim::offload::run_reduction;
 use smartapps_sim::{MachineConfig, RedOp};
 use smartapps_workloads::tracegen::{pclr_traces_with_values, TraceParams, ValueFn};
@@ -113,6 +117,57 @@ impl Backend for SoftwareBackend {
                 &|i, r| f(i, r),
                 req.threads,
                 req.inspection,
+                pool,
+            )),
+        };
+        ExecOutcome {
+            output,
+            cost: t0.elapsed(),
+            sim_cycles: None,
+        }
+    }
+}
+
+/// The vector path: lane-striped tree-reduction kernels
+/// (`smartapps_reductions::simd`) on the persistent worker pool, timed
+/// with the host clock.  Supports only [`Scheme::Simd`]; the dispatcher
+/// masks the scheme for patterns outside the dense/privatizing regime
+/// (`simd_feasible`) before routing here.
+pub struct SimdBackend {
+    pool: Arc<WorkerPool>,
+}
+
+impl SimdBackend {
+    /// Build on a shared worker pool.
+    pub fn new(pool: Arc<WorkerPool>) -> Self {
+        SimdBackend { pool }
+    }
+}
+
+impl Backend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn supports(&self, scheme: Scheme) -> bool {
+        scheme == Scheme::Simd
+    }
+
+    fn execute(&self, req: &ExecRequest<'_>) -> ExecOutcome {
+        debug_assert_eq!(req.scheme, Scheme::Simd);
+        let pool: &WorkerPool = &self.pool;
+        let t0 = Instant::now();
+        let output = match req.body {
+            JobBody::F64(f) => JobOutput::F64(simd_reduce_on(
+                req.pattern,
+                &|i, r| f(i, r),
+                req.threads,
+                pool,
+            )),
+            JobBody::I64(f) => JobOutput::I64(simd_reduce_on(
+                req.pattern,
+                &|i, r| f(i, r),
+                req.threads,
                 pool,
             )),
         };
@@ -316,6 +371,49 @@ mod tests {
         }
         assert!(b.supports(Scheme::Seq));
         assert!(!b.supports(Scheme::Pclr));
+        assert!(!b.supports(Scheme::Simd));
+    }
+
+    #[test]
+    fn simd_backend_matches_oracles() {
+        let b = SimdBackend::new(Arc::new(WorkerPool::new(3)));
+        assert_eq!(b.name(), "simd");
+        assert!(b.supports(Scheme::Simd) && !b.supports(Scheme::Rep));
+        let pat = pattern(8);
+        // i64: bit-exact against the sequential oracle.
+        let spec = JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r));
+        let out = b.execute(&ExecRequest {
+            pattern: &pat,
+            body: &spec.body,
+            threads: 3,
+            scheme: Scheme::Simd,
+            inspection: None,
+        });
+        assert_eq!(out.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        assert!(out.sim_cycles.is_none());
+        // f64: within tolerance, and bit-identical across repeated runs.
+        let spec = JobSpec::f64(pat.clone(), |_i, r| contribution(r));
+        let req = ExecRequest {
+            pattern: &pat,
+            body: &spec.body,
+            threads: 3,
+            scheme: Scheme::Simd,
+            inspection: None,
+        };
+        let a = b.execute(&req);
+        let c = b.execute(&req);
+        let oracle = sequential_reduce(&pat);
+        for ((x, y), o) in a
+            .output
+            .as_f64()
+            .unwrap()
+            .iter()
+            .zip(c.output.as_f64().unwrap())
+            .zip(&oracle)
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+            assert!((x - o).abs() <= 1e-9 * o.abs().max(1.0));
+        }
     }
 
     #[test]

@@ -271,9 +271,10 @@ impl JobHandle {
     }
 
     /// Block until the job finishes or `timeout` elapses.  `Some` consumes
-    /// the result (like [`try_wait`](JobHandle::try_wait)); `None` means
-    /// the job is still running — the handle stays valid and a later
-    /// `wait`/`try_wait`/`wait_timeout` will observe the result.
+    /// the result (unlike [`try_wait`](JobHandle::try_wait), which leaves
+    /// it in place); `None` means the job is still running — the handle
+    /// stays valid and a later `wait`/`try_wait`/`wait_timeout` will
+    /// observe the result.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
         let deadline = std::time::Instant::now() + timeout;
         let mut g = self.state.slot.lock().unwrap_or_else(|p| p.into_inner());
@@ -294,26 +295,30 @@ impl JobHandle {
         }
     }
 
-    /// Non-blocking poll; **consumes** the result when ready.
+    /// Non-blocking poll; `Some` once the job has finished, **without**
+    /// consuming the slot.
     ///
-    /// The consume-on-first-read asymmetry is deliberate: a `JobResult`
-    /// can be large (the full output array), so the slot hands it over
-    /// exactly once instead of cloning per poll — the first `Some` is the
-    /// only `Some`, and later calls return `None` again.  Use
-    /// [`peek_done`](JobHandle::peek_done) to test for completion without
-    /// consuming.
+    /// Polling used to hand the result over exactly once, which made the
+    /// natural poll-then-[`wait`](JobHandle::wait) pattern deadlock: the
+    /// first `Some` emptied the slot, so the follow-up `wait` blocked
+    /// forever on a job that was already done.  Now every ready poll
+    /// returns a clone of the [`JobResult`] (output array included) and a
+    /// later `wait`/`wait_timeout` still observes it.  When only
+    /// completion matters, [`peek_done`](JobHandle::peek_done) avoids the
+    /// clone.
     pub fn try_wait(&self) -> Option<JobResult> {
         self.state
             .slot
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .take()
+            .clone()
     }
 
     /// Whether the job has finished and its result is still waiting in
-    /// the slot — a non-consuming probe, unlike
-    /// [`try_wait`](JobHandle::try_wait).  After the result has been
-    /// consumed this returns `false` again.
+    /// the slot — a clone-free probe, cheaper than
+    /// [`try_wait`](JobHandle::try_wait) when the result itself isn't
+    /// needed yet.  After the result has been consumed (by `wait` or
+    /// `wait_timeout`) this returns `false` again.
     pub fn peek_done(&self) -> bool {
         self.state
             .slot
@@ -414,8 +419,36 @@ mod tests {
         let r = handle.try_wait().unwrap();
         assert!(r.profile_hit);
         assert_eq!(r.batched_with, 3);
-        assert!(handle.try_wait().is_none(), "result is consumed");
-        assert!(!handle.peek_done(), "consumed result is gone");
+        let again = handle.try_wait().expect("polling must not consume");
+        assert_eq!(again.batched_with, 3);
+        assert!(handle.peek_done(), "result still waiting after polls");
+    }
+
+    #[test]
+    fn poll_then_wait_observes_the_same_result() {
+        // Regression: `try_wait` used to take() the slot, so a client
+        // that polled a ready handle and then called `wait` blocked
+        // forever.  Now the poll clones and the wait still completes.
+        let state = JobState::new();
+        let handle = JobHandle {
+            state: state.clone(),
+            signature: PatternSignature(9),
+        };
+        state.complete(JobResult {
+            output: JobOutput::I64(vec![11, 22]),
+            scheme: Scheme::Simd,
+            elapsed: Duration::from_micros(5),
+            sim_cycles: None,
+            profile_hit: false,
+            batched_with: 0,
+            fused_with: 0,
+            error: None,
+        });
+        let polled = handle.try_wait().expect("ready");
+        assert_eq!(polled.output.as_i64(), Some(&[11i64, 22][..]));
+        let waited = handle.wait();
+        assert_eq!(waited.output.as_i64(), Some(&[11i64, 22][..]));
+        assert_eq!(waited.scheme, Scheme::Simd);
     }
 
     #[test]

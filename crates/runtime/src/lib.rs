@@ -85,7 +85,9 @@ pub mod runtime;
 pub mod stats;
 pub mod telemetry;
 
-pub use backend::{Backend, ExecOutcome, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
+pub use backend::{
+    Backend, ExecOutcome, ExecRequest, PclrBackend, PclrConfig, SimdBackend, SoftwareBackend,
+};
 pub use completion::{Completion, CompletionSet};
 pub use error::{JobError, JobErrorKind};
 pub use intern::{InternError, Interned, PatternInterner};

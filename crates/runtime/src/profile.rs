@@ -73,6 +73,9 @@ pub struct ProfileStore {
     entries: HashMap<u64, ProfileEntry>,
     calibration: HashMap<CorrLevel, Correction>,
     cycle_fit: Option<Correction>,
+    /// Consecutive suspected-drift samples per signature, for the
+    /// dispatcher's phase-change guard (transient — never persisted).
+    strikes: HashMap<u64, u8>,
     /// Malformed lines skipped by the most recent parse (not persisted).
     skipped: usize,
 }
@@ -148,7 +151,24 @@ impl ProfileStore {
     /// Drop a signature (the dispatcher evicts entries whose predictions
     /// have drifted far from measurements — a phase change).
     pub fn evict(&mut self, sig: PatternSignature) -> bool {
+        self.strikes.remove(&sig.0);
         self.entries.remove(&sig.0).is_some()
+    }
+
+    /// Count one suspected-drift observation (a measurement far over the
+    /// entry's prediction) against `sig`; returns the consecutive strike
+    /// count including this one.  A healthy sample resets the count via
+    /// [`clear_drift`](ProfileStore::clear_drift); eviction forgets it.
+    pub fn drift_strike(&mut self, sig: PatternSignature) -> u8 {
+        let n = self.strikes.entry(sig.0).or_insert(0);
+        *n = n.saturating_add(1);
+        *n
+    }
+
+    /// Reset the consecutive-drift count for `sig` (a healthy sample
+    /// arrived; whatever looked like drift was noise).
+    pub fn clear_drift(&mut self, sig: PatternSignature) {
+        self.strikes.remove(&sig.0);
     }
 
     /// Absorb the best measured scheme per functioning domain from an
@@ -561,6 +581,18 @@ mod tests {
         assert!(s.evict(sig(9)));
         assert!(!s.evict(sig(9)));
         assert!(s.get(sig(9)).is_none());
+    }
+
+    #[test]
+    fn drift_strikes_accumulate_reset_and_die_with_the_entry() {
+        let mut s = ProfileStore::new();
+        s.record(sig(4), Scheme::Rep, 4, 100, Duration::from_micros(1));
+        assert_eq!(s.drift_strike(sig(4)), 1);
+        assert_eq!(s.drift_strike(sig(4)), 2);
+        s.clear_drift(sig(4));
+        assert_eq!(s.drift_strike(sig(4)), 1, "a healthy sample resets");
+        s.evict(sig(4));
+        assert_eq!(s.drift_strike(sig(4)), 1, "eviction forgets the count");
     }
 
     #[test]

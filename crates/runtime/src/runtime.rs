@@ -14,7 +14,7 @@
 //! each dispatcher participates as `tid 0` of its own SPMD regions, so no
 //! core idles while it "waits".
 
-use crate::backend::{Backend, ExecRequest, PclrBackend, PclrConfig, SoftwareBackend};
+use crate::backend::{Backend, ExecRequest, PclrBackend, PclrConfig, SimdBackend, SoftwareBackend};
 use crate::completion::{Completion, CompletionSet, CompletionSink};
 use crate::error::JobError;
 use crate::intern::PatternInterner;
@@ -28,7 +28,8 @@ use smartapps_core::adaptive::AdaptiveReduction;
 use smartapps_core::calibrate::Calibrator;
 use smartapps_core::toolbox::DomainKey;
 use smartapps_reductions::{
-    run_fused_on, DecisionModel, FusedBody, Inspection, Inspector, ModelInput, Scheme, SpmdExecutor,
+    run_fused_on, simd_feasible, DecisionModel, FusedBody, Inspection, Inspector, ModelInput,
+    Scheme, SpmdExecutor,
 };
 use smartapps_telemetry::{TraceBackend, TraceError, TraceEvent};
 use std::collections::{HashMap, VecDeque};
@@ -45,6 +46,12 @@ const DRIFT_EVICT_RATIO: f64 = 4.0;
 /// Profile entries younger than this many runs are never drift-evicted
 /// (their calibration is still settling).
 const DRIFT_MIN_RUNS: u64 = 3;
+
+/// Consecutive over-ratio samples required before the phase-change guard
+/// evicts.  One wild sample is timing noise (a scheduler hiccup, a
+/// cache-cold run — common on sub-millisecond jobs); a run of them is a
+/// phase change.
+const DRIFT_EVICT_STRIKES: u8 = 2;
 
 /// Widest SPMD region a job may request (the inspector's supported limit);
 /// `JobSpec::with_threads` beyond this is clamped at submission.
@@ -127,6 +134,13 @@ pub struct RuntimeConfig {
     /// hardware scheme compete in decisions; `None` (the default) keeps
     /// the service software-only.
     pub pclr: Option<PclrConfig>,
+    /// Vectorized SIMD tree-reduction backend: `true` (the default) lets
+    /// [`Scheme::Simd`] compete in decisions for dense/privatizing
+    /// classes (feasibility-masked exactly like an infeasible `lw`) and
+    /// routes jobs decided for it to the lane-striped kernel; `false`
+    /// keeps the service scalar-only — persisted `simd` profile entries
+    /// then re-decide and are evicted like dead hardware entries.
+    pub simd: bool,
     /// Decision model consulted when no profile entry covers a class.
     /// The default calibration matches this crate's kernels; services on
     /// unusual hardware (or tests pinning a decision) substitute their
@@ -179,6 +193,7 @@ impl Default for RuntimeConfig {
             sample_iters: 2048,
             profile_path: None,
             pclr: None,
+            simd: true,
             model: DecisionModel::default(),
             calibration: CalibrationConfig::default(),
             quarantine_after: 0,
@@ -195,6 +210,7 @@ struct Shared {
     stats: RuntimeStats,
     calibrator: Mutex<Calibrator>,
     software: SoftwareBackend,
+    simd: Option<SimdBackend>,
     pclr: Option<PclrBackend>,
     max_batch: usize,
     max_fuse: usize,
@@ -243,6 +259,13 @@ impl Shared {
     /// Whether the PCLR backend exists and admits a job over `pat`.
     fn pclr_admits(&self, pat: &smartapps_workloads::AccessPattern) -> bool {
         self.pclr.as_ref().is_some_and(|b| b.admits(pat))
+    }
+
+    /// Whether the SIMD backend exists and the class's measured
+    /// characteristics admit the lane-striped kernel (dense/privatizing
+    /// regime — see [`simd_feasible`]).
+    fn simd_admits(&self, chars: &smartapps_workloads::PatternChars) -> bool {
+        self.simd.is_some() && simd_feasible(chars)
     }
 
     /// Lock the calibrator (poison-tolerant like the profile store).
@@ -390,6 +413,7 @@ impl Runtime {
             stats: RuntimeStats::default(),
             calibrator: Mutex::new(calibrator),
             software: SoftwareBackend::new(pool.clone()),
+            simd: config.simd.then(|| SimdBackend::new(pool.clone())),
             pclr,
             pool,
             max_batch: config.max_batch.max(1),
@@ -666,14 +690,17 @@ impl Runtime {
         self.shared.quarantine_map().remove(&sig.0).is_some()
     }
 
-    /// Signatures currently blocked by the poisoned-class quarantine
-    /// (expired TTLs are not filtered here; they clear lazily on the
-    /// class's next submission).
+    /// Signatures currently blocked by the poisoned-class quarantine.
+    /// Expired TTLs are filtered at snapshot time: a class whose TTL
+    /// lapsed disappears from this view immediately, even if nothing has
+    /// been submitted for it since (the ledger entry itself still clears
+    /// lazily on the class's next submission).
     pub fn quarantined_classes(&self) -> Vec<PatternSignature> {
+        let now = Instant::now();
         self.shared
             .quarantine_map()
             .iter()
-            .filter(|(_, h)| h.blocked_until.is_some())
+            .filter(|(_, h)| h.blocked_until.is_some_and(|until| until > now))
             .map(|(&sig, _)| PatternSignature(sig))
             .collect()
     }
@@ -954,7 +981,8 @@ fn decide_batch(
     let insp = cache.analyze(&first.spec.pattern, threads, &shared.stats);
     let domain = DomainKey::of(&insp.chars);
     let input = ModelInput::from_inspection(&insp, first.spec.lw_feasible)
-        .with_pclr(shared.pclr_admits(&first.spec.pattern));
+        .with_pclr(shared.pclr_admits(&first.spec.pattern))
+        .with_simd(shared.simd_admits(&insp.chars));
     let cal = shared.calibrator();
     let ranking = cal.rank(&input, domain);
     if explore_now {
@@ -1279,8 +1307,9 @@ fn trace_unexecuted(shared: &Shared, job: &QueuedJob, dequeued_at: Instant, erro
 }
 
 /// Execute one job on its own traversal (the non-fused path), routing it
-/// to the software backend or — for [`Scheme::Pclr`] decisions — to the
-/// simulated hardware backend.
+/// to the scalar software backend, the vectorized SIMD backend (for
+/// [`Scheme::Simd`] decisions), or — for [`Scheme::Pclr`] decisions —
+/// the simulated hardware backend.
 fn execute_single(
     shared: &Shared,
     cache: &mut InspectionCache,
@@ -1318,12 +1347,15 @@ fn execute_single(
     // cap.  Such jobs re-decide with the offending scheme masked off.
     let masked_lw = batch_scheme == Scheme::Lw && !job.spec.lw_feasible;
     let masked_pclr = batch_scheme == Scheme::Pclr && !shared.pclr_admits(&job.spec.pattern);
+    let masked_simd = batch_scheme == Scheme::Simd && shared.simd.is_none();
 
-    // A *persisted* hardware decision this service cannot execute is
-    // dead weight: re-decided executions never feed the store, so the
-    // entry would mask (and re-run the model) forever.  Evict it — the
-    // next batch misses the profile and records an executable scheme.
-    if masked_pclr && ctx.profile_hit && !ctx.evicted_this_batch {
+    // A *persisted* decision this service cannot execute (a hardware
+    // entry with the backend disabled, or a `simd` entry on a
+    // scalar-only service) is dead weight: re-decided executions never
+    // feed the store, so the entry would mask (and re-run the model)
+    // forever.  Evict it — the next batch misses the profile and
+    // records an executable scheme.
+    if (masked_pclr || masked_simd) && ctx.profile_hit && !ctx.evicted_this_batch {
         let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
         store.evict(ctx.sig);
         RuntimeStats::add(&shared.stats.evictions, 1);
@@ -1334,12 +1366,13 @@ fn execute_single(
     // pattern) must not take the dispatcher down with it; the panic
     // becomes the job's error and the service keeps draining.
     let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let redecided = masked_lw || masked_pclr;
+        let redecided = masked_lw || masked_pclr || masked_simd;
         let scheme = if redecided {
             let insp = cache.analyze(&job.spec.pattern, threads, &shared.stats);
             let domain = DomainKey::of(&insp.chars);
             let input = ModelInput::from_inspection(&insp, !masked_lw && job.spec.lw_feasible)
-                .with_pclr(!masked_pclr && shared.pclr_admits(&job.spec.pattern));
+                .with_pclr(!masked_pclr && shared.pclr_admits(&job.spec.pattern))
+                .with_simd(!masked_simd && shared.simd_admits(&insp.chars));
             shared.calibrator().rank(&input, domain)[0].0
         } else {
             batch_scheme
@@ -1353,24 +1386,34 @@ fn execute_single(
             scheme,
             inspection: insp.as_ref(),
         };
-        let backend: &dyn Backend = match &shared.pclr {
-            Some(pclr) if scheme == Scheme::Pclr => pclr,
+        let backend: &dyn Backend = match (scheme, &shared.pclr, &shared.simd) {
+            (Scheme::Pclr, Some(pclr), _) => pclr,
+            (Scheme::Simd, _, Some(simd)) => simd,
             _ => &shared.software,
         };
         debug_assert!(backend.supports(scheme), "{} vs {scheme}", backend.name());
         let backend_t0 = Instant::now();
         let outcome = backend.execute(&req);
-        (outcome, scheme, redecided, backend_t0.elapsed())
+        (
+            outcome,
+            scheme,
+            redecided,
+            backend_t0.elapsed(),
+            backend.name(),
+        )
     }));
     let executed_at = Instant::now();
 
-    let (outcome, scheme, redecided, backend_wall, error) = match work {
-        Ok((outcome, scheme, redecided, wall)) => (Some(outcome), scheme, redecided, wall, None),
+    let (outcome, scheme, redecided, backend_wall, backend_name, error) = match work {
+        Ok((outcome, scheme, redecided, wall, name)) => {
+            (Some(outcome), scheme, redecided, wall, name, None)
+        }
         Err(payload) => (
             None,
             batch_scheme,
             false,
             Duration::ZERO,
+            "software",
             Some(JobError::panic(panic_message(&*payload))),
         ),
     };
@@ -1385,6 +1428,9 @@ fn execute_single(
     if let Some(cycles) = sim_cycles {
         RuntimeStats::add(&shared.stats.pclr_offloads, 1);
         RuntimeStats::add(&shared.stats.sim_cycles, cycles);
+    }
+    if error.is_none() && scheme == Scheme::Simd {
+        RuntimeStats::add(&shared.stats.simd_offloads, 1);
     }
 
     // Quarantine ledger: a panicking body extends the class's streak; a
@@ -1406,7 +1452,8 @@ fn execute_single(
             let domain = DomainKey::of(&insp.chars);
             class_label = Some(domain_label(&domain));
             let input = ModelInput::from_inspection(&insp, job.spec.lw_feasible)
-                .with_pclr(scheme == Scheme::Pclr || shared.pclr_admits(&job.spec.pattern));
+                .with_pclr(scheme == Scheme::Pclr || shared.pclr_admits(&job.spec.pattern))
+                .with_simd(scheme == Scheme::Simd || shared.simd_admits(&insp.chars));
             shared.learn(scheme, domain, false, None, &input, elapsed);
         }
         shared.pair_cycle_sample(
@@ -1420,7 +1467,7 @@ fn execute_single(
             .record_exec(scheme, class_label.as_deref(), elapsed.as_nanos() as u64);
         shared
             .telemetry
-            .record_backend(backend_wall.as_nanos() as u64, sim_cycles);
+            .record_backend(backend_name, backend_wall.as_nanos() as u64, sim_cycles);
     }
 
     // Feed the profile only from clean, non-substituted, non-exploration
@@ -1430,19 +1477,25 @@ fn execute_single(
         let refs = job.spec.pattern.num_references();
         let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
         // Phase-change guard: a profiled class now running far slower
-        // than its calibration predicts gets evicted — and this run's
-        // measurement is NOT recorded, so the next batch misses the
+        // than its calibration predicts is suspect.  A suspect sample is
+        // never recorded (keeping the calibration EMA clean), but a
+        // single one is treated as timing noise — only
+        // DRIFT_EVICT_STRIKES *consecutive* over-ratio samples read as a
+        // phase change, evicting the entry so the next batch misses the
         // profile and re-inspects instead of trusting stale history.
-        let drifted = !ctx.evicted_this_batch
+        let suspect = !ctx.evicted_this_batch
             && ctx.profiled.as_ref().is_some_and(|entry| {
                 entry.runs >= DRIFT_MIN_RUNS
                     && elapsed.as_secs_f64() > DRIFT_EVICT_RATIO * entry.predict(refs).as_secs_f64()
             });
-        if drifted {
-            store.evict(ctx.sig);
-            RuntimeStats::add(&shared.stats.evictions, 1);
-            ctx.evicted_this_batch = true;
+        if suspect {
+            if store.drift_strike(ctx.sig) >= DRIFT_EVICT_STRIKES {
+                store.evict(ctx.sig);
+                RuntimeStats::add(&shared.stats.evictions, 1);
+                ctx.evicted_this_batch = true;
+            }
         } else if !ctx.evicted_this_batch {
+            store.clear_drift(ctx.sig);
             store.record(ctx.sig, scheme, threads, refs, elapsed);
         }
     }
@@ -1985,8 +2038,14 @@ mod tests {
                 );
             }
         }
+        // First over-ratio run: a strike, not an eviction — one wild
+        // sample must never kill a healthy entry.
         let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
         assert!(r.profile_hit, "this run rode the poisoned entry");
+        assert_eq!(rt.stats().evictions, 0, "one outlier is noise, not drift");
+        // Second consecutive over-ratio run: phase change.
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.profile_hit, "the entry survives the first strike");
         assert_eq!(rt.stats().evictions, 1, "poisoned calibration must evict");
         assert!(
             rt.profile_snapshot().get(signature).is_none(),
@@ -2316,6 +2375,120 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// A model whose SIMD formula is free: every feasible class decides
+    /// onto the vectorized backend, making routing deterministic.
+    fn free_simd_model() -> DecisionModel {
+        DecisionModel::new(smartapps_reductions::ModelParams {
+            simd_update: 0.0,
+            simd_init_elem: 0.0,
+            simd_merge_elem: 0.0,
+            ..smartapps_reductions::ModelParams::default()
+        })
+    }
+
+    #[test]
+    fn model_routes_feasible_classes_to_the_simd_backend() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            model: free_simd_model(),
+            ..RuntimeConfig::default()
+        });
+        let pat = sim_pattern(121);
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert_eq!(r.scheme, Scheme::Simd, "free simd must win the model");
+        assert!(r.sim_cycles.is_none(), "simd is software, not simulated");
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        let stats = rt.stats();
+        assert_eq!(stats.simd_offloads, 1, "offload must be visible in stats");
+        assert_eq!(stats.pclr_offloads, 0);
+        // The class is now profiled as simd: repeats skip the inspection
+        // and ride the vectorized decision.
+        let again = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(again.profile_hit);
+        assert_eq!(again.scheme, Scheme::Simd);
+        assert_eq!(rt.stats().simd_offloads, 2);
+        // The f64 flavor routes identically and stays within the
+        // documented bound of the sequential oracle.
+        let f = rt.run(JobSpec::f64(pat.clone(), |_i, r| contribution(r)));
+        assert!(f.error.is_none());
+        let oracle = sequential_reduce(&pat);
+        for (a, b) in oracle.iter().zip(f.output.as_f64().unwrap()) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn simd_profile_entry_on_scalar_only_service_redecides_to_software() {
+        // A store learned by a SIMD-enabled service is loaded by a
+        // scalar-only one: the simd entry must not crash the dispatcher —
+        // the job re-decides and the dead entry is evicted.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            simd: false,
+            ..RuntimeConfig::default()
+        });
+        let pat = sim_pattern(123);
+        let handle = rt.submit(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        let sig = handle.signature();
+        handle.wait();
+        {
+            let mut store = rt.shared.profile.lock().unwrap();
+            store.evict(sig);
+            store.record(sig, Scheme::Simd, 2, 1, Duration::from_nanos(1));
+        }
+        let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert!(r.scheme.is_software(), "masked simd must fall back");
+        assert!(!r.profile_hit, "a masked decision is not a profile hit");
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        assert_eq!(rt.stats().simd_offloads, 0);
+        assert_eq!(rt.stats().evictions, 1);
+        assert!(
+            rt.profile_snapshot().get(sig).is_none(),
+            "unexecutable simd entry must be evicted"
+        );
+    }
+
+    #[test]
+    fn simd_choice_survives_restart_via_disk() {
+        let dir = std::env::temp_dir().join("smartapps-runtime-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("simd-profiles-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            profile_path: Some(path.clone()),
+            model: free_simd_model(),
+            ..RuntimeConfig::default()
+        };
+        let pat = sim_pattern(125);
+        {
+            let rt = Runtime::new(cfg.clone());
+            let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+            assert_eq!(r.scheme, Scheme::Simd);
+            rt.shutdown();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains(" simd "),
+            "store must persist the scheme:\n{text}"
+        );
+        {
+            let rt = Runtime::new(cfg);
+            let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
+            assert!(r.profile_hit, "restarted service must remember the class");
+            assert_eq!(r.scheme, Scheme::Simd);
+            assert_eq!(rt.stats().inspections, 0, "no inspection after restart");
+            assert_eq!(rt.stats().simd_offloads, 1);
+            assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn cycle_ns_is_fitted_from_cross_backend_pairs_and_persists() {
         let dir = std::env::temp_dir().join("smartapps-runtime-test");
@@ -2616,6 +2789,32 @@ mod tests {
         let r = rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)));
         assert!(r.error.is_none(), "expired TTL must lift the quarantine");
         assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+    }
+
+    #[test]
+    fn expired_quarantine_ttl_disappears_from_snapshots_without_a_submit() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            quarantine_after: 1,
+            quarantine_ttl: Duration::from_millis(50),
+            ..RuntimeConfig::default()
+        });
+        let pat = pattern(217);
+        let h = rt.submit(JobSpec::i64(pat.clone(), |_i, _r| panic!("poison")));
+        let sig = h.signature();
+        assert_eq!(h.wait().error.unwrap().kind, JobErrorKind::Panic);
+        assert_eq!(rt.quarantined_classes(), vec![sig]);
+        assert_eq!(rt.quarantined_with_ttl().len(), 1);
+        // No further submissions of the class: the lazily-clearing ledger
+        // still holds the entry, but snapshots must stop reporting it the
+        // moment the TTL lapses.
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(
+            rt.quarantined_classes().is_empty(),
+            "expired TTL must not be reported"
+        );
+        assert!(rt.quarantined_with_ttl().is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct RuntimeStats {
     pub(crate) fused_jobs: AtomicU64,
     pub(crate) pclr_offloads: AtomicU64,
     pub(crate) sim_cycles: AtomicU64,
+    pub(crate) simd_offloads: AtomicU64,
     pub(crate) calibration_updates: AtomicU64,
     pub(crate) pred_err_sum_micros: AtomicU64,
     pub(crate) explored: AtomicU64,
@@ -56,6 +57,9 @@ pub struct StatsSnapshot {
     pub pclr_offloads: u64,
     /// Total simulated cycles spent across all PCLR offloads.
     pub sim_cycles: u64,
+    /// Jobs executed on the vectorized SIMD backend instead of the
+    /// scalar software library.
+    pub simd_offloads: u64,
     /// Predicted-vs-measured cost samples the online calibrator accepted
     /// (see `docs/MODEL.md`); 0 means the measure→correct loop never ran.
     pub calibration_updates: u64,
@@ -110,6 +114,7 @@ impl RuntimeStats {
             fused_jobs: self.fused_jobs.load(Ordering::Relaxed),
             pclr_offloads: self.pclr_offloads.load(Ordering::Relaxed),
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            simd_offloads: self.simd_offloads.load(Ordering::Relaxed),
             calibration_updates: self.calibration_updates.load(Ordering::Relaxed),
             pred_err_sum_micros: self.pred_err_sum_micros.load(Ordering::Relaxed),
             explored: self.explored.load(Ordering::Relaxed),

@@ -42,7 +42,7 @@ pub const PREDICT_ERR_PPM: &str = "smartapps_predict_err_ppm";
 
 /// Every scheme, in the fixed index order the pre-resolved histogram
 /// arrays use.
-const SCHEMES: [Scheme; 7] = [
+const SCHEMES: [Scheme; 8] = [
     Scheme::Seq,
     Scheme::Rep,
     Scheme::Ll,
@@ -50,6 +50,7 @@ const SCHEMES: [Scheme; 7] = [
     Scheme::Lw,
     Scheme::Hash,
     Scheme::Pclr,
+    Scheme::Simd,
 ];
 
 fn scheme_index(scheme: Scheme) -> usize {
@@ -69,7 +70,7 @@ pub fn scheme_from_code(code: u8) -> Option<Scheme> {
 }
 
 /// One histogram per scheme, resolved once so recording is wait-free.
-type PerScheme = [Arc<LogHistogram>; 7];
+type PerScheme = [Arc<LogHistogram>; 8];
 
 /// Shared measurement state: the registry, the trace ring, and the
 /// epoch all trace timestamps count from.
@@ -151,19 +152,15 @@ impl RuntimeTelemetry {
         }
     }
 
-    /// Record one backend invocation: wall time, plus the simulated
-    /// cycle count when the hardware backend ran it.
-    pub fn record_backend(&self, wall_ns: u64, sim_cycles: Option<u64>) {
-        match sim_cycles {
-            Some(cycles) => {
-                self.registry
-                    .record(BACKEND_WALL_NS, "backend", "pclr", wall_ns);
-                self.registry
-                    .record(BACKEND_SIM_CYCLES, "backend", "pclr", cycles);
-            }
-            None => self
-                .registry
-                .record(BACKEND_WALL_NS, "backend", "software", wall_ns),
+    /// Record one backend invocation under its name (`"software"`,
+    /// `"simd"`, `"pclr"`): wall time, plus the simulated cycle count
+    /// when the hardware backend ran it.
+    pub fn record_backend(&self, backend: &'static str, wall_ns: u64, sim_cycles: Option<u64>) {
+        self.registry
+            .record(BACKEND_WALL_NS, "backend", backend, wall_ns);
+        if let Some(cycles) = sim_cycles {
+            self.registry
+                .record(BACKEND_SIM_CYCLES, "backend", backend, cycles);
         }
     }
 
@@ -208,13 +205,16 @@ mod tests {
         t.record_exec(Scheme::Hash, Some("d4r1s10m2"), 1500);
         t.record_queue_wait(Scheme::Hash, 80);
         t.record_decide(Scheme::Hash, 40);
-        t.record_backend(1500, None);
-        t.record_backend(900, Some(120));
+        t.record_backend("software", 1500, None);
+        t.record_backend("pclr", 900, Some(120));
+        t.record_backend("simd", 700, None);
         let text = t.registry().render_prometheus();
         assert!(text.contains("smartapps_exec_ns_count{scheme=\"hash\"} 1"));
         assert!(text.contains("smartapps_exec_class_ns_count{domain=\"d4r1s10m2\"} 1"));
         assert!(text.contains("smartapps_backend_wall_ns_count{backend=\"software\"} 1"));
         assert!(text.contains("smartapps_backend_sim_cycles_count{backend=\"pclr\"} 1"));
+        assert!(text.contains("smartapps_backend_wall_ns_count{backend=\"simd\"} 1"));
+        assert!(!text.contains("smartapps_backend_sim_cycles_count{backend=\"simd\"}"));
     }
 
     #[test]

@@ -102,6 +102,14 @@ const OUTBUF_LIMIT_BYTES: usize = 256 * 1024 * 1024;
 const STALL_TICK: Duration = Duration::from_millis(25);
 /// Reactor wait bound during shutdown drain (poll the pending table).
 const SHUTDOWN_TICK: Duration = Duration::from_millis(5);
+/// How long an `upgrade bin` request waits for the connection's
+/// in-flight count to reach zero before it is a protocol error.  The
+/// counter is decremented just *after* each `done` write, so a client
+/// that already read every response can race a hair ahead of the last
+/// decrement — and under load that last `done` may still be in another
+/// reactor's delivery queue.  A deadline (rather than a fixed iteration
+/// count) makes the grace independent of scheduler timing.
+const UPGRADE_GRACE: Duration = Duration::from_millis(250);
 
 /// Wire protocol a connection is currently speaking.
 const MODE_TEXT: u8 = 0;
@@ -279,6 +287,58 @@ fn spec_key(s: &WireSpec) -> SpecKey {
     )
 }
 
+/// Server-side spec→pattern cache with deterministic least-recently-used
+/// eviction.  Each hit restamps its entry; at capacity the entry with
+/// the oldest stamp is evicted — unlike an iteration-order victim, a
+/// repeatedly-hit pattern can never be dropped while cold ones survive,
+/// so cross-client coalescing on a hot spec is stable under churn.
+struct PatternCache {
+    entries: HashMap<SpecKey, (Arc<AccessPattern>, u64)>,
+    /// Monotonic use counter (the LRU clock).
+    tick: u64,
+}
+
+impl PatternCache {
+    fn new() -> Self {
+        PatternCache {
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// The cached pattern for `key`, or `generate()`'s result after
+    /// evicting the least-recently-used entry at `capacity`.  (Never the
+    /// whole map: a working set one larger than the cache must not
+    /// regenerate every pattern — and lose the shared-Arc coalescing —
+    /// per miss.)
+    fn get_or_insert_with(
+        &mut self,
+        key: SpecKey,
+        capacity: usize,
+        generate: impl FnOnce() -> Arc<AccessPattern>,
+    ) -> Arc<AccessPattern> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((pat, stamp)) = self.entries.get_mut(&key) {
+            *stamp = tick;
+            return pat.clone();
+        }
+        let pat = generate();
+        if self.entries.len() >= capacity.max(1) {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (pat.clone(), tick));
+        pat
+    }
+}
+
 /// Per-reactor rendezvous state: the waker that interrupts its
 /// `epoll_wait`, the inbox the acceptor hands new connections through,
 /// the attention list other threads request write-interest service on,
@@ -296,7 +356,7 @@ struct ServerShared {
     set: CompletionSet,
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     pending: Mutex<HashMap<u64, PendingReply>>,
-    patterns: Mutex<HashMap<SpecKey, Arc<AccessPattern>>>,
+    patterns: Mutex<PatternCache>,
     reactors: Vec<ReactorHandle>,
     acceptor_waker: Waker,
     next_global: AtomicU64,
@@ -311,22 +371,12 @@ struct ServerShared {
 impl ServerShared {
     /// The cached (or freshly generated) pattern for a validated spec.
     fn pattern_for(&self, spec: &WireSpec) -> Arc<AccessPattern> {
-        let key = spec_key(spec);
-        let mut cache = self.patterns.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(pat) = cache.get(&key) {
-            return pat.clone();
-        }
-        let pat = Arc::new(spec.to_pattern_spec().generate());
-        // Evict one arbitrary entry at capacity (never the whole map: a
-        // working set one larger than the cache must not regenerate
-        // every pattern — and lose the shared-Arc coalescing — per miss).
-        if cache.len() >= self.cfg.pattern_cache.max(1) {
-            if let Some(victim) = cache.keys().next().copied() {
-                cache.remove(&victim);
-            }
-        }
-        cache.insert(key, pat.clone());
-        pat
+        self.patterns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get_or_insert_with(spec_key(spec), self.cfg.pattern_cache, || {
+                Arc::new(spec.to_pattern_spec().generate())
+            })
     }
 
     fn conn(&self, id: u64) -> Option<Arc<Conn>> {
@@ -385,7 +435,7 @@ impl Server {
             set: CompletionSet::with_capacity(capacity),
             conns: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
-            patterns: Mutex::new(HashMap::new()),
+            patterns: Mutex::new(PatternCache::new()),
             reactors: handles,
             acceptor_waker: Waker::new()?,
             next_global: AtomicU64::new(1),
@@ -909,17 +959,27 @@ fn handle_request(shared: &ServerShared, conn: &Arc<Conn>, request: Request) {
             // A `done` racing the upgrade could interleave text and
             // frames; the client must drain first.  The counter is
             // decremented just *after* the response write (that order
-            // is what keeps the drain barrier exact), so a client that
-            // already read every response can be a hair ahead of it —
-            // give the last decrement a bounded moment before calling
-            // the upgrade a protocol error.
-            let mut grace = 0u32;
+            // is what keeps the drain barrier exact), so give in-flight
+            // jobs a bounded deadline before calling the upgrade a
+            // protocol error (see [`UPGRADE_GRACE`]).  Yield between
+            // checks: another reactor delivers the outstanding `done`s,
+            // and its writes are serialized against ours by the out-half
+            // mutex, so responses queued here stay ordered after them.
+            let deadline = Instant::now() + UPGRADE_GRACE;
             while conn.in_flight.load(Ordering::SeqCst) != 0 {
-                grace += 1;
-                if grace > 20 {
+                if Instant::now() >= deadline {
                     protocol_error(shared, conn, "upgrade with jobs in flight");
                     return;
                 }
+                // Deliver finished jobs ourselves while we wait: the
+                // outstanding `done`s may be sitting in the shared set,
+                // and on a single-reactor service no one else can drain
+                // them until this handler returns.
+                if let Some(c) = shared.set.poll() {
+                    deliver(shared, c);
+                    continue;
+                }
+                std::thread::yield_now();
                 std::thread::sleep(Duration::from_micros(100));
             }
             // The acknowledgment is the last text line; flip the mode
@@ -1002,6 +1062,7 @@ fn stats_pairs(shared: &ServerShared) -> Vec<(String, u64)> {
         ("fused_jobs".to_string(), s.fused_jobs),
         ("pclr_offloads".to_string(), s.pclr_offloads),
         ("sim_cycles".to_string(), s.sim_cycles),
+        ("simd_offloads".to_string(), s.simd_offloads),
         ("calibration_updates".to_string(), s.calibration_updates),
         ("explored".to_string(), s.explored),
         ("fuse_probes".to_string(), s.fuse_probes),
@@ -1319,4 +1380,62 @@ fn write_raw(shared: &ServerShared, conn: &Conn, bytes: &[u8]) {
     }
     drop(out);
     shared.nudge_owner(conn.id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: usize) -> SpecKey {
+        (n, 0, 0, 0, 0, 0, 0)
+    }
+
+    fn pat(n: usize) -> Arc<AccessPattern> {
+        Arc::new(AccessPattern {
+            num_elements: n.max(1),
+            iter_ptr: vec![0],
+            indices: vec![],
+        })
+    }
+
+    #[test]
+    fn pattern_cache_hits_share_the_allocation() {
+        let mut cache = PatternCache::new();
+        let first = cache.get_or_insert_with(key(1), 4, || pat(1));
+        let again = cache.get_or_insert_with(key(1), 4, || panic!("hit must not regenerate"));
+        assert!(Arc::ptr_eq(&first, &again));
+    }
+
+    #[test]
+    fn pattern_cache_evicts_the_lru_entry_deterministically() {
+        let mut cache = PatternCache::new();
+        for n in 0..4 {
+            cache.get_or_insert_with(key(n), 4, || pat(n));
+        }
+        // Touch everything but key(2), then overflow: the victim must be
+        // exactly the least-recently-used entry, never an arbitrary one.
+        for n in [0usize, 1, 3] {
+            cache.get_or_insert_with(key(n), 4, || panic!("hit must not regenerate"));
+        }
+        cache.get_or_insert_with(key(4), 4, || pat(4));
+        assert!(!cache.entries.contains_key(&key(2)), "LRU entry evicted");
+        for n in [0usize, 1, 3, 4] {
+            assert!(cache.entries.contains_key(&key(n)), "key {n} survives");
+        }
+    }
+
+    #[test]
+    fn repeatedly_hit_entry_survives_churn_at_capacity() {
+        let mut cache = PatternCache::new();
+        let hot = cache.get_or_insert_with(key(1000), 4, || pat(1000));
+        // A long parade of one-shot specs churns the cache far past its
+        // capacity; the hot entry is re-hit between misses and must
+        // survive the whole run with its allocation intact.
+        for n in 0..64 {
+            cache.get_or_insert_with(key(n), 4, || pat(n));
+            let again = cache.get_or_insert_with(key(1000), 4, || panic!("hot entry was evicted"));
+            assert!(Arc::ptr_eq(&hot, &again));
+        }
+        assert!(cache.entries.len() <= 4, "capacity must hold under churn");
+    }
 }

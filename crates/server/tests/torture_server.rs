@@ -204,6 +204,84 @@ fn concurrent_sessions_never_leak_partial_state() {
 }
 
 #[test]
+fn upgrade_succeeds_with_a_slow_job_still_in_flight() {
+    let rt = Arc::new(Runtime::with_workers(3));
+    let server = Server::start(rt, ServerConfig::default()).expect("start");
+    let addr = server.local_addr();
+
+    // Heavy enough that its `done` cannot have been written back by the
+    // time the pipelined `upgrade bin` line is parsed: the gate must
+    // wait out the in-flight job (delivering its completion) instead of
+    // failing the connection after a fixed number of spin iterations.
+    let slow = WireSpec {
+        elements: 30_000,
+        iterations: 60_000,
+        refs_per_iter: 2,
+        coverage: 1.0,
+        dist: WireDist::Uniform,
+        seed: 424_242,
+    };
+    let slow_oracle = sequential_reduce_i64(&slow.to_pattern_spec().generate());
+    let (slow_len, slow_sum) = (slow_oracle.len(), checksum(&slow_oracle));
+
+    for round in 0..10u64 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        let mut script = Request::Submit(SubmitArgs {
+            token: round,
+            reply: ReplyMode::Ack,
+            body: WireBody::Sum,
+            source: WireSource::Gen(slow),
+        })
+        .encode();
+        script.push('\n');
+        script.push_str("upgrade bin\n");
+        stream.write_all(script.as_bytes()).expect("write");
+
+        // The slow job's `done` is the first text line, the upgrade ack
+        // the second — never `error upgrade with jobs in flight`.
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read done");
+        let Ok(Response::Done(d)) = Response::parse(&line) else {
+            panic!("round {round}: expected done, got {line:?}");
+        };
+        assert_eq!(d.token, round);
+        assert!(
+            matches!(
+                d.outcome,
+                DoneOutcome::Ok {
+                    payload: Payload::Checksum { len, sum },
+                    ..
+                } if len == slow_len && sum == slow_sum
+            ),
+            "round {round}: bad slow-job outcome"
+        );
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read upgrade ack");
+        assert_eq!(
+            Response::parse(&line),
+            Ok(Response::Upgraded),
+            "round {round}: {line:?}"
+        );
+
+        // The upgraded connection speaks frames.
+        let token = 1_000 + round;
+        let mut want = HashMap::new();
+        want.insert(token, token);
+        stream
+            .write_all(&encode_request(&Request::Submit(submit(token, token))))
+            .expect("write frame");
+        collect_bin_dones(&mut reader, &want);
+    }
+    server.shutdown();
+}
+
+#[test]
 fn binary_garbage_fails_one_connection_not_the_server() {
     let rt = Arc::new(Runtime::with_workers(2));
     let server = Server::start(rt, ServerConfig::default()).expect("start");

@@ -24,7 +24,9 @@ use smartapps::workloads::{
 use std::sync::Arc;
 
 /// A dense, cache-resident, high-reuse class: honest models send it to
-/// the privatizing schemes; the lying model below sends it to `hash`.
+/// the privatizing family (`rep`/`ll`/`sel`, or their lane-striped
+/// `simd` variant when the vectorized backend is enabled); the lying
+/// model below sends it to `hash`.
 fn dense(iterations: usize) -> Arc<AccessPattern> {
     Arc::new(
         PatternSpec {
@@ -167,7 +169,10 @@ fn calibration_reroutes_a_class_and_the_rerouting_survives_restart() {
             "persisted corrections must steer the fresh decision"
         );
         assert!(
-            matches!(r.scheme, Scheme::Rep | Scheme::Ll | Scheme::Sel),
+            matches!(
+                r.scheme,
+                Scheme::Rep | Scheme::Ll | Scheme::Sel | Scheme::Simd
+            ),
             "a dense class belongs to the privatizing family, got {}",
             r.scheme
         );
@@ -179,11 +184,18 @@ fn calibration_reroutes_a_class_and_the_rerouting_survives_restart() {
 
 /// Sanity leg: with an *honest* model, the passive loop (no exploration,
 /// no rechecks) keeps feeding samples but never changes a decision.
+///
+/// Scalar-only service: the software schemes are the stable subject
+/// here — the SIMD routing legs live in `crates/runtime` and
+/// `prop_simd.rs`.  The zero-eviction assertion also watches the drift
+/// guard's noise tolerance: these sub-millisecond runs do throw the
+/// occasional >4x wall-clock outlier, and a single one must not evict.
 #[test]
 fn honest_model_is_not_rerouted_by_passive_calibration() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         dispatchers: 1,
+        simd: false,
         ..RuntimeConfig::default()
     });
     let pat = dense(30_000);
