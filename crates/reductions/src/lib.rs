@@ -53,6 +53,7 @@ pub mod inspect;
 pub mod model;
 pub mod scheme;
 pub mod simd;
+pub mod simplify;
 pub mod spmd;
 
 pub use exec::{rank_schemes, run_scheme, run_scheme_on, time_scheme, Timing};
@@ -61,4 +62,8 @@ pub use inspect::{ConflictInfo, Inspection, Inspector, OwnerLists};
 pub use model::{DecisionModel, ModelInput, ModelParams, Prediction};
 pub use scheme::{RedElem, Scheme, UnsafeSlice};
 pub use simd::{simd_feasible, simd_reduce, simd_reduce_on, SimdElem, SIMD_LANES};
+pub use simplify::{
+    probe_uniform, recognize, run_scan, run_scan_group, CostGuard, Reject, ScanElem, ScanMatch,
+    ScanShape,
+};
 pub use spmd::{SpawnExecutor, SpmdExecutor};

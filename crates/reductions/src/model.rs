@@ -671,6 +671,32 @@ mod tests {
     }
 
     #[test]
+    fn simd_mask_tracks_the_sparsity_threshold_exactly() {
+        use crate::simd::simd_feasible;
+        // Distinct coverage straddling SP = 0.25 on a 1000-element
+        // array: 249 distinct elements (sp 0.249) must mask the vector
+        // path out of the ranking, 250 (sp 0.25) must admit it — the
+        // exact boundary `simd_feasible` gates `with_simd` on.
+        let m = DecisionModel::default();
+        for (distinct, feasible) in [(249usize, false), (250usize, true)] {
+            let rows: Vec<Vec<u32>> = (0..2000).map(|i| vec![(i % distinct) as u32]).collect();
+            let pat = smartapps_workloads::AccessPattern::from_iters(1000, &rows);
+            let chars = PatternChars::measure(&pat);
+            let admit = simd_feasible(&chars);
+            assert_eq!(admit, feasible, "sp {}", chars.sp);
+            let inp = input(chars, 8, false).with_simd(admit);
+            let pred = m.decide(&inp);
+            assert_eq!(
+                pred.cost_of(Scheme::Simd).is_some(),
+                feasible,
+                "ranking: {:?}",
+                pred.ranking
+            );
+            assert_eq!(m.predict(Scheme::Simd, &inp).is_finite(), feasible);
+        }
+    }
+
+    #[test]
     fn locality_cost_is_monotone() {
         let q = ModelParams::default();
         let a = q.locality_cost(100.0 * 1024.0);

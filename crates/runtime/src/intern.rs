@@ -257,6 +257,36 @@ mod tests {
     }
 
     #[test]
+    fn malformed_csr_row_pointers_are_refused() {
+        // Every way the row-pointer array can be malformed — not just an
+        // out-of-bounds index — must be refused before interning, since a
+        // handle resolves straight into dispatcher walks with no further
+        // validation.
+        let reg = PatternInterner::new(8);
+        // Non-monotone row pointers.
+        let mut bad = sample(1);
+        let mid = bad.iter_ptr.len() / 2;
+        bad.iter_ptr[mid] = bad.iter_ptr[mid - 1].wrapping_sub(1);
+        assert!(matches!(reg.intern(bad), Err(InternError::Invalid(_))));
+        // First pointer not zero.
+        let mut bad = sample(2);
+        bad.iter_ptr[0] = 1;
+        assert!(matches!(reg.intern(bad), Err(InternError::Invalid(_))));
+        // Last pointer disagrees with the reference count.
+        let mut bad = sample(3);
+        *bad.iter_ptr.last_mut().unwrap() += 1;
+        assert!(matches!(reg.intern(bad), Err(InternError::Invalid(_))));
+        // Empty row-pointer array (no leading 0 at all).
+        let mut bad = sample(4);
+        bad.iter_ptr.clear();
+        bad.indices.clear();
+        assert!(matches!(reg.intern(bad), Err(InternError::Invalid(_))));
+        assert!(reg.is_empty(), "refused uploads must not consume capacity");
+        // The registry still accepts well-formed structures afterwards.
+        assert!(reg.intern(sample(5)).is_ok());
+    }
+
+    #[test]
     fn capacity_bounds_distinct_patterns_but_not_reuploads() {
         let reg = PatternInterner::new(2);
         let a = reg.intern(sample(1)).unwrap();

@@ -83,6 +83,15 @@ pub struct JobSpec {
     pub threads: Option<usize>,
     /// Whether owner-computes (`lw`) is legal for this loop.
     pub lw_feasible: bool,
+    /// Caller-declared legality flag for the simplification pass: the
+    /// body's contribution depends only on the *iteration*, never on the
+    /// reference slot within it (`body(i, r) == body(i, r')` for all
+    /// slots of iteration `i`).  Like
+    /// [`lw_feasible`](JobSpec::lw_feasible) this is a declaration the
+    /// runtime cannot prove for an opaque closure — but it spot-checks it
+    /// ([`probe_uniform`](smartapps_reductions::probe_uniform)) and a
+    /// refuted declaration merely loses the rewrite, never the answer.
+    pub uniform_body: bool,
 }
 
 impl JobSpec {
@@ -96,6 +105,7 @@ impl JobSpec {
             body: JobBody::F64(Arc::new(body)),
             threads: None,
             lw_feasible: false,
+            uniform_body: false,
         }
     }
 
@@ -109,6 +119,7 @@ impl JobSpec {
             body: JobBody::I64(Arc::new(body)),
             threads: None,
             lw_feasible: false,
+            uniform_body: false,
         }
     }
 
@@ -121,6 +132,14 @@ impl JobSpec {
     /// Mark owner-computes as legal.
     pub fn with_lw_feasible(mut self, feasible: bool) -> Self {
         self.lw_feasible = feasible;
+        self
+    }
+
+    /// Declare the body iteration-uniform, making the job eligible for
+    /// the simplification pass (see
+    /// [`uniform_body`](JobSpec::uniform_body)).
+    pub fn with_uniform_body(mut self, uniform: bool) -> Self {
+        self.uniform_body = uniform;
         self
     }
 }

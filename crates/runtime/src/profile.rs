@@ -19,6 +19,7 @@
 //! smartapps-profile-v1
 //! <sig:016x> <scheme> <threads> <ns_per_ref:e> <runs> <best_ns>
 //! corr <scheme|*> <domain:08x|*> <s|f> <ns_per_unit:e> <updates>
+//! simp <sig:016x> <0|1>
 //! cyc <cycle_ns:e> <updates>
 //! ```
 //!
@@ -26,7 +27,14 @@
 //! `smartapps_core::calibrate` and `docs/MODEL.md`): `*` in the scheme
 //! column is the global ns-per-unit scale, `*` in the domain column a
 //! per-scheme estimate, and `s`/`f` marks split vs fused execution.
-//! `cyc` persists the fitted PCLR cycle→nanosecond conversion.
+//! `simp` records persist the simplification pass's *structural*
+//! recognizer verdict per workload class (`docs/MODEL.md`,
+//! "Simplification pass"): a `0` short-circuits recognition on sight —
+//! the class provably lacks scan structure, so declared-uniform jobs
+//! skip the row walk — while a `1` (or no record) still requires the
+//! full structural walk before any rewrite, so a signature collision can
+//! downgrade performance but never correctness.  `cyc` persists the
+//! fitted PCLR cycle→nanosecond conversion.
 
 use crate::job::PatternSignature;
 use smartapps_core::calibrate::{CorrLevel, Correction};
@@ -72,6 +80,11 @@ impl ProfileEntry {
 pub struct ProfileStore {
     entries: HashMap<u64, ProfileEntry>,
     calibration: HashMap<CorrLevel, Correction>,
+    /// Simplification-pass recognizer verdicts per signature (`simp`
+    /// records): `false` = structurally not a scan (safe to skip
+    /// recognition), `true` = scan structure was seen here before (the
+    /// structural walk still re-runs before any rewrite).
+    scan_verdicts: HashMap<u64, bool>,
     cycle_fit: Option<Correction>,
     /// Consecutive suspected-drift samples per signature, for the
     /// dispatcher's phase-change guard (transient — never persisted).
@@ -205,6 +218,28 @@ impl ProfileStore {
         self.calibration.len()
     }
 
+    /// Record the simplification pass's structural verdict for a class
+    /// (`simp` record): whether the pattern family behind `sig` has
+    /// contiguous-interval scan structure.  Last writer wins — the
+    /// verdict is a property of the pattern, re-derived whenever the
+    /// recognizer actually walks one.
+    pub fn set_scan_verdict(&mut self, sig: PatternSignature, is_scan: bool) {
+        self.scan_verdicts.insert(sig.0, is_scan);
+    }
+
+    /// The persisted recognizer verdict for `sig`, if any.  `Some(false)`
+    /// lets the dispatcher skip recognition outright; `Some(true)` only
+    /// says a walk is worth paying — it never authorizes a rewrite by
+    /// itself.
+    pub fn scan_verdict(&self, sig: PatternSignature) -> Option<bool> {
+        self.scan_verdicts.get(&sig.0).copied()
+    }
+
+    /// Number of persisted recognizer verdicts.
+    pub fn scan_verdict_len(&self) -> usize {
+        self.scan_verdicts.len()
+    }
+
     /// Store the fitted PCLR cycle→nanosecond conversion (`cyc` record).
     pub fn set_cycle_fit(&mut self, fit: Correction) {
         if fit.ns_per_unit.is_finite() && fit.ns_per_unit > 0.0 && fit.updates > 0 {
@@ -257,10 +292,17 @@ impl ProfileStore {
             })
             .collect();
         corr_lines.sort();
-        let mut out = String::with_capacity((lines.len() + corr_lines.len()) * 48 + 64);
+        let mut simp_lines: Vec<String> = self
+            .scan_verdicts
+            .iter()
+            .map(|(sig, v)| format!("simp {sig:016x} {}", u8::from(*v)))
+            .collect();
+        simp_lines.sort();
+        let mut out =
+            String::with_capacity((lines.len() + corr_lines.len() + simp_lines.len()) * 48 + 64);
         out.push_str(HEADER);
         out.push('\n');
-        for l in lines.into_iter().chain(corr_lines) {
+        for l in lines.into_iter().chain(corr_lines).chain(simp_lines) {
             out.push_str(&l);
             out.push('\n');
         }
@@ -299,6 +341,11 @@ impl ProfileStore {
                 Some("corr") => Self::parse_corr_line(line)
                     .map(|(level, c)| {
                         store.calibration.insert(level, c);
+                    })
+                    .is_some(),
+                Some("simp") => Self::parse_simp_line(line)
+                    .map(|(sig, v)| {
+                        store.scan_verdicts.insert(sig, v);
                     })
                     .is_some(),
                 Some("cyc") => Self::parse_cyc_line(line)
@@ -397,6 +444,22 @@ impl ProfileStore {
         ))
     }
 
+    /// Parse one `simp <sig> <0|1>` line.
+    fn parse_simp_line(line: &str) -> Option<(u64, bool)> {
+        let mut f = line.split_ascii_whitespace();
+        let (kind, sig, verdict) = (f.next()?, f.next()?, f.next()?);
+        if kind != "simp" || f.next().is_some() {
+            return None;
+        }
+        let sig = u64::from_str_radix(sig, 16).ok()?;
+        let verdict = match verdict {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        Some((sig, verdict))
+    }
+
     /// Parse one `cyc <cycle_ns> <updates>` line.
     fn parse_cyc_line(line: &str) -> Option<Correction> {
         let mut f = line.split_ascii_whitespace();
@@ -456,6 +519,11 @@ impl ProfileStore {
                     self.calibration.insert(*level, *c);
                 }
             }
+        }
+        // Recognizer verdicts: local knowledge wins (it is at least as
+        // fresh); absent classes adopt the imported verdict.
+        for (sig, v) in &other.scan_verdicts {
+            self.scan_verdicts.entry(*sig).or_insert(*v);
         }
         if let Some(theirs) = other.cycle_fit {
             match self.cycle_fit {
@@ -665,6 +733,55 @@ mod tests {
         assert_eq!(s.cycle_fit(), Some(Correction::seeded(1.5, 3)));
         assert_eq!(s.len(), 1);
         assert_eq!(s.last_load_skipped(), 9);
+    }
+
+    #[test]
+    fn scan_verdicts_round_trip_and_merge() {
+        let mut s = ProfileStore::new();
+        s.record(sig(7), Scheme::Hash, 4, 500, Duration::from_micros(40));
+        s.set_scan_verdict(sig(0xabc), true);
+        s.set_scan_verdict(sig(0xdef), false);
+        // Last writer wins.
+        s.set_scan_verdict(sig(0xabc), false);
+        s.set_scan_verdict(sig(0xabc), true);
+        assert_eq!(s.scan_verdict(sig(0xabc)), Some(true));
+        assert_eq!(s.scan_verdict(sig(0xdef)), Some(false));
+        assert_eq!(s.scan_verdict(sig(0x123)), None);
+        assert_eq!(s.scan_verdict_len(), 2);
+        let text = s.to_text();
+        assert!(text.contains("simp 0000000000000abc 1"), "{text}");
+        assert!(text.contains("simp 0000000000000def 0"), "{text}");
+        let back = ProfileStore::from_text(&text).unwrap();
+        assert_eq!(back.last_load_skipped(), 0);
+        assert_eq!(back.scan_verdict(sig(0xabc)), Some(true));
+        assert_eq!(back.scan_verdict(sig(0xdef)), Some(false));
+        // Deterministic serialization, entries unaffected.
+        assert_eq!(back.to_text(), text);
+        assert_eq!(back.len(), 1);
+        // Merge: local verdicts win, absent ones are adopted.
+        let mut other = ProfileStore::new();
+        other.set_scan_verdict(sig(0xabc), false);
+        other.set_scan_verdict(sig(0x999), true);
+        let mut merged = back.clone();
+        merged.merge(&other);
+        assert_eq!(merged.scan_verdict(sig(0xabc)), Some(true));
+        assert_eq!(merged.scan_verdict(sig(0x999)), Some(true));
+    }
+
+    #[test]
+    fn malformed_simp_lines_are_skipped_not_fatal() {
+        let text = format!(
+            "{HEADER}\n\
+             simp 0000000000000abc 1\n\
+             simp zzzz 1\n\
+             simp 0000000000000abc 2\n\
+             simp 0000000000000abc\n\
+             simp 0000000000000abc 1 extra\n"
+        );
+        let s = ProfileStore::from_text(&text).unwrap();
+        assert_eq!(s.scan_verdict_len(), 1);
+        assert_eq!(s.scan_verdict(sig(0xabc)), Some(true));
+        assert_eq!(s.last_load_skipped(), 4);
     }
 
     #[test]

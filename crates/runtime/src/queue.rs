@@ -248,6 +248,7 @@ mod tests {
                 body: JobBody::I64(Arc::new(|_i, _r| 1)),
                 threads: None,
                 lw_feasible: false,
+                uniform_body: false,
             },
             sig: PatternSignature(sig),
             sink: CompletionSink::Handle(JobState::new()),

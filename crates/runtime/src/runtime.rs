@@ -28,8 +28,8 @@ use smartapps_core::adaptive::AdaptiveReduction;
 use smartapps_core::calibrate::Calibrator;
 use smartapps_core::toolbox::DomainKey;
 use smartapps_reductions::{
-    run_fused_on, simd_feasible, DecisionModel, FusedBody, Inspection, Inspector, ModelInput,
-    Scheme, SpmdExecutor,
+    probe_uniform, recognize, run_fused_on, run_scan_group, simd_feasible, CostGuard,
+    DecisionModel, FusedBody, Inspection, Inspector, ModelInput, ScanMatch, Scheme, SpmdExecutor,
 };
 use smartapps_telemetry::{TraceBackend, TraceError, TraceEvent};
 use std::collections::{HashMap, VecDeque};
@@ -170,6 +170,17 @@ pub struct RuntimeConfig {
     /// past the bound are refused, re-uploads of interned content are
     /// free.
     pub pattern_intern_capacity: usize,
+    /// Reduction simplification pass (`true`, the default): jobs that
+    /// declare an iteration-uniform body
+    /// ([`JobSpec::with_uniform_body`]) and whose pattern the recognizer
+    /// matches as a prefix/suffix scan or overlapping-window family are
+    /// rewritten to a difference-array plan — O(I + N) work instead of
+    /// O(R) — *before* the decision model schedules them (see
+    /// `docs/MODEL.md`, "Simplification pass").  Non-matching,
+    /// unprofitable, or refuted-declaration jobs pass through to the
+    /// normal scheme pipeline untouched.  `false` disables the pass
+    /// entirely (every job runs unsimplified).
+    pub simplify: bool,
 }
 
 /// Dispatcher count matched to a pool width: one dispatcher per four
@@ -199,6 +210,7 @@ impl Default for RuntimeConfig {
             quarantine_after: 0,
             quarantine_ttl: Duration::from_secs(30),
             pattern_intern_capacity: 1024,
+            simplify: true,
         }
     }
 }
@@ -239,6 +251,9 @@ struct Shared {
     /// Uploaded-pattern registry (CSR upload handles, see
     /// [`intern`](crate::intern)).
     interner: PatternInterner,
+    /// Whether the pre-scheduling simplification pass runs
+    /// ([`RuntimeConfig::simplify`]).
+    simplify: bool,
 }
 
 /// Panic health of one workload class: how many of its most recent bodies
@@ -431,6 +446,7 @@ impl Runtime {
             quarantine: Mutex::new(HashMap::new()),
             telemetry: RuntimeTelemetry::new(),
             interner: PatternInterner::new(config.pattern_intern_capacity),
+            simplify: config.simplify,
         });
         let dispatchers = (0..n_dispatchers)
             .map(|d| {
@@ -806,11 +822,12 @@ impl Drop for Runtime {
 
 fn dispatcher_loop(shared: &Shared, id: usize) {
     let mut cache = InspectionCache::new(64);
+    let mut scans = ScanCache::new(32);
     while let Some(pop) = shared.queue.pop_batch_for(id, shared.max_batch) {
         if pop.stolen {
             RuntimeStats::add(&shared.stats.steals, 1);
         }
-        process_batch(shared, &mut cache, pop.jobs);
+        process_batch(shared, &mut cache, &mut scans, pop.jobs);
     }
 }
 
@@ -884,6 +901,53 @@ impl InspectionCache {
         self.entries
             .insert(key, (Arc::downgrade(pat), insp.clone()));
         insp
+    }
+}
+
+/// A small FIFO cache of *positive* recognizer walks, per dispatcher —
+/// the simplification pass's analogue of [`InspectionCache`].  A
+/// recognized class floods the service with the same pattern allocation
+/// over and over; caching the [`ScanMatch`] keeps the structural walk
+/// (O(R)) off the steady-state path.  Entries are keyed by the pattern's
+/// allocation address and validated through a [`Weak`] handle exactly
+/// like the inspection cache, so a recycled address can never serve a
+/// stale match.  Negative outcomes are *not* cached here — they are
+/// persisted per signature in the [`ProfileStore`] (`simp` records) and
+/// short-circuit before the walk.
+struct ScanCache {
+    entries: HashMap<usize, (Weak<smartapps_workloads::AccessPattern>, ScanMatch)>,
+    order: VecDeque<usize>,
+    cap: usize,
+}
+
+impl ScanCache {
+    fn new(cap: usize) -> Self {
+        ScanCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lookup(&self, pat: &Arc<smartapps_workloads::AccessPattern>) -> Option<ScanMatch> {
+        let key = Arc::as_ptr(pat) as usize;
+        let (weak, m) = self.entries.get(&key)?;
+        weak.upgrade()
+            .is_some_and(|live| Arc::ptr_eq(&live, pat))
+            .then_some(*m)
+    }
+
+    fn insert(&mut self, pat: &Arc<smartapps_workloads::AccessPattern>, m: ScanMatch) {
+        let key = Arc::as_ptr(pat) as usize;
+        if self.entries.contains_key(&key) {
+            self.order.retain(|k| *k != key);
+        } else if self.order.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        self.order.push_back(key);
+        self.entries.insert(key, (Arc::downgrade(pat), m));
     }
 }
 
@@ -1105,15 +1169,16 @@ fn plan_fusion(
 
 /// Partition a same-signature batch into fusable groups: members of one
 /// group reduce over the *same* pattern allocation with the same element
-/// flavor, SPMD width, and `lw` feasibility, so they can legally share one
-/// traversal.  Groups are capped at `max_fuse`; first-seen order is
+/// flavor, SPMD width, `lw` feasibility, and uniform-body declaration,
+/// so they can legally share one traversal (and one simplification
+/// verdict).  Groups are capped at `max_fuse`; first-seen order is
 /// preserved, so `batch[0]` leads the first group.
 fn fuse_groups(
     batch: Vec<QueuedJob>,
     max_fuse: usize,
     default_threads: usize,
 ) -> Vec<Vec<QueuedJob>> {
-    type FuseKey = (usize, bool, usize, bool);
+    type FuseKey = (usize, bool, usize, bool, bool);
     let mut keyed: Vec<(FuseKey, Vec<QueuedJob>)> = Vec::new();
     for job in batch {
         let key: FuseKey = (
@@ -1121,6 +1186,7 @@ fn fuse_groups(
             matches!(job.spec.body, JobBody::F64(_)),
             job.spec.threads.unwrap_or(default_threads).max(1),
             job.spec.lw_feasible,
+            job.spec.uniform_body,
         );
         match keyed.iter_mut().find(|(k, _)| *k == key) {
             Some((_, group)) => group.push(job),
@@ -1139,7 +1205,201 @@ fn fuse_groups(
     groups
 }
 
-fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<QueuedJob>) {
+/// The pre-scheduling simplification pass, run per fusable group before
+/// the fusion gate.  Returns `None` when the group executed through the
+/// rewritten plan (outputs delivered, nothing left to do) and
+/// `Some(group)` to pass it through to the normal fusion/per-job
+/// pipeline untouched.
+///
+/// Eligibility is opt-in: only jobs *declaring* an iteration-uniform
+/// body ([`JobSpec::with_uniform_body`]) are considered; everything
+/// else bypasses the pass without touching its counters.  The pipeline:
+///
+/// 1. A persisted negative verdict (a `simp <sig> 0` record in the
+///    profile store) short-circuits the structural walk — structurally
+///    rejected classes stay rejected across restarts.  Positive or
+///    absent verdicts never skip the walk: signatures can collide, so a
+///    stale `1` may cost a wasted walk but can never mis-rewrite.
+/// 2. The recognizer walks the CSR pattern (positive walks cached per
+///    allocation in [`ScanCache`]); a match means every iteration's
+///    references form one ascending contiguous run and the cost guard
+///    accepted the original-vs-rewritten work ratio.
+/// 3. The uniform-body declaration is probed ([`probe_uniform`],
+///    defense in depth): sampled rows are evaluated across *all* their
+///    slots; a refuted declaration loses the rewrite, never the answer.
+/// 4. The whole group runs as K difference arrays over one row walk
+///    plus one prefix scan per output ([`run_scan_group`]) under
+///    `catch_unwind`; a panic falls back to the normal path, whose own
+///    fences report it as the job's error.
+///
+/// A simplified execution reports [`Scheme::Seq`] (sequential
+/// semantics, deterministic order), feeds the calibrator a sample
+/// priced in *rewritten-plan* units, and never feeds the profile store:
+/// the store holds scheme-sweep truth, and the rewritten plan is a
+/// different operating point.
+fn try_simplify(
+    shared: &Shared,
+    cache: &mut InspectionCache,
+    scans: &mut ScanCache,
+    ctx: &BatchCtx,
+    group: Vec<QueuedJob>,
+) -> Option<Vec<QueuedJob>> {
+    if !shared.simplify || !group[0].spec.uniform_body {
+        return Some(group);
+    }
+    let k = group.len();
+    let reject = |n: usize| RuntimeStats::add(&shared.stats.simplify_rejects, n as u64);
+    {
+        let store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
+        if store.scan_verdict(ctx.sig) == Some(false) {
+            drop(store);
+            reject(k);
+            return Some(group);
+        }
+    }
+    let pat = group[0].spec.pattern.clone();
+    let m = match scans.lookup(&pat) {
+        Some(m) => m,
+        None => match recognize(&pat, &CostGuard::default()) {
+            Ok(m) => {
+                scans.insert(&pat, m);
+                shared
+                    .profile
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .set_scan_verdict(ctx.sig, true);
+                m
+            }
+            Err(_) => {
+                // Every `Reject` variant is structural (pattern-only),
+                // so the verdict is safe to persist per signature.
+                shared
+                    .profile
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .set_scan_verdict(ctx.sig, false);
+                reject(k);
+                return Some(group);
+            }
+        },
+    };
+    let t0 = Instant::now();
+    let work =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &group[0].spec.body {
+            JobBody::F64(_) => {
+                let bodies: Vec<FusedBody<'_, f64>> = group
+                    .iter()
+                    .map(|j| match &j.spec.body {
+                        JobBody::F64(f) => &**f as FusedBody<'_, f64>,
+                        JobBody::I64(_) => unreachable!("fuse group mixes flavors"),
+                    })
+                    .collect();
+                if bodies.iter().any(|b| !probe_uniform(&pat, *b)) {
+                    return None;
+                }
+                Some(
+                    run_scan_group(&pat, &bodies)
+                        .into_iter()
+                        .map(JobOutput::F64)
+                        .collect::<Vec<_>>(),
+                )
+            }
+            JobBody::I64(_) => {
+                let bodies: Vec<FusedBody<'_, i64>> = group
+                    .iter()
+                    .map(|j| match &j.spec.body {
+                        JobBody::I64(f) => &**f as FusedBody<'_, i64>,
+                        JobBody::F64(_) => unreachable!("fuse group mixes flavors"),
+                    })
+                    .collect();
+                if bodies.iter().any(|b| !probe_uniform(&pat, *b)) {
+                    return None;
+                }
+                Some(
+                    run_scan_group(&pat, &bodies)
+                        .into_iter()
+                        .map(JobOutput::I64)
+                        .collect::<Vec<_>>(),
+                )
+            }
+        }));
+    let elapsed = t0.elapsed();
+    let executed_at = Instant::now();
+    let outputs = match work {
+        // A panicking body — or one refuting its uniformity declaration
+        // — loses the rewrite, never the answer: the group re-runs
+        // through the normal path, whose own catch_unwind reports any
+        // panic as the job's error.  Body-specific outcomes are never
+        // persisted (only structural walks are).
+        Err(_) | Ok(None) => {
+            reject(k);
+            return Some(group);
+        }
+        Ok(Some(outputs)) => outputs,
+    };
+    debug_assert_eq!(outputs.len(), k);
+    RuntimeStats::add(&shared.stats.simplified_jobs, k as u64);
+    shared
+        .telemetry
+        .record_simplify(m.shape.label(), elapsed.as_nanos() as u64);
+    // Calibrator sample priced against the *rewritten* plan (one
+    // difference-array post per iteration plus one scan, per member) —
+    // learning never pays a fresh inspection, mirroring the per-job
+    // path.
+    let threads = group[0].spec.threads.unwrap_or(shared.pool.width()).max(1);
+    if let Some(insp) = cache.peek(&pat, threads) {
+        let domain = DomainKey::of(&insp.chars);
+        let input = ModelInput::from_inspection(&insp, group[0].spec.lw_feasible);
+        shared.learn(
+            Scheme::Seq,
+            domain,
+            false,
+            Some((m.rewritten_ops * k) as f64),
+            &input,
+            elapsed,
+        );
+    }
+    // A clean scan means every body in the group ran clean.
+    shared.note_clean(ctx.sig);
+    for (job, output) in group.into_iter().zip(outputs) {
+        RuntimeStats::add(&shared.stats.completed, 1);
+        let tel = &shared.telemetry;
+        tel.trace_event(&TraceEvent {
+            signature: job.sig.0,
+            submitted_ns: tel.instant_ns(job.submitted_at),
+            queued_ns: tel.instant_ns(ctx.dequeued_at),
+            decided_ns: tel.instant_ns(ctx.decided_at),
+            executed_ns: tel.instant_ns(executed_at),
+            completed_ns: tel.now_ns(),
+            scheme: scheme_code(Scheme::Seq),
+            backend: TraceBackend::Scan,
+            error: TraceError::None,
+            fused: k.min(u16::MAX as usize) as u16,
+        });
+        job.sink.complete(
+            job.sig,
+            JobResult {
+                output,
+                scheme: Scheme::Seq,
+                elapsed,
+                sim_cycles: None,
+                // The rewrite came from the recognizer, not the store.
+                profile_hit: false,
+                batched_with: ctx.batched_with,
+                fused_with: k - 1,
+                error: None,
+            },
+        );
+    }
+    None
+}
+
+fn process_batch(
+    shared: &Shared,
+    cache: &mut InspectionCache,
+    scans: &mut ScanCache,
+    batch: Vec<QueuedJob>,
+) {
     let sig = batch[0].sig;
     let dequeued_at = Instant::now();
     let batched_with = batch.len() - 1;
@@ -1268,6 +1528,13 @@ fn process_batch(shared: &Shared, cache: &mut InspectionCache, batch: Vec<Queued
     }
     let batch_scheme = decision.scheme;
     for group in groups {
+        // Simplification pass (see `try_simplify`): a declared-uniform
+        // group whose pattern is a recognized scan/window family runs the
+        // rewritten difference-array plan instead of any scheme sweep.
+        let group = match try_simplify(shared, cache, scans, &ctx, group) {
+            None => continue,
+            Some(group) => group,
+        };
         // Fusion gate (see `plan_fusion`): calibrated fused-vs-split
         // comparison, `hash` analytically trusted, other schemes only on
         // measured fused-side evidence, occasional probes when declined.
@@ -1607,8 +1874,8 @@ fn execute_fused(
 
     match work {
         Ok(outputs) => {
+            debug_assert_eq!(outputs.len(), k, "fused sweep lost outputs");
             RuntimeStats::add(&shared.stats.fused_sweeps, 1);
-            RuntimeStats::add(&shared.stats.fused_jobs, k as u64);
             // One sweep = one execution sample (the sweep's wall time,
             // under the class of the gate's own characterization).
             shared.telemetry.record_exec(
@@ -1629,6 +1896,13 @@ fn execute_fused(
             // A clean sweep means every body in the group ran clean.
             shared.note_clean(ctx.sig);
             for (job, output) in group.into_iter().zip(outputs) {
+                // Counted per *completed* member, not `+= k` up front:
+                // the isolation fallback below re-runs members through
+                // `execute_single` (which never touches fused counters),
+                // so `fused_jobs` is exactly the jobs whose result
+                // reports `fused_with > 0` — a sweep abandoned by a
+                // panic contributes nothing.
+                RuntimeStats::add(&shared.stats.fused_jobs, 1);
                 RuntimeStats::add(&shared.stats.completed, 1);
                 let tel = &shared.telemetry;
                 tel.trace_event(&TraceEvent {
@@ -2960,5 +3234,288 @@ mod tests {
         }
         rt.persist_adaptive(&smart);
         assert!(!rt.profile_snapshot().is_empty());
+    }
+
+    /// An overlapping sliding-window pattern the simplification
+    /// recognizer accepts: row `i` reads the `width` consecutive
+    /// elements starting at `(i * stride) % (n - width + 1)`.
+    fn window_pattern(
+        n: usize,
+        iters: usize,
+        width: usize,
+        stride: usize,
+    ) -> Arc<smartapps_workloads::AccessPattern> {
+        let rows: Vec<Vec<u32>> = (0..iters)
+            .map(|i| {
+                let lo = (i * stride) % (n - width + 1);
+                (lo..lo + width).map(|x| x as u32).collect()
+            })
+            .collect();
+        Arc::new(smartapps_workloads::AccessPattern::from_iters(n, &rows))
+    }
+
+    /// Direct per-element oracle for an iteration-uniform i64 body:
+    /// every reference of iteration `i` posts `f(i)`.
+    fn direct_uniform_i64(
+        pat: &smartapps_workloads::AccessPattern,
+        f: impl Fn(usize) -> i64,
+    ) -> Vec<i64> {
+        let mut out = vec![0i64; pat.num_elements];
+        for i in 0..pat.num_iterations() {
+            let v = f(i);
+            for slot in pat.ref_range(i) {
+                let e = pat.indices[slot] as usize;
+                out[e] = out[e].wrapping_add(v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn declared_uniform_window_flood_runs_simplified() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            max_batch: 32,
+            max_fuse: 8,
+            ..RuntimeConfig::default()
+        });
+        let pat = window_pattern(2048, 4096, 16, 3);
+        let handles: Vec<JobHandle> = (0..8)
+            .map(|kk| {
+                let scale = kk as i64 + 1;
+                rt.submit(
+                    JobSpec::i64(pat.clone(), move |i, _r| (i as i64 + 1).wrapping_mul(scale))
+                        .with_uniform_body(true),
+                )
+            })
+            .collect();
+        for (kk, h) in handles.into_iter().enumerate() {
+            let r = h.wait();
+            assert!(r.error.is_none(), "simplified job {kk}: {:?}", r.error);
+            let scale = kk as i64 + 1;
+            let expect = direct_uniform_i64(&pat, |i| (i as i64 + 1).wrapping_mul(scale));
+            assert_eq!(r.output.as_i64().unwrap(), expect, "simplified output {kk}");
+            assert_eq!(r.scheme, Scheme::Seq, "the rewritten plan reports seq");
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.simplified_jobs, 8, "every declared job must rewrite");
+        assert_eq!(stats.simplify_rejects, 0);
+        assert_eq!(
+            stats.fused_sweeps, 0,
+            "the rewrite preempts the fusion gate"
+        );
+        assert_eq!(stats.fused_jobs, 0);
+        let text = rt.telemetry().registry().render_prometheus();
+        assert!(
+            text.contains("smartapps_simplify_ns_count{shape=\"window\"}"),
+            "missing simplify series: {text}"
+        );
+        let snap = rt.profile_snapshot();
+        assert_eq!(snap.scan_verdict_len(), 1, "positive verdict must persist");
+    }
+
+    #[test]
+    fn simplify_off_runs_the_normal_pipeline() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            simplify: false,
+            ..RuntimeConfig::default()
+        });
+        let pat = window_pattern(1024, 2048, 16, 5);
+        let r = rt.run(JobSpec::i64(pat.clone(), |i, _r| i as i64 + 1).with_uniform_body(true));
+        assert!(r.error.is_none());
+        assert_eq!(
+            r.output.as_i64().unwrap(),
+            direct_uniform_i64(&pat, |i| i as i64 + 1)
+        );
+        let stats = rt.stats();
+        assert_eq!(stats.simplified_jobs, 0);
+        assert_eq!(
+            stats.simplify_rejects, 0,
+            "config-off traffic is not a reject"
+        );
+    }
+
+    #[test]
+    fn refuted_uniform_declaration_loses_the_rewrite_not_the_answer() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            ..RuntimeConfig::default()
+        });
+        let pat = window_pattern(1024, 2048, 16, 5);
+        // The declaration lies: the body reads the reduction slot.  The
+        // probe must refute it and the job must run unsimplified with
+        // the exact slot-dependent answer.
+        let r =
+            rt.run(JobSpec::i64(pat.clone(), |_i, r| contribution_i64(r)).with_uniform_body(true));
+        assert!(r.error.is_none());
+        assert_eq!(r.output.as_i64().unwrap(), sequential_reduce_i64(&pat));
+        let stats = rt.stats();
+        assert_eq!(
+            stats.simplified_jobs, 0,
+            "a refuted declaration must not rewrite"
+        );
+        assert!(stats.simplify_rejects >= 1);
+        // The refutation is body-specific and never persisted: the
+        // pattern's structural verdict stays positive.
+        assert_eq!(rt.profile_snapshot().scan_verdict_len(), 1);
+    }
+
+    #[test]
+    fn scan_verdicts_survive_restart_via_disk() {
+        let dir = std::env::temp_dir().join("smartapps-runtime-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("simplify-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            profile_path: Some(path.clone()),
+            ..RuntimeConfig::default()
+        };
+        let win = window_pattern(1024, 2048, 16, 5);
+        let ragged = pattern(71);
+        {
+            let rt = Runtime::new(cfg.clone());
+            rt.run(JobSpec::i64(win.clone(), |i, _r| i as i64).with_uniform_body(true));
+            rt.run(JobSpec::i64(ragged.clone(), |i, _r| i as i64).with_uniform_body(true));
+            assert_eq!(rt.profile_snapshot().scan_verdict_len(), 2);
+            rt.shutdown();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("simp ") && l.ends_with(" 1")),
+            "positive verdict must be saved: {text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("simp ") && l.ends_with(" 0")),
+            "negative verdict must be saved: {text}"
+        );
+        {
+            let rt = Runtime::new(cfg);
+            assert_eq!(
+                rt.profile_snapshot().scan_verdict_len(),
+                2,
+                "verdicts reload"
+            );
+            let r = rt.run(JobSpec::i64(win.clone(), |i, _r| i as i64).with_uniform_body(true));
+            assert_eq!(
+                r.output.as_i64().unwrap(),
+                direct_uniform_i64(&win, |i| i as i64)
+            );
+            assert_eq!(
+                rt.stats().simplified_jobs,
+                1,
+                "rewrite survives the restart"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fused_panic_fallback_accounting_is_exact() {
+        // Regression: `fused_jobs` was bumped per *sweep* (`+= k`)
+        // before any member completed; it is now counted per member
+        // actually completed through a shared sweep, so an abandoned
+        // sweep — one poisoned body sends the whole group to the
+        // isolated fallback — contributes nothing, and the invariant
+        // `fused_jobs == |results with fused_with > 0|` is structural.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 3,
+            dispatchers: 1,
+            max_batch: 32,
+            max_fuse: 8,
+            ..RuntimeConfig::default()
+        });
+        let big = Arc::new(
+            PatternSpec {
+                num_elements: 60_000,
+                iterations: 1_200_000,
+                refs_per_iter: 2,
+                coverage: 1.0,
+                dist: Distribution::Uniform,
+                seed: 93,
+            }
+            .generate(),
+        );
+        let warm = rt.submit(JobSpec::i64(big, |_i, r| contribution_i64(r)));
+        let pat = sparse_pattern(67);
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|kk| {
+                rt.submit(JobSpec::i64(pat.clone(), move |i, r| {
+                    if kk == 3 && i == 0 {
+                        panic!("poisoned member")
+                    }
+                    contribution_i64(r)
+                }))
+            })
+            .collect();
+        warm.wait();
+        let results: Vec<JobResult> = handles.into_iter().map(|h| h.wait()).collect();
+        let oracle = sequential_reduce_i64(&pat);
+        let poisoned = &results[3];
+        let err = poisoned.error.as_ref().expect("poisoned member must fail");
+        assert_eq!(err.kind, JobErrorKind::Panic);
+        assert_eq!(poisoned.fused_with, 0, "a failed member is re-run isolated");
+        for (kk, r) in results.iter().enumerate() {
+            if kk == 3 {
+                continue;
+            }
+            assert!(
+                r.error.is_none(),
+                "group-mate {kk} must survive the fallback"
+            );
+            assert_eq!(r.output.as_i64().unwrap(), oracle, "fallback output {kk}");
+        }
+        let fused_members = results.iter().filter(|r| r.fused_with > 0).count() as u64;
+        let stats = rt.stats();
+        assert_eq!(
+            stats.fused_jobs, fused_members,
+            "fused_jobs must count members"
+        );
+        assert_eq!(stats.completed, 7, "every job completes exactly once");
+        if fused_members == 0 {
+            // The usual timing: all six coalesced into the poisoned
+            // sweep, which was abandoned without touching the counters.
+            assert_eq!(stats.fused_sweeps, 0);
+        }
+    }
+
+    #[test]
+    fn dense_f64_groups_decline_fusion_without_fused_evidence() {
+        // The non-hash fused regimes need measured fused-side evidence
+        // before the gate admits them (probes are off by default), so a
+        // coalesced dense f64 group must route per-job with exact
+        // bookkeeping and per-member answers.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            dispatchers: 1,
+            max_batch: 32,
+            max_fuse: 8,
+            ..RuntimeConfig::default()
+        });
+        let pat = pattern(83);
+        let handles = rt.submit_batch(
+            (0..6)
+                .map(|_| JobSpec::f64(pat.clone(), |_i, r| contribution(r)))
+                .collect(),
+        );
+        let oracle = sequential_reduce(&pat);
+        for h in handles {
+            let r = h.wait();
+            assert!(r.error.is_none());
+            assert_eq!(r.fused_with, 0, "dense f64 class must not fuse");
+            for (a, b) in oracle.iter().zip(r.output.as_f64().unwrap()) {
+                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+            }
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.fused_sweeps, 0);
+        assert_eq!(stats.fused_jobs, 0);
     }
 }

@@ -24,6 +24,8 @@ pub struct RuntimeStats {
     pub(crate) explored: AtomicU64,
     pub(crate) fuse_probes: AtomicU64,
     pub(crate) quarantined: AtomicU64,
+    pub(crate) simplified_jobs: AtomicU64,
+    pub(crate) simplify_rejects: AtomicU64,
 }
 
 /// A point-in-time copy of [`RuntimeStats`].
@@ -78,6 +80,15 @@ pub struct StatsSnapshot {
     /// because their workload class accumulated
     /// `RuntimeConfig::quarantine_after` consecutive panicking bodies.
     pub quarantined: u64,
+    /// Jobs executed through the simplification pass's rewritten plan
+    /// (difference-array scan) instead of a scheme sweep — see
+    /// `docs/MODEL.md` ("Simplification pass").
+    pub simplified_jobs: u64,
+    /// Jobs that *declared* an iteration-uniform body but were declined
+    /// by the pass (structural mismatch, cost guard, refuted declaration,
+    /// or a persisted negative verdict) and executed unsimplified.
+    /// Undeclared traffic is never counted here — it bypasses the pass.
+    pub simplify_rejects: u64,
 }
 
 impl StatsSnapshot {
@@ -120,6 +131,8 @@ impl RuntimeStats {
             explored: self.explored.load(Ordering::Relaxed),
             fuse_probes: self.fuse_probes.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            simplified_jobs: self.simplified_jobs.load(Ordering::Relaxed),
+            simplify_rejects: self.simplify_rejects.load(Ordering::Relaxed),
         }
     }
 }

@@ -39,6 +39,10 @@ pub const BACKEND_SIM_CYCLES: &str = "smartapps_backend_sim_cycles";
 /// Calibrator per-sample relative prediction error, in parts per
 /// million, per scheme.
 pub const PREDICT_ERR_PPM: &str = "smartapps_predict_err_ppm";
+/// Wall time of one rewritten (simplified) execution — probe plus
+/// difference-array scan for the whole group — per recognized shape
+/// (`prefix`/`suffix`/`window`/`interval` labels).
+pub const SIMPLIFY_NS: &str = "smartapps_simplify_ns";
 
 /// Every scheme, in the fixed index order the pre-resolved histogram
 /// arrays use.
@@ -171,6 +175,12 @@ impl RuntimeTelemetry {
             .record(PREDICT_ERR_PPM, "scheme", scheme.abbrev(), ppm);
     }
 
+    /// Record one simplified (rewritten-plan) execution under its
+    /// recognized shape label.
+    pub fn record_simplify(&self, shape: &'static str, ns: u64) {
+        self.registry.record(SIMPLIFY_NS, "shape", shape, ns);
+    }
+
     /// Push one lifecycle event onto the trace ring.
     pub fn trace_event(&self, event: &TraceEvent) {
         self.trace.push(event);
@@ -208,7 +218,9 @@ mod tests {
         t.record_backend("software", 1500, None);
         t.record_backend("pclr", 900, Some(120));
         t.record_backend("simd", 700, None);
+        t.record_simplify("window", 420);
         let text = t.registry().render_prometheus();
+        assert!(text.contains("smartapps_simplify_ns_count{shape=\"window\"} 1"));
         assert!(text.contains("smartapps_exec_ns_count{scheme=\"hash\"} 1"));
         assert!(text.contains("smartapps_exec_class_ns_count{domain=\"d4r1s10m2\"} 1"));
         assert!(text.contains("smartapps_backend_wall_ns_count{backend=\"software\"} 1"));

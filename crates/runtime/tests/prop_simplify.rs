@@ -1,0 +1,217 @@
+//! Differential property tests of the simplification pass (see
+//! `docs/MODEL.md`): a runtime with `simplify: true` must be
+//! *semantically invisible* relative to one with the pass disabled —
+//! the rewrite may only change how fast an answer arrives, never which
+//! answer arrives.
+//!
+//! * **i64 is bit-exact** across the two engines: the difference-array
+//!   rewrite works in the wrapping-integer group, so recognized jobs
+//!   must reproduce the normal pipeline's sums to the bit;
+//! * **f64 is run-to-run bit-identical** when simplified (the scan's
+//!   sequential order is fixed) and tolerance-equal to the pass-through
+//!   engine (bounded reassociation, not drift);
+//! * **near-miss patterns are never mis-rewritten**: a single corrupted
+//!   row (aliased slot, reversed run, off-by-one gap) must structurally
+//!   reject and fall through to the normal pipeline with the exact
+//!   answer;
+//! * **lying uniformity declarations are refuted**: a slot-dependent
+//!   body declared iteration-uniform must lose the rewrite — and only
+//!   the rewrite, never the answer.
+
+use proptest::prelude::*;
+use smartapps_reductions::{recognize, CostGuard};
+use smartapps_runtime::{JobSpec, Runtime, RuntimeConfig};
+use smartapps_workloads::pattern::sequential_reduce_i64;
+use smartapps_workloads::{contribution, contribution_i64, AccessPattern};
+use std::sync::Arc;
+
+fn runtime(simplify: bool) -> Runtime {
+    Runtime::new(RuntimeConfig {
+        workers: 2,
+        dispatchers: 1,
+        simplify,
+        ..RuntimeConfig::default()
+    })
+}
+
+/// Rows of a sliding window: iteration `i` reads the contiguous run
+/// starting at `(i * stride) % (n - width + 1)`.
+fn window_rows(n: usize, iters: usize, width: usize, stride: usize) -> Vec<Vec<u32>> {
+    (0..iters)
+        .map(|i| {
+            let lo = (i * stride) % (n - width + 1);
+            (lo as u32..(lo + width) as u32).collect()
+        })
+        .collect()
+}
+
+/// Strategy: patterns from the three recognized scan families —
+/// overlapping windows, growing prefixes, shrinking suffixes — at sizes
+/// that straddle the default cost guard (some recognized, some declined
+/// as unprofitable; both paths must agree with the pass-through engine).
+fn arb_scan_pattern() -> impl Strategy<Value = AccessPattern> {
+    (64usize..512, 64usize..2048, 2usize..24, 1usize..8, 0u8..3).prop_map(
+        |(n, iters, width, stride, family)| {
+            let width = width.min(n - 1);
+            let rows: Vec<Vec<u32>> = match family {
+                0 => window_rows(n, iters, width, stride),
+                1 => (0..iters).map(|i| (0..=(i % n) as u32).collect()).collect(),
+                _ => (0..iters)
+                    .map(|i| ((i % n) as u32..n as u32).collect())
+                    .collect(),
+            };
+            AccessPattern::from_iters(n, &rows)
+        },
+    )
+}
+
+/// Per-element oracle for an iteration-uniform i64 body, accumulated in
+/// the same wrapping group the engine uses.
+fn oracle_i64(pat: &AccessPattern, body: impl Fn(usize) -> i64) -> Vec<i64> {
+    let mut out = vec![0i64; pat.num_elements];
+    for (i, _r, x) in pat.iter_refs() {
+        out[x as usize] = out[x as usize].wrapping_add(body(i));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simplified_i64_is_bit_exact_against_the_pass_through_runtime(
+        pat in arb_scan_pattern(),
+        scale in 1i64..100,
+    ) {
+        let pat = Arc::new(pat);
+        // Modest magnitudes: the pass-through pipeline may sum with a
+        // checked `+`, so keep totals far from i64::MAX.
+        let body = move |i: usize, _r: usize| (i as i64 + 1).wrapping_mul(scale);
+        let on = runtime(true);
+        let off = runtime(false);
+        let got = on
+            .submit(JobSpec::i64(pat.clone(), body).with_uniform_body(true))
+            .wait();
+        let want = off
+            .submit(JobSpec::i64(pat.clone(), body).with_uniform_body(true))
+            .wait();
+        prop_assert!(got.error.is_none());
+        prop_assert!(want.error.is_none());
+        prop_assert_eq!(
+            got.output.as_i64().unwrap(),
+            want.output.as_i64().unwrap()
+        );
+        // The pass fires exactly when the recognizer accepts the class.
+        let expect = recognize(&pat, &CostGuard::default()).is_ok();
+        prop_assert_eq!(on.stats().simplified_jobs > 0, expect);
+        prop_assert_eq!(off.stats().simplified_jobs, 0);
+        prop_assert_eq!(off.stats().simplify_rejects, 0);
+    }
+
+    #[test]
+    fn simplified_f64_is_deterministic_and_tolerance_equal(
+        pat in arb_scan_pattern(),
+    ) {
+        let pat = Arc::new(pat);
+        let body = |i: usize, _r: usize| contribution(i);
+        let on = runtime(true);
+        let runs: Vec<Vec<f64>> = (0..3)
+            .map(|_| {
+                on.submit(JobSpec::f64(pat.clone(), body).with_uniform_body(true))
+                    .wait()
+                    .output
+                    .as_f64()
+                    .unwrap()
+                    .to_vec()
+            })
+            .collect();
+        // The rewrite's scan order is fixed, so simplified reruns
+        // reproduce every bit (the pass-through pipeline makes no such
+        // promise across scheme choices, so only assert when it fired).
+        if on.stats().simplified_jobs >= 3 {
+            for run in &runs[1..] {
+                prop_assert!(
+                    runs[0].iter().zip(run).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "simplified f64 rerun changed bits"
+                );
+            }
+        }
+        let off = runtime(false);
+        let want = off
+            .submit(JobSpec::f64(pat.clone(), body).with_uniform_body(true))
+            .wait();
+        for (e, (a, b)) in want.output.as_f64().unwrap().iter().zip(&runs[0]).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "element {}: {} vs {}", e, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn near_miss_patterns_are_never_mis_rewritten(
+        (n, iters, width, stride) in (64usize..256, 128usize..1024, 3usize..16, 1usize..6),
+        row_pick in any::<usize>(),
+        slot_pick in any::<usize>(),
+        defect in 0u8..3,
+    ) {
+        let width = width.min(n - 1);
+        let mut rows = window_rows(n, iters, width, stride);
+        // One corrupted row: any single-element change to a strictly
+        // ascending run produces a duplicate, a gap, or a descent — all
+        // structural rejects the recognizer must catch.
+        let r = row_pick % iters;
+        match defect {
+            0 => {
+                let j = 1 + slot_pick % (width - 1);
+                rows[r][j] = rows[r][j - 1];
+            }
+            1 => rows[r].reverse(),
+            _ => {
+                let j = slot_pick % width;
+                rows[r][j] = (rows[r][j] + 1) % n as u32;
+            }
+        }
+        let pat = Arc::new(AccessPattern::from_iters(n, &rows));
+        prop_assert!(
+            recognize(&pat, &CostGuard { min_refs: 1, min_gain: 0.0 }).is_err(),
+            "corruption must break recognition"
+        );
+        let body = |i: usize, _r: usize| i as i64 + 1;
+        let on = runtime(true);
+        let got = on
+            .submit(JobSpec::i64(pat.clone(), body).with_uniform_body(true))
+            .wait();
+        prop_assert!(got.error.is_none());
+        prop_assert_eq!(
+            got.output.as_i64().unwrap(),
+            &oracle_i64(&pat, |i| i as i64 + 1)
+        );
+        let stats = on.stats();
+        prop_assert_eq!(stats.simplified_jobs, 0);
+        prop_assert_eq!(stats.simplify_rejects, 1);
+    }
+
+    #[test]
+    fn slot_dependent_bodies_declared_uniform_pass_through_exactly(
+        pat in arb_scan_pattern(),
+    ) {
+        let pat = Arc::new(pat);
+        // A lying declaration: the body reads the reference slot, which
+        // the rewrite would collapse to each row's first slot.  The
+        // probe must refute it and the normal pipeline must answer.
+        let body = |_i: usize, r: usize| contribution_i64(r);
+        let on = runtime(true);
+        let got = on
+            .submit(JobSpec::i64(pat.clone(), body).with_uniform_body(true))
+            .wait();
+        prop_assert!(got.error.is_none());
+        prop_assert_eq!(
+            got.output.as_i64().unwrap(),
+            &sequential_reduce_i64(&pat)
+        );
+        let stats = on.stats();
+        prop_assert_eq!(stats.simplified_jobs, 0);
+        prop_assert_eq!(stats.simplify_rejects, 1);
+    }
+}

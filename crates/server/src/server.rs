@@ -1067,6 +1067,8 @@ fn stats_pairs(shared: &ServerShared) -> Vec<(String, u64)> {
         ("explored".to_string(), s.explored),
         ("fuse_probes".to_string(), s.fuse_probes),
         ("quarantined".to_string(), s.quarantined),
+        ("simplified_jobs".to_string(), s.simplified_jobs),
+        ("simplify_rejects".to_string(), s.simplify_rejects),
     ];
     pairs.sort();
     pairs
@@ -1174,6 +1176,17 @@ fn submit_jobs(shared: &ServerShared, conn: &Arc<Conn>, jobs: Vec<SubmitArgs>) {
             crate::wire::WireBody::Panic => JobSpec::i64(pattern, |_i, _r| -> i64 {
                 panic!("wire-requested panic body")
             }),
+            // The uniform bodies carry the caller's declaration through to
+            // the runtime, making scan/window-shaped patterns eligible for
+            // the simplification pass (docs/MODEL.md).
+            crate::wire::WireBody::Usum => {
+                JobSpec::i64(pattern, |i, _r| smartapps_workloads::contribution_i64(i))
+                    .with_uniform_body(true)
+            }
+            crate::wire::WireBody::Fusum => {
+                JobSpec::f64(pattern, |i, _r| smartapps_workloads::contribution(i))
+                    .with_uniform_body(true)
+            }
         };
         let global = shared.next_global.fetch_add(1, Ordering::Relaxed);
         shared

@@ -157,13 +157,28 @@ pub enum WireBody {
     /// A body that panics on its first invocation — the failure-channel
     /// test hook (drives `Panic` errors and, in streaks, quarantine).
     Panic,
+    /// Iteration-uniform i64 body (`contribution_i64` of the *iteration*,
+    /// same value in every slot of a row) — submitted with the
+    /// uniform-body declaration set, so scan/window-shaped patterns are
+    /// eligible for the runtime's simplification pass.
+    Usum,
+    /// Iteration-uniform f64 body (`contribution` of the iteration);
+    /// the f64 counterpart of [`WireBody::Usum`], also declared uniform.
+    Fusum,
 }
 
 impl WireBody {
     /// Whether the body produces f64 outputs (selects the f64 payload
     /// shapes on the `done` response).
     pub fn is_f64(self) -> bool {
-        matches!(self, WireBody::FSum)
+        matches!(self, WireBody::FSum | WireBody::Fusum)
+    }
+
+    /// Whether the body is iteration-uniform (submitted with the
+    /// [`JobSpec::with_uniform_body`](smartapps_runtime::JobSpec)
+    /// declaration, making it simplification-eligible).
+    pub fn is_uniform(self) -> bool {
+        matches!(self, WireBody::Usum | WireBody::Fusum)
     }
 
     fn encode(self) -> String {
@@ -172,6 +187,8 @@ impl WireBody {
             WireBody::Mul(k) => format!("mul:{k}"),
             WireBody::FSum => "fsum".into(),
             WireBody::Panic => "panic".into(),
+            WireBody::Usum => "usum".into(),
+            WireBody::Fusum => "fusum".into(),
         }
     }
 
@@ -180,6 +197,8 @@ impl WireBody {
             "sum" => Ok(WireBody::Sum),
             "fsum" => Ok(WireBody::FSum),
             "panic" => Ok(WireBody::Panic),
+            "usum" => Ok(WireBody::Usum),
+            "fusum" => Ok(WireBody::Fusum),
             _ => match s.strip_prefix("mul:") {
                 Some(rest) => rest
                     .parse()
@@ -991,6 +1010,18 @@ mod tests {
         for req in [
             Request::Submit(args),
             Request::Submit(by_handle),
+            Request::Submit(SubmitArgs {
+                token: 44,
+                reply: ReplyMode::Ack,
+                body: WireBody::Usum,
+                source: WireSource::Handle(0x20),
+            }),
+            Request::Submit(SubmitArgs {
+                token: 45,
+                reply: ReplyMode::Full,
+                body: WireBody::Fusum,
+                source: WireSource::Gen(spec()),
+            }),
             Request::Batch(vec![
                 args,
                 // A batch may mix handle-form (4 fields) and spec-form

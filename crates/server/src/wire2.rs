@@ -150,6 +150,8 @@ fn put_submit(out: &mut Vec<u8>, a: &SubmitArgs) {
         }
         WireBody::Panic => out.push(2),
         WireBody::FSum => out.push(3),
+        WireBody::Usum => out.push(4),
+        WireBody::Fusum => out.push(5),
     }
     match a.source {
         WireSource::Gen(spec) => {
@@ -449,6 +451,8 @@ fn get_submit(c: &mut Cur<'_>) -> Result<SubmitArgs, String> {
         1 => WireBody::Mul(c.i64()?),
         2 => WireBody::Panic,
         3 => WireBody::FSum,
+        4 => WireBody::Usum,
+        5 => WireBody::Fusum,
         t => return Err(format!("unknown body tag {t}")),
     };
     let source = match c.u8()? {
@@ -779,6 +783,18 @@ mod tests {
                     reply: ReplyMode::Ack,
                     body: WireBody::Mul(-3),
                     source: WireSource::Handle(0x2a),
+                },
+                SubmitArgs {
+                    token: 79,
+                    reply: ReplyMode::Ack,
+                    body: WireBody::Usum,
+                    source: WireSource::Handle(0x2b),
+                },
+                SubmitArgs {
+                    token: 80,
+                    reply: ReplyMode::Full,
+                    body: WireBody::Fusum,
+                    source: WireSource::Handle(0x2c),
                 },
             ]),
             Request::Stats,

@@ -34,6 +34,9 @@ pub enum TraceBackend {
     Software,
     /// Simulated PCLR hardware execution.
     Pclr,
+    /// Rewritten by the simplification pass and executed as a
+    /// difference-array scan instead of a scheme sweep.
+    Scan,
 }
 
 /// Why a job failed, if it did.
@@ -83,6 +86,7 @@ impl TraceEvent {
         let backend = match self.backend {
             TraceBackend::Software => 0u64,
             TraceBackend::Pclr => 1,
+            TraceBackend::Scan => 2,
         };
         let error = match self.error {
             TraceError::None => 0u64,
@@ -113,10 +117,10 @@ impl TraceEvent {
             executed_ns: words[4],
             completed_ns: words[5],
             scheme: (tags & 0xff) as u8,
-            backend: if (tags >> 8) & 0xff == 1 {
-                TraceBackend::Pclr
-            } else {
-                TraceBackend::Software
+            backend: match (tags >> 8) & 0xff {
+                1 => TraceBackend::Pclr,
+                2 => TraceBackend::Scan,
+                _ => TraceBackend::Software,
             },
             error: match (tags >> 16) & 0xff {
                 1 => TraceError::Panicked,
@@ -246,10 +250,10 @@ mod tests {
             executed_ns: signature * 10 + 3,
             completed_ns: signature * 10 + 4,
             scheme: (signature % 7) as u8,
-            backend: if signature.is_multiple_of(2) {
-                TraceBackend::Software
-            } else {
-                TraceBackend::Pclr
+            backend: match signature % 3 {
+                0 => TraceBackend::Software,
+                1 => TraceBackend::Pclr,
+                _ => TraceBackend::Scan,
             },
             error: TraceError::None,
             fused: (signature % 5) as u16 + 1,

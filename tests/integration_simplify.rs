@@ -1,0 +1,243 @@
+//! End-to-end tests of the simplification pass through the service
+//! wire: a client uploads an overlapping-window CSR structure, floods
+//! K = 8 declared-uniform jobs at it over both protocol versions, and
+//! the server must answer with oracle-exact results *while* executing
+//! them through the difference-array rewrite (`simplified_jobs` in the
+//! stats response).  The recognizer's verdict must also survive a
+//! profile-store restart: a second service on the same store starts
+//! with the `simp` record loaded and still rewrites.
+
+use smartapps::runtime::{ProfileStore, Runtime, RuntimeConfig};
+use smartapps::server::{
+    checksum, DoneOutcome, Payload, ReplyMode, Server, ServerConfig, SubmitArgs, UploadArgs,
+    WireBody, WireSource,
+};
+use smartapps::workloads::{contribution, contribution_i64, AccessPattern};
+use std::sync::Arc;
+
+const K: usize = 8;
+
+/// An overlapping sliding window big enough to clear the default cost
+/// guard: 4096 iterations × 16 refs = 65 536 walked references against
+/// a rewritten plan of 4096 + 2048 + 1 ops.
+fn window_pattern() -> AccessPattern {
+    let n = 2048usize;
+    let (iters, width, stride) = (4096usize, 16usize, 3usize);
+    let rows: Vec<Vec<u32>> = (0..iters)
+        .map(|i| {
+            let lo = (i * stride) % (n - width + 1);
+            (lo as u32..(lo + width) as u32).collect()
+        })
+        .collect();
+    AccessPattern::from_iters(n, &rows)
+}
+
+/// What the server computes for a `usum` body: per-element wrapping sums
+/// of the iteration-uniform i64 contribution.
+fn usum_oracle(pat: &AccessPattern) -> Vec<i64> {
+    let mut out = vec![0i64; pat.num_elements];
+    for (i, _r, x) in pat.iter_refs() {
+        out[x as usize] = out[x as usize].wrapping_add(contribution_i64(i));
+    }
+    out
+}
+
+/// What the server computes for a `fusum` body, in row order (the
+/// reference for a tolerance compare).
+fn fusum_oracle(pat: &AccessPattern) -> Vec<f64> {
+    let mut out = vec![0f64; pat.num_elements];
+    for (i, _r, x) in pat.iter_refs() {
+        out[x as usize] += contribution(i);
+    }
+    out
+}
+
+fn connect(server: &Server) -> smartapps::server::Client {
+    smartapps::server::Client::connect(server.local_addr()).expect("connect")
+}
+
+fn upload(client: &mut smartapps::server::Client, pat: &AccessPattern) -> u64 {
+    client
+        .upload(UploadArgs {
+            token: 1,
+            num_elements: pat.num_elements,
+            iter_ptr: pat.iter_ptr.clone(),
+            indices: pat.indices.clone(),
+        })
+        .expect("upload")
+}
+
+/// Flood `K` declared-uniform jobs at the uploaded handle and check
+/// every reply against the oracle; returns how many `done` lines the
+/// drain barrier acknowledged.
+fn flood_usum(client: &mut smartapps::server::Client, handle: u64, oracle: &[i64]) {
+    for t in 0..K as u64 {
+        // Alternate reply modes: full arrays and checksum acks must both
+        // describe the same rewritten output.
+        let reply = if t % 2 == 0 {
+            ReplyMode::Full
+        } else {
+            ReplyMode::Ack
+        };
+        client
+            .submit(SubmitArgs {
+                token: t,
+                reply,
+                body: WireBody::Usum,
+                source: WireSource::Handle(handle),
+            })
+            .expect("submit");
+    }
+    let completed = client.drain().expect("drain");
+    assert_eq!(completed as usize, K);
+    for _ in 0..K {
+        let done = client.next_done().expect("next_done");
+        match done.outcome {
+            DoneOutcome::Ok { payload, .. } => match payload {
+                Payload::Full(values) => assert_eq!(values, oracle, "token {}", done.token),
+                Payload::Checksum { len, sum } => {
+                    assert_eq!(len, oracle.len(), "token {}", done.token);
+                    assert_eq!(sum, checksum(oracle), "token {}", done.token);
+                }
+                other => panic!("unexpected payload {other:?}"),
+            },
+            other => panic!("token {} failed: {other:?}", done.token),
+        }
+    }
+}
+
+fn stat(stats: &[(String, u64)], key: &str) -> u64 {
+    stats
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("stats response missing {key}"))
+        .1
+}
+
+/// The headline flood: K = 8 overlapping-window jobs over the text wire
+/// execute through the rewrite (stats prove it) with oracle-exact
+/// answers, and the binary wire's `fusum` body does the same for f64.
+#[test]
+fn window_flood_over_the_wire_is_simplified_and_oracle_exact() {
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        workers: 2,
+        dispatchers: 1,
+        ..RuntimeConfig::default()
+    }));
+    let server = Server::start(rt.clone(), ServerConfig::default()).expect("start");
+    let pat = window_pattern();
+
+    // Text protocol, i64.
+    let mut client = connect(&server);
+    let handle = upload(&mut client, &pat);
+    flood_usum(&mut client, handle, &usum_oracle(&pat));
+    let stats = client.stats().expect("stats");
+    assert!(
+        stat(&stats, "simplified_jobs") >= K as u64,
+        "flood must run through the rewrite: {stats:?}"
+    );
+    assert_eq!(stat(&stats, "simplify_rejects"), 0, "{stats:?}");
+
+    // Binary protocol, f64: the new wire2 body tag round-trips and the
+    // rewritten scan stays within reassociation tolerance.
+    let mut bin = connect(&server);
+    bin.upgrade_binary().expect("upgrade");
+    let handle = upload(&mut bin, &pat);
+    for t in 0..K as u64 {
+        bin.submit(SubmitArgs {
+            token: 100 + t,
+            reply: ReplyMode::Full,
+            body: WireBody::Fusum,
+            source: WireSource::Handle(handle),
+        })
+        .expect("submit fusum");
+    }
+    assert_eq!(bin.drain().expect("drain") as usize, K);
+    let oracle = fusum_oracle(&pat);
+    for _ in 0..K {
+        let done = bin.next_done().expect("next_done");
+        match done.outcome {
+            DoneOutcome::Ok {
+                payload: Payload::FullF64(values),
+                ..
+            } => {
+                for (e, (a, b)) in oracle.iter().zip(&values).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                        "token {} element {e}: {a} vs {b}",
+                        done.token
+                    );
+                }
+            }
+            other => panic!("token {} failed: {other:?}", done.token),
+        }
+    }
+    let stats = bin.stats().expect("stats");
+    assert!(stat(&stats, "simplified_jobs") >= 2 * K as u64, "{stats:?}");
+
+    server.shutdown();
+}
+
+/// The recognizer's per-class verdict is part of the profile store: a
+/// restarted service loads the `simp` record from disk and the flood
+/// rewrites again on the very first batch.
+#[test]
+fn rewrite_survives_a_profile_store_restart() {
+    let dir = std::env::temp_dir().join("smartapps-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("simplify-profiles-{}.txt", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = RuntimeConfig {
+        workers: 2,
+        dispatchers: 1,
+        profile_path: Some(path.clone()),
+        ..RuntimeConfig::default()
+    };
+    let pat = window_pattern();
+    let oracle = usum_oracle(&pat);
+
+    {
+        let rt = Arc::new(Runtime::new(cfg.clone()));
+        let server = Server::start(rt.clone(), ServerConfig::default()).expect("start");
+        let mut client = connect(&server);
+        let handle = upload(&mut client, &pat);
+        flood_usum(&mut client, handle, &oracle);
+        let stats = client.stats().expect("stats");
+        assert!(stat(&stats, "simplified_jobs") >= K as u64, "{stats:?}");
+        server.shutdown();
+        // Dropping the last runtime handle persists the store.
+        drop(rt);
+    }
+
+    let store = ProfileStore::load(&path).expect("load store");
+    assert!(
+        store.scan_verdict_len() >= 1,
+        "the scan verdict must be on disk"
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("simp ") && l.ends_with(" 1")),
+        "expected a positive simp record in:\n{text}"
+    );
+
+    {
+        let rt = Arc::new(Runtime::new(cfg));
+        assert!(
+            rt.profile_snapshot().scan_verdict_len() >= 1,
+            "restart must load the verdict"
+        );
+        let server = Server::start(rt.clone(), ServerConfig::default()).expect("start");
+        let mut client = connect(&server);
+        let handle = upload(&mut client, &pat);
+        flood_usum(&mut client, handle, &oracle);
+        let stats = client.stats().expect("stats");
+        assert!(
+            stat(&stats, "simplified_jobs") >= K as u64,
+            "restart must still rewrite: {stats:?}"
+        );
+        assert_eq!(stat(&stats, "simplify_rejects"), 0, "{stats:?}");
+        server.shutdown();
+    }
+    let _ = std::fs::remove_file(&path);
+}
