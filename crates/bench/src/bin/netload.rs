@@ -30,9 +30,13 @@
 //! numbers measure *correct* completions.
 //!
 //! The epilogue prints both sides of the latency story: the client-side
-//! percentiles measured here, and the server-side request-latency
-//! quantiles recovered from the `metrics` exposition (plus any
-//! quarantined classes from `stats v2`) — see `docs/OBSERVABILITY.md`.
+//! percentiles measured here, the server-side request-latency quantiles
+//! recovered from the `metrics` exposition, and the per-stage
+//! attribution (`smartapps_stage_ns{stage=…}` — queue / decide / exec /
+//! completion / write p95) saying *where* that server-side latency went
+//! (plus any quarantined classes from `stats v2`) — see
+//! `docs/OBSERVABILITY.md`.  When the CI floor env var is set, every
+//! load-bearing stage series must have attributed nonzero time.
 //!
 //! The point being measured: the server runs `1 acceptor + R reactors`
 //! service threads plus the runtime's dispatchers and pool — a thread
@@ -323,6 +327,39 @@ fn main() {
         Duration::from_nanos(sp95),
         Duration::from_nanos(sp99),
     );
+
+    // Where that request latency went: the runtime's per-stage
+    // attribution series (`smartapps_stage_ns{stage=…}`), scraped from
+    // the same exposition — the answer to "queueing, deciding, or
+    // executing?" without a trace replay.  Under the CI smoke floor the
+    // load-bearing stages must have attributed nonzero time.
+    let stage_p95 = |stage: &str| {
+        exposition_quantile(
+            &text,
+            &format!("smartapps_stage_ns_bucket{{stage=\"{stage}\","),
+            0.95,
+        )
+        .unwrap_or(0)
+    };
+    let stages: Vec<(&str, u64)> = ["queue", "decide", "exec", "completion", "write"]
+        .iter()
+        .map(|s| (*s, stage_p95(s)))
+        .collect();
+    println!(
+        "server: stage attribution p95{}",
+        stages
+            .iter()
+            .map(|(s, v)| format!(" {s} {:?}", Duration::from_nanos(*v)))
+            .collect::<String>()
+    );
+    if std::env::var("SMARTAPPS_NETLOAD_MIN_JOBS_PER_SEC").is_ok() {
+        for (stage, p95) in &stages {
+            assert!(
+                *p95 > 0,
+                "smoke: stage series {stage} attributed no time under load"
+            );
+        }
+    }
     if mode == WireMode::BinUpload {
         // Interning proof: every client uploaded every class, but only
         // the first copy of each was fresh.

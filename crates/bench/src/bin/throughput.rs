@@ -65,11 +65,17 @@
 //! throughput [interactive-clients] [jobs-per-client] [workers] [scenario]
 //! ```
 //!
-//! The optional `scenario` argument (`a`..`f`) runs a single scenario —
-//! CI uses `e` for the SIMD smoke and `f` for the simplification smoke.
+//! The optional `scenario` argument (`a`..`f`, or `t` for the telemetry
+//! epilogue alone) runs a single scenario — CI uses `e` for the SIMD
+//! smoke, `f` for the simplification smoke, and `t` under
+//! `SMARTAPPS_TRACE_DUMP=<path>` to produce the trace-ring dump the
+//! `trace_attr` bin replays offline (one [`TraceEvent`] per line; see
+//! `docs/OBSERVABILITY.md`).
 //! Every scenario is measured in the service's steady state (profile
 //! store pre-warmed), the regime the paper's amortization argument is
 //! about.
+//!
+//! [`TraceEvent`]: smartapps_telemetry::TraceEvent
 
 use smartapps_reductions::{DecisionModel, ModelParams, Scheme};
 use smartapps_runtime::{CalibrationConfig, JobSpec, PclrConfig, Runtime, RuntimeConfig};
@@ -761,7 +767,7 @@ fn main() {
         }
     }
 
-    if scenario.is_some() {
+    if !run('t') {
         return;
     }
 
@@ -799,5 +805,29 @@ fn main() {
                 ns(h.max),
             );
         }
+    }
+
+    // Offline attribution feed: with `SMARTAPPS_TRACE_DUMP` set, the
+    // epilogue's trace-ring snapshot is written one event per line for
+    // the `trace_attr` bin to replay into per-class stage waterfalls.
+    if let Ok(path) = std::env::var("SMARTAPPS_TRACE_DUMP") {
+        let trace = rt.telemetry().trace();
+        let events = trace.snapshot();
+        let mut dump = String::from(
+            "# smartapps trace dump v1: signature submitted_ns queued_ns decided_ns \
+             executed_ns completed_ns scheme backend error fused simplify_ns\n",
+        );
+        for e in &events {
+            dump.push_str(&e.to_line());
+            dump.push('\n');
+        }
+        std::fs::write(&path, dump)
+            .unwrap_or_else(|err| panic!("writing trace dump {path}: {err}"));
+        println!(
+            "\ntrace dump: {} retained events ({} recorded, {} dropped) -> {path}",
+            events.len(),
+            trace.recorded(),
+            trace.dropped()
+        );
     }
 }

@@ -1,0 +1,214 @@
+//! Offline tail-latency attribution: replay a trace-ring dump into
+//! per-class stage waterfalls and verify that the attribution accounts
+//! for every nanosecond.
+//!
+//! ```sh
+//! SMARTAPPS_TRACE_DUMP=/tmp/trace.txt \
+//!     cargo run --release -p smartapps-bench --bin throughput -- 4 120 4 t
+//! cargo run --release -p smartapps-bench --bin trace_attr -- /tmp/trace.txt
+//! ```
+//!
+//! The dump is one [`TraceEvent`] per line
+//! ([`TraceEvent::to_line`]; `#`-comment and blank lines are skipped).
+//! For every workload class the replay reports the five-stage waterfall
+//! — queue / decide / simplify / exec / completion, p50 and p95 each —
+//! next to the class's end-to-end quantiles, so a tail regression can
+//! be read off as *which stage* grew without re-running the workload.
+//!
+//! The hard check behind the report: for every executed event, the five
+//! stage durations must sum back to the event's end-to-end latency
+//! within one log2 histogram bucket (the derivation telescopes, so they
+//! normally agree *exactly*; a mismatch means clock skew between the
+//! stamping sites or a derivation/format drift).  Classes with any
+//! mismatching event are flagged and the run exits non-zero — CI runs
+//! this against a `throughput`-produced dump as a release smoke.
+
+use smartapps_telemetry::{TraceError, TraceEvent};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// log2 bucket index of a duration, matching the telemetry histogram's
+/// bucketing: 0 for 0, otherwise the position of the highest set bit.
+fn log2_bucket(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// The acceptance bound: attribution and end-to-end agree within one
+/// log2 bucket (they telescope, so exact equality is the common case).
+fn within_one_bucket(sum: u64, e2e: u64) -> bool {
+    log2_bucket(sum).abs_diff(log2_bucket(e2e)) <= 1
+}
+
+/// Nearest-rank percentile of an unsorted sample set.
+fn percentile(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx]
+}
+
+/// Per-class accumulation of one replay.
+#[derive(Default)]
+struct ClassAttribution {
+    /// `[queue, decide, simplify, exec, completion]` samples, executed
+    /// events only.
+    stages: [Vec<u64>; 5],
+    end_to_end: Vec<u64>,
+    /// Events that never reached execution (quarantined, or cut off by
+    /// shutdown) — they carry no stage attribution.
+    unexecuted: usize,
+    errors: usize,
+    /// `(stage sum, end-to-end)` of the worst mismatching event.
+    worst_mismatch: Option<(u64, u64)>,
+    mismatches: usize,
+}
+
+const STAGE_NAMES: [&str; 5] = ["queue", "decide", "simplify", "exec", "completion"];
+
+impl ClassAttribution {
+    fn add(&mut self, e: &TraceEvent) {
+        if e.error != TraceError::None {
+            self.errors += 1;
+        }
+        if e.executed_ns == 0 || e.completed_ns == 0 {
+            self.unexecuted += 1;
+            return;
+        }
+        let stages = [
+            e.stage_queue(),
+            e.stage_decide(),
+            e.stage_simplify(),
+            e.stage_exec(),
+            e.stage_completion(),
+        ];
+        let sum: u64 = stages.iter().sum();
+        let e2e = e.end_to_end();
+        if !within_one_bucket(sum, e2e) {
+            self.mismatches += 1;
+            let delta = sum.abs_diff(e2e);
+            if self
+                .worst_mismatch
+                .is_none_or(|(s, t)| delta > s.abs_diff(t))
+            {
+                self.worst_mismatch = Some((sum, e2e));
+            }
+        }
+        for (bucket, v) in self.stages.iter_mut().zip(stages) {
+            bucket.push(v);
+        }
+        self.end_to_end.push(e2e);
+    }
+}
+
+fn parse_dump(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let event = TraceEvent::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: trace_attr <trace-dump-file>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        eprintln!("trace_attr: reading {path}: {err}");
+        std::process::exit(2);
+    });
+    let events = parse_dump(&text).unwrap_or_else(|err| {
+        eprintln!("trace_attr: {path}: {err}");
+        std::process::exit(2);
+    });
+    if events.is_empty() {
+        eprintln!("trace_attr: {path}: no events (empty dump)");
+        std::process::exit(2);
+    }
+
+    let mut classes: BTreeMap<u64, ClassAttribution> = BTreeMap::new();
+    for e in &events {
+        classes.entry(e.signature).or_default().add(e);
+    }
+
+    println!(
+        "trace_attr: {} events across {} classes from {path}",
+        events.len(),
+        classes.len()
+    );
+    println!(
+        "  {:<16} {:>5}  {:>21}  {}",
+        "class",
+        "jobs",
+        "end-to-end p50/p95",
+        STAGE_NAMES.map(|s| format!("{s:>9} p50/p95")).join("  ")
+    );
+    let ns = |v: u64| format!("{:.3?}", Duration::from_nanos(v));
+    for (sig, attr) in &mut classes {
+        let e2e = (
+            percentile(&mut attr.end_to_end, 0.50),
+            percentile(&mut attr.end_to_end, 0.95),
+        );
+        let cols: Vec<String> = attr
+            .stages
+            .iter_mut()
+            .map(|s| {
+                format!(
+                    "{:>17}",
+                    format!("{}/{}", ns(percentile(s, 0.50)), ns(percentile(s, 0.95)))
+                )
+            })
+            .collect();
+        println!(
+            "  {sig:016x} {:>5}  {:>21}  {}",
+            attr.end_to_end.len(),
+            format!("{}/{}", ns(e2e.0), ns(e2e.1)),
+            cols.join("  ")
+        );
+        if attr.unexecuted > 0 || attr.errors > 0 {
+            println!(
+                "  {:<16} {:>5}  ({} unexecuted, {} errored — excluded from attribution)",
+                "", "", attr.unexecuted, attr.errors
+            );
+        }
+    }
+
+    // The verdict: any class whose stage attribution fails to account
+    // for its end-to-end latency fails the run.
+    let flagged: Vec<(u64, &ClassAttribution)> = classes
+        .iter()
+        .filter(|(_, a)| a.mismatches > 0)
+        .map(|(sig, a)| (*sig, a))
+        .collect();
+    if flagged.is_empty() {
+        println!(
+            "trace_attr OK: stage attribution sums to end-to-end (within one log2 bucket) \
+             for every executed event"
+        );
+        return;
+    }
+    for (sig, attr) in &flagged {
+        let (sum, e2e) = attr.worst_mismatch.expect("flagged class has a mismatch");
+        eprintln!(
+            "trace_attr: class {sig:016x}: {} of {} events mis-attributed \
+             (worst: stages sum to {} vs {} end-to-end)",
+            attr.mismatches,
+            attr.end_to_end.len(),
+            ns(sum),
+            ns(e2e),
+        );
+    }
+    eprintln!(
+        "trace_attr FAILED: {} class(es) with attribution that does not sum to \
+         end-to-end latency",
+        flagged.len()
+    );
+    std::process::exit(1);
+}

@@ -21,6 +21,10 @@
 //! * [`calibrate`] — the online calibration loop: per-`(Scheme,
 //!   DomainKey)` EWMA corrections with confidence weighting that ground
 //!   the analytic model in measured cost samples (see `docs/MODEL.md`);
+//! * [`provenance`] — decision provenance: [`DecisionRecord`]s carrying
+//!   the feature vector, the analytic-vs-corrected candidate cost table,
+//!   feasibility masks, and gate verdicts for every ranked decision
+//!   (served over the wire as `explain`, `docs/OBSERVABILITY.md`);
 //! * [`configurer`] — the Configurer: applies computed system
 //!   configurations to the host (thread counts) or to the simulated
 //!   machine (PCLR controller flavor, page placement);
@@ -58,6 +62,7 @@ pub mod calibrate;
 pub mod configurer;
 pub mod monitor;
 pub mod multiversion;
+pub mod provenance;
 pub mod recognize;
 pub mod toolbox;
 
@@ -66,5 +71,6 @@ pub use calibrate::{Calibrator, CorrLevel, Correction};
 pub use configurer::{Configurer, HostConfigurer, SimConfigurer, SystemConfig};
 pub use monitor::{Monitor, PhaseDetector};
 pub use multiversion::{CompiledReduction, Inputs};
+pub use provenance::{CandidateCost, DecisionRecord, FeatureVector, GateVerdict};
 pub use recognize::{distribute_by_operator, recognize, LoopNest, Recognition, ReductionInfo};
 pub use toolbox::{Adaptation, Deviation, DomainKey, Optimizer, PerformanceDb, Predictor};

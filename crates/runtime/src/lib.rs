@@ -96,4 +96,4 @@ pub use pool::WorkerPool;
 pub use profile::{ProfileEntry, ProfileStore};
 pub use runtime::{CalibrationConfig, Runtime, RuntimeConfig};
 pub use stats::{RuntimeStats, StatsSnapshot};
-pub use telemetry::RuntimeTelemetry;
+pub use telemetry::{RuntimeTelemetry, SlowJob, Stage};

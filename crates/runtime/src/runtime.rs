@@ -23,15 +23,16 @@ use crate::pool::WorkerPool;
 use crate::profile::{ProfileEntry, ProfileStore};
 use crate::queue::{QueuedJob, ShardedQueue};
 use crate::stats::{RuntimeStats, StatsSnapshot};
-use crate::telemetry::{domain_label, scheme_code, RuntimeTelemetry};
+use crate::telemetry::{domain_label, scheme_code, RuntimeTelemetry, SlowJob};
 use smartapps_core::adaptive::AdaptiveReduction;
 use smartapps_core::calibrate::Calibrator;
 use smartapps_core::toolbox::DomainKey;
+use smartapps_core::{DecisionRecord, GateVerdict};
 use smartapps_reductions::{
     probe_uniform, recognize, run_fused_on, run_scan_group, simd_feasible, CostGuard,
     DecisionModel, FusedBody, Inspection, Inspector, ModelInput, ScanMatch, Scheme, SpmdExecutor,
 };
-use smartapps_telemetry::{TraceBackend, TraceError, TraceEvent};
+use smartapps_telemetry::{Exemplar, TraceBackend, TraceError, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -747,6 +748,35 @@ impl Runtime {
         &self.shared.telemetry
     }
 
+    /// The latest [`DecisionRecord`] for workload class `sig` — the
+    /// uncollapsed "why" behind the class's scheme choice: feature
+    /// vector, analytic-vs-corrected candidate cost table, feasibility
+    /// masks, and the gate verdicts the dispatcher stamped as the batch
+    /// moved through the pipeline.  `None` until a ranking has run for
+    /// the class (profile fast-path hits reuse the stored decision
+    /// without re-ranking, so the record may be older than the last
+    /// job).
+    pub fn explain(&self, sig: PatternSignature) -> Option<Arc<DecisionRecord>> {
+        self.shared.telemetry.decision(sig.0)
+    }
+
+    /// The `n` slowest retained jobs across all workload classes,
+    /// slowest first — each carrying its full lifecycle trace event
+    /// (stage attribution) and the decision record in force when it
+    /// completed (see [`RuntimeTelemetry`]'s exemplar store for the
+    /// retention bounds).
+    pub fn slowlog(&self, n: usize) -> Vec<Exemplar<SlowJob>> {
+        self.shared.telemetry.slowlog(n)
+    }
+
+    /// The signature a pattern submitted at the default SPMD width would
+    /// be queued under — lets a frontend resolve an uploaded pattern
+    /// handle to the same workload-class key [`submit`](Runtime::submit)
+    /// uses, e.g. to serve `explain pat:<handle>`.
+    pub fn signature_of(&self, pattern: &smartapps_workloads::AccessPattern) -> PatternSignature {
+        PatternSignature::of(pattern, self.shared.sample_iters, self.width())
+    }
+
     /// The service's uploaded-pattern registry: intern a CSR structure
     /// once, reference it by handle in later submissions (see
     /// [`intern`](crate::intern)).
@@ -987,6 +1017,12 @@ struct BatchCtx {
     /// gather a calibration sample): feed the calibrator, never the
     /// profile store.
     explored: bool,
+    /// Wall time the simplification gate spent on the current group
+    /// before handing it back (recognizer walk, uniformity probe, an
+    /// abandoned scan) — attributed to the group members' `simplify`
+    /// stage instead of inflating `exec`.  Reset per group by
+    /// [`try_simplify`]; 0 when the gate never ran.
+    simplify_probe_ns: u64,
 }
 
 /// The outcome of [`decide_batch`]: which scheme the batch runs, and
@@ -1049,48 +1085,63 @@ fn decide_batch(
         .with_simd(shared.simd_admits(&insp.chars));
     let cal = shared.calibrator();
     let ranking = cal.rank(&input, domain);
-    if explore_now {
-        let would_run = profiled.map_or(ranking[0].0, |e| e.scheme);
-        // Class-level confidence gates the slot: a scheme measured in
-        // *other* domains still lacks samples here, and corrections do
-        // not transfer across domains without them.
-        let target = ranking.iter().find(|(s, c)| {
-            c.is_finite()
-                && s.is_software()
-                && *s != would_run
-                && cal.class_confidence(*s, domain, false) < 0.5
-        });
-        if let Some(&(target, _)) = target {
-            RuntimeStats::add(&shared.stats.explored, 1);
-            return BatchDecision {
-                scheme: target,
-                explored: true,
-                rechecked: false,
-            };
-        }
-    }
-    match profiled {
-        Some(e) => {
-            let (best, best_cost) = ranking[0];
-            let entry_cost = ranking
-                .iter()
-                .find(|(s, _)| *s == e.scheme)
-                .map_or(f64::INFINITY, |(_, c)| *c);
-            if recheck_now
-                && best != e.scheme
-                && cal.evidence(best, domain, false)
-                && best_cost < RECHECK_MARGIN * entry_cost
-            {
+    let decision = (|| {
+        if explore_now {
+            let would_run = profiled.map_or(ranking[0].0, |e| e.scheme);
+            // Class-level confidence gates the slot: a scheme measured in
+            // *other* domains still lacks samples here, and corrections do
+            // not transfer across domains without them.
+            let target = ranking.iter().find(|(s, c)| {
+                c.is_finite()
+                    && s.is_software()
+                    && *s != would_run
+                    && cal.class_confidence(*s, domain, false) < 0.5
+            });
+            if let Some(&(target, _)) = target {
+                RuntimeStats::add(&shared.stats.explored, 1);
                 return BatchDecision {
-                    scheme: best,
-                    explored: false,
-                    rechecked: true,
+                    scheme: target,
+                    explored: true,
+                    rechecked: false,
                 };
             }
-            keep(e.scheme)
         }
-        None => keep(ranking[0].0),
-    }
+        match profiled {
+            Some(e) => {
+                let (best, best_cost) = ranking[0];
+                let entry_cost = ranking
+                    .iter()
+                    .find(|(s, _)| *s == e.scheme)
+                    .map_or(f64::INFINITY, |(_, c)| *c);
+                if recheck_now
+                    && best != e.scheme
+                    && cal.evidence(best, domain, false)
+                    && best_cost < RECHECK_MARGIN * entry_cost
+                {
+                    return BatchDecision {
+                        scheme: best,
+                        explored: false,
+                        rechecked: true,
+                    };
+                }
+                keep(e.scheme)
+            }
+            None => keep(ranking[0].0),
+        }
+    })();
+    // Every fresh ranking leaves its uncollapsed provenance in the
+    // ledger: the winner is the scheme the batch actually runs (which an
+    // exploration slot or a kept profile entry may pull away from the
+    // table's top row), and quarantine is stamped `clear` because a
+    // blocked class would have failed fast before reaching the decision.
+    let mut record = cal.explain(&input, domain);
+    drop(cal);
+    record.winner = decision.scheme;
+    record.explored = decision.explored;
+    record.rechecked = decision.rechecked;
+    record.quarantine = GateVerdict::declined("clear");
+    shared.telemetry.record_decision(first.sig.0, record);
+    decision
 }
 
 /// A fusion decision for one fusable group: which scheme sweeps, in which
@@ -1119,7 +1170,15 @@ fn plan_fusion(
     group: &[QueuedJob],
     default_threads: usize,
 ) -> Option<FusePlan> {
+    // Each branch stamps its verdict on the class's decision record
+    // (`docs/OBSERVABILITY.md` lists the reason vocabulary).
+    let verdict = |v: GateVerdict| {
+        shared
+            .telemetry
+            .amend_decision(group[0].sig.0, move |r| r.fusion = v);
+    };
     if group.len() < 2 {
+        verdict(GateVerdict::declined("group-of-one"));
         return None;
     }
     let k = group.len();
@@ -1129,22 +1188,29 @@ fn plan_fusion(
     let input = ModelInput::from_inspection(&insp, group[0].spec.lw_feasible);
     let cal = shared.calibrator();
     let fused_rank = cal.rank_fused(&input, k, domain);
-    let (scheme, fused_cost) = *fused_rank
+    let Some(&(scheme, fused_cost)) = fused_rank
         .iter()
-        .find(|(s, c)| s.is_software() && c.is_finite())?;
+        .find(|(s, c)| s.is_software() && c.is_finite())
+    else {
+        drop(cal);
+        verdict(GateVerdict::declined("no-feasible-scheme"));
+        return None;
+    };
     let fused_input = input.clone().with_fanout(k);
     let predicted_units = cal.model.predict(scheme, &fused_input);
-    let fuse = if scheme == Scheme::Hash {
-        true
+    let fuse_reason = if scheme == Scheme::Hash {
+        Some("hash-trusted")
     } else {
         let split_best = cal
             .rank(&input, domain)
             .first()
             .map_or(f64::INFINITY, |r| r.1);
-        cal.fused_evidence(scheme, domain) && fused_cost < k as f64 * split_best
+        (cal.fused_evidence(scheme, domain) && fused_cost < k as f64 * split_best)
+            .then_some("measured-evidence")
     };
     drop(cal);
-    if fuse {
+    if let Some(reason) = fuse_reason {
+        verdict(GateVerdict::fired(reason));
         return Some(FusePlan {
             scheme,
             domain,
@@ -1156,6 +1222,7 @@ fn plan_fusion(
         let n = shared.declined_fuses.fetch_add(1, Ordering::Relaxed);
         if (n + 1).is_multiple_of(shared.probe_fused_every as u64) {
             RuntimeStats::add(&shared.stats.fuse_probes, 1);
+            verdict(GateVerdict::fired("probe"));
             return Some(FusePlan {
                 scheme,
                 domain,
@@ -1164,6 +1231,7 @@ fn plan_fusion(
             });
         }
     }
+    verdict(GateVerdict::declined("no-fused-evidence"));
     None
 }
 
@@ -1241,22 +1309,34 @@ fn try_simplify(
     shared: &Shared,
     cache: &mut InspectionCache,
     scans: &mut ScanCache,
-    ctx: &BatchCtx,
+    ctx: &mut BatchCtx,
     group: Vec<QueuedJob>,
 ) -> Option<Vec<QueuedJob>> {
+    // Time this gate spends before handing the group back (recognizer
+    // walk, uniformity probe, an abandoned scan) is charged to the
+    // group's `simplify` stage, not buried in `exec`.
+    ctx.simplify_probe_ns = 0;
     if !shared.simplify || !group[0].spec.uniform_body {
         return Some(group);
     }
+    let sig = ctx.sig;
+    let verdict = move |v: GateVerdict| {
+        shared
+            .telemetry
+            .amend_decision(sig.0, move |r| r.simplify = v);
+    };
     let k = group.len();
     let reject = |n: usize| RuntimeStats::add(&shared.stats.simplify_rejects, n as u64);
     {
         let store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
         if store.scan_verdict(ctx.sig) == Some(false) {
             drop(store);
+            verdict(GateVerdict::declined("persisted-negative"));
             reject(k);
             return Some(group);
         }
     }
+    let gate_t0 = Instant::now();
     let pat = group[0].spec.pattern.clone();
     let m = match scans.lookup(&pat) {
         Some(m) => m,
@@ -1278,11 +1358,14 @@ fn try_simplify(
                     .lock()
                     .unwrap_or_else(|p| p.into_inner())
                     .set_scan_verdict(ctx.sig, false);
+                ctx.simplify_probe_ns = gate_t0.elapsed().as_nanos() as u64;
+                verdict(GateVerdict::declined("recognizer-miss"));
                 reject(k);
                 return Some(group);
             }
         },
     };
+    let recognize_ns = gate_t0.elapsed().as_nanos() as u64;
     let t0 = Instant::now();
     let work =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &group[0].spec.body {
@@ -1294,15 +1377,18 @@ fn try_simplify(
                         JobBody::I64(_) => unreachable!("fuse group mixes flavors"),
                     })
                     .collect();
+                let probe_t0 = Instant::now();
                 if bodies.iter().any(|b| !probe_uniform(&pat, *b)) {
                     return None;
                 }
-                Some(
+                let probe_ns = probe_t0.elapsed().as_nanos() as u64;
+                Some((
                     run_scan_group(&pat, &bodies)
                         .into_iter()
                         .map(JobOutput::F64)
                         .collect::<Vec<_>>(),
-                )
+                    probe_ns,
+                ))
             }
             JobBody::I64(_) => {
                 let bodies: Vec<FusedBody<'_, i64>> = group
@@ -1312,30 +1398,41 @@ fn try_simplify(
                         JobBody::F64(_) => unreachable!("fuse group mixes flavors"),
                     })
                     .collect();
+                let probe_t0 = Instant::now();
                 if bodies.iter().any(|b| !probe_uniform(&pat, *b)) {
                     return None;
                 }
-                Some(
+                let probe_ns = probe_t0.elapsed().as_nanos() as u64;
+                Some((
                     run_scan_group(&pat, &bodies)
                         .into_iter()
                         .map(JobOutput::I64)
                         .collect::<Vec<_>>(),
-                )
+                    probe_ns,
+                ))
             }
         }));
     let elapsed = t0.elapsed();
     let executed_at = Instant::now();
-    let outputs = match work {
-        // A panicking body — or one refuting its uniformity declaration
-        // — loses the rewrite, never the answer: the group re-runs
-        // through the normal path, whose own catch_unwind reports any
-        // panic as the job's error.  Body-specific outcomes are never
-        // persisted (only structural walks are).
-        Err(_) | Ok(None) => {
+    // A panicking body — or one refuting its uniformity declaration —
+    // loses the rewrite, never the answer: the group re-runs through
+    // the normal path, whose own catch_unwind reports any panic as the
+    // job's error.  Body-specific outcomes are never persisted (only
+    // structural walks are).
+    let (outputs, probe_ns) = match work {
+        Err(_) => {
+            ctx.simplify_probe_ns = recognize_ns + elapsed.as_nanos() as u64;
+            verdict(GateVerdict::declined("panicked"));
             reject(k);
             return Some(group);
         }
-        Ok(Some(outputs)) => outputs,
+        Ok(None) => {
+            ctx.simplify_probe_ns = recognize_ns + elapsed.as_nanos() as u64;
+            verdict(GateVerdict::declined("probe-refuted"));
+            reject(k);
+            return Some(group);
+        }
+        Ok(Some(out)) => out,
     };
     debug_assert_eq!(outputs.len(), k);
     RuntimeStats::add(&shared.stats.simplified_jobs, k as u64);
@@ -1361,21 +1458,35 @@ fn try_simplify(
     }
     // A clean scan means every body in the group ran clean.
     shared.note_clean(ctx.sig);
+    // Provenance: the gate fired under the recognized shape, and the
+    // scan backend (not any scheme sweep) ran the group.  The recognizer
+    // walk plus the uniformity probe is the `simplify` stage; the scan
+    // itself stays in `exec`.
+    shared.telemetry.amend_decision(ctx.sig.0, |r| {
+        r.simplify = GateVerdict::fired(m.shape.label());
+        r.backend = "scan";
+    });
+    let simplify_ns = recognize_ns + probe_ns;
     for (job, output) in group.into_iter().zip(outputs) {
         RuntimeStats::add(&shared.stats.completed, 1);
         let tel = &shared.telemetry;
-        tel.trace_event(&TraceEvent {
-            signature: job.sig.0,
-            submitted_ns: tel.instant_ns(job.submitted_at),
-            queued_ns: tel.instant_ns(ctx.dequeued_at),
-            decided_ns: tel.instant_ns(ctx.decided_at),
-            executed_ns: tel.instant_ns(executed_at),
-            completed_ns: tel.now_ns(),
-            scheme: scheme_code(Scheme::Seq),
-            backend: TraceBackend::Scan,
-            error: TraceError::None,
-            fused: k.min(u16::MAX as usize) as u16,
-        });
+        let record = tel.decision(job.sig.0);
+        tel.record_lifecycle(
+            &TraceEvent {
+                signature: job.sig.0,
+                submitted_ns: tel.instant_ns(job.submitted_at),
+                queued_ns: tel.instant_ns(ctx.dequeued_at),
+                decided_ns: tel.instant_ns(ctx.decided_at),
+                executed_ns: tel.instant_ns(executed_at),
+                completed_ns: tel.now_ns(),
+                scheme: scheme_code(Scheme::Seq),
+                backend: TraceBackend::Scan,
+                error: TraceError::None,
+                fused: k.min(u16::MAX as usize) as u16,
+                simplify_ns,
+            },
+            record,
+        );
         job.sink.complete(
             job.sig,
             JobResult {
@@ -1520,6 +1631,7 @@ fn process_batch(
         },
         evicted_this_batch: false,
         explored: decision.explored,
+        simplify_probe_ns: 0,
     };
     if decision.rechecked {
         let mut store = shared.profile.lock().unwrap_or_else(|p| p.into_inner());
@@ -1531,7 +1643,7 @@ fn process_batch(
         // Simplification pass (see `try_simplify`): a declared-uniform
         // group whose pattern is a recognized scan/window family runs the
         // rewritten difference-array plan instead of any scheme sweep.
-        let group = match try_simplify(shared, cache, scans, &ctx, group) {
+        let group = match try_simplify(shared, cache, scans, &mut ctx, group) {
             None => continue,
             Some(group) => group,
         };
@@ -1559,18 +1671,27 @@ fn process_batch(
 /// scheme tag is the "none chosen" code, and the error tag says why.
 fn trace_unexecuted(shared: &Shared, job: &QueuedJob, dequeued_at: Instant, error: TraceError) {
     let tel = &shared.telemetry;
-    tel.trace_event(&TraceEvent {
-        signature: job.sig.0,
-        submitted_ns: tel.instant_ns(job.submitted_at),
-        queued_ns: tel.instant_ns(dequeued_at),
-        decided_ns: 0,
-        executed_ns: 0,
-        completed_ns: tel.now_ns(),
-        scheme: u8::MAX,
-        backend: TraceBackend::Software,
-        error,
-        fused: 0,
-    });
+    if error == TraceError::Quarantined {
+        tel.amend_decision(job.sig.0, |r| {
+            r.quarantine = GateVerdict::fired("panic-streak");
+        });
+    }
+    tel.record_lifecycle(
+        &TraceEvent {
+            signature: job.sig.0,
+            submitted_ns: tel.instant_ns(job.submitted_at),
+            queued_ns: tel.instant_ns(dequeued_at),
+            decided_ns: 0,
+            executed_ns: 0,
+            completed_ns: tel.now_ns(),
+            scheme: u8::MAX,
+            backend: TraceBackend::Software,
+            error,
+            fused: 0,
+            simplify_ns: 0,
+        },
+        tel.decision(job.sig.0),
+    );
 }
 
 /// Execute one job on its own traversal (the non-fused path), routing it
@@ -1640,7 +1761,17 @@ fn execute_single(
             let input = ModelInput::from_inspection(&insp, !masked_lw && job.spec.lw_feasible)
                 .with_pclr(!masked_pclr && shared.pclr_admits(&job.spec.pattern))
                 .with_simd(!masked_simd && shared.simd_admits(&insp.chars));
-            shared.calibrator().rank(&input, domain)[0].0
+            let cal = shared.calibrator();
+            let scheme = cal.rank(&input, domain)[0].0;
+            // A re-decide under a feasibility mask is a real ranking: it
+            // replaces the class's ledger record (whose candidate table
+            // shows the offending scheme as infeasible).
+            let mut record = cal.explain(&input, domain);
+            drop(cal);
+            record.winner = scheme;
+            record.quarantine = GateVerdict::declined("clear");
+            shared.telemetry.record_decision(job.sig.0, record);
+            scheme
         } else {
             batch_scheme
         };
@@ -1768,26 +1899,33 @@ fn execute_single(
     }
 
     let tel = &shared.telemetry;
-    tel.trace_event(&TraceEvent {
-        signature: job.sig.0,
-        submitted_ns: tel.instant_ns(job.submitted_at),
-        queued_ns: tel.instant_ns(ctx.dequeued_at),
-        decided_ns: tel.instant_ns(ctx.decided_at),
-        executed_ns: tel.instant_ns(executed_at),
-        completed_ns: tel.now_ns(),
-        scheme: scheme_code(scheme),
-        backend: if sim_cycles.is_some() {
-            TraceBackend::Pclr
-        } else {
-            TraceBackend::Software
+    tel.amend_decision(job.sig.0, |r| r.backend = backend_name);
+    tel.record_lifecycle(
+        &TraceEvent {
+            signature: job.sig.0,
+            submitted_ns: tel.instant_ns(job.submitted_at),
+            queued_ns: tel.instant_ns(ctx.dequeued_at),
+            decided_ns: tel.instant_ns(ctx.decided_at),
+            executed_ns: tel.instant_ns(executed_at),
+            completed_ns: tel.now_ns(),
+            scheme: scheme_code(scheme),
+            // Tagged from the backend that actually ran the job, so simd
+            // executions are distinguishable from software in ring dumps.
+            backend: match backend_name {
+                "pclr" => TraceBackend::Pclr,
+                "simd" => TraceBackend::Simd,
+                _ => TraceBackend::Software,
+            },
+            error: if error.is_some() {
+                TraceError::Panicked
+            } else {
+                TraceError::None
+            },
+            fused: 1,
+            simplify_ns: ctx.simplify_probe_ns,
         },
-        error: if error.is_some() {
-            TraceError::Panicked
-        } else {
-            TraceError::None
-        },
-        fused: 1,
-    });
+        tel.decision(job.sig.0),
+    );
 
     // Bump counters before waking the sink so a client that reads
     // stats right after `wait()` never sees its own job missing.
@@ -1895,6 +2033,9 @@ fn execute_fused(
             );
             // A clean sweep means every body in the group ran clean.
             shared.note_clean(ctx.sig);
+            shared
+                .telemetry
+                .amend_decision(ctx.sig.0, |r| r.backend = "software");
             for (job, output) in group.into_iter().zip(outputs) {
                 // Counted per *completed* member, not `+= k` up front:
                 // the isolation fallback below re-runs members through
@@ -1905,18 +2046,22 @@ fn execute_fused(
                 RuntimeStats::add(&shared.stats.fused_jobs, 1);
                 RuntimeStats::add(&shared.stats.completed, 1);
                 let tel = &shared.telemetry;
-                tel.trace_event(&TraceEvent {
-                    signature: job.sig.0,
-                    submitted_ns: tel.instant_ns(job.submitted_at),
-                    queued_ns: tel.instant_ns(ctx.dequeued_at),
-                    decided_ns: tel.instant_ns(ctx.decided_at),
-                    executed_ns: tel.instant_ns(executed_at),
-                    completed_ns: tel.now_ns(),
-                    scheme: scheme_code(scheme),
-                    backend: TraceBackend::Software,
-                    error: TraceError::None,
-                    fused: k.min(u16::MAX as usize) as u16,
-                });
+                tel.record_lifecycle(
+                    &TraceEvent {
+                        signature: job.sig.0,
+                        submitted_ns: tel.instant_ns(job.submitted_at),
+                        queued_ns: tel.instant_ns(ctx.dequeued_at),
+                        decided_ns: tel.instant_ns(ctx.decided_at),
+                        executed_ns: tel.instant_ns(executed_at),
+                        completed_ns: tel.now_ns(),
+                        scheme: scheme_code(scheme),
+                        backend: TraceBackend::Software,
+                        error: TraceError::None,
+                        fused: k.min(u16::MAX as usize) as u16,
+                        simplify_ns: ctx.simplify_probe_ns,
+                    },
+                    tel.decision(job.sig.0),
+                );
                 job.sink.complete(
                     job.sig,
                     JobResult {
@@ -1995,6 +2140,49 @@ mod tests {
         let stats = rt.stats();
         assert_eq!(stats.profile_hits, 1);
         assert!(stats.inspections >= 1);
+    }
+
+    #[test]
+    fn explain_serves_the_decision_ledger_and_slowlog_attributes_stages() {
+        let rt = Runtime::with_workers(2);
+        let pat = pattern(21);
+        let handle = rt.submit(JobSpec::f64(pat.clone(), |_i, r| contribution(r)));
+        let sig = handle.signature();
+        let done = handle.wait();
+        assert!(done.error.is_none());
+        let rec = rt.explain(sig).expect("first sighting ranks and records");
+        assert_eq!(rec.signature, sig.0);
+        assert_eq!(
+            rec.winner, done.scheme,
+            "record must match the executed scheme"
+        );
+        assert_eq!(rec.candidates.len(), 7, "every scheme priced");
+        assert!(rec
+            .candidates
+            .iter()
+            .any(|c| c.scheme == done.scheme && c.feasible));
+        assert_eq!(rec.backend, "software");
+        assert_eq!(rec.quarantine, GateVerdict::declined("clear"));
+        assert!(rt.explain(PatternSignature(0xdead_beef)).is_none());
+        // The job landed in the slowlog with a stage breakdown that sums
+        // exactly to its end-to-end latency, plus the decision record in
+        // force when it completed.
+        let slow = rt.slowlog(8);
+        let ex = slow
+            .iter()
+            .find(|e| e.class == sig.0)
+            .expect("completed job retained as exemplar");
+        let ev = &ex.payload.event;
+        assert!(ev.executed_ns > 0);
+        assert_eq!(
+            ev.stage_queue()
+                + ev.stage_decide()
+                + ev.stage_simplify()
+                + ev.stage_exec()
+                + ev.stage_completion(),
+            ev.end_to_end()
+        );
+        assert_eq!(ex.payload.record.as_ref().unwrap().winner, done.scheme);
     }
 
     #[test]

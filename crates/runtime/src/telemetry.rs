@@ -13,12 +13,23 @@
 //! atomics; dynamic-label series (domain classes, the server's
 //! connections) pay one short registry probe.
 //!
+//! Since the provenance PR the bundle also carries the *attribution*
+//! layer: per-[`Stage`] latency histograms
+//! (`smartapps_stage_ns{stage=…}`), the per-class [`DecisionRecord`]
+//! ledger behind the wire's `explain`, the decision-flip counter, and a
+//! [slowest-N exemplar store](ExemplarStore) retaining each slow job's
+//! decision record plus its full lifecycle [`TraceEvent`] — the data
+//! `slowlog` serves.
+//!
 //! `docs/OBSERVABILITY.md` is the catalog of every metric name and
 //! label recorded here and in `smartapps-server`.
 
+use smartapps_core::DecisionRecord;
 use smartapps_reductions::Scheme;
-use smartapps_telemetry::{LogHistogram, Registry, TraceEvent, TraceRing};
-use std::sync::Arc;
+use smartapps_telemetry::{Exemplar, ExemplarStore, LogHistogram, Registry, TraceEvent, TraceRing};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Queue-wait (dequeue minus submit), per scheme.
@@ -43,6 +54,17 @@ pub const PREDICT_ERR_PPM: &str = "smartapps_predict_err_ppm";
 /// difference-array scan for the whole group — per recognized shape
 /// (`prefix`/`suffix`/`window`/`interval` labels).
 pub const SIMPLIFY_NS: &str = "smartapps_simplify_ns";
+/// Per-job stage attribution, one series per pipeline [`Stage`]
+/// (`queue`/`decide`/`simplify`/`exec`/`completion` recorded here from
+/// each completed job's trace event; `write` recorded by the server's
+/// delivery path).
+pub const STAGE_NS: &str = "smartapps_stage_ns";
+/// Counter: decisions whose winning scheme differed from the class's
+/// previous recorded decision, labeled by the scheme flipped *to*.
+pub const DECISION_FLIPS: &str = "smartapps_decision_flips";
+/// Counter: slow-job exemplars displaced by slower samples (per-class
+/// latency-floor evictions in the [`ExemplarStore`]).
+pub const EXEMPLAR_EVICTIONS: &str = "smartapps_exemplar_evictions";
 
 /// Every scheme, in the fixed index order the pre-resolved histogram
 /// arrays use.
@@ -76,6 +98,67 @@ pub fn scheme_from_code(code: u8) -> Option<Scheme> {
 /// One histogram per scheme, resolved once so recording is wait-free.
 type PerScheme = [Arc<LogHistogram>; 8];
 
+/// One pipeline stage of a job's end-to-end latency, in attribution
+/// order.  The first five are derived from a completed job's
+/// [`TraceEvent`] timestamps; [`Stage::Write`] is the server-side
+/// completion-to-write tail the runtime cannot see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Submission → dispatcher dequeue.
+    Queue,
+    /// Dequeue → scheme selection done.
+    Decide,
+    /// Simplification-pass probe time (carved out of exec).
+    Simplify,
+    /// Decision → backend execution done, minus the simplify probe.
+    Exec,
+    /// Execution done → completion handed to the sink.
+    Completion,
+    /// Completion → reply bytes written (recorded by the server).
+    Write,
+}
+
+impl Stage {
+    /// All stages, in the fixed index order the pre-resolved histogram
+    /// array uses.
+    pub const ALL: [Stage; 6] = [
+        Stage::Queue,
+        Stage::Decide,
+        Stage::Simplify,
+        Stage::Exec,
+        Stage::Completion,
+        Stage::Write,
+    ];
+
+    /// The `stage` label value this stage records under.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Decide => "decide",
+            Stage::Simplify => "simplify",
+            Stage::Exec => "exec",
+            Stage::Completion => "completion",
+            Stage::Write => "write",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A slow job retained in the exemplar store: its full lifecycle event
+/// (timestamps → stage attribution) plus the decision record in force
+/// when it completed (`None` when the job failed before a ranking ever
+/// ran, e.g. quarantined at admission).
+#[derive(Debug, Clone)]
+pub struct SlowJob {
+    /// The job's lifecycle trace event.
+    pub event: TraceEvent,
+    /// Decision provenance at completion time.
+    pub record: Option<Arc<DecisionRecord>>,
+}
+
 /// Shared measurement state: the registry, the trace ring, and the
 /// epoch all trace timestamps count from.
 #[derive(Debug)]
@@ -86,6 +169,10 @@ pub struct RuntimeTelemetry {
     queue_wait: PerScheme,
     decide: PerScheme,
     exec: PerScheme,
+    stages: [Arc<LogHistogram>; 6],
+    decisions: Mutex<HashMap<u64, Arc<DecisionRecord>>>,
+    exemplars: ExemplarStore<SlowJob>,
+    eviction_counter: Arc<AtomicU64>,
 }
 
 impl Default for RuntimeTelemetry {
@@ -98,6 +185,16 @@ impl RuntimeTelemetry {
     /// Capacity of the lifecycle trace ring (most recent jobs kept).
     pub const TRACE_CAPACITY: usize = 4096;
 
+    /// Slowest exemplars retained per job class.
+    pub const EXEMPLARS_PER_CLASS: usize = 4;
+
+    /// Job classes the exemplar store tracks at most.
+    pub const EXEMPLAR_CLASSES: usize = 64;
+
+    /// Decision-record ledger bound (classes beyond this evict an
+    /// arbitrary older class — far above any realistic class count).
+    const DECISION_CLASSES: usize = 1024;
+
     /// A fresh bundle with all per-scheme series registered.
     pub fn new() -> Self {
         let registry = Registry::new();
@@ -108,6 +205,10 @@ impl RuntimeTelemetry {
             queue_wait: per_scheme(QUEUE_WAIT_NS),
             decide: per_scheme(DECIDE_NS),
             exec: per_scheme(EXEC_NS),
+            stages: Stage::ALL.map(|s| registry.histogram(STAGE_NS, "stage", s.label())),
+            decisions: Mutex::new(HashMap::new()),
+            exemplars: ExemplarStore::new(Self::EXEMPLARS_PER_CLASS, Self::EXEMPLAR_CLASSES),
+            eviction_counter: registry.counter(EXEMPLAR_EVICTIONS, "store", "slowlog"),
             trace: TraceRing::new(Self::TRACE_CAPACITY),
             epoch: Instant::now(),
             registry,
@@ -185,6 +286,89 @@ impl RuntimeTelemetry {
     pub fn trace_event(&self, event: &TraceEvent) {
         self.trace.push(event);
     }
+
+    /// Record one sample into a stage-attribution series.
+    pub fn record_stage(&self, stage: Stage, ns: u64) {
+        self.stages[stage.index()].record(ns);
+    }
+
+    /// Record a job's full lifecycle: push the trace event, attribute
+    /// its latency across the stage series (executed jobs only — a job
+    /// rejected before decision has no stages to attribute), and offer
+    /// it to the slow-job exemplar store under its class.
+    pub fn record_lifecycle(&self, event: &TraceEvent, record: Option<Arc<DecisionRecord>>) {
+        self.trace.push(event);
+        if event.executed_ns > 0 {
+            self.record_stage(Stage::Queue, event.stage_queue());
+            self.record_stage(Stage::Decide, event.stage_decide());
+            if event.simplify_ns > 0 {
+                self.record_stage(Stage::Simplify, event.stage_simplify());
+            }
+            self.record_stage(Stage::Exec, event.stage_exec());
+            self.record_stage(Stage::Completion, event.stage_completion());
+        }
+        let event = *event;
+        self.exemplars
+            .offer(event.signature, event.end_to_end(), || SlowJob {
+                event,
+                record,
+            });
+        self.eviction_counter
+            .store(self.exemplars.evictions(), Ordering::Relaxed);
+    }
+
+    /// Store a class's latest decision record (stamped with `signature`),
+    /// counting a decision flip — and bumping the
+    /// [`DECISION_FLIPS`] counter — when the winner changed from the
+    /// class's previous record.  Returns the stored record.
+    pub fn record_decision(
+        &self,
+        signature: u64,
+        mut record: DecisionRecord,
+    ) -> Arc<DecisionRecord> {
+        record.signature = signature;
+        let mut map = self.decisions.lock().unwrap();
+        if let Some(prev) = map.get(&signature) {
+            record.flips = prev.flips;
+            if prev.winner != record.winner {
+                record.flips += 1;
+                self.registry
+                    .add(DECISION_FLIPS, "scheme", record.winner.abbrev(), 1);
+            }
+        } else if map.len() >= Self::DECISION_CLASSES {
+            if let Some(&k) = map.keys().next() {
+                map.remove(&k);
+            }
+        }
+        let stored = Arc::new(record);
+        map.insert(signature, stored.clone());
+        stored
+    }
+
+    /// The latest decision record for a class, if one was ever ranked.
+    pub fn decision(&self, signature: u64) -> Option<Arc<DecisionRecord>> {
+        self.decisions.lock().unwrap().get(&signature).cloned()
+    }
+
+    /// Amend a class's latest decision record in place (gate verdicts
+    /// and the execution backend land after the ranking).  Exemplars
+    /// already holding the record keep the version they captured.
+    pub fn amend_decision(&self, signature: u64, f: impl FnOnce(&mut DecisionRecord)) {
+        let mut map = self.decisions.lock().unwrap();
+        if let Some(rec) = map.get_mut(&signature) {
+            f(Arc::make_mut(rec));
+        }
+    }
+
+    /// The `n` slowest retained jobs across all classes, slowest first.
+    pub fn slowlog(&self, n: usize) -> Vec<Exemplar<SlowJob>> {
+        self.exemplars.top(n)
+    }
+
+    /// The slow-job exemplar store (bounds, floors, eviction count).
+    pub fn exemplars(&self) -> &ExemplarStore<SlowJob> {
+        &self.exemplars
+    }
 }
 
 /// The `d{dim}r{reuse}s{sparsity}m{mo}` label a functioning domain
@@ -238,5 +422,120 @@ mod tests {
             mo: 2,
         };
         assert_eq!(domain_label(&d), "d12r4s10m2");
+    }
+
+    fn lifecycle_event(sig: u64, total_ns: u64) -> smartapps_telemetry::TraceEvent {
+        smartapps_telemetry::TraceEvent {
+            signature: sig,
+            submitted_ns: 1000,
+            queued_ns: 1100,
+            decided_ns: 1200,
+            executed_ns: 1000 + total_ns - 50,
+            completed_ns: 1000 + total_ns,
+            scheme: scheme_code(Scheme::Hash),
+            backend: smartapps_telemetry::TraceBackend::Software,
+            error: smartapps_telemetry::TraceError::None,
+            fused: 1,
+            simplify_ns: 20,
+        }
+    }
+
+    #[test]
+    fn lifecycle_recording_attributes_stages_and_retains_exemplars() {
+        let t = RuntimeTelemetry::new();
+        t.record_lifecycle(&lifecycle_event(7, 10_000), None);
+        t.record_lifecycle(&lifecycle_event(7, 90_000), None);
+        let text = t.registry().render_prometheus();
+        for stage in ["queue", "decide", "simplify", "exec", "completion"] {
+            assert!(
+                text.contains(&format!("smartapps_stage_ns_count{{stage=\"{stage}\"}} 2")),
+                "missing stage {stage}: {text}"
+            );
+        }
+        let slow = t.slowlog(10);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].latency_ns, 90_000);
+        assert_eq!(slow[0].payload.event.signature, 7);
+        // Stage sums equal end-to-end for a fully-stamped event.
+        let e = &slow[0].payload.event;
+        assert_eq!(
+            e.stage_queue()
+                + e.stage_decide()
+                + e.stage_simplify()
+                + e.stage_exec()
+                + e.stage_completion(),
+            e.end_to_end()
+        );
+    }
+
+    #[test]
+    fn unexecuted_jobs_skip_stage_attribution() {
+        let t = RuntimeTelemetry::new();
+        let mut e = lifecycle_event(9, 5_000);
+        e.decided_ns = 0;
+        e.executed_ns = 0;
+        e.simplify_ns = 0;
+        t.record_lifecycle(&e, None);
+        let text = t.registry().render_prometheus();
+        assert!(!text.contains("smartapps_stage_ns"));
+        // But the failure still lands in the ring and the slowlog.
+        assert_eq!(t.trace().recorded(), 1);
+        assert_eq!(t.slowlog(1).len(), 1);
+    }
+
+    #[test]
+    fn decision_ledger_counts_flips_and_serves_the_latest_record() {
+        use smartapps_core::Calibrator;
+        use smartapps_reductions::ModelInput;
+        use smartapps_workloads::{Distribution, PatternChars, PatternSpec};
+
+        let t = RuntimeTelemetry::new();
+        let cal = Calibrator::default();
+        let pat = PatternSpec {
+            num_elements: 1024,
+            iterations: 5_000,
+            refs_per_iter: 2,
+            coverage: 1.0,
+            dist: Distribution::Uniform,
+            seed: 1,
+        }
+        .generate();
+        let chars = PatternChars::measure(&pat);
+        let d = DomainKey::of(&chars);
+        let input = ModelInput {
+            conflicting: ModelInput::estimate_conflicts(&chars, 2),
+            replication: ModelInput::estimate_replication(&chars, 2),
+            chars,
+            threads: 2,
+            lw_feasible: false,
+            fanout: 1,
+            pclr_available: false,
+            simd_available: false,
+        };
+        let rec = cal.explain(&input, d);
+        let stored = t.record_decision(42, rec.clone());
+        assert_eq!(stored.signature, 42);
+        assert_eq!(stored.flips, 0);
+        assert_eq!(t.decision(42).unwrap().winner, stored.winner);
+        // Same winner again: no flip.
+        t.record_decision(42, rec.clone());
+        assert_eq!(t.decision(42).unwrap().flips, 0);
+        // Forced different winner: one flip, counter visible.
+        let mut flipped = rec.clone();
+        flipped.winner = if rec.winner == Scheme::Rep {
+            Scheme::Hash
+        } else {
+            Scheme::Rep
+        };
+        t.record_decision(42, flipped);
+        assert_eq!(t.decision(42).unwrap().flips, 1);
+        assert!(t
+            .registry()
+            .render_prometheus()
+            .contains("smartapps_decision_flips"));
+        // Amendments land on the ledger copy.
+        t.amend_decision(42, |r| r.backend = "simd");
+        assert_eq!(t.decision(42).unwrap().backend, "simd");
+        assert!(t.decision(999).is_none());
     }
 }

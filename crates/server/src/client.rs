@@ -13,7 +13,10 @@
 //! the socket — no message is ever dropped or reordered within its
 //! kind.
 
-use crate::wire::{DoneMsg, DoneOutcome, Request, Response, StatsV2, SubmitArgs, UploadArgs};
+use crate::wire::{
+    DoneMsg, DoneOutcome, ExplainInfo, ExplainTarget, Request, Response, SlowlogEntry, StatsV2,
+    SubmitArgs, UploadArgs,
+};
 use crate::wire2::{self, BinMsg};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -79,7 +82,7 @@ impl Client {
         let response = if self.binary {
             loop {
                 match self.read_frame()? {
-                    BinMsg::Response(r) => break r,
+                    BinMsg::Response(r) => break *r,
                     // An unsolicited metrics frame nobody is waiting for.
                     BinMsg::Metrics(_) => continue,
                 }
@@ -240,14 +243,16 @@ impl Client {
                             )
                         })
                     }
-                    BinMsg::Response(Response::Done(d)) => self.stashed.push_back(d),
-                    BinMsg::Response(Response::Error(msg)) => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("server protocol error: {msg}"),
-                        ))
-                    }
-                    _ => continue,
+                    BinMsg::Response(r) => match *r {
+                        Response::Done(d) => self.stashed.push_back(d),
+                        Response::Error(msg) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("server protocol error: {msg}"),
+                            ))
+                        }
+                        _ => continue,
+                    },
                 }
             }
         }
@@ -312,6 +317,41 @@ impl Client {
         loop {
             match self.read_response()? {
                 Response::Unquarantined(found) => return Ok(found),
+                Response::Done(d) => self.stashed.push_back(d),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Fetch the latest decision record for a workload class — the full
+    /// "why" behind its scheme choice: feature vector, the
+    /// analytic-vs-corrected candidate cost table with feasibility
+    /// masks, gate verdicts, and the winning scheme/backend.  `Ok(None)`
+    /// means the server has not ranked that class yet.  Target a class
+    /// by its signature (as reported on `done` errors or in `stats v2`
+    /// quarantine rows) or by an uploaded pattern's handle
+    /// ([`ExplainTarget::Handle`]).
+    pub fn explain(&mut self, target: ExplainTarget) -> io::Result<Option<ExplainInfo>> {
+        self.send(&Request::Explain(target))?;
+        loop {
+            match self.read_response()? {
+                Response::Explained(info) => return Ok(info),
+                Response::Done(d) => self.stashed.push_back(d),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Fetch the server's slowest retained jobs, slowest first — at most
+    /// `n` entries (the server clamps to its own cap), each with
+    /// per-stage latency attribution (queue / decide / simplify-probe /
+    /// exec / completion) and the decision winner in force when the job
+    /// completed.
+    pub fn slowlog(&mut self, n: usize) -> io::Result<Vec<SlowlogEntry>> {
+        self.send(&Request::Slowlog(n))?;
+        loop {
+            match self.read_response()? {
+                Response::Slowlog(entries) => return Ok(entries),
                 Response::Done(d) => self.stashed.push_back(d),
                 _ => continue,
             }

@@ -15,11 +15,12 @@
 //!
 //! * [`wire`] — the line-oriented protocol grammar (`submit` / `batch` /
 //!   `upload` / `stats` / `stats v2` / `metrics` / `drain` /
-//!   `unquarantine` / `upgrade bin` requests, `done` / `stats` /
-//!   `stats2` / `drained` / `uploaded` / `upgraded` responses plus the
-//!   length-prefixed `metrics` exposition frame), with explicit
-//!   `encode`/`parse` pairs; see `docs/SERVER.md` for the full grammar
-//!   and `docs/OBSERVABILITY.md` for the metric catalog.
+//!   `unquarantine` / `explain` / `slowlog` / `upgrade bin` requests,
+//!   `done` / `stats` / `stats2` / `drained` / `uploaded` / `explained`
+//!   / `slowlog` / `upgraded` responses plus the length-prefixed
+//!   `metrics` exposition frame), with explicit `encode`/`parse` pairs;
+//!   see `docs/SERVER.md` for the full grammar and
+//!   `docs/OBSERVABILITY.md` for the metric catalog.
 //! * [`wire2`] — the opt-in **binary wire v2**: the same request and
 //!   response types as length-prefixed frames with exact i64/f64
 //!   bodies, negotiated per connection via `upgrade bin`.
@@ -74,7 +75,8 @@ pub use client::Client;
 pub use server::{Server, ServerConfig};
 pub use smartapps_telemetry::HistSummary;
 pub use wire::{
-    checksum, checksum_f64, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2,
-    SubmitArgs, UploadArgs, WireBody, WireDist, WireSource, WireSpec,
+    checksum, checksum_f64, DoneMsg, DoneOutcome, ExplainInfo, ExplainTarget, Payload, ReplyMode,
+    Request, Response, SlowlogEntry, StatsV2, SubmitArgs, UploadArgs, WireBody, WireCandidate,
+    WireDist, WireGate, WireSource, WireSpec, DEFAULT_SLOWLOG, MAX_SLOWLOG,
 };
 pub use wire2::{BinMsg, FrameBuf, FrameStep, DEFAULT_MAX_FRAME_BYTES};

@@ -50,12 +50,15 @@
 //! never collide.
 
 use crate::wire::{
-    checksum, checksum_f64, DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2,
-    SubmitArgs, UploadArgs, WireSource, WireSpec,
+    checksum, checksum_f64, DoneMsg, DoneOutcome, ExplainInfo, ExplainTarget, Payload, ReplyMode,
+    Request, Response, SlowlogEntry, StatsV2, SubmitArgs, UploadArgs, WireCandidate, WireGate,
+    WireSource, WireSpec, MAX_SLOWLOG,
 };
 use crate::wire2::{self, FrameStep};
 use epoll::{Epoll, Event, Interest, Waker};
-use smartapps_runtime::{Completion, CompletionSet, JobSpec, PatternSignature, Runtime};
+use smartapps_core::{DecisionRecord, GateVerdict};
+use smartapps_runtime::telemetry::{domain_label, scheme_from_code};
+use smartapps_runtime::{Completion, CompletionSet, JobSpec, PatternSignature, Runtime, Stage};
 use smartapps_telemetry::LogHistogram;
 use smartapps_workloads::AccessPattern;
 use std::collections::{HashMap, HashSet};
@@ -1041,6 +1044,103 @@ fn handle_request(shared: &ServerShared, conn: &Arc<Conn>, request: Request) {
             let found = shared.rt.unquarantine(PatternSignature(sig));
             write_response(shared, conn, &Response::Unquarantined(found));
         }
+        Request::Explain(target) => {
+            let sig = match target {
+                ExplainTarget::Signature(sig) => PatternSignature(sig),
+                // An uploaded pattern's class is the signature `submit`
+                // would queue it under; resolve through the same path.
+                ExplainTarget::Handle(h) => match shared.rt.patterns().get(h) {
+                    Some(p) => shared.rt.signature_of(&p),
+                    None => {
+                        protocol_error(shared, conn, &format!("unknown pattern handle {h:016x}"));
+                        return;
+                    }
+                },
+            };
+            let info = shared.rt.explain(sig).map(|rec| explain_info(&rec));
+            write_response(shared, conn, &Response::Explained(info));
+        }
+        Request::Slowlog(n) => {
+            let entries = shared
+                .rt
+                .slowlog(n.min(MAX_SLOWLOG))
+                .into_iter()
+                .map(slowlog_entry)
+                .collect();
+            write_response(shared, conn, &Response::Slowlog(entries));
+        }
+    }
+}
+
+/// Render one decision record in the wire's `explained` shape: every
+/// token (`scheme`, `backend`, gate reasons, the domain label) is
+/// already wire-safe (`[a-z0-9._-]`), and the feature vector flattens
+/// to ordered `name=value` pairs.
+fn explain_info(rec: &DecisionRecord) -> ExplainInfo {
+    let gate = |g: &GateVerdict| WireGate {
+        fired: g.fired,
+        reason: g.reason.to_string(),
+    };
+    let f = &rec.features;
+    ExplainInfo {
+        signature: rec.signature,
+        domain: domain_label(&rec.domain),
+        winner: rec.winner.abbrev().to_string(),
+        backend: rec.backend.to_string(),
+        explored: rec.explored,
+        rechecked: rec.rechecked,
+        flips: rec.flips,
+        fusion: gate(&rec.fusion),
+        simplify: gate(&rec.simplify),
+        quarantine: gate(&rec.quarantine),
+        features: vec![
+            ("references".into(), f.references as f64),
+            ("elements".into(), f.num_elements as f64),
+            ("distinct".into(), f.distinct as f64),
+            ("iterations".into(), f.iterations as f64),
+            ("sp".into(), f.sp),
+            ("mo".into(), f.mo),
+            ("con".into(), f.con),
+            ("conflicting".into(), f.conflicting as f64),
+            ("replication".into(), f.replication),
+            ("threads".into(), f.threads as f64),
+            ("fanout".into(), f.fanout as f64),
+        ],
+        candidates: rec
+            .candidates
+            .iter()
+            .map(|c| WireCandidate {
+                scheme: c.scheme.abbrev().to_string(),
+                analytic: c.analytic,
+                corrected: c.corrected,
+                feasible: c.feasible,
+            })
+            .collect(),
+    }
+}
+
+/// Render one slowlog exemplar: the trace event's stage attribution
+/// plus the decision winner in force when the job completed.  `-`
+/// stands in for "no scheme chosen" / "no decision recorded".
+fn slowlog_entry(ex: smartapps_telemetry::Exemplar<smartapps_runtime::SlowJob>) -> SlowlogEntry {
+    let e = &ex.payload.event;
+    SlowlogEntry {
+        class: ex.class,
+        latency_ns: ex.latency_ns,
+        scheme: scheme_from_code(e.scheme).map_or_else(|| "-".to_string(), |s| s.abbrev().into()),
+        backend: e.backend.label().to_string(),
+        error: e.error.label().to_string(),
+        fused: e.fused,
+        queue_ns: e.stage_queue(),
+        decide_ns: e.stage_decide(),
+        simplify_ns: e.stage_simplify(),
+        exec_ns: e.stage_exec(),
+        completion_ns: e.stage_completion(),
+        winner: ex
+            .payload
+            .record
+            .as_ref()
+            .map_or_else(|| "-".to_string(), |r| r.winner.abbrev().into()),
     }
 }
 
@@ -1293,7 +1393,14 @@ fn deliver(shared: &ServerShared, completion: Completion) {
         }
     };
     if !conn.is_dead() {
+        // The server-side tail the runtime's trace cannot see: completion
+        // popped off the set → reply bytes handed to the socket/buffer.
+        let write_t0 = Instant::now();
         write_response(shared, &conn, &Response::Done(DoneMsg { token, outcome }));
+        shared.rt.telemetry().record_stage(
+            Stage::Write,
+            write_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
     }
     conn.completed.fetch_add(1, Ordering::Relaxed);
     let left = conn.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;

@@ -456,6 +456,15 @@ pub enum Request {
     /// ([`Response::Uploaded`]) carries the handle later submissions
     /// reference via [`WireSource::Handle`].
     Upload(UploadArgs),
+    /// Fetch the latest decision record of a workload class: why the
+    /// runtime runs that class the way it does (candidate cost table,
+    /// feasibility masks, gate verdicts).  The reply is
+    /// [`Response::Explained`] — `explained none` when no ranking has
+    /// run for the class.
+    Explain(ExplainTarget),
+    /// Fetch the `n` slowest retained jobs with their per-stage latency
+    /// attribution ([`Response::Slowlog`]).
+    Slowlog(usize),
     /// Switch this connection to the length-prefixed binary wire v2
     /// (`docs/SERVER.md`).  Legal only while the connection has no jobs
     /// in flight — the server must not interleave a text `done` with the
@@ -483,6 +492,9 @@ impl Request {
             Request::Drain => "drain".into(),
             Request::Unquarantine(sig) => format!("unquarantine {sig:016x}"),
             Request::Upload(a) => format!("upload {}", a.encode_fields()),
+            Request::Explain(ExplainTarget::Signature(sig)) => format!("explain {sig:016x}"),
+            Request::Explain(ExplainTarget::Handle(h)) => format!("explain pat:{h:016x}"),
+            Request::Slowlog(n) => format!("slowlog {n}"),
             Request::UpgradeBin => "upgrade bin".into(),
         }
     }
@@ -520,6 +532,19 @@ impl Request {
                 .map(Request::Unquarantine)
                 .map_err(|_| format!("bad signature {sig}")),
             Some((&"upload", rest)) => UploadArgs::parse_fields(rest).map(Request::Upload),
+            Some((&"explain", [target])) => match target.strip_prefix("pat:") {
+                Some(hex) => u64::from_str_radix(hex, 16)
+                    .map(|h| Request::Explain(ExplainTarget::Handle(h)))
+                    .map_err(|_| format!("bad pattern handle {target}")),
+                None => u64::from_str_radix(target, 16)
+                    .map(|sig| Request::Explain(ExplainTarget::Signature(sig)))
+                    .map_err(|_| format!("bad signature {target}")),
+            },
+            Some((&"slowlog", [])) => Ok(Request::Slowlog(DEFAULT_SLOWLOG)),
+            Some((&"slowlog", [n])) => n
+                .parse::<usize>()
+                .map(Request::Slowlog)
+                .map_err(|_| format!("bad slowlog count {n}")),
             Some((&"upgrade", ["bin"])) => Ok(Request::UpgradeBin),
             Some((verb, _)) => Err(format!("unknown or malformed request {verb}")),
             None => Err("empty request".into()),
@@ -624,6 +649,334 @@ pub struct StatsV2 {
     pub quarantined: Vec<(u64, u64)>,
 }
 
+/// Exemplars a bare `slowlog` request (no count) asks for.
+pub const DEFAULT_SLOWLOG: usize = 8;
+
+/// Most exemplars one `slowlog` reply carries, regardless of the
+/// requested count (the server clamps; the store is bounded anyway).
+pub const MAX_SLOWLOG: usize = 256;
+
+/// What a [`Request::Explain`] asks about: a workload-class signature
+/// (as reported by `done` messages and quarantine entries) or an
+/// uploaded-pattern handle the server resolves to its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExplainTarget {
+    /// A class signature, verbatim.
+    Signature(u64),
+    /// An uploaded-pattern handle (`pat:<hex>`); the server maps it to
+    /// the signature its submissions queue under.
+    Handle(u64),
+}
+
+/// A gate verdict as reported on the wire: whether the gate took its
+/// action, and the single-token reason (`docs/OBSERVABILITY.md` lists
+/// the vocabulary per gate).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireGate {
+    /// Whether the gate fired.
+    pub fired: bool,
+    /// Single-token justification (`[a-z0-9._-]`).
+    pub reason: String,
+}
+
+impl WireGate {
+    fn encode(&self) -> String {
+        format!("{}:{}", u8::from(self.fired), self.reason)
+    }
+
+    fn parse(s: &str) -> Result<WireGate, String> {
+        let (fired, reason) = s.split_once(':').ok_or(format!("bad gate verdict {s}"))?;
+        let fired = match fired {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("bad gate flag {other}")),
+        };
+        if reason.is_empty() {
+            return Err(format!("empty gate reason in {s}"));
+        }
+        Ok(WireGate {
+            fired,
+            reason: reason.to_string(),
+        })
+    }
+}
+
+/// One row of the `explain` candidate cost table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireCandidate {
+    /// Scheme abbreviation (`rep`, `hash`, `pclr`, …).
+    pub scheme: String,
+    /// Raw analytic model cost (`inf` when masked).
+    pub analytic: f64,
+    /// Correction-scaled cost the ranking compared.
+    pub corrected: f64,
+    /// Whether the scheme was admissible for this input.
+    pub feasible: bool,
+}
+
+impl WireCandidate {
+    fn encode(&self) -> String {
+        format!(
+            "{}:{}:{}:{}",
+            self.scheme,
+            self.analytic,
+            self.corrected,
+            u8::from(self.feasible)
+        )
+    }
+
+    fn parse(s: &str) -> Result<WireCandidate, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [scheme, analytic, corrected, feasible] = parts[..] else {
+            return Err(format!("bad candidate row {s}"));
+        };
+        let num = |v: &str| -> Result<f64, String> {
+            v.parse().map_err(|_| format!("bad candidate cost {v}"))
+        };
+        let feasible = match feasible {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("bad feasible flag {other}")),
+        };
+        Ok(WireCandidate {
+            scheme: scheme.to_string(),
+            analytic: num(analytic)?,
+            corrected: num(corrected)?,
+            feasible,
+        })
+    }
+}
+
+/// The `explain` payload: the wire form of the runtime's per-class
+/// decision record — feature vector, full candidate cost table
+/// (analytic-vs-corrected, masked rows included), gate verdicts, and
+/// the winning scheme/backend (`docs/OBSERVABILITY.md` is the field
+/// catalog).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainInfo {
+    /// The workload-class signature the record applies to.
+    pub signature: u64,
+    /// Functioning-domain label (the `d..r..s..m..` form the metric
+    /// series use).
+    pub domain: String,
+    /// The scheme the decision chose (abbreviation).
+    pub winner: String,
+    /// The backend that executed the class's last decided job
+    /// (`software`, `simd`, `pclr`, `scan`; `pending` before execution).
+    pub backend: String,
+    /// The decision came from an exploration slot.
+    pub explored: bool,
+    /// The decision was a periodic profile recheck.
+    pub rechecked: bool,
+    /// Times the class's winning scheme has changed across recorded
+    /// decisions.
+    pub flips: u64,
+    /// Fusion-gate verdict.
+    pub fusion: WireGate,
+    /// Simplification-gate verdict.
+    pub simplify: WireGate,
+    /// Quarantine verdict (fired = rejected).
+    pub quarantine: WireGate,
+    /// The model inputs, as ordered `name=value` pairs (counts are
+    /// exact below 2^53; ratios are the model's own floats).
+    pub features: Vec<(String, f64)>,
+    /// The candidate cost table, in ranked order (best corrected cost
+    /// first).
+    pub candidates: Vec<WireCandidate>,
+}
+
+impl ExplainInfo {
+    fn encode_fields(&self) -> String {
+        let mut s = format!(
+            "{:016x} {} {} {} {}{} {} {} {} {}",
+            self.signature,
+            self.domain,
+            self.winner,
+            self.backend,
+            u8::from(self.explored),
+            u8::from(self.rechecked),
+            self.flips,
+            self.fusion.encode(),
+            self.simplify.encode(),
+            self.quarantine.encode(),
+        );
+        s.push_str(&format!(" features {}", self.features.len()));
+        for (name, value) in &self.features {
+            s.push_str(&format!(" {name}={value}"));
+        }
+        s.push_str(&format!(" candidates {}", self.candidates.len()));
+        for c in &self.candidates {
+            s.push(' ');
+            s.push_str(&c.encode());
+        }
+        s
+    }
+
+    fn parse_fields(f: &[&str]) -> Result<ExplainInfo, String> {
+        if f.len() < 9 {
+            return Err(format!(
+                "explained takes at least 9 fields, got {}",
+                f.len()
+            ));
+        }
+        let signature = u64::from_str_radix(f[0], 16)
+            .map_err(|_| format!("bad explained signature {}", f[0]))?;
+        let flags = f[4].as_bytes();
+        let flag = |b: u8| match b {
+            b'0' => Ok(false),
+            b'1' => Ok(true),
+            _ => Err(format!("bad explained flags {}", f[4])),
+        };
+        let [explored, rechecked] = flags[..] else {
+            return Err(format!("bad explained flags {}", f[4]));
+        };
+        let flips: u64 = f[5].parse().map_err(|_| format!("bad flips {}", f[5]))?;
+        let fusion = WireGate::parse(f[6])?;
+        let simplify = WireGate::parse(f[7])?;
+        let quarantine = WireGate::parse(f[8])?;
+        let mut i = 9usize;
+        let section = |name: &'static str, i: &mut usize| -> Result<usize, String> {
+            if f.get(*i).copied() != Some(name) {
+                return Err(format!("explained expects a {name} section at field {i}"));
+            }
+            let n: usize = f
+                .get(*i + 1)
+                .ok_or(format!("explained {name} needs a count"))?
+                .parse()
+                .map_err(|_| format!("bad {name} count"))?;
+            *i += 2;
+            if f.len() < *i + n {
+                return Err(format!(
+                    "explained {name} declares {n} entries, line ends early"
+                ));
+            }
+            Ok(n)
+        };
+        let n = section("features", &mut i)?;
+        let features = f[i..i + n]
+            .iter()
+            .map(|pair| {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or(format!("bad feature pair {pair}"))?;
+                let v: f64 = v.parse().map_err(|_| format!("bad feature value {pair}"))?;
+                Ok((k.to_string(), v))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        i += n;
+        let m = section("candidates", &mut i)?;
+        let candidates = f[i..i + m]
+            .iter()
+            .map(|s| WireCandidate::parse(s))
+            .collect::<Result<Vec<_>, String>>()?;
+        i += m;
+        if i != f.len() {
+            return Err(format!(
+                "explained line has {} trailing fields",
+                f.len() - i
+            ));
+        }
+        Ok(ExplainInfo {
+            signature,
+            domain: f[1].to_string(),
+            winner: f[2].to_string(),
+            backend: f[3].to_string(),
+            explored: flag(explored)?,
+            rechecked: flag(rechecked)?,
+            flips,
+            fusion,
+            simplify,
+            quarantine,
+            features,
+            candidates,
+        })
+    }
+}
+
+/// One slow-job exemplar as reported by `slowlog`: the job's class, its
+/// end-to-end latency, how it was routed, and the per-stage latency
+/// attribution derived from its lifecycle trace event.  The five stage
+/// fields sum exactly to `latency_ns` for executed jobs (all-zero for
+/// jobs that failed before execution).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowlogEntry {
+    /// The job's class signature.
+    pub class: u64,
+    /// End-to-end latency (submission → completion), nanoseconds.
+    pub latency_ns: u64,
+    /// Scheme abbreviation the job executed (`-` when it failed before
+    /// a scheme was chosen).
+    pub scheme: String,
+    /// Backend tag (`software`, `simd`, `pclr`, `scan`).
+    pub backend: String,
+    /// How the job ended (`none`, `panicked`, `quarantined`).
+    pub error: String,
+    /// Members of the job's fused sweep (1 = unfused, 0 = unexecuted).
+    pub fused: u16,
+    /// Submission → dispatcher dequeue, nanoseconds.
+    pub queue_ns: u64,
+    /// Dequeue → scheme decision, nanoseconds.
+    pub decide_ns: u64,
+    /// Simplification-gate time (recognizer + probe), nanoseconds.
+    pub simplify_ns: u64,
+    /// Decision → execution done minus the simplify share, nanoseconds.
+    pub exec_ns: u64,
+    /// Execution done → completion handed to the sink, nanoseconds.
+    pub completion_ns: u64,
+    /// Winning scheme of the decision record in force when the job
+    /// completed (`-` when no ranking had run for the class).
+    pub winner: String,
+}
+
+impl SlowlogEntry {
+    fn encode(&self) -> String {
+        format!(
+            "{:016x}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+            self.class,
+            self.latency_ns,
+            self.scheme,
+            self.backend,
+            self.error,
+            self.fused,
+            self.queue_ns,
+            self.decide_ns,
+            self.simplify_ns,
+            self.exec_ns,
+            self.completion_ns,
+            self.winner
+        )
+    }
+
+    fn parse(s: &str) -> Result<SlowlogEntry, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [class, latency, scheme, backend, error, fused, queue, decide, simplify, exec, completion, winner] =
+            parts[..]
+        else {
+            return Err(format!("bad slowlog entry {s}"));
+        };
+        let num = |v: &str| -> Result<u64, String> {
+            v.parse().map_err(|_| format!("bad slowlog field {v}"))
+        };
+        Ok(SlowlogEntry {
+            class: u64::from_str_radix(class, 16)
+                .map_err(|_| format!("bad slowlog class {class}"))?,
+            latency_ns: num(latency)?,
+            scheme: scheme.to_string(),
+            backend: backend.to_string(),
+            error: error.to_string(),
+            fused: fused
+                .parse()
+                .map_err(|_| format!("bad fused count {fused}"))?,
+            queue_ns: num(queue)?,
+            decide_ns: num(decide)?,
+            simplify_ns: num(simplify)?,
+            exec_ns: num(exec)?,
+            completion_ns: num(completion)?,
+            winner: winner.to_string(),
+        })
+    }
+}
+
 /// A server→client response (one line each).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -648,6 +1001,12 @@ pub enum Response {
         /// [`WireSource::Handle`].
         handle: u64,
     },
+    /// The latest decision record of the asked-about class (`None` when
+    /// no ranking has run for it — reported as `explained none`).
+    Explained(Option<ExplainInfo>),
+    /// The slowest retained jobs, slowest first, with per-stage latency
+    /// attribution.
+    Slowlog(Vec<SlowlogEntry>),
     /// Acknowledges [`Request::UpgradeBin`]: the last text line on the
     /// connection; everything after it (both directions) is binary wire
     /// v2 frames.
@@ -732,6 +1091,16 @@ impl Response {
                 }
                 s
             }
+            Response::Explained(None) => "explained none".into(),
+            Response::Explained(Some(info)) => format!("explained {}", info.encode_fields()),
+            Response::Slowlog(entries) => {
+                let mut s = format!("slowlog {}", entries.len());
+                for e in entries {
+                    s.push(' ');
+                    s.push_str(&e.encode());
+                }
+                s
+            }
             Response::Drained(n) => format!("drained {n}"),
             Response::Unquarantined(found) => format!("unquarantined {}", u8::from(*found)),
             Response::Uploaded { token, handle } => format!("uploaded {token} {handle:016x}"),
@@ -758,6 +1127,31 @@ impl Response {
                 .collect::<Result<Vec<_>, String>>()
                 .map(Response::Stats),
             "stats2" => Self::parse_stats_v2(rest).map(Response::StatsV2),
+            "explained" => {
+                if rest.trim() == "none" {
+                    return Ok(Response::Explained(None));
+                }
+                let f: Vec<&str> = rest.split_ascii_whitespace().collect();
+                ExplainInfo::parse_fields(&f).map(|info| Response::Explained(Some(info)))
+            }
+            "slowlog" => {
+                let f: Vec<&str> = rest.split_ascii_whitespace().collect();
+                let (count, entries) = f.split_first().ok_or("slowlog needs a count")?;
+                let n: usize = count
+                    .parse()
+                    .map_err(|_| format!("bad slowlog count {count}"))?;
+                if entries.len() != n {
+                    return Err(format!(
+                        "slowlog declares {n} entries, got {}",
+                        entries.len()
+                    ));
+                }
+                entries
+                    .iter()
+                    .map(|s| SlowlogEntry::parse(s))
+                    .collect::<Result<Vec<_>, String>>()
+                    .map(Response::Slowlog)
+            }
             "drained" => rest
                 .trim()
                 .parse()
@@ -1048,10 +1442,96 @@ mod tests {
                 iter_ptr: vec![0, 2, 2, 3],
                 indices: vec![1, 3, 0],
             }),
+            Request::Explain(ExplainTarget::Signature(0xabc_0042)),
+            Request::Explain(ExplainTarget::Handle(0x2a)),
+            Request::Slowlog(17),
             Request::UpgradeBin,
         ] {
             let line = req.encode();
             assert_eq!(Request::parse(&line).as_ref(), Ok(&req), "line: {line}");
+        }
+        // A bare `slowlog` asks for the default count.
+        assert_eq!(
+            Request::parse("slowlog"),
+            Ok(Request::Slowlog(DEFAULT_SLOWLOG))
+        );
+    }
+
+    #[test]
+    fn stats_v2_carries_the_simplify_and_simd_counters() {
+        // The server's `stats2` builder exports these three counters; the
+        // text codec must carry the exact names unharmed (satellite of the
+        // observability issue — clients key dashboards off them).
+        let v2 = StatsV2 {
+            counters: vec![
+                ("simd_offloads".into(), 17),
+                ("simplified_jobs".into(), 9),
+                ("simplify_rejects".into(), 3),
+            ],
+            hists: vec![],
+            quarantined: vec![],
+        };
+        let line = Response::StatsV2(v2.clone()).encode();
+        assert_eq!(Response::parse(&line), Ok(Response::StatsV2(v2)));
+    }
+
+    fn explain_info() -> ExplainInfo {
+        ExplainInfo {
+            signature: 0xfeed_0007,
+            domain: "d11r2s10m2".into(),
+            winner: "hash".into(),
+            backend: "software".into(),
+            explored: false,
+            rechecked: true,
+            flips: 3,
+            fusion: WireGate {
+                fired: true,
+                reason: "hash-trusted".into(),
+            },
+            simplify: WireGate {
+                fired: false,
+                reason: "recognizer-miss".into(),
+            },
+            quarantine: WireGate {
+                fired: false,
+                reason: "clear".into(),
+            },
+            features: vec![
+                ("references".into(), 1800.0),
+                ("elements".into(), 512.0),
+                ("sp".into(), 0.734),
+            ],
+            candidates: vec![
+                WireCandidate {
+                    scheme: "hash".into(),
+                    analytic: 1234.5,
+                    corrected: 987.25,
+                    feasible: true,
+                },
+                WireCandidate {
+                    scheme: "lw".into(),
+                    analytic: f64::INFINITY,
+                    corrected: f64::INFINITY,
+                    feasible: false,
+                },
+            ],
+        }
+    }
+
+    fn slowlog_entry() -> SlowlogEntry {
+        SlowlogEntry {
+            class: 0xfeed_0007,
+            latency_ns: 1_250_000,
+            scheme: "hash".into(),
+            backend: "simd".into(),
+            error: "none".into(),
+            fused: 4,
+            queue_ns: 10_000,
+            decide_ns: 40_000,
+            simplify_ns: 0,
+            exec_ns: 1_100_000,
+            completion_ns: 100_000,
+            winner: "hash".into(),
         }
     }
 
@@ -1104,6 +1584,23 @@ mod tests {
                 quarantined: vec![(0xabc, 17), (0xdef, 0)],
             }),
             Response::StatsV2(StatsV2::default()),
+            Response::Explained(None),
+            Response::Explained(Some(explain_info())),
+            Response::Slowlog(vec![]),
+            Response::Slowlog(vec![
+                slowlog_entry(),
+                SlowlogEntry {
+                    scheme: "-".into(),
+                    winner: "-".into(),
+                    error: "quarantined".into(),
+                    fused: 0,
+                    queue_ns: 0,
+                    decide_ns: 0,
+                    exec_ns: 0,
+                    completion_ns: 0,
+                    ..slowlog_entry()
+                },
+            ]),
             Response::Drained(40),
             Response::Unquarantined(true),
             Response::Uploaded {
@@ -1163,6 +1660,11 @@ mod tests {
             "upload 1 4 2 1 0 2 3 9",                  // count mismatch
             "upload 1 4 2 x 0 2",                      // bad length field
             "upgrade text",                            // unknown upgrade mode
+            "explain",                                 // missing target
+            "explain zz",                              // bad hex
+            "explain pat:zz",                          // bad handle hex
+            "explain abc def",                         // trailing junk
+            "slowlog x",                               // bad count
         ] {
             // Line 3 parses (validation is a separate step); all others fail.
             let parsed = Request::parse(line);
@@ -1197,6 +1699,16 @@ mod tests {
             "uploaded x 2a",                               // bad token
             "upgraded text",                               // unknown mode
             "done 9 ok hash 1 1 0 0 ffull 2 1.5",          // undersized f64 payload
+            "explained",                                   // empty record
+            "explained zz d1r1s1m1 hash software 00 0 0:a 0:b 0:c features 0 candidates 0", // bad sig
+            "explained 2a d1r1s1m1 hash software 02 0 0:a 0:b 0:c features 0 candidates 0", // bad flags
+            "explained 2a d1r1s1m1 hash software 00 0 0:a 0:b 0:c features 1 candidates 0", // short features
+            "explained 2a d1r1s1m1 hash software 00 0 0:a 0:b 0:c features 0 candidates 1 hash:1:2", // short candidate row
+            "explained 2a d1r1s1m1 hash software 00 0 0:a 0:b 0:c candidates 0 features 0", // sections out of order
+            "slowlog",                            // no count
+            "slowlog 2 a",                        // declared 2, got 1
+            "slowlog 1 zz:1:a:b:c:0:0:0:0:0:0:d", // bad class hex
+            "slowlog 1 toofew:1",                 // short entry
         ] {
             assert!(Response::parse(line).is_err(), "should reject: {line}");
         }
@@ -1315,8 +1827,135 @@ mod tests {
                 })
         }
 
+        /// Strategy: any f64 the server can legitimately put on the wire.
+        /// `Display` for f64 is the shortest round-tripping form, and
+        /// `"inf"` parses back; only NaN breaks the property (it never
+        /// reaches a wire line — costs come from finite samples and
+        /// infeasible-scheme sentinels).
+        fn arb_cost() -> impl Strategy<Value = f64> {
+            prop_oneof![-1.0e15..1.0e15, 0.0..1.0, Just(0.0), Just(f64::INFINITY),]
+        }
+
+        fn arb_gate() -> impl Strategy<Value = WireGate> {
+            (any::<bool>(), arb_ident()).prop_map(|(fired, reason)| WireGate { fired, reason })
+        }
+
+        fn arb_candidate() -> impl Strategy<Value = WireCandidate> {
+            (arb_ident(), arb_cost(), arb_cost(), any::<bool>()).prop_map(
+                |(scheme, analytic, corrected, feasible)| WireCandidate {
+                    scheme,
+                    analytic,
+                    corrected,
+                    feasible,
+                },
+            )
+        }
+
+        fn arb_explain_info() -> impl Strategy<Value = ExplainInfo> {
+            (
+                (any::<u64>(), arb_ident(), arb_ident(), arb_ident()),
+                (any::<bool>(), any::<bool>(), any::<u64>()),
+                (arb_gate(), arb_gate(), arb_gate()),
+                proptest::collection::vec((arb_ident(), arb_cost()), 0..8),
+                proptest::collection::vec(arb_candidate(), 0..8),
+            )
+                .prop_map(
+                    |(
+                        (signature, domain, winner, backend),
+                        (explored, rechecked, flips),
+                        (fusion, simplify, quarantine),
+                        features,
+                        candidates,
+                    )| ExplainInfo {
+                        signature,
+                        domain,
+                        winner,
+                        backend,
+                        explored,
+                        rechecked,
+                        flips,
+                        fusion,
+                        simplify,
+                        quarantine,
+                        features,
+                        candidates,
+                    },
+                )
+        }
+
+        fn arb_slowlog_entry() -> impl Strategy<Value = SlowlogEntry> {
+            (
+                (any::<u64>(), any::<u64>()),
+                (arb_ident(), arb_ident(), arb_ident(), arb_ident()),
+                0u16..=u16::MAX,
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                ),
+            )
+                .prop_map(
+                    |(
+                        (class, latency_ns),
+                        (scheme, backend, error, winner),
+                        fused,
+                        (queue_ns, decide_ns, simplify_ns, exec_ns, completion_ns),
+                    )| SlowlogEntry {
+                        class,
+                        latency_ns,
+                        scheme,
+                        backend,
+                        error,
+                        fused,
+                        queue_ns,
+                        decide_ns,
+                        simplify_ns,
+                        exec_ns,
+                        completion_ns,
+                        winner,
+                    },
+                )
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(192))]
+
+            #[test]
+            fn explained_encode_parse_round_trips(info in arb_explain_info()) {
+                let line = Response::Explained(Some(info.clone())).encode();
+                prop_assert_eq!(
+                    Response::parse(&line),
+                    Ok(Response::Explained(Some(info))),
+                    "line: {}", line
+                );
+            }
+
+            #[test]
+            fn slowlog_encode_parse_round_trips(
+                entries in proptest::collection::vec(arb_slowlog_entry(), 0..5),
+            ) {
+                let line = Response::Slowlog(entries.clone()).encode();
+                prop_assert_eq!(
+                    Response::parse(&line),
+                    Ok(Response::Slowlog(entries)),
+                    "line: {}", line
+                );
+            }
+
+            #[test]
+            fn explain_requests_round_trip(sig in any::<u64>(), handle in any::<u64>(), n in any::<usize>()) {
+                for req in [
+                    Request::Explain(ExplainTarget::Signature(sig)),
+                    Request::Explain(ExplainTarget::Handle(handle)),
+                    Request::Slowlog(n),
+                ] {
+                    let line = req.encode();
+                    let parsed = Request::parse(&line);
+                    prop_assert_eq!(parsed, Ok(req), "line: {}", line);
+                }
+            }
 
             #[test]
             fn stats_v2_encode_parse_round_trips(v2 in arb_stats_v2()) {

@@ -15,7 +15,7 @@
 //! floats are IEEE-754 bit patterns (`f64::to_le_bits` — exact, no
 //! decimal round-trip); strings and byte blobs are `u32` length +
 //! contents; vectors are `u32` count + elements.  Request kinds occupy
-//! `0x01..=0x09`, response kinds `0x81..=0x89` (high bit = response), so
+//! `0x01..=0x0b`, response kinds `0x81..=0x8b` (high bit = response), so
 //! a desynchronized peer is detected by kind byte, not by guessing.
 //!
 //! A connection *starts* in text and negotiates the switch: `upgrade
@@ -32,8 +32,9 @@
 //! server fails only the one connection that sent them.
 
 use crate::wire::{
-    DoneMsg, DoneOutcome, Payload, ReplyMode, Request, Response, StatsV2, SubmitArgs, UploadArgs,
-    WireBody, WireDist, WireSource, WireSpec,
+    DoneMsg, DoneOutcome, ExplainInfo, ExplainTarget, Payload, ReplyMode, Request, Response,
+    SlowlogEntry, StatsV2, SubmitArgs, UploadArgs, WireBody, WireCandidate, WireDist, WireGate,
+    WireSource, WireSpec,
 };
 use smartapps_telemetry::HistSummary;
 
@@ -56,6 +57,8 @@ const K_DRAIN: u8 = 0x06;
 const K_UNQUARANTINE: u8 = 0x07;
 const K_UPLOAD: u8 = 0x08;
 const K_UPGRADE: u8 = 0x09;
+const K_EXPLAIN: u8 = 0x0a;
+const K_SLOWLOG: u8 = 0x0b;
 
 // Response frame kinds (high bit set).
 const K_DONE: u8 = 0x81;
@@ -67,14 +70,17 @@ const K_ERROR: u8 = 0x86;
 const K_METRICS_BODY: u8 = 0x87;
 const K_UPLOADED: u8 = 0x88;
 const K_UPGRADED: u8 = 0x89;
+const K_EXPLAINED: u8 = 0x8a;
+const K_R_SLOWLOG: u8 = 0x8b;
 
 /// A decoded server→client frame: either a [`Response`] or the raw
 /// Prometheus exposition bytes (the one reply that is not a `Response`
 /// variant, mirroring the text protocol's out-of-band metrics frame).
 #[derive(Debug, Clone, PartialEq)]
 pub enum BinMsg {
-    /// An ordinary response.
-    Response(Response),
+    /// An ordinary response (boxed: the `Explained` variant's candidate
+    /// table makes `Response` much larger than the metrics arm).
+    Response(Box<Response>),
     /// The metrics exposition body, raw.
     Metrics(Vec<u8>),
 }
@@ -202,8 +208,80 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             K_UPLOAD
         }
         Request::UpgradeBin => K_UPGRADE,
+        Request::Explain(target) => {
+            match target {
+                ExplainTarget::Signature(sig) => {
+                    body.push(0);
+                    put_u64(&mut body, *sig);
+                }
+                ExplainTarget::Handle(h) => {
+                    body.push(1);
+                    put_u64(&mut body, *h);
+                }
+            }
+            K_EXPLAIN
+        }
+        Request::Slowlog(n) => {
+            put_u64(&mut body, *n as u64);
+            K_SLOWLOG
+        }
     };
     frame(kind, body)
+}
+
+fn put_gate(out: &mut Vec<u8>, g: &WireGate) {
+    out.push(u8::from(g.fired));
+    put_str(out, &g.reason);
+}
+
+fn put_explain_info(out: &mut Vec<u8>, info: &ExplainInfo) {
+    put_u64(out, info.signature);
+    put_str(out, &info.domain);
+    put_str(out, &info.winner);
+    put_str(out, &info.backend);
+    out.push(u8::from(info.explored));
+    out.push(u8::from(info.rechecked));
+    put_u64(out, info.flips);
+    put_gate(out, &info.fusion);
+    put_gate(out, &info.simplify);
+    put_gate(out, &info.quarantine);
+    put_u32(out, info.features.len() as u32);
+    for (name, value) in &info.features {
+        put_str(out, name);
+        put_f64(out, *value);
+    }
+    put_u32(out, info.candidates.len() as u32);
+    for WireCandidate {
+        scheme,
+        analytic,
+        corrected,
+        feasible,
+    } in &info.candidates
+    {
+        put_str(out, scheme);
+        put_f64(out, *analytic);
+        put_f64(out, *corrected);
+        out.push(u8::from(*feasible));
+    }
+}
+
+fn put_slowlog_entry(out: &mut Vec<u8>, e: &SlowlogEntry) {
+    put_u64(out, e.class);
+    put_u64(out, e.latency_ns);
+    put_str(out, &e.scheme);
+    put_str(out, &e.backend);
+    put_str(out, &e.error);
+    put_u32(out, u32::from(e.fused));
+    for ns in [
+        e.queue_ns,
+        e.decide_ns,
+        e.simplify_ns,
+        e.exec_ns,
+        e.completion_ns,
+    ] {
+        put_u64(out, ns);
+    }
+    put_str(out, &e.winner);
 }
 
 fn put_payload(out: &mut Vec<u8>, p: &Payload) {
@@ -315,6 +393,23 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             K_UPLOADED
         }
         Response::Upgraded => K_UPGRADED,
+        Response::Explained(info) => {
+            match info {
+                None => body.push(0),
+                Some(info) => {
+                    body.push(1);
+                    put_explain_info(&mut body, info);
+                }
+            }
+            K_EXPLAINED
+        }
+        Response::Slowlog(entries) => {
+            put_u32(&mut body, entries.len() as u32);
+            for e in entries {
+                put_slowlog_entry(&mut body, e);
+            }
+            K_R_SLOWLOG
+        }
         Response::Error(msg) => {
             put_str(&mut body, msg);
             K_ERROR
@@ -387,6 +482,14 @@ impl<'a> Cur<'a> {
 
     fn usize(&mut self) -> Result<usize, String> {
         usize::try_from(self.u64()?).map_err(|_| "value exceeds usize".to_string())
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(format!("bad bool byte {t}")),
+        }
     }
 
     fn str(&mut self) -> Result<String, String> {
@@ -513,10 +616,100 @@ pub fn decode_request(kind: u8, body: &[u8]) -> Result<Request, String> {
             })
         }
         K_UPGRADE => Request::UpgradeBin,
+        K_EXPLAIN => {
+            let target = match c.u8()? {
+                0 => ExplainTarget::Signature(c.u64()?),
+                1 => ExplainTarget::Handle(c.u64()?),
+                t => return Err(format!("unknown explain target tag {t}")),
+            };
+            Request::Explain(target)
+        }
+        K_SLOWLOG => Request::Slowlog(c.usize()?),
         other => return Err(format!("unknown request kind 0x{other:02x}")),
     };
     c.done()?;
     Ok(req)
+}
+
+fn get_gate(c: &mut Cur<'_>) -> Result<WireGate, String> {
+    Ok(WireGate {
+        fired: c.bool()?,
+        reason: c.str()?,
+    })
+}
+
+fn get_explain_info(c: &mut Cur<'_>) -> Result<ExplainInfo, String> {
+    let signature = c.u64()?;
+    let domain = c.str()?;
+    let winner = c.str()?;
+    let backend = c.str()?;
+    let explored = c.bool()?;
+    let rechecked = c.bool()?;
+    let flips = c.u64()?;
+    let fusion = get_gate(c)?;
+    let simplify = get_gate(c)?;
+    let quarantine = get_gate(c)?;
+    // Each feature is ≥ 12 bytes (empty name + f64 value).
+    let nf = c.vec_len(12)?;
+    let mut features = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        let name = c.str()?;
+        let value = c.f64()?;
+        features.push((name, value));
+    }
+    // Each candidate is ≥ 21 bytes (empty scheme + 2 f64 + flag).
+    let nc = c.vec_len(21)?;
+    let mut candidates = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        candidates.push(WireCandidate {
+            scheme: c.str()?,
+            analytic: c.f64()?,
+            corrected: c.f64()?,
+            feasible: c.bool()?,
+        });
+    }
+    Ok(ExplainInfo {
+        signature,
+        domain,
+        winner,
+        backend,
+        explored,
+        rechecked,
+        flips,
+        fusion,
+        simplify,
+        quarantine,
+        features,
+        candidates,
+    })
+}
+
+fn get_slowlog_entry(c: &mut Cur<'_>) -> Result<SlowlogEntry, String> {
+    let class = c.u64()?;
+    let latency_ns = c.u64()?;
+    let scheme = c.str()?;
+    let backend = c.str()?;
+    let error = c.str()?;
+    let fused = u16::try_from(c.u32()?).map_err(|_| "fused count exceeds u16".to_string())?;
+    let mut stages = [0u64; 5];
+    for s in &mut stages {
+        *s = c.u64()?;
+    }
+    let winner = c.str()?;
+    Ok(SlowlogEntry {
+        class,
+        latency_ns,
+        scheme,
+        backend,
+        error,
+        fused,
+        queue_ns: stages[0],
+        decide_ns: stages[1],
+        simplify_ns: stages[2],
+        exec_ns: stages[3],
+        completion_ns: stages[4],
+        winner,
+    })
 }
 
 fn get_payload(c: &mut Cur<'_>) -> Result<Payload, String> {
@@ -646,6 +839,21 @@ pub fn decode_response(kind: u8, body: &[u8]) -> Result<BinMsg, String> {
             handle: c.u64()?,
         },
         K_UPGRADED => Response::Upgraded,
+        K_EXPLAINED => match c.u8()? {
+            0 => Response::Explained(None),
+            1 => Response::Explained(Some(get_explain_info(&mut c)?)),
+            t => return Err(format!("bad explained presence byte {t}")),
+        },
+        K_R_SLOWLOG => {
+            // Each entry is ≥ 76 bytes (3 empty strings + fixed fields +
+            // empty winner).
+            let n = c.vec_len(76)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_slowlog_entry(&mut c)?);
+            }
+            Response::Slowlog(entries)
+        }
         K_ERROR => Response::Error(c.str()?),
         K_METRICS_BODY => {
             return Ok(BinMsg::Metrics(body.to_vec()));
@@ -653,7 +861,7 @@ pub fn decode_response(kind: u8, body: &[u8]) -> Result<BinMsg, String> {
         other => return Err(format!("unknown response kind 0x{other:02x}")),
     };
     c.done()?;
-    Ok(BinMsg::Response(resp))
+    Ok(BinMsg::Response(Box::new(resp)))
 }
 
 // ---------------------------------------------------------------------
@@ -809,9 +1017,68 @@ mod tests {
                 indices: vec![1, 3, 0],
             }),
             Request::UpgradeBin,
+            Request::Explain(ExplainTarget::Signature(0xfeed_0007)),
+            Request::Explain(ExplainTarget::Handle(0x2a)),
+            Request::Slowlog(32),
         ] {
             let (kind, body) = feed_whole(&encode_request(&req));
             assert_eq!(decode_request(kind, &body).as_ref(), Ok(&req));
+        }
+    }
+
+    fn sample_explain() -> ExplainInfo {
+        ExplainInfo {
+            signature: 0xfeed_0007,
+            domain: "d11r2s10m2".into(),
+            winner: "hash".into(),
+            backend: "simd".into(),
+            explored: true,
+            rechecked: false,
+            flips: 2,
+            fusion: WireGate {
+                fired: false,
+                reason: "group-of-one".into(),
+            },
+            simplify: WireGate {
+                fired: true,
+                reason: "prefix".into(),
+            },
+            quarantine: WireGate {
+                fired: false,
+                reason: "clear".into(),
+            },
+            features: vec![("references".into(), 1800.0), ("sp".into(), 0.734)],
+            candidates: vec![
+                WireCandidate {
+                    scheme: "hash".into(),
+                    analytic: 1234.5,
+                    corrected: 987.25,
+                    feasible: true,
+                },
+                WireCandidate {
+                    scheme: "pclr".into(),
+                    analytic: f64::INFINITY,
+                    corrected: f64::INFINITY,
+                    feasible: false,
+                },
+            ],
+        }
+    }
+
+    fn sample_slowlog() -> SlowlogEntry {
+        SlowlogEntry {
+            class: 0xfeed_0007,
+            latency_ns: 1_250_000,
+            scheme: "hash".into(),
+            backend: "software".into(),
+            error: "none".into(),
+            fused: 4,
+            queue_ns: 10_000,
+            decide_ns: 40_000,
+            simplify_ns: 0,
+            exec_ns: 1_100_000,
+            completion_ns: 100_000,
+            winner: "hash".into(),
         }
     }
 
@@ -859,12 +1126,16 @@ mod tests {
                 handle: 3,
             },
             Response::Upgraded,
+            Response::Explained(None),
+            Response::Explained(Some(sample_explain())),
+            Response::Slowlog(vec![]),
+            Response::Slowlog(vec![sample_slowlog(), sample_slowlog()]),
             Response::Error("line too long".into()),
         ] {
             let (kind, body) = feed_whole(&encode_response(&resp));
             assert_eq!(
                 decode_response(kind, &body).as_ref(),
-                Ok(&BinMsg::Response(resp.clone())),
+                Ok(&BinMsg::Response(Box::new(resp.clone()))),
                 "resp: {resp:?}"
             );
         }

@@ -17,8 +17,9 @@ use smartapps_server::wire2::{
     decode_request, decode_response, encode_request, encode_response, FrameBuf, FrameStep,
 };
 use smartapps_server::{
-    DoneMsg, DoneOutcome, HistSummary, Payload, ReplyMode, Request, Response, StatsV2, SubmitArgs,
-    UploadArgs, WireBody, WireDist, WireSource, WireSpec,
+    DoneMsg, DoneOutcome, ExplainInfo, ExplainTarget, HistSummary, Payload, ReplyMode, Request,
+    Response, SlowlogEntry, StatsV2, SubmitArgs, UploadArgs, WireBody, WireCandidate, WireDist,
+    WireGate, WireSource, WireSpec,
 };
 
 fn arb_f64_bits() -> impl Strategy<Value = f64> {
@@ -109,6 +110,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Metrics),
         Just(Request::Drain),
         any::<u64>().prop_map(Request::Unquarantine),
+        any::<u64>().prop_map(|s| Request::Explain(ExplainTarget::Signature(s))),
+        any::<u64>().prop_map(|h| Request::Explain(ExplainTarget::Handle(h))),
+        any::<usize>().prop_map(Request::Slowlog),
     ]
 }
 
@@ -188,6 +192,88 @@ fn arb_summary() -> impl Strategy<Value = HistSummary> {
         )
 }
 
+fn arb_gate() -> impl Strategy<Value = WireGate> {
+    (any::<bool>(), arb_ident()).prop_map(|(fired, reason)| WireGate { fired, reason })
+}
+
+fn arb_explain_info() -> impl Strategy<Value = ExplainInfo> {
+    (
+        (any::<u64>(), arb_ident(), arb_ident(), arb_ident()),
+        (any::<bool>(), any::<bool>(), any::<u64>()),
+        (arb_gate(), arb_gate(), arb_gate()),
+        proptest::collection::vec((arb_ident(), arb_f64_bits()), 0..6),
+        proptest::collection::vec(
+            (arb_ident(), arb_f64_bits(), arb_f64_bits(), any::<bool>()).prop_map(
+                |(scheme, analytic, corrected, feasible)| WireCandidate {
+                    scheme,
+                    analytic,
+                    corrected,
+                    feasible,
+                },
+            ),
+            0..6,
+        ),
+    )
+        .prop_map(
+            |(
+                (signature, domain, winner, backend),
+                (explored, rechecked, flips),
+                (fusion, simplify, quarantine),
+                features,
+                candidates,
+            )| ExplainInfo {
+                signature,
+                domain,
+                winner,
+                backend,
+                explored,
+                rechecked,
+                flips,
+                fusion,
+                simplify,
+                quarantine,
+                features,
+                candidates,
+            },
+        )
+}
+
+fn arb_slowlog_entry() -> impl Strategy<Value = SlowlogEntry> {
+    (
+        (any::<u64>(), any::<u64>()),
+        (arb_ident(), arb_ident(), arb_ident(), arb_ident()),
+        0u16..=u16::MAX,
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (class, latency_ns),
+                (scheme, backend, error, winner),
+                fused,
+                (queue_ns, decide_ns, simplify_ns, exec_ns, completion_ns),
+            )| SlowlogEntry {
+                class,
+                latency_ns,
+                scheme,
+                backend,
+                error,
+                fused,
+                queue_ns,
+                decide_ns,
+                simplify_ns,
+                exec_ns,
+                completion_ns,
+                winner,
+            },
+        )
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
         arb_done().prop_map(Response::Done),
@@ -209,6 +295,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (any::<u64>(), any::<u64>())
             .prop_map(|(token, handle)| Response::Uploaded { token, handle }),
         Just(Response::Upgraded),
+        Just(Response::Explained(None)),
+        arb_explain_info().prop_map(|i| Response::Explained(Some(i))),
+        proptest::collection::vec(arb_slowlog_entry(), 0..4).prop_map(Response::Slowlog),
         arb_ident().prop_map(Response::Error),
     ]
 }

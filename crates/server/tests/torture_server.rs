@@ -70,7 +70,10 @@ fn read_frame(reader: &mut BufReader<TcpStream>) -> Result<BinMsg, String> {
 fn collect_bin_dones(reader: &mut BufReader<TcpStream>, want: &HashMap<u64, u64>) {
     let mut seen: HashMap<u64, ()> = HashMap::new();
     while seen.len() < want.len() {
-        let BinMsg::Response(Response::Done(d)) = read_frame(reader).expect("frame") else {
+        let BinMsg::Response(r) = read_frame(reader).expect("frame") else {
+            continue;
+        };
+        let Response::Done(d) = *r else {
             continue;
         };
         let seed = *want

@@ -1,0 +1,291 @@
+//! A bounded store of slowest-N exemplar jobs per class.
+//!
+//! Histograms say *how bad* the tail is; the trace ring says *what the
+//! last few thousand jobs did*.  Neither can answer "show me the p99
+//! job's decision" an hour later — the ring has wrapped and the
+//! histogram never kept the job.  The [`ExemplarStore`] fills that gap:
+//! for each job class it retains the `per_class` slowest observations,
+//! each carrying an arbitrary payload (the runtime stores the job's
+//! decision record and stage breakdown), and evicts by **per-class
+//! latency floor** — a new sample is only admitted once it is slower
+//! than the fastest exemplar the class currently retains, which it then
+//! displaces.
+//!
+//! ## Bounds and lock discipline
+//!
+//! The store is doubly bounded: at most `max_classes` classes, at most
+//! `per_class` exemplars each, so memory is `O(max_classes × per_class)`
+//! regardless of traffic.  When the class table is full, an unseen class
+//! must beat the *weakest* retained class's floor to enter, displacing
+//! that class's floor exemplar (and the class itself once empty).
+//!
+//! Mutation takes one short [`Mutex`] critical section, but the hot
+//! path — a job that is *not* slow, i.e. almost every job — never locks:
+//! a saturated store publishes its global admission floor in an atomic,
+//! and [`ExemplarStore::offer`] returns before locking (and before even
+//! materializing the payload) when the sample cannot possibly be
+//! admitted.  Payloads are built lazily via closure for the same
+//! reason: rendering a decision record for a fast job would waste more
+//! time than the lock it avoids.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One retained slow-job observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar<T> {
+    /// The job's class (domain signature).
+    pub class: u64,
+    /// End-to-end latency that earned the job its slot, in nanoseconds.
+    pub latency_ns: u64,
+    /// Caller-supplied context (decision record, stage breakdown, …).
+    pub payload: T,
+}
+
+/// Bounded slowest-N-per-class exemplar retention (see module docs).
+#[derive(Debug)]
+pub struct ExemplarStore<T> {
+    per_class: usize,
+    max_classes: usize,
+    /// When the store is saturated (class table full, every class full),
+    /// the smallest latency that could still be admitted; `0` otherwise.
+    /// A lock-free pre-filter only — admission is re-checked under the
+    /// lock, so a stale hint costs a lock, never a wrong answer.
+    admit_floor: AtomicU64,
+    evictions: AtomicU64,
+    classes: Mutex<HashMap<u64, Vec<(u64, T)>>>,
+}
+
+impl<T> ExemplarStore<T> {
+    /// A store retaining the `per_class` slowest jobs for up to
+    /// `max_classes` classes (both clamped to at least 1).
+    pub fn new(per_class: usize, max_classes: usize) -> Self {
+        ExemplarStore {
+            per_class: per_class.max(1),
+            max_classes: max_classes.max(1),
+            admit_floor: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            classes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Exemplars retained per class.
+    pub fn per_class(&self) -> usize {
+        self.per_class
+    }
+
+    /// Exemplars displaced by slower samples (floor evictions, within a
+    /// class or across classes when the table is full).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Offer one observation.  `payload` runs only if the sample is
+    /// actually admitted; samples a saturated store cannot admit return
+    /// without locking.
+    pub fn offer(&self, class: u64, latency_ns: u64, payload: impl FnOnce() -> T) {
+        let floor = self.admit_floor.load(Ordering::Relaxed);
+        if floor > 0 && latency_ns <= floor {
+            return;
+        }
+        let mut map = self.classes.lock().unwrap();
+        if let Some(kept) = map.get_mut(&class) {
+            if kept.len() >= self.per_class {
+                // Full class: must beat its floor (slot 0 — kept sorted
+                // ascending by latency).
+                if latency_ns <= kept[0].0 {
+                    return;
+                }
+                kept.remove(0);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            let at = kept.partition_point(|(l, _)| *l < latency_ns);
+            kept.insert(at, (latency_ns, payload()));
+        } else {
+            if map.len() >= self.max_classes {
+                // Class table full: displace the weakest class's floor
+                // exemplar if this sample beats it.
+                let Some((&weakest, _)) = map
+                    .iter()
+                    .min_by_key(|(_, kept)| kept.first().map_or(0, |(l, _)| *l))
+                else {
+                    return;
+                };
+                let kept = map.get_mut(&weakest).unwrap();
+                if kept.first().is_some_and(|(l, _)| latency_ns <= *l) {
+                    self.refresh_floor(&map);
+                    return;
+                }
+                if !kept.is_empty() {
+                    kept.remove(0);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                if kept.is_empty() {
+                    map.remove(&weakest);
+                }
+            }
+            map.insert(class, vec![(latency_ns, payload())]);
+        }
+        self.refresh_floor(&map);
+    }
+
+    /// Recompute the saturated-store admission floor (0 while any slot —
+    /// class or exemplar — is still free).
+    fn refresh_floor(&self, map: &HashMap<u64, Vec<(u64, T)>>) {
+        let saturated =
+            map.len() >= self.max_classes && map.values().all(|k| k.len() >= self.per_class);
+        let floor = if saturated {
+            map.values()
+                .filter_map(|k| k.first().map(|(l, _)| *l))
+                .min()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        self.admit_floor.store(floor, Ordering::Relaxed);
+    }
+
+    /// Total exemplars currently retained.
+    pub fn len(&self) -> usize {
+        self.classes.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The latency a new sample of `class` must beat to be admitted
+    /// (`None` while the class still has free slots).
+    pub fn class_floor(&self, class: u64) -> Option<u64> {
+        let map = self.classes.lock().unwrap();
+        let kept = map.get(&class)?;
+        if kept.len() >= self.per_class {
+            kept.first().map(|(l, _)| *l)
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Clone> ExemplarStore<T> {
+    /// The `n` slowest retained exemplars across all classes, slowest
+    /// first.
+    pub fn top(&self, n: usize) -> Vec<Exemplar<T>> {
+        let map = self.classes.lock().unwrap();
+        let mut all: Vec<Exemplar<T>> = map
+            .iter()
+            .flat_map(|(&class, kept)| {
+                kept.iter().map(move |(latency_ns, payload)| Exemplar {
+                    class,
+                    latency_ns: *latency_ns,
+                    payload: payload.clone(),
+                })
+            })
+            .collect();
+        all.sort_by_key(|e| std::cmp::Reverse((e.latency_ns, e.class)));
+        all.truncate(n);
+        all
+    }
+
+    /// Every retained exemplar, slowest first.
+    pub fn snapshot(&self) -> Vec<Exemplar<T>> {
+        self.top(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn retains_the_slowest_n_per_class() {
+        let store = ExemplarStore::new(3, 8);
+        for lat in [50u64, 10, 90, 30, 70] {
+            store.offer(1, lat, || lat);
+        }
+        let kept: Vec<u64> = store.snapshot().iter().map(|e| e.latency_ns).collect();
+        assert_eq!(kept, vec![90, 70, 50]);
+        assert_eq!(store.evictions(), 2);
+        assert_eq!(store.class_floor(1), Some(50));
+    }
+
+    #[test]
+    fn class_floor_gates_admission_and_payload_is_lazy() {
+        let store = ExemplarStore::new(2, 1);
+        let built = AtomicUsize::new(0);
+        let mk = || built.fetch_add(1, Ordering::Relaxed);
+        store.offer(7, 100, mk);
+        store.offer(7, 200, mk);
+        assert_eq!(built.load(Ordering::Relaxed), 2);
+        // Below the floor: rejected without materializing the payload.
+        store.offer(7, 100, mk);
+        store.offer(7, 5, mk);
+        assert_eq!(built.load(Ordering::Relaxed), 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn class_table_is_bounded_and_evicts_the_weakest_class() {
+        let store = ExemplarStore::new(1, 2);
+        store.offer(1, 100, || ());
+        store.offer(2, 50, || ());
+        // A third class must beat the weakest floor (50) to enter.
+        store.offer(3, 40, || ());
+        assert_eq!(store.len(), 2);
+        assert!(store.class_floor(3).is_none());
+        store.offer(3, 60, || ());
+        let classes: Vec<u64> = store.snapshot().iter().map(|e| e.class).collect();
+        assert_eq!(classes, vec![1, 3]);
+        assert_eq!(store.evictions(), 1);
+    }
+
+    #[test]
+    fn top_orders_across_classes_slowest_first() {
+        let store = ExemplarStore::new(2, 4);
+        for (class, lat) in [(1u64, 10u64), (1, 40), (2, 30), (2, 20)] {
+            store.offer(class, lat, || ());
+        }
+        let top: Vec<(u64, u64)> = store
+            .top(3)
+            .iter()
+            .map(|e| (e.class, e.latency_ns))
+            .collect();
+        assert_eq!(top, vec![(1, 40), (2, 30), (2, 20)]);
+    }
+
+    #[test]
+    fn saturated_store_publishes_a_lock_free_admission_floor() {
+        let store = ExemplarStore::new(1, 2);
+        store.offer(1, 100, || ());
+        assert_eq!(store.admit_floor.load(Ordering::Relaxed), 0);
+        store.offer(2, 200, || ());
+        // Saturated: floor is the weakest retained latency.
+        assert_eq!(store.admit_floor.load(Ordering::Relaxed), 100);
+        // A slower sample still gets in and the floor advances.
+        store.offer(3, 150, || ());
+        assert_eq!(store.admit_floor.load(Ordering::Relaxed), 150);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_offers_keep_bounds() {
+        let store = std::sync::Arc::new(ExemplarStore::new(4, 8));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        store.offer(t % 3, i * 7 + t, || i);
+                    }
+                });
+            }
+        });
+        assert!(store.len() <= 4 * 3);
+        // The slowest offered sample always survives.
+        let top = store.top(1);
+        assert_eq!(top[0].latency_ns, 999 * 7 + 7);
+    }
+}

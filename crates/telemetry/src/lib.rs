@@ -7,7 +7,7 @@
 //! scheme's tail moved, what happened to the last few thousand jobs
 //! individually — without ever taking a lock on a hot path.
 //!
-//! Three modules, all std-only:
+//! Four modules, all std-only:
 //!
 //! * [`histogram`] — [`LogHistogram`]: 64 power-of-two buckets, wait-free
 //!   `record`, mergeable [`HistogramSnapshot`]s with
@@ -20,8 +20,12 @@
 //!   carries.  `docs/OBSERVABILITY.md` is the metric catalog.
 //! * [`trace`] — [`TraceRing`]: a fixed-capacity seqlock ring (safe Rust,
 //!   atomic words only) of per-job [`TraceEvent`]s carrying the full
-//!   submitted→queued→decided→executed→completed timestamp chain and the
-//!   routing tags.
+//!   submitted→queued→decided→executed→completed timestamp chain, the
+//!   simplify-probe duration, and the routing tags.
+//! * [`exemplar`] — [`ExemplarStore`]: bounded slowest-N-per-class
+//!   retention of arbitrary payloads (the runtime keeps each slow job's
+//!   decision record and stage breakdown), evicting by per-class latency
+//!   floor; fast jobs are rejected without a lock or payload allocation.
 //!
 //! `smartapps-runtime` owns a `RuntimeTelemetry` bundle of these and
 //! records at every lifecycle edge; `smartapps-server` adds
@@ -46,10 +50,12 @@
 
 #![warn(missing_docs)]
 
+pub mod exemplar;
 pub mod histogram;
 pub mod registry;
 pub mod trace;
 
+pub use exemplar::{Exemplar, ExemplarStore};
 pub use histogram::{bucket_of, bucket_upper_bound, HistogramSnapshot, LogHistogram, BUCKETS};
 pub use registry::{HistSummary, Registry};
 pub use trace::{TraceBackend, TraceError, TraceEvent, TraceRing};

@@ -37,6 +37,32 @@ pub enum TraceBackend {
     /// Rewritten by the simplification pass and executed as a
     /// difference-array scan instead of a scheme sweep.
     Scan,
+    /// SIMD tree-reduction backend execution.
+    Simd,
+}
+
+impl TraceBackend {
+    /// The stable wire/dump label (`software` / `pclr` / `scan` /
+    /// `simd`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceBackend::Software => "software",
+            TraceBackend::Pclr => "pclr",
+            TraceBackend::Scan => "scan",
+            TraceBackend::Simd => "simd",
+        }
+    }
+
+    /// Inverse of [`TraceBackend::label`].
+    pub fn from_label(s: &str) -> Option<TraceBackend> {
+        Some(match s {
+            "software" => TraceBackend::Software,
+            "pclr" => TraceBackend::Pclr,
+            "scan" => TraceBackend::Scan,
+            "simd" => TraceBackend::Simd,
+            _ => return None,
+        })
+    }
 }
 
 /// Why a job failed, if it did.
@@ -48,6 +74,28 @@ pub enum TraceError {
     Panicked,
     /// Rejected up front: its domain class was quarantined.
     Quarantined,
+}
+
+impl TraceError {
+    /// The stable wire/dump label (`none` / `panicked` /
+    /// `quarantined`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceError::None => "none",
+            TraceError::Panicked => "panicked",
+            TraceError::Quarantined => "quarantined",
+        }
+    }
+
+    /// Inverse of [`TraceError::label`].
+    pub fn from_label(s: &str) -> Option<TraceError> {
+        Some(match s {
+            "none" => TraceError::None,
+            "panicked" => TraceError::Panicked,
+            "quarantined" => TraceError::Quarantined,
+            _ => return None,
+        })
+    }
 }
 
 /// One job's lifecycle, timestamps in nanoseconds since the ring's
@@ -79,14 +127,137 @@ pub struct TraceEvent {
     /// Number of jobs fused into the same backend invocation (1 when
     /// the job ran alone).
     pub fused: u16,
+    /// Nanoseconds the dispatcher spent probing the simplification pass
+    /// for this job's group (0 when no probe ran).  A *duration*, not a
+    /// timestamp: the probe happens inside the decided→executed span,
+    /// so [`TraceEvent::stage_exec`] subtracts it back out.
+    pub simplify_ns: u64,
 }
 
 impl TraceEvent {
+    /// Queue-wait stage: submission to dispatcher dequeue.
+    pub fn stage_queue(&self) -> u64 {
+        self.queued_ns.saturating_sub(self.submitted_ns)
+    }
+
+    /// Decide stage: dequeue to scheme selection finishing.
+    pub fn stage_decide(&self) -> u64 {
+        self.decided_ns.saturating_sub(self.queued_ns)
+    }
+
+    /// Simplify-probe stage: time spent asking the simplification pass
+    /// whether the group lowers to a scan (a duration carved out of the
+    /// decided→executed span).
+    pub fn stage_simplify(&self) -> u64 {
+        self.simplify_ns
+    }
+
+    /// Exec stage: decision to backend execution finishing, minus the
+    /// simplify-probe time (which [`TraceEvent::stage_simplify`] reports
+    /// separately).
+    pub fn stage_exec(&self) -> u64 {
+        self.executed_ns
+            .saturating_sub(self.decided_ns)
+            .saturating_sub(self.simplify_ns)
+    }
+
+    /// Completion stage: execution finishing to the completion reaching
+    /// the sink (the server's write path extends this with its own
+    /// `write` series).
+    pub fn stage_completion(&self) -> u64 {
+        self.completed_ns.saturating_sub(self.executed_ns)
+    }
+
+    /// End-to-end latency: submission to completion.
+    pub fn end_to_end(&self) -> u64 {
+        self.completed_ns.saturating_sub(self.submitted_ns)
+    }
+
+    /// Serialize the event as one line of the trace-dump format: eleven
+    /// space-separated fields — hex signature, the five timestamps, the
+    /// scheme code, the backend and error labels, the fused count, and
+    /// the simplify-probe duration.  `trace_attr` replays files of these
+    /// lines offline; [`TraceEvent::parse_line`] is the inverse.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{:016x} {} {} {} {} {} {} {} {} {} {}",
+            self.signature,
+            self.submitted_ns,
+            self.queued_ns,
+            self.decided_ns,
+            self.executed_ns,
+            self.completed_ns,
+            self.scheme,
+            self.backend.label(),
+            self.error.label(),
+            self.fused,
+            self.simplify_ns,
+        )
+    }
+
+    /// Parse one [`TraceEvent::to_line`] line.  Comment lines (leading
+    /// `#`) and blank lines are the caller's to skip; anything else that
+    /// is not exactly eleven well-formed fields is an error naming the
+    /// offending field.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+        let mut fields = line.split_ascii_whitespace();
+        let mut next = |name: &str| fields.next().ok_or_else(|| format!("missing {name}"));
+        let u64_field = |name: &str, s: &str| {
+            s.parse::<u64>()
+                .map_err(|_| format!("bad {name} {s:?} (expected decimal u64)"))
+        };
+        let signature = {
+            let s = next("signature")?;
+            u64::from_str_radix(s, 16).map_err(|_| format!("bad signature {s:?} (expected hex)"))?
+        };
+        let submitted_ns = u64_field("submitted_ns", next("submitted_ns")?)?;
+        let queued_ns = u64_field("queued_ns", next("queued_ns")?)?;
+        let decided_ns = u64_field("decided_ns", next("decided_ns")?)?;
+        let executed_ns = u64_field("executed_ns", next("executed_ns")?)?;
+        let completed_ns = u64_field("completed_ns", next("completed_ns")?)?;
+        let scheme = {
+            let s = next("scheme")?;
+            s.parse::<u8>()
+                .map_err(|_| format!("bad scheme {s:?} (expected u8 code)"))?
+        };
+        let backend = {
+            let s = next("backend")?;
+            TraceBackend::from_label(s).ok_or_else(|| format!("bad backend {s:?}"))?
+        };
+        let error = {
+            let s = next("error")?;
+            TraceError::from_label(s).ok_or_else(|| format!("bad error {s:?}"))?
+        };
+        let fused = {
+            let s = next("fused")?;
+            s.parse::<u16>()
+                .map_err(|_| format!("bad fused {s:?} (expected u16)"))?
+        };
+        let simplify_ns = u64_field("simplify_ns", next("simplify_ns")?)?;
+        if let Some(extra) = fields.next() {
+            return Err(format!("trailing field {extra:?}"));
+        }
+        Ok(TraceEvent {
+            signature,
+            submitted_ns,
+            queued_ns,
+            decided_ns,
+            executed_ns,
+            completed_ns,
+            scheme,
+            backend,
+            error,
+            fused,
+            simplify_ns,
+        })
+    }
+
     fn pack(&self) -> [u64; EVENT_WORDS] {
         let backend = match self.backend {
             TraceBackend::Software => 0u64,
             TraceBackend::Pclr => 1,
             TraceBackend::Scan => 2,
+            TraceBackend::Simd => 3,
         };
         let error = match self.error {
             TraceError::None => 0u64,
@@ -103,7 +274,7 @@ impl TraceEvent {
             self.executed_ns,
             self.completed_ns,
             tags,
-            0,
+            self.simplify_ns,
         ]
     }
 
@@ -120,6 +291,7 @@ impl TraceEvent {
             backend: match (tags >> 8) & 0xff {
                 1 => TraceBackend::Pclr,
                 2 => TraceBackend::Scan,
+                3 => TraceBackend::Simd,
                 _ => TraceBackend::Software,
             },
             error: match (tags >> 16) & 0xff {
@@ -128,6 +300,7 @@ impl TraceEvent {
                 _ => TraceError::None,
             },
             fused: ((tags >> 24) & 0xffff) as u16,
+            simplify_ns: words[7],
         }
     }
 }
@@ -250,25 +423,112 @@ mod tests {
             executed_ns: signature * 10 + 3,
             completed_ns: signature * 10 + 4,
             scheme: (signature % 7) as u8,
-            backend: match signature % 3 {
+            backend: match signature % 4 {
                 0 => TraceBackend::Software,
                 1 => TraceBackend::Pclr,
-                _ => TraceBackend::Scan,
+                2 => TraceBackend::Scan,
+                _ => TraceBackend::Simd,
             },
             error: TraceError::None,
             fused: (signature % 5) as u16 + 1,
+            simplify_ns: signature % 2,
         }
     }
 
     #[test]
     fn pack_unpack_round_trips() {
-        for sig in [0u64, 1, 2, 41, u32::MAX as u64] {
+        for sig in [0u64, 1, 2, 3, 41, u32::MAX as u64] {
             let mut e = ev(sig);
             e.error = TraceError::Quarantined;
             e.scheme = u8::MAX;
             e.fused = u16::MAX;
+            e.simplify_ns = u64::MAX;
             assert_eq!(TraceEvent::unpack(&e.pack()), e);
         }
+    }
+
+    #[test]
+    fn dump_line_round_trips() {
+        for sig in [0u64, 1, 2, 3, 41, u32::MAX as u64] {
+            let mut e = ev(sig);
+            e.error = TraceError::Panicked;
+            e.scheme = u8::MAX;
+            e.fused = u16::MAX;
+            e.simplify_ns = u64::MAX;
+            assert_eq!(TraceEvent::parse_line(&e.to_line()), Ok(e));
+        }
+    }
+
+    #[test]
+    fn dump_line_rejects_malformed_input() {
+        let good = ev(41).to_line();
+        // Each field mutated into garbage must fail with a named error.
+        for bad in [
+            "",
+            "zz 1 2 3 4 5 0 software none 1 0",
+            "0029 x 2 3 4 5 0 software none 1 0",
+            "0029 1 2 3 4 5 300 software none 1 0",
+            "0029 1 2 3 4 5 0 gpu none 1 0",
+            "0029 1 2 3 4 5 0 software maybe 1 0",
+            "0029 1 2 3 4 5 0 software none 99999 0",
+            "0029 1 2 3 4 5 0 software none 1",
+        ] {
+            assert!(TraceEvent::parse_line(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(TraceEvent::parse_line(&format!("{good} extra")).is_err());
+    }
+
+    #[test]
+    fn every_backend_tag_round_trips() {
+        for backend in [
+            TraceBackend::Software,
+            TraceBackend::Pclr,
+            TraceBackend::Scan,
+            TraceBackend::Simd,
+        ] {
+            let e = TraceEvent { backend, ..ev(17) };
+            assert_eq!(TraceEvent::unpack(&e.pack()).backend, backend);
+        }
+    }
+
+    #[test]
+    fn stage_attribution_sums_to_end_to_end() {
+        let e = TraceEvent {
+            signature: 1,
+            submitted_ns: 100,
+            queued_ns: 150,
+            decided_ns: 180,
+            executed_ns: 480,
+            completed_ns: 500,
+            scheme: 2,
+            backend: TraceBackend::Simd,
+            error: TraceError::None,
+            fused: 1,
+            simplify_ns: 40,
+        };
+        assert_eq!(e.stage_queue(), 50);
+        assert_eq!(e.stage_decide(), 30);
+        assert_eq!(e.stage_simplify(), 40);
+        assert_eq!(e.stage_exec(), 260);
+        assert_eq!(e.stage_completion(), 20);
+        assert_eq!(
+            e.stage_queue()
+                + e.stage_decide()
+                + e.stage_simplify()
+                + e.stage_exec()
+                + e.stage_completion(),
+            e.end_to_end()
+        );
+        // Unexecuted jobs (zeroed decided/executed stamps) attribute to
+        // zero, never underflow.
+        let dead = TraceEvent {
+            decided_ns: 0,
+            executed_ns: 0,
+            simplify_ns: 0,
+            ..e
+        };
+        assert_eq!(dead.stage_decide(), 0);
+        assert_eq!(dead.stage_exec(), 0);
     }
 
     #[test]
